@@ -1,0 +1,34 @@
+//! HTM micro-benchmarks: point lookups and region covers.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use skyserver::htm::{cover, lookup_id, Convex, SDSS_DEPTH};
+
+fn bench_lookup(c: &mut Criterion) {
+    c.bench_function("htm_lookup_depth20", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 10_000;
+            let ra = 180.0 + (i as f64) * 0.0005;
+            let dec = -1.0 + (i as f64) * 0.0002;
+            black_box(lookup_id(ra, dec, SDSS_DEPTH))
+        })
+    });
+}
+
+fn bench_cover(c: &mut Criterion) {
+    c.bench_function("htm_cover_1arcmin_circle", |b| {
+        b.iter(|| {
+            let region = Convex::circle_arcmin(black_box(185.0), black_box(-0.5), 1.0);
+            black_box(cover(&region).len())
+        })
+    });
+    c.bench_function("htm_cover_1deg_circle", |b| {
+        b.iter(|| {
+            let region = Convex::circle(black_box(185.0), black_box(-0.5), 1.0);
+            black_box(cover(&region).total_trixels())
+        })
+    });
+}
+
+criterion_group!(benches, bench_lookup, bench_cover);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! End-to-end benchmarks: survey generation, the load pipeline, the traffic
+//! simulator and the analytic I/O model sweep of Figure 15.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use skyserver::skygen::{Survey, SurveyConfig};
+use skyserver::storage::{CpuCost, DiskConfig, HardwareProfile, IoSimulator};
+use skyserver::SkyServerBuilder;
+use skyserver_web::{analyze_traffic, simulate_traffic, TrafficConfig};
+
+fn bench_generation_and_load(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    group.bench_function("generate_tiny_survey", |b| {
+        b.iter(|| black_box(Survey::generate(SurveyConfig::tiny()).unwrap().counts()))
+    });
+    group.bench_function("build_and_load_tiny_skyserver", |b| {
+        b.iter(|| {
+            let server = SkyServerBuilder::new().tiny().build().unwrap();
+            black_box(server.counts().photo_obj)
+        })
+    });
+    group.finish();
+}
+
+fn bench_traffic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("traffic");
+    group.sample_size(10);
+    group.bench_function("simulate_and_analyze_7_months", |b| {
+        let config = TrafficConfig::default();
+        b.iter(|| {
+            let log = simulate_traffic(&config);
+            black_box(analyze_traffic(&log, &config).total_hits)
+        })
+    });
+    group.finish();
+}
+
+fn bench_iosim_sweep(c: &mut Criterion) {
+    c.bench_function("fig15_disk_sweep", |b| {
+        let profile = HardwareProfile::skyserver_ml530();
+        b.iter(|| {
+            let mut total = 0.0;
+            for disks in 1..=12 {
+                let sim = IoSimulator::new(profile, DiskConfig::balanced(disks, &profile));
+                total += sim.scan_mbps(CpuCost::simple_scan());
+                total += sim.scan_mbps(CpuCost::raw_copy());
+            }
+            black_box(total)
+        })
+    });
+}
+
+criterion_group!(benches, bench_generation_and_load, bench_traffic, bench_iosim_sweep);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! SQL-engine benchmarks on a loaded tiny SkyServer: the access-path classes
+//! of Figure 13 (point lookup, covering scan, full scan, spatial join).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use skyserver_bench::{build_server, Scale};
+
+fn bench_queries(c: &mut Criterion) {
+    let mut server = build_server(Scale::Tiny);
+    let some_id = server
+        .query("select top 1 objID from PhotoObj")
+        .unwrap()
+        .scalar()
+        .unwrap()
+        .as_i64()
+        .unwrap();
+
+    c.bench_function("sql_point_lookup_by_objid", |b| {
+        b.iter(|| {
+            let r = server
+                .query(&format!("select ra, dec from PhotoObj where objID = {some_id}"))
+                .unwrap();
+            black_box(r.len())
+        })
+    });
+
+    c.bench_function("sql_count_star_scan", |b| {
+        b.iter(|| {
+            let r = server.query("select count(*) from PhotoObj").unwrap();
+            black_box(r.scalar().cloned())
+        })
+    });
+
+    c.bench_function("sql_filtered_count_scan", |b| {
+        b.iter(|| {
+            let r = server
+                .query("select count(*) from PhotoObj where (modelMag_r - modelMag_g) > 1")
+                .unwrap();
+            black_box(r.scalar().cloned())
+        })
+    });
+
+    c.bench_function("sql_velocity_scan_query15", |b| {
+        b.iter(|| {
+            let r = server
+                .query(
+                    "select objID from PhotoObj \
+                     where (rowv*rowv + colv*colv) between 50 and 1000 and rowv >= 0 and colv >= 0",
+                )
+                .unwrap();
+            black_box(r.len())
+        })
+    });
+
+    c.bench_function("sql_spatial_join_query1", |b| {
+        b.iter(|| {
+            let r = server
+                .query(
+                    "select G.objID, GN.distance from Galaxy as G \
+                     join fGetNearbyObjEq(181.0, -0.8, 3) as GN on G.objID = GN.objID \
+                     where (G.flags & 16) = 0 order by distance",
+                )
+                .unwrap();
+            black_box(r.len())
+        })
+    });
+}
+
+criterion_group!(benches, bench_queries);
+criterion_main!(benches);

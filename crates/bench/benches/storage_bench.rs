@@ -1,0 +1,66 @@
+//! Storage-engine micro-benchmarks: inserts, heap scans and index seeks.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use skyserver::storage::{ColumnDef, Database, DataType, IndexDef, IndexKey, TableSchema, Value};
+
+fn build_db(rows: i64) -> Database {
+    let mut db = Database::new("bench");
+    db.create_table(
+        "t",
+        TableSchema::new(vec![
+            ColumnDef::new("id", DataType::Int),
+            ColumnDef::new("htmID", DataType::Int),
+            ColumnDef::new("mag", DataType::Float),
+        ]),
+    )
+    .unwrap();
+    for i in 0..rows {
+        db.insert(
+            "t",
+            vec![Value::Int(i), Value::Int(i * 7 % 100_000), Value::Float(15.0 + (i % 80) as f64 * 0.1)],
+        )
+        .unwrap();
+    }
+    db.create_index(IndexDef::new("ix_htm", "t", &["htmID"]).include(&["id", "mag"]))
+        .unwrap();
+    db
+}
+
+fn bench_insert(c: &mut Criterion) {
+    c.bench_function("storage_insert_10k_rows", |b| {
+        b.iter(|| black_box(build_db(10_000).table("t").unwrap().row_count()))
+    });
+}
+
+fn bench_scan_vs_seek(c: &mut Criterion) {
+    let db = build_db(50_000);
+    c.bench_function("storage_heap_scan_50k", |b| {
+        b.iter(|| {
+            let t = db.table("t").unwrap();
+            let n = t
+                .iter()
+                .filter(|(_, row)| row[2].as_f64().unwrap_or(0.0) > 20.0)
+                .count();
+            black_box(n)
+        })
+    });
+    c.bench_function("storage_index_seek", |b| {
+        let idx = db.index("t", "ix_htm").unwrap();
+        let mut key = 0i64;
+        b.iter(|| {
+            key = (key + 7) % 100_000;
+            black_box(idx.seek_exact(&IndexKey(vec![Value::Int(key)])).len())
+        })
+    });
+    c.bench_function("storage_index_range_scan", |b| {
+        let idx = db.index("t", "ix_htm").unwrap();
+        b.iter(|| {
+            let lo = IndexKey(vec![Value::Int(10_000)]);
+            let hi = IndexKey(vec![Value::Int(11_000)]);
+            black_box(idx.seek_range(Some(&lo), Some(&hi)).len())
+        })
+    });
+}
+
+criterion_group!(benches, bench_insert, bench_scan_vs_seek);
+criterion_main!(benches);

@@ -1,0 +1,246 @@
+//! Building a SkyServer instance: generate → install schema → load.
+
+use crate::explore::ObjectSummary;
+use crate::SkyServerError;
+use skyserver_loader::{load_survey, LoadReport};
+use skyserver_schema::{create_engine, describe_schema, SchemaDescription};
+use skyserver_skygen::{Survey, SurveyConfig, SurveyCounts};
+use skyserver_sql::{PlanClass, QueryLimits, ResultSet, SqlEngine, StatementOutcome};
+use skyserver_storage::{DiskConfig, HardwareProfile, IoSimulator, TableSummary};
+
+/// Builder for a [`SkyServer`].
+#[derive(Debug, Clone)]
+pub struct SkyServerBuilder {
+    config: SurveyConfig,
+    hardware: IoSimulator,
+    database_name: String,
+}
+
+impl Default for SkyServerBuilder {
+    fn default() -> Self {
+        SkyServerBuilder {
+            config: SurveyConfig::personal_skyserver(),
+            hardware: IoSimulator::skyserver_production(),
+            database_name: "SkyServer".to_string(),
+        }
+    }
+}
+
+impl SkyServerBuilder {
+    /// Start from the default (Personal SkyServer scale) configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Use a specific survey configuration.
+    pub fn with_config(mut self, config: SurveyConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Use the tiny test-scale survey.
+    pub fn tiny(mut self) -> Self {
+        self.config = SurveyConfig::tiny();
+        self
+    }
+
+    /// Model a different hardware configuration for simulated timings.
+    pub fn with_hardware(mut self, profile: HardwareProfile, disks: DiskConfig) -> Self {
+        self.hardware = IoSimulator::new(profile, disks);
+        self
+    }
+
+    /// Name the database.
+    pub fn with_database_name(mut self, name: impl Into<String>) -> Self {
+        self.database_name = name.into();
+        self
+    }
+
+    /// Generate the survey, install the schema and load everything.
+    pub fn build(self) -> Result<SkyServer, SkyServerError> {
+        let survey = Survey::generate(self.config.clone())
+            .map_err(SkyServerError::Generation)?;
+        let mut engine = create_engine(&self.database_name)?;
+        engine.set_simulator(self.hardware);
+        let load_report = load_survey(&mut engine, &survey)?;
+        Ok(SkyServer {
+            engine,
+            config: self.config,
+            counts: survey.counts(),
+            primary_fraction: survey.primary_fraction(),
+            paper_scale_factor: survey.paper_scale_factor(),
+            load_report,
+        })
+    }
+}
+
+/// A loaded SkyServer: the public-facing object of this crate.
+pub struct SkyServer {
+    engine: SqlEngine,
+    config: SurveyConfig,
+    counts: SurveyCounts,
+    primary_fraction: f64,
+    paper_scale_factor: f64,
+    load_report: LoadReport,
+}
+
+impl SkyServer {
+    /// Build with defaults (Personal-SkyServer scale).
+    pub fn build_default() -> Result<SkyServer, SkyServerError> {
+        SkyServerBuilder::new().build()
+    }
+
+    /// The survey configuration the server was built from.
+    pub fn config(&self) -> &SurveyConfig {
+        &self.config
+    }
+
+    /// Generator-side row counts.
+    pub fn counts(&self) -> &SurveyCounts {
+        &self.counts
+    }
+
+    /// Fraction of photo objects flagged primary.
+    pub fn primary_fraction(&self) -> f64 {
+        self.primary_fraction
+    }
+
+    /// Multiplier from this database to the paper's 14 M-object release.
+    pub fn paper_scale_factor(&self) -> f64 {
+        self.paper_scale_factor
+    }
+
+    /// The load pipeline's report.
+    pub fn load_report(&self) -> &LoadReport {
+        &self.load_report
+    }
+
+    /// Borrow the SQL engine (advanced use: DDL, loading more data, ...).
+    pub fn engine(&self) -> &SqlEngine {
+        &self.engine
+    }
+
+    /// Mutably borrow the SQL engine.
+    pub fn engine_mut(&mut self) -> &mut SqlEngine {
+        &mut self.engine
+    }
+
+    /// Run a SQL script with **no** limits (the private / collaboration
+    /// interface) and return the last statement's outcome.
+    pub fn execute(&mut self, sql: &str) -> Result<StatementOutcome, SkyServerError> {
+        Ok(self.engine.execute(sql, QueryLimits::UNLIMITED)?)
+    }
+
+    /// Run a SQL script under the public web-interface limits
+    /// (1,000 rows / 30 seconds, §4 of the paper).
+    pub fn execute_public(&mut self, sql: &str) -> Result<StatementOutcome, SkyServerError> {
+        Ok(self.engine.execute(sql, QueryLimits::PUBLIC)?)
+    }
+
+    /// Convenience: run a query without limits and return just the rows.
+    pub fn query(&mut self, sql: &str) -> Result<ResultSet, SkyServerError> {
+        Ok(self.engine.query(sql)?)
+    }
+
+    /// Render the plan of a SELECT.
+    pub fn explain(&mut self, sql: &str) -> Result<String, SkyServerError> {
+        Ok(self.engine.explain(sql)?)
+    }
+
+    /// The plan class (index / scan / join-scan) of a SELECT -- the buckets
+    /// Figure 13 groups queries into.
+    pub fn plan_class(&mut self, sql: &str) -> Result<PlanClass, SkyServerError> {
+        Ok(self.engine.plan_class(sql)?)
+    }
+
+    /// Per-table sizes (rows / data bytes / index bytes): the live data
+    /// behind the paper's Table 1.
+    pub fn table_summaries(&self) -> Vec<TableSummary> {
+        self.engine.db().summaries()
+    }
+
+    /// Schema-browser metadata (the SkyServerQA object browser payload).
+    pub fn schema_description(&self) -> SchemaDescription {
+        describe_schema(self.engine.db(), self.engine.functions())
+    }
+
+    /// Objects within `radius_arcmin` of `(ra, dec)`, nearest first (the
+    /// `fGetNearbyObjEq` function exposed as an API).
+    pub fn nearby_objects(
+        &mut self,
+        ra: f64,
+        dec: f64,
+        radius_arcmin: f64,
+    ) -> Result<ResultSet, SkyServerError> {
+        self.query(&format!(
+            "select objID, type, distance from fGetNearbyObjEq({ra}, {dec}, {radius_arcmin})"
+        ))
+    }
+
+    /// Full drill-down for one object: attributes, neighbours, spectrum and
+    /// cross-matches (the web "Explore" page payload).
+    pub fn explore(&mut self, obj_id: i64) -> Result<ObjectSummary, SkyServerError> {
+        crate::explore::explore_object(self, obj_id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn server() -> SkyServer {
+        SkyServerBuilder::new().tiny().build().unwrap()
+    }
+
+    #[test]
+    fn build_and_query() {
+        let mut s = server();
+        let n = s.query("select count(*) from PhotoObj").unwrap();
+        assert_eq!(
+            n.scalar().unwrap().as_i64().unwrap() as usize,
+            s.counts().photo_obj
+        );
+        assert!(s.load_report().is_clean());
+        assert!(s.paper_scale_factor() > 1000.0);
+    }
+
+    #[test]
+    fn public_limits_apply() {
+        let mut s = server();
+        let outcome = s.execute_public("select objID from PhotoObj").unwrap();
+        assert_eq!(outcome.result.len(), 1000);
+        assert!(outcome.result.truncated);
+        let unlimited = s.execute("select objID from PhotoObj").unwrap();
+        assert!(unlimited.result.len() > 1000);
+    }
+
+    #[test]
+    fn table_summaries_expose_table1_data() {
+        let s = server();
+        let summaries = s.table_summaries();
+        let photo = summaries.iter().find(|t| t.name == "PhotoObj").unwrap();
+        assert!(photo.rows > 0);
+        assert!(photo.data_bytes > photo.rows * 100, "photoObj rows are hundreds of bytes");
+        assert!(photo.index_bytes > 0);
+        let neighbors = summaries.iter().find(|t| t.name == "Neighbors").unwrap();
+        assert!(neighbors.avg_row_bytes < photo.avg_row_bytes);
+    }
+
+    #[test]
+    fn nearby_and_plan_class() {
+        let mut s = server();
+        let nearby = s.nearby_objects(181.0, -0.8, 30.0).unwrap();
+        let d = nearby.column_values("distance");
+        for w in d.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        let class = s
+            .plan_class("select count(*) from PhotoObj where rowv > 100")
+            .unwrap();
+        assert_eq!(class, PlanClass::Scan);
+        let class = s
+            .plan_class("select * from PhotoObj where objID = 1000001")
+            .unwrap();
+        assert_eq!(class, PlanClass::IndexSeek);
+    }
+}

@@ -1,0 +1,143 @@
+//! The object explorer: the data behind the web site's drill-down page
+//! ("By pointing to an object you can get a summary of its attributes from
+//! the database, and one can also call up the whole record and explore all
+//! the data about an object", Fig 2).
+
+use crate::{SkyServer, SkyServerError};
+use skyserver_schema::EXPLORE_URL;
+use skyserver_storage::Value;
+
+/// Everything the Explore page shows for one object.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct ObjectSummary {
+    pub obj_id: i64,
+    pub ra: f64,
+    pub dec: f64,
+    pub obj_type: i64,
+    pub flags: i64,
+    /// `(column name, value)` pairs of the full PhotoObj record.
+    pub attributes: Vec<(String, String)>,
+    /// Neighbours within half an arcminute: `(objID, distance arcmin)`.
+    pub neighbors: Vec<(i64, f64)>,
+    /// The object's spectrum, if one was taken.
+    pub spectrum: Option<SpectrumSummary>,
+    /// Which external surveys match this object.
+    pub cross_matches: Vec<String>,
+    /// Link to this object on the web interface.
+    pub url: String,
+}
+
+/// Summary of a spectrum for the explorer.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct SpectrumSummary {
+    pub spec_obj_id: i64,
+    pub plate_id: i64,
+    pub z: f64,
+    pub z_conf: f64,
+    pub spec_class: i64,
+    pub line_count: i64,
+}
+
+/// Assemble the explorer payload for an object.
+pub fn explore_object(server: &mut SkyServer, obj_id: i64) -> Result<ObjectSummary, SkyServerError> {
+    let record = server.query(&format!("select * from PhotoObj where objID = {obj_id}"))?;
+    if record.is_empty() {
+        return Err(SkyServerError::NotFound(format!("object {obj_id}")));
+    }
+    let columns = record.columns.clone();
+    let row = record.rows[0].clone();
+    let get = |name: &str| -> Value {
+        record
+            .column_index(name)
+            .and_then(|i| row.get(i).cloned())
+            .unwrap_or(Value::Null)
+    };
+    let attributes: Vec<(String, String)> = columns
+        .iter()
+        .zip(&row)
+        .map(|(c, v)| (c.clone(), v.to_string()))
+        .collect();
+
+    let neighbors_rs = server.query(&format!(
+        "select neighborObjID, distance from Neighbors where objID = {obj_id} order by distance"
+    ))?;
+    let neighbors = neighbors_rs
+        .rows
+        .iter()
+        .map(|r| (r[0].as_i64().unwrap_or(0), r[1].as_f64().unwrap_or(0.0)))
+        .collect();
+
+    let spec = server.query(&format!(
+        "select specObjID, plateID, z, zConf, specClass from SpecObj where objID = {obj_id}"
+    ))?;
+    let spectrum = if spec.is_empty() {
+        None
+    } else {
+        let spec_obj_id = spec.rows[0][0].as_i64().unwrap_or(0);
+        let lines = server.query(&format!(
+            "select count(*) from SpecLine where specObjID = {spec_obj_id}"
+        ))?;
+        Some(SpectrumSummary {
+            spec_obj_id,
+            plate_id: spec.rows[0][1].as_i64().unwrap_or(0),
+            z: spec.rows[0][2].as_f64().unwrap_or(0.0),
+            z_conf: spec.rows[0][3].as_f64().unwrap_or(0.0),
+            spec_class: spec.rows[0][4].as_i64().unwrap_or(0),
+            line_count: lines.scalar().and_then(Value::as_i64).unwrap_or(0),
+        })
+    };
+
+    let mut cross_matches = Vec::new();
+    for survey in ["USNO", "ROSAT", "FIRST"] {
+        let n = server.query(&format!(
+            "select count(*) from {survey} where objID = {obj_id}"
+        ))?;
+        if n.scalar().and_then(Value::as_i64).unwrap_or(0) > 0 {
+            cross_matches.push(survey.to_string());
+        }
+    }
+
+    Ok(ObjectSummary {
+        obj_id,
+        ra: get("ra").as_f64().unwrap_or(0.0),
+        dec: get("dec").as_f64().unwrap_or(0.0),
+        obj_type: get("type").as_i64().unwrap_or(0),
+        flags: get("flags").as_i64().unwrap_or(0),
+        attributes,
+        neighbors,
+        spectrum,
+        cross_matches,
+        url: format!("{EXPLORE_URL}{obj_id}"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::SkyServerBuilder;
+
+    #[test]
+    fn explore_returns_full_record() {
+        let mut server = SkyServerBuilder::new().tiny().build().unwrap();
+        // Pick an object that definitely has a spectrum so the drill-down is
+        // maximal.
+        let with_spec = server
+            .query("select top 1 objID from SpecObj")
+            .unwrap()
+            .scalar()
+            .unwrap()
+            .as_i64()
+            .unwrap();
+        let summary = server.explore(with_spec).unwrap();
+        assert_eq!(summary.obj_id, with_spec);
+        assert_eq!(summary.attributes.len(), 54);
+        assert!(summary.url.ends_with(&with_spec.to_string()));
+        let spectrum = summary.spectrum.expect("targeted object has a spectrum");
+        assert!(spectrum.line_count > 0);
+    }
+
+    #[test]
+    fn explore_missing_object_errors() {
+        let mut server = SkyServerBuilder::new().tiny().build().unwrap();
+        assert!(server.explore(-1).is_err());
+    }
+}

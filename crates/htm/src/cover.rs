@@ -1,0 +1,274 @@
+//! Region covers: turning a sky region into a list of HTM id ranges.
+//!
+//! This is the Rust equivalent of the SkyServer's `spHTM_Cover(<area>)`
+//! table-valued function: given an area (circle, half-space intersection or
+//! polygon) it returns rows of `[start, end)` HTM id ranges at the object
+//! depth (20 by default).  Joining those ranges against a B-tree index on the
+//! `htmID` column restricts a spatial search to a handful of triangles.
+
+use crate::region::{Convex, Coverage};
+use crate::trixel::{id_range_at_depth, root_trixels, Trixel, SDSS_DEPTH};
+
+/// A half-open range `[lo, hi)` of HTM ids at the *object* depth, tagged with
+/// whether the underlying trixels are fully inside the region (`full`) or
+/// only partially overlap it (in which case candidates must be re-checked
+/// against the exact region).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HtmRange {
+    pub lo: u64,
+    pub hi: u64,
+    pub full: bool,
+}
+
+impl HtmRange {
+    /// Number of depth-`object_depth` trixels covered by the range.
+    pub fn len(&self) -> u64 {
+        self.hi - self.lo
+    }
+
+    /// True when the range covers no trixels.
+    pub fn is_empty(&self) -> bool {
+        self.hi <= self.lo
+    }
+
+    /// True if the object-depth id falls in this range.
+    pub fn contains(&self, id: u64) -> bool {
+        self.lo <= id && id < self.hi
+    }
+}
+
+/// Options controlling the cover computation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoverOptions {
+    /// Depth at which partial trixels stop being subdivided.
+    pub cover_depth: u8,
+    /// Depth of the ids stored on objects (ranges are emitted at this depth).
+    pub object_depth: u8,
+    /// Upper bound on the number of ranges before subdivision stops early.
+    pub max_ranges: usize,
+}
+
+impl Default for CoverOptions {
+    fn default() -> Self {
+        CoverOptions {
+            cover_depth: 10,
+            object_depth: SDSS_DEPTH,
+            max_ranges: 4096,
+        }
+    }
+}
+
+/// The result of covering a region: a sorted, merged list of id ranges.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HtmCover {
+    ranges: Vec<HtmRange>,
+}
+
+impl HtmCover {
+    /// The ranges, sorted by `lo` and non-overlapping.
+    pub fn ranges(&self) -> &[HtmRange] {
+        &self.ranges
+    }
+
+    /// Number of ranges.
+    pub fn len(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// True if the cover is empty (region missed the mesh entirely --
+    /// impossible for non-degenerate regions).
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// Does an object-depth HTM id fall inside the cover?
+    pub fn contains(&self, id: u64) -> bool {
+        // Binary search over the sorted ranges.
+        let idx = self.ranges.partition_point(|r| r.hi <= id);
+        self.ranges.get(idx).map_or(false, |r| r.contains(id))
+    }
+
+    /// Total number of object-depth trixels covered.
+    pub fn total_trixels(&self) -> u64 {
+        self.ranges.iter().map(HtmRange::len).sum()
+    }
+}
+
+/// Compute the HTM cover of a convex region with default options.
+pub fn cover(region: &Convex) -> HtmCover {
+    cover_with(region, CoverOptions::default())
+}
+
+/// Compute the HTM cover of a convex region.
+pub fn cover_with(region: &Convex, opts: CoverOptions) -> HtmCover {
+    assert!(
+        opts.cover_depth <= opts.object_depth,
+        "cover depth must not exceed object depth"
+    );
+    let mut out: Vec<HtmRange> = Vec::new();
+    let mut stack: Vec<Trixel> = root_trixels().to_vec();
+    while let Some(t) = stack.pop() {
+        match region.classify(&t) {
+            Coverage::Outside => {}
+            Coverage::Full => push_range(&mut out, &t, opts.object_depth, true),
+            Coverage::Partial => {
+                if t.depth() >= opts.cover_depth || out.len() >= opts.max_ranges {
+                    push_range(&mut out, &t, opts.object_depth, false);
+                } else {
+                    stack.extend(t.children());
+                }
+            }
+        }
+    }
+    HtmCover {
+        ranges: merge_ranges(out),
+    }
+}
+
+fn push_range(out: &mut Vec<HtmRange>, t: &Trixel, object_depth: u8, full: bool) {
+    let (lo, hi) = id_range_at_depth(t.id, object_depth);
+    out.push(HtmRange { lo, hi, full });
+}
+
+/// Sort and merge adjacent/overlapping ranges.  Ranges with different
+/// `full` flags are only merged when both are full or both are partial, so a
+/// consumer can skip the exact-distance re-check for full ranges.
+fn merge_ranges(mut ranges: Vec<HtmRange>) -> Vec<HtmRange> {
+    ranges.sort_by_key(|r| (r.lo, r.hi));
+    let mut merged: Vec<HtmRange> = Vec::with_capacity(ranges.len());
+    for r in ranges {
+        if let Some(last) = merged.last_mut() {
+            if r.lo <= last.hi && r.full == last.full {
+                last.hi = last.hi.max(r.hi);
+                continue;
+            }
+        }
+        merged.push(r);
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mesh::lookup_id;
+    use crate::region::Convex;
+    use crate::vector::Vec3;
+
+    #[test]
+    fn cover_of_small_circle_is_small() {
+        let region = Convex::circle(185.0, -0.5, 1.0 / 60.0); // 1 arcminute
+        let c = cover(&region);
+        assert!(!c.is_empty());
+        assert!(c.len() < 64, "1' circle should need few ranges, got {}", c.len());
+        // The fraction of the sphere covered should be tiny.
+        let total = c.total_trixels() as f64;
+        let sphere = 8.0 * 4f64.powi(i32::from(SDSS_DEPTH));
+        assert!(total / sphere < 1e-6);
+    }
+
+    #[test]
+    fn cover_contains_ids_of_points_inside_region() {
+        let region = Convex::circle(200.0, 15.0, 0.5);
+        let c = cover(&region);
+        // Points inside the region must have covered HTM ids: this is the
+        // completeness property the database join relies on.
+        for i in 0..30 {
+            for j in 0..30 {
+                let ra = 199.5 + i as f64 * (1.0 / 30.0);
+                let dec = 14.5 + j as f64 * (1.0 / 30.0);
+                if region.contains_radec(ra, dec) {
+                    let id = lookup_id(ra, dec, SDSS_DEPTH);
+                    assert!(c.contains(id), "point ({ra},{dec}) id {id} missing from cover");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn full_ranges_really_are_inside() {
+        let region = Convex::circle(100.0, 40.0, 2.0);
+        let c = cover_with(
+            &region,
+            CoverOptions {
+                cover_depth: 8,
+                ..CoverOptions::default()
+            },
+        );
+        let full: Vec<&HtmRange> = c.ranges().iter().filter(|r| r.full).collect();
+        assert!(!full.is_empty(), "a 2-degree circle should have full trixels at depth 8");
+    }
+
+    #[test]
+    fn ranges_are_sorted_and_disjoint() {
+        let region = Convex::rect(150.0, 160.0, 0.0, 5.0);
+        let c = cover(&region);
+        let rs = c.ranges();
+        for w in rs.windows(2) {
+            assert!(w[0].hi <= w[1].lo, "ranges overlap: {:?} {:?}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn polygon_cover_contains_polygon_points() {
+        let poly = Convex::polygon(&[(10.0, 0.0), (12.0, 0.0), (12.0, 2.0), (10.0, 2.0)]);
+        let c = cover(&poly);
+        let p = Vec3::from_radec(11.0, 1.0);
+        assert!(poly.contains(p));
+        let id = lookup_id(11.0, 1.0, SDSS_DEPTH);
+        assert!(c.contains(id));
+    }
+
+    #[test]
+    fn deeper_cover_is_tighter() {
+        let region = Convex::circle(250.0, -30.0, 0.25);
+        let coarse = cover_with(
+            &region,
+            CoverOptions {
+                cover_depth: 6,
+                ..CoverOptions::default()
+            },
+        );
+        let fine = cover_with(
+            &region,
+            CoverOptions {
+                cover_depth: 12,
+                ..CoverOptions::default()
+            },
+        );
+        assert!(
+            fine.total_trixels() < coarse.total_trixels(),
+            "finer cover should enclose fewer object-depth trixels"
+        );
+    }
+
+    #[test]
+    fn merge_ranges_collapses_adjacent() {
+        let merged = merge_ranges(vec![
+            HtmRange { lo: 0, hi: 4, full: false },
+            HtmRange { lo: 4, hi: 8, full: false },
+            HtmRange { lo: 10, hi: 12, full: true },
+            HtmRange { lo: 12, hi: 16, full: true },
+            HtmRange { lo: 20, hi: 24, full: false },
+        ]);
+        assert_eq!(
+            merged,
+            vec![
+                HtmRange { lo: 0, hi: 8, full: false },
+                HtmRange { lo: 10, hi: 16, full: true },
+                HtmRange { lo: 20, hi: 24, full: false },
+            ]
+        );
+    }
+
+    #[test]
+    fn range_contains() {
+        let r = HtmRange { lo: 100, hi: 200, full: false };
+        assert!(r.contains(100));
+        assert!(r.contains(199));
+        assert!(!r.contains(200));
+        assert!(!r.contains(99));
+        assert_eq!(r.len(), 100);
+        assert!(!r.is_empty());
+    }
+}

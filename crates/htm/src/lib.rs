@@ -1,0 +1,111 @@
+//! # skyserver-htm
+//!
+//! A from-scratch implementation of the Johns Hopkins **Hierarchical
+//! Triangular Mesh** (HTM) used by the SDSS SkyServer for spatial indexing
+//! of the celestial sphere (Szalay et al., SIGMOD 2002, §9.1.4).
+//!
+//! The sphere is inscribed in an octahedron; each of the 8 faces is
+//! recursively split into 4 spherical triangles ("trixels").  A point's HTM
+//! id encodes the path from the root face down to the containing trixel, so
+//!
+//! * nearby points share id prefixes,
+//! * every trixel's descendants occupy a contiguous id range, and therefore
+//! * an ordinary B-tree on the id column answers "all objects in this sky
+//!   region" queries by scanning a handful of id ranges.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use skyserver_htm::{lookup_id, Convex, cover, SDSS_DEPTH};
+//!
+//! // The htmID stored on a PhotoObj row:
+//! let id = lookup_id(185.0, -0.5, SDSS_DEPTH);
+//!
+//! // The id ranges a query for "objects within 1 arcminute" must scan:
+//! let region = Convex::circle_arcmin(185.0, -0.5, 1.0);
+//! let ranges = cover(&region);
+//! assert!(ranges.contains(id));
+//! ```
+
+pub mod cover;
+pub mod mesh;
+pub mod region;
+pub mod trixel;
+pub mod vector;
+
+pub use cover::{cover, cover_with, CoverOptions, HtmCover, HtmRange};
+pub use mesh::{lookup_id, lookup_id_vec, lookup_trixel, lookup_trixel_vec, trixel_of_id};
+pub use region::{Convex, Coverage, Halfspace};
+pub use trixel::{
+    depth_of_id, id_range_at_depth, id_to_name, is_valid_id, name_to_id, parent_id, root_trixels,
+    Trixel, MAX_DEPTH, SDSS_DEPTH,
+};
+pub use vector::{angular_distance_arcmin, angular_distance_deg, Vec3};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_radec() -> impl Strategy<Value = (f64, f64)> {
+        (0.0..360.0f64, -89.9..89.9f64)
+    }
+
+    proptest! {
+        /// The trixel returned by lookup always contains the point.
+        #[test]
+        fn lookup_contains_point((ra, dec) in arb_radec(), depth in 0u8..16) {
+            let t = lookup_trixel(ra, dec, depth);
+            prop_assert!(t.contains(Vec3::from_radec(ra, dec)));
+        }
+
+        /// Round-tripping (ra, dec) through the unit vector is stable.
+        #[test]
+        fn radec_vector_round_trip((ra, dec) in arb_radec()) {
+            let (ra2, dec2) = Vec3::from_radec(ra, dec).to_radec();
+            prop_assert!((ra - ra2).abs() < 1e-8 || (ra - ra2).abs() > 359.9);
+            prop_assert!((dec - dec2).abs() < 1e-8);
+        }
+
+        /// Every point inside a circular region has its id covered by the
+        /// region's HTM cover (completeness of the spatial index path).
+        #[test]
+        fn cover_is_complete((ra, dec) in (5.0..355.0f64, -80.0..80.0f64),
+                             radius in 0.01..2.0f64,
+                             dra in -1.0..1.0f64, ddec in -1.0..1.0f64) {
+            let region = Convex::circle(ra, dec, radius);
+            let c = cover(&region);
+            let pra = ra + dra * radius;
+            let pdec = (dec + ddec * radius).clamp(-89.9, 89.9);
+            if region.contains_radec(pra, pdec) {
+                let id = lookup_id(pra, pdec, SDSS_DEPTH);
+                prop_assert!(c.contains(id));
+            }
+        }
+
+        /// HTM names round-trip through ids.
+        #[test]
+        fn name_id_round_trip((ra, dec) in arb_radec(), depth in 0u8..20) {
+            let id = lookup_id(ra, dec, depth);
+            let name = id_to_name(id);
+            prop_assert_eq!(name_to_id(&name).unwrap(), id);
+        }
+
+        /// Deeper ids always descend from shallower ids of the same point.
+        #[test]
+        fn id_prefix_property((ra, dec) in arb_radec(), d1 in 0u8..10, extra in 1u8..10) {
+            let shallow = lookup_id(ra, dec, d1);
+            let deep = lookup_id(ra, dec, d1 + extra);
+            prop_assert_eq!(deep >> (2 * u32::from(extra)), shallow);
+        }
+
+        /// Arc angles are symmetric and within [0, 180].
+        #[test]
+        fn arc_angle_bounds((ra1, dec1) in arb_radec(), (ra2, dec2) in arb_radec()) {
+            let d = angular_distance_deg(ra1, dec1, ra2, dec2);
+            prop_assert!((0.0..=180.0001).contains(&d));
+            let d2 = angular_distance_deg(ra2, dec2, ra1, dec1);
+            prop_assert!((d - d2).abs() < 1e-9);
+        }
+    }
+}

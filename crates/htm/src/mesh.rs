@@ -1,0 +1,172 @@
+//! Point-to-trixel lookup: the core HTM operation.
+//!
+//! `lookup_id(ra, dec, depth)` walks the mesh from the octahedron root down
+//! to `depth` levels, returning the 64-bit id of the trixel containing the
+//! point.  At the SDSS depth of 20 the triangles are ~0.1 arcseconds on a
+//! side, so the id is effectively a spatial hash with locality: nearby points
+//! share long id prefixes and therefore sit close together in a B-tree.
+
+use crate::trixel::{root_trixels, Trixel, MAX_DEPTH};
+use crate::vector::Vec3;
+
+/// Find the trixel of `depth` containing the unit vector `p`.
+pub fn lookup_trixel_vec(p: Vec3, depth: u8) -> Trixel {
+    assert!(depth <= MAX_DEPTH, "depth {depth} exceeds MAX_DEPTH");
+    let p = p.normalized();
+    let roots = root_trixels();
+    // Pick the containing root; fall back to the closest one by centre to be
+    // robust against points exactly on shared edges.
+    let mut current = *roots
+        .iter()
+        .find(|t| t.contains(p))
+        .unwrap_or_else(|| {
+            roots
+                .iter()
+                .min_by(|a, b| {
+                    a.center()
+                        .arc_angle_deg(p)
+                        .partial_cmp(&b.center().arc_angle_deg(p))
+                        .unwrap()
+                })
+                .expect("there are always 8 roots")
+        });
+    for _ in 0..depth {
+        let children = current.children();
+        current = *children
+            .iter()
+            .find(|t| t.contains(p))
+            .unwrap_or_else(|| {
+                children
+                    .iter()
+                    .min_by(|a, b| {
+                        a.center()
+                            .arc_angle_deg(p)
+                            .partial_cmp(&b.center().arc_angle_deg(p))
+                            .unwrap()
+                    })
+                    .expect("a trixel always has 4 children")
+            });
+    }
+    current
+}
+
+/// Find the trixel of `depth` containing the `(ra, dec)` point (degrees).
+pub fn lookup_trixel(ra_deg: f64, dec_deg: f64, depth: u8) -> Trixel {
+    lookup_trixel_vec(Vec3::from_radec(ra_deg, dec_deg), depth)
+}
+
+/// HTM id of `(ra, dec)` at `depth`.  This is the value stored in the
+/// `htmID` column of `PhotoObj` and `SpecObj`.
+pub fn lookup_id(ra_deg: f64, dec_deg: f64, depth: u8) -> u64 {
+    lookup_trixel(ra_deg, dec_deg, depth).id
+}
+
+/// HTM id of a unit vector at `depth`.
+pub fn lookup_id_vec(p: Vec3, depth: u8) -> u64 {
+    lookup_trixel_vec(p, depth).id
+}
+
+/// Reconstruct the trixel (with vertices) for an HTM id by replaying the
+/// subdivision path encoded in the id.
+pub fn trixel_of_id(id: u64) -> Trixel {
+    assert!(crate::trixel::is_valid_id(id), "invalid HTM id {id}");
+    let depth = crate::trixel::depth_of_id(id);
+    // Extract the path: root index then child digits, most-significant first.
+    let mut digits = Vec::with_capacity(depth as usize);
+    let mut cur = id;
+    for _ in 0..depth {
+        digits.push((cur & 3) as usize);
+        cur >>= 2;
+    }
+    let root_index = (cur - 8) as usize;
+    let mut t = root_trixels()[root_index];
+    for &d in digits.iter().rev() {
+        t = t.children()[d];
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trixel::{depth_of_id, SDSS_DEPTH};
+
+    #[test]
+    fn lookup_depth_zero_gives_root() {
+        let id = lookup_id(45.0, 45.0, 0);
+        assert!((8..=15).contains(&id));
+    }
+
+    #[test]
+    fn lookup_id_has_requested_depth() {
+        for depth in [0u8, 1, 5, 10, 20] {
+            let id = lookup_id(185.0, -0.5, depth);
+            assert_eq!(depth_of_id(id), depth);
+        }
+    }
+
+    #[test]
+    fn containing_trixel_really_contains_the_point() {
+        for &(ra, dec) in &[
+            (0.1, 0.1),
+            (185.0, -0.5),
+            (359.0, 80.0),
+            (90.0, -45.0),
+            (123.456, 7.89),
+            (271.0, -89.0),
+        ] {
+            let p = Vec3::from_radec(ra, dec);
+            let t = lookup_trixel(ra, dec, 12);
+            assert!(t.contains(p), "trixel {} does not contain ({ra},{dec})", t.name());
+        }
+    }
+
+    #[test]
+    fn nearby_points_share_id_prefixes() {
+        let a = lookup_id(185.0, -0.5, SDSS_DEPTH);
+        let b = lookup_id(185.0 + 1e-4, -0.5 + 1e-4, SDSS_DEPTH);
+        let far = lookup_id(5.0, 60.0, SDSS_DEPTH);
+        // Shared prefix length in 2-bit digits (negative when the points do
+        // not even share a root trixel).
+        let shared = |x: u64, y: u64| {
+            let mut x = x;
+            let mut y = y;
+            let mut lvl = i32::from(SDSS_DEPTH);
+            while x != y {
+                x >>= 2;
+                y >>= 2;
+                lvl -= 1;
+            }
+            lvl
+        };
+        assert!(shared(a, b) > shared(a, far));
+    }
+
+    #[test]
+    fn id_difference_bounds_distance() {
+        // Objects in the same depth-20 trixel are within ~0.2 arcsec.
+        let t = lookup_trixel(200.0, 10.0, SDSS_DEPTH);
+        assert!(t.bounding_radius_deg() * 3600.0 < 1.0);
+    }
+
+    #[test]
+    fn trixel_of_id_round_trips() {
+        for &(ra, dec) in &[(10.0, 10.0), (185.0, -0.5), (300.0, 60.0)] {
+            for depth in [3u8, 8, 14, 20] {
+                let t = lookup_trixel(ra, dec, depth);
+                let rebuilt = trixel_of_id(t.id);
+                assert_eq!(rebuilt.id, t.id);
+                for (a, b) in rebuilt.v.iter().zip(t.v.iter()) {
+                    assert!((*a - *b).norm() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deeper_lookup_descends_from_shallower() {
+        let shallow = lookup_id(42.0, 17.0, 6);
+        let deep = lookup_id(42.0, 17.0, 12);
+        assert_eq!(deep >> (2 * 6), shallow);
+    }
+}

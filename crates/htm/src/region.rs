@@ -1,0 +1,290 @@
+//! Sky regions used by the spatial cover functions.
+//!
+//! Regions follow the SkyServer `spHTM_Cover(<area>)` interface: an area can
+//! be a **circle** (ra, dec, radius), a **half-space** (the intersection of
+//! planes with the unit sphere) or a **convex polygon** given by a sequence
+//! of vertices.  Internally everything is represented as a [`Convex`]: an
+//! intersection of half-spaces, which makes the trixel classification logic
+//! uniform.
+
+use crate::trixel::Trixel;
+use crate::vector::{Vec3, DEG};
+
+/// A half-space: the set of unit vectors `p` with `p · normal >= distance`.
+///
+/// A circular cap of angular radius `r` around a direction `c` is the
+/// half-space `(c, cos r)`; a great circle has `distance = 0`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Halfspace {
+    /// Unit normal of the bounding plane.
+    pub normal: Vec3,
+    /// Signed distance of the plane from the origin, in `[-1, 1]`.
+    pub distance: f64,
+}
+
+impl Halfspace {
+    /// Construct from a normal (normalised internally) and distance.
+    pub fn new(normal: Vec3, distance: f64) -> Self {
+        Halfspace {
+            normal: normal.normalized(),
+            distance,
+        }
+    }
+
+    /// The cap of angular `radius_deg` degrees around `(ra, dec)`.
+    pub fn cap(ra_deg: f64, dec_deg: f64, radius_deg: f64) -> Self {
+        Halfspace {
+            normal: Vec3::from_radec(ra_deg, dec_deg),
+            distance: (radius_deg * DEG).cos(),
+        }
+    }
+
+    /// Does the half-space contain the point?
+    pub fn contains(&self, p: Vec3) -> bool {
+        self.normal.dot(p) >= self.distance
+    }
+
+    /// Angular radius of the cap in degrees (only meaningful for
+    /// `distance >= -1`).
+    pub fn radius_deg(&self) -> f64 {
+        self.distance.clamp(-1.0, 1.0).acos() * crate::vector::RAD
+    }
+}
+
+/// How a trixel relates to a region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Coverage {
+    /// The trixel is entirely inside the region.
+    Full,
+    /// The trixel may partially overlap the region.
+    Partial,
+    /// The trixel is entirely outside the region.
+    Outside,
+}
+
+/// A convex sky region: the intersection of one or more half-spaces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Convex {
+    halfspaces: Vec<Halfspace>,
+}
+
+impl Convex {
+    /// A convex made of the given half-spaces.  At least one is required.
+    pub fn new(halfspaces: Vec<Halfspace>) -> Self {
+        assert!(!halfspaces.is_empty(), "a Convex needs at least one halfspace");
+        Convex { halfspaces }
+    }
+
+    /// Circle region: all points within `radius_deg` of `(ra, dec)`.
+    pub fn circle(ra_deg: f64, dec_deg: f64, radius_deg: f64) -> Self {
+        Convex::new(vec![Halfspace::cap(ra_deg, dec_deg, radius_deg)])
+    }
+
+    /// Circle region with the radius in arcminutes (the unit of
+    /// `fGetNearbyObjEq`).
+    pub fn circle_arcmin(ra_deg: f64, dec_deg: f64, radius_arcmin: f64) -> Self {
+        Convex::circle(ra_deg, dec_deg, radius_arcmin / 60.0)
+    }
+
+    /// Rectangle in (ra, dec): the intersection of four great/small circles.
+    /// `ra` bounds wrap is not handled (callers split at the wrap point).
+    pub fn rect(ra_min: f64, ra_max: f64, dec_min: f64, dec_max: f64) -> Self {
+        assert!(ra_min < ra_max && dec_min < dec_max, "degenerate rectangle");
+        // Declination band: two caps around the poles.
+        let north = Halfspace {
+            normal: Vec3::new(0.0, 0.0, 1.0),
+            distance: (dec_min * DEG).sin(),
+        };
+        let south = Halfspace {
+            normal: Vec3::new(0.0, 0.0, -1.0),
+            distance: -(dec_max * DEG).sin(),
+        };
+        // RA wedge: two half-spaces whose normals are the "inward" tangents of
+        // the bounding meridians.
+        let lo = Halfspace {
+            normal: Vec3::new(-(ra_min * DEG).sin(), (ra_min * DEG).cos(), 0.0),
+            distance: 0.0,
+        };
+        let hi = Halfspace {
+            normal: Vec3::new((ra_max * DEG).sin(), -(ra_max * DEG).cos(), 0.0),
+            distance: 0.0,
+        };
+        Convex::new(vec![north, south, lo, hi])
+    }
+
+    /// Convex spherical polygon from vertices given in counter-clockwise
+    /// order (as seen from outside the sphere).  Each edge contributes the
+    /// great-circle half-space containing the polygon.
+    pub fn polygon(vertices: &[(f64, f64)]) -> Self {
+        assert!(vertices.len() >= 3, "polygon needs at least 3 vertices");
+        let pts: Vec<Vec3> = vertices
+            .iter()
+            .map(|&(ra, dec)| Vec3::from_radec(ra, dec))
+            .collect();
+        let mut hs = Vec::with_capacity(pts.len());
+        for i in 0..pts.len() {
+            let a = pts[i];
+            let b = pts[(i + 1) % pts.len()];
+            hs.push(Halfspace::new(a.cross(b), 0.0));
+        }
+        Convex::new(hs)
+    }
+
+    /// The half-spaces making up this convex.
+    pub fn halfspaces(&self) -> &[Halfspace] {
+        &self.halfspaces
+    }
+
+    /// Point-in-region test.
+    pub fn contains(&self, p: Vec3) -> bool {
+        self.halfspaces.iter().all(|h| h.contains(p))
+    }
+
+    /// Point-in-region test from equatorial coordinates.
+    pub fn contains_radec(&self, ra_deg: f64, dec_deg: f64) -> bool {
+        self.contains(Vec3::from_radec(ra_deg, dec_deg))
+    }
+
+    /// Classify a trixel against this region.
+    ///
+    /// The test is *conservative*: `Full` and `Outside` are only returned
+    /// when provably correct, otherwise `Partial`.  It uses the trixel's
+    /// bounding cap (centre `c`, angular radius `rho`): for a half-space with
+    /// normal `n` and distance `d = cos(theta)`,
+    ///
+    /// * the whole cap is inside  when `angle(n,c) + rho <= theta`,
+    /// * the whole cap is outside when `angle(n,c) - rho >  theta`.
+    pub fn classify(&self, trixel: &Trixel) -> Coverage {
+        let c = trixel.center();
+        let rho = trixel.bounding_radius_deg() * DEG;
+        let mut full = true;
+        for h in &self.halfspaces {
+            let theta = h.distance.clamp(-1.0, 1.0).acos();
+            let gamma = h.normal.dot(c).clamp(-1.0, 1.0).acos();
+            if gamma - rho > theta {
+                return Coverage::Outside;
+            }
+            if gamma + rho > theta {
+                full = false;
+            }
+        }
+        if full {
+            Coverage::Full
+        } else {
+            Coverage::Partial
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trixel::root_trixels;
+
+    #[test]
+    fn cap_contains_its_center_and_excludes_antipode() {
+        let h = Halfspace::cap(185.0, -0.5, 1.0);
+        assert!(h.contains(Vec3::from_radec(185.0, -0.5)));
+        assert!(!h.contains(Vec3::from_radec(5.0, 0.5)));
+        assert!((h.radius_deg() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn circle_contains_points_within_radius_only() {
+        let c = Convex::circle(100.0, 30.0, 0.5);
+        assert!(c.contains_radec(100.0, 30.0));
+        assert!(c.contains_radec(100.0, 30.4));
+        assert!(!c.contains_radec(100.0, 30.6));
+        assert!(!c.contains_radec(101.0, 30.0));
+    }
+
+    #[test]
+    fn circle_arcmin_matches_degrees() {
+        let a = Convex::circle(10.0, 10.0, 0.25);
+        let b = Convex::circle_arcmin(10.0, 10.0, 15.0);
+        assert!(a.contains_radec(10.0, 10.2) == b.contains_radec(10.0, 10.2));
+        assert!(a.contains_radec(10.0, 10.3) == b.contains_radec(10.0, 10.3));
+    }
+
+    #[test]
+    fn rect_contains_interior_excludes_exterior() {
+        let r = Convex::rect(180.0, 190.0, -5.0, 5.0);
+        assert!(r.contains_radec(185.0, 0.0));
+        assert!(r.contains_radec(180.5, -4.5));
+        assert!(!r.contains_radec(179.0, 0.0));
+        assert!(!r.contains_radec(191.0, 0.0));
+        assert!(!r.contains_radec(185.0, 6.0));
+        assert!(!r.contains_radec(185.0, -6.0));
+    }
+
+    #[test]
+    fn polygon_contains_centroid() {
+        let p = Convex::polygon(&[(10.0, 10.0), (20.0, 10.0), (20.0, 20.0), (10.0, 20.0)]);
+        assert!(p.contains_radec(15.0, 15.0));
+        assert!(!p.contains_radec(25.0, 15.0));
+        assert!(!p.contains_radec(15.0, 25.0));
+    }
+
+    #[test]
+    fn classify_small_circle_against_roots() {
+        let region = Convex::circle(45.0, 45.0, 0.1);
+        let roots = root_trixels();
+        let mut partial = 0;
+        let mut outside = 0;
+        for t in &roots {
+            match region.classify(t) {
+                Coverage::Full => panic!("a root trixel cannot be inside a 0.1 deg circle"),
+                Coverage::Partial => partial += 1,
+                Coverage::Outside => outside += 1,
+            }
+        }
+        assert!(partial >= 1);
+        assert!(outside >= 4, "most roots are far from the circle");
+    }
+
+    #[test]
+    fn classify_full_when_trixel_deep_inside_big_circle() {
+        // A 60-degree cap around the north pole fully contains small trixels
+        // near the pole.
+        let region = Convex::circle(0.0, 90.0, 60.0);
+        let mut t = root_trixels()[7]; // N3 touches the pole
+        for _ in 0..6 {
+            t = t.children()[0]; // child 0 keeps corner 0 = near the pole side
+        }
+        // Find a deep trixel whose center is near the pole.
+        let c = t.center();
+        let (_, dec) = c.to_radec();
+        if dec > 40.0 {
+            assert_eq!(region.classify(&t), Coverage::Full);
+        }
+    }
+
+    #[test]
+    fn classification_is_conservative() {
+        // For random trixels and a mid-size circle, Full implies all corners
+        // inside and Outside implies all corners outside.
+        let region = Convex::circle(200.0, -20.0, 5.0);
+        let mut stack: Vec<Trixel> = root_trixels().to_vec();
+        let mut checked = 0;
+        while let Some(t) = stack.pop() {
+            if t.depth() < 4 {
+                stack.extend(t.children());
+            }
+            match region.classify(&t) {
+                Coverage::Full => {
+                    for v in &t.v {
+                        assert!(region.contains(*v));
+                    }
+                }
+                Coverage::Outside => {
+                    for v in &t.v {
+                        assert!(!region.contains(*v));
+                    }
+                }
+                Coverage::Partial => {}
+            }
+            checked += 1;
+        }
+        assert!(checked > 8);
+    }
+}

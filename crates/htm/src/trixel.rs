@@ -1,0 +1,380 @@
+//! Trixels: the spherical triangles of the Hierarchical Triangular Mesh.
+//!
+//! The mesh starts from the 8 faces of an octahedron inscribed in the
+//! celestial sphere (4 "north" and 4 "south" trixels).  Each trixel is
+//! recursively split into 4 children by the midpoints of its edges.  A
+//! trixel's id is a 64-bit integer: the level-0 ids are 8..=15
+//! (`0b1000`..`0b1111`), and each level appends two bits (the child index
+//! 0..=3), i.e. `child_id = parent_id * 4 + k`.  Consequently **all
+//! descendants of a trixel occupy a contiguous id range**, which is what lets
+//! a plain B-tree on the HTM id answer spatial range queries -- the trick the
+//! SkyServer grafts onto SQL Server.
+
+use crate::vector::Vec3;
+use std::fmt;
+
+/// Maximum subdivision depth supported by the 64-bit id encoding.
+/// (4 bits for the root + 2 bits per level; the paper uses depth 20.)
+pub const MAX_DEPTH: u8 = 28;
+
+/// The depth used by the SDSS SkyServer for object ids (triangles ~0.1" on a
+/// side).
+pub const SDSS_DEPTH: u8 = 20;
+
+/// A trixel: a spherical triangle at some depth of the mesh, identified by
+/// its HTM id and carrying its three unit-vector corners.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Trixel {
+    /// HTM id of this trixel (encodes the depth).
+    pub id: u64,
+    /// Corner vertices (unit vectors), in the conventional HTM order.
+    pub v: [Vec3; 3],
+}
+
+/// The six octahedron vertices used to seed the mesh.
+fn octahedron() -> [Vec3; 6] {
+    [
+        Vec3::new(0.0, 0.0, 1.0),  // v0: north pole
+        Vec3::new(1.0, 0.0, 0.0),  // v1: ra=0
+        Vec3::new(0.0, 1.0, 0.0),  // v2: ra=90
+        Vec3::new(-1.0, 0.0, 0.0), // v3: ra=180
+        Vec3::new(0.0, -1.0, 0.0), // v4: ra=270
+        Vec3::new(0.0, 0.0, -1.0), // v5: south pole
+    ]
+}
+
+/// The 8 level-0 trixels, ids 8..=15, in the canonical S0..S3, N0..N3 order.
+pub fn root_trixels() -> [Trixel; 8] {
+    let o = octahedron();
+    [
+        Trixel { id: 8, v: [o[1], o[5], o[2]] },  // S0
+        Trixel { id: 9, v: [o[2], o[5], o[3]] },  // S1
+        Trixel { id: 10, v: [o[3], o[5], o[4]] }, // S2
+        Trixel { id: 11, v: [o[4], o[5], o[1]] }, // S3
+        Trixel { id: 12, v: [o[1], o[0], o[4]] }, // N0
+        Trixel { id: 13, v: [o[4], o[0], o[3]] }, // N1
+        Trixel { id: 14, v: [o[3], o[0], o[2]] }, // N2
+        Trixel { id: 15, v: [o[2], o[0], o[1]] }, // N3
+    ]
+}
+
+impl Trixel {
+    /// Depth of this trixel (0 for the 8 octahedron faces).
+    pub fn depth(&self) -> u8 {
+        depth_of_id(self.id)
+    }
+
+    /// Split into the 4 child trixels using edge midpoints.
+    ///
+    /// The child ordering follows the original JHU HTM library:
+    /// child 0 keeps corner 0, child 1 keeps corner 1, child 2 keeps corner 2
+    /// and child 3 is the central triangle of the three midpoints.
+    pub fn children(&self) -> [Trixel; 4] {
+        let w0 = self.v[1].midpoint(self.v[2]);
+        let w1 = self.v[0].midpoint(self.v[2]);
+        let w2 = self.v[0].midpoint(self.v[1]);
+        let base = self.id << 2;
+        [
+            Trixel { id: base, v: [self.v[0], w2, w1] },
+            Trixel { id: base + 1, v: [self.v[1], w0, w2] },
+            Trixel { id: base + 2, v: [self.v[2], w1, w0] },
+            Trixel { id: base + 3, v: [w0, w1, w2] },
+        ]
+    }
+
+    /// True if the unit vector `p` lies inside (or on the boundary of) this
+    /// spherical triangle.
+    ///
+    /// A point is inside when it is on the non-negative side of the three
+    /// great-circle planes through consecutive corner pairs (corners are
+    /// ordered counter-clockwise as seen from outside the sphere).
+    pub fn contains(&self, p: Vec3) -> bool {
+        const EPS: f64 = -1e-12;
+        self.v[0].cross(self.v[1]).dot(p) >= EPS
+            && self.v[1].cross(self.v[2]).dot(p) >= EPS
+            && self.v[2].cross(self.v[0]).dot(p) >= EPS
+    }
+
+    /// Geometric centre of the trixel, projected onto the sphere.
+    pub fn center(&self) -> Vec3 {
+        (self.v[0] + self.v[1] + self.v[2]).normalized()
+    }
+
+    /// Angular radius (degrees) of the bounding cap around [`Trixel::center`].
+    pub fn bounding_radius_deg(&self) -> f64 {
+        let c = self.center();
+        self.v
+            .iter()
+            .map(|&v| c.arc_angle_deg(v))
+            .fold(0.0, f64::max)
+    }
+
+    /// Approximate solid-angle area of the trixel in square degrees, using
+    /// Girard's theorem (spherical excess).
+    pub fn area_sq_deg(&self) -> f64 {
+        let a = self.v[1].arc_angle_deg(self.v[2]).to_radians();
+        let b = self.v[0].arc_angle_deg(self.v[2]).to_radians();
+        let c = self.v[0].arc_angle_deg(self.v[1]).to_radians();
+        let s = (a + b + c) / 2.0;
+        let t = ((s / 2.0).tan()
+            * ((s - a) / 2.0).tan()
+            * ((s - b) / 2.0).tan()
+            * ((s - c) / 2.0).tan())
+        .max(0.0);
+        let excess = 4.0 * t.sqrt().atan();
+        excess * crate::vector::RAD * crate::vector::RAD
+    }
+
+    /// The contiguous range of descendant ids at `depth` (exclusive upper
+    /// bound).  Requires `depth >= self.depth()`.
+    pub fn id_range_at_depth(&self, depth: u8) -> (u64, u64) {
+        id_range_at_depth(self.id, depth)
+    }
+
+    /// Human-readable HTM name, e.g. `N32` or `S0123`.
+    pub fn name(&self) -> String {
+        id_to_name(self.id)
+    }
+}
+
+/// Depth encoded in an HTM id (0 = root trixel).  Panics on ids below 8.
+pub fn depth_of_id(id: u64) -> u8 {
+    assert!(id >= 8, "HTM ids start at 8 (got {id})");
+    let bits = 64 - id.leading_zeros();
+    ((bits - 4) / 2) as u8
+}
+
+/// True if `id` is a syntactically valid HTM id (root prefix in 8..=15).
+pub fn is_valid_id(id: u64) -> bool {
+    if id < 8 {
+        return false;
+    }
+    let bits = 64 - id.leading_zeros();
+    (bits - 4) % 2 == 0 && ((bits - 4) / 2) as u8 <= MAX_DEPTH
+}
+
+/// Contiguous descendant id range `[lo, hi)` of `id` at the given `depth`.
+pub fn id_range_at_depth(id: u64, depth: u8) -> (u64, u64) {
+    let d = depth_of_id(id);
+    assert!(
+        depth >= d,
+        "requested depth {depth} is above the trixel depth {d}"
+    );
+    let shift = 2 * u32::from(depth - d);
+    (id << shift, (id + 1) << shift)
+}
+
+/// Parent id of a (non-root) trixel id.
+pub fn parent_id(id: u64) -> Option<u64> {
+    if depth_of_id(id) == 0 {
+        None
+    } else {
+        Some(id >> 2)
+    }
+}
+
+/// Convert an HTM id to its conventional name: `N`/`S` plus the root index
+/// and one digit (0-3) per level.
+pub fn id_to_name(id: u64) -> String {
+    assert!(is_valid_id(id), "invalid HTM id {id}");
+    let depth = depth_of_id(id);
+    let mut digits = Vec::with_capacity(depth as usize + 1);
+    let mut cur = id;
+    for _ in 0..depth {
+        digits.push((cur & 3) as u8);
+        cur >>= 2;
+    }
+    // cur is now 8..=15
+    let root = cur - 8;
+    let (hemi, idx) = if root < 4 { ('S', root) } else { ('N', root - 4) };
+    let mut s = String::with_capacity(depth as usize + 2);
+    s.push(hemi);
+    s.push(char::from(b'0' + idx as u8));
+    for d in digits.iter().rev() {
+        s.push(char::from(b'0' + d));
+    }
+    s
+}
+
+/// Parse a conventional HTM name (e.g. `N012`) back to its id.
+pub fn name_to_id(name: &str) -> Result<u64, HtmNameError> {
+    let bytes = name.as_bytes();
+    if bytes.len() < 2 {
+        return Err(HtmNameError::TooShort);
+    }
+    let hemi = bytes[0];
+    let root_idx = match bytes[1] {
+        b'0'..=b'3' => u64::from(bytes[1] - b'0'),
+        _ => return Err(HtmNameError::BadDigit(bytes[1] as char)),
+    };
+    let mut id = match hemi {
+        b'S' | b's' => 8 + root_idx,
+        b'N' | b'n' => 12 + root_idx,
+        other => return Err(HtmNameError::BadHemisphere(other as char)),
+    };
+    for &b in &bytes[2..] {
+        match b {
+            b'0'..=b'3' => id = (id << 2) | u64::from(b - b'0'),
+            _ => return Err(HtmNameError::BadDigit(b as char)),
+        }
+    }
+    if !is_valid_id(id) {
+        return Err(HtmNameError::TooDeep);
+    }
+    Ok(id)
+}
+
+/// Errors from [`name_to_id`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HtmNameError {
+    /// Name is shorter than the minimum `N0` / `S0` form.
+    TooShort,
+    /// First character is not `N` or `S`.
+    BadHemisphere(char),
+    /// A level digit was not in `0..=3`.
+    BadDigit(char),
+    /// The name encodes a depth beyond [`MAX_DEPTH`].
+    TooDeep,
+}
+
+impl fmt::Display for HtmNameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HtmNameError::TooShort => write!(f, "HTM name too short"),
+            HtmNameError::BadHemisphere(c) => write!(f, "bad hemisphere letter {c:?}"),
+            HtmNameError::BadDigit(c) => write!(f, "bad HTM digit {c:?}"),
+            HtmNameError::TooDeep => write!(f, "HTM name deeper than MAX_DEPTH"),
+        }
+    }
+}
+
+impl std::error::Error for HtmNameError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector::Vec3;
+
+    #[test]
+    fn eight_roots_cover_octahedron_vertices() {
+        let roots = root_trixels();
+        assert_eq!(roots.len(), 8);
+        for r in &roots {
+            assert_eq!(r.depth(), 0);
+            for v in &r.v {
+                assert!((v.norm() - 1.0).abs() < 1e-12);
+            }
+        }
+        let ids: Vec<u64> = roots.iter().map(|t| t.id).collect();
+        assert_eq!(ids, vec![8, 9, 10, 11, 12, 13, 14, 15]);
+    }
+
+    #[test]
+    fn every_point_is_in_exactly_one_root_interiorwise() {
+        // Points well inside faces should belong to exactly one root; points
+        // on edges may belong to two (boundary inclusive).
+        let p = Vec3::from_radec(45.0, 45.0);
+        let n: usize = root_trixels().iter().filter(|t| t.contains(p)).count();
+        assert!(n >= 1);
+    }
+
+    #[test]
+    fn children_partition_parent() {
+        let root = root_trixels()[7]; // N3
+        let kids = root.children();
+        assert_eq!(kids.len(), 4);
+        // Sample points inside the parent must be inside at least one child.
+        for i in 0..20 {
+            for j in 0..20 {
+                let ra = 0.5 + (i as f64) * 4.4;
+                let dec = 0.5 + (j as f64) * 4.4;
+                let p = Vec3::from_radec(ra, dec);
+                if root.contains(p) {
+                    assert!(
+                        kids.iter().any(|k| k.contains(p)),
+                        "point ({ra},{dec}) lost during subdivision"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn child_ids_are_contiguous() {
+        let root = root_trixels()[0];
+        let kids = root.children();
+        assert_eq!(kids[0].id, 32);
+        assert_eq!(kids[1].id, 33);
+        assert_eq!(kids[2].id, 34);
+        assert_eq!(kids[3].id, 35);
+        for k in &kids {
+            assert_eq!(k.depth(), 1);
+            assert_eq!(parent_id(k.id), Some(root.id));
+        }
+    }
+
+    #[test]
+    fn depth_of_id_matches_construction() {
+        let mut t = root_trixels()[4];
+        for level in 1..=10u8 {
+            t = t.children()[3];
+            assert_eq!(depth_of_id(t.id), level);
+        }
+    }
+
+    #[test]
+    fn id_range_nests() {
+        let root = root_trixels()[2];
+        let (lo, hi) = root.id_range_at_depth(SDSS_DEPTH);
+        for k in root.children() {
+            let (klo, khi) = k.id_range_at_depth(SDSS_DEPTH);
+            assert!(lo <= klo && khi <= hi);
+        }
+        assert_eq!(hi - lo, 4u64.pow(u32::from(SDSS_DEPTH)));
+    }
+
+    #[test]
+    fn name_round_trip() {
+        for name in ["N0", "S3", "N012", "S3210", "N3333333", "S0123012301"] {
+            let id = name_to_id(name).unwrap();
+            assert_eq!(id_to_name(id), name);
+        }
+    }
+
+    #[test]
+    fn name_errors() {
+        assert_eq!(name_to_id("X0"), Err(HtmNameError::BadHemisphere('X')));
+        assert_eq!(name_to_id("N"), Err(HtmNameError::TooShort));
+        assert_eq!(name_to_id("N4"), Err(HtmNameError::BadDigit('4')));
+        assert_eq!(name_to_id("N05"), Err(HtmNameError::BadDigit('5')));
+    }
+
+    #[test]
+    fn area_decreases_by_factor_four_per_level() {
+        let root = root_trixels()[5];
+        let root_area = root.area_sq_deg();
+        let child_area: f64 = root.children().iter().map(|c| c.area_sq_deg()).sum();
+        // Children tile the parent, so their areas sum to the parent's.
+        assert!((child_area - root_area).abs() / root_area < 1e-6);
+    }
+
+    #[test]
+    fn bounding_radius_contains_all_vertices() {
+        let t = root_trixels()[1].children()[2].children()[0];
+        let c = t.center();
+        let r = t.bounding_radius_deg();
+        for v in &t.v {
+            assert!(c.arc_angle_deg(*v) <= r + 1e-12);
+        }
+    }
+
+    #[test]
+    fn invalid_ids_rejected() {
+        assert!(!is_valid_id(0));
+        assert!(!is_valid_id(7));
+        assert!(is_valid_id(8));
+        assert!(is_valid_id(15));
+        assert!(!is_valid_id(16)); // 5 bits: not a whole number of levels
+        assert!(is_valid_id(32));
+    }
+}

@@ -1,0 +1,246 @@
+//! Cartesian unit vectors on the celestial sphere and conversions to and
+//! from equatorial (right ascension / declination) coordinates.
+//!
+//! The SkyServer stores three coordinate representations for every object:
+//! `(ra, dec)` in degrees (J2000), the unit vector `(cx, cy, cz)` used for
+//! fast arc-angle computations via dot products, and the 20-deep HTM id.
+//! This module provides the first two and the conversions between them.
+
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// Degrees-to-radians factor.
+pub const DEG: f64 = std::f64::consts::PI / 180.0;
+/// Radians-to-degrees factor.
+pub const RAD: f64 = 180.0 / std::f64::consts::PI;
+/// Arcminutes per degree.
+pub const ARCMIN_PER_DEG: f64 = 60.0;
+/// Arcseconds per degree.
+pub const ARCSEC_PER_DEG: f64 = 3600.0;
+
+/// A 3-dimensional Cartesian vector.  When used to represent a point on the
+/// celestial sphere it is kept normalised to unit length.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Vec3 {
+    pub x: f64,
+    pub y: f64,
+    pub z: f64,
+}
+
+impl Vec3 {
+    /// Construct a vector from components (not necessarily normalised).
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Vec3 { x, y, z }
+    }
+
+    /// The zero vector.
+    pub const fn zero() -> Self {
+        Vec3::new(0.0, 0.0, 0.0)
+    }
+
+    /// Build a unit vector from equatorial coordinates in **degrees**.
+    ///
+    /// `ra` (right ascension) runs 0..360, `dec` (declination) runs -90..90.
+    pub fn from_radec(ra_deg: f64, dec_deg: f64) -> Self {
+        let ra = ra_deg * DEG;
+        let dec = dec_deg * DEG;
+        let cd = dec.cos();
+        Vec3::new(ra.cos() * cd, ra.sin() * cd, dec.sin())
+    }
+
+    /// Convert back to `(ra, dec)` in degrees.  `ra` is normalised to
+    /// `[0, 360)`.
+    pub fn to_radec(self) -> (f64, f64) {
+        let v = self.normalized();
+        let dec = v.z.clamp(-1.0, 1.0).asin() * RAD;
+        let mut ra = v.y.atan2(v.x) * RAD;
+        if ra < 0.0 {
+            ra += 360.0;
+        }
+        if ra >= 360.0 {
+            ra -= 360.0;
+        }
+        (ra, dec)
+    }
+
+    /// Dot product.
+    pub fn dot(self, o: Vec3) -> f64 {
+        self.x * o.x + self.y * o.y + self.z * o.z
+    }
+
+    /// Cross product.
+    pub fn cross(self, o: Vec3) -> Vec3 {
+        Vec3::new(
+            self.y * o.z - self.z * o.y,
+            self.z * o.x - self.x * o.z,
+            self.x * o.y - self.y * o.x,
+        )
+    }
+
+    /// Euclidean norm.
+    pub fn norm(self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    /// Return the unit-length version of this vector.  The zero vector is
+    /// returned unchanged.
+    pub fn normalized(self) -> Vec3 {
+        let n = self.norm();
+        if n == 0.0 {
+            self
+        } else {
+            Vec3::new(self.x / n, self.y / n, self.z / n)
+        }
+    }
+
+    /// Arc angle between two (unit) vectors, in **degrees**.
+    ///
+    /// Uses the numerically stable `atan2(|a×b|, a·b)` form rather than
+    /// `acos(a·b)` which loses precision for small separations -- the
+    /// neighbourhood searches of the SkyServer operate at arcsecond scales.
+    pub fn arc_angle_deg(self, o: Vec3) -> f64 {
+        let cross = self.cross(o).norm();
+        let dot = self.dot(o);
+        cross.atan2(dot) * RAD
+    }
+
+    /// Arc angle in arcminutes, the unit used by `fGetNearbyObjEq`.
+    pub fn arc_angle_arcmin(self, o: Vec3) -> f64 {
+        self.arc_angle_deg(o) * ARCMIN_PER_DEG
+    }
+
+    /// Midpoint of two unit vectors projected back onto the sphere.
+    pub fn midpoint(self, o: Vec3) -> Vec3 {
+        (self + o).normalized()
+    }
+
+    /// True if every component is finite.
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite() && self.z.is_finite()
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Vec3;
+    fn add(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x + o.x, self.y + o.y, self.z + o.z)
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Vec3;
+    fn sub(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x - o.x, self.y - o.y, self.z - o.z)
+    }
+}
+
+impl Mul<f64> for Vec3 {
+    type Output = Vec3;
+    fn mul(self, s: f64) -> Vec3 {
+        Vec3::new(self.x * s, self.y * s, self.z * s)
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Vec3;
+    fn neg(self) -> Vec3 {
+        Vec3::new(-self.x, -self.y, -self.z)
+    }
+}
+
+/// Angular distance in degrees between two `(ra, dec)` positions given in
+/// degrees.  Convenience wrapper used throughout the catalog code.
+pub fn angular_distance_deg(ra1: f64, dec1: f64, ra2: f64, dec2: f64) -> f64 {
+    Vec3::from_radec(ra1, dec1).arc_angle_deg(Vec3::from_radec(ra2, dec2))
+}
+
+/// Angular distance in arcminutes between two `(ra, dec)` positions.
+pub fn angular_distance_arcmin(ra1: f64, dec1: f64, ra2: f64, dec2: f64) -> f64 {
+    angular_distance_deg(ra1, dec1, ra2, dec2) * ARCMIN_PER_DEG
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, eps: f64) -> bool {
+        (a - b).abs() < eps
+    }
+
+    #[test]
+    fn radec_round_trip() {
+        for &(ra, dec) in &[
+            (0.0, 0.0),
+            (185.0, -0.5),
+            (359.9, 89.0),
+            (12.25, -45.5),
+            (90.0, 0.0),
+            (270.0, 30.0),
+        ] {
+            let v = Vec3::from_radec(ra, dec);
+            assert!(close(v.norm(), 1.0, 1e-12));
+            let (ra2, dec2) = v.to_radec();
+            assert!(close(ra, ra2, 1e-9), "ra {ra} vs {ra2}");
+            assert!(close(dec, dec2, 1e-9), "dec {dec} vs {dec2}");
+        }
+    }
+
+    #[test]
+    fn poles_have_unit_z() {
+        let north = Vec3::from_radec(123.0, 90.0);
+        assert!(close(north.z, 1.0, 1e-12));
+        let south = Vec3::from_radec(17.0, -90.0);
+        assert!(close(south.z, -1.0, 1e-12));
+    }
+
+    #[test]
+    fn arc_angle_along_equator_equals_ra_difference() {
+        let a = Vec3::from_radec(10.0, 0.0);
+        let b = Vec3::from_radec(14.0, 0.0);
+        assert!(close(a.arc_angle_deg(b), 4.0, 1e-9));
+    }
+
+    #[test]
+    fn arc_angle_is_symmetric_and_nonnegative() {
+        let a = Vec3::from_radec(200.0, 45.0);
+        let b = Vec3::from_radec(201.0, 44.0);
+        assert!(close(a.arc_angle_deg(b), b.arc_angle_deg(a), 1e-12));
+        assert!(a.arc_angle_deg(b) > 0.0);
+        assert!(close(a.arc_angle_deg(a), 0.0, 1e-12));
+    }
+
+    #[test]
+    fn small_angles_are_accurate() {
+        // Half an arcsecond separation: the survey's resolution limit.
+        let a = Vec3::from_radec(185.0, 0.0);
+        let b = Vec3::from_radec(185.0 + 0.5 / 3600.0, 0.0);
+        let arcsec = a.arc_angle_deg(b) * ARCSEC_PER_DEG;
+        assert!(close(arcsec, 0.5, 1e-6), "got {arcsec}");
+    }
+
+    #[test]
+    fn cross_product_is_orthogonal() {
+        let a = Vec3::from_radec(10.0, 20.0);
+        let b = Vec3::from_radec(80.0, -30.0);
+        let c = a.cross(b);
+        assert!(close(c.dot(a), 0.0, 1e-12));
+        assert!(close(c.dot(b), 0.0, 1e-12));
+    }
+
+    #[test]
+    fn midpoint_is_equidistant() {
+        let a = Vec3::from_radec(10.0, 10.0);
+        let b = Vec3::from_radec(20.0, -5.0);
+        let m = a.midpoint(b);
+        assert!(close(m.arc_angle_deg(a), m.arc_angle_deg(b), 1e-9));
+    }
+
+    #[test]
+    fn angular_distance_helpers() {
+        assert!(close(angular_distance_deg(0.0, 0.0, 1.0, 0.0), 1.0, 1e-9));
+        assert!(close(
+            angular_distance_arcmin(0.0, 0.0, 1.0, 0.0),
+            60.0,
+            1e-6
+        ));
+    }
+}

@@ -1,0 +1,241 @@
+//! CSV parsing for the load pipeline.
+//!
+//! The pipeline hands the loader comma-separated files with a header line
+//! (§9.4).  The parser handles quoted fields (with `""` escapes), maps
+//! header names onto table columns case-insensitively, and converts fields
+//! into typed [`Value`]s (including `0x...` hex blobs for the profile and
+//! image columns).
+
+use skyserver_storage::{hex_decode, DataType, TableSchema, Value};
+
+/// A parse failure with its line number (1-based, counting the header).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsvError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "CSV error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+/// Split one CSV line into fields, honouring double quotes.
+pub fn split_line(line: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut current = String::new();
+    let mut in_quotes = false;
+    let mut chars = line.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if in_quotes => {
+                if chars.peek() == Some(&'"') {
+                    current.push('"');
+                    chars.next();
+                } else {
+                    in_quotes = false;
+                }
+            }
+            '"' if current.is_empty() => in_quotes = true,
+            ',' if !in_quotes => {
+                fields.push(std::mem::take(&mut current));
+            }
+            c => current.push(c),
+        }
+    }
+    fields.push(current);
+    fields
+}
+
+/// Convert one CSV field into a [`Value`] of the target type.  Empty fields
+/// become NULL (which the NOT NULL schema will reject later -- that is the
+/// validation the paper's DTS steps perform).
+pub fn parse_field(field: &str, ty: DataType) -> Result<Value, String> {
+    let trimmed = field.trim();
+    if trimmed.is_empty() {
+        return Ok(Value::Null);
+    }
+    match ty {
+        DataType::Int => trimmed
+            .parse::<i64>()
+            .map(Value::Int)
+            .or_else(|_| {
+                // Allow float-typed text for integer columns (e.g. "3.0").
+                trimmed
+                    .parse::<f64>()
+                    .map(|f| Value::Int(f as i64))
+                    .map_err(|e| e.to_string())
+            })
+            .map_err(|e| format!("bad integer {trimmed:?}: {e}")),
+        DataType::Float => trimmed
+            .parse::<f64>()
+            .map(Value::Float)
+            .map_err(|e| format!("bad float {trimmed:?}: {e}")),
+        DataType::Bool => match trimmed {
+            "0" | "false" | "f" => Ok(Value::Bool(false)),
+            "1" | "true" | "t" => Ok(Value::Bool(true)),
+            other => Err(format!("bad boolean {other:?}")),
+        },
+        DataType::Bytes => hex_decode(trimmed)
+            .map(Value::bytes)
+            .ok_or_else(|| format!("bad hex blob starting {:?}", &trimmed[..trimmed.len().min(12)])),
+        DataType::Str => Ok(Value::str(trimmed)),
+    }
+}
+
+/// A parsed CSV document bound to a table schema: rows are in table-column
+/// order, ready to insert.
+#[derive(Debug, Clone, Default)]
+pub struct ParsedCsv {
+    pub rows: Vec<Vec<Value>>,
+    /// Total bytes of the source document (for load-rate reporting).
+    pub source_bytes: usize,
+    /// Lines that failed to parse, with reasons.
+    pub errors: Vec<CsvError>,
+}
+
+/// Parse a CSV document against a table schema.
+///
+/// The header row names the columns present in the file; they are matched to
+/// schema columns case-insensitively.  Schema columns missing from the file
+/// are filled with NULL (and will fail NOT NULL validation unless the column
+/// has a default).
+pub fn parse_document(document: &str, schema: &TableSchema) -> Result<ParsedCsv, CsvError> {
+    let mut lines = document.lines();
+    let header = lines.next().ok_or(CsvError {
+        line: 0,
+        message: "empty CSV document".into(),
+    })?;
+    let header_fields = split_line(header);
+    // Map each CSV column to its schema position.
+    let mut mapping = Vec::with_capacity(header_fields.len());
+    for name in &header_fields {
+        match schema.column_index(name.trim()) {
+            Some(idx) => mapping.push(idx),
+            None => {
+                return Err(CsvError {
+                    line: 1,
+                    message: format!("CSV column {name:?} does not exist in the table"),
+                })
+            }
+        }
+    }
+    let mut parsed = ParsedCsv {
+        source_bytes: document.len(),
+        ..Default::default()
+    };
+    for (lineno, line) in lines.enumerate() {
+        let line_number = lineno + 2;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields = split_line(line);
+        if fields.len() != mapping.len() {
+            parsed.errors.push(CsvError {
+                line: line_number,
+                message: format!(
+                    "expected {} fields but found {}",
+                    mapping.len(),
+                    fields.len()
+                ),
+            });
+            continue;
+        }
+        let mut row = vec![Value::Null; schema.len()];
+        let mut ok = true;
+        for (field, &target) in fields.iter().zip(&mapping) {
+            match parse_field(field, schema.columns()[target].ty) {
+                Ok(v) => row[target] = v,
+                Err(message) => {
+                    parsed.errors.push(CsvError {
+                        line: line_number,
+                        message: format!(
+                            "column {}: {message}",
+                            schema.columns()[target].name
+                        ),
+                    });
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if ok {
+            parsed.rows.push(row);
+        }
+    }
+    Ok(parsed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skyserver_storage::ColumnDef;
+
+    fn schema() -> TableSchema {
+        TableSchema::new(vec![
+            ColumnDef::new("id", DataType::Int),
+            ColumnDef::new("mag", DataType::Float),
+            ColumnDef::new("name", DataType::Str).nullable(),
+            ColumnDef::new("blob", DataType::Bytes).nullable(),
+        ])
+    }
+
+    #[test]
+    fn split_respects_quotes() {
+        assert_eq!(split_line("a,b,c"), vec!["a", "b", "c"]);
+        assert_eq!(split_line(r#""a,b",c"#), vec!["a,b", "c"]);
+        assert_eq!(split_line(r#""say ""hi""",x"#), vec![r#"say "hi""#, "x"]);
+        assert_eq!(split_line(""), vec![""]);
+        assert_eq!(split_line("a,,c"), vec!["a", "", "c"]);
+    }
+
+    #[test]
+    fn parse_fields_by_type() {
+        assert_eq!(parse_field("42", DataType::Int).unwrap(), Value::Int(42));
+        assert_eq!(parse_field("42.0", DataType::Int).unwrap(), Value::Int(42));
+        assert_eq!(parse_field("-1.5", DataType::Float).unwrap(), Value::Float(-1.5));
+        assert_eq!(parse_field("hello", DataType::Str).unwrap(), Value::str("hello"));
+        assert_eq!(parse_field("1", DataType::Bool).unwrap(), Value::Bool(true));
+        assert_eq!(
+            parse_field("0x0102ff", DataType::Bytes).unwrap(),
+            Value::bytes([1u8, 2, 255])
+        );
+        assert_eq!(parse_field("", DataType::Int).unwrap(), Value::Null);
+        assert!(parse_field("xyz", DataType::Int).is_err());
+        assert!(parse_field("zz", DataType::Bytes).is_err());
+    }
+
+    #[test]
+    fn parse_document_maps_header_to_columns() {
+        let doc = "mag,id,name\n17.5,1,first\n18.5,2,second\n";
+        let parsed = parse_document(doc, &schema()).unwrap();
+        assert_eq!(parsed.rows.len(), 2);
+        assert_eq!(parsed.rows[0][0], Value::Int(1));
+        assert_eq!(parsed.rows[0][1], Value::Float(17.5));
+        assert_eq!(parsed.rows[1][2], Value::str("second"));
+        // The blob column was absent: NULL.
+        assert!(parsed.rows[0][3].is_null());
+        assert!(parsed.errors.is_empty());
+    }
+
+    #[test]
+    fn parse_document_collects_row_errors() {
+        let doc = "id,mag\n1,17.5\nnot_an_int,18.0\n3\n4,19.5\n";
+        let parsed = parse_document(doc, &schema()).unwrap();
+        assert_eq!(parsed.rows.len(), 2);
+        assert_eq!(parsed.errors.len(), 2);
+        assert_eq!(parsed.errors[0].line, 3);
+        assert!(parsed.errors[0].message.contains("id"));
+        assert_eq!(parsed.errors[1].line, 4);
+    }
+
+    #[test]
+    fn unknown_header_column_is_fatal() {
+        let doc = "id,mystery\n1,2\n";
+        assert!(parse_document(doc, &schema()).is_err());
+        assert!(parse_document("", &schema()).is_err());
+    }
+}

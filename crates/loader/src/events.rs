@@ -1,0 +1,194 @@
+//! The `loadEvents` journal (§9.4).
+//!
+//! "In addition to loading the data, these DTS scripts write records in a
+//! loadEvents table recording the load time, the number of records in the
+//! source file, and the number of inserted records. ... Hence, the web
+//! interface has an UNDO button for each step."
+
+use skyserver_storage::{ColumnDef, Database, DataType, StorageError, TableSchema, Value};
+
+/// Status of a load step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum LoadStatus {
+    Success,
+    Failed,
+    Undone,
+}
+
+impl LoadStatus {
+    /// Stable string form stored in the journal table.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            LoadStatus::Success => "success",
+            LoadStatus::Failed => "failed",
+            LoadStatus::Undone => "undone",
+        }
+    }
+
+    /// Parse the stored string form.
+    pub fn parse(s: &str) -> Option<LoadStatus> {
+        match s {
+            "success" => Some(LoadStatus::Success),
+            "failed" => Some(LoadStatus::Failed),
+            "undone" => Some(LoadStatus::Undone),
+            _ => None,
+        }
+    }
+}
+
+/// One journal entry.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct LoadEvent {
+    pub event_id: i64,
+    pub table_name: String,
+    /// Logical timestamp at the start of the step (inclusive UNDO bound).
+    pub start_ts: u64,
+    /// Logical timestamp at the end of the step (inclusive UNDO bound).
+    pub stop_ts: u64,
+    pub rows_in_file: u64,
+    pub rows_inserted: u64,
+    pub status: LoadStatus,
+    /// Human-readable trace of what happened (errors, validation output).
+    pub trace: String,
+}
+
+/// Name of the journal table.
+pub const LOAD_EVENTS_TABLE: &str = "loadEvents";
+
+/// Create the journal table if it does not exist yet.
+pub fn ensure_load_events_table(db: &mut Database) -> Result<(), StorageError> {
+    if db.has_table(LOAD_EVENTS_TABLE) {
+        return Ok(());
+    }
+    let schema = TableSchema::new(vec![
+        ColumnDef::new("eventID", DataType::Int),
+        ColumnDef::new("tableName", DataType::Str),
+        ColumnDef::new("startTime", DataType::Int),
+        ColumnDef::new("stopTime", DataType::Int),
+        ColumnDef::new("rowsInFile", DataType::Int),
+        ColumnDef::new("rowsInserted", DataType::Int),
+        ColumnDef::new("status", DataType::Str),
+        ColumnDef::new("trace", DataType::Str),
+    ])
+    .with_primary_key(&["eventID"]);
+    db.create_table(LOAD_EVENTS_TABLE, schema)?;
+    db.table_mut(LOAD_EVENTS_TABLE)?
+        .set_description("Journal of data-load steps: one row per DTS-style step, driving the UNDO button.");
+    Ok(())
+}
+
+/// Append an event to the journal.  Returns the assigned event id.
+pub fn record_event(db: &mut Database, event: &LoadEvent) -> Result<i64, StorageError> {
+    ensure_load_events_table(db)?;
+    let row = vec![
+        Value::Int(event.event_id),
+        Value::str(&event.table_name),
+        Value::Int(event.start_ts as i64),
+        Value::Int(event.stop_ts as i64),
+        Value::Int(event.rows_in_file as i64),
+        Value::Int(event.rows_inserted as i64),
+        Value::str(event.status.as_str()),
+        Value::str(&event.trace),
+    ];
+    db.insert(LOAD_EVENTS_TABLE, row)?;
+    Ok(event.event_id)
+}
+
+/// Read the whole journal back (ordered by event id).
+pub fn read_events(db: &Database) -> Result<Vec<LoadEvent>, StorageError> {
+    if !db.has_table(LOAD_EVENTS_TABLE) {
+        return Ok(Vec::new());
+    }
+    let table = db.table(LOAD_EVENTS_TABLE)?;
+    let mut events: Vec<LoadEvent> = table
+        .iter()
+        .map(|(_, row)| LoadEvent {
+            event_id: row[0].as_i64().unwrap_or(0),
+            table_name: row[1].as_str().unwrap_or("").to_string(),
+            start_ts: row[2].as_i64().unwrap_or(0) as u64,
+            stop_ts: row[3].as_i64().unwrap_or(0) as u64,
+            rows_in_file: row[4].as_i64().unwrap_or(0) as u64,
+            rows_inserted: row[5].as_i64().unwrap_or(0) as u64,
+            status: LoadStatus::parse(row[6].as_str().unwrap_or("")).unwrap_or(LoadStatus::Failed),
+            trace: row[7].as_str().unwrap_or("").to_string(),
+        })
+        .collect();
+    events.sort_by_key(|e| e.event_id);
+    Ok(events)
+}
+
+/// Update the status of an event (used by UNDO).
+pub fn update_event_status(
+    db: &mut Database,
+    event_id: i64,
+    status: LoadStatus,
+    extra_trace: &str,
+) -> Result<bool, StorageError> {
+    let table = db.table(LOAD_EVENTS_TABLE)?;
+    let target = table
+        .iter()
+        .find(|(_, row)| row[0].as_i64() == Some(event_id))
+        .map(|(id, row)| (id, row.to_vec()));
+    let Some((row_id, mut row)) = target else {
+        return Ok(false);
+    };
+    row[6] = Value::str(status.as_str());
+    let old_trace = row[7].as_str().unwrap_or("").to_string();
+    row[7] = Value::str(format!("{old_trace}\n{extra_trace}").trim().to_string());
+    db.table_mut(LOAD_EVENTS_TABLE)?.update(row_id, row)?;
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(id: i64) -> LoadEvent {
+        LoadEvent {
+            event_id: id,
+            table_name: "PhotoObj".into(),
+            start_ts: 10,
+            stop_ts: 20,
+            rows_in_file: 100,
+            rows_inserted: 99,
+            status: LoadStatus::Success,
+            trace: "ok".into(),
+        }
+    }
+
+    #[test]
+    fn record_and_read_round_trip() {
+        let mut db = Database::new("load");
+        record_event(&mut db, &sample(1)).unwrap();
+        record_event(&mut db, &sample(2)).unwrap();
+        let events = read_events(&db).unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0], sample(1));
+        assert_eq!(events[1].event_id, 2);
+    }
+
+    #[test]
+    fn read_from_missing_table_is_empty() {
+        let db = Database::new("load");
+        assert!(read_events(&db).unwrap().is_empty());
+    }
+
+    #[test]
+    fn status_update() {
+        let mut db = Database::new("load");
+        record_event(&mut db, &sample(7)).unwrap();
+        assert!(update_event_status(&mut db, 7, LoadStatus::Undone, "undo requested").unwrap());
+        assert!(!update_event_status(&mut db, 99, LoadStatus::Undone, "nope").unwrap());
+        let events = read_events(&db).unwrap();
+        assert_eq!(events[0].status, LoadStatus::Undone);
+        assert!(events[0].trace.contains("undo requested"));
+    }
+
+    #[test]
+    fn status_string_round_trip() {
+        for s in [LoadStatus::Success, LoadStatus::Failed, LoadStatus::Undone] {
+            assert_eq!(LoadStatus::parse(s.as_str()), Some(s));
+        }
+        assert_eq!(LoadStatus::parse("bogus"), None);
+    }
+}

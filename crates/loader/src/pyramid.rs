@@ -1,0 +1,202 @@
+//! Image pyramid construction.
+//!
+//! "The PNG files are converted to JPEG at various zoom levels, and an image
+//! pyramid is built before loading" (§9.4); "A 4-level image pyramid of the
+//! images is precomputed, allowing users to see an overview of the sky, and
+//! then zoom into specific areas" (§5).
+//!
+//! We have no telescope pixels, so tiles are synthesised from the catalog:
+//! each tile is a tiny grayscale bitmap onto which the field's objects are
+//! splatted with brightness proportional to their r-band flux.  What matters
+//! for the reproduction is the pyramid *structure* (zoom levels, tile
+//! addressing, blobs stored as database rows) and its byte budget -- both of
+//! which the navigator page and Table 1 exercise.
+
+use skyserver_storage::{Database, StorageError, Value};
+
+/// Number of zoom levels in the pyramid (the paper's pyramid has 4).
+pub const ZOOM_LEVELS: i64 = 4;
+/// Edge length (pixels) of a synthesised tile.
+pub const TILE_SIZE: usize = 32;
+
+/// Report of a pyramid build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct PyramidReport {
+    /// Tiles added (zoom levels 1..4; zoom 0 frames come from the pipeline).
+    pub tiles: usize,
+    /// Total bytes of tile imagery.
+    pub bytes: u64,
+}
+
+/// A synthesised grayscale tile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tile {
+    pub zoom: i64,
+    pub pixels: Vec<u8>,
+}
+
+impl Tile {
+    /// Render the objects of a sky rectangle into a tile.  `objects` are
+    /// `(ra, dec, r_magnitude)` triples.
+    pub fn render(
+        ra_min: f64,
+        ra_max: f64,
+        dec_min: f64,
+        dec_max: f64,
+        zoom: i64,
+        objects: &[(f64, f64, f64)],
+    ) -> Tile {
+        let mut pixels = vec![0u8; TILE_SIZE * TILE_SIZE];
+        let ra_span = (ra_max - ra_min).max(1e-9);
+        let dec_span = (dec_max - dec_min).max(1e-9);
+        for &(ra, dec, mag) in objects {
+            if ra < ra_min || ra > ra_max || dec < dec_min || dec > dec_max {
+                continue;
+            }
+            let x = (((ra - ra_min) / ra_span) * (TILE_SIZE as f64 - 1.0)) as usize;
+            let y = (((dec - dec_min) / dec_span) * (TILE_SIZE as f64 - 1.0)) as usize;
+            // Brighter (smaller magnitude) objects paint brighter pixels.
+            let brightness = (255.0 * ((24.0 - mag).clamp(0.0, 10.0) / 10.0)) as u8;
+            let idx = y * TILE_SIZE + x;
+            pixels[idx] = pixels[idx].max(brightness);
+        }
+        Tile { zoom, pixels }
+    }
+
+    /// Serialise the tile as a minimal PGM (portable graymap) blob.
+    pub fn to_blob(&self) -> Vec<u8> {
+        let mut blob = format!("P5 {TILE_SIZE} {TILE_SIZE} 255\n").into_bytes();
+        blob.extend_from_slice(&self.pixels);
+        blob
+    }
+
+    /// Fraction of non-black pixels (used to sanity-check that fields with
+    /// objects produce non-empty imagery).
+    pub fn coverage(&self) -> f64 {
+        self.pixels.iter().filter(|&&p| p > 0).count() as f64 / self.pixels.len() as f64
+    }
+}
+
+/// Build the zoomed-out pyramid levels as extra `Frame` rows (band = -1
+/// marks a colour-composite tile, zoom 1..=3 are the coarser levels).
+pub fn build_pyramid(db: &mut Database, timestamp: u64) -> Result<PyramidReport, StorageError> {
+    // Collect field geometry and object photometry up front.
+    struct FieldInfo {
+        field_id: i64,
+        ra: f64,
+        dec: f64,
+        ra_width: f64,
+        dec_width: f64,
+    }
+    let fields: Vec<FieldInfo> = {
+        let table = db.table("Field")?;
+        let s = table.schema();
+        let (i_id, i_ra, i_dec, i_rw, i_dw) = (
+            s.column_index("fieldID").expect("fieldID"),
+            s.column_index("ra").expect("ra"),
+            s.column_index("dec").expect("dec"),
+            s.column_index("raWidth").expect("raWidth"),
+            s.column_index("decWidth").expect("decWidth"),
+        );
+        table
+            .iter()
+            .map(|(_, r)| FieldInfo {
+                field_id: r[i_id].as_i64().unwrap_or(0),
+                ra: r[i_ra].as_f64().unwrap_or(0.0),
+                dec: r[i_dec].as_f64().unwrap_or(0.0),
+                ra_width: r[i_rw].as_f64().unwrap_or(0.1),
+                dec_width: r[i_dw].as_f64().unwrap_or(0.1),
+            })
+            .collect()
+    };
+    let objects: Vec<(f64, f64, f64, i64)> = {
+        let table = db.table("PhotoObj")?;
+        let s = table.schema();
+        let (i_ra, i_dec, i_mag, i_field) = (
+            s.column_index("ra").expect("ra"),
+            s.column_index("dec").expect("dec"),
+            s.column_index("modelMag_r").expect("modelMag_r"),
+            s.column_index("fieldID").expect("fieldID"),
+        );
+        table
+            .iter()
+            .map(|(_, r)| {
+                (
+                    r[i_ra].as_f64().unwrap_or(0.0),
+                    r[i_dec].as_f64().unwrap_or(0.0),
+                    r[i_mag].as_f64().unwrap_or(22.0),
+                    r[i_field].as_i64().unwrap_or(0),
+                )
+            })
+            .collect()
+    };
+    let mut next_frame_id = {
+        let frame = db.table("Frame")?;
+        let idx = frame.schema().column_index("frameID").expect("frameID");
+        frame
+            .iter()
+            .map(|(_, r)| r[idx].as_i64().unwrap_or(0))
+            .max()
+            .unwrap_or(0)
+    };
+    let mut report = PyramidReport { tiles: 0, bytes: 0 };
+    let mut rows = Vec::new();
+    // Zoom level z groups 4^z fields into one tile; we approximate by taking
+    // every 4^z-th field as the tile anchor and widening its footprint.
+    for zoom in 1..ZOOM_LEVELS {
+        let step = 4usize.pow(zoom as u32);
+        for anchor in fields.iter().step_by(step) {
+            let scale = step as f64;
+            let ra_min = anchor.ra - anchor.ra_width * scale / 2.0;
+            let ra_max = anchor.ra + anchor.ra_width * scale / 2.0;
+            let dec_min = anchor.dec - anchor.dec_width * scale / 2.0;
+            let dec_max = anchor.dec + anchor.dec_width * scale / 2.0;
+            let in_area: Vec<(f64, f64, f64)> = objects
+                .iter()
+                .filter(|(ra, dec, _, _)| {
+                    *ra >= ra_min && *ra <= ra_max && *dec >= dec_min && *dec <= dec_max
+                })
+                .map(|(ra, dec, mag, _)| (*ra, *dec, *mag))
+                .collect();
+            let tile = Tile::render(ra_min, ra_max, dec_min, dec_max, zoom, &in_area);
+            let blob = tile.to_blob();
+            next_frame_id += 1;
+            report.tiles += 1;
+            report.bytes += blob.len() as u64;
+            rows.push(vec![
+                Value::Int(next_frame_id),
+                Value::Int(anchor.field_id),
+                Value::Int(-1), // composite "colour" band
+                Value::Int(zoom),
+                Value::Int(blob.len() as i64),
+            ]);
+        }
+    }
+    db.insert_many("Frame", rows, timestamp)?;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tile_rendering_places_bright_objects() {
+        let objects = vec![(10.05, 0.05, 14.0), (10.02, 0.08, 21.0)];
+        let tile = Tile::render(10.0, 10.1, 0.0, 0.1, 1, &objects);
+        assert!(tile.coverage() > 0.0);
+        let blob = tile.to_blob();
+        assert!(blob.starts_with(b"P5"));
+        assert_eq!(blob.len(), TILE_SIZE * TILE_SIZE + b"P5 32 32 255\n".len());
+        // The bright (mag 14) object must paint a brighter pixel than the
+        // faint one.
+        let max = *tile.pixels.iter().max().unwrap();
+        assert!(max > 200);
+    }
+
+    #[test]
+    fn objects_outside_the_tile_are_ignored() {
+        let tile = Tile::render(10.0, 10.1, 0.0, 0.1, 1, &[(50.0, 50.0, 12.0)]);
+        assert_eq!(tile.coverage(), 0.0);
+    }
+}

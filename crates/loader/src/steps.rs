@@ -1,0 +1,221 @@
+//! DTS-style load steps with UNDO (§9.4).
+//!
+//! A load step takes one CSV document, validates and inserts it into its
+//! target table, and journals the outcome in `loadEvents`.  A failed (or
+//! simply regretted) step can be undone: every row whose insert timestamp
+//! falls inside the step's window is deleted -- exactly the mechanism the
+//! paper describes for its UNDO button.
+
+use crate::csv::{parse_document, CsvError};
+use crate::events::{
+    ensure_load_events_table, read_events, record_event, update_event_status, LoadEvent,
+    LoadStatus,
+};
+use skyserver_storage::{Database, StorageError};
+
+/// Outcome of one load step.
+#[derive(Debug, Clone)]
+pub struct LoadStepResult {
+    pub event: LoadEvent,
+    /// Row-level parse errors (the step still loads the good rows; the
+    /// operator decides whether to undo).
+    pub row_errors: Vec<CsvError>,
+}
+
+/// Execute one load step: parse `document` and insert it into `table_name`.
+pub fn load_csv_step(
+    db: &mut Database,
+    table_name: &str,
+    document: &str,
+) -> Result<LoadStepResult, StorageError> {
+    ensure_load_events_table(db)?;
+    let event_id = read_events(db)?.last().map(|e| e.event_id).unwrap_or(0) + 1;
+    let schema = db.table(table_name)?.schema().clone();
+    let start_ts = db.next_timestamp();
+    let parsed = match parse_document(document, &schema) {
+        Ok(p) => p,
+        Err(fatal) => {
+            let stop_ts = db.next_timestamp();
+            let event = LoadEvent {
+                event_id,
+                table_name: table_name.to_string(),
+                start_ts,
+                stop_ts,
+                rows_in_file: 0,
+                rows_inserted: 0,
+                status: LoadStatus::Failed,
+                trace: format!("fatal: {fatal}"),
+            };
+            record_event(db, &event)?;
+            return Ok(LoadStepResult {
+                event,
+                row_errors: vec![fatal],
+            });
+        }
+    };
+    let rows_in_file = parsed.rows.len() as u64 + parsed.errors.len() as u64;
+    let mut inserted = 0u64;
+    let mut insert_errors: Vec<String> = Vec::new();
+    for row in parsed.rows {
+        match db.insert_with_timestamp(table_name, row, start_ts) {
+            Ok(_) => inserted += 1,
+            Err(e) => insert_errors.push(e.to_string()),
+        }
+    }
+    let stop_ts = db.next_timestamp();
+    let failed = !parsed.errors.is_empty() || !insert_errors.is_empty();
+    let mut trace = format!(
+        "loaded {inserted}/{rows_in_file} rows from a {} byte file",
+        parsed.source_bytes
+    );
+    for e in parsed.errors.iter().take(5) {
+        trace.push_str(&format!("; {e}"));
+    }
+    for e in insert_errors.iter().take(5) {
+        trace.push_str(&format!("; {e}"));
+    }
+    let event = LoadEvent {
+        event_id,
+        table_name: table_name.to_string(),
+        start_ts,
+        stop_ts,
+        rows_in_file,
+        rows_inserted: inserted,
+        status: if failed { LoadStatus::Failed } else { LoadStatus::Success },
+        trace,
+    };
+    record_event(db, &event)?;
+    Ok(LoadStepResult {
+        event,
+        row_errors: parsed.errors,
+    })
+}
+
+/// Undo a load step: delete every row of the step's table whose insert
+/// timestamp lies inside the step window, and mark the journal entry undone.
+/// Returns the number of rows removed.
+pub fn undo_step(db: &mut Database, event_id: i64) -> Result<usize, StorageError> {
+    let events = read_events(db)?;
+    let Some(event) = events.into_iter().find(|e| e.event_id == event_id) else {
+        return Err(StorageError::ConstraintViolation(format!(
+            "no load event with id {event_id}"
+        )));
+    };
+    if event.status == LoadStatus::Undone {
+        return Ok(0);
+    }
+    let removed =
+        db.delete_by_timestamp_range(&event.table_name, event.start_ts, event.stop_ts)?;
+    update_event_status(
+        db,
+        event_id,
+        LoadStatus::Undone,
+        &format!("undo removed {removed} rows"),
+    )?;
+    Ok(removed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skyserver_storage::{ColumnDef, DataType, TableSchema};
+
+    fn db() -> Database {
+        let mut db = Database::new("steps");
+        db.create_table(
+            "Plate",
+            TableSchema::new(vec![
+                ColumnDef::new("plateID", DataType::Int),
+                ColumnDef::new("ra", DataType::Float),
+                ColumnDef::new("dec", DataType::Float),
+                ColumnDef::new("mjd", DataType::Int),
+                ColumnDef::new("nFibers", DataType::Int),
+            ])
+            .with_primary_key(&["plateID"]),
+        )
+        .unwrap();
+        db
+    }
+
+    const GOOD: &str = "plateID,ra,dec,mjd,nFibers\n300,180.0,0.0,52000,600\n301,181.0,0.5,52003,598\n";
+
+    #[test]
+    fn successful_step_loads_and_journals() {
+        let mut db = db();
+        let result = load_csv_step(&mut db, "Plate", GOOD).unwrap();
+        assert_eq!(result.event.status, LoadStatus::Success);
+        assert_eq!(result.event.rows_inserted, 2);
+        assert_eq!(result.event.rows_in_file, 2);
+        assert!(result.row_errors.is_empty());
+        assert_eq!(db.table("Plate").unwrap().row_count(), 2);
+        assert_eq!(read_events(&db).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn bad_rows_mark_the_step_failed_but_load_good_rows() {
+        let mut db = db();
+        let doc = "plateID,ra,dec,mjd,nFibers\n300,180.0,0.0,52000,600\nnot_a_number,1,2,3,4\n";
+        let result = load_csv_step(&mut db, "Plate", doc).unwrap();
+        assert_eq!(result.event.status, LoadStatus::Failed);
+        assert_eq!(result.event.rows_inserted, 1);
+        assert_eq!(result.event.rows_in_file, 2);
+        assert_eq!(result.row_errors.len(), 1);
+        assert!(result.event.trace.contains("bad integer"));
+    }
+
+    #[test]
+    fn fatal_header_error_is_journaled() {
+        let mut db = db();
+        let doc = "plateID,mysteryColumn\n1,2\n";
+        let result = load_csv_step(&mut db, "Plate", doc).unwrap();
+        assert_eq!(result.event.status, LoadStatus::Failed);
+        assert_eq!(result.event.rows_inserted, 0);
+        assert_eq!(db.table("Plate").unwrap().row_count(), 0);
+    }
+
+    #[test]
+    fn undo_removes_exactly_the_steps_rows() {
+        let mut db = db();
+        let first = load_csv_step(&mut db, "Plate", GOOD).unwrap();
+        let second = load_csv_step(
+            &mut db,
+            "Plate",
+            "plateID,ra,dec,mjd,nFibers\n400,170.0,1.0,52010,590\n",
+        )
+        .unwrap();
+        assert_eq!(db.table("Plate").unwrap().row_count(), 3);
+        // Undo the first step: only its two rows disappear.
+        let removed = undo_step(&mut db, first.event.event_id).unwrap();
+        assert_eq!(removed, 2);
+        assert_eq!(db.table("Plate").unwrap().row_count(), 1);
+        let events = read_events(&db).unwrap();
+        assert_eq!(events[0].status, LoadStatus::Undone);
+        assert_eq!(events[1].status, LoadStatus::Success);
+        // Undoing again is a no-op; undoing the other step empties the table.
+        assert_eq!(undo_step(&mut db, first.event.event_id).unwrap(), 0);
+        assert_eq!(undo_step(&mut db, second.event.event_id).unwrap(), 1);
+        assert_eq!(db.table("Plate").unwrap().row_count(), 0);
+    }
+
+    #[test]
+    fn undo_then_reload_recovers() {
+        // The paper's operator workflow: UNDO the failed step, fix the file,
+        // re-execute the load.
+        let mut db = db();
+        let bad = "plateID,ra,dec,mjd,nFibers\n300,180.0,0.0,52000,600\nbroken,1,2,3,4\n";
+        let failed = load_csv_step(&mut db, "Plate", bad).unwrap();
+        assert_eq!(failed.event.status, LoadStatus::Failed);
+        undo_step(&mut db, failed.event.event_id).unwrap();
+        assert_eq!(db.table("Plate").unwrap().row_count(), 0);
+        let fixed = load_csv_step(&mut db, "Plate", GOOD).unwrap();
+        assert_eq!(fixed.event.status, LoadStatus::Success);
+        assert_eq!(db.table("Plate").unwrap().row_count(), 2);
+    }
+
+    #[test]
+    fn unknown_event_or_table_errors() {
+        let mut db = db();
+        assert!(undo_step(&mut db, 42).is_err());
+        assert!(load_csv_step(&mut db, "NoSuchTable", GOOD).is_err());
+    }
+}

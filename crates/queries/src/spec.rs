@@ -1,0 +1,167 @@
+//! Query specifications: SQL text plus machine-checkable result invariants.
+//!
+//! The paper's evaluation is built around 20 representative astronomy
+//! queries ([Szalay], detailed in [Gray]) plus 15 simpler queries posed by
+//! astronomers.  Absolute timings depend on hardware and data volume, but
+//! each query has properties that must hold on any faithful SDSS-like
+//! catalog (result cardinality class, orderings, plan class); those are what
+//! the test suite checks.
+
+use skyserver_sql::{PlanClass, ResultSet};
+
+/// Which evaluation family a query belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum QueryFamily {
+    /// The 20 data-mining queries of [Szalay]/[Gray] (Figure 13).
+    DataMining,
+    /// The 15 simpler queries posed by astronomers (§11).
+    Astronomer,
+}
+
+/// A machine-checkable invariant on a query's result.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Invariant {
+    /// The result has at least this many rows.
+    AtLeastRows(usize),
+    /// The result has at most this many rows.
+    AtMostRows(usize),
+    /// The result is non-empty.
+    NonEmpty,
+    /// May legitimately be empty at small scale (rare populations).
+    MayBeEmpty,
+    /// A named numeric column is sorted ascending.
+    SortedAscending(&'static str),
+    /// Every value of a named column lies in `[lo, hi]`.
+    ColumnInRange(&'static str, f64, f64),
+    /// The scalar result (first cell) is at least this value.
+    ScalarAtLeast(i64),
+}
+
+impl Invariant {
+    /// Check the invariant against a result set.  Returns an error message
+    /// on violation.
+    pub fn check(&self, result: &ResultSet) -> Result<(), String> {
+        match self {
+            Invariant::AtLeastRows(n) => {
+                if result.len() >= *n {
+                    Ok(())
+                } else {
+                    Err(format!("expected at least {n} rows, got {}", result.len()))
+                }
+            }
+            Invariant::AtMostRows(n) => {
+                if result.len() <= *n {
+                    Ok(())
+                } else {
+                    Err(format!("expected at most {n} rows, got {}", result.len()))
+                }
+            }
+            Invariant::NonEmpty => {
+                if result.is_empty() {
+                    Err("expected a non-empty result".into())
+                } else {
+                    Ok(())
+                }
+            }
+            Invariant::MayBeEmpty => Ok(()),
+            Invariant::SortedAscending(column) => {
+                let values = result.column_values(column);
+                if values.is_empty() && result.column_index(column).is_none() {
+                    return Err(format!("column {column} missing from result"));
+                }
+                for w in values.windows(2) {
+                    if w[0] > w[1] {
+                        return Err(format!("column {column} is not sorted ascending"));
+                    }
+                }
+                Ok(())
+            }
+            Invariant::ColumnInRange(column, lo, hi) => {
+                if result.column_index(column).is_none() {
+                    return Err(format!("column {column} missing from result"));
+                }
+                for v in result.column_values(column) {
+                    if let Some(x) = v.as_f64() {
+                        if x < *lo || x > *hi {
+                            return Err(format!("column {column} value {x} outside [{lo}, {hi}]"));
+                        }
+                    }
+                }
+                Ok(())
+            }
+            Invariant::ScalarAtLeast(n) => {
+                let v = result
+                    .scalar()
+                    .and_then(skyserver_storage::Value::as_i64)
+                    .ok_or_else(|| "expected a scalar result".to_string())?;
+                if v >= *n {
+                    Ok(())
+                } else {
+                    Err(format!("expected scalar >= {n}, got {v}"))
+                }
+            }
+        }
+    }
+}
+
+/// One benchmark query.
+#[derive(Debug, Clone)]
+pub struct QuerySpec {
+    /// Short identifier, e.g. "Q1" or "A7".
+    pub id: &'static str,
+    /// One-line description from the paper.
+    pub title: &'static str,
+    /// The SQL script (may contain DECLARE/SET statements).
+    pub sql: String,
+    /// Which family the query belongs to.
+    pub family: QueryFamily,
+    /// Plan class the paper's discussion implies (index lookup vs scan vs
+    /// join-with-scan) -- what Figure 13's grouping reflects.
+    pub expected_class: PlanClass,
+    /// Result invariants to verify.
+    pub invariants: Vec<Invariant>,
+    /// Notes about how the query was adapted to the synthetic schema.
+    pub adaptation: &'static str,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skyserver_storage::Value;
+
+    fn rs(rows: Vec<Vec<Value>>) -> ResultSet {
+        ResultSet {
+            columns: vec!["n".into(), "distance".into()],
+            rows,
+            truncated: false,
+        }
+    }
+
+    #[test]
+    fn invariant_checks() {
+        let r = rs(vec![
+            vec![Value::Int(5), Value::Float(0.1)],
+            vec![Value::Int(7), Value::Float(0.4)],
+        ]);
+        assert!(Invariant::AtLeastRows(2).check(&r).is_ok());
+        assert!(Invariant::AtLeastRows(3).check(&r).is_err());
+        assert!(Invariant::AtMostRows(2).check(&r).is_ok());
+        assert!(Invariant::NonEmpty.check(&r).is_ok());
+        assert!(Invariant::MayBeEmpty.check(&rs(vec![])).is_ok());
+        assert!(Invariant::SortedAscending("distance").check(&r).is_ok());
+        assert!(Invariant::SortedAscending("missing").check(&r).is_err());
+        assert!(Invariant::ColumnInRange("distance", 0.0, 1.0).check(&r).is_ok());
+        assert!(Invariant::ColumnInRange("distance", 0.0, 0.2).check(&r).is_err());
+        assert!(Invariant::ScalarAtLeast(5).check(&r).is_ok());
+        assert!(Invariant::ScalarAtLeast(6).check(&r).is_err());
+    }
+
+    #[test]
+    fn unsorted_column_detected() {
+        let r = rs(vec![
+            vec![Value::Int(5), Value::Float(0.9)],
+            vec![Value::Int(7), Value::Float(0.1)],
+        ]);
+        assert!(Invariant::SortedAscending("distance").check(&r).is_err());
+    }
+}

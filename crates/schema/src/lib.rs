@@ -1,0 +1,203 @@
+//! # skyserver-schema
+//!
+//! The SDSS SkyServer relational schema (§9.1 of the paper): the
+//! photographic and spectrographic snowflake tables, the sub-classing views
+//! (`PhotoPrimary`, `Galaxy`, `Star`, ...), the covering indices that stand
+//! in for tag tables, the foreign-key constraints, and the astronomy
+//! user-defined functions (`fPhotoFlags`, `fGetNearbyObjEq`,
+//! `spHTM_CoverCircleEq`, ...).
+//!
+//! The crate exposes two granularities:
+//!
+//! * [`install_schema`] / [`register_functions`] for callers that manage
+//!   their own [`Database`] / [`FunctionRegistry`];
+//! * [`create_engine`] which returns a ready-to-load [`SqlEngine`] with
+//!   everything installed (what the loader and the web front end use).
+
+pub mod constraints;
+pub mod functions;
+pub mod indexes;
+pub mod tables;
+pub mod views;
+
+pub use constraints::{all_foreign_keys, create_foreign_keys};
+pub use functions::{register_functions, EXPLORE_URL};
+pub use indexes::{all_indexes, create_indexes};
+pub use tables::{all_tables, create_tables, photo_obj_schema};
+pub use views::{all_views, create_views};
+
+use skyserver_sql::{FunctionRegistry, SqlEngine};
+use skyserver_storage::{Database, StorageError};
+
+/// Install tables, views and foreign keys on an empty database.
+///
+/// Indexes are *not* built here: bulk loads run faster when the loader
+/// builds them after the data arrives (call [`create_indexes`] then).  Use
+/// [`install_schema_with_indexes`] when loading incrementally.
+pub fn install_schema(db: &mut Database) -> Result<(), StorageError> {
+    create_tables(db)?;
+    create_views(db)?;
+    create_foreign_keys(db)?;
+    Ok(())
+}
+
+/// Install the full schema including all secondary indices.
+pub fn install_schema_with_indexes(db: &mut Database) -> Result<(), StorageError> {
+    install_schema(db)?;
+    create_indexes(db)?;
+    Ok(())
+}
+
+/// Build a [`SqlEngine`] with the SkyServer schema installed and every UDF
+/// registered, ready for the loader to fill.
+pub fn create_engine(database_name: &str) -> Result<SqlEngine, StorageError> {
+    let mut db = Database::new(database_name);
+    install_schema(&mut db)?;
+    let mut functions = FunctionRegistry::new();
+    register_functions(&mut functions);
+    Ok(SqlEngine::new(db, functions))
+}
+
+/// Metadata for the schema browser: every table with its columns,
+/// descriptions and indices (what SkyServerQA's object browser displays).
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct SchemaDescription {
+    pub tables: Vec<TableDescription>,
+    pub views: Vec<ViewDescription>,
+    pub functions: Vec<String>,
+}
+
+/// One table's metadata.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct TableDescription {
+    pub name: String,
+    pub description: String,
+    pub rows: u64,
+    pub columns: Vec<ColumnDescription>,
+    pub indexes: Vec<String>,
+    pub primary_key: Vec<String>,
+}
+
+/// One column's metadata.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct ColumnDescription {
+    pub name: String,
+    pub data_type: String,
+    pub unit: String,
+    pub description: String,
+}
+
+/// One view's metadata.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct ViewDescription {
+    pub name: String,
+    pub sql: String,
+    pub description: String,
+}
+
+/// Extract the schema-browser metadata from a live database.
+pub fn describe_schema(db: &Database, functions: &FunctionRegistry) -> SchemaDescription {
+    let tables = db
+        .table_names()
+        .iter()
+        .filter(|name| !name.starts_with("##"))
+        .map(|name| {
+            let t = db.table(name).expect("listed table exists");
+            TableDescription {
+                name: t.name().to_string(),
+                description: t.description().to_string(),
+                rows: t.row_count() as u64,
+                columns: t
+                    .schema()
+                    .columns()
+                    .iter()
+                    .map(|c| ColumnDescription {
+                        name: c.name.clone(),
+                        data_type: c.ty.to_string(),
+                        unit: c.unit.clone(),
+                        description: c.description.clone(),
+                    })
+                    .collect(),
+                indexes: db
+                    .indexes_for(name)
+                    .iter()
+                    .map(|i| i.def().name.clone())
+                    .collect(),
+                primary_key: t
+                    .schema()
+                    .primary_key_names()
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect(),
+            }
+        })
+        .collect();
+    let views = db
+        .views()
+        .map(|v| ViewDescription {
+            name: v.name.clone(),
+            sql: v.sql.clone(),
+            description: v.description.clone(),
+        })
+        .collect();
+    let mut fns = functions.scalar_names();
+    fns.extend(functions.table_names());
+    SchemaDescription {
+        tables,
+        views,
+        functions: fns,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skyserver_sql::QueryLimits;
+
+    #[test]
+    fn engine_installs_cleanly() {
+        let engine = create_engine("skyserver").unwrap();
+        assert!(engine.db().has_table("PhotoObj"));
+        assert!(engine.db().view("Galaxy").is_some());
+        assert!(engine.functions().scalar("fPhotoFlags").is_some());
+        assert!(engine.functions().table("fGetNearbyObjEq").is_some());
+        assert!(!engine.db().foreign_keys().is_empty());
+    }
+
+    #[test]
+    fn empty_schema_answers_queries() {
+        let mut engine = create_engine("skyserver").unwrap();
+        let r = engine.query("select count(*) from PhotoObj").unwrap();
+        assert_eq!(r.scalar().unwrap().as_i64(), Some(0));
+        let r = engine
+            .execute(
+                "select count(*) from Galaxy where modelMag_r < 20",
+                QueryLimits::PUBLIC,
+            )
+            .unwrap();
+        assert_eq!(r.result.scalar().unwrap().as_i64(), Some(0));
+    }
+
+    #[test]
+    fn schema_description_lists_everything() {
+        let mut db = Database::new("skyserver");
+        install_schema_with_indexes(&mut db).unwrap();
+        let mut functions = FunctionRegistry::new();
+        register_functions(&mut functions);
+        let desc = describe_schema(&db, &functions);
+        assert_eq!(desc.tables.len(), all_tables().len());
+        assert_eq!(desc.views.len(), all_views().len());
+        assert!(desc.functions.iter().any(|f| f == "fphotoflags"));
+        let photo = desc.tables.iter().find(|t| t.name == "PhotoObj").unwrap();
+        assert_eq!(photo.columns.len(), 54);
+        assert!(!photo.indexes.is_empty());
+        assert_eq!(photo.primary_key, vec!["objID"]);
+    }
+
+    #[test]
+    fn duplicate_install_fails_cleanly() {
+        let mut db = Database::new("skyserver");
+        install_schema(&mut db).unwrap();
+        assert!(install_schema(&mut db).is_err());
+    }
+}

@@ -1,0 +1,101 @@
+//! Views: the SQL stand-in for the ObjectivityDB sub-classing (§9.1.3).
+//!
+//! "views are defined on the PhotoObj table: photoPrimary (PhotoObj with
+//! flags('primary' & 'OK run')), Star (photoPrimary with type='star'),
+//! Galaxy (photoPrimary with type='galaxy').  Most users work in terms of
+//! these views rather than the base table."
+
+use skyserver_skygen::{PhotoFlag, PhotoType, SpecClass};
+use skyserver_storage::{Database, StorageError};
+
+/// `(name, SQL body, description)` for every view.
+pub fn all_views() -> Vec<(String, String, &'static str)> {
+    let primary = PhotoFlag::Primary as u64;
+    let ok_run = PhotoFlag::OkRun as u64;
+    let secondary = PhotoFlag::Secondary as u64;
+    let galaxy = PhotoType::Galaxy as i64;
+    let star = PhotoType::Star as i64;
+    let unknown = PhotoType::Unknown as i64;
+    let spec_qso = SpecClass::Qso as i64;
+    let spec_hiz = SpecClass::HizQso as i64;
+    vec![
+        (
+            "PhotoPrimary".to_string(),
+            format!(
+                "select * from PhotoObj where (flags & {primary}) > 0 and (flags & {ok_run}) > 0"
+            ),
+            "Best (primary) detection of every object from an acceptable run.",
+        ),
+        (
+            "PhotoSecondary".to_string(),
+            format!("select * from PhotoObj where (flags & {secondary}) > 0"),
+            "Duplicate detections from strip and stripe overlaps.",
+        ),
+        (
+            "Galaxy".to_string(),
+            format!("select * from PhotoPrimary where type = {galaxy}"),
+            "Primary objects classified as galaxies.",
+        ),
+        (
+            "Star".to_string(),
+            format!("select * from PhotoPrimary where type = {star}"),
+            "Primary objects classified as stars.",
+        ),
+        (
+            "UnknownObj".to_string(),
+            format!("select * from PhotoPrimary where type = {unknown}"),
+            "Primary objects with an unknown classification.",
+        ),
+        (
+            "SpecQso".to_string(),
+            format!(
+                "select * from SpecObj where specClass = {spec_qso} or specClass = {spec_hiz}"
+            ),
+            "Spectra classified as quasars.",
+        ),
+    ]
+}
+
+/// Register every view on the database.
+pub fn create_views(db: &mut Database) -> Result<(), StorageError> {
+    for (name, sql, description) in all_views() {
+        db.create_view(name, sql, description)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tables::create_tables;
+
+    #[test]
+    fn views_install() {
+        let mut db = Database::new("skyserver");
+        create_tables(&mut db).unwrap();
+        create_views(&mut db).unwrap();
+        assert!(db.view("galaxy").is_some());
+        assert!(db.view("photoprimary").is_some());
+        assert_eq!(db.views().count(), all_views().len());
+    }
+
+    #[test]
+    fn galaxy_view_builds_on_photo_primary() {
+        let (_, sql, _) = all_views()
+            .into_iter()
+            .find(|(n, _, _)| n == "Galaxy")
+            .unwrap();
+        assert!(sql.contains("PhotoPrimary"));
+        assert!(sql.contains("type = 3"));
+    }
+
+    #[test]
+    fn primary_view_tests_both_flags() {
+        let (_, sql, _) = all_views()
+            .into_iter()
+            .find(|(n, _, _)| n == "PhotoPrimary")
+            .unwrap();
+        assert!(sql.contains("& 1"));
+        assert!(sql.contains("& 128"));
+    }
+}

@@ -1,0 +1,407 @@
+//! CSV export of the synthetic pipeline output.
+//!
+//! "The SDSS data pipeline produces FITS files, but also produces
+//! comma-separated list (csv) files of the object data and PNG files...
+//! From there, a script loads the data using the SQL Server's Data
+//! Transformation Service." (§9.4)  This module is the "pipeline side" of
+//! that hand-off: it renders every catalog table as a CSV document the
+//! loader crate ingests and validates.
+
+use crate::flags::BANDS;
+use crate::survey::Survey;
+
+/// One exported CSV table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsvTable {
+    /// Destination table name.
+    pub name: String,
+    /// Header line (comma-separated column names).
+    pub header: String,
+    /// Data lines (comma-separated values, no trailing newline).
+    pub rows: Vec<String>,
+}
+
+impl CsvTable {
+    /// Render the whole document (header + rows).
+    pub fn to_document(&self) -> String {
+        let mut s = String::with_capacity(self.rows.len() * 64 + self.header.len() + 1);
+        s.push_str(&self.header);
+        s.push('\n');
+        for r in &self.rows {
+            s.push_str(r);
+            s.push('\n');
+        }
+        s
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+fn f(v: f64) -> String {
+    // Keep full precision but a compact form.
+    format!("{v}")
+}
+
+fn mag_columns(prefix: &str) -> String {
+    BANDS
+        .iter()
+        .map(|b| format!("{prefix}_{b}"))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn mags(values: &[f64; 5]) -> String {
+    values.iter().map(|v| f(*v)).collect::<Vec<_>>().join(",")
+}
+
+/// Export every table of a survey as CSV (in load order: parents before
+/// children so foreign keys validate).
+pub fn export_survey(survey: &Survey) -> Vec<CsvTable> {
+    let mut tables = Vec::new();
+
+    // Field ------------------------------------------------------------
+    tables.push(CsvTable {
+        name: "Field".into(),
+        header: "fieldID,run,rerun,camcol,field,ra,dec,raWidth,decWidth,stripe,strip,quality"
+            .into(),
+        rows: survey
+            .geometry
+            .fields
+            .iter()
+            .map(|x| {
+                format!(
+                    "{},{},{},{},{},{},{},{},{},{},{},{}",
+                    x.field_id,
+                    x.run,
+                    x.rerun,
+                    x.camcol,
+                    x.field,
+                    f(x.ra),
+                    f(x.dec),
+                    f(x.ra_width),
+                    f(x.dec_width),
+                    x.stripe,
+                    x.strip,
+                    x.quality
+                )
+            })
+            .collect(),
+    });
+
+    // Frame ------------------------------------------------------------
+    tables.push(CsvTable {
+        name: "Frame".into(),
+        header: "frameID,fieldID,band,zoom,imgBytes".into(),
+        rows: survey
+            .geometry
+            .frames
+            .iter()
+            .map(|x| format!("{},{},{},{},{}", x.frame_id, x.field_id, x.band, x.zoom, x.image_bytes))
+            .collect(),
+    });
+
+    // PhotoObj ----------------------------------------------------------
+    let header = format!(
+        "objID,parentID,fieldID,run,camcol,field,obj,nChild,type,probPSF,flags,status,\
+         ra,dec,cx,cy,cz,htmID,rowv,colv,{},{},{},{},{},petroRad_r,isoA_r,isoB_r,isoA_g,isoB_g,\
+         q_r,u_r,q_g,u_g",
+        mag_columns("modelMag"),
+        mag_columns("psfMag"),
+        mag_columns("petroMag"),
+        mag_columns("fiberMag"),
+        mag_columns("modelMagErr"),
+    );
+    tables.push(CsvTable {
+        name: "PhotoObj".into(),
+        header,
+        rows: survey
+            .photo
+            .objects
+            .iter()
+            .map(|o| {
+                format!(
+                    "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                    o.obj_id,
+                    o.parent_id,
+                    o.field_id,
+                    o.run,
+                    o.camcol,
+                    o.field,
+                    o.obj,
+                    o.n_child,
+                    o.obj_type,
+                    f(o.prob_psf),
+                    o.flags,
+                    o.status,
+                    f(o.ra),
+                    f(o.dec),
+                    f(o.cx),
+                    f(o.cy),
+                    f(o.cz),
+                    o.htm_id,
+                    f(o.rowv),
+                    f(o.colv),
+                    mags(&o.model_mag),
+                    mags(&o.psf_mag),
+                    mags(&o.petro_mag),
+                    mags(&o.fiber_mag),
+                    mags(&o.model_mag_err),
+                    f(o.petro_rad_r),
+                    f(o.iso_a[2]),
+                    f(o.iso_b[2]),
+                    f(o.iso_a[1]),
+                    f(o.iso_b[1]),
+                    f(o.q[2]),
+                    f(o.u[2]),
+                    f(o.q[1]),
+                    f(o.u[1]),
+                )
+            })
+            .collect(),
+    });
+
+    // Profile ------------------------------------------------------------
+    tables.push(CsvTable {
+        name: "Profile".into(),
+        header: "objID,nBins,profile".into(),
+        rows: survey
+            .photo
+            .profiles
+            .iter()
+            .map(|p| {
+                format!(
+                    "{},{},{}",
+                    p.obj_id,
+                    p.n_bins,
+                    skyserver_hex(&p.profile_blob)
+                )
+            })
+            .collect(),
+    });
+
+    // Plate / SpecObj / SpecLine / SpecLineIndex / redshifts --------------
+    tables.push(CsvTable {
+        name: "Plate".into(),
+        header: "plateID,ra,dec,mjd,nFibers".into(),
+        rows: survey
+            .spectro
+            .plates
+            .iter()
+            .map(|p| format!("{},{},{},{},{}", p.plate_id, f(p.ra), f(p.dec), p.mjd, p.n_fibers))
+            .collect(),
+    });
+    tables.push(CsvTable {
+        name: "SpecObj".into(),
+        header: "specObjID,plateID,fiberID,objID,ra,dec,htmID,z,zErr,zConf,specClass,imgBytes"
+            .into(),
+        rows: survey
+            .spectro
+            .spec_objs
+            .iter()
+            .map(|s| {
+                format!(
+                    "{},{},{},{},{},{},{},{},{},{},{},{}",
+                    s.spec_obj_id,
+                    s.plate_id,
+                    s.fiber_id,
+                    s.obj_id,
+                    f(s.ra),
+                    f(s.dec),
+                    s.htm_id,
+                    f(s.z),
+                    f(s.z_err),
+                    f(s.z_conf),
+                    s.spec_class,
+                    s.img_bytes
+                )
+            })
+            .collect(),
+    });
+    tables.push(CsvTable {
+        name: "SpecLine".into(),
+        header: "specLineID,specObjID,lineID,wave,sigma,height,ew".into(),
+        rows: survey
+            .spectro
+            .spec_lines
+            .iter()
+            .map(|l| {
+                format!(
+                    "{},{},{},{},{},{},{}",
+                    l.spec_line_id,
+                    l.spec_obj_id,
+                    l.line_id,
+                    f(l.wave),
+                    f(l.sigma),
+                    f(l.height),
+                    f(l.ew)
+                )
+            })
+            .collect(),
+    });
+    tables.push(CsvTable {
+        name: "SpecLineIndex".into(),
+        header: "specLineIndexID,specObjID,name,ew,mag".into(),
+        rows: survey
+            .spectro
+            .spec_line_indices
+            .iter()
+            .map(|l| {
+                format!(
+                    "{},{},{},{},{}",
+                    l.spec_line_index_id,
+                    l.spec_obj_id,
+                    l.name,
+                    f(l.ew),
+                    f(l.mag)
+                )
+            })
+            .collect(),
+    });
+    tables.push(CsvTable {
+        name: "xcRedShift".into(),
+        header: "xcRedShiftID,specObjID,z,r,peak".into(),
+        rows: survey
+            .spectro
+            .xc_redshifts
+            .iter()
+            .map(|x| format!("{},{},{},{},{}", x.xc_red_shift_id, x.spec_obj_id, f(x.z), f(x.r), f(x.peak)))
+            .collect(),
+    });
+    tables.push(CsvTable {
+        name: "elRedShift".into(),
+        header: "elRedShiftID,specObjID,z,nLines".into(),
+        rows: survey
+            .spectro
+            .el_redshifts
+            .iter()
+            .map(|x| format!("{},{},{},{}", x.el_red_shift_id, x.spec_obj_id, f(x.z), x.n_lines))
+            .collect(),
+    });
+
+    // Cross-match tables ---------------------------------------------------
+    tables.push(CsvTable {
+        name: "USNO".into(),
+        header: "objID,usnoID,delta,blueMag,redMag".into(),
+        rows: survey
+            .xmatch
+            .usno
+            .iter()
+            .map(|m| format!("{},{},{},{},{}", m.obj_id, m.usno_id, f(m.delta), f(m.blue_mag), f(m.red_mag)))
+            .collect(),
+    });
+    tables.push(CsvTable {
+        name: "ROSAT".into(),
+        header: "objID,rosatID,delta,cps".into(),
+        rows: survey
+            .xmatch
+            .rosat
+            .iter()
+            .map(|m| format!("{},{},{},{}", m.obj_id, m.rosat_id, f(m.delta), f(m.cps)))
+            .collect(),
+    });
+    tables.push(CsvTable {
+        name: "FIRST".into(),
+        header: "objID,firstID,delta,peakFlux".into(),
+        rows: survey
+            .xmatch
+            .first
+            .iter()
+            .map(|m| format!("{},{},{},{}", m.obj_id, m.first_id, f(m.delta), f(m.peak_flux)))
+            .collect(),
+    });
+
+    tables
+}
+
+fn skyserver_hex(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2 + 2);
+    s.push_str("0x");
+    for b in bytes {
+        s.push_str(&format!("{b:02x}"));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SurveyConfig;
+
+    #[test]
+    fn export_produces_all_tables_in_fk_order() {
+        let survey = Survey::generate(SurveyConfig::tiny()).unwrap();
+        let tables = export_survey(&survey);
+        let names: Vec<&str> = tables.iter().map(|t| t.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "Field",
+                "Frame",
+                "PhotoObj",
+                "Profile",
+                "Plate",
+                "SpecObj",
+                "SpecLine",
+                "SpecLineIndex",
+                "xcRedShift",
+                "elRedShift",
+                "USNO",
+                "ROSAT",
+                "FIRST"
+            ]
+        );
+        // Parents appear before children.
+        let pos = |n: &str| names.iter().position(|x| *x == n).unwrap();
+        assert!(pos("Field") < pos("PhotoObj"));
+        assert!(pos("PhotoObj") < pos("SpecObj"));
+        assert!(pos("Plate") < pos("SpecObj"));
+        assert!(pos("SpecObj") < pos("SpecLine"));
+    }
+
+    #[test]
+    fn header_arity_matches_row_arity() {
+        let survey = Survey::generate(SurveyConfig::tiny()).unwrap();
+        for table in export_survey(&survey) {
+            let header_cols = table.header.split(',').count();
+            for (i, row) in table.rows.iter().take(20).enumerate() {
+                let cols = row.split(',').count();
+                assert_eq!(
+                    cols, header_cols,
+                    "table {} row {i} has {cols} fields, header has {header_cols}",
+                    table.name
+                );
+            }
+            assert_eq!(table.len(), table.rows.len());
+        }
+    }
+
+    #[test]
+    fn row_counts_match_survey_counts() {
+        let survey = Survey::generate(SurveyConfig::tiny()).unwrap();
+        let counts = survey.counts();
+        let tables = export_survey(&survey);
+        let rows = |n: &str| tables.iter().find(|t| t.name == n).unwrap().len();
+        assert_eq!(rows("PhotoObj"), counts.photo_obj);
+        assert_eq!(rows("Field"), counts.fields);
+        assert_eq!(rows("SpecLine"), counts.spec_lines);
+        assert_eq!(rows("USNO"), counts.usno);
+    }
+
+    #[test]
+    fn document_round_trips_lines() {
+        let survey = Survey::generate(SurveyConfig::tiny()).unwrap();
+        let tables = export_survey(&survey);
+        let doc = tables[0].to_document();
+        let lines: Vec<&str> = doc.lines().collect();
+        assert_eq!(lines.len(), tables[0].len() + 1);
+        assert_eq!(lines[0], tables[0].header);
+    }
+}

@@ -1,0 +1,183 @@
+//! Photometric flag bits, object type codes and spectral classes.
+//!
+//! The SDSS pipeline attaches ~100 boolean properties to every object,
+//! "encoded as bit flags" (§9).  Queries test them with expressions like
+//! `flags & dbo.fPhotoFlags('saturated') = 0`.  This module defines the
+//! subset of flags the paper's queries use plus the type/class dictionaries,
+//! and the name↔bit mappings behind the `fPhotoFlags`, `fPhotoType` and
+//! `fSpecClass` scalar functions.
+
+/// Photometric status/flag bits (a representative subset of the ~100 real
+/// ones).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u64)]
+pub enum PhotoFlag {
+    /// Best (primary) detection of the object.
+    Primary = 0x1,
+    /// Detection from an overlap area (duplicate of some primary).
+    Secondary = 0x2,
+    /// Object is a deblended child.
+    Child = 0x4,
+    /// Object was blended with another and has deblended children.
+    Blended = 0x8,
+    /// At least one pixel is saturated.
+    Saturated = 0x10,
+    /// Object is brighter than the survey's bright limit.
+    Bright = 0x20,
+    /// Object touches the edge of its frame.
+    Edge = 0x40,
+    /// The observation came from an acceptable ("OK") run.
+    OkRun = 0x80,
+    /// Pixels interpolated over cosmic rays / bad columns.
+    Interpolated = 0x100,
+    /// The deblend is suspect.
+    DeblendNopeak = 0x200,
+    /// Moving object detected by the pipeline.
+    Moved = 0x400,
+    /// Photometry may be contaminated by a nearby bright star.
+    NearBrightStar = 0x800,
+}
+
+/// All flags with their SkyServer names (the `PhotoFlags` dictionary table).
+pub const PHOTO_FLAGS: &[(&str, u64)] = &[
+    ("primary", PhotoFlag::Primary as u64),
+    ("secondary", PhotoFlag::Secondary as u64),
+    ("child", PhotoFlag::Child as u64),
+    ("blended", PhotoFlag::Blended as u64),
+    ("saturated", PhotoFlag::Saturated as u64),
+    ("bright", PhotoFlag::Bright as u64),
+    ("edge", PhotoFlag::Edge as u64),
+    ("ok run", PhotoFlag::OkRun as u64),
+    ("interpolated", PhotoFlag::Interpolated as u64),
+    ("deblend_nopeak", PhotoFlag::DeblendNopeak as u64),
+    ("moved", PhotoFlag::Moved as u64),
+    ("near_bright_star", PhotoFlag::NearBrightStar as u64),
+];
+
+/// Look up a flag bit by its SkyServer name (case-insensitive).  This is the
+/// behaviour of the `dbo.fPhotoFlags(name)` scalar UDF.
+pub fn photo_flag_value(name: &str) -> Option<u64> {
+    let lower = name.trim().to_ascii_lowercase();
+    PHOTO_FLAGS
+        .iter()
+        .find(|(n, _)| *n == lower)
+        .map(|(_, v)| *v)
+}
+
+/// Object classification codes (the `PhotoType` dictionary).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(i64)]
+pub enum PhotoType {
+    Unknown = 0,
+    CosmicRay = 1,
+    Defect = 2,
+    Galaxy = 3,
+    Ghost = 4,
+    KnownObject = 5,
+    Star = 6,
+    Trail = 8,
+    Sky = 9,
+}
+
+/// Name -> type-code mapping (the `dbo.fPhotoType(name)` UDF).
+pub const PHOTO_TYPES: &[(&str, i64)] = &[
+    ("unknown", PhotoType::Unknown as i64),
+    ("cosmicray", PhotoType::CosmicRay as i64),
+    ("defect", PhotoType::Defect as i64),
+    ("galaxy", PhotoType::Galaxy as i64),
+    ("ghost", PhotoType::Ghost as i64),
+    ("knownobject", PhotoType::KnownObject as i64),
+    ("star", PhotoType::Star as i64),
+    ("trail", PhotoType::Trail as i64),
+    ("sky", PhotoType::Sky as i64),
+];
+
+/// Look up a type code by name (case-insensitive).
+pub fn photo_type_value(name: &str) -> Option<i64> {
+    let lower = name.trim().to_ascii_lowercase();
+    PHOTO_TYPES
+        .iter()
+        .find(|(n, _)| *n == lower)
+        .map(|(_, v)| *v)
+}
+
+/// Spectral classification codes (the `SpecClass` dictionary).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(i64)]
+pub enum SpecClass {
+    Unknown = 0,
+    Star = 1,
+    Galaxy = 2,
+    Qso = 3,
+    HizQso = 4,
+    Sky = 5,
+    StarLate = 6,
+    GalEm = 7,
+}
+
+/// Name -> spectral-class mapping.
+pub const SPEC_CLASSES: &[(&str, i64)] = &[
+    ("unknown", SpecClass::Unknown as i64),
+    ("star", SpecClass::Star as i64),
+    ("galaxy", SpecClass::Galaxy as i64),
+    ("qso", SpecClass::Qso as i64),
+    ("hizqso", SpecClass::HizQso as i64),
+    ("sky", SpecClass::Sky as i64),
+    ("star_late", SpecClass::StarLate as i64),
+    ("galem", SpecClass::GalEm as i64),
+];
+
+/// Look up a spectral class code by name.
+pub fn spec_class_value(name: &str) -> Option<i64> {
+    let lower = name.trim().to_ascii_lowercase();
+    SPEC_CLASSES
+        .iter()
+        .find(|(n, _)| *n == lower)
+        .map(|(_, v)| *v)
+}
+
+/// The five SDSS photometric bands, in the canonical u, g, r, i, z order.
+pub const BANDS: [char; 5] = ['u', 'g', 'r', 'i', 'z'];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_lookup_by_name() {
+        assert_eq!(photo_flag_value("saturated"), Some(0x10));
+        assert_eq!(photo_flag_value("SATURATED"), Some(0x10));
+        assert_eq!(photo_flag_value("primary"), Some(1));
+        assert_eq!(photo_flag_value("OK Run"), Some(0x80));
+        assert_eq!(photo_flag_value("no such flag"), None);
+    }
+
+    #[test]
+    fn flag_bits_are_distinct_powers_of_two() {
+        let mut seen = 0u64;
+        for (_, bit) in PHOTO_FLAGS {
+            assert_eq!(bit.count_ones(), 1, "flag {bit:#x} is not a single bit");
+            assert_eq!(seen & bit, 0, "flag {bit:#x} reused");
+            seen |= bit;
+        }
+    }
+
+    #[test]
+    fn type_lookup() {
+        assert_eq!(photo_type_value("galaxy"), Some(3));
+        assert_eq!(photo_type_value("Star"), Some(6));
+        assert_eq!(photo_type_value("nebula"), None);
+    }
+
+    #[test]
+    fn spec_class_lookup() {
+        assert_eq!(spec_class_value("qso"), Some(3));
+        assert_eq!(spec_class_value("GALAXY"), Some(2));
+        assert_eq!(spec_class_value("none"), None);
+    }
+
+    #[test]
+    fn bands_order() {
+        assert_eq!(BANDS, ['u', 'g', 'r', 'i', 'z']);
+    }
+}

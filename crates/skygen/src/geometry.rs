@@ -1,0 +1,230 @@
+//! Observational geometry: stripes, strips, runs, camera columns, fields and
+//! frames.
+//!
+//! The SDSS observes the sky in 2.5°-wide **stripes**; each stripe is the
+//! mosaic of two interleaved night's **strips** with ~10 % overlap (Fig 6).
+//! A strip observation is a **run**; the camera has 6 **camcols**, and the
+//! data stream is chopped into **fields** (~10'x13').  Every field yields 5
+//! **frames** (one per band), which is why the paper's Table 1 has ~5x more
+//! frame rows than field rows.
+
+use crate::config::SurveyConfig;
+
+/// One observed field (the unit of pipeline processing).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FieldRecord {
+    pub field_id: i64,
+    pub run: i64,
+    pub rerun: i64,
+    pub camcol: i64,
+    pub field: i64,
+    /// Field centre.
+    pub ra: f64,
+    pub dec: f64,
+    /// Right-ascension extent of the field, degrees.
+    pub ra_width: f64,
+    /// Declination extent of the field, degrees.
+    pub dec_width: f64,
+    /// Stripe number this field belongs to.
+    pub stripe: i64,
+    /// Strip within the stripe (0 = North strip, 1 = South strip).
+    pub strip: i64,
+    /// Photometric quality (1 = acceptable, matching the "OK run" flag).
+    pub quality: i64,
+}
+
+/// One frame: the image of a field in one band.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameRecord {
+    pub frame_id: i64,
+    pub field_id: i64,
+    /// Band index 0..5 (u, g, r, i, z).
+    pub band: i64,
+    /// Zoom level of the stored JPEG (0 = full resolution).
+    pub zoom: i64,
+    /// Synthetic JPEG payload size in bytes (the real frames store the image
+    /// blob in the database, §5).
+    pub image_bytes: i64,
+}
+
+/// The geometric layout of the whole survey.
+#[derive(Debug, Clone, Default)]
+pub struct SurveyGeometry {
+    pub fields: Vec<FieldRecord>,
+    pub frames: Vec<FrameRecord>,
+    /// Stripe declination centres.
+    pub stripe_decs: Vec<f64>,
+    /// (ra_min, ra_max) of the surveyed area.
+    pub ra_range: (f64, f64),
+    /// (dec_min, dec_max) of the surveyed area.
+    pub dec_range: (f64, f64),
+}
+
+/// Width of one stripe in degrees.
+pub const STRIPE_WIDTH_DEG: f64 = 2.5;
+/// Number of camera columns.
+pub const CAMCOLS: i64 = 6;
+/// Fractional overlap between the two strips of a stripe.
+pub const STRIP_OVERLAP: f64 = 0.10;
+
+impl SurveyGeometry {
+    /// Lay out the survey footprint for a configuration.
+    pub fn generate(config: &SurveyConfig) -> SurveyGeometry {
+        let mut geometry = SurveyGeometry {
+            ra_range: (
+                config.base_ra_deg,
+                config.base_ra_deg + config.stripe_length_deg,
+            ),
+            ..Default::default()
+        };
+        let mut field_id = 0i64;
+        let mut frame_id = 0i64;
+        for stripe in 0..config.stripes {
+            let stripe_dec = config.base_dec_deg + f64::from(stripe) * STRIPE_WIDTH_DEG;
+            geometry.stripe_decs.push(stripe_dec);
+            for strip in 0..2i64 {
+                // The two strips interleave: each covers half the stripe
+                // width plus the overlap margin.
+                let strip_dec = stripe_dec + (strip as f64 - 0.5) * STRIPE_WIDTH_DEG / 2.0;
+                let run = 1000 + i64::from(stripe) * 10 + strip;
+                for camcol in 1..=CAMCOLS {
+                    let camcol_dec = strip_dec
+                        + (camcol as f64 - 3.5) * (STRIPE_WIDTH_DEG / 2.0 / CAMCOLS as f64)
+                            * (1.0 + STRIP_OVERLAP);
+                    let ra_step = config.stripe_length_deg / f64::from(config.fields_per_camcol);
+                    for field in 0..config.fields_per_camcol {
+                        let ra = config.base_ra_deg + (f64::from(field) + 0.5) * ra_step;
+                        field_id += 1;
+                        let record = FieldRecord {
+                            field_id,
+                            run,
+                            rerun: 1,
+                            camcol,
+                            field: i64::from(field) + 11, // SDSS field numbering starts around 11
+                            ra,
+                            dec: camcol_dec,
+                            ra_width: ra_step,
+                            dec_width: STRIPE_WIDTH_DEG / 2.0 / CAMCOLS as f64 * (1.0 + STRIP_OVERLAP),
+                            stripe: i64::from(stripe) + 82, // SDSS stripe numbering
+                            strip,
+                            quality: 1,
+                        };
+                        // One frame per band for each field.
+                        for band in 0..5i64 {
+                            frame_id += 1;
+                            geometry.frames.push(FrameRecord {
+                                frame_id,
+                                field_id,
+                                band,
+                                zoom: 0,
+                                image_bytes: 60_000 + (band * 7_000),
+                            });
+                        }
+                        geometry.fields.push(record);
+                    }
+                }
+            }
+        }
+        let dec_min = geometry
+            .fields
+            .iter()
+            .map(|f| f.dec - f.dec_width / 2.0)
+            .fold(f64::INFINITY, f64::min);
+        let dec_max = geometry
+            .fields
+            .iter()
+            .map(|f| f.dec + f.dec_width / 2.0)
+            .fold(f64::NEG_INFINITY, f64::max);
+        geometry.dec_range = (dec_min, dec_max);
+        geometry
+    }
+
+    /// The field whose footprint contains `(ra, dec)`, if any (used to
+    /// assign generated objects to fields).  Ties go to the first match,
+    /// mimicking the primary/secondary resolution of overlaps.
+    pub fn field_containing(&self, ra: f64, dec: f64) -> Option<&FieldRecord> {
+        self.fields.iter().find(|f| {
+            (ra - f.ra).abs() <= f.ra_width / 2.0 && (dec - f.dec).abs() <= f.dec_width / 2.0
+        })
+    }
+
+    /// All fields whose footprint contains the position (more than one in
+    /// overlap regions -- the source of duplicate detections).
+    pub fn fields_containing(&self, ra: f64, dec: f64) -> Vec<&FieldRecord> {
+        self.fields
+            .iter()
+            .filter(|f| {
+                (ra - f.ra).abs() <= f.ra_width / 2.0 && (dec - f.dec).abs() <= f.dec_width / 2.0
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_and_frame_counts() {
+        let config = SurveyConfig::tiny();
+        let g = SurveyGeometry::generate(&config);
+        let expected_fields =
+            (config.stripes * 2 * CAMCOLS as u32 * config.fields_per_camcol) as usize;
+        assert_eq!(g.fields.len(), expected_fields);
+        assert_eq!(g.frames.len(), expected_fields * 5);
+    }
+
+    #[test]
+    fn frames_reference_fields() {
+        let g = SurveyGeometry::generate(&SurveyConfig::tiny());
+        let max_field = g.fields.iter().map(|f| f.field_id).max().unwrap();
+        for frame in &g.frames {
+            assert!(frame.field_id >= 1 && frame.field_id <= max_field);
+            assert!((0..5).contains(&frame.band));
+        }
+    }
+
+    #[test]
+    fn footprint_covers_requested_area() {
+        let config = SurveyConfig::personal_skyserver();
+        let g = SurveyGeometry::generate(&config);
+        assert_eq!(g.stripe_decs.len(), config.stripes as usize);
+        assert!((g.ra_range.1 - g.ra_range.0 - config.stripe_length_deg).abs() < 1e-9);
+        assert!(g.dec_range.1 > g.dec_range.0);
+    }
+
+    #[test]
+    fn positions_map_to_fields() {
+        let config = SurveyConfig::tiny();
+        let g = SurveyGeometry::generate(&config);
+        // The centre of every field must map back to a field.
+        for f in &g.fields {
+            let found = g.field_containing(f.ra, f.dec);
+            assert!(found.is_some());
+        }
+        // A far-away point maps to nothing.
+        assert!(g.field_containing(10.0, 80.0).is_none());
+    }
+
+    #[test]
+    fn overlap_regions_hit_multiple_fields() {
+        let config = SurveyConfig::personal_skyserver();
+        let g = SurveyGeometry::generate(&config);
+        let multi = g
+            .fields
+            .iter()
+            .filter(|f| g.fields_containing(f.ra, f.dec).len() > 1)
+            .count();
+        // Interleaved strips overlap, so a noticeable share of field centres
+        // land in more than one footprint.
+        assert!(multi > 0, "expected some overlapping footprints");
+    }
+
+    #[test]
+    fn runs_distinguish_strips() {
+        let g = SurveyGeometry::generate(&SurveyConfig::tiny());
+        let north_run = g.fields.iter().find(|f| f.strip == 0).unwrap().run;
+        let south_run = g.fields.iter().find(|f| f.strip == 1).unwrap().run;
+        assert_ne!(north_run, south_run);
+    }
+}

@@ -1,0 +1,536 @@
+//! Photometric object synthesis.
+//!
+//! Generates `PhotoObj` records with the statistical properties the paper's
+//! queries depend on: 5-band magnitudes in several measurement styles with
+//! realistic colour correlations, bit flags, primary/secondary duplicates
+//! from strip overlaps (~11 %), deblended parent/child families, row/column
+//! velocities with a rare asteroid population, ellipticities (with elongated
+//! fast movers), and the three positional encodings (ra/dec, unit vector,
+//! 20-deep HTM id).
+
+use crate::config::SurveyConfig;
+use crate::flags::{PhotoFlag, PhotoType};
+use crate::geometry::SurveyGeometry;
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use skyserver_htm::{lookup_id, Vec3, SDSS_DEPTH};
+
+/// One row of the PhotoObj table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhotoObjRecord {
+    pub obj_id: i64,
+    /// 0 when the object is not a deblended child.
+    pub parent_id: i64,
+    pub field_id: i64,
+    pub run: i64,
+    pub camcol: i64,
+    pub field: i64,
+    /// Object number within its field.
+    pub obj: i64,
+    pub n_child: i64,
+    /// PhotoType code (3 = galaxy, 6 = star, ...).
+    pub obj_type: i64,
+    /// Probability the object is a point source.
+    pub prob_psf: f64,
+    /// Bit flags (see [`crate::flags::PhotoFlag`]).
+    pub flags: i64,
+    pub status: i64,
+    // Position.
+    pub ra: f64,
+    pub dec: f64,
+    pub cx: f64,
+    pub cy: f64,
+    pub cz: f64,
+    pub htm_id: i64,
+    // Motion (pixels per exposure; asteroids move, §11 query 15).
+    pub rowv: f64,
+    pub colv: f64,
+    // Magnitudes: model, PSF, Petrosian and fibre, in the five bands.
+    pub model_mag: [f64; 5],
+    pub psf_mag: [f64; 5],
+    pub petro_mag: [f64; 5],
+    pub fiber_mag: [f64; 5],
+    pub model_mag_err: [f64; 5],
+    // Shape.
+    pub petro_rad_r: f64,
+    pub iso_a: [f64; 5],
+    pub iso_b: [f64; 5],
+    /// Stokes Q parameter per band (ellipticity component).
+    pub q: [f64; 5],
+    /// Stokes U parameter per band (ellipticity component).
+    pub u: [f64; 5],
+}
+
+impl PhotoObjRecord {
+    /// Is the primary flag set?
+    pub fn is_primary(&self) -> bool {
+        (self.flags as u64) & (PhotoFlag::Primary as u64) != 0
+    }
+
+    /// Velocity-squared value used by the asteroid query.
+    pub fn velocity_sq(&self) -> f64 {
+        self.rowv * self.rowv + self.colv * self.colv
+    }
+}
+
+/// One row of the Profile table: the radial light profile of an object,
+/// stored as a binary blob of mean surface brightnesses in concentric rings
+/// (the paper stores it as a blob accessed through functions, §9.1.1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileRecord {
+    pub obj_id: i64,
+    /// Number of radial bins.
+    pub n_bins: i64,
+    /// Encoded blob: 8-byte little-endian f64 per bin.
+    pub profile_blob: Vec<u8>,
+}
+
+impl ProfileRecord {
+    /// Decode the blob back into radial bin values (the `fProfileValue`
+    /// access-function behaviour).
+    pub fn values(&self) -> Vec<f64> {
+        self.profile_blob
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+            .collect()
+    }
+}
+
+/// Output of photometric synthesis.
+#[derive(Debug, Clone, Default)]
+pub struct PhotoCatalog {
+    pub objects: Vec<PhotoObjRecord>,
+    pub profiles: Vec<ProfileRecord>,
+}
+
+/// Generate the photometric catalog.
+pub fn generate_photo(
+    config: &SurveyConfig,
+    geometry: &SurveyGeometry,
+    rng: &mut ChaCha8Rng,
+) -> PhotoCatalog {
+    let mut catalog = PhotoCatalog::default();
+    let mut next_obj_id: i64 = 1_000_000;
+    let (ra_min, ra_max) = geometry.ra_range;
+    let (dec_min, dec_max) = geometry.dec_range;
+    let n_asteroids = ((config.target_objects as f64) * config.asteroid_fraction).ceil() as usize;
+
+    for i in 0..config.target_objects {
+        let ra = rng.gen_range(ra_min..ra_max);
+        let dec = rng.gen_range(dec_min..dec_max);
+        let field = geometry
+            .field_containing(ra, dec)
+            .or_else(|| geometry.fields.first())
+            .expect("the survey footprint is never empty");
+        let is_galaxy = rng.gen_bool(config.galaxy_fraction);
+        let obj_type = if is_galaxy {
+            PhotoType::Galaxy as i64
+        } else if rng.gen_bool(0.98) {
+            PhotoType::Star as i64
+        } else {
+            PhotoType::Unknown as i64
+        };
+        // Plant slow-moving asteroids among the first objects (deterministic
+        // count) -- they must be star-like to mimic the paper's moving
+        // point sources.
+        let is_asteroid = i < n_asteroids;
+        next_obj_id += 1;
+        let obj_id = next_obj_id;
+        let mut record = synthesize_object(
+            obj_id,
+            field.field_id,
+            field.run,
+            field.camcol,
+            field.field,
+            (i % 1000) as i64,
+            ra,
+            dec,
+            if is_asteroid { PhotoType::Star as i64 } else { obj_type },
+            is_galaxy && !is_asteroid,
+            rng,
+        );
+        record.flags |= PhotoFlag::Primary as i64 | PhotoFlag::OkRun as i64;
+        if is_asteroid {
+            // Velocity magnitude in the Q15 window: 50 <= v^2 < 1000.
+            let v = rng.gen_range(8.0..30.0);
+            let theta: f64 = rng.gen_range(0.0..std::f64::consts::FRAC_PI_2);
+            record.rowv = v * theta.cos();
+            record.colv = v * theta.sin();
+            record.flags |= PhotoFlag::Moved as i64;
+        }
+        // Saturated bright objects (a few percent).
+        if record.model_mag[2] < 15.0 && rng.gen_bool(0.5) {
+            record.flags |= PhotoFlag::Saturated as i64 | PhotoFlag::Bright as i64;
+        }
+        let primary_index = catalog.objects.len();
+        catalog.profiles.push(make_profile(&record, rng));
+        catalog.objects.push(record);
+
+        // Duplicate (secondary) detection from strip/stripe overlap.
+        if rng.gen_bool(config.duplicate_fraction) {
+            next_obj_id += 1;
+            let mut dup = catalog.objects[primary_index].clone();
+            dup.obj_id = next_obj_id;
+            dup.flags &= !(PhotoFlag::Primary as i64);
+            dup.flags |= PhotoFlag::Secondary as i64;
+            // The duplicate is observed in the other strip: different run.
+            dup.run += 1;
+            for b in 0..5 {
+                dup.model_mag[b] += rng.gen_range(-0.02..0.02);
+            }
+            catalog.profiles.push(make_profile(&dup, rng));
+            catalog.objects.push(dup);
+        }
+
+        // Deblended families: the parent loses primary status, two children
+        // appear (children of blends are the primaries, §9).
+        if rng.gen_bool(config.deblend_fraction) {
+            let parent_pos = catalog.objects.len() - 1;
+            // Re-borrow the primary (it may be the duplicate that was pushed
+            // last; always deblend the *primary* record).
+            let parent_obj_id = catalog.objects[primary_index].obj_id;
+            {
+                let parent = &mut catalog.objects[primary_index];
+                parent.flags &= !(PhotoFlag::Primary as i64);
+                parent.flags |= PhotoFlag::Blended as i64;
+                parent.n_child = 2;
+            }
+            let _ = parent_pos;
+            for c in 0..2 {
+                next_obj_id += 1;
+                let base = catalog.objects[primary_index].clone();
+                let mut child = synthesize_object(
+                    next_obj_id,
+                    base.field_id,
+                    base.run,
+                    base.camcol,
+                    base.field,
+                    base.obj * 10 + c,
+                    base.ra + rng.gen_range(-0.0005..0.0005),
+                    base.dec + rng.gen_range(-0.0005..0.0005),
+                    base.obj_type,
+                    base.obj_type == PhotoType::Galaxy as i64,
+                    rng,
+                );
+                child.parent_id = parent_obj_id;
+                child.flags |= PhotoFlag::Child as i64
+                    | PhotoFlag::Primary as i64
+                    | PhotoFlag::OkRun as i64;
+                catalog.profiles.push(make_profile(&child, rng));
+                catalog.objects.push(child);
+            }
+        }
+    }
+
+    plant_fast_mover_pairs(config, geometry, rng, &mut next_obj_id, &mut catalog);
+    catalog
+}
+
+/// Plant the fast-moving NEO pairs of the modified Query 15: elongated
+/// detections in adjacent fields whose red and green magnitudes line up.
+fn plant_fast_mover_pairs(
+    config: &SurveyConfig,
+    geometry: &SurveyGeometry,
+    rng: &mut ChaCha8Rng,
+    next_obj_id: &mut i64,
+    catalog: &mut PhotoCatalog,
+) {
+    for pair in 0..config.fast_mover_pairs {
+        let Some(field) = geometry.fields.get(pair * 3 % geometry.fields.len().max(1)) else {
+            break;
+        };
+        let base_mag = rng.gen_range(16.0..20.0);
+        let ra = field.ra;
+        let dec = field.dec;
+        for member in 0..2 {
+            *next_obj_id += 1;
+            let mut obj = synthesize_object(
+                *next_obj_id,
+                field.field_id,
+                field.run,
+                field.camcol,
+                field.field + member, // adjacent fields
+                900 + member,
+                ra + member as f64 * 0.02, // within 4 arcminutes
+                dec,
+                PhotoType::Star as i64,
+                false,
+                rng,
+            );
+            obj.parent_id = 0;
+            obj.flags |= PhotoFlag::Primary as i64 | PhotoFlag::OkRun as i64 | PhotoFlag::Moved as i64;
+            // Elongated streak: isoA/isoB > 1.5 and large Stokes parameters.
+            for b in 0..5 {
+                obj.iso_a[b] = rng.gen_range(2.5..4.0);
+                obj.iso_b[b] = obj.iso_a[b] / rng.gen_range(1.8..2.5);
+                obj.q[b] = 0.5;
+                obj.u[b] = 0.3;
+            }
+            // The member detected in r is fainter in all other bands, and the
+            // g member vice versa, with |r - g| < 2 between the pair.
+            let faint = 24.0;
+            if member == 0 {
+                obj.fiber_mag = [faint, faint, base_mag, faint, faint];
+            } else {
+                obj.fiber_mag = [faint, base_mag + rng.gen_range(-1.5..1.5), faint, faint, faint];
+            }
+            obj.rowv = 80.0; // too fast for the slow-mover query window
+            obj.colv = 80.0;
+            catalog.profiles.push(make_profile(&obj, rng));
+            catalog.objects.push(obj);
+        }
+    }
+}
+
+/// Synthesize one object's photometry at a position.
+#[allow(clippy::too_many_arguments)]
+fn synthesize_object(
+    obj_id: i64,
+    field_id: i64,
+    run: i64,
+    camcol: i64,
+    field: i64,
+    obj: i64,
+    ra: f64,
+    dec: f64,
+    obj_type: i64,
+    extended: bool,
+    rng: &mut ChaCha8Rng,
+) -> PhotoObjRecord {
+    let v = Vec3::from_radec(ra, dec);
+    // Brightness: apparent magnitude distribution rises toward the faint
+    // end (roughly Euclidean number counts), clipped to the survey limits.
+    let u01: f64 = rng.gen_range(0.0f64..1.0).max(1e-6);
+    let r_mag = 22.5 + 2.5 * u01.log10().max(-3.4); // ~14 .. 22.5
+    // Colours: galaxies are redder on average than stars.
+    let g_r = if extended {
+        rng.gen_range(0.4..1.2)
+    } else {
+        rng.gen_range(-0.2..0.8)
+    };
+    let u_g = rng.gen_range(0.5..2.0);
+    let r_i = rng.gen_range(0.0..0.6);
+    let i_z = rng.gen_range(-0.1..0.4);
+    let model_mag = [
+        r_mag + g_r + u_g,
+        r_mag + g_r,
+        r_mag,
+        r_mag - r_i,
+        r_mag - r_i - i_z,
+    ];
+    let mut psf_mag = model_mag;
+    let mut petro_mag = model_mag;
+    let mut fiber_mag = model_mag;
+    let mut model_mag_err = [0.0; 5];
+    for b in 0..5 {
+        // Point sources: PSF ≈ model; extended sources lose light in the PSF
+        // aperture and gain in the Petrosian aperture.
+        let extended_offset = if extended { rng.gen_range(0.3..0.9) } else { rng.gen_range(-0.02..0.02) };
+        psf_mag[b] = model_mag[b] + extended_offset;
+        petro_mag[b] = model_mag[b] - if extended { rng.gen_range(0.0..0.2) } else { 0.0 };
+        fiber_mag[b] = model_mag[b] + rng.gen_range(0.05..0.25);
+        // Fainter objects have larger errors.
+        model_mag_err[b] = 0.01 + 0.02 * ((model_mag[b] - 14.0).max(0.0) / 8.0).powi(2)
+            + rng.gen_range(0.0..0.01);
+    }
+    let (iso_a, iso_b, q, u) = if extended {
+        let mut a = [0.0; 5];
+        let mut bb = [0.0; 5];
+        let mut qq = [0.0; 5];
+        let mut uu = [0.0; 5];
+        for b in 0..5 {
+            a[b] = rng.gen_range(1.0..6.0);
+            bb[b] = a[b] * rng.gen_range(0.5..1.0);
+            let e = (a[b] - bb[b]) / (a[b] + bb[b]);
+            let phi: f64 = rng.gen_range(0.0..std::f64::consts::PI);
+            qq[b] = e * (2.0 * phi).cos();
+            uu[b] = e * (2.0 * phi).sin();
+        }
+        (a, bb, qq, uu)
+    } else {
+        ([1.2; 5], [1.1; 5], [0.02; 5], [0.02; 5])
+    };
+    PhotoObjRecord {
+        obj_id,
+        parent_id: 0,
+        field_id,
+        run,
+        camcol,
+        field,
+        obj,
+        n_child: 0,
+        obj_type,
+        prob_psf: if extended { rng.gen_range(0.0..0.3) } else { rng.gen_range(0.7..1.0) },
+        flags: 0,
+        status: 1,
+        ra,
+        dec,
+        cx: v.x,
+        cy: v.y,
+        cz: v.z,
+        htm_id: lookup_id(ra, dec, SDSS_DEPTH) as i64,
+        rowv: rng.gen_range(-0.05..0.05),
+        colv: rng.gen_range(-0.05..0.05),
+        model_mag,
+        psf_mag,
+        petro_mag,
+        fiber_mag,
+        model_mag_err,
+        petro_rad_r: if extended { rng.gen_range(2.0..15.0) } else { rng.gen_range(1.0..2.0) },
+        iso_a,
+        iso_b,
+        q,
+        u,
+    }
+}
+
+fn make_profile(obj: &PhotoObjRecord, rng: &mut ChaCha8Rng) -> ProfileRecord {
+    let n_bins = if obj.obj_type == PhotoType::Galaxy as i64 { 12 } else { 6 };
+    let mut blob = Vec::with_capacity(n_bins * 8);
+    let central = 10f64.powf((22.5 - obj.model_mag[2]) / 2.5);
+    for bin in 0..n_bins {
+        let value = central / (1.0 + bin as f64).powi(2) * rng.gen_range(0.9..1.1);
+        blob.extend_from_slice(&value.to_le_bytes());
+    }
+    ProfileRecord {
+        obj_id: obj.obj_id,
+        n_bins: n_bins as i64,
+        profile_blob: blob,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn catalog() -> (SurveyConfig, PhotoCatalog) {
+        let config = SurveyConfig::tiny();
+        let geometry = SurveyGeometry::generate(&config);
+        let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+        (config.clone(), generate_photo(&config, &geometry, &mut rng))
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let (_, a) = catalog();
+        let (_, b) = catalog();
+        assert_eq!(a.objects.len(), b.objects.len());
+        assert_eq!(a.objects[10], b.objects[10]);
+        assert_eq!(a.profiles[5].values(), b.profiles[5].values());
+    }
+
+    #[test]
+    fn row_count_close_to_expected() {
+        let (config, cat) = catalog();
+        let expected = config.expected_photo_rows() as f64;
+        let got = cat.objects.len() as f64;
+        assert!(
+            (got - expected).abs() / expected < 0.15,
+            "expected ~{expected}, got {got}"
+        );
+    }
+
+    #[test]
+    fn primary_fraction_near_80_percent() {
+        let (_, cat) = catalog();
+        let primaries = cat.objects.iter().filter(|o| o.is_primary()).count();
+        let fraction = primaries as f64 / cat.objects.len() as f64;
+        assert!(
+            (0.72..=0.95).contains(&fraction),
+            "primary fraction {fraction} outside the paper's ~80% ballpark"
+        );
+    }
+
+    #[test]
+    fn duplicates_are_not_primary_and_children_reference_parents() {
+        let (_, cat) = catalog();
+        let mut children = 0;
+        for o in &cat.objects {
+            let flags = o.flags as u64;
+            if flags & PhotoFlag::Secondary as u64 != 0 {
+                assert!(!o.is_primary());
+            }
+            if flags & PhotoFlag::Child as u64 != 0 {
+                children += 1;
+                assert!(o.parent_id != 0);
+                assert!(cat.objects.iter().any(|p| p.obj_id == o.parent_id));
+            }
+            if flags & PhotoFlag::Blended as u64 != 0 {
+                assert!(!o.is_primary(), "deblended parents are never primary");
+                assert_eq!(o.n_child, 2);
+            }
+        }
+        assert!(children > 0);
+    }
+
+    #[test]
+    fn asteroid_population_matches_config() {
+        let (config, cat) = catalog();
+        let slow_movers = cat
+            .objects
+            .iter()
+            .filter(|o| {
+                let v2 = o.velocity_sq();
+                (50.0..1000.0).contains(&v2) && o.rowv >= 0.0 && o.colv >= 0.0
+            })
+            .count();
+        let expected = ((config.target_objects as f64) * config.asteroid_fraction).ceil() as usize;
+        assert_eq!(slow_movers, expected);
+    }
+
+    #[test]
+    fn fast_mover_pairs_are_elongated_and_adjacent() {
+        let (config, cat) = catalog();
+        let fast: Vec<&PhotoObjRecord> = cat
+            .objects
+            .iter()
+            .filter(|o| o.iso_a[2] / o.iso_b[2] > 1.5 && o.iso_a[2] > 2.0 && o.parent_id == 0
+                && o.fiber_mag.iter().any(|&m| m > 23.0))
+            .collect();
+        assert!(fast.len() >= config.fast_mover_pairs * 2 - 1);
+    }
+
+    #[test]
+    fn magnitudes_and_errors_in_survey_range() {
+        let (_, cat) = catalog();
+        for o in &cat.objects {
+            for b in 0..5 {
+                assert!(o.model_mag[b] > 10.0 && o.model_mag[b] < 30.0);
+                assert!(o.model_mag_err[b] > 0.0 && o.model_mag_err[b] < 1.0);
+            }
+            assert!((o.cx * o.cx + o.cy * o.cy + o.cz * o.cz - 1.0).abs() < 1e-9);
+            assert!(skyserver_htm::is_valid_id(o.htm_id as u64));
+        }
+    }
+
+    #[test]
+    fn galaxies_are_more_extended_than_stars() {
+        let (_, cat) = catalog();
+        let mean = |ty: i64, f: &dyn Fn(&PhotoObjRecord) -> f64| {
+            let v: Vec<f64> = cat
+                .objects
+                .iter()
+                .filter(|o| o.obj_type == ty)
+                .map(f)
+                .collect();
+            v.iter().sum::<f64>() / v.len().max(1) as f64
+        };
+        let galaxy_rad = mean(PhotoType::Galaxy as i64, &|o| o.petro_rad_r);
+        let star_rad = mean(PhotoType::Star as i64, &|o| o.petro_rad_r);
+        assert!(galaxy_rad > star_rad);
+        // PSF magnitude is fainter than model magnitude for extended sources.
+        let galaxy_psf_excess = mean(PhotoType::Galaxy as i64, &|o| o.psf_mag[2] - o.model_mag[2]);
+        assert!(galaxy_psf_excess > 0.2);
+    }
+
+    #[test]
+    fn profiles_decode_and_decline() {
+        let (_, cat) = catalog();
+        for p in cat.profiles.iter().take(50) {
+            let values = p.values();
+            assert_eq!(values.len() as i64, p.n_bins);
+            assert!(values[0] > *values.last().unwrap());
+        }
+    }
+}

@@ -1,0 +1,355 @@
+//! Spectroscopic synthesis: plates, spectra, spectral lines, line indices
+//! and redshifts.
+//!
+//! About 1 % of photometric objects are targeted for spectroscopy.  Each
+//! plate carries ~600 optical fibres; the pipeline extracts ~30 spectral
+//! lines per spectrum, measures a cross-correlation redshift and an
+//! emission-line redshift, and classifies the spectrum (§9.1.2).  The
+//! synthetic redshifts follow a magnitude-redshift (Hubble-diagram) relation
+//! so the education example can "discover" the expanding universe and the
+//! photometric-redshift anecdote of §11 is reproducible.
+
+use crate::config::SurveyConfig;
+use crate::flags::{PhotoType, SpecClass};
+use crate::photo::PhotoObjRecord;
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use skyserver_htm::{lookup_id, SDSS_DEPTH};
+
+/// One spectroscopic plate (~600 fibres observed simultaneously).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlateRecord {
+    pub plate_id: i64,
+    /// Plate centre.
+    pub ra: f64,
+    pub dec: f64,
+    /// Modified Julian Date of the observation.
+    pub mjd: i64,
+    /// Number of fibres actually used.
+    pub n_fibers: i64,
+}
+
+/// One measured spectrum.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpecObjRecord {
+    pub spec_obj_id: i64,
+    pub plate_id: i64,
+    pub fiber_id: i64,
+    /// The photometric object this spectrum targets (FK into PhotoObj).
+    pub obj_id: i64,
+    pub ra: f64,
+    pub dec: f64,
+    pub htm_id: i64,
+    /// Final redshift.
+    pub z: f64,
+    pub z_err: f64,
+    pub z_conf: f64,
+    /// Spectral classification code (see [`crate::flags::SpecClass`]).
+    pub spec_class: i64,
+    /// Size of the spectrum's GIF image blob, bytes (each spectrogram has "a
+    /// handsome GIF image associated with it").
+    pub img_bytes: i64,
+}
+
+/// One extracted spectral line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpecLineRecord {
+    pub spec_line_id: i64,
+    pub spec_obj_id: i64,
+    /// Rest-frame line id (e.g. 6563 for H-alpha).
+    pub line_id: i64,
+    /// Observed wavelength in Angstroms.
+    pub wave: f64,
+    /// Line width.
+    pub sigma: f64,
+    /// Line height above the continuum.
+    pub height: f64,
+    /// Equivalent width.
+    pub ew: f64,
+}
+
+/// Derived line-group quantities.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpecLineIndexRecord {
+    pub spec_line_index_id: i64,
+    pub spec_obj_id: i64,
+    pub name: String,
+    pub ew: f64,
+    pub mag: f64,
+}
+
+/// Cross-correlation redshift measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct XcRedshiftRecord {
+    pub xc_red_shift_id: i64,
+    pub spec_obj_id: i64,
+    pub z: f64,
+    pub r: f64,
+    pub peak: f64,
+}
+
+/// Emission-line redshift measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ElRedshiftRecord {
+    pub el_red_shift_id: i64,
+    pub spec_obj_id: i64,
+    pub z: f64,
+    pub n_lines: i64,
+}
+
+/// Everything the spectroscopic pipeline produces.
+#[derive(Debug, Clone, Default)]
+pub struct SpectroCatalog {
+    pub plates: Vec<PlateRecord>,
+    pub spec_objs: Vec<SpecObjRecord>,
+    pub spec_lines: Vec<SpecLineRecord>,
+    pub spec_line_indices: Vec<SpecLineIndexRecord>,
+    pub xc_redshifts: Vec<XcRedshiftRecord>,
+    pub el_redshifts: Vec<ElRedshiftRecord>,
+}
+
+/// Rest wavelengths of the most prominent optical lines (Angstroms).
+const REST_LINES: &[(i64, f64)] = &[
+    (3727, 3727.0),  // [OII]
+    (4102, 4102.0),  // H-delta
+    (4340, 4340.0),  // H-gamma
+    (4861, 4861.0),  // H-beta
+    (4959, 4959.0),  // [OIII]
+    (5007, 5007.0),  // [OIII]
+    (5890, 5890.0),  // Na D
+    (6563, 6563.0),  // H-alpha
+    (6583, 6583.0),  // [NII]
+    (6717, 6717.0),  // [SII]
+];
+
+/// Generate spectroscopy for a photometric catalog.
+pub fn generate_spectro(
+    config: &SurveyConfig,
+    objects: &[PhotoObjRecord],
+    rng: &mut ChaCha8Rng,
+) -> SpectroCatalog {
+    let mut catalog = SpectroCatalog::default();
+    // Target ~spectro_fraction of *primary* objects, favouring the brighter
+    // ones (the real targeting is magnitude limited).
+    let mut targets: Vec<&PhotoObjRecord> = objects
+        .iter()
+        .filter(|o| o.is_primary() && o.model_mag[2] < 20.5)
+        .collect();
+    targets.sort_by(|a, b| a.model_mag[2].total_cmp(&b.model_mag[2]));
+    let n_targets =
+        ((objects.len() as f64) * config.spectro_fraction).round().max(1.0) as usize;
+    let targets = &targets[..n_targets.min(targets.len())];
+
+    let mut spec_obj_id = 3_000_000i64;
+    let mut spec_line_id = 1i64;
+    let mut index_id = 1i64;
+    let mut xc_id = 1i64;
+    let mut el_id = 1i64;
+    for (i, chunk) in targets.chunks(config.fibers_per_plate as usize).enumerate() {
+        let plate_id = 300 + i as i64;
+        let ra = chunk.iter().map(|o| o.ra).sum::<f64>() / chunk.len() as f64;
+        let dec = chunk.iter().map(|o| o.dec).sum::<f64>() / chunk.len() as f64;
+        catalog.plates.push(PlateRecord {
+            plate_id,
+            ra,
+            dec,
+            mjd: 52_000 + i as i64 * 3,
+            n_fibers: chunk.len() as i64,
+        });
+        for (fiber, obj) in chunk.iter().enumerate() {
+            spec_obj_id += 1;
+            let is_galaxy = obj.obj_type == PhotoType::Galaxy as i64;
+            // Hubble-like relation: fainter galaxies are further away.
+            let z = if is_galaxy {
+                let base = 10f64.powf((obj.model_mag[2] - 15.5) / 5.0) * 0.01;
+                (base * rng.gen_range(0.7..1.3)).clamp(0.003, 0.6)
+            } else if rng.gen_bool(0.03) {
+                // A few quasars at high redshift.
+                rng.gen_range(0.5..4.0)
+            } else {
+                // Stars: essentially zero redshift.
+                rng.gen_range(-0.0005..0.0005)
+            };
+            let spec_class = if is_galaxy {
+                if rng.gen_bool(0.1) {
+                    SpecClass::GalEm as i64
+                } else {
+                    SpecClass::Galaxy as i64
+                }
+            } else if z > 0.5 {
+                SpecClass::Qso as i64
+            } else {
+                SpecClass::Star as i64
+            };
+            catalog.spec_objs.push(SpecObjRecord {
+                spec_obj_id,
+                plate_id,
+                fiber_id: fiber as i64 + 1,
+                obj_id: obj.obj_id,
+                ra: obj.ra,
+                dec: obj.dec,
+                htm_id: lookup_id(obj.ra, obj.dec, SDSS_DEPTH) as i64,
+                z,
+                z_err: (0.0001 + z.abs() * 0.002) * rng.gen_range(0.5..1.5),
+                z_conf: rng.gen_range(0.85..1.0),
+                spec_class,
+                img_bytes: rng.gen_range(15_000..25_000),
+            });
+            // Spectral lines: rest wavelengths shifted by (1 + z).
+            let n_lines = config.lines_per_spectrum as usize;
+            for l in 0..n_lines {
+                let (line_id, rest) = REST_LINES[l % REST_LINES.len()];
+                spec_line_id += 1;
+                catalog.spec_lines.push(SpecLineRecord {
+                    spec_line_id,
+                    spec_obj_id,
+                    line_id,
+                    wave: rest * (1.0 + z) + rng.gen_range(-0.5..0.5),
+                    sigma: rng.gen_range(1.0..8.0),
+                    height: rng.gen_range(0.5..50.0),
+                    ew: rng.gen_range(-20.0..60.0),
+                });
+            }
+            // A handful of line-index rows per spectrum.
+            for name in ["Mg", "Na", "Hdelta_A"] {
+                index_id += 1;
+                catalog.spec_line_indices.push(SpecLineIndexRecord {
+                    spec_line_index_id: index_id,
+                    spec_obj_id,
+                    name: name.to_string(),
+                    ew: rng.gen_range(-5.0..15.0),
+                    mag: rng.gen_range(-0.2..0.4),
+                });
+            }
+            // Redshift measurements: cross-correlation (always) plus an
+            // emission-line redshift for emission spectra.
+            xc_id += 1;
+            catalog.xc_redshifts.push(XcRedshiftRecord {
+                xc_red_shift_id: xc_id,
+                spec_obj_id,
+                z: z + rng.gen_range(-0.0005..0.0005),
+                r: rng.gen_range(3.0..20.0),
+                peak: rng.gen_range(0.3..1.0),
+            });
+            if spec_class == SpecClass::GalEm as i64 || rng.gen_bool(0.3) {
+                el_id += 1;
+                catalog.el_redshifts.push(ElRedshiftRecord {
+                    el_red_shift_id: el_id,
+                    spec_obj_id,
+                    z: z + rng.gen_range(-0.001..0.001),
+                    n_lines: rng.gen_range(2..8),
+                });
+            }
+        }
+    }
+    catalog
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::SurveyGeometry;
+    use crate::photo::generate_photo;
+    use rand::SeedableRng;
+
+    fn spectro() -> (SurveyConfig, Vec<PhotoObjRecord>, SpectroCatalog) {
+        let config = SurveyConfig::tiny();
+        let geometry = SurveyGeometry::generate(&config);
+        let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+        let photo = generate_photo(&config, &geometry, &mut rng);
+        let spectro = generate_spectro(&config, &photo.objects, &mut rng);
+        (config, photo.objects, spectro)
+    }
+
+    #[test]
+    fn about_one_percent_of_objects_have_spectra() {
+        let (config, objects, cat) = spectro();
+        let fraction = cat.spec_objs.len() as f64 / objects.len() as f64;
+        assert!(
+            (fraction - config.spectro_fraction).abs() < config.spectro_fraction,
+            "got fraction {fraction}"
+        );
+        assert!(!cat.plates.is_empty());
+    }
+
+    #[test]
+    fn plates_hold_at_most_the_fiber_budget() {
+        let (config, _, cat) = spectro();
+        for p in &cat.plates {
+            assert!(p.n_fibers as u32 <= config.fibers_per_plate);
+            assert!(p.n_fibers > 0);
+        }
+        let fibers: i64 = cat.plates.iter().map(|p| p.n_fibers).sum();
+        assert_eq!(fibers as usize, cat.spec_objs.len());
+    }
+
+    #[test]
+    fn spectra_reference_existing_primary_objects() {
+        let (_, objects, cat) = spectro();
+        for s in &cat.spec_objs {
+            let obj = objects.iter().find(|o| o.obj_id == s.obj_id);
+            assert!(obj.is_some(), "specObj {0} references missing photoObj", s.spec_obj_id);
+            assert!(obj.unwrap().is_primary());
+        }
+    }
+
+    #[test]
+    fn lines_per_spectrum_matches_config() {
+        let (config, _, cat) = spectro();
+        assert_eq!(
+            cat.spec_lines.len(),
+            cat.spec_objs.len() * config.lines_per_spectrum as usize
+        );
+        // Lines reference their spectra.
+        for l in cat.spec_lines.iter().take(100) {
+            assert!(cat.spec_objs.iter().any(|s| s.spec_obj_id == l.spec_obj_id));
+        }
+    }
+
+    #[test]
+    fn line_wavelengths_are_redshifted() {
+        let (_, _, cat) = spectro();
+        for l in cat.spec_lines.iter().take(200) {
+            let s = cat
+                .spec_objs
+                .iter()
+                .find(|s| s.spec_obj_id == l.spec_obj_id)
+                .unwrap();
+            if s.z > 0.01 {
+                // Observed wavelength exceeds every rest wavelength used.
+                assert!(l.wave > 3700.0);
+            }
+        }
+    }
+
+    #[test]
+    fn galaxy_redshifts_correlate_with_magnitude() {
+        // The Hubble-diagram property: among galaxies, fainter means more
+        // distant (higher z) on average.
+        let (_, objects, cat) = spectro();
+        let mut bright = Vec::new();
+        let mut faint = Vec::new();
+        for s in &cat.spec_objs {
+            if s.spec_class == SpecClass::Galaxy as i64 || s.spec_class == SpecClass::GalEm as i64 {
+                let o = objects.iter().find(|o| o.obj_id == s.obj_id).unwrap();
+                if o.model_mag[2] < 17.0 {
+                    bright.push(s.z);
+                } else if o.model_mag[2] > 18.5 {
+                    faint.push(s.z);
+                }
+            }
+        }
+        if !bright.is_empty() && !faint.is_empty() {
+            let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+            assert!(mean(&faint) > mean(&bright));
+        }
+    }
+
+    #[test]
+    fn redshift_measurements_cover_all_spectra() {
+        let (_, _, cat) = spectro();
+        assert_eq!(cat.xc_redshifts.len(), cat.spec_objs.len());
+        assert!(cat.el_redshifts.len() <= cat.spec_objs.len());
+        assert_eq!(cat.spec_line_indices.len(), cat.spec_objs.len() * 3);
+    }
+}

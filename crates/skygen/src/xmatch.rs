@@ -1,0 +1,149 @@
+//! Cross-survey matches.
+//!
+//! "The pipeline tries to correlate each object with objects in other
+//! surveys: United States Naval Observatory [USNO], Röntgen Satellite
+//! [ROSAT], Faint Images of the Radio Sky at Twenty-centimeters [FIRST], and
+//! others.  Successful correlations are recorded in a set of relationship
+//! tables." (§9)
+
+use crate::config::SurveyConfig;
+use crate::photo::PhotoObjRecord;
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+/// A USNO (optical astrometric catalog) match.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UsnoRecord {
+    pub obj_id: i64,
+    pub usno_id: i64,
+    /// Match distance in arcseconds.
+    pub delta: f64,
+    /// USNO blue and red plate magnitudes.
+    pub blue_mag: f64,
+    pub red_mag: f64,
+}
+
+/// A ROSAT (X-ray) match.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RosatRecord {
+    pub obj_id: i64,
+    pub rosat_id: i64,
+    pub delta: f64,
+    /// X-ray count rate.
+    pub cps: f64,
+}
+
+/// A FIRST (radio) match.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FirstRecord {
+    pub obj_id: i64,
+    pub first_id: i64,
+    pub delta: f64,
+    /// Peak radio flux in mJy.
+    pub peak_flux: f64,
+}
+
+/// All cross-match tables.
+#[derive(Debug, Clone, Default)]
+pub struct CrossMatchCatalog {
+    pub usno: Vec<UsnoRecord>,
+    pub rosat: Vec<RosatRecord>,
+    pub first: Vec<FirstRecord>,
+}
+
+/// Generate cross-survey matches for primary objects.
+pub fn generate_xmatch(
+    config: &SurveyConfig,
+    objects: &[PhotoObjRecord],
+    rng: &mut ChaCha8Rng,
+) -> CrossMatchCatalog {
+    let mut catalog = CrossMatchCatalog::default();
+    let mut usno_id = 7_000_000i64;
+    let mut rosat_id = 40_000i64;
+    let mut first_id = 90_000i64;
+    for obj in objects.iter().filter(|o| o.is_primary()) {
+        // USNO matches go to brighter objects (it is a shallow catalog).
+        if obj.model_mag[2] < 20.0 && rng.gen_bool(config.usno_match_rate) {
+            usno_id += 1;
+            catalog.usno.push(UsnoRecord {
+                obj_id: obj.obj_id,
+                usno_id,
+                delta: rng.gen_range(0.0..1.0),
+                blue_mag: obj.model_mag[0] + rng.gen_range(-0.5..0.5),
+                red_mag: obj.model_mag[2] + rng.gen_range(-0.5..0.5),
+            });
+        }
+        if rng.gen_bool(config.rosat_match_rate) {
+            rosat_id += 1;
+            catalog.rosat.push(RosatRecord {
+                obj_id: obj.obj_id,
+                rosat_id,
+                delta: rng.gen_range(0.0..20.0),
+                cps: rng.gen_range(0.001..0.5),
+            });
+        }
+        if rng.gen_bool(config.first_match_rate) {
+            first_id += 1;
+            catalog.first.push(FirstRecord {
+                obj_id: obj.obj_id,
+                first_id,
+                delta: rng.gen_range(0.0..3.0),
+                peak_flux: rng.gen_range(1.0..500.0),
+            });
+        }
+    }
+    catalog
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::SurveyGeometry;
+    use crate::photo::generate_photo;
+    use rand::SeedableRng;
+
+    fn xmatch() -> (SurveyConfig, usize, CrossMatchCatalog) {
+        let config = SurveyConfig::tiny();
+        let geometry = SurveyGeometry::generate(&config);
+        let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+        let photo = generate_photo(&config, &geometry, &mut rng);
+        let primaries = photo.objects.iter().filter(|o| o.is_primary()).count();
+        let xm = generate_xmatch(&config, &photo.objects, &mut rng);
+        (config, primaries, xm)
+    }
+
+    #[test]
+    fn match_rates_are_plausible() {
+        let (config, primaries, xm) = xmatch();
+        let usno_rate = xm.usno.len() as f64 / primaries as f64;
+        // USNO is magnitude-limited so the realised rate is below the raw
+        // probability, but it should be the biggest of the three by far.
+        assert!(usno_rate > config.rosat_match_rate);
+        assert!(xm.usno.len() > xm.first.len());
+        assert!(xm.first.len() >= xm.rosat.len() / 2);
+    }
+
+    #[test]
+    fn matches_have_sane_values() {
+        let (_, _, xm) = xmatch();
+        for m in &xm.usno {
+            assert!(m.delta >= 0.0 && m.delta < 2.0);
+            assert!(m.blue_mag > 5.0 && m.blue_mag < 30.0);
+        }
+        for m in &xm.rosat {
+            assert!(m.cps > 0.0);
+        }
+        for m in &xm.first {
+            assert!(m.peak_flux > 0.0);
+        }
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let (_, _, xm) = xmatch();
+        let mut ids: Vec<i64> = xm.usno.iter().map(|m| m.usno_id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), xm.usno.len());
+    }
+}

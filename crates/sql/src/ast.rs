@@ -1,0 +1,496 @@
+//! Abstract syntax tree for the SkyServer SQL dialect.
+
+use skyserver_storage::{DataType, Value};
+use std::fmt;
+
+/// A parsed statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    Select(SelectStatement),
+    Insert(InsertStatement),
+    Update(UpdateStatement),
+    Delete(DeleteStatement),
+    CreateTable(CreateTableStatement),
+    CreateIndex(CreateIndexStatement),
+    CreateView(CreateViewStatement),
+    DropTable { name: String },
+    /// `DECLARE @name type`
+    Declare { name: String, ty: DataType },
+    /// `SET @name = expr`
+    SetVariable { name: String, expr: Expr },
+}
+
+/// `SELECT` statement.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SelectStatement {
+    /// `TOP n`
+    pub top: Option<u64>,
+    pub distinct: bool,
+    pub projections: Vec<SelectItem>,
+    /// `INTO ##temp` target.
+    pub into: Option<String>,
+    pub from: Vec<FromItem>,
+    pub selection: Option<Expr>,
+    pub group_by: Vec<Expr>,
+    pub having: Option<Expr>,
+    pub order_by: Vec<OrderByItem>,
+}
+
+/// One item of the select list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// `alias.*`
+    QualifiedWildcard(String),
+    /// An expression with an optional `AS alias`.
+    Expr { expr: Expr, alias: Option<String> },
+}
+
+/// One entry of the FROM clause (the first has `join = None`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FromItem {
+    pub source: TableSource,
+    pub alias: Option<String>,
+    /// How this item joins with everything to its left (None for the first
+    /// item or comma-separated items, which behave like inner joins with the
+    /// predicate living in WHERE).
+    pub join: Option<JoinKind>,
+    /// `ON` condition for explicit joins.
+    pub on: Option<Expr>,
+}
+
+/// What a FROM item refers to.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableSource {
+    /// A named table or view (possibly a `##temp`).
+    Named(String),
+    /// A table-valued function call, e.g. `fGetNearbyObjEq(185, -0.5, 1)`.
+    Function { name: String, args: Vec<Expr> },
+    /// A derived table `(SELECT ...)`.
+    Derived(Box<SelectStatement>),
+}
+
+/// Join kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinKind {
+    Inner,
+    Left,
+    Cross,
+}
+
+/// `ORDER BY` item.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderByItem {
+    pub expr: Expr,
+    pub ascending: bool,
+}
+
+/// `INSERT` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InsertStatement {
+    pub table: String,
+    /// Explicit column list (empty = all columns in order).
+    pub columns: Vec<String>,
+    pub source: InsertSource,
+}
+
+/// Source of inserted rows.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InsertSource {
+    Values(Vec<Vec<Expr>>),
+    Select(Box<SelectStatement>),
+}
+
+/// `UPDATE` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UpdateStatement {
+    pub table: String,
+    pub assignments: Vec<(String, Expr)>,
+    pub selection: Option<Expr>,
+}
+
+/// `DELETE` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeleteStatement {
+    pub table: String,
+    pub selection: Option<Expr>,
+}
+
+/// `CREATE TABLE` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CreateTableStatement {
+    pub name: String,
+    pub columns: Vec<ColumnSpec>,
+    pub primary_key: Vec<String>,
+}
+
+/// One column of a CREATE TABLE.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnSpec {
+    pub name: String,
+    pub ty: DataType,
+    pub nullable: bool,
+}
+
+/// `CREATE [UNIQUE] INDEX name ON table (cols) [INCLUDE (cols)]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CreateIndexStatement {
+    pub name: String,
+    pub table: String,
+    pub columns: Vec<String>,
+    pub include: Vec<String>,
+    pub unique: bool,
+}
+
+/// `CREATE VIEW name AS SELECT ...`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CreateViewStatement {
+    pub name: String,
+    pub query: SelectStatement,
+}
+
+/// Scalar expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Literal value.
+    Literal(Value),
+    /// Column reference, optionally qualified by a table alias.
+    Column {
+        qualifier: Option<String>,
+        name: String,
+    },
+    /// `@variable`.
+    Variable(String),
+    /// `*` (only valid inside `count(*)`).
+    Star,
+    /// Unary operator.
+    Unary { op: UnaryOp, expr: Box<Expr> },
+    /// Binary operator.
+    Binary {
+        left: Box<Expr>,
+        op: BinaryOp,
+        right: Box<Expr>,
+    },
+    /// Function call: built-ins, aggregates and `dbo.`-prefixed UDFs.
+    Function { name: String, args: Vec<Expr> },
+    /// `expr BETWEEN low AND high`.
+    Between {
+        expr: Box<Expr>,
+        low: Box<Expr>,
+        high: Box<Expr>,
+        negated: bool,
+    },
+    /// `expr IN (a, b, c)`.
+    InList {
+        expr: Box<Expr>,
+        list: Vec<Expr>,
+        negated: bool,
+    },
+    /// `expr IS [NOT] NULL`.
+    IsNull { expr: Box<Expr>, negated: bool },
+    /// `expr LIKE pattern`.
+    Like {
+        expr: Box<Expr>,
+        pattern: Box<Expr>,
+        negated: bool,
+    },
+    /// `CASE WHEN cond THEN val ... [ELSE val] END`.
+    Case {
+        branches: Vec<(Expr, Expr)>,
+        else_value: Option<Box<Expr>>,
+    },
+    /// `CAST(expr AS type)`.
+    Cast { expr: Box<Expr>, ty: DataType },
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryOp {
+    Neg,
+    Not,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinaryOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    And,
+    Or,
+    BitAnd,
+    BitOr,
+}
+
+impl BinaryOp {
+    /// Is this a comparison operator (useful for sargability analysis)?
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinaryOp::Eq
+                | BinaryOp::NotEq
+                | BinaryOp::Lt
+                | BinaryOp::LtEq
+                | BinaryOp::Gt
+                | BinaryOp::GtEq
+        )
+    }
+
+    /// The mirrored comparison (for `literal op column` normalisation).
+    pub fn mirror(self) -> BinaryOp {
+        match self {
+            BinaryOp::Lt => BinaryOp::Gt,
+            BinaryOp::LtEq => BinaryOp::GtEq,
+            BinaryOp::Gt => BinaryOp::Lt,
+            BinaryOp::GtEq => BinaryOp::LtEq,
+            other => other,
+        }
+    }
+}
+
+impl fmt::Display for BinaryOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinaryOp::Add => "+",
+            BinaryOp::Sub => "-",
+            BinaryOp::Mul => "*",
+            BinaryOp::Div => "/",
+            BinaryOp::Mod => "%",
+            BinaryOp::Eq => "=",
+            BinaryOp::NotEq => "<>",
+            BinaryOp::Lt => "<",
+            BinaryOp::LtEq => "<=",
+            BinaryOp::Gt => ">",
+            BinaryOp::GtEq => ">=",
+            BinaryOp::And => "AND",
+            BinaryOp::Or => "OR",
+            BinaryOp::BitAnd => "&",
+            BinaryOp::BitOr => "|",
+        };
+        f.write_str(s)
+    }
+}
+
+impl Expr {
+    /// Convenience constructor for unqualified column references.
+    pub fn col(name: impl Into<String>) -> Expr {
+        Expr::Column {
+            qualifier: None,
+            name: name.into(),
+        }
+    }
+
+    /// Convenience constructor for integer literals.
+    pub fn int(v: i64) -> Expr {
+        Expr::Literal(Value::Int(v))
+    }
+
+    /// Collect every column reference in the expression (qualifier, name).
+    pub fn collect_columns(&self, out: &mut Vec<(Option<String>, String)>) {
+        match self {
+            Expr::Column { qualifier, name } => out.push((qualifier.clone(), name.clone())),
+            Expr::Unary { expr, .. } => expr.collect_columns(out),
+            Expr::Binary { left, right, .. } => {
+                left.collect_columns(out);
+                right.collect_columns(out);
+            }
+            Expr::Function { args, .. } => {
+                for a in args {
+                    a.collect_columns(out);
+                }
+            }
+            Expr::Between {
+                expr, low, high, ..
+            } => {
+                expr.collect_columns(out);
+                low.collect_columns(out);
+                high.collect_columns(out);
+            }
+            Expr::InList { expr, list, .. } => {
+                expr.collect_columns(out);
+                for e in list {
+                    e.collect_columns(out);
+                }
+            }
+            Expr::IsNull { expr, .. } => expr.collect_columns(out),
+            Expr::Like { expr, pattern, .. } => {
+                expr.collect_columns(out);
+                pattern.collect_columns(out);
+            }
+            Expr::Case {
+                branches,
+                else_value,
+            } => {
+                for (c, v) in branches {
+                    c.collect_columns(out);
+                    v.collect_columns(out);
+                }
+                if let Some(e) = else_value {
+                    e.collect_columns(out);
+                }
+            }
+            Expr::Cast { expr, .. } => expr.collect_columns(out),
+            Expr::Literal(_) | Expr::Variable(_) | Expr::Star => {}
+        }
+    }
+
+    /// Does this expression contain an aggregate function call?
+    pub fn contains_aggregate(&self) -> bool {
+        match self {
+            Expr::Function { name, args } => {
+                is_aggregate_name(name) || args.iter().any(Expr::contains_aggregate)
+            }
+            Expr::Unary { expr, .. } => expr.contains_aggregate(),
+            Expr::Binary { left, right, .. } => {
+                left.contains_aggregate() || right.contains_aggregate()
+            }
+            Expr::Between {
+                expr, low, high, ..
+            } => {
+                expr.contains_aggregate() || low.contains_aggregate() || high.contains_aggregate()
+            }
+            Expr::InList { expr, list, .. } => {
+                expr.contains_aggregate() || list.iter().any(Expr::contains_aggregate)
+            }
+            Expr::IsNull { expr, .. } => expr.contains_aggregate(),
+            Expr::Like { expr, pattern, .. } => {
+                expr.contains_aggregate() || pattern.contains_aggregate()
+            }
+            Expr::Case {
+                branches,
+                else_value,
+            } => {
+                branches
+                    .iter()
+                    .any(|(c, v)| c.contains_aggregate() || v.contains_aggregate())
+                    || else_value
+                        .as_ref()
+                        .map(|e| e.contains_aggregate())
+                        .unwrap_or(false)
+            }
+            Expr::Cast { expr, .. } => expr.contains_aggregate(),
+            _ => false,
+        }
+    }
+
+    /// Split an expression into its top-level AND-ed conjuncts.
+    pub fn conjuncts(&self) -> Vec<&Expr> {
+        let mut out = Vec::new();
+        fn walk<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
+            if let Expr::Binary {
+                left,
+                op: BinaryOp::And,
+                right,
+            } = e
+            {
+                walk(left, out);
+                walk(right, out);
+            } else {
+                out.push(e);
+            }
+        }
+        walk(self, &mut out);
+        out
+    }
+
+    /// Rebuild an expression from conjuncts (None when the list is empty).
+    pub fn from_conjuncts(conjuncts: Vec<Expr>) -> Option<Expr> {
+        conjuncts.into_iter().reduce(|acc, e| Expr::Binary {
+            left: Box::new(acc),
+            op: BinaryOp::And,
+            right: Box::new(e),
+        })
+    }
+}
+
+/// Aggregate function names recognised by the engine.
+pub fn is_aggregate_name(name: &str) -> bool {
+    matches!(
+        name.to_ascii_lowercase().as_str(),
+        "count" | "sum" | "avg" | "min" | "max" | "stdev" | "var"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conjunct_splitting_and_rebuilding() {
+        let e = Expr::Binary {
+            left: Box::new(Expr::Binary {
+                left: Box::new(Expr::col("a")),
+                op: BinaryOp::Gt,
+                right: Box::new(Expr::int(1)),
+            }),
+            op: BinaryOp::And,
+            right: Box::new(Expr::Binary {
+                left: Box::new(Expr::col("b")),
+                op: BinaryOp::Eq,
+                right: Box::new(Expr::int(2)),
+            }),
+        };
+        let cs = e.conjuncts();
+        assert_eq!(cs.len(), 2);
+        let rebuilt = Expr::from_conjuncts(cs.into_iter().cloned().collect()).unwrap();
+        assert_eq!(rebuilt, e);
+        assert!(Expr::from_conjuncts(vec![]).is_none());
+    }
+
+    #[test]
+    fn collect_columns_finds_nested_references() {
+        let e = Expr::Function {
+            name: "sqrt".into(),
+            args: vec![Expr::Binary {
+                left: Box::new(Expr::Column {
+                    qualifier: Some("r".into()),
+                    name: "rowv".into(),
+                }),
+                op: BinaryOp::Mul,
+                right: Box::new(Expr::col("colv")),
+            }],
+        };
+        let mut cols = Vec::new();
+        e.collect_columns(&mut cols);
+        assert_eq!(cols.len(), 2);
+        assert_eq!(cols[0], (Some("r".into()), "rowv".into()));
+    }
+
+    #[test]
+    fn aggregate_detection() {
+        let agg = Expr::Function {
+            name: "COUNT".into(),
+            args: vec![Expr::Star],
+        };
+        assert!(agg.contains_aggregate());
+        let plain = Expr::Function {
+            name: "sqrt".into(),
+            args: vec![Expr::col("x")],
+        };
+        assert!(!plain.contains_aggregate());
+        let nested = Expr::Binary {
+            left: Box::new(plain),
+            op: BinaryOp::Add,
+            right: Box::new(agg),
+        };
+        assert!(nested.contains_aggregate());
+    }
+
+    #[test]
+    fn mirror_comparisons() {
+        assert_eq!(BinaryOp::Lt.mirror(), BinaryOp::Gt);
+        assert_eq!(BinaryOp::GtEq.mirror(), BinaryOp::LtEq);
+        assert_eq!(BinaryOp::Eq.mirror(), BinaryOp::Eq);
+        assert!(BinaryOp::Eq.is_comparison());
+        assert!(!BinaryOp::Add.is_comparison());
+    }
+}

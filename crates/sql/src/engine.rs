@@ -1,0 +1,873 @@
+//! The SQL engine facade: session state, statement dispatch and execution
+//! statistics.
+//!
+//! `SqlEngine` owns a [`Database`] and a [`FunctionRegistry`] and executes
+//! SQL scripts against them, maintaining session variables (`DECLARE`/`SET`)
+//! and temp tables (`SELECT ... INTO ##results`).  Every statement returns a
+//! [`StatementOutcome`] carrying the result set, the raw scan counters, the
+//! measured wall-clock time and the [`skyserver_storage::IoSimulator`]
+//! projection of the same access pattern onto the paper's hardware -- the
+//! numbers Figures 10-13 report.
+
+use crate::ast::{Expr, InsertSource, Statement};
+use crate::error::SqlError;
+use crate::executor::{Executor, QueryLimits};
+use crate::expr::{eval, EvalContext, RowSchema};
+use crate::functions::FunctionRegistry;
+use crate::parser::parse_script;
+use crate::plan::{PlanClass, SelectPlan};
+use crate::planner::Planner;
+use crate::result::{ResultSet, StatementOutcome};
+use skyserver_storage::{
+    ColumnDef, Database, ExecutionStats, IndexDef, IoSimulator, TableSchema, Value,
+};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// The SQL engine: database + functions + session state.
+pub struct SqlEngine {
+    db: Database,
+    functions: FunctionRegistry,
+    simulator: IoSimulator,
+    /// Multiplier applied when projecting measured scans to the paper's data
+    /// volume (e.g. 14 M photoObj rows / rows generated).
+    paper_scale_factor: Option<f64>,
+    variables: HashMap<String, Value>,
+    /// When true, every SELECT outcome carries its rendered plan.
+    capture_plans: bool,
+}
+
+impl SqlEngine {
+    /// Create an engine over a database with the given function registry.
+    pub fn new(db: Database, functions: FunctionRegistry) -> Self {
+        SqlEngine {
+            db,
+            functions,
+            simulator: IoSimulator::skyserver_production(),
+            paper_scale_factor: None,
+            variables: HashMap::new(),
+            capture_plans: false,
+        }
+    }
+
+    /// Read-only access to the database.
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    /// Mutable access to the database (used by the loader).
+    pub fn db_mut(&mut self) -> &mut Database {
+        &mut self.db
+    }
+
+    /// Mutable access to the function registry (used during schema setup).
+    pub fn functions_mut(&mut self) -> &mut FunctionRegistry {
+        &mut self.functions
+    }
+
+    /// Read-only access to the function registry.
+    pub fn functions(&self) -> &FunctionRegistry {
+        &self.functions
+    }
+
+    /// Configure the hardware model used for simulated timings.
+    pub fn set_simulator(&mut self, sim: IoSimulator) {
+        self.simulator = sim;
+    }
+
+    /// Configure the data-volume scale factor used for paper-scale timing
+    /// projections.
+    pub fn set_paper_scale_factor(&mut self, factor: Option<f64>) {
+        self.paper_scale_factor = factor;
+    }
+
+    /// Capture rendered plans on every SELECT outcome.
+    pub fn set_capture_plans(&mut self, capture: bool) {
+        self.capture_plans = capture;
+    }
+
+    /// Current value of a session variable.
+    pub fn variable(&self, name: &str) -> Option<&Value> {
+        self.variables.get(&name.to_ascii_lowercase())
+    }
+
+    /// Execute a script and return the outcome of every statement.
+    pub fn execute_script(
+        &mut self,
+        sql: &str,
+        limits: QueryLimits,
+    ) -> Result<Vec<StatementOutcome>, SqlError> {
+        let statements = parse_script(sql)?;
+        let mut outcomes = Vec::with_capacity(statements.len());
+        for stmt in statements {
+            outcomes.push(self.execute_statement(&stmt, limits)?);
+        }
+        Ok(outcomes)
+    }
+
+    /// Execute a script and return the outcome of its **last** statement
+    /// (the usual shape of the paper's DECLARE/SET/SELECT scripts).
+    pub fn execute(&mut self, sql: &str, limits: QueryLimits) -> Result<StatementOutcome, SqlError> {
+        let mut outcomes = self.execute_script(sql, limits)?;
+        outcomes
+            .pop()
+            .ok_or_else(|| SqlError::Parse("empty script".into()))
+    }
+
+    /// Convenience: run a query with no limits and return just the rows.
+    pub fn query(&mut self, sql: &str) -> Result<ResultSet, SqlError> {
+        Ok(self.execute(sql, QueryLimits::UNLIMITED)?.result)
+    }
+
+    /// Render the plan of the (single) SELECT statement in `sql`.
+    pub fn explain(&mut self, sql: &str) -> Result<String, SqlError> {
+        let statements = parse_script(sql)?;
+        for stmt in &statements {
+            // Execute any DECLARE/SET so variables referenced by the SELECT
+            // resolve, but skip DML.
+            match stmt {
+                Statement::Declare { .. } | Statement::SetVariable { .. } => {
+                    self.execute_statement(stmt, QueryLimits::UNLIMITED)?;
+                }
+                _ => {}
+            }
+        }
+        for stmt in &statements {
+            if let Statement::Select(s) = stmt {
+                let planner = Planner::new(&self.db, &self.functions);
+                let plan = planner.plan_select(s)?;
+                return Ok(plan.render());
+            }
+        }
+        Err(SqlError::Plan("no SELECT statement to explain".into()))
+    }
+
+    /// Plan a select and return its [`PlanClass`] (used by the Figure 13
+    /// harness to bucket queries).
+    pub fn plan_class(&mut self, sql: &str) -> Result<PlanClass, SqlError> {
+        let statements = parse_script(sql)?;
+        for stmt in &statements {
+            match stmt {
+                Statement::Declare { .. } | Statement::SetVariable { .. } => {
+                    self.execute_statement(stmt, QueryLimits::UNLIMITED)?;
+                }
+                _ => {}
+            }
+        }
+        for stmt in &statements {
+            if let Statement::Select(s) = stmt {
+                let planner = Planner::new(&self.db, &self.functions);
+                return Ok(planner.plan_select(s)?.plan_class());
+            }
+        }
+        Err(SqlError::Plan("no SELECT statement in script".into()))
+    }
+
+    // ----------------------------------------------------------------------
+    // Statement dispatch
+    // ----------------------------------------------------------------------
+
+    fn execute_statement(
+        &mut self,
+        stmt: &Statement,
+        limits: QueryLimits,
+    ) -> Result<StatementOutcome, SqlError> {
+        let started = Instant::now();
+        match stmt {
+            Statement::Declare { name, .. } => {
+                self.variables
+                    .insert(name.to_ascii_lowercase(), Value::Null);
+                Ok(StatementOutcome::default())
+            }
+            Statement::SetVariable { name, expr } => {
+                let schema = RowSchema::default();
+                let ctx = EvalContext {
+                    schema: &schema,
+                    variables: &self.variables,
+                    functions: &self.functions,
+                    aggregates: None,
+                };
+                let value = eval(expr, &[], &ctx)?;
+                self.variables.insert(name.to_ascii_lowercase(), value);
+                Ok(StatementOutcome::default())
+            }
+            Statement::Select(select) => self.execute_select(select, limits, started),
+            Statement::Insert(insert) => {
+                let rows_affected = self.execute_insert(insert, limits)?;
+                Ok(StatementOutcome {
+                    rows_affected,
+                    ..Default::default()
+                })
+            }
+            Statement::Update(update) => {
+                let rows_affected = self.execute_update(update)?;
+                Ok(StatementOutcome {
+                    rows_affected,
+                    ..Default::default()
+                })
+            }
+            Statement::Delete(delete) => {
+                let rows_affected = self.execute_delete(delete)?;
+                Ok(StatementOutcome {
+                    rows_affected,
+                    ..Default::default()
+                })
+            }
+            Statement::CreateTable(ct) => {
+                let mut cols = Vec::with_capacity(ct.columns.len());
+                for c in &ct.columns {
+                    let mut def = ColumnDef::new(&c.name, c.ty);
+                    if c.nullable {
+                        def = def.nullable();
+                    }
+                    cols.push(def);
+                }
+                let mut schema = TableSchema::new(cols);
+                if !ct.primary_key.is_empty() {
+                    let keys: Vec<&str> = ct.primary_key.iter().map(String::as_str).collect();
+                    schema = schema.with_primary_key(&keys);
+                }
+                self.db.create_table(&ct.name, schema)?;
+                Ok(StatementOutcome::default())
+            }
+            Statement::CreateIndex(ci) => {
+                let keys: Vec<&str> = ci.columns.iter().map(String::as_str).collect();
+                let includes: Vec<&str> = ci.include.iter().map(String::as_str).collect();
+                let mut def = IndexDef::new(&ci.name, &ci.table, &keys).include(&includes);
+                if ci.unique {
+                    def = def.unique();
+                }
+                self.db.create_index(def)?;
+                Ok(StatementOutcome::default())
+            }
+            Statement::CreateView(cv) => {
+                // Re-render the view body by storing the original text form.
+                let sql = render_select_source(&cv.query);
+                self.db.create_view(&cv.name, sql, "")?;
+                Ok(StatementOutcome::default())
+            }
+            Statement::DropTable { name } => {
+                self.db.drop_table(name)?;
+                Ok(StatementOutcome::default())
+            }
+        }
+    }
+
+    fn execute_select(
+        &mut self,
+        select: &crate::ast::SelectStatement,
+        limits: QueryLimits,
+        started: Instant,
+    ) -> Result<StatementOutcome, SqlError> {
+        let planner = Planner::new(&self.db, &self.functions);
+        let plan = planner.plan_select(select)?;
+        let rendered = if self.capture_plans {
+            Some(plan.render())
+        } else {
+            None
+        };
+        let executor = Executor::new(&self.db, &self.functions, &self.variables, limits);
+        let executed = executor.execute_select(&plan)?;
+        let mut rows_affected = 0;
+        if let Some(target) = &plan.into {
+            rows_affected = self.materialize_into(target, &executed.result)?;
+        }
+        let wall = started.elapsed();
+        let stats = ExecutionStats::from_scan(
+            executed.stats,
+            wall,
+            &self.simulator,
+            plan_is_predicate_heavy(&plan),
+            self.paper_scale_factor,
+        );
+        Ok(StatementOutcome {
+            result: executed.result,
+            rows_affected,
+            stats,
+            plan: rendered,
+        })
+    }
+
+    /// `SELECT ... INTO ##target`: create the target table and fill it.
+    fn materialize_into(&mut self, target: &str, result: &ResultSet) -> Result<usize, SqlError> {
+        if self.db.has_table(target) {
+            self.db.drop_table(target)?;
+        }
+        let columns: Vec<ColumnDef> = result
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, name)| {
+                let ty = result
+                    .rows
+                    .iter()
+                    .find_map(|r| r[i].data_type())
+                    .unwrap_or(skyserver_storage::DataType::Float);
+                ColumnDef::new(name, ty).nullable()
+            })
+            .collect();
+        self.db.create_table(target, TableSchema::new(columns))?;
+        let ts = self.db.next_timestamp();
+        let inserted = self
+            .db
+            .insert_many(target, result.rows.clone(), ts)?;
+        Ok(inserted)
+    }
+
+    fn execute_insert(
+        &mut self,
+        insert: &crate::ast::InsertStatement,
+        limits: QueryLimits,
+    ) -> Result<usize, SqlError> {
+        let table = self.db.table(&insert.table)?;
+        let table_columns = table.schema().column_names();
+        let column_order: Vec<usize> = if insert.columns.is_empty() {
+            (0..table_columns.len()).collect()
+        } else {
+            insert
+                .columns
+                .iter()
+                .map(|c| {
+                    table
+                        .schema()
+                        .column_index(c)
+                        .ok_or_else(|| SqlError::Plan(format!("unknown column {c}")))
+                })
+                .collect::<Result<_, _>>()?
+        };
+        let width = table_columns.len();
+        let value_rows: Vec<Vec<Value>> = match &insert.source {
+            InsertSource::Values(rows) => {
+                let schema = RowSchema::default();
+                let ctx = EvalContext {
+                    schema: &schema,
+                    variables: &self.variables,
+                    functions: &self.functions,
+                    aggregates: None,
+                };
+                rows.iter()
+                    .map(|exprs| {
+                        exprs
+                            .iter()
+                            .map(|e| eval(e, &[], &ctx))
+                            .collect::<Result<Vec<_>, _>>()
+                    })
+                    .collect::<Result<_, _>>()?
+            }
+            InsertSource::Select(select) => {
+                let planner = Planner::new(&self.db, &self.functions);
+                let plan = planner.plan_select(select)?;
+                let executor = Executor::new(&self.db, &self.functions, &self.variables, limits);
+                executor.execute_select(&plan)?.result.rows
+            }
+        };
+        let mut count = 0;
+        for values in value_rows {
+            if values.len() != column_order.len() {
+                return Err(SqlError::Execution(format!(
+                    "INSERT supplies {} values for {} columns",
+                    values.len(),
+                    column_order.len()
+                )));
+            }
+            let mut row = vec![Value::Null; width];
+            for (pos, value) in column_order.iter().zip(values) {
+                row[*pos] = value;
+            }
+            self.db.insert(&insert.table, row)?;
+            count += 1;
+        }
+        Ok(count)
+    }
+
+    fn execute_update(&mut self, update: &crate::ast::UpdateStatement) -> Result<usize, SqlError> {
+        let table = self.db.table(&update.table)?;
+        let names = table.schema().column_names();
+        let schema = RowSchema::for_table(None, &names);
+        let assignment_positions: Vec<(usize, &Expr)> = update
+            .assignments
+            .iter()
+            .map(|(col, e)| {
+                table
+                    .schema()
+                    .column_index(col)
+                    .map(|i| (i, e))
+                    .ok_or_else(|| SqlError::Plan(format!("unknown column {col}")))
+            })
+            .collect::<Result<_, _>>()?;
+        let ctx = EvalContext {
+            schema: &schema,
+            variables: &self.variables,
+            functions: &self.functions,
+            aggregates: None,
+        };
+        // Collect new rows first (borrow rules), then apply.
+        let mut changes: Vec<(usize, Vec<Value>)> = Vec::new();
+        for (row_id, row) in table.iter() {
+            let keep = match &update.selection {
+                Some(pred) => eval(pred, row, &ctx)?.is_truthy(),
+                None => true,
+            };
+            if !keep {
+                continue;
+            }
+            let mut new_row = row.to_vec();
+            for (pos, expr) in &assignment_positions {
+                new_row[*pos] = eval(expr, row, &ctx)?;
+            }
+            changes.push((row_id, new_row));
+        }
+        let count = changes.len();
+        for (row_id, new_row) in changes {
+            // Delete + insert keeps secondary indices consistent.
+            self.db.delete(&update.table, row_id)?;
+            self.db.insert(&update.table, new_row)?;
+        }
+        Ok(count)
+    }
+
+    fn execute_delete(&mut self, delete: &crate::ast::DeleteStatement) -> Result<usize, SqlError> {
+        let table = self.db.table(&delete.table)?;
+        let names = table.schema().column_names();
+        let schema = RowSchema::for_table(None, &names);
+        let ctx = EvalContext {
+            schema: &schema,
+            variables: &self.variables,
+            functions: &self.functions,
+            aggregates: None,
+        };
+        let mut victims = Vec::new();
+        for (row_id, row) in table.iter() {
+            let hit = match &delete.selection {
+                Some(pred) => eval(pred, row, &ctx)?.is_truthy(),
+                None => true,
+            };
+            if hit {
+                victims.push(row_id);
+            }
+        }
+        let count = victims.len();
+        for row_id in victims {
+            self.db.delete(&delete.table, row_id)?;
+        }
+        Ok(count)
+    }
+}
+
+/// Does the plan contain arithmetic-heavy predicates (the paper's 19
+/// clocks/byte class) rather than simple comparisons (10 clocks/byte)?
+fn plan_is_predicate_heavy(plan: &SelectPlan) -> bool {
+    fn expr_heavy(e: &Expr) -> bool {
+        match e {
+            Expr::Binary { left, op, right } => {
+                matches!(
+                    op,
+                    crate::ast::BinaryOp::Add
+                        | crate::ast::BinaryOp::Sub
+                        | crate::ast::BinaryOp::Mul
+                        | crate::ast::BinaryOp::Div
+                ) || expr_heavy(left)
+                    || expr_heavy(right)
+            }
+            Expr::Function { name, args } => {
+                !crate::ast::is_aggregate_name(name) || args.iter().any(expr_heavy)
+            }
+            Expr::Between {
+                expr, low, high, ..
+            } => expr_heavy(expr) || expr_heavy(low) || expr_heavy(high),
+            Expr::Unary { expr, .. } => expr_heavy(expr),
+            _ => false,
+        }
+    }
+    plan.sources
+        .iter()
+        .filter_map(|s| s.pushed_predicate.as_ref())
+        .any(expr_heavy)
+        || plan.residual.as_ref().map(expr_heavy).unwrap_or(false)
+        || plan
+            .joins
+            .iter()
+            .filter_map(|j| j.residual.as_ref())
+            .any(expr_heavy)
+}
+
+/// Render a SELECT statement back to SQL text (used to store view bodies
+/// created through `CREATE VIEW`).
+fn render_select_source(select: &crate::ast::SelectStatement) -> String {
+    use crate::plan::render_expr;
+    let mut sql = String::from("select ");
+    let projections: Vec<String> = select
+        .projections
+        .iter()
+        .map(|p| match p {
+            crate::ast::SelectItem::Wildcard => "*".to_string(),
+            crate::ast::SelectItem::QualifiedWildcard(q) => format!("{q}.*"),
+            crate::ast::SelectItem::Expr { expr, alias } => match alias {
+                Some(a) => format!("{} as {a}", render_expr(expr)),
+                None => render_expr(expr),
+            },
+        })
+        .collect();
+    sql.push_str(&projections.join(", "));
+    if !select.from.is_empty() {
+        sql.push_str(" from ");
+        let sources: Vec<String> = select
+            .from
+            .iter()
+            .map(|f| {
+                let base = match &f.source {
+                    crate::ast::TableSource::Named(n) => n.clone(),
+                    crate::ast::TableSource::Function { name, args } => format!(
+                        "{name}({})",
+                        args.iter().map(render_expr).collect::<Vec<_>>().join(", ")
+                    ),
+                    crate::ast::TableSource::Derived(d) => {
+                        format!("({})", render_select_source(d))
+                    }
+                };
+                match &f.alias {
+                    Some(a) => format!("{base} as {a}"),
+                    None => base,
+                }
+            })
+            .collect();
+        sql.push_str(&sources.join(", "));
+    }
+    if let Some(w) = &select.selection {
+        sql.push_str(" where ");
+        sql.push_str(&render_expr(w));
+    }
+    sql
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skyserver_storage::DataType;
+
+    /// Build a small photoObj-like database for engine tests.
+    fn engine() -> SqlEngine {
+        let mut db = Database::new("mini_sky");
+        let schema = TableSchema::new(vec![
+            ColumnDef::new("objID", DataType::Int),
+            ColumnDef::new("htmID", DataType::Int),
+            ColumnDef::new("ra", DataType::Float),
+            ColumnDef::new("dec", DataType::Float),
+            ColumnDef::new("type", DataType::Int),
+            ColumnDef::new("flags", DataType::Int),
+            ColumnDef::new("modelMag_r", DataType::Float),
+            ColumnDef::new("rowv", DataType::Float),
+            ColumnDef::new("colv", DataType::Float),
+        ])
+        .with_primary_key(&["objID"]);
+        db.create_table("photoObj", schema).unwrap();
+        db.create_index(IndexDef::new("pk_photoObj", "photoObj", &["objID"]).unique())
+            .unwrap();
+        db.create_index(IndexDef::new("ix_htm", "photoObj", &["htmID"])).unwrap();
+        db.create_view("Galaxy", "select * from photoObj where type = 3", "galaxies")
+            .unwrap();
+        db.create_view("Star", "select * from photoObj where type = 6", "stars")
+            .unwrap();
+        for i in 0..200i64 {
+            let is_galaxy = i % 2 == 0;
+            let moving = i % 50 == 0;
+            db.insert(
+                "photoObj",
+                vec![
+                    Value::Int(i),
+                    Value::Int(100_000 + i),
+                    Value::Float(180.0 + (i as f64) * 0.01),
+                    Value::Float(-0.5 + (i as f64) * 0.001),
+                    Value::Int(if is_galaxy { 3 } else { 6 }),
+                    Value::Int(if i % 10 == 0 { 64 } else { 0 }),
+                    Value::Float(15.0 + (i % 70) as f64 * 0.1),
+                    Value::Float(if moving { 10.0 } else { 0.0 }),
+                    Value::Float(if moving { 10.0 } else { 0.0 }),
+                ],
+            )
+            .unwrap();
+        }
+        let mut functions = FunctionRegistry::new();
+        functions.register_scalar("dbo.fPhotoFlags", |args| {
+            let name = args
+                .first()
+                .and_then(Value::as_str)
+                .unwrap_or("")
+                .to_ascii_lowercase();
+            Ok(Value::Int(match name.as_str() {
+                "saturated" => 64,
+                "primary" => 256,
+                _ => 0,
+            }))
+        });
+        functions.register_table("fGetNearbyObjEq", &["objID", "distance"], |db, args| {
+            // A toy spatial function: every object within `radius` degrees of
+            // the given ra (ignoring dec) -- enough to drive join plans.
+            let ra = args[0].as_f64().unwrap_or(0.0);
+            let radius = args.get(2).and_then(Value::as_f64).unwrap_or(1.0) / 60.0;
+            let t = db.table("photoObj")?;
+            let schema = t.schema();
+            let ra_idx = schema.column_index("ra").unwrap();
+            let id_idx = schema.column_index("objID").unwrap();
+            let mut rs = ResultSet::empty(vec!["objID".into(), "distance".into()]);
+            for (_, row) in t.iter() {
+                let obj_ra = row[ra_idx].as_f64().unwrap_or(0.0);
+                let d = (obj_ra - ra).abs();
+                if d <= radius {
+                    rs.rows.push(vec![row[id_idx].clone(), Value::Float(d * 60.0)]);
+                }
+            }
+            Ok(rs)
+        });
+        SqlEngine::new(db, functions)
+    }
+
+    #[test]
+    fn simple_select_and_projection() {
+        let mut e = engine();
+        let r = e.query("select objID, ra from photoObj where objID = 5").unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.cell(0, "objID"), Some(&Value::Int(5)));
+    }
+
+    #[test]
+    fn count_star_and_group_by() {
+        let mut e = engine();
+        let r = e.query("select count(*) from photoObj").unwrap();
+        assert_eq!(r.scalar(), Some(&Value::Int(200)));
+        let r = e
+            .query("select type, count(*) as n from photoObj group by type order by type")
+            .unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.cell(0, "n"), Some(&Value::Int(100)));
+        let r = e
+            .query("select type, count(*) as n from photoObj group by type having count(*) > 150")
+            .unwrap();
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn views_expand_to_base_table() {
+        let mut e = engine();
+        let galaxies = e.query("select count(*) from Galaxy").unwrap();
+        assert_eq!(galaxies.scalar(), Some(&Value::Int(100)));
+        let bright = e
+            .query("select count(*) from Star where modelMag_r < 18")
+            .unwrap();
+        let total: i64 = bright.scalar().unwrap().as_i64().unwrap();
+        assert!(total > 0 && total < 100);
+    }
+
+    #[test]
+    fn declare_set_and_flag_arithmetic() {
+        let mut e = engine();
+        let outcome = e
+            .execute(
+                "declare @saturated bigint; \
+                 set @saturated = dbo.fPhotoFlags('saturated'); \
+                 select count(*) from photoObj where (flags & @saturated) = 0",
+                QueryLimits::UNLIMITED,
+            )
+            .unwrap();
+        assert_eq!(outcome.result.scalar(), Some(&Value::Int(180)));
+        assert_eq!(e.variable("saturated"), Some(&Value::Int(64)));
+    }
+
+    #[test]
+    fn query1_shape_tvf_join_into_temp_table() {
+        let mut e = engine();
+        let outcome = e
+            .execute(
+                "declare @saturated bigint; \
+                 set @saturated = dbo.fPhotoFlags('saturated'); \
+                 select G.objID, GN.distance into ##results \
+                 from Galaxy as G \
+                 join fGetNearbyObjEq(180.5, -0.5, 120) as GN on G.objID = GN.objID \
+                 where (G.flags & @saturated) = 0 \
+                 order by distance",
+                QueryLimits::UNLIMITED,
+            )
+            .unwrap();
+        assert!(!outcome.result.is_empty());
+        assert!(outcome.rows_affected > 0);
+        // Distances come back sorted.
+        let d = outcome.result.column_values("distance");
+        for w in d.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        // The temp table is queryable afterwards.
+        let r = e.query("select count(*) from ##results").unwrap();
+        assert_eq!(
+            r.scalar().unwrap().as_i64().unwrap() as usize,
+            outcome.rows_affected
+        );
+    }
+
+    #[test]
+    fn query15_shape_velocity_scan() {
+        let mut e = engine();
+        let r = e
+            .query(
+                "select objID, sqrt(rowv*rowv + colv*colv) as velocity from photoObj \
+                 where (rowv*rowv + colv*colv) between 50 and 1000 and rowv >= 0 and colv >= 0",
+            )
+            .unwrap();
+        assert_eq!(r.len(), 4, "the 4 synthetic movers");
+        for row in &r.rows {
+            let v = row[1].as_f64().unwrap();
+            assert!((v - (200f64).sqrt()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn top_distinct_order_limits() {
+        let mut e = engine();
+        let r = e
+            .query("select distinct type from photoObj order by type desc")
+            .unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.rows[0][0], Value::Int(6));
+        let r = e.query("select top 7 objID from photoObj order by objID").unwrap();
+        assert_eq!(r.len(), 7);
+    }
+
+    #[test]
+    fn public_limits_truncate_rows() {
+        let mut e = engine();
+        let outcome = e
+            .execute(
+                "select objID from photoObj",
+                QueryLimits {
+                    max_rows: Some(50),
+                    max_seconds: Some(30.0),
+                },
+            )
+            .unwrap();
+        assert_eq!(outcome.result.len(), 50);
+        assert!(outcome.result.truncated);
+    }
+
+    #[test]
+    fn insert_update_delete_round_trip() {
+        let mut e = engine();
+        e.execute(
+            "create table notes (id bigint not null, txt varchar, primary key (id))",
+            QueryLimits::UNLIMITED,
+        )
+        .unwrap();
+        let o = e
+            .execute(
+                "insert into notes (id, txt) values (1, 'first'), (2, 'second')",
+                QueryLimits::UNLIMITED,
+            )
+            .unwrap();
+        assert_eq!(o.rows_affected, 2);
+        let o = e
+            .execute("update notes set txt = 'edited' where id = 2", QueryLimits::UNLIMITED)
+            .unwrap();
+        assert_eq!(o.rows_affected, 1);
+        let r = e.query("select txt from notes where id = 2").unwrap();
+        assert_eq!(r.scalar(), Some(&Value::str("edited")));
+        let o = e
+            .execute("delete from notes where id = 1", QueryLimits::UNLIMITED)
+            .unwrap();
+        assert_eq!(o.rows_affected, 1);
+        let r = e.query("select count(*) from notes").unwrap();
+        assert_eq!(r.scalar(), Some(&Value::Int(1)));
+    }
+
+    #[test]
+    fn insert_from_select_and_create_index() {
+        let mut e = engine();
+        e.execute(
+            "create table bright (objID bigint not null, modelMag_r float not null)",
+            QueryLimits::UNLIMITED,
+        )
+        .unwrap();
+        let o = e
+            .execute(
+                "insert into bright select objID, modelMag_r from photoObj where modelMag_r < 16",
+                QueryLimits::UNLIMITED,
+            )
+            .unwrap();
+        assert!(o.rows_affected > 0);
+        e.execute(
+            "create index ix_bright on bright (modelMag_r) include (objID)",
+            QueryLimits::UNLIMITED,
+        )
+        .unwrap();
+        let r = e.query("select count(*) from bright").unwrap();
+        assert_eq!(
+            r.scalar().unwrap().as_i64().unwrap() as usize,
+            o.rows_affected
+        );
+    }
+
+    #[test]
+    fn create_view_via_sql() {
+        let mut e = engine();
+        e.execute(
+            "create view BrightGalaxy as select * from photoObj where type = 3 and modelMag_r < 17",
+            QueryLimits::UNLIMITED,
+        )
+        .unwrap();
+        let r = e.query("select count(*) from BrightGalaxy").unwrap();
+        let n = r.scalar().unwrap().as_i64().unwrap();
+        assert!(n > 0 && n < 100);
+    }
+
+    #[test]
+    fn explain_shows_plan_shape() {
+        let mut e = engine();
+        let plan = e
+            .explain(
+                "select G.objID, GN.distance from Galaxy as G \
+                 join fGetNearbyObjEq(180.5, -0.5, 120) as GN on G.objID = GN.objID \
+                 where (G.flags & 64) = 0 order by distance",
+            )
+            .unwrap();
+        assert!(plan.contains("TableFunction(fGetNearbyObjEq"));
+        assert!(plan.contains("index lookup pk_photoObj"));
+        assert!(plan.contains("Sort(distance)"));
+        let class = e
+            .plan_class("select count(*) from photoObj where ra + dec > 0")
+            .unwrap();
+        assert_eq!(class, PlanClass::Scan);
+    }
+
+    #[test]
+    fn stats_report_rows_and_simulation() {
+        let mut e = engine();
+        e.set_paper_scale_factor(Some(70_000.0));
+        let o = e
+            .execute(
+                "select count(*) from photoObj where (rowv*rowv + colv*colv) > 1",
+                QueryLimits::UNLIMITED,
+            )
+            .unwrap();
+        assert_eq!(o.stats.stats.rows_scanned, 200);
+        assert!(o.stats.stats.bytes_scanned > 0);
+        assert!(o.stats.wall_seconds >= 0.0);
+        let paper = o.stats.simulated_at_paper_scale.unwrap();
+        assert!(paper.elapsed_seconds > o.stats.simulated.elapsed_seconds);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let mut e = engine();
+        assert!(e.query("select * from missing_table").is_err());
+        assert!(e.query("select nonsense syntax here from").is_err());
+        assert!(e.query("select dbo.fMissing(1) from photoObj").is_err());
+        assert!(e
+            .execute("insert into photoObj (objID) values (1, 2)", QueryLimits::UNLIMITED)
+            .is_err());
+    }
+
+    #[test]
+    fn fromless_select_evaluates_expressions() {
+        let mut e = engine();
+        let r = e.query("select 1 + 1, pi()").unwrap();
+        assert_eq!(r.rows[0][0], Value::Int(2));
+        assert!((r.rows[0][1].as_f64().unwrap() - std::f64::consts::PI).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,59 @@
+//! Error type for the SQL layer.
+
+use skyserver_storage::StorageError;
+use std::fmt;
+
+/// Errors raised while parsing, planning or executing SQL.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlError {
+    /// Lexing/parsing failure.
+    Parse(String),
+    /// Binder/planner failure (unknown table, ambiguous column, ...).
+    Plan(String),
+    /// Runtime failure (type error in an expression, bad function args, ...).
+    Execution(String),
+    /// Underlying storage failure.
+    Storage(StorageError),
+    /// A public-interface limit was hit (row budget or time budget, §4:
+    /// "The public SkyServer limits queries to 1,000 records or 30 seconds
+    /// of computation").
+    LimitExceeded(String),
+    /// Unknown scalar or table-valued function.
+    UnknownFunction(String),
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Parse(m) => write!(f, "SQL parse error: {m}"),
+            SqlError::Plan(m) => write!(f, "SQL planning error: {m}"),
+            SqlError::Execution(m) => write!(f, "SQL execution error: {m}"),
+            SqlError::Storage(e) => write!(f, "storage error: {e}"),
+            SqlError::LimitExceeded(m) => write!(f, "query limit exceeded: {m}"),
+            SqlError::UnknownFunction(n) => write!(f, "unknown function {n}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+impl From<StorageError> for SqlError {
+    fn from(e: StorageError) -> Self {
+        SqlError::Storage(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert!(SqlError::Parse("x".into()).to_string().contains("parse"));
+        assert!(SqlError::LimitExceeded("1000 rows".into())
+            .to_string()
+            .contains("limit"));
+        let s: SqlError = StorageError::UnknownTable("t".into()).into();
+        assert!(s.to_string().contains("t"));
+    }
+}

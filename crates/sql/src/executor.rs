@@ -1,0 +1,805 @@
+//! Plan execution.
+//!
+//! A Volcano-style pipeline specialised to the left-deep plans the planner
+//! produces: materialise the driving source, fold in each join step
+//! (index-lookup / hash / nested-loop), apply the residual filter, then
+//! aggregate / sort / dedupe / limit and project.  Heap scans of large
+//! tables run in parallel worker threads (crossbeam), mirroring the paper's
+//! parallel sequential scans.
+
+use crate::ast::{Expr, JoinKind};
+use crate::error::SqlError;
+use crate::expr::{aggregate_key, eval, EvalContext, RowSchema};
+use crate::functions::FunctionRegistry;
+use crate::plan::{AccessPath, JoinStrategy, SelectPlan, SourceKind, SourcePlan};
+use crate::result::ResultSet;
+use skyserver_storage::{Database, IndexKey, ScanStats, Value};
+use std::collections::{BTreeMap, HashMap};
+use std::time::Instant;
+
+/// Row-count / time budgets (the public SkyServer limits queries to 1,000
+/// rows or 30 seconds, §4).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryLimits {
+    pub max_rows: Option<usize>,
+    pub max_seconds: Option<f64>,
+}
+
+impl QueryLimits {
+    /// No limits (private / trusted SkyServer).
+    pub const UNLIMITED: QueryLimits = QueryLimits {
+        max_rows: None,
+        max_seconds: None,
+    };
+
+    /// The public web interface limits.
+    pub const PUBLIC: QueryLimits = QueryLimits {
+        max_rows: Some(1000),
+        max_seconds: Some(30.0),
+    };
+}
+
+/// Minimum table size before a heap scan fans out over worker threads.
+const PARALLEL_SCAN_THRESHOLD: usize = 65_536;
+
+/// Executes SELECT plans.
+pub struct Executor<'a> {
+    pub db: &'a Database,
+    pub functions: &'a FunctionRegistry,
+    pub variables: &'a HashMap<String, Value>,
+    pub limits: QueryLimits,
+    started: Instant,
+}
+
+/// Result of executing a plan, before any INTO handling.
+#[derive(Debug, Clone)]
+pub struct ExecutedSelect {
+    pub result: ResultSet,
+    pub stats: ScanStats,
+}
+
+impl<'a> Executor<'a> {
+    /// Create an executor.
+    pub fn new(
+        db: &'a Database,
+        functions: &'a FunctionRegistry,
+        variables: &'a HashMap<String, Value>,
+        limits: QueryLimits,
+    ) -> Self {
+        Executor {
+            db,
+            functions,
+            variables,
+            limits,
+            started: Instant::now(),
+        }
+    }
+
+    fn check_time(&self) -> Result<(), SqlError> {
+        if let Some(budget) = self.limits.max_seconds {
+            if self.started.elapsed().as_secs_f64() > budget {
+                return Err(SqlError::LimitExceeded(format!(
+                    "query exceeded the {budget} second computation budget"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    fn ctx<'b>(&'b self, schema: &'b RowSchema) -> EvalContext<'b> {
+        EvalContext {
+            schema,
+            variables: self.variables,
+            functions: self.functions,
+            aggregates: None,
+        }
+    }
+
+    /// Execute a SELECT plan to completion.
+    pub fn execute_select(&self, plan: &SelectPlan) -> Result<ExecutedSelect, SqlError> {
+        let mut stats = ScanStats::default();
+        // ------------------------------------------------------------------
+        // FROM pipeline.
+        // ------------------------------------------------------------------
+        let (mut rows, mut schema) = if plan.sources.is_empty() {
+            (vec![Vec::new()], RowSchema::default())
+        } else {
+            self.execute_source(&plan.sources[0], &mut stats)?
+        };
+        for (i, step) in plan.joins.iter().enumerate() {
+            self.check_time()?;
+            let inner = &plan.sources[i + 1];
+            let (joined_rows, joined_schema) =
+                self.execute_join(rows, &schema, inner, step, &mut stats)?;
+            rows = joined_rows;
+            schema = joined_schema;
+        }
+        // ------------------------------------------------------------------
+        // Residual filter.
+        // ------------------------------------------------------------------
+        if let Some(pred) = &plan.residual {
+            let ctx = self.ctx(&schema);
+            let mut kept = Vec::with_capacity(rows.len());
+            for row in rows {
+                stats.predicates_evaluated += 1;
+                if eval(pred, &row, &ctx)?.is_truthy() {
+                    kept.push(row);
+                }
+            }
+            rows = kept;
+        }
+        self.check_time()?;
+        // ------------------------------------------------------------------
+        // Aggregation or plain projection.
+        // ------------------------------------------------------------------
+        let mut projected: Vec<(Vec<Value>, Vec<Value>)> = if plan.has_aggregates
+            || !plan.group_by.is_empty()
+        {
+            self.aggregate(plan, &schema, rows)?
+        } else {
+            let ctx = self.ctx(&schema);
+            let mut out = Vec::with_capacity(rows.len());
+            for row in rows {
+                let mut proj = Vec::with_capacity(plan.projections.len());
+                for (expr, _) in &plan.projections {
+                    proj.push(eval(expr, &row, &ctx)?);
+                }
+                out.push((row, proj));
+            }
+            out
+        };
+        // ------------------------------------------------------------------
+        // ORDER BY, DISTINCT, TOP.
+        // ------------------------------------------------------------------
+        if !plan.order_by.is_empty() {
+            let output_names: Vec<&str> = plan.projections.iter().map(|(_, n)| n.as_str()).collect();
+            let ctx = self.ctx(&schema);
+            let mut keyed: Vec<(Vec<Value>, (Vec<Value>, Vec<Value>))> = Vec::with_capacity(projected.len());
+            for (row, proj) in projected {
+                let mut keys = Vec::with_capacity(plan.order_by.len());
+                for item in &plan.order_by {
+                    // ORDER BY can name an output alias or any input column.
+                    let key = match &item.expr {
+                        Expr::Column {
+                            qualifier: None,
+                            name,
+                        } if output_names
+                            .iter()
+                            .any(|n| n.eq_ignore_ascii_case(name)) =>
+                        {
+                            let idx = output_names
+                                .iter()
+                                .position(|n| n.eq_ignore_ascii_case(name))
+                                .expect("checked above");
+                            proj[idx].clone()
+                        }
+                        e => eval(e, &row, &ctx)?,
+                    };
+                    keys.push(key);
+                }
+                keyed.push((keys, (row, proj)));
+            }
+            keyed.sort_by(|a, b| {
+                for (i, item) in plan.order_by.iter().enumerate() {
+                    let ord = a.0[i].total_cmp(&b.0[i]);
+                    let ord = if item.ascending { ord } else { ord.reverse() };
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+            projected = keyed.into_iter().map(|(_, rp)| rp).collect();
+        }
+        let mut final_rows: Vec<Vec<Value>> = projected.into_iter().map(|(_, p)| p).collect();
+        if plan.distinct {
+            let mut seen = BTreeMap::new();
+            let mut deduped = Vec::with_capacity(final_rows.len());
+            for row in final_rows {
+                if seen.insert(row.clone(), ()).is_none() {
+                    deduped.push(row);
+                }
+            }
+            final_rows = deduped;
+        }
+        if let Some(top) = plan.top {
+            final_rows.truncate(top as usize);
+        }
+        let mut truncated = false;
+        if let Some(max) = self.limits.max_rows {
+            if final_rows.len() > max {
+                final_rows.truncate(max);
+                truncated = true;
+            }
+        }
+        stats.rows_returned = final_rows.len() as u64;
+        Ok(ExecutedSelect {
+            result: ResultSet {
+                columns: plan.projections.iter().map(|(_, n)| n.clone()).collect(),
+                rows: final_rows,
+                truncated,
+            },
+            stats,
+        })
+    }
+
+    // ----------------------------------------------------------------------
+    // Sources
+    // ----------------------------------------------------------------------
+
+    fn execute_source(
+        &self,
+        source: &SourcePlan,
+        stats: &mut ScanStats,
+    ) -> Result<(Vec<Vec<Value>>, RowSchema), SqlError> {
+        match &source.kind {
+            SourceKind::Table { table, path } => {
+                self.scan_table(table, path, source, stats)
+            }
+            SourceKind::TableFunction { name, args } => {
+                let tf = self
+                    .functions
+                    .table(name)
+                    .ok_or_else(|| SqlError::UnknownFunction(name.clone()))?;
+                let empty_schema = RowSchema::default();
+                let ctx = self.ctx(&empty_schema);
+                let arg_values: Vec<Value> = args
+                    .iter()
+                    .map(|a| eval(a, &[], &ctx))
+                    .collect::<Result<_, _>>()?;
+                let result = (tf.func)(self.db, &arg_values)?;
+                let mut rows = result.rows;
+                // Apply any pushed predicate over the TVF output.
+                if let Some(pred) = &source.pushed_predicate {
+                    let ctx = self.ctx(&source.schema);
+                    rows = rows
+                        .into_iter()
+                        .filter_map(|r| match eval(pred, &r, &ctx) {
+                            Ok(v) if v.is_truthy() => Some(Ok(r)),
+                            Ok(_) => None,
+                            Err(e) => Some(Err(e)),
+                        })
+                        .collect::<Result<_, _>>()?;
+                }
+                stats.rows_returned += rows.len() as u64;
+                Ok((rows, source.schema.clone()))
+            }
+            SourceKind::Derived { plan } => {
+                let executed = self.execute_select(plan)?;
+                stats.merge(&executed.stats);
+                let mut rows = executed.result.rows;
+                if let Some(pred) = &source.pushed_predicate {
+                    let ctx = self.ctx(&source.schema);
+                    rows = rows
+                        .into_iter()
+                        .filter_map(|r| match eval(pred, &r, &ctx) {
+                            Ok(v) if v.is_truthy() => Some(Ok(r)),
+                            Ok(_) => None,
+                            Err(e) => Some(Err(e)),
+                        })
+                        .collect::<Result<_, _>>()?;
+                }
+                Ok((rows, source.schema.clone()))
+            }
+        }
+    }
+
+    fn scan_table(
+        &self,
+        table: &str,
+        path: &AccessPath,
+        source: &SourcePlan,
+        stats: &mut ScanStats,
+    ) -> Result<(Vec<Vec<Value>>, RowSchema), SqlError> {
+        let t = self.db.table(table)?;
+        let full_schema = RowSchema::for_table(
+            Some(&source.alias),
+            &t.schema().column_names(),
+        );
+        match path {
+            AccessPath::HeapScan => {
+                let pred = source.pushed_predicate.as_ref();
+                let avg = t.avg_row_bytes().max(1);
+                let rows = if t.row_count() >= PARALLEL_SCAN_THRESHOLD {
+                    self.parallel_heap_scan(t, &full_schema, pred, stats)?
+                } else {
+                    let ctx = self.ctx(&full_schema);
+                    let mut out = Vec::new();
+                    for (_, row) in t.iter() {
+                        stats.rows_scanned += 1;
+                        if let Some(p) = pred {
+                            stats.predicates_evaluated += 1;
+                            if !eval(p, row, &ctx)?.is_truthy() {
+                                continue;
+                            }
+                        }
+                        out.push(row.to_vec());
+                    }
+                    out
+                };
+                stats.bytes_scanned += stats.rows_scanned.saturating_mul(avg);
+                Ok((rows, full_schema))
+            }
+            AccessPath::IndexSeek { index, bounds } => {
+                let idx = self
+                    .db
+                    .index(table, index)
+                    .ok_or_else(|| SqlError::Plan(format!("index {index} disappeared")))?;
+                let empty = RowSchema::default();
+                let ctx = self.ctx(&empty);
+                let entries = if let Some(eq) = &bounds.equals {
+                    // A prefix seek handles both single-column and composite
+                    // indexes whose leading column carries the equality.
+                    let key = eval(eq, &[], &ctx)?;
+                    idx.seek_prefix(&key)
+                        .into_iter()
+                        .map(|(_, e)| e.row_id)
+                        .collect::<Vec<_>>()
+                } else {
+                    let lo = match &bounds.lower {
+                        Some((e, _)) => Some(IndexKey(vec![eval(e, &[], &ctx)?])),
+                        None => None,
+                    };
+                    let hi = match &bounds.upper {
+                        Some((e, _)) => Some(IndexKey(vec![eval(e, &[], &ctx)?, Value::str("\u{10FFFF}")])),
+                        None => None,
+                    };
+                    idx.seek_range(lo.as_ref(), hi.as_ref())
+                        .into_iter()
+                        .map(|(_, e)| e.row_id)
+                        .collect::<Vec<_>>()
+                };
+                stats.index_seeks += 1;
+                let avg = t.avg_row_bytes().max(1);
+                let ctx = self.ctx(&full_schema);
+                let mut out = Vec::new();
+                for row_id in entries {
+                    let Some(row) = t.get(row_id) else { continue };
+                    stats.rows_from_index += 1;
+                    stats.bytes_from_index += avg;
+                    if let Some(p) = &source.pushed_predicate {
+                        stats.predicates_evaluated += 1;
+                        if !eval(p, row, &ctx)?.is_truthy() {
+                            continue;
+                        }
+                    }
+                    out.push(row.to_vec());
+                }
+                Ok((out, full_schema))
+            }
+            AccessPath::CoveringIndexScan { index } => {
+                let idx = self
+                    .db
+                    .index(table, index)
+                    .ok_or_else(|| SqlError::Plan(format!("index {index} disappeared")))?;
+                let covered: Vec<&str> = idx.def().covered_columns();
+                let schema = RowSchema::for_table(Some(&source.alias), &covered);
+                let ctx = self.ctx(&schema);
+                let entry_bytes = if idx.len() > 0 {
+                    (idx.bytes() / idx.len() as u64).max(1)
+                } else {
+                    1
+                };
+                let mut out = Vec::new();
+                for (key, entry) in idx.scan() {
+                    stats.rows_from_index += 1;
+                    stats.bytes_from_index += entry_bytes;
+                    let mut row: Vec<Value> = key.0.clone();
+                    row.extend(entry.included.iter().cloned());
+                    if let Some(p) = &source.pushed_predicate {
+                        stats.predicates_evaluated += 1;
+                        if !eval(p, &row, &ctx)?.is_truthy() {
+                            continue;
+                        }
+                    }
+                    out.push(row);
+                }
+                Ok((out, schema))
+            }
+        }
+    }
+
+    fn parallel_heap_scan(
+        &self,
+        t: &skyserver_storage::Table,
+        schema: &RowSchema,
+        pred: Option<&Expr>,
+        stats: &mut ScanStats,
+    ) -> Result<Vec<Vec<Value>>, SqlError> {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(2)
+            .min(8);
+        let partitions = t.partition_row_ids(workers);
+        let results: Vec<Result<(Vec<Vec<Value>>, u64, u64), SqlError>> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = partitions
+                    .iter()
+                    .map(|&(lo, hi)| {
+                        scope.spawn(move || {
+                            let ctx = EvalContext {
+                                schema,
+                                variables: self.variables,
+                                functions: self.functions,
+                                aggregates: None,
+                            };
+                            let mut out = Vec::new();
+                            let mut scanned = 0u64;
+                            let mut evaluated = 0u64;
+                            for (_, row) in t.iter_range(lo, hi) {
+                                scanned += 1;
+                                if let Some(p) = pred {
+                                    evaluated += 1;
+                                    if !eval(p, row, &ctx)?.is_truthy() {
+                                        continue;
+                                    }
+                                }
+                                out.push(row.to_vec());
+                            }
+                            Ok((out, scanned, evaluated))
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("scan worker panicked"))
+                    .collect()
+            });
+        let mut rows = Vec::new();
+        for r in results {
+            let (part, scanned, evaluated) = r?;
+            stats.rows_scanned += scanned;
+            stats.predicates_evaluated += evaluated;
+            rows.extend(part);
+        }
+        Ok(rows)
+    }
+
+    // ----------------------------------------------------------------------
+    // Joins
+    // ----------------------------------------------------------------------
+
+    fn execute_join(
+        &self,
+        outer_rows: Vec<Vec<Value>>,
+        outer_schema: &RowSchema,
+        inner: &SourcePlan,
+        step: &crate::plan::JoinStep,
+        stats: &mut ScanStats,
+    ) -> Result<(Vec<Vec<Value>>, RowSchema), SqlError> {
+        let mut out = Vec::new();
+        match &step.strategy {
+            JoinStrategy::IndexLookup {
+                index,
+                outer_key,
+                inner_column,
+            } => {
+                let SourceKind::Table { table, .. } = &inner.kind else {
+                    return Err(SqlError::Plan(
+                        "index-lookup join requires a base table inner side".into(),
+                    ));
+                };
+                let t = self.db.table(table)?;
+                let idx = self
+                    .db
+                    .index(table, index)
+                    .ok_or_else(|| SqlError::Plan(format!("index {index} disappeared")))?;
+                if !idx.def().key_columns[0].eq_ignore_ascii_case(inner_column) {
+                    return Err(SqlError::Plan(format!(
+                        "index {index} does not lead with {inner_column}"
+                    )));
+                }
+                let inner_full_schema =
+                    RowSchema::for_table(Some(&inner.alias), &t.schema().column_names());
+                let combined_schema = outer_schema.join(&inner_full_schema);
+                let outer_ctx = self.ctx(outer_schema);
+                let inner_ctx = self.ctx(&inner_full_schema);
+                let combined_ctx = self.ctx(&combined_schema);
+                let avg = t.avg_row_bytes().max(1);
+                for outer_row in &outer_rows {
+                    self.check_time()?;
+                    let key = eval(outer_key, outer_row, &outer_ctx)?;
+                    stats.index_seeks += 1;
+                    // Prefix seek: composite indexes (run, camcol, field)
+                    // still serve equality probes on their leading column.
+                    let matches = idx.seek_prefix(&key);
+                    let mut matched = false;
+                    for (_, entry) in matches {
+                        let Some(inner_row) = t.get(entry.row_id) else { continue };
+                        stats.rows_from_index += 1;
+                        stats.bytes_from_index += avg;
+                        if let Some(p) = &inner.pushed_predicate {
+                            stats.predicates_evaluated += 1;
+                            if !eval(p, inner_row, &inner_ctx)?.is_truthy() {
+                                continue;
+                            }
+                        }
+                        let mut combined = outer_row.clone();
+                        combined.extend(inner_row.iter().cloned());
+                        if let Some(r) = &step.residual {
+                            stats.predicates_evaluated += 1;
+                            if !eval(r, &combined, &combined_ctx)?.is_truthy() {
+                                continue;
+                            }
+                        }
+                        matched = true;
+                        out.push(combined);
+                    }
+                    if !matched && step.kind == JoinKind::Left {
+                        let mut combined = outer_row.clone();
+                        combined.extend(std::iter::repeat(Value::Null).take(inner_full_schema.len()));
+                        out.push(combined);
+                    }
+                }
+                // The inner side of an index-lookup join keeps its full heap
+                // schema (all columns).
+                Ok((out, combined_schema))
+            }
+            JoinStrategy::Hash {
+                outer_keys,
+                inner_keys,
+            } => {
+                let (inner_rows, inner_schema) = self.execute_source(inner, stats)?;
+                let inner_ctx = self.ctx(&inner_schema);
+                let mut hash: BTreeMap<Vec<Value>, Vec<usize>> = BTreeMap::new();
+                for (i, row) in inner_rows.iter().enumerate() {
+                    let key: Vec<Value> = inner_keys
+                        .iter()
+                        .map(|k| eval(k, row, &inner_ctx))
+                        .collect::<Result<_, _>>()?;
+                    if key.iter().any(Value::is_null) {
+                        continue;
+                    }
+                    hash.entry(key).or_default().push(i);
+                }
+                let combined_schema = outer_schema.join(&inner_schema);
+                let outer_ctx = self.ctx(outer_schema);
+                let combined_ctx = self.ctx(&combined_schema);
+                for outer_row in &outer_rows {
+                    self.check_time()?;
+                    let key: Vec<Value> = outer_keys
+                        .iter()
+                        .map(|k| eval(k, outer_row, &outer_ctx))
+                        .collect::<Result<_, _>>()?;
+                    let mut matched = false;
+                    if !key.iter().any(Value::is_null) {
+                        if let Some(bucket) = hash.get(&key) {
+                            for &i in bucket {
+                                stats.join_probes += 1;
+                                let mut combined = outer_row.clone();
+                                combined.extend(inner_rows[i].iter().cloned());
+                                if let Some(r) = &step.residual {
+                                    stats.predicates_evaluated += 1;
+                                    if !eval(r, &combined, &combined_ctx)?.is_truthy() {
+                                        continue;
+                                    }
+                                }
+                                matched = true;
+                                out.push(combined);
+                            }
+                        }
+                    }
+                    if !matched && step.kind == JoinKind::Left {
+                        let mut combined = outer_row.clone();
+                        combined
+                            .extend(std::iter::repeat(Value::Null).take(inner_schema.len()));
+                        out.push(combined);
+                    }
+                }
+                Ok((out, combined_schema))
+            }
+            JoinStrategy::NestedLoop => {
+                let (inner_rows, inner_schema) = self.execute_source(inner, stats)?;
+                let combined_schema = outer_schema.join(&inner_schema);
+                let ctx = self.ctx(&combined_schema);
+                for outer_row in &outer_rows {
+                    self.check_time()?;
+                    let mut matched = false;
+                    for inner_row in &inner_rows {
+                        stats.join_probes += 1;
+                        let mut combined = outer_row.clone();
+                        combined.extend(inner_row.iter().cloned());
+                        if let Some(r) = &step.residual {
+                            stats.predicates_evaluated += 1;
+                            if !eval(r, &combined, &ctx)?.is_truthy() {
+                                continue;
+                            }
+                        }
+                        matched = true;
+                        out.push(combined);
+                    }
+                    if !matched && step.kind == JoinKind::Left {
+                        let mut combined = outer_row.clone();
+                        combined
+                            .extend(std::iter::repeat(Value::Null).take(inner_schema.len()));
+                        out.push(combined);
+                    }
+                }
+                Ok((out, combined_schema))
+            }
+        }
+    }
+
+    // ----------------------------------------------------------------------
+    // Aggregation
+    // ----------------------------------------------------------------------
+
+    #[allow(clippy::type_complexity)]
+    fn aggregate(
+        &self,
+        plan: &SelectPlan,
+        schema: &RowSchema,
+        rows: Vec<Vec<Value>>,
+    ) -> Result<Vec<(Vec<Value>, Vec<Value>)>, SqlError> {
+        // Collect aggregate call expressions from projections and HAVING.
+        let mut agg_exprs: Vec<Expr> = Vec::new();
+        for (expr, _) in &plan.projections {
+            collect_aggregates(expr, &mut agg_exprs);
+        }
+        if let Some(h) = &plan.having {
+            collect_aggregates(h, &mut agg_exprs);
+        }
+        let ctx = self.ctx(schema);
+        // Group rows.
+        let mut groups: BTreeMap<Vec<Value>, Vec<Vec<Value>>> = BTreeMap::new();
+        for row in rows {
+            let key: Vec<Value> = plan
+                .group_by
+                .iter()
+                .map(|g| eval(g, &row, &ctx))
+                .collect::<Result<_, _>>()?;
+            groups.entry(key).or_default().push(row);
+        }
+        // A grand aggregate over zero rows still produces one group.
+        if groups.is_empty() && plan.group_by.is_empty() {
+            groups.insert(Vec::new(), Vec::new());
+        }
+        let mut out = Vec::with_capacity(groups.len());
+        for (_key, group_rows) in groups {
+            let mut agg_values: HashMap<String, Value> = HashMap::new();
+            for agg in &agg_exprs {
+                let Expr::Function { name, args } = agg else { continue };
+                let value = self.eval_aggregate(name, args, &group_rows, &ctx)?;
+                agg_values.insert(aggregate_key(agg), value);
+            }
+            let representative = group_rows
+                .first()
+                .cloned()
+                .unwrap_or_else(|| vec![Value::Null; schema.len()]);
+            let agg_ctx = EvalContext {
+                schema,
+                variables: self.variables,
+                functions: self.functions,
+                aggregates: Some(&agg_values),
+            };
+            if let Some(h) = &plan.having {
+                if !eval(h, &representative, &agg_ctx)?.is_truthy() {
+                    continue;
+                }
+            }
+            let mut proj = Vec::with_capacity(plan.projections.len());
+            for (expr, _) in &plan.projections {
+                proj.push(eval(expr, &representative, &agg_ctx)?);
+            }
+            out.push((representative, proj));
+        }
+        Ok(out)
+    }
+
+    fn eval_aggregate(
+        &self,
+        name: &str,
+        args: &[Expr],
+        group_rows: &[Vec<Value>],
+        ctx: &EvalContext<'_>,
+    ) -> Result<Value, SqlError> {
+        let lower = name.to_ascii_lowercase();
+        if lower == "count" && matches!(args.first(), Some(Expr::Star) | None) {
+            return Ok(Value::Int(group_rows.len() as i64));
+        }
+        let arg = args
+            .first()
+            .ok_or_else(|| SqlError::Execution(format!("{name}() needs an argument")))?;
+        let mut values = Vec::with_capacity(group_rows.len());
+        for row in group_rows {
+            let v = eval(arg, row, ctx)?;
+            if !v.is_null() {
+                values.push(v);
+            }
+        }
+        match lower.as_str() {
+            "count" => Ok(Value::Int(values.len() as i64)),
+            "min" => Ok(values
+                .iter()
+                .cloned()
+                .min_by(|a, b| a.total_cmp(b))
+                .unwrap_or(Value::Null)),
+            "max" => Ok(values
+                .iter()
+                .cloned()
+                .max_by(|a, b| a.total_cmp(b))
+                .unwrap_or(Value::Null)),
+            "sum" | "avg" | "stdev" | "var" => {
+                if values.is_empty() {
+                    return Ok(Value::Null);
+                }
+                let nums: Vec<f64> = values.iter().filter_map(Value::as_f64).collect();
+                if nums.len() != values.len() {
+                    return Err(SqlError::Execution(format!(
+                        "{name}() over non-numeric values"
+                    )));
+                }
+                let sum: f64 = nums.iter().sum();
+                let n = nums.len() as f64;
+                match lower.as_str() {
+                    "sum" => Ok(Value::Float(sum)),
+                    "avg" => Ok(Value::Float(sum / n)),
+                    _ => {
+                        let mean = sum / n;
+                        let var = nums.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
+                            / (n - 1.0).max(1.0);
+                        if lower == "var" {
+                            Ok(Value::Float(var))
+                        } else {
+                            Ok(Value::Float(var.sqrt()))
+                        }
+                    }
+                }
+            }
+            other => Err(SqlError::Execution(format!("unknown aggregate {other}"))),
+        }
+    }
+}
+
+fn collect_aggregates(expr: &Expr, out: &mut Vec<Expr>) {
+    match expr {
+        Expr::Function { name, args } => {
+            if crate::ast::is_aggregate_name(name) {
+                if !out.contains(expr) {
+                    out.push(expr.clone());
+                }
+            } else {
+                for a in args {
+                    collect_aggregates(a, out);
+                }
+            }
+        }
+        Expr::Unary { expr, .. } => collect_aggregates(expr, out),
+        Expr::Binary { left, right, .. } => {
+            collect_aggregates(left, out);
+            collect_aggregates(right, out);
+        }
+        Expr::Between {
+            expr, low, high, ..
+        } => {
+            collect_aggregates(expr, out);
+            collect_aggregates(low, out);
+            collect_aggregates(high, out);
+        }
+        Expr::InList { expr, list, .. } => {
+            collect_aggregates(expr, out);
+            for e in list {
+                collect_aggregates(e, out);
+            }
+        }
+        Expr::IsNull { expr, .. } => collect_aggregates(expr, out),
+        Expr::Like { expr, pattern, .. } => {
+            collect_aggregates(expr, out);
+            collect_aggregates(pattern, out);
+        }
+        Expr::Case {
+            branches,
+            else_value,
+        } => {
+            for (c, v) in branches {
+                collect_aggregates(c, out);
+                collect_aggregates(v, out);
+            }
+            if let Some(e) = else_value {
+                collect_aggregates(e, out);
+            }
+        }
+        Expr::Cast { expr, .. } => collect_aggregates(expr, out),
+        _ => {}
+    }
+}

@@ -1,0 +1,1151 @@
+//! The query planner / optimizer.
+//!
+//! It performs the rewrites the paper attributes to SQL Server's optimizer:
+//!
+//! * **view merging** -- `Galaxy` / `Star` / `PhotoPrimary` queries "map down
+//!   to the base photoObj table with the additional qualifiers" (§9.1.3),
+//! * **predicate pushdown** -- single-table conjuncts move into the scans,
+//! * **access-path selection** -- sargable predicates on a leading index
+//!   column become index seeks; queries fully covered by an index become
+//!   covering-index scans (the tag-table replacement); everything else is a
+//!   (parallel) heap scan,
+//! * **join ordering and strategy** -- table-valued functions and small
+//!   derived tables drive nested-loop joins that probe B-tree indices on the
+//!   inner table (the Fig 10 shape); equi-joins without a usable index
+//!   become hash joins; the rest fall back to nested loops.
+
+use crate::ast::{
+    BinaryOp, Expr, JoinKind, SelectItem, SelectStatement, TableSource,
+};
+use crate::error::SqlError;
+use crate::expr::RowSchema;
+use crate::functions::FunctionRegistry;
+use crate::parser::parse_select;
+use crate::plan::{
+    AccessPath, IndexBounds, JoinStep, JoinStrategy, SelectPlan, SourceKind, SourcePlan,
+};
+use skyserver_storage::Database;
+use std::collections::HashSet;
+
+/// Plans SELECT statements against a database + function registry.
+pub struct Planner<'a> {
+    pub db: &'a Database,
+    pub functions: &'a FunctionRegistry,
+}
+
+/// A FROM item after name resolution, before join ordering.
+struct BoundSource {
+    alias: String,
+    kind: SourceKind,
+    schema: RowSchema,
+    /// Extra conjuncts introduced by view merging (already re-qualified).
+    view_predicates: Vec<Expr>,
+    join_kind: Option<JoinKind>,
+    on: Option<Expr>,
+}
+
+impl<'a> Planner<'a> {
+    /// Create a planner.
+    pub fn new(db: &'a Database, functions: &'a FunctionRegistry) -> Self {
+        Planner { db, functions }
+    }
+
+    /// Plan a SELECT statement.
+    pub fn plan_select(&self, stmt: &SelectStatement) -> Result<SelectPlan, SqlError> {
+        if stmt.projections.is_empty() {
+            return Err(SqlError::Plan("SELECT list is empty".into()));
+        }
+        // ------------------------------------------------------------------
+        // 1. Bind FROM sources (resolve names, merge simple views).
+        // ------------------------------------------------------------------
+        let mut bound: Vec<BoundSource> = Vec::new();
+        for item in &stmt.from {
+            bound.push(self.bind_source(item)?);
+        }
+        // A FROM-less select (e.g. `select 1+1`) gets a single dummy source.
+        let fromless = bound.is_empty();
+
+        // ------------------------------------------------------------------
+        // 2. Gather conjuncts from WHERE, ON clauses and merged views.
+        // ------------------------------------------------------------------
+        let mut conjuncts: Vec<Expr> = Vec::new();
+        if let Some(w) = &stmt.selection {
+            conjuncts.extend(w.conjuncts().into_iter().cloned());
+        }
+        let only_inner = bound
+            .iter()
+            .all(|b| matches!(b.join_kind, None | Some(JoinKind::Inner) | Some(JoinKind::Cross)));
+        for b in &mut bound {
+            conjuncts.append(&mut b.view_predicates);
+            if only_inner {
+                if let Some(on) = b.on.take() {
+                    conjuncts.extend(on.conjuncts().into_iter().cloned());
+                }
+            }
+        }
+
+        // Alias -> schema lookup used to classify conjuncts.
+        let alias_schemas: Vec<(String, RowSchema)> = bound
+            .iter()
+            .map(|b| (b.alias.clone(), b.schema.clone()))
+            .collect();
+
+        // Classify each conjunct by the set of aliases it references.
+        let mut classified: Vec<(Expr, HashSet<String>)> = Vec::new();
+        for c in conjuncts {
+            let aliases = aliases_of(&c, &alias_schemas)?;
+            classified.push((c, aliases));
+        }
+
+        // ------------------------------------------------------------------
+        // 3. Per-source pushed predicates and access paths.
+        // ------------------------------------------------------------------
+        let needed = self.needed_columns(stmt, &classified, &alias_schemas);
+        let mut sources: Vec<SourcePlan> = Vec::new();
+        for b in &bound {
+            let pushed: Vec<Expr> = classified
+                .iter()
+                .filter(|(_, aliases)| aliases.len() == 1 && aliases.contains(&b.alias))
+                .map(|(e, _)| e.clone())
+                .collect();
+            let source = self.make_source_plan(b, pushed, &needed)?;
+            sources.push(source);
+        }
+
+        // ------------------------------------------------------------------
+        // 4. Join ordering (only when every join is inner/comma).
+        // ------------------------------------------------------------------
+        if only_inner && sources.len() > 1 {
+            sources.sort_by_key(|s| source_priority(s));
+        }
+
+        // ------------------------------------------------------------------
+        // 5. Join strategies + residual assignment.
+        // ------------------------------------------------------------------
+        // Multi-alias conjuncts (and single-alias ones already pushed are
+        // *also* kept in the residual chain only if they span >1 alias).
+        let mut remaining: Vec<(Expr, HashSet<String>)> = classified
+            .iter()
+            .filter(|(_, aliases)| aliases.len() != 1)
+            .cloned()
+            .collect();
+
+        let mut joins: Vec<JoinStep> = Vec::new();
+        let mut available: HashSet<String> = HashSet::new();
+        let mut input_schema = RowSchema::default();
+        for (i, s) in sources.iter().enumerate() {
+            available.insert(s.alias.to_ascii_lowercase());
+            input_schema = input_schema.join(&s.schema);
+            if i == 0 {
+                continue;
+            }
+            // Conjuncts that become evaluable once this source is joined.
+            let mut step_conjuncts: Vec<Expr> = Vec::new();
+            remaining.retain(|(e, aliases)| {
+                let ready = aliases
+                    .iter()
+                    .all(|a| available.contains(&a.to_ascii_lowercase()));
+                if ready {
+                    step_conjuncts.push(e.clone());
+                    false
+                } else {
+                    true
+                }
+            });
+            let join_kind = bound
+                .iter()
+                .find(|b| b.alias.eq_ignore_ascii_case(&s.alias))
+                .and_then(|b| b.join_kind)
+                .unwrap_or(JoinKind::Inner);
+            let outer_schema: RowSchema = sources[..i]
+                .iter()
+                .map(|s| s.schema.clone())
+                .reduce(|a, b| a.join(&b))
+                .unwrap_or_default();
+            let step = self.choose_join_strategy(s, &outer_schema, join_kind, step_conjuncts);
+            joins.push(step);
+        }
+        // Anything still unassigned (e.g. constant-only predicates or, for
+        // outer joins, WHERE conjuncts) becomes the global residual.
+        let mut residual_conjuncts: Vec<Expr> =
+            remaining.into_iter().map(|(e, _)| e).collect();
+        if fromless {
+            if let Some(w) = &stmt.selection {
+                residual_conjuncts.push(w.clone());
+            }
+        }
+        // Constant-only conjuncts were classified with an empty alias set and
+        // kept in `remaining`, so they are already handled above.
+
+        // ------------------------------------------------------------------
+        // 6. Projections.
+        // ------------------------------------------------------------------
+        let projections = expand_projections(&stmt.projections, &input_schema)?;
+        let has_aggregates = stmt
+            .projections
+            .iter()
+            .any(|p| matches!(p, SelectItem::Expr { expr, .. } if expr.contains_aggregate()))
+            || stmt
+                .having
+                .as_ref()
+                .map(Expr::contains_aggregate)
+                .unwrap_or(false);
+
+        Ok(SelectPlan {
+            sources,
+            joins,
+            residual: Expr::from_conjuncts(residual_conjuncts),
+            projections,
+            select_items: stmt.projections.clone(),
+            group_by: stmt.group_by.clone(),
+            having: stmt.having.clone(),
+            has_aggregates,
+            order_by: stmt.order_by.clone(),
+            top: stmt.top,
+            distinct: stmt.distinct,
+            into: stmt.into.clone(),
+            input_schema,
+        })
+    }
+
+    // ----------------------------------------------------------------------
+    // FROM binding
+    // ----------------------------------------------------------------------
+
+    fn bind_source(&self, item: &crate::ast::FromItem) -> Result<BoundSource, SqlError> {
+        match &item.source {
+            TableSource::Named(name) => {
+                let alias = item.alias.clone().unwrap_or_else(|| name.clone());
+                if self.db.has_table(name) {
+                    let table = self.db.table(name)?;
+                    let cols = table.schema().column_names();
+                    let schema = RowSchema::for_table(Some(&alias), &cols);
+                    return Ok(BoundSource {
+                        alias,
+                        kind: SourceKind::Table {
+                            table: name.clone(),
+                            path: AccessPath::HeapScan,
+                        },
+                        schema,
+                        view_predicates: Vec::new(),
+                        join_kind: item.join,
+                        on: item.on.clone(),
+                    });
+                }
+                if let Some(view) = self.db.view(name) {
+                    let view_select = parse_select(&view.sql)?;
+                    if let Some(merged) = self.try_merge_view(&alias, &view_select)? {
+                        return Ok(BoundSource {
+                            alias,
+                            kind: merged.0,
+                            schema: merged.1,
+                            view_predicates: merged.2,
+                            join_kind: item.join,
+                            on: item.on.clone(),
+                        });
+                    }
+                    // Fall back to materialising the view as a derived table.
+                    let sub_plan = self.plan_select(&view_select)?;
+                    let names = sub_plan
+                        .projections
+                        .iter()
+                        .map(|(_, n)| n.as_str())
+                        .collect::<Vec<_>>();
+                    let schema = RowSchema::for_table(Some(&alias), &names);
+                    return Ok(BoundSource {
+                        alias,
+                        kind: SourceKind::Derived {
+                            plan: Box::new(sub_plan),
+                        },
+                        schema,
+                        view_predicates: Vec::new(),
+                        join_kind: item.join,
+                        on: item.on.clone(),
+                    });
+                }
+                Err(SqlError::Plan(format!("unknown table or view {name}")))
+            }
+            TableSource::Function { name, args } => {
+                let alias = item.alias.clone().unwrap_or_else(|| name.clone());
+                let tf = self
+                    .functions
+                    .table(name)
+                    .ok_or_else(|| SqlError::UnknownFunction(name.clone()))?;
+                let cols: Vec<&str> = tf.columns.iter().map(String::as_str).collect();
+                let schema = RowSchema::for_table(Some(&alias), &cols);
+                Ok(BoundSource {
+                    alias,
+                    kind: SourceKind::TableFunction {
+                        name: name.clone(),
+                        args: args.clone(),
+                    },
+                    schema,
+                    view_predicates: Vec::new(),
+                    join_kind: item.join,
+                    on: item.on.clone(),
+                })
+            }
+            TableSource::Derived(select) => {
+                let alias = item
+                    .alias
+                    .clone()
+                    .ok_or_else(|| SqlError::Plan("derived tables need an alias".into()))?;
+                let sub_plan = self.plan_select(select)?;
+                let names = sub_plan
+                    .projections
+                    .iter()
+                    .map(|(_, n)| n.as_str())
+                    .collect::<Vec<_>>();
+                let schema = RowSchema::for_table(Some(&alias), &names);
+                Ok(BoundSource {
+                    alias,
+                    kind: SourceKind::Derived {
+                        plan: Box::new(sub_plan),
+                    },
+                    schema,
+                    view_predicates: Vec::new(),
+                    join_kind: item.join,
+                    on: item.on.clone(),
+                })
+            }
+        }
+    }
+
+    /// Try to merge a view of the shape `SELECT * FROM base [WHERE pred]`
+    /// (optionally via another such view) into a direct base-table access.
+    /// Returns the source kind, schema and the re-qualified view predicates.
+    #[allow(clippy::type_complexity)]
+    fn try_merge_view(
+        &self,
+        alias: &str,
+        view: &SelectStatement,
+    ) -> Result<Option<(SourceKind, RowSchema, Vec<Expr>)>, SqlError> {
+        let simple = view.from.len() == 1
+            && view.projections.len() == 1
+            && matches!(view.projections[0], SelectItem::Wildcard)
+            && view.group_by.is_empty()
+            && view.order_by.is_empty()
+            && view.top.is_none()
+            && !view.distinct
+            && view.into.is_none();
+        if !simple {
+            return Ok(None);
+        }
+        let TableSource::Named(base) = &view.from[0].source else {
+            return Ok(None);
+        };
+        let mut predicates: Vec<Expr> = view
+            .selection
+            .as_ref()
+            .map(|p| p.conjuncts().into_iter().cloned().collect())
+            .unwrap_or_default();
+        // Re-qualify unqualified column references with the outer alias.
+        for p in &mut predicates {
+            requalify(p, alias);
+        }
+        if self.db.has_table(base) {
+            let table = self.db.table(base)?;
+            let cols = table.schema().column_names();
+            let schema = RowSchema::for_table(Some(alias), &cols);
+            return Ok(Some((
+                SourceKind::Table {
+                    table: base.clone(),
+                    path: AccessPath::HeapScan,
+                },
+                schema,
+                predicates,
+            )));
+        }
+        if let Some(inner_view) = self.db.view(base) {
+            // Views stacked on views (Star -> PhotoPrimary -> photoObj).
+            let inner_select = parse_select(&inner_view.sql)?;
+            if let Some((kind, schema, mut inner_preds)) =
+                self.try_merge_view(alias, &inner_select)?
+            {
+                inner_preds.extend(predicates);
+                return Ok(Some((kind, schema, inner_preds)));
+            }
+        }
+        Ok(None)
+    }
+
+    // ----------------------------------------------------------------------
+    // Access paths
+    // ----------------------------------------------------------------------
+
+    fn make_source_plan(
+        &self,
+        b: &BoundSource,
+        pushed: Vec<Expr>,
+        needed: &[(String, String)],
+    ) -> Result<SourcePlan, SqlError> {
+        let pushed_predicate = Expr::from_conjuncts(pushed.clone());
+        let (kind, schema) = match &b.kind {
+            SourceKind::Table { table, .. } => {
+                let path = self.choose_access_path(table, &b.alias, &pushed, needed);
+                let schema = match &path {
+                    AccessPath::CoveringIndexScan { index } => {
+                        let idx = self
+                            .db
+                            .index(table, index)
+                            .expect("covering index chosen by the planner must exist");
+                        let cols: Vec<&str> = idx.def().covered_columns();
+                        RowSchema::for_table(Some(&b.alias), &cols)
+                    }
+                    _ => b.schema.clone(),
+                };
+                (
+                    SourceKind::Table {
+                        table: table.clone(),
+                        path,
+                    },
+                    schema,
+                )
+            }
+            other => (other.clone(), b.schema.clone()),
+        };
+        Ok(SourcePlan {
+            alias: b.alias.clone(),
+            kind,
+            pushed_predicate,
+            schema,
+        })
+    }
+
+    fn choose_access_path(
+        &self,
+        table: &str,
+        alias: &str,
+        pushed: &[Expr],
+        needed: &[(String, String)],
+    ) -> AccessPath {
+        let indexes = self.db.indexes_for(table);
+        if indexes.is_empty() {
+            return AccessPath::HeapScan;
+        }
+        // Sargable bounds per column.
+        let sargable = extract_sargable(pushed);
+        // Pick the best index: equality on leading column beats range beats
+        // nothing.
+        let mut best: Option<(u32, AccessPath)> = None;
+        for idx in indexes {
+            let leading = &idx.def().key_columns[0];
+            let mut bounds = IndexBounds {
+                column: leading.clone(),
+                ..Default::default()
+            };
+            for s in &sargable {
+                if !s.column.eq_ignore_ascii_case(leading) {
+                    continue;
+                }
+                match s.kind {
+                    SargKind::Eq => bounds.equals = Some(s.value.clone()),
+                    SargKind::GtEq => bounds.lower = Some((s.value.clone(), true)),
+                    SargKind::Gt => bounds.lower = Some((s.value.clone(), false)),
+                    SargKind::LtEq => bounds.upper = Some((s.value.clone(), true)),
+                    SargKind::Lt => bounds.upper = Some((s.value.clone(), false)),
+                }
+            }
+            let score = if bounds.equals.is_some() {
+                3
+            } else if bounds.lower.is_some() && bounds.upper.is_some() {
+                2
+            } else if !bounds.is_unbounded() {
+                1
+            } else {
+                0
+            };
+            if score > 0 && best.as_ref().map(|(s, _)| score > *s).unwrap_or(true) {
+                best = Some((
+                    score,
+                    AccessPath::IndexSeek {
+                        index: idx.def().name.clone(),
+                        bounds,
+                    },
+                ));
+            }
+        }
+        if let Some((_, path)) = best {
+            return path;
+        }
+        // No seek possible: try a covering index scan over the needed columns.
+        let needed_for_alias: Vec<&str> = needed
+            .iter()
+            .filter(|(a, _)| a.eq_ignore_ascii_case(alias))
+            .map(|(_, c)| c.as_str())
+            .collect();
+        if !needed_for_alias.is_empty() {
+            let mut best_cover: Option<(usize, String)> = None;
+            for idx in indexes {
+                if idx.def().covers(&needed_for_alias) {
+                    let width = idx.def().covered_columns().len();
+                    if best_cover.as_ref().map(|(w, _)| width < *w).unwrap_or(true) {
+                        best_cover = Some((width, idx.def().name.clone()));
+                    }
+                }
+            }
+            if let Some((_, index)) = best_cover {
+                return AccessPath::CoveringIndexScan { index };
+            }
+        }
+        AccessPath::HeapScan
+    }
+
+    /// All `(alias, column)` pairs the query references anywhere.
+    fn needed_columns(
+        &self,
+        stmt: &SelectStatement,
+        classified: &[(Expr, HashSet<String>)],
+        alias_schemas: &[(String, RowSchema)],
+    ) -> Vec<(String, String)> {
+        let mut refs: Vec<(Option<String>, String)> = Vec::new();
+        for p in &stmt.projections {
+            match p {
+                SelectItem::Expr { expr, .. } => expr.collect_columns(&mut refs),
+                SelectItem::Wildcard => {
+                    // A bare * needs every column of every source: return a
+                    // sentinel that defeats covering-index selection.
+                    for (alias, schema) in alias_schemas {
+                        for (_, name) in schema.columns() {
+                            refs.push((Some(alias.clone()), name.clone()));
+                        }
+                    }
+                }
+                SelectItem::QualifiedWildcard(q) => {
+                    for (alias, schema) in alias_schemas {
+                        if alias.eq_ignore_ascii_case(q) {
+                            for (_, name) in schema.columns() {
+                                refs.push((Some(alias.clone()), name.clone()));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        for (e, _) in classified {
+            e.collect_columns(&mut refs);
+        }
+        for o in &stmt.order_by {
+            o.expr.collect_columns(&mut refs);
+        }
+        for g in &stmt.group_by {
+            g.collect_columns(&mut refs);
+        }
+        if let Some(h) = &stmt.having {
+            h.collect_columns(&mut refs);
+        }
+        // Resolve unqualified references to their alias.
+        let mut out = Vec::new();
+        for (q, name) in refs {
+            match q {
+                Some(q) => out.push((q, name)),
+                None => {
+                    for (alias, schema) in alias_schemas {
+                        if schema.can_resolve(None, &name) {
+                            out.push((alias.clone(), name.clone()));
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    // ----------------------------------------------------------------------
+    // Join strategies
+    // ----------------------------------------------------------------------
+
+    fn choose_join_strategy(
+        &self,
+        inner: &SourcePlan,
+        outer_schema: &RowSchema,
+        kind: JoinKind,
+        step_conjuncts: Vec<Expr>,
+    ) -> JoinStep {
+        // Find equi-join conjuncts: inner.column = outer-only expression.
+        let mut equi: Vec<(String, Expr)> = Vec::new(); // (inner column, outer expr)
+        let mut residual: Vec<Expr> = Vec::new();
+        for c in &step_conjuncts {
+            if let Expr::Binary {
+                left,
+                op: BinaryOp::Eq,
+                right,
+            } = c
+            {
+                if let Some((col, outer)) =
+                    equi_join_sides(left, right, &inner.alias, &inner.schema, outer_schema)
+                {
+                    equi.push((col, outer));
+                    // Keep the conjunct in the residual as well: harmless
+                    // re-check, and it keeps outer-join semantics simple.
+                }
+            }
+            residual.push(c.clone());
+        }
+        let strategy = if let SourceKind::Table { table, .. } = &inner.kind {
+            // Prefer an index lookup on an equi-join column.
+            let mut lookup = None;
+            for (col, outer) in &equi {
+                for idx in self.db.indexes_for(table) {
+                    if idx.def().key_columns[0].eq_ignore_ascii_case(col) {
+                        lookup = Some(JoinStrategy::IndexLookup {
+                            index: idx.def().name.clone(),
+                            outer_key: outer.clone(),
+                            inner_column: col.clone(),
+                        });
+                        break;
+                    }
+                }
+                if lookup.is_some() {
+                    break;
+                }
+            }
+            lookup.unwrap_or_else(|| hash_or_nested(&equi, &inner.alias))
+        } else {
+            hash_or_nested(&equi, &inner.alias)
+        };
+        JoinStep {
+            kind,
+            strategy,
+            residual: Expr::from_conjuncts(residual),
+        }
+    }
+}
+
+fn hash_or_nested(equi: &[(String, Expr)], inner_alias: &str) -> JoinStrategy {
+    if equi.is_empty() {
+        JoinStrategy::NestedLoop
+    } else {
+        JoinStrategy::Hash {
+            outer_keys: equi.iter().map(|(_, o)| o.clone()).collect(),
+            inner_keys: equi
+                .iter()
+                .map(|(c, _)| Expr::Column {
+                    qualifier: Some(inner_alias.to_string()),
+                    name: c.clone(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// If `left = right` is an equi-join between the inner source and the outer
+/// side, return `(inner column name, outer expression)`.
+fn equi_join_sides(
+    left: &Expr,
+    right: &Expr,
+    inner_alias: &str,
+    inner_schema: &RowSchema,
+    outer_schema: &RowSchema,
+) -> Option<(String, Expr)> {
+    let is_inner_col = |e: &Expr| -> Option<String> {
+        if let Expr::Column { qualifier, name } = e {
+            let matches_alias = qualifier
+                .as_deref()
+                .map(|q| q.eq_ignore_ascii_case(inner_alias))
+                .unwrap_or_else(|| inner_schema.can_resolve(None, name));
+            if matches_alias && inner_schema.can_resolve(qualifier.as_deref(), name) {
+                return Some(name.clone());
+            }
+        }
+        None
+    };
+    let is_outer_expr = |e: &Expr| -> bool {
+        let mut cols = Vec::new();
+        e.collect_columns(&mut cols);
+        !cols.is_empty()
+            && cols
+                .iter()
+                .all(|(q, n)| outer_schema.can_resolve(q.as_deref(), n))
+    };
+    if let Some(col) = is_inner_col(left) {
+        if is_outer_expr(right) {
+            return Some((col, right.clone()));
+        }
+    }
+    if let Some(col) = is_inner_col(right) {
+        if is_outer_expr(left) {
+            return Some((col, left.clone()));
+        }
+    }
+    None
+}
+
+/// Priority used to order inner-join sources: drive with TVFs and derived
+/// tables, then indexed tables, finish with heap scans.
+fn source_priority(s: &SourcePlan) -> u8 {
+    match &s.kind {
+        SourceKind::TableFunction { .. } => 0,
+        SourceKind::Derived { .. } => 1,
+        SourceKind::Table { path, .. } => match path {
+            AccessPath::IndexSeek { bounds, .. } if bounds.equals.is_some() => 2,
+            AccessPath::IndexSeek { .. } => 3,
+            AccessPath::CoveringIndexScan { .. } => 4,
+            AccessPath::HeapScan => 5,
+        },
+    }
+}
+
+/// The sargable shapes we recognise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SargKind {
+    Eq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+}
+
+struct Sarg {
+    column: String,
+    kind: SargKind,
+    value: Expr,
+}
+
+/// Extract sargable `column op constant-expression` conjuncts.
+fn extract_sargable(conjuncts: &[Expr]) -> Vec<Sarg> {
+    let mut out = Vec::new();
+    let is_const = |e: &Expr| {
+        let mut cols = Vec::new();
+        e.collect_columns(&mut cols);
+        cols.is_empty() && !matches!(e, Expr::Star)
+    };
+    for c in conjuncts {
+        match c {
+            Expr::Binary { left, op, right } if op.is_comparison() => {
+                let (col, value, op) = match (&**left, &**right) {
+                    (Expr::Column { name, .. }, v) if is_const(v) => (name.clone(), v.clone(), *op),
+                    (v, Expr::Column { name, .. }) if is_const(v) => {
+                        (name.clone(), v.clone(), op.mirror())
+                    }
+                    _ => continue,
+                };
+                let kind = match op {
+                    BinaryOp::Eq => SargKind::Eq,
+                    BinaryOp::Lt => SargKind::Lt,
+                    BinaryOp::LtEq => SargKind::LtEq,
+                    BinaryOp::Gt => SargKind::Gt,
+                    BinaryOp::GtEq => SargKind::GtEq,
+                    _ => continue,
+                };
+                out.push(Sarg {
+                    column: col,
+                    kind,
+                    value,
+                });
+            }
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated: false,
+            } => {
+                if let Expr::Column { name, .. } = &**expr {
+                    if is_const(low) && is_const(high) {
+                        out.push(Sarg {
+                            column: name.clone(),
+                            kind: SargKind::GtEq,
+                            value: (**low).clone(),
+                        });
+                        out.push(Sarg {
+                            column: name.clone(),
+                            kind: SargKind::LtEq,
+                            value: (**high).clone(),
+                        });
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Which aliases does a conjunct reference?
+fn aliases_of(
+    expr: &Expr,
+    alias_schemas: &[(String, RowSchema)],
+) -> Result<HashSet<String>, SqlError> {
+    let mut cols = Vec::new();
+    expr.collect_columns(&mut cols);
+    let mut out = HashSet::new();
+    for (q, name) in cols {
+        match q {
+            Some(q) => {
+                let found = alias_schemas
+                    .iter()
+                    .find(|(a, _)| a.eq_ignore_ascii_case(&q));
+                match found {
+                    Some((a, _)) => {
+                        out.insert(a.clone());
+                    }
+                    None => {
+                        return Err(SqlError::Plan(format!("unknown table alias {q}")));
+                    }
+                }
+            }
+            None => {
+                let matches: Vec<&String> = alias_schemas
+                    .iter()
+                    .filter(|(_, s)| s.can_resolve(None, &name))
+                    .map(|(a, _)| a)
+                    .collect();
+                match matches.len() {
+                    0 => {
+                        return Err(SqlError::Plan(format!("unknown column {name}")));
+                    }
+                    1 => {
+                        out.insert(matches[0].clone());
+                    }
+                    _ => {
+                        return Err(SqlError::Plan(format!("ambiguous column {name}")));
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Qualify the unqualified column references of a merged view predicate with
+/// the outer alias.
+fn requalify(expr: &mut Expr, alias: &str) {
+    match expr {
+        Expr::Column { qualifier, .. } => {
+            if qualifier.is_none() {
+                *qualifier = Some(alias.to_string());
+            } else {
+                // The view body referenced its own base table name; rewrite
+                // it to the outer alias.
+                *qualifier = Some(alias.to_string());
+            }
+        }
+        Expr::Unary { expr, .. } => requalify(expr, alias),
+        Expr::Binary { left, right, .. } => {
+            requalify(left, alias);
+            requalify(right, alias);
+        }
+        Expr::Function { args, .. } => {
+            for a in args {
+                requalify(a, alias);
+            }
+        }
+        Expr::Between {
+            expr, low, high, ..
+        } => {
+            requalify(expr, alias);
+            requalify(low, alias);
+            requalify(high, alias);
+        }
+        Expr::InList { expr, list, .. } => {
+            requalify(expr, alias);
+            for e in list {
+                requalify(e, alias);
+            }
+        }
+        Expr::IsNull { expr, .. } => requalify(expr, alias),
+        Expr::Like { expr, pattern, .. } => {
+            requalify(expr, alias);
+            requalify(pattern, alias);
+        }
+        Expr::Case {
+            branches,
+            else_value,
+        } => {
+            for (c, v) in branches {
+                requalify(c, alias);
+                requalify(v, alias);
+            }
+            if let Some(e) = else_value {
+                requalify(e, alias);
+            }
+        }
+        Expr::Cast { expr, .. } => requalify(expr, alias),
+        Expr::Literal(_) | Expr::Variable(_) | Expr::Star => {}
+    }
+}
+
+/// Expand the select list against the combined input schema.
+fn expand_projections(
+    items: &[SelectItem],
+    schema: &RowSchema,
+) -> Result<Vec<(Expr, String)>, SqlError> {
+    let mut out = Vec::new();
+    for (i, item) in items.iter().enumerate() {
+        match item {
+            SelectItem::Wildcard => {
+                for (q, name) in schema.columns() {
+                    out.push((
+                        Expr::Column {
+                            qualifier: q.clone(),
+                            name: name.clone(),
+                        },
+                        name.clone(),
+                    ));
+                }
+            }
+            SelectItem::QualifiedWildcard(q) => {
+                let mut found = false;
+                for (cq, name) in schema.columns() {
+                    if cq
+                        .as_deref()
+                        .map(|c| c.eq_ignore_ascii_case(q))
+                        .unwrap_or(false)
+                    {
+                        found = true;
+                        out.push((
+                            Expr::Column {
+                                qualifier: cq.clone(),
+                                name: name.clone(),
+                            },
+                            name.clone(),
+                        ));
+                    }
+                }
+                if !found {
+                    return Err(SqlError::Plan(format!("unknown alias {q} in {q}.*")));
+                }
+            }
+            SelectItem::Expr { expr, alias } => {
+                let name = alias.clone().unwrap_or_else(|| default_name(expr, i));
+                out.push((expr.clone(), name));
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn default_name(expr: &Expr, index: usize) -> String {
+    match expr {
+        Expr::Column { name, .. } => name.clone(),
+        Expr::Function { name, .. } => name.split('.').next_back().unwrap_or(name).to_string(),
+        _ => format!("col{}", index + 1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_select;
+    use skyserver_storage::{ColumnDef, DataType, IndexDef, TableSchema, Value};
+
+    fn test_db() -> Database {
+        let mut db = Database::new("test");
+        let schema = TableSchema::new(vec![
+            ColumnDef::new("objID", DataType::Int),
+            ColumnDef::new("htmID", DataType::Int),
+            ColumnDef::new("ra", DataType::Float),
+            ColumnDef::new("dec", DataType::Float),
+            ColumnDef::new("type", DataType::Int),
+            ColumnDef::new("flags", DataType::Int),
+            ColumnDef::new("modelMag_r", DataType::Float),
+        ])
+        .with_primary_key(&["objID"]);
+        db.create_table("photoObj", schema).unwrap();
+        db.create_index(IndexDef::new("pk_photoObj", "photoObj", &["objID"]).unique())
+            .unwrap();
+        db.create_index(IndexDef::new("ix_htm", "photoObj", &["htmID"]).include(&["ra", "dec"]))
+            .unwrap();
+        db.create_index(
+            IndexDef::new("ix_type_mag", "photoObj", &["type"]).include(&["modelMag_r", "objID"]),
+        )
+        .unwrap();
+        db.create_view(
+            "Galaxy",
+            "select * from photoObj where type = 3 and (flags & 256) > 0",
+            "primary galaxies",
+        )
+        .unwrap();
+        for i in 0..10i64 {
+            db.insert(
+                "photoObj",
+                vec![
+                    Value::Int(i),
+                    Value::Int(1000 + i),
+                    Value::Float(180.0 + i as f64),
+                    Value::Float(0.0),
+                    Value::Int(if i % 2 == 0 { 3 } else { 6 }),
+                    Value::Int(256),
+                    Value::Float(18.0),
+                ],
+            )
+            .unwrap();
+        }
+        db
+    }
+
+    fn plan(db: &Database, sql: &str) -> SelectPlan {
+        let funcs = registry();
+        let planner = Planner::new(db, &funcs);
+        planner.plan_select(&parse_select(sql).unwrap()).unwrap()
+    }
+
+    fn registry() -> FunctionRegistry {
+        let mut f = FunctionRegistry::new();
+        f.register_table(
+            "fGetNearbyObjEq",
+            &["objID", "distance"],
+            |_db, _args| Ok(crate::result::ResultSet::empty(vec!["objID".into(), "distance".into()])),
+        );
+        f
+    }
+
+    #[test]
+    fn equality_on_pk_becomes_index_seek() {
+        let db = test_db();
+        let p = plan(&db, "select ra from photoObj where objID = 5");
+        match &p.sources[0].kind {
+            SourceKind::Table { path, .. } => match path {
+                AccessPath::IndexSeek { index, bounds } => {
+                    assert_eq!(index, "pk_photoObj");
+                    assert!(bounds.equals.is_some());
+                }
+                other => panic!("expected index seek, got {other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(p.plan_class(), crate::plan::PlanClass::IndexSeek);
+    }
+
+    #[test]
+    fn range_on_htm_becomes_index_seek() {
+        let db = test_db();
+        let p = plan(
+            &db,
+            "select ra, dec from photoObj where htmID between 1000 and 1005",
+        );
+        match &p.sources[0].kind {
+            SourceKind::Table { path, .. } => match path {
+                AccessPath::IndexSeek { index, bounds } => {
+                    assert_eq!(index, "ix_htm");
+                    assert!(bounds.lower.is_some() && bounds.upper.is_some());
+                }
+                other => panic!("expected index seek, got {other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn covering_index_used_when_no_sarg() {
+        let db = test_db();
+        // type is not sargable here (expression), but the query touches only
+        // type/modelMag_r/objID which ix_type_mag covers.
+        let p = plan(
+            &db,
+            "select objID, modelMag_r from photoObj where type * 2 = 6",
+        );
+        match &p.sources[0].kind {
+            SourceKind::Table { path, .. } => {
+                assert_eq!(
+                    path,
+                    &AccessPath::CoveringIndexScan {
+                        index: "ix_type_mag".into()
+                    }
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn full_scan_when_nothing_helps() {
+        let db = test_db();
+        let p = plan(&db, "select * from photoObj where ra + dec > 100");
+        match &p.sources[0].kind {
+            SourceKind::Table { path, .. } => assert_eq!(path, &AccessPath::HeapScan),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(p.plan_class(), crate::plan::PlanClass::Scan);
+    }
+
+    #[test]
+    fn view_merges_to_base_table_with_extra_predicates() {
+        let db = test_db();
+        let p = plan(&db, "select objID from Galaxy where modelMag_r < 19");
+        assert_eq!(p.sources.len(), 1);
+        match &p.sources[0].kind {
+            SourceKind::Table { table, .. } => assert_eq!(table, "photoObj"),
+            other => panic!("expected merged view, got {other:?}"),
+        }
+        // Both the view predicate and the user predicate are pushed.
+        let pushed = p.sources[0].pushed_predicate.as_ref().unwrap();
+        let n = pushed.conjuncts().len();
+        assert_eq!(n, 3, "type=3, flags check, modelMag_r<19");
+    }
+
+    #[test]
+    fn tvf_drives_index_lookup_join() {
+        let db = test_db();
+        let p = plan(
+            &db,
+            "select G.objID, GN.distance from Galaxy as G \
+             join fGetNearbyObjEq(185, -0.5, 1) as GN on G.objID = GN.objID \
+             where (G.flags & 64) = 0 order by distance",
+        );
+        // The TVF should be the driving source.
+        assert!(matches!(
+            p.sources[0].kind,
+            SourceKind::TableFunction { .. }
+        ));
+        assert_eq!(p.joins.len(), 1);
+        match &p.joins[0].strategy {
+            JoinStrategy::IndexLookup { index, .. } => assert_eq!(index, "pk_photoObj"),
+            other => panic!("expected index lookup join, got {other:?}"),
+        }
+        let rendered = p.render();
+        assert!(rendered.contains("TableFunction(fGetNearbyObjEq"));
+        assert!(rendered.contains("index lookup pk_photoObj"));
+    }
+
+    #[test]
+    fn self_join_uses_hash_strategy_without_index() {
+        let db = test_db();
+        let p = plan(
+            &db,
+            "select r.objID, g.objID from photoObj r, photoObj g \
+             where r.ra = g.ra and r.objID <> g.objID",
+        );
+        assert_eq!(p.sources.len(), 2);
+        assert_eq!(p.joins.len(), 1);
+        assert!(matches!(p.joins[0].strategy, JoinStrategy::Hash { .. }));
+    }
+
+    #[test]
+    fn projections_expand_wildcards() {
+        let db = test_db();
+        let p = plan(&db, "select * from photoObj");
+        assert_eq!(p.projections.len(), 7);
+        let p2 = plan(&db, "select p.* from photoObj p");
+        assert_eq!(p2.projections.len(), 7);
+    }
+
+    #[test]
+    fn aggregates_detected() {
+        let db = test_db();
+        let p = plan(&db, "select count(*) from photoObj where type = 3");
+        assert!(p.has_aggregates);
+        let p2 = plan(&db, "select type, avg(modelMag_r) from photoObj group by type");
+        assert!(p2.has_aggregates);
+        assert_eq!(p2.group_by.len(), 1);
+    }
+
+    #[test]
+    fn errors_for_unknown_names() {
+        let db = test_db();
+        let funcs = registry();
+        let planner = Planner::new(&db, &funcs);
+        assert!(planner
+            .plan_select(&parse_select("select * from noSuchTable").unwrap())
+            .is_err());
+        assert!(planner
+            .plan_select(&parse_select("select noSuchColumn from photoObj").unwrap())
+            .is_ok(), "projection binding happens at execution");
+        assert!(planner
+            .plan_select(&parse_select("select * from photoObj where noSuchColumn = 1").unwrap())
+            .is_err());
+        assert!(planner
+            .plan_select(&parse_select("select * from fNoSuchTvf(1)").unwrap())
+            .is_err());
+    }
+}

@@ -1,0 +1,89 @@
+//! Error type shared by the storage engine.
+
+use crate::index::IndexError;
+use crate::schema::SchemaError;
+use std::fmt;
+
+/// Errors raised by catalog and data operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StorageError {
+    /// Table (or view) name not found in the catalog.
+    UnknownTable(String),
+    /// Index name not found.
+    UnknownIndex(String),
+    /// An object with the same name already exists.
+    DuplicateName(String),
+    /// A row failed schema validation.
+    Schema(SchemaError),
+    /// An index build or maintenance failure.
+    Index(IndexError),
+    /// A foreign-key constraint was violated.
+    ForeignKeyViolation {
+        table: String,
+        constraint: String,
+        value: String,
+    },
+    /// Generic constraint violation.
+    ConstraintViolation(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::UnknownTable(t) => write!(f, "unknown table {t}"),
+            StorageError::UnknownIndex(i) => write!(f, "unknown index {i}"),
+            StorageError::DuplicateName(n) => write!(f, "object named {n} already exists"),
+            StorageError::Schema(e) => write!(f, "schema error: {e}"),
+            StorageError::Index(e) => write!(f, "index error: {e}"),
+            StorageError::ForeignKeyViolation {
+                table,
+                constraint,
+                value,
+            } => write!(
+                f,
+                "foreign key {constraint} on {table} violated by value {value}"
+            ),
+            StorageError::ConstraintViolation(m) => write!(f, "constraint violation: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+impl From<SchemaError> for StorageError {
+    fn from(e: SchemaError) -> Self {
+        StorageError::Schema(e)
+    }
+}
+
+impl From<IndexError> for StorageError {
+    fn from(e: IndexError) -> Self {
+        StorageError::Index(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = StorageError::UnknownTable("photoObjX".into());
+        assert!(e.to_string().contains("photoObjX"));
+        let e = StorageError::ForeignKeyViolation {
+            table: "specObj".into(),
+            constraint: "fk_specobj_plate".into(),
+            value: "42".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("specObj") && s.contains("42"));
+    }
+
+    #[test]
+    fn conversions() {
+        let s: StorageError = SchemaError::NullViolation { column: "ra".into() }.into();
+        assert!(matches!(s, StorageError::Schema(_)));
+        let i: StorageError = IndexError::UnknownColumn("x".into()).into();
+        assert!(matches!(i, StorageError::Index(_)));
+    }
+}

@@ -1,0 +1,335 @@
+//! Heap tables: the base row storage.
+//!
+//! Rows are appended to a vector and addressed by a stable [`RowId`].
+//! Deletions flip a tombstone flag instead of moving rows, which keeps
+//! RowIds valid for secondary indices.  Every row carries a logical insert
+//! timestamp; this is what the loader's **UNDO** step uses (§9.4: "Undo
+//! consists of deleting all records of that table with an insert time
+//! between the bad load step start and stop times").
+
+use crate::schema::{SchemaError, TableSchema};
+use crate::value::Value;
+
+/// Stable identifier of a row within a table (its slot index).
+pub type RowId = usize;
+
+/// Logical timestamp type (monotonically increasing, supplied by the
+/// database-wide clock).
+pub type Timestamp = u64;
+
+/// A heap table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    name: String,
+    schema: TableSchema,
+    rows: Vec<Vec<Value>>,
+    /// Insert timestamp per row (parallel to `rows`).
+    insert_ts: Vec<Timestamp>,
+    /// Tombstones (parallel to `rows`).
+    deleted: Vec<bool>,
+    live_rows: usize,
+    data_bytes: u64,
+    /// Free-text description shown by the schema browser.
+    description: String,
+}
+
+impl Table {
+    /// Create an empty table.
+    pub fn new(name: impl Into<String>, schema: TableSchema) -> Self {
+        Table {
+            name: name.into(),
+            schema,
+            rows: Vec::new(),
+            insert_ts: Vec::new(),
+            deleted: Vec::new(),
+            live_rows: 0,
+            data_bytes: 0,
+            description: String::new(),
+        }
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Table schema.
+    pub fn schema(&self) -> &TableSchema {
+        &self.schema
+    }
+
+    /// Human-readable description (documentation).
+    pub fn description(&self) -> &str {
+        &self.description
+    }
+
+    /// Set the description.
+    pub fn set_description(&mut self, d: impl Into<String>) {
+        self.description = d.into();
+    }
+
+    /// Number of live (non-deleted) rows.
+    pub fn row_count(&self) -> usize {
+        self.live_rows
+    }
+
+    /// Number of slots including tombstones.
+    pub fn slot_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Approximate bytes of live row data (the paper's Table 1 reports data
+    /// bytes per table; indices roughly double it).
+    pub fn data_bytes(&self) -> u64 {
+        self.data_bytes
+    }
+
+    /// Average bytes per live row (0 for an empty table).
+    pub fn avg_row_bytes(&self) -> u64 {
+        if self.live_rows == 0 {
+            0
+        } else {
+            self.data_bytes / self.live_rows as u64
+        }
+    }
+
+    /// Insert a row after validating it against the schema.  Returns the new
+    /// RowId.
+    pub fn insert(&mut self, row: Vec<Value>, ts: Timestamp) -> Result<RowId, SchemaError> {
+        let row = self.schema.validate_row(row)?;
+        let bytes: u64 = row.iter().map(|v| v.byte_size() as u64).sum();
+        let id = self.rows.len();
+        self.rows.push(row);
+        self.insert_ts.push(ts);
+        self.deleted.push(false);
+        self.live_rows += 1;
+        self.data_bytes += bytes;
+        Ok(id)
+    }
+
+    /// Fetch a live row by id.
+    pub fn get(&self, id: RowId) -> Option<&[Value]> {
+        if id < self.rows.len() && !self.deleted[id] {
+            Some(&self.rows[id])
+        } else {
+            None
+        }
+    }
+
+    /// Fetch a single cell of a live row.
+    pub fn get_cell(&self, id: RowId, column: usize) -> Option<&Value> {
+        self.get(id).and_then(|r| r.get(column))
+    }
+
+    /// Insert timestamp of a row (even if deleted).
+    pub fn insert_timestamp(&self, id: RowId) -> Option<Timestamp> {
+        self.insert_ts.get(id).copied()
+    }
+
+    /// Mark a row deleted; returns true if it was live.
+    pub fn delete(&mut self, id: RowId) -> bool {
+        if id < self.rows.len() && !self.deleted[id] {
+            self.deleted[id] = true;
+            self.live_rows -= 1;
+            let bytes: u64 = self.rows[id].iter().map(|v| v.byte_size() as u64).sum();
+            self.data_bytes = self.data_bytes.saturating_sub(bytes);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Update a live row in place (validating the new values).
+    pub fn update(&mut self, id: RowId, row: Vec<Value>) -> Result<bool, SchemaError> {
+        if id >= self.rows.len() || self.deleted[id] {
+            return Ok(false);
+        }
+        let row = self.schema.validate_row(row)?;
+        let old_bytes: u64 = self.rows[id].iter().map(|v| v.byte_size() as u64).sum();
+        let new_bytes: u64 = row.iter().map(|v| v.byte_size() as u64).sum();
+        self.rows[id] = row;
+        self.data_bytes = self.data_bytes - old_bytes + new_bytes;
+        Ok(true)
+    }
+
+    /// Delete every row whose insert timestamp falls in `[start, stop]`.
+    /// This is the loader's UNDO primitive.  Returns the number of rows
+    /// removed.
+    pub fn delete_by_timestamp_range(&mut self, start: Timestamp, stop: Timestamp) -> usize {
+        let mut removed = 0;
+        for id in 0..self.rows.len() {
+            if !self.deleted[id] && self.insert_ts[id] >= start && self.insert_ts[id] <= stop {
+                self.delete(id);
+                removed += 1;
+            }
+        }
+        removed
+    }
+
+    /// Iterate over live rows as `(RowId, &row)`.
+    pub fn iter(&self) -> impl Iterator<Item = (RowId, &[Value])> {
+        self.rows
+            .iter()
+            .enumerate()
+            .filter(move |(i, _)| !self.deleted[*i])
+            .map(|(i, r)| (i, r.as_slice()))
+    }
+
+    /// Iterate over all live RowIds.
+    pub fn row_ids(&self) -> impl Iterator<Item = RowId> + '_ {
+        (0..self.rows.len()).filter(move |&i| !self.deleted[i])
+    }
+
+    /// Split the live row-id space into `n` roughly equal chunks for the
+    /// parallel scan operator.
+    pub fn partition_row_ids(&self, n: usize) -> Vec<(RowId, RowId)> {
+        let total = self.rows.len();
+        if total == 0 || n == 0 {
+            return vec![];
+        }
+        let n = n.min(total);
+        let chunk = total.div_ceil(n);
+        (0..n)
+            .map(|i| (i * chunk, ((i + 1) * chunk).min(total)))
+            .filter(|(lo, hi)| lo < hi)
+            .collect()
+    }
+
+    /// Iterate live rows whose slot index lies in `[lo, hi)` (for parallel
+    /// scan partitions).
+    pub fn iter_range(&self, lo: RowId, hi: RowId) -> impl Iterator<Item = (RowId, &[Value])> {
+        let hi = hi.min(self.rows.len());
+        (lo..hi)
+            .filter(move |&i| !self.deleted[i])
+            .map(move |i| (i, self.rows[i].as_slice()))
+    }
+
+    /// Remove all rows (used by reload steps and tests).
+    pub fn truncate(&mut self) {
+        self.rows.clear();
+        self.insert_ts.clear();
+        self.deleted.clear();
+        self.live_rows = 0;
+        self.data_bytes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnDef;
+    use crate::value::DataType;
+
+    fn table() -> Table {
+        let schema = TableSchema::new(vec![
+            ColumnDef::new("id", DataType::Int),
+            ColumnDef::new("mag", DataType::Float),
+            ColumnDef::new("name", DataType::Str).nullable(),
+        ])
+        .with_primary_key(&["id"]);
+        Table::new("objects", schema)
+    }
+
+    fn row(id: i64, mag: f64, name: &str) -> Vec<Value> {
+        vec![Value::Int(id), Value::Float(mag), Value::str(name)]
+    }
+
+    #[test]
+    fn insert_and_get() {
+        let mut t = table();
+        let r0 = t.insert(row(1, 17.5, "a"), 10).unwrap();
+        let r1 = t.insert(row(2, 18.5, "b"), 11).unwrap();
+        assert_eq!(t.row_count(), 2);
+        assert_eq!(t.get(r0).unwrap()[0], Value::Int(1));
+        assert_eq!(t.get(r1).unwrap()[2], Value::str("b"));
+        assert_eq!(t.get_cell(r1, 1), Some(&Value::Float(18.5)));
+        assert_eq!(t.insert_timestamp(r1), Some(11));
+    }
+
+    #[test]
+    fn delete_hides_rows_and_updates_counts() {
+        let mut t = table();
+        let r0 = t.insert(row(1, 17.5, "a"), 1).unwrap();
+        t.insert(row(2, 18.5, "b"), 1).unwrap();
+        let bytes_before = t.data_bytes();
+        assert!(t.delete(r0));
+        assert!(!t.delete(r0), "double delete reports false");
+        assert_eq!(t.row_count(), 1);
+        assert!(t.get(r0).is_none());
+        assert!(t.data_bytes() < bytes_before);
+        assert_eq!(t.iter().count(), 1);
+    }
+
+    #[test]
+    fn update_replaces_values() {
+        let mut t = table();
+        let r0 = t.insert(row(1, 17.5, "a"), 1).unwrap();
+        assert!(t.update(r0, row(1, 12.0, "brighter")).unwrap());
+        assert_eq!(t.get_cell(r0, 1), Some(&Value::Float(12.0)));
+        assert!(!t.update(999, row(9, 9.0, "x")).unwrap());
+    }
+
+    #[test]
+    fn undo_by_timestamp_window() {
+        let mut t = table();
+        t.insert(row(1, 10.0, "keep"), 100).unwrap();
+        t.insert(row(2, 11.0, "bad"), 200).unwrap();
+        t.insert(row(3, 12.0, "bad"), 205).unwrap();
+        t.insert(row(4, 13.0, "keep"), 300).unwrap();
+        let removed = t.delete_by_timestamp_range(150, 250);
+        assert_eq!(removed, 2);
+        assert_eq!(t.row_count(), 2);
+        let remaining: Vec<i64> = t.iter().map(|(_, r)| r[0].as_i64().unwrap()).collect();
+        assert_eq!(remaining, vec![1, 4]);
+    }
+
+    #[test]
+    fn schema_violations_bubble_up() {
+        let mut t = table();
+        assert!(t.insert(vec![Value::Int(1)], 0).is_err());
+        assert!(t
+            .insert(vec![Value::Null, Value::Float(1.0), Value::Null], 0)
+            .is_err());
+    }
+
+    #[test]
+    fn byte_accounting_tracks_inserts() {
+        let mut t = table();
+        assert_eq!(t.data_bytes(), 0);
+        t.insert(row(1, 1.0, "abcd"), 0).unwrap();
+        // 8 (int) + 8 (float) + 2+4 (str) = 22
+        assert_eq!(t.data_bytes(), 22);
+        assert_eq!(t.avg_row_bytes(), 22);
+    }
+
+    #[test]
+    fn partition_covers_all_rows() {
+        let mut t = table();
+        for i in 0..100 {
+            t.insert(row(i, i as f64, "x"), 0).unwrap();
+        }
+        let parts = t.partition_row_ids(7);
+        let mut seen = 0;
+        for (lo, hi) in &parts {
+            seen += t.iter_range(*lo, *hi).count();
+        }
+        assert_eq!(seen, 100);
+        assert!(parts.len() <= 7);
+    }
+
+    #[test]
+    fn partition_of_empty_table_is_empty() {
+        let t = table();
+        assert!(t.partition_row_ids(4).is_empty());
+    }
+
+    #[test]
+    fn truncate_resets() {
+        let mut t = table();
+        t.insert(row(1, 1.0, "a"), 0).unwrap();
+        t.truncate();
+        assert_eq!(t.row_count(), 0);
+        assert_eq!(t.data_bytes(), 0);
+        assert_eq!(t.iter().count(), 0);
+    }
+}

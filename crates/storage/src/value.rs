@@ -1,0 +1,446 @@
+//! Typed values and data types for the row store.
+//!
+//! The SkyServer schema needs only a small palette of SQL types: 64-bit
+//! integers (object ids, HTM ids, bit-flag words), double-precision floats
+//! (magnitudes, coordinates), strings (names, URLs), and binary blobs
+//! (profile arrays, JPEG cutouts).  `NULL` exists in the type system but the
+//! SkyServer schema declares every column `NOT NULL` (§9.1.3), which the
+//! constraint layer enforces.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::sync::Arc;
+
+/// Column data types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum DataType {
+    /// 64-bit signed integer (`bigint`/`int`/flag words).
+    Int,
+    /// 64-bit IEEE float (`float`/`real`).
+    Float,
+    /// Variable-length UTF-8 string (`varchar`).
+    Str,
+    /// Binary blob (`varbinary`/`image`): profile arrays, JPEG tiles.
+    Bytes,
+    /// Boolean (`bit`).
+    Bool,
+}
+
+impl DataType {
+    /// Parse a SQL type name into a [`DataType`].
+    pub fn parse(name: &str) -> Option<DataType> {
+        let lower = name.to_ascii_lowercase();
+        let base = lower.split('(').next().unwrap_or("").trim();
+        match base {
+            "bigint" | "int" | "integer" | "smallint" | "tinyint" => Some(DataType::Int),
+            "float" | "real" | "double" | "decimal" | "numeric" => Some(DataType::Float),
+            "varchar" | "char" | "nvarchar" | "text" | "string" => Some(DataType::Str),
+            "varbinary" | "image" | "blob" | "binary" => Some(DataType::Bytes),
+            "bit" | "bool" | "boolean" => Some(DataType::Bool),
+            _ => None,
+        }
+    }
+
+    /// The SQL spelling used when rendering DDL.
+    pub fn sql_name(self) -> &'static str {
+        match self {
+            DataType::Int => "bigint",
+            DataType::Float => "float",
+            DataType::Str => "varchar",
+            DataType::Bytes => "varbinary",
+            DataType::Bool => "bit",
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.sql_name())
+    }
+}
+
+/// A single cell value.
+///
+/// Strings and blobs are reference counted so rows can be cloned cheaply by
+/// the executor (projection, sorting, temp-table materialisation).
+#[derive(Debug, Clone)]
+pub enum Value {
+    Null,
+    Int(i64),
+    Float(f64),
+    Str(Arc<str>),
+    Bytes(Arc<[u8]>),
+    Bool(bool),
+}
+
+impl Value {
+    /// Build a string value.
+    pub fn str(s: impl AsRef<str>) -> Value {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// Build a blob value.
+    pub fn bytes(b: impl AsRef<[u8]>) -> Value {
+        Value::Bytes(Arc::from(b.as_ref()))
+    }
+
+    /// The value's data type, if not NULL.
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Int(_) => Some(DataType::Int),
+            Value::Float(_) => Some(DataType::Float),
+            Value::Str(_) => Some(DataType::Str),
+            Value::Bytes(_) => Some(DataType::Bytes),
+            Value::Bool(_) => Some(DataType::Bool),
+        }
+    }
+
+    /// Is this SQL NULL?
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view as f64 (ints and bools coerce; everything else is None).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            Value::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+            _ => None,
+        }
+    }
+
+    /// Integer view (floats truncate; bools map to 0/1).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Float(f) => Some(*f as i64),
+            Value::Bool(b) => Some(i64::from(*b)),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Blob view.
+    pub fn as_bytes(&self) -> Option<&[u8]> {
+        match self {
+            Value::Bytes(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Boolean view: `Bool` values directly, numbers via != 0.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            Value::Int(i) => Some(*i != 0),
+            Value::Float(f) => Some(*f != 0.0),
+            _ => None,
+        }
+    }
+
+    /// SQL truthiness for WHERE clauses: NULL is "unknown", i.e. not true.
+    pub fn is_truthy(&self) -> bool {
+        self.as_bool().unwrap_or(false)
+    }
+
+    /// Coerce this value to the given column type, if a lossless-enough
+    /// conversion exists (the loader uses this for CSV ingestion).
+    pub fn coerce(&self, ty: DataType) -> Option<Value> {
+        match (self, ty) {
+            (Value::Null, _) => Some(Value::Null),
+            (v, t) if v.data_type() == Some(t) => Some(v.clone()),
+            (Value::Int(i), DataType::Float) => Some(Value::Float(*i as f64)),
+            (Value::Float(f), DataType::Int) => Some(Value::Int(*f as i64)),
+            (Value::Int(i), DataType::Bool) => Some(Value::Bool(*i != 0)),
+            (Value::Bool(b), DataType::Int) => Some(Value::Int(i64::from(*b))),
+            (Value::Str(s), DataType::Int) => s.trim().parse::<i64>().ok().map(Value::Int),
+            (Value::Str(s), DataType::Float) => s.trim().parse::<f64>().ok().map(Value::Float),
+            (Value::Str(s), DataType::Bool) => match s.trim().to_ascii_lowercase().as_str() {
+                "1" | "true" | "t" | "yes" => Some(Value::Bool(true)),
+                "0" | "false" | "f" | "no" => Some(Value::Bool(false)),
+                _ => None,
+            },
+            (Value::Int(i), DataType::Str) => Some(Value::str(i.to_string())),
+            (Value::Float(f), DataType::Str) => Some(Value::str(format!("{f}"))),
+            (Value::Bool(b), DataType::Str) => Some(Value::str(if *b { "1" } else { "0" })),
+            _ => None,
+        }
+    }
+
+    /// Approximate on-disk size in bytes, used for the Table 1 byte counts
+    /// and the I/O model.
+    pub fn byte_size(&self) -> usize {
+        match self {
+            Value::Null => 1,
+            Value::Int(_) => 8,
+            Value::Float(_) => 8,
+            Value::Bool(_) => 1,
+            Value::Str(s) => 2 + s.len(),
+            Value::Bytes(b) => 4 + b.len(),
+        }
+    }
+
+    /// Total ordering used by indices and ORDER BY.
+    ///
+    /// NULL sorts first; cross-type numeric comparisons (Int vs Float) use
+    /// numeric order; otherwise values order within their type and types are
+    /// ordered by a fixed rank.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Null, _) => Ordering::Less,
+            (_, Null) => Ordering::Greater,
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => a.total_cmp(b),
+            (Int(a), Float(b)) => (*a as f64).total_cmp(b),
+            (Float(a), Int(b)) => a.total_cmp(&(*b as f64)),
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Str(a), Str(b)) => a.cmp(b),
+            (Bytes(a), Bytes(b)) => a.cmp(b),
+            (a, b) => type_rank(a).cmp(&type_rank(b)),
+        }
+    }
+
+    /// SQL equality (NULL = anything is not equal).
+    pub fn sql_eq(&self, other: &Value) -> bool {
+        if self.is_null() || other.is_null() {
+            return false;
+        }
+        self.total_cmp(other) == Ordering::Equal
+    }
+
+    /// Render as a CSV field (no quoting of numerics; strings quoted when
+    /// they contain separators).
+    pub fn to_csv_field(&self) -> String {
+        match self {
+            Value::Null => String::new(),
+            Value::Int(i) => i.to_string(),
+            Value::Float(f) => {
+                if f.fract() == 0.0 && f.abs() < 1e15 {
+                    format!("{:.1}", f)
+                } else {
+                    format!("{}", f)
+                }
+            }
+            Value::Bool(b) => if *b { "1" } else { "0" }.to_string(),
+            Value::Str(s) => {
+                if s.contains(',') || s.contains('"') || s.contains('\n') {
+                    format!("\"{}\"", s.replace('"', "\"\""))
+                } else {
+                    s.to_string()
+                }
+            }
+            Value::Bytes(b) => hex_encode(b),
+        }
+    }
+}
+
+fn type_rank(v: &Value) -> u8 {
+    match v {
+        Value::Null => 0,
+        Value::Bool(_) => 1,
+        Value::Int(_) => 2,
+        Value::Float(_) => 2,
+        Value::Str(_) => 3,
+        Value::Bytes(_) => 4,
+    }
+}
+
+/// Hex-encode a byte slice (used for blob CSV round-trips).
+pub fn hex_encode(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2 + 2);
+    s.push_str("0x");
+    for b in bytes {
+        s.push_str(&format!("{b:02x}"));
+    }
+    s
+}
+
+/// Decode a `0x…` hex string back into bytes.
+pub fn hex_decode(s: &str) -> Option<Vec<u8>> {
+    let s = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X"))?;
+    if s.len() % 2 != 0 {
+        return None;
+    }
+    (0..s.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&s[i..i + 2], 16).ok())
+        .collect()
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.total_cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.total_cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.total_cmp(other)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Bool(b) => write!(f, "{}", if *b { 1 } else { 0 }),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Bytes(b) => write!(f, "{}", hex_encode(b)),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(i64::from(v))
+    }
+}
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::Int(v as i64)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::str(v)
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_type_parse() {
+        assert_eq!(DataType::parse("bigint"), Some(DataType::Int));
+        assert_eq!(DataType::parse("FLOAT"), Some(DataType::Float));
+        assert_eq!(DataType::parse("varchar(64)"), Some(DataType::Str));
+        assert_eq!(DataType::parse("varbinary(max)"), Some(DataType::Bytes));
+        assert_eq!(DataType::parse("bit"), Some(DataType::Bool));
+        assert_eq!(DataType::parse("geometry"), None);
+    }
+
+    #[test]
+    fn null_sorts_first_and_is_not_equal() {
+        let mut vals = vec![Value::Int(3), Value::Null, Value::Int(1)];
+        vals.sort();
+        assert!(vals[0].is_null());
+        assert!(!Value::Null.sql_eq(&Value::Null));
+        assert!(!Value::Null.sql_eq(&Value::Int(1)));
+    }
+
+    #[test]
+    fn numeric_cross_type_ordering() {
+        assert_eq!(Value::Int(2).total_cmp(&Value::Float(2.5)), Ordering::Less);
+        assert_eq!(Value::Float(3.0).total_cmp(&Value::Int(3)), Ordering::Equal);
+        assert!(Value::Int(10) > Value::Float(9.5));
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(Value::Bool(true).is_truthy());
+        assert!(!Value::Bool(false).is_truthy());
+        assert!(Value::Int(5).is_truthy());
+        assert!(!Value::Int(0).is_truthy());
+        assert!(!Value::Null.is_truthy());
+        assert!(!Value::str("x").is_truthy());
+    }
+
+    #[test]
+    fn coerce_between_types() {
+        assert_eq!(Value::str("42").coerce(DataType::Int), Some(Value::Int(42)));
+        assert_eq!(
+            Value::str("3.25").coerce(DataType::Float),
+            Some(Value::Float(3.25))
+        );
+        assert_eq!(Value::Int(1).coerce(DataType::Bool), Some(Value::Bool(true)));
+        assert_eq!(Value::Float(7.9).coerce(DataType::Int), Some(Value::Int(7)));
+        assert_eq!(Value::str("abc").coerce(DataType::Int), None);
+        assert_eq!(Value::Null.coerce(DataType::Int), Some(Value::Null));
+    }
+
+    #[test]
+    fn byte_sizes() {
+        assert_eq!(Value::Int(1).byte_size(), 8);
+        assert_eq!(Value::Float(1.0).byte_size(), 8);
+        assert_eq!(Value::str("abcd").byte_size(), 6);
+        assert_eq!(Value::bytes([1u8, 2, 3]).byte_size(), 7);
+    }
+
+    #[test]
+    fn csv_field_rendering() {
+        assert_eq!(Value::Int(5).to_csv_field(), "5");
+        assert_eq!(Value::Float(2.0).to_csv_field(), "2.0");
+        assert_eq!(Value::str("plain").to_csv_field(), "plain");
+        assert_eq!(Value::str("a,b").to_csv_field(), "\"a,b\"");
+        assert_eq!(Value::str("say \"hi\"").to_csv_field(), "\"say \"\"hi\"\"\"");
+        assert_eq!(Value::Null.to_csv_field(), "");
+    }
+
+    #[test]
+    fn hex_round_trip() {
+        let data = vec![0u8, 1, 2, 255, 128, 7];
+        let s = hex_encode(&data);
+        assert!(s.starts_with("0x"));
+        assert_eq!(hex_decode(&s).unwrap(), data);
+        assert_eq!(hex_decode("0xzz"), None);
+        assert_eq!(hex_decode("1234"), None);
+    }
+
+    #[test]
+    fn display_matches_sql_expectations() {
+        assert_eq!(Value::Int(-7).to_string(), "-7");
+        assert_eq!(Value::Bool(true).to_string(), "1");
+        assert_eq!(Value::Null.to_string(), "NULL");
+    }
+
+    #[test]
+    fn from_impls() {
+        assert_eq!(Value::from(3i64), Value::Int(3));
+        assert_eq!(Value::from(3i32), Value::Int(3));
+        assert_eq!(Value::from(2.5f64), Value::Float(2.5));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from("s"), Value::str("s"));
+    }
+}

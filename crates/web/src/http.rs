@@ -1,0 +1,314 @@
+//! A dependency-free HTTP/1.1 server over `std::net`.
+//!
+//! The original SkyServer front end is IIS + JavaScript ASP (§5); this is
+//! the smallest substrate that lets the reproduction serve the same page
+//! families and SQL endpoints to a browser or `curl`.  One thread per
+//! connection, GET only, no keep-alive -- entirely adequate for the paper's
+//! sustained load of ~500 users / 4,000 pages per day.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    pub method: String,
+    /// Path without the query string, e.g. `/en/tools/search/x_sql.asp`.
+    pub path: String,
+    /// Decoded query parameters.
+    pub query: HashMap<String, String>,
+}
+
+impl Request {
+    /// A query parameter by name.
+    pub fn param(&self, name: &str) -> Option<&str> {
+        self.query.get(name).map(String::as_str)
+    }
+}
+
+/// An HTTP response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    pub status: u16,
+    pub content_type: String,
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// 200 OK with a text body.
+    pub fn ok(content_type: &str, body: impl Into<Vec<u8>>) -> Response {
+        Response {
+            status: 200,
+            content_type: content_type.to_string(),
+            body: body.into(),
+        }
+    }
+
+    /// HTML convenience constructor.
+    pub fn html(body: impl Into<String>) -> Response {
+        Response::ok("text/html; charset=utf-8", body.into().into_bytes())
+    }
+
+    /// 404 Not Found.
+    pub fn not_found(path: &str) -> Response {
+        Response {
+            status: 404,
+            content_type: "text/plain; charset=utf-8".into(),
+            body: format!("not found: {path}").into_bytes(),
+        }
+    }
+
+    /// 400 Bad Request.
+    pub fn bad_request(message: &str) -> Response {
+        Response {
+            status: 400,
+            content_type: "text/plain; charset=utf-8".into(),
+            body: message.as_bytes().to_vec(),
+        }
+    }
+
+    fn status_text(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            500 => "Internal Server Error",
+            _ => "OK",
+        }
+    }
+
+    /// Serialise to the wire format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.status,
+            self.status_text(),
+            self.content_type,
+            self.body.len()
+        )
+        .into_bytes();
+        out.extend_from_slice(&self.body);
+        out
+    }
+}
+
+/// Percent-decode a URL component (enough for the SQL the search page sends).
+pub fn url_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' if i + 2 < bytes.len() => {
+                if let Ok(v) = u8::from_str_radix(&s[i + 1..i + 3], 16) {
+                    out.push(v);
+                    i += 3;
+                } else {
+                    out.push(b'%');
+                    i += 1;
+                }
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Parse the request line + query string of an HTTP request.
+pub fn parse_request(raw: &str) -> Option<Request> {
+    let first_line = raw.lines().next()?;
+    let mut parts = first_line.split_whitespace();
+    let method = parts.next()?.to_string();
+    let target = parts.next()?;
+    let (path, query_string) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let mut query = HashMap::new();
+    for pair in query_string.split('&').filter(|p| !p.is_empty()) {
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        query.insert(url_decode(k).to_ascii_lowercase(), url_decode(v));
+    }
+    Some(Request {
+        method,
+        path: url_decode(path),
+        query,
+    })
+}
+
+/// A running HTTP server.
+pub struct HttpServer {
+    addr: std::net::SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl HttpServer {
+    /// Start serving on `127.0.0.1:port` (port 0 picks a free port) with the
+    /// given request handler.
+    pub fn start<F>(port: u16, handler: F) -> std::io::Result<HttpServer>
+    where
+        F: Fn(&Request) -> Response + Send + Sync + 'static,
+    {
+        let listener = TcpListener::bind(("127.0.0.1", port))?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let shutdown_flag = Arc::clone(&shutdown);
+        let handler = Arc::new(handler);
+        let handle = std::thread::spawn(move || {
+            while !shutdown_flag.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let handler = Arc::clone(&handler);
+                        std::thread::spawn(move || {
+                            let _ = handle_connection(stream, handler.as_ref());
+                        });
+                    }
+                    Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(std::time::Duration::from_millis(10));
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+        Ok(HttpServer {
+            addr,
+            shutdown,
+            handle: Some(handle),
+        })
+    }
+
+    /// The address the server is listening on.
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting connections and join the accept thread.
+    pub fn stop(mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn handle_connection<F>(mut stream: TcpStream, handler: &F) -> std::io::Result<()>
+where
+    F: Fn(&Request) -> Response,
+{
+    stream.set_read_timeout(Some(std::time::Duration::from_secs(5)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut request_text = String::new();
+    loop {
+        let mut line = String::new();
+        let n = reader.read_line(&mut line)?;
+        if n == 0 || line == "\r\n" || line == "\n" {
+            break;
+        }
+        request_text.push_str(&line);
+    }
+    let response = match parse_request(&request_text) {
+        Some(request) if request.method == "GET" => handler(&request),
+        Some(_) => Response::bad_request("only GET is supported"),
+        None => Response::bad_request("malformed request"),
+    };
+    stream.write_all(&response.to_bytes())?;
+    stream.flush()
+}
+
+/// Minimal blocking HTTP GET used by the integration tests and examples.
+pub fn http_get(addr: std::net::SocketAddr, path_and_query: &str) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    write!(
+        stream,
+        "GET {path_and_query} HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n"
+    )?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let status = response
+        .lines()
+        .next()
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|s| s.parse::<u16>().ok())
+        .unwrap_or(0);
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    Ok((status, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_parsing_with_query() {
+        let r = parse_request(
+            "GET /en/tools/search/x_sql.asp?cmd=select+count(*)+from+PhotoObj&format=csv HTTP/1.1\r\nHost: x\r\n",
+        )
+        .unwrap();
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/en/tools/search/x_sql.asp");
+        assert_eq!(r.param("cmd"), Some("select count(*) from PhotoObj"));
+        assert_eq!(r.param("format"), Some("csv"));
+        assert!(parse_request("").is_none());
+    }
+
+    #[test]
+    fn url_decoding() {
+        assert_eq!(url_decode("a%20b+c"), "a b c");
+        assert_eq!(url_decode("100%25"), "100%");
+        assert_eq!(url_decode("plain"), "plain");
+        assert_eq!(url_decode("select+*+from+t%20where%20a%3D1"), "select * from t where a=1");
+    }
+
+    #[test]
+    fn response_serialisation() {
+        let r = Response::ok("text/plain", "hello");
+        let bytes = r.to_bytes();
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 5"));
+        assert!(text.ends_with("hello"));
+        assert_eq!(Response::not_found("/x").status, 404);
+    }
+
+    #[test]
+    fn server_round_trip() {
+        let server = HttpServer::start(0, |req| {
+            if req.path == "/hello" {
+                Response::ok("text/plain", "hi there")
+            } else {
+                Response::not_found(&req.path)
+            }
+        })
+        .unwrap();
+        let (status, body) = http_get(server.addr(), "/hello").unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, "hi there");
+        let (status, _) = http_get(server.addr(), "/missing").unwrap();
+        assert_eq!(status, 404);
+        server.stop();
+    }
+}

@@ -1,0 +1,25 @@
+//! # skyserver-web
+//!
+//! The SkyServer web front end (§2, §4, §5, §7 of the paper):
+//!
+//! * a dependency-free HTTP server ([`http`]) standing in for IIS + ASP,
+//! * the site routes ([`site`]): famous places, navigator, object explorer,
+//!   SQL search with the public 1,000-row / 30-second limits, the schema
+//!   browser that feeds SkyServerQA, and the three language branches,
+//! * the result output formats ([`formats`]): grid, CSV, XML, JSON and a
+//!   FITS-style ASCII table,
+//! * the site-traffic simulator and analyser ([`traffic`]) that regenerate
+//!   Figure 5 and the §7 operations statistics.
+
+pub mod formats;
+pub mod http;
+pub mod site;
+pub mod traffic;
+
+pub use formats::{to_csv, to_fits_ascii, to_json, to_xml, OutputFormat};
+pub use http::{http_get, parse_request, url_decode, HttpServer, Request, Response};
+pub use site::{SkyServerSite, LANGUAGES};
+pub use traffic::{
+    analyze_traffic, render_figure5, simulate_traffic, DailyTraffic, LogRecord, Section,
+    TrafficConfig, TrafficReport,
+};

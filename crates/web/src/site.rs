@@ -1,0 +1,376 @@
+//! The SkyServer web site: routes and page handlers (§2, §5).
+//!
+//! The page families mirror Figure 1 of the paper: a famous-places gallery,
+//! the navigation (pan/zoom) tool, the object explorer, the SQL search pages
+//! with the public limits, the schema browser that feeds SkyServerQA, and
+//! the three language branches (English, Japanese, German).
+
+use crate::formats::OutputFormat;
+use crate::http::{HttpServer, Request, Response};
+use crate::traffic::{LogRecord, Section};
+use parking_lot::Mutex;
+use skyserver::{SkyServer, SkyServerError};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The web application: a shared SkyServer plus a request log.
+pub struct SkyServerSite {
+    sky: Mutex<SkyServer>,
+    log: Mutex<Vec<LogRecord>>,
+    started: Instant,
+    session_counter: Mutex<u64>,
+}
+
+/// The language branches of the site (§5: English, German, Japanese).
+pub const LANGUAGES: [&str; 3] = ["en", "jp", "de"];
+
+impl SkyServerSite {
+    /// Wrap a loaded SkyServer.
+    pub fn new(sky: SkyServer) -> Arc<SkyServerSite> {
+        Arc::new(SkyServerSite {
+            sky: Mutex::new(sky),
+            log: Mutex::new(Vec::new()),
+            started: Instant::now(),
+            session_counter: Mutex::new(0),
+        })
+    }
+
+    /// The request log accumulated so far (feeds the traffic analyser).
+    pub fn request_log(&self) -> Vec<LogRecord> {
+        self.log.lock().clone()
+    }
+
+    /// Start an HTTP server for this site on the given port (0 = ephemeral).
+    pub fn serve(self: &Arc<Self>, port: u16) -> std::io::Result<HttpServer> {
+        let site = Arc::clone(self);
+        HttpServer::start(port, move |req| site.handle(req))
+    }
+
+    /// Route one request.
+    pub fn handle(&self, req: &Request) -> Response {
+        let response = self.route(req);
+        self.record(req, response.status == 200);
+        response
+    }
+
+    fn record(&self, req: &Request, ok: bool) {
+        let section = section_of_path(&req.path);
+        let mut counter = self.session_counter.lock();
+        *counter += 1;
+        let day = (self.started.elapsed().as_secs() / 86_400) as u32;
+        self.log.lock().push(LogRecord {
+            day,
+            session: *counter,
+            section,
+            page_view: ok,
+            crawler: false,
+        });
+    }
+
+    fn route(&self, req: &Request) -> Response {
+        let path = req.path.trim_end_matches('/');
+        // Language branches share the same handlers.
+        let normalized = LANGUAGES
+            .iter()
+            .find_map(|lang| path.strip_prefix(&format!("/{lang}")))
+            .unwrap_or(path);
+        match normalized {
+            "" => self.home(path),
+            "/tools/places" | "/tools/places.asp" => self.famous_places(),
+            "/tools/explore" | "/tools/explore/obj.asp" => self.explore(req),
+            "/tools/navi" | "/tools/navi.asp" => self.navigator(req),
+            "/tools/search/x_sql" | "/tools/search/x_sql.asp" => self.sql_search(req),
+            "/help/browser" | "/help/docs/browser.asp" | "/skyserverqa/metadata" => {
+                self.schema_browser()
+            }
+            "/traffic" => self.traffic_page(),
+            _ => Response::not_found(&req.path),
+        }
+    }
+
+    fn home(&self, path: &str) -> Response {
+        let lang = LANGUAGES
+            .iter()
+            .find(|l| path.starts_with(&format!("/{l}")))
+            .copied()
+            .unwrap_or("en");
+        let greeting = match lang {
+            "jp" => "SDSS SkyServer e youkoso",
+            "de" => "Willkommen beim SDSS SkyServer",
+            _ => "Welcome to the SDSS SkyServer",
+        };
+        Response::html(format!(
+            "<html><head><title>SkyServer</title></head><body>\
+             <h1>{greeting}</h1>\
+             <ul>\
+             <li><a href=\"/{lang}/tools/places\">Famous places</a></li>\
+             <li><a href=\"/{lang}/tools/navi?ra=181&dec=-0.8&zoom=1\">Navigate the sky</a></li>\
+             <li><a href=\"/{lang}/tools/search/x_sql?cmd=select top 10 objID, ra, dec from PhotoObj\">SQL search</a></li>\
+             <li><a href=\"/{lang}/help/browser\">Schema browser</a></li>\
+             </ul></body></html>"
+        ))
+    }
+
+    fn famous_places(&self) -> Response {
+        let mut sky = self.sky.lock();
+        match sky.query(
+            "select top 12 objID, ra, dec, modelMag_r from Galaxy order by modelMag_r",
+        ) {
+            Ok(result) => {
+                let mut html = String::from("<html><body><h1>Famous places</h1><ul>");
+                for row in &result.rows {
+                    let id = row[0].as_i64().unwrap_or(0);
+                    html.push_str(&format!(
+                        "<li>Galaxy {id} at ({:.4}, {:.4}) r={:.2} \
+                         <a href=\"/en/tools/explore?id={id}\">explore</a></li>",
+                        row[1].as_f64().unwrap_or(0.0),
+                        row[2].as_f64().unwrap_or(0.0),
+                        row[3].as_f64().unwrap_or(0.0),
+                    ));
+                }
+                html.push_str("</ul></body></html>");
+                Response::html(html)
+            }
+            Err(e) => sql_error(e),
+        }
+    }
+
+    fn explore(&self, req: &Request) -> Response {
+        let Some(id) = req.param("id").and_then(|s| s.parse::<i64>().ok()) else {
+            return Response::bad_request("explore needs an integer ?id= parameter");
+        };
+        let mut sky = self.sky.lock();
+        match sky.explore(id) {
+            Ok(summary) => Response::ok(
+                "application/json; charset=utf-8",
+                serde_json::to_vec(&summary).unwrap_or_default(),
+            ),
+            Err(SkyServerError::NotFound(_)) => Response::not_found(&format!("object {id}")),
+            Err(e) => sql_error(e),
+        }
+    }
+
+    fn navigator(&self, req: &Request) -> Response {
+        let ra = req.param("ra").and_then(|s| s.parse::<f64>().ok()).unwrap_or(181.0);
+        let dec = req.param("dec").and_then(|s| s.parse::<f64>().ok()).unwrap_or(-0.8);
+        let zoom = req.param("zoom").and_then(|s| s.parse::<u32>().ok()).unwrap_or(1).min(3);
+        // The visible radius shrinks as the user zooms in (4 levels, §5).
+        let radius_arcmin = 60.0 / f64::from(1 << zoom);
+        let mut sky = self.sky.lock();
+        match sky.nearby_objects(ra, dec, radius_arcmin) {
+            Ok(result) => {
+                let objects: Vec<serde_json::Value> = result
+                    .rows
+                    .iter()
+                    .map(|r| {
+                        serde_json::json!({
+                            "objID": r[0].as_i64(),
+                            "type": r[1].as_i64(),
+                            "distance_arcmin": r[2].as_f64(),
+                        })
+                    })
+                    .collect();
+                Response::ok(
+                    "application/json; charset=utf-8",
+                    serde_json::json!({
+                        "ra": ra,
+                        "dec": dec,
+                        "zoom": zoom,
+                        "radius_arcmin": radius_arcmin,
+                        "objects": objects,
+                    })
+                    .to_string(),
+                )
+            }
+            Err(e) => sql_error(e),
+        }
+    }
+
+    fn sql_search(&self, req: &Request) -> Response {
+        let Some(sql) = req.param("cmd") else {
+            return Response::bad_request("the SQL search page needs a ?cmd= parameter");
+        };
+        let format = OutputFormat::parse(req.param("format").unwrap_or("grid"));
+        let mut sky = self.sky.lock();
+        // The public page enforces the 1,000 row / 30 second limits (§4).
+        match sky.execute_public(sql) {
+            Ok(outcome) => {
+                let mut body = format.render(&outcome.result);
+                if outcome.result.truncated && format == OutputFormat::Grid {
+                    body.push_str("\n(truncated to the public 1000-row limit)\n");
+                }
+                Response::ok(format.content_type(), body)
+            }
+            Err(e) => sql_error(e),
+        }
+    }
+
+    fn schema_browser(&self) -> Response {
+        let sky = self.sky.lock();
+        let description = sky.schema_description();
+        Response::ok(
+            "application/json; charset=utf-8",
+            serde_json::to_vec(&description).unwrap_or_default(),
+        )
+    }
+
+    fn traffic_page(&self) -> Response {
+        let log = self.log.lock();
+        Response::ok(
+            "application/json; charset=utf-8",
+            serde_json::json!({ "requests": log.len() }).to_string(),
+        )
+    }
+}
+
+fn sql_error(e: SkyServerError) -> Response {
+    Response::bad_request(&format!("query failed: {e}"))
+}
+
+fn section_of_path(path: &str) -> Section {
+    if path.starts_with("/jp") {
+        Section::Japanese
+    } else if path.starts_with("/de") {
+        Section::German
+    } else if path.contains("/proj/") || path.contains("/edu") {
+        Section::Education
+    } else if path.contains("places") {
+        Section::FamousPlaces
+    } else if path.contains("navi") {
+        Section::Navigator
+    } else if path.contains("explore") {
+        Section::Explorer
+    } else if path.contains("x_sql") || path.contains("search") {
+        Section::SqlSearch
+    } else if path.contains("help") || path.contains("browser") {
+        Section::Help
+    } else {
+        Section::Home
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::parse_request;
+    use skyserver::SkyServerBuilder;
+
+    fn site() -> Arc<SkyServerSite> {
+        let sky = SkyServerBuilder::new().tiny().build().unwrap();
+        SkyServerSite::new(sky)
+    }
+
+    fn get(site: &SkyServerSite, path_and_query: &str) -> Response {
+        let raw = format!("GET {path_and_query} HTTP/1.1\r\n");
+        site.handle(&parse_request(&raw).unwrap())
+    }
+
+    #[test]
+    fn home_pages_in_three_languages() {
+        let site = site();
+        for lang in LANGUAGES {
+            let r = get(&site, &format!("/{lang}/"));
+            assert_eq!(r.status, 200, "language {lang}");
+        }
+        assert_eq!(get(&site, "/").status, 200);
+        assert_eq!(get(&site, "/nonexistent").status, 404);
+    }
+
+    #[test]
+    fn famous_places_lists_bright_galaxies() {
+        let site = site();
+        let r = get(&site, "/en/tools/places");
+        assert_eq!(r.status, 200);
+        let html = String::from_utf8(r.body).unwrap();
+        assert!(html.contains("explore?id="));
+    }
+
+    #[test]
+    fn sql_search_respects_format_and_limits() {
+        let site = site();
+        let r = get(
+            &site,
+            "/en/tools/search/x_sql?cmd=select+count(*)+as+n+from+PhotoObj&format=json",
+        );
+        assert_eq!(r.status, 200);
+        assert!(r.content_type.contains("json"));
+        let json: serde_json::Value = serde_json::from_slice(&r.body).unwrap();
+        assert_eq!(json["columns"][0], "n");
+        // A big query gets truncated by the public limit.
+        let r = get(
+            &site,
+            "/en/tools/search/x_sql?cmd=select+objID+from+PhotoObj&format=json",
+        );
+        let json: serde_json::Value = serde_json::from_slice(&r.body).unwrap();
+        assert_eq!(json["rows"].as_array().unwrap().len(), 1000);
+        assert_eq!(json["truncated"], serde_json::json!(true));
+        // Malformed SQL is a 400, not a panic.
+        let r = get(&site, "/en/tools/search/x_sql?cmd=selec+nonsense");
+        assert_eq!(r.status, 400);
+        let r = get(&site, "/en/tools/search/x_sql");
+        assert_eq!(r.status, 400);
+    }
+
+    #[test]
+    fn explorer_and_navigator_return_json() {
+        let site = site();
+        // Find a real object id through the SQL endpoint first.
+        let r = get(
+            &site,
+            "/en/tools/search/x_sql?cmd=select+top+1+objID+from+PhotoObj&format=json",
+        );
+        let json: serde_json::Value = serde_json::from_slice(&r.body).unwrap();
+        let id = json["rows"][0][0].as_i64().unwrap();
+        let r = get(&site, &format!("/en/tools/explore?id={id}"));
+        assert_eq!(r.status, 200);
+        let explored: serde_json::Value = serde_json::from_slice(&r.body).unwrap();
+        assert_eq!(explored["obj_id"].as_i64().unwrap(), id);
+        assert!(explored["attributes"].as_array().unwrap().len() > 50);
+        // Unknown object and bad parameter.
+        assert_eq!(get(&site, "/en/tools/explore?id=-5").status, 404);
+        assert_eq!(get(&site, "/en/tools/explore").status, 400);
+        // Navigator.
+        let r = get(&site, "/en/tools/navi?ra=181&dec=-0.8&zoom=2");
+        assert_eq!(r.status, 200);
+        let nav: serde_json::Value = serde_json::from_slice(&r.body).unwrap();
+        assert_eq!(nav["zoom"], serde_json::json!(2));
+        assert!(nav["objects"].is_array());
+    }
+
+    #[test]
+    fn schema_browser_feeds_skyserverqa() {
+        let site = site();
+        let r = get(&site, "/skyserverqa/metadata");
+        assert_eq!(r.status, 200);
+        let json: serde_json::Value = serde_json::from_slice(&r.body).unwrap();
+        let tables = json["tables"].as_array().unwrap();
+        assert!(tables.iter().any(|t| t["name"] == "PhotoObj"));
+        assert!(json["views"].as_array().unwrap().len() >= 5);
+        assert!(!json["functions"].as_array().unwrap().is_empty());
+    }
+
+    #[test]
+    fn requests_are_logged_for_the_traffic_analyser() {
+        let site = site();
+        get(&site, "/en/tools/places");
+        get(&site, "/jp/");
+        get(&site, "/en/tools/search/x_sql?cmd=select+1");
+        let log = site.request_log();
+        assert_eq!(log.len(), 3);
+        assert_eq!(log[0].section, Section::FamousPlaces);
+        assert_eq!(log[1].section, Section::Japanese);
+        assert_eq!(log[2].section, Section::SqlSearch);
+    }
+
+    #[test]
+    fn end_to_end_over_a_real_socket() {
+        let site = site();
+        let server = site.serve(0).unwrap();
+        let (status, body) =
+            crate::http::http_get(server.addr(), "/en/tools/search/x_sql?cmd=select+count(*)+from+Plate&format=csv")
+                .unwrap();
+        assert_eq!(status, 200);
+        assert!(body.lines().count() >= 2);
+        server.stop();
+    }
+}

@@ -1,0 +1,75 @@
+//! The education project of §6: "discover" the expanding universe by making
+//! a Hubble diagram — the magnitude (a distance proxy) of galaxies against
+//! their spectroscopic redshift, like the student plot in Figure 4.
+//!
+//! Run with: `cargo run --release --example hubble_diagram`
+
+use skyserver::SkyServerBuilder;
+
+fn main() {
+    let mut sky = SkyServerBuilder::new().tiny().build().expect("build SkyServer");
+
+    // The classroom query: galaxies with measured spectra, their apparent
+    // magnitude and redshift.
+    let result = sky
+        .query(
+            "select P.modelMag_r as magnitude, S.z as redshift
+             from Galaxy P
+             join SpecObj S on S.objID = P.objID
+             where S.specClass = 2 and S.z > 0.003
+             order by S.z",
+        )
+        .expect("query runs");
+    println!(
+        "{} galaxies with spectra. A student's Hubble diagram (redshift vs magnitude):\n",
+        result.len()
+    );
+
+    // Bin by redshift and print an ASCII scatter: fainter (more distant)
+    // galaxies should sit at higher redshift.
+    let mut bins: Vec<(f64, Vec<f64>)> = (0..10)
+        .map(|i| (0.05 * f64::from(i), Vec::new()))
+        .collect();
+    for row in &result.rows {
+        let mag = row[0].as_f64().unwrap_or(0.0);
+        let z = row[1].as_f64().unwrap_or(0.0);
+        let bin = ((z / 0.05) as usize).min(9);
+        bins[bin].1.push(mag);
+    }
+    println!("redshift   mean r magnitude   (each * = one galaxy)");
+    for (z_lo, mags) in &bins {
+        if mags.is_empty() {
+            continue;
+        }
+        let mean = mags.iter().sum::<f64>() / mags.len() as f64;
+        println!(
+            "{:>5.2}-{:<5.2} {:>8.2}            {}",
+            z_lo,
+            z_lo + 0.05,
+            mean,
+            "*".repeat(mags.len().min(60))
+        );
+    }
+
+    // The "discovery": the correlation between distance (magnitude) and
+    // recession (redshift).
+    let pairs: Vec<(f64, f64)> = result
+        .rows
+        .iter()
+        .map(|r| (r[0].as_f64().unwrap_or(0.0), r[1].as_f64().unwrap_or(0.0)))
+        .collect();
+    if pairs.len() > 2 {
+        let n = pairs.len() as f64;
+        let (mx, my) = (
+            pairs.iter().map(|p| p.0).sum::<f64>() / n,
+            pairs.iter().map(|p| p.1).sum::<f64>() / n,
+        );
+        let cov = pairs.iter().map(|p| (p.0 - mx) * (p.1 - my)).sum::<f64>();
+        let vx = pairs.iter().map(|p| (p.0 - mx).powi(2)).sum::<f64>();
+        let vy = pairs.iter().map(|p| (p.1 - my).powi(2)).sum::<f64>();
+        let r = cov / (vx.sqrt() * vy.sqrt()).max(1e-12);
+        println!(
+            "\nCorrelation between magnitude and redshift: r = {r:.2} (positive: fainter galaxies recede faster — the expanding universe)"
+        );
+    }
+}

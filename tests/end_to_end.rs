@@ -1,0 +1,135 @@
+//! End-to-end integration test: generate → load → query → web, the full
+//! SkyServer pipeline in one flow.
+
+use skyserver::{SkyServerBuilder, SurveyConfig};
+use skyserver_web::{http_get, OutputFormat, SkyServerSite};
+
+fn tiny_server() -> skyserver::SkyServer {
+    SkyServerBuilder::new()
+        .with_config(SurveyConfig {
+            target_objects: 1500,
+            seed: 7,
+            ..SurveyConfig::tiny()
+        })
+        .build()
+        .expect("build")
+}
+
+#[test]
+fn full_pipeline_generate_load_query_web() {
+    let sky = tiny_server();
+    assert!(sky.load_report().is_clean());
+    let counts = sky.counts().clone();
+
+    // SQL layer agrees with the generator.
+    let mut sky = sky;
+    let photo = sky.query("select count(*) from PhotoObj").unwrap();
+    assert_eq!(
+        photo.scalar().unwrap().as_i64().unwrap() as usize,
+        counts.photo_obj
+    );
+
+    // The three views nest: Galaxy + Star <= PhotoPrimary <= PhotoObj.
+    let primary = sky.query("select count(*) from PhotoPrimary").unwrap();
+    let galaxy = sky.query("select count(*) from Galaxy").unwrap();
+    let star = sky.query("select count(*) from Star").unwrap();
+    let p = primary.scalar().unwrap().as_i64().unwrap();
+    let g = galaxy.scalar().unwrap().as_i64().unwrap();
+    let s = star.scalar().unwrap().as_i64().unwrap();
+    assert!(g + s <= p);
+    assert!(p <= counts.photo_obj as i64);
+    // ~80% primary.
+    let fraction = p as f64 / counts.photo_obj as f64;
+    assert!((0.7..0.95).contains(&fraction), "primary fraction {fraction}");
+
+    // Spatial search through SQL and through the API agree.
+    let via_sql = sky
+        .query("select count(*) from fGetNearbyObjEq(181.0, -0.8, 10)")
+        .unwrap()
+        .scalar()
+        .unwrap()
+        .as_i64()
+        .unwrap();
+    let via_api = sky.nearby_objects(181.0, -0.8, 10.0).unwrap().len() as i64;
+    assert_eq!(via_sql, via_api);
+
+    // The web site serves the same database over HTTP.
+    let site = SkyServerSite::new(sky);
+    let server = site.serve(0).unwrap();
+    let (status, body) = http_get(
+        server.addr(),
+        "/en/tools/search/x_sql?cmd=select+count(*)+as+n+from+PhotoObj&format=json",
+    )
+    .unwrap();
+    assert_eq!(status, 200);
+    let json: serde_json::Value = serde_json::from_str(&body).unwrap();
+    assert_eq!(
+        json["rows"][0][0].as_i64().unwrap() as usize,
+        counts.photo_obj
+    );
+    // Formats round-trip over the wire.
+    let (status, csv) = http_get(
+        server.addr(),
+        "/en/tools/search/x_sql?cmd=select+top+3+objID,ra+from+PhotoObj&format=csv",
+    )
+    .unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(csv.lines().next().unwrap(), "objID,ra");
+    assert_eq!(csv.lines().count(), 4);
+    server.stop();
+}
+
+#[test]
+fn explorer_schema_browser_and_formats_are_consistent() {
+    let mut sky = tiny_server();
+    // Schema browser metadata matches the live catalog.
+    let description = sky.schema_description();
+    assert!(description.tables.iter().any(|t| t.name == "PhotoObj" && t.rows > 0));
+    assert!(description.views.iter().any(|v| v.name == "Galaxy"));
+    assert!(description.functions.iter().any(|f| f.contains("fgetnearbyobjeq")));
+
+    // The explorer returns the same attribute count as the schema.
+    let photo_columns = description
+        .tables
+        .iter()
+        .find(|t| t.name == "PhotoObj")
+        .unwrap()
+        .columns
+        .len();
+    let obj_id = sky
+        .query("select top 1 objID from PhotoObj")
+        .unwrap()
+        .scalar()
+        .unwrap()
+        .as_i64()
+        .unwrap();
+    let summary = sky.explore(obj_id).unwrap();
+    assert_eq!(summary.attributes.len(), photo_columns);
+
+    // Every output format renders the same result without loss of rows.
+    let result = sky
+        .query("select top 7 objID, ra, dec from PhotoObj order by objID")
+        .unwrap();
+    for format in [OutputFormat::Csv, OutputFormat::Json, OutputFormat::Xml, OutputFormat::Fits] {
+        let rendered = format.render(&result);
+        assert!(!rendered.is_empty());
+    }
+    let json: serde_json::Value =
+        serde_json::from_str(&OutputFormat::Json.render(&result)).unwrap();
+    assert_eq!(json["rows"].as_array().unwrap().len(), 7);
+}
+
+#[test]
+fn public_limits_and_errors_behave_like_the_paper_says() {
+    let mut sky = tiny_server();
+    // 1,000-row truncation on the public interface (§4).
+    let outcome = sky.execute_public("select objID from PhotoObj").unwrap();
+    assert_eq!(outcome.result.len(), 1000);
+    assert!(outcome.result.truncated);
+    // The private interface has no such limit.
+    let outcome = sky.execute("select objID from PhotoObj").unwrap();
+    assert!(outcome.result.len() > 1000);
+    // Bad SQL surfaces as an error, not a panic.
+    assert!(sky.execute_public("selec * from nowhere").is_err());
+    assert!(sky.query("select * from noSuchTable").is_err());
+}

@@ -1,0 +1,74 @@
+//! Integration test of the load pipeline (§9.4): CSV export → DTS-style
+//! steps → journal → UNDO → reload, against the full schema.
+
+use skyserver::loader::{load_csv_step, read_events, undo_step, LoadStatus};
+use skyserver::schema::create_engine;
+use skyserver::skygen::{export_survey, Survey, SurveyConfig};
+
+#[test]
+fn survey_load_journal_undo_and_reload() {
+    let survey = Survey::generate(SurveyConfig {
+        target_objects: 1200,
+        ..SurveyConfig::tiny()
+    })
+    .unwrap();
+    let mut engine = create_engine("load_test").unwrap();
+    let report = skyserver::loader::load_survey(&mut engine, &survey).unwrap();
+    assert!(report.is_clean(), "fk violations: {:?}", report.fk_violations);
+    assert_eq!(report.events.len(), 13);
+
+    // The loadEvents journal is queryable and complete.
+    let events = read_events(engine.db()).unwrap();
+    assert_eq!(events.len(), 13);
+    assert!(events.iter().all(|e| e.status == LoadStatus::Success));
+    let photo_event = events.iter().find(|e| e.table_name == "PhotoObj").unwrap();
+    assert_eq!(photo_event.rows_inserted as usize, survey.counts().photo_obj);
+
+    // UNDO one step and verify only that table shrank.
+    let spec_lines_before = engine
+        .query("select count(*) from SpecLine")
+        .unwrap()
+        .scalar()
+        .unwrap()
+        .as_i64()
+        .unwrap();
+    assert!(spec_lines_before > 0);
+    let spec_event = events.iter().find(|e| e.table_name == "SpecLine").unwrap();
+    let removed = undo_step(engine.db_mut(), spec_event.event_id).unwrap();
+    assert_eq!(removed as u64, spec_event.rows_inserted);
+    let after = engine
+        .query("select count(*) from SpecLine")
+        .unwrap()
+        .scalar()
+        .unwrap()
+        .as_i64()
+        .unwrap();
+    assert_eq!(after, 0);
+    let photo_after = engine
+        .query("select count(*) from PhotoObj")
+        .unwrap()
+        .scalar()
+        .unwrap()
+        .as_i64()
+        .unwrap();
+    assert_eq!(photo_after as usize, survey.counts().photo_obj);
+
+    // Re-run the failed table's load from its CSV: the operator's
+    // undo → fix → re-execute loop.
+    let csv = export_survey(&survey);
+    let spec_line_csv = csv.iter().find(|t| t.name == "SpecLine").unwrap();
+    let result = load_csv_step(engine.db_mut(), "SpecLine", &spec_line_csv.to_document()).unwrap();
+    assert_eq!(result.event.status, LoadStatus::Success);
+    let reloaded = engine
+        .query("select count(*) from SpecLine")
+        .unwrap()
+        .scalar()
+        .unwrap()
+        .as_i64()
+        .unwrap();
+    assert_eq!(reloaded, spec_lines_before);
+    // The journal now shows the undone step plus the new successful one.
+    let events = read_events(engine.db()).unwrap();
+    assert_eq!(events.len(), 14);
+    assert!(events.iter().any(|e| e.status == LoadStatus::Undone));
+}
