@@ -50,5 +50,10 @@ fn bench_iosim_sweep(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_generation_and_load, bench_traffic, bench_iosim_sweep);
+criterion_group!(
+    benches,
+    bench_generation_and_load,
+    bench_traffic,
+    bench_iosim_sweep
+);
 criterion_main!(benches);

@@ -17,7 +17,9 @@ fn bench_queries(c: &mut Criterion) {
     c.bench_function("sql_point_lookup_by_objid", |b| {
         b.iter(|| {
             let r = server
-                .query(&format!("select ra, dec from PhotoObj where objID = {some_id}"))
+                .query(&format!(
+                    "select ra, dec from PhotoObj where objID = {some_id}"
+                ))
                 .unwrap();
             black_box(r.len())
         })

@@ -1,7 +1,7 @@
 //! Storage-engine micro-benchmarks: inserts, heap scans and index seeks.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use skyserver::storage::{ColumnDef, Database, DataType, IndexDef, IndexKey, TableSchema, Value};
+use skyserver::storage::{ColumnDef, DataType, Database, IndexDef, IndexKey, TableSchema, Value};
 
 fn build_db(rows: i64) -> Database {
     let mut db = Database::new("bench");
@@ -17,7 +17,11 @@ fn build_db(rows: i64) -> Database {
     for i in 0..rows {
         db.insert(
             "t",
-            vec![Value::Int(i), Value::Int(i * 7 % 100_000), Value::Float(15.0 + (i % 80) as f64 * 0.1)],
+            vec![
+                Value::Int(i),
+                Value::Int(i * 7 % 100_000),
+                Value::Float(15.0 + (i % 80) as f64 * 0.1),
+            ],
         )
         .unwrap();
     }

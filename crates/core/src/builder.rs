@@ -58,8 +58,7 @@ impl SkyServerBuilder {
 
     /// Generate the survey, install the schema and load everything.
     pub fn build(self) -> Result<SkyServer, SkyServerError> {
-        let survey = Survey::generate(self.config.clone())
-            .map_err(SkyServerError::Generation)?;
+        let survey = Survey::generate(self.config.clone()).map_err(SkyServerError::Generation)?;
         let mut engine = create_engine(&self.database_name)?;
         engine.set_simulator(self.hardware);
         let load_report = load_survey(&mut engine, &survey)?;
@@ -153,6 +152,14 @@ impl SkyServer {
         Ok(self.engine.plan_class(sql)?)
     }
 
+    /// The plan class plus the optimizer rules that fired for a SELECT.
+    pub fn plan_summary(
+        &mut self,
+        sql: &str,
+    ) -> Result<skyserver_sql::PlanSummary, SkyServerError> {
+        Ok(self.engine.plan_summary(sql)?)
+    }
+
     /// Per-table sizes (rows / data bytes / index bytes): the live data
     /// behind the paper's Table 1.
     pub fn table_summaries(&self) -> Vec<TableSummary> {
@@ -220,7 +227,10 @@ mod tests {
         let summaries = s.table_summaries();
         let photo = summaries.iter().find(|t| t.name == "PhotoObj").unwrap();
         assert!(photo.rows > 0);
-        assert!(photo.data_bytes > photo.rows * 100, "photoObj rows are hundreds of bytes");
+        assert!(
+            photo.data_bytes > photo.rows * 100,
+            "photoObj rows are hundreds of bytes"
+        );
         assert!(photo.index_bytes > 0);
         let neighbors = summaries.iter().find(|t| t.name == "Neighbors").unwrap();
         assert!(neighbors.avg_row_bytes < photo.avg_row_bytes);

@@ -39,7 +39,10 @@ pub struct SpectrumSummary {
 }
 
 /// Assemble the explorer payload for an object.
-pub fn explore_object(server: &mut SkyServer, obj_id: i64) -> Result<ObjectSummary, SkyServerError> {
+pub fn explore_object(
+    server: &mut SkyServer,
+    obj_id: i64,
+) -> Result<ObjectSummary, SkyServerError> {
     let record = server.query(&format!("select * from PhotoObj where objID = {obj_id}"))?;
     if record.is_empty() {
         return Err(SkyServerError::NotFound(format!("object {obj_id}")));

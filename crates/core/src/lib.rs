@@ -104,8 +104,7 @@ mod tests {
     fn error_display_and_conversions() {
         let e: SkyServerError = SqlError::Parse("boom".into()).into();
         assert!(e.to_string().contains("boom"));
-        let e: SkyServerError =
-            skyserver_storage::StorageError::UnknownTable("x".into()).into();
+        let e: SkyServerError = skyserver_storage::StorageError::UnknownTable("x".into()).into();
         assert!(e.to_string().contains("x"));
         assert!(SkyServerError::NotFound("object 7".into())
             .to_string()

@@ -85,7 +85,7 @@ impl HtmCover {
     pub fn contains(&self, id: u64) -> bool {
         // Binary search over the sorted ranges.
         let idx = self.ranges.partition_point(|r| r.hi <= id);
-        self.ranges.get(idx).map_or(false, |r| r.contains(id))
+        self.ranges.get(idx).is_some_and(|r| r.contains(id))
     }
 
     /// Total number of object-depth trixels covered.
@@ -160,7 +160,11 @@ mod tests {
         let region = Convex::circle(185.0, -0.5, 1.0 / 60.0); // 1 arcminute
         let c = cover(&region);
         assert!(!c.is_empty());
-        assert!(c.len() < 64, "1' circle should need few ranges, got {}", c.len());
+        assert!(
+            c.len() < 64,
+            "1' circle should need few ranges, got {}",
+            c.len()
+        );
         // The fraction of the sphere covered should be tiny.
         let total = c.total_trixels() as f64;
         let sphere = 8.0 * 4f64.powi(i32::from(SDSS_DEPTH));
@@ -179,7 +183,10 @@ mod tests {
                 let dec = 14.5 + j as f64 * (1.0 / 30.0);
                 if region.contains_radec(ra, dec) {
                     let id = lookup_id(ra, dec, SDSS_DEPTH);
-                    assert!(c.contains(id), "point ({ra},{dec}) id {id} missing from cover");
+                    assert!(
+                        c.contains(id),
+                        "point ({ra},{dec}) id {id} missing from cover"
+                    );
                 }
             }
         }
@@ -196,7 +203,10 @@ mod tests {
             },
         );
         let full: Vec<&HtmRange> = c.ranges().iter().filter(|r| r.full).collect();
-        assert!(!full.is_empty(), "a 2-degree circle should have full trixels at depth 8");
+        assert!(
+            !full.is_empty(),
+            "a 2-degree circle should have full trixels at depth 8"
+        );
     }
 
     #[test]
@@ -245,25 +255,61 @@ mod tests {
     #[test]
     fn merge_ranges_collapses_adjacent() {
         let merged = merge_ranges(vec![
-            HtmRange { lo: 0, hi: 4, full: false },
-            HtmRange { lo: 4, hi: 8, full: false },
-            HtmRange { lo: 10, hi: 12, full: true },
-            HtmRange { lo: 12, hi: 16, full: true },
-            HtmRange { lo: 20, hi: 24, full: false },
+            HtmRange {
+                lo: 0,
+                hi: 4,
+                full: false,
+            },
+            HtmRange {
+                lo: 4,
+                hi: 8,
+                full: false,
+            },
+            HtmRange {
+                lo: 10,
+                hi: 12,
+                full: true,
+            },
+            HtmRange {
+                lo: 12,
+                hi: 16,
+                full: true,
+            },
+            HtmRange {
+                lo: 20,
+                hi: 24,
+                full: false,
+            },
         ]);
         assert_eq!(
             merged,
             vec![
-                HtmRange { lo: 0, hi: 8, full: false },
-                HtmRange { lo: 10, hi: 16, full: true },
-                HtmRange { lo: 20, hi: 24, full: false },
+                HtmRange {
+                    lo: 0,
+                    hi: 8,
+                    full: false
+                },
+                HtmRange {
+                    lo: 10,
+                    hi: 16,
+                    full: true
+                },
+                HtmRange {
+                    lo: 20,
+                    hi: 24,
+                    full: false
+                },
             ]
         );
     }
 
     #[test]
     fn range_contains() {
-        let r = HtmRange { lo: 100, hi: 200, full: false };
+        let r = HtmRange {
+            lo: 100,
+            hi: 200,
+            full: false,
+        };
         assert!(r.contains(100));
         assert!(r.contains(199));
         assert!(!r.contains(200));

@@ -16,11 +16,21 @@ pub fn lookup_trixel_vec(p: Vec3, depth: u8) -> Trixel {
     let roots = root_trixels();
     // Pick the containing root; fall back to the closest one by centre to be
     // robust against points exactly on shared edges.
-    let mut current = *roots
-        .iter()
-        .find(|t| t.contains(p))
-        .unwrap_or_else(|| {
-            roots
+    let mut current = *roots.iter().find(|t| t.contains(p)).unwrap_or_else(|| {
+        roots
+            .iter()
+            .min_by(|a, b| {
+                a.center()
+                    .arc_angle_deg(p)
+                    .partial_cmp(&b.center().arc_angle_deg(p))
+                    .unwrap()
+            })
+            .expect("there are always 8 roots")
+    });
+    for _ in 0..depth {
+        let children = current.children();
+        current = *children.iter().find(|t| t.contains(p)).unwrap_or_else(|| {
+            children
                 .iter()
                 .min_by(|a, b| {
                     a.center()
@@ -28,24 +38,8 @@ pub fn lookup_trixel_vec(p: Vec3, depth: u8) -> Trixel {
                         .partial_cmp(&b.center().arc_angle_deg(p))
                         .unwrap()
                 })
-                .expect("there are always 8 roots")
+                .expect("a trixel always has 4 children")
         });
-    for _ in 0..depth {
-        let children = current.children();
-        current = *children
-            .iter()
-            .find(|t| t.contains(p))
-            .unwrap_or_else(|| {
-                children
-                    .iter()
-                    .min_by(|a, b| {
-                        a.center()
-                            .arc_angle_deg(p)
-                            .partial_cmp(&b.center().arc_angle_deg(p))
-                            .unwrap()
-                    })
-                    .expect("a trixel always has 4 children")
-            });
     }
     current
 }
@@ -117,7 +111,11 @@ mod tests {
         ] {
             let p = Vec3::from_radec(ra, dec);
             let t = lookup_trixel(ra, dec, 12);
-            assert!(t.contains(p), "trixel {} does not contain ({ra},{dec})", t.name());
+            assert!(
+                t.contains(p),
+                "trixel {} does not contain ({ra},{dec})",
+                t.name()
+            );
         }
     }
 

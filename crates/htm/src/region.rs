@@ -71,7 +71,10 @@ pub struct Convex {
 impl Convex {
     /// A convex made of the given half-spaces.  At least one is required.
     pub fn new(halfspaces: Vec<Halfspace>) -> Self {
-        assert!(!halfspaces.is_empty(), "a Convex needs at least one halfspace");
+        assert!(
+            !halfspaces.is_empty(),
+            "a Convex needs at least one halfspace"
+        );
         Convex { halfspaces }
     }
 

@@ -47,14 +47,38 @@ fn octahedron() -> [Vec3; 6] {
 pub fn root_trixels() -> [Trixel; 8] {
     let o = octahedron();
     [
-        Trixel { id: 8, v: [o[1], o[5], o[2]] },  // S0
-        Trixel { id: 9, v: [o[2], o[5], o[3]] },  // S1
-        Trixel { id: 10, v: [o[3], o[5], o[4]] }, // S2
-        Trixel { id: 11, v: [o[4], o[5], o[1]] }, // S3
-        Trixel { id: 12, v: [o[1], o[0], o[4]] }, // N0
-        Trixel { id: 13, v: [o[4], o[0], o[3]] }, // N1
-        Trixel { id: 14, v: [o[3], o[0], o[2]] }, // N2
-        Trixel { id: 15, v: [o[2], o[0], o[1]] }, // N3
+        Trixel {
+            id: 8,
+            v: [o[1], o[5], o[2]],
+        }, // S0
+        Trixel {
+            id: 9,
+            v: [o[2], o[5], o[3]],
+        }, // S1
+        Trixel {
+            id: 10,
+            v: [o[3], o[5], o[4]],
+        }, // S2
+        Trixel {
+            id: 11,
+            v: [o[4], o[5], o[1]],
+        }, // S3
+        Trixel {
+            id: 12,
+            v: [o[1], o[0], o[4]],
+        }, // N0
+        Trixel {
+            id: 13,
+            v: [o[4], o[0], o[3]],
+        }, // N1
+        Trixel {
+            id: 14,
+            v: [o[3], o[0], o[2]],
+        }, // N2
+        Trixel {
+            id: 15,
+            v: [o[2], o[0], o[1]],
+        }, // N3
     ]
 }
 
@@ -75,10 +99,22 @@ impl Trixel {
         let w2 = self.v[0].midpoint(self.v[1]);
         let base = self.id << 2;
         [
-            Trixel { id: base, v: [self.v[0], w2, w1] },
-            Trixel { id: base + 1, v: [self.v[1], w0, w2] },
-            Trixel { id: base + 2, v: [self.v[2], w1, w0] },
-            Trixel { id: base + 3, v: [w0, w1, w2] },
+            Trixel {
+                id: base,
+                v: [self.v[0], w2, w1],
+            },
+            Trixel {
+                id: base + 1,
+                v: [self.v[1], w0, w2],
+            },
+            Trixel {
+                id: base + 2,
+                v: [self.v[2], w1, w0],
+            },
+            Trixel {
+                id: base + 3,
+                v: [w0, w1, w2],
+            },
         ]
     }
 
@@ -150,7 +186,7 @@ pub fn is_valid_id(id: u64) -> bool {
         return false;
     }
     let bits = 64 - id.leading_zeros();
-    (bits - 4) % 2 == 0 && ((bits - 4) / 2) as u8 <= MAX_DEPTH
+    (bits - 4).is_multiple_of(2) && ((bits - 4) / 2) as u8 <= MAX_DEPTH
 }
 
 /// Contiguous descendant id range `[lo, hi)` of `id` at the given `depth`.
@@ -186,7 +222,11 @@ pub fn id_to_name(id: u64) -> String {
     }
     // cur is now 8..=15
     let root = cur - 8;
-    let (hemi, idx) = if root < 4 { ('S', root) } else { ('N', root - 4) };
+    let (hemi, idx) = if root < 4 {
+        ('S', root)
+    } else {
+        ('N', root - 4)
+    };
     let mut s = String::with_capacity(depth as usize + 2);
     s.push(hemi);
     s.push(char::from(b'0' + idx as u8));

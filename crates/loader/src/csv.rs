@@ -79,9 +79,12 @@ pub fn parse_field(field: &str, ty: DataType) -> Result<Value, String> {
             "1" | "true" | "t" => Ok(Value::Bool(true)),
             other => Err(format!("bad boolean {other:?}")),
         },
-        DataType::Bytes => hex_decode(trimmed)
-            .map(Value::bytes)
-            .ok_or_else(|| format!("bad hex blob starting {:?}", &trimmed[..trimmed.len().min(12)])),
+        DataType::Bytes => hex_decode(trimmed).map(Value::bytes).ok_or_else(|| {
+            format!(
+                "bad hex blob starting {:?}",
+                &trimmed[..trimmed.len().min(12)]
+            )
+        }),
         DataType::Str => Ok(Value::str(trimmed)),
     }
 }
@@ -152,10 +155,7 @@ pub fn parse_document(document: &str, schema: &TableSchema) -> Result<ParsedCsv,
                 Err(message) => {
                     parsed.errors.push(CsvError {
                         line: line_number,
-                        message: format!(
-                            "column {}: {message}",
-                            schema.columns()[target].name
-                        ),
+                        message: format!("column {}: {message}", schema.columns()[target].name),
                     });
                     ok = false;
                     break;
@@ -196,8 +196,14 @@ mod tests {
     fn parse_fields_by_type() {
         assert_eq!(parse_field("42", DataType::Int).unwrap(), Value::Int(42));
         assert_eq!(parse_field("42.0", DataType::Int).unwrap(), Value::Int(42));
-        assert_eq!(parse_field("-1.5", DataType::Float).unwrap(), Value::Float(-1.5));
-        assert_eq!(parse_field("hello", DataType::Str).unwrap(), Value::str("hello"));
+        assert_eq!(
+            parse_field("-1.5", DataType::Float).unwrap(),
+            Value::Float(-1.5)
+        );
+        assert_eq!(
+            parse_field("hello", DataType::Str).unwrap(),
+            Value::str("hello")
+        );
         assert_eq!(parse_field("1", DataType::Bool).unwrap(), Value::Bool(true));
         assert_eq!(
             parse_field("0x0102ff", DataType::Bytes).unwrap(),

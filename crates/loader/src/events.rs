@@ -5,7 +5,7 @@
 //! source file, and the number of inserted records. ... Hence, the web
 //! interface has an UNDO button for each step."
 
-use skyserver_storage::{ColumnDef, Database, DataType, StorageError, TableSchema, Value};
+use skyserver_storage::{ColumnDef, DataType, Database, StorageError, TableSchema, Value};
 
 /// Status of a load step.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
@@ -72,8 +72,9 @@ pub fn ensure_load_events_table(db: &mut Database) -> Result<(), StorageError> {
     ])
     .with_primary_key(&["eventID"]);
     db.create_table(LOAD_EVENTS_TABLE, schema)?;
-    db.table_mut(LOAD_EVENTS_TABLE)?
-        .set_description("Journal of data-load steps: one row per DTS-style step, driving the UNDO button.");
+    db.table_mut(LOAD_EVENTS_TABLE)?.set_description(
+        "Journal of data-load steps: one row per DTS-style step, driving the UNDO button.",
+    );
     Ok(())
 }
 
@@ -134,7 +135,7 @@ pub fn update_event_status(
     };
     row[6] = Value::str(status.as_str());
     let old_trace = row[7].as_str().unwrap_or("").to_string();
-    row[7] = Value::str(format!("{old_trace}\n{extra_trace}").trim().to_string());
+    row[7] = Value::str(format!("{old_trace}\n{extra_trace}").trim());
     db.table_mut(LOAD_EVENTS_TABLE)?.update(row_id, row)?;
     Ok(true)
 }

@@ -64,11 +64,7 @@ impl LoadReport {
 
     /// Did every step succeed and every constraint validate?
     pub fn is_clean(&self) -> bool {
-        self.fk_violations.is_empty()
-            && self
-                .events
-                .iter()
-                .all(|e| e.status == LoadStatus::Success)
+        self.fk_violations.is_empty() && self.events.iter().all(|e| e.status == LoadStatus::Success)
     }
 }
 

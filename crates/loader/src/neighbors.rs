@@ -74,7 +74,9 @@ pub fn compute_neighbors(
         let (kx, ky) = key(p.ra, p.dec);
         for dx in -1..=1 {
             for dy in -1..=1 {
-                let Some(bucket) = grid.get(&(kx + dx, ky + dy)) else { continue };
+                let Some(bucket) = grid.get(&(kx + dx, ky + dy)) else {
+                    continue;
+                };
                 for &j in bucket {
                     let q = &positions[j];
                     if q.obj_id == p.obj_id {
@@ -164,7 +166,10 @@ mod tests {
             .map(|(_, r)| (r[0].as_i64().unwrap(), r[1].as_i64().unwrap()))
             .collect();
         for (a, b) in &pairs {
-            assert!(pairs.contains(&(*b, *a)), "missing symmetric pair for ({a},{b})");
+            assert!(
+                pairs.contains(&(*b, *a)),
+                "missing symmetric pair for ({a},{b})"
+            );
         }
         // The far object has no neighbours.
         assert!(!pairs.iter().any(|(a, b)| *a == 4 || *b == 4));

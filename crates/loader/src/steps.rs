@@ -8,8 +8,7 @@
 
 use crate::csv::{parse_document, CsvError};
 use crate::events::{
-    ensure_load_events_table, read_events, record_event, update_event_status, LoadEvent,
-    LoadStatus,
+    ensure_load_events_table, read_events, record_event, update_event_status, LoadEvent, LoadStatus,
 };
 use skyserver_storage::{Database, StorageError};
 
@@ -81,7 +80,11 @@ pub fn load_csv_step(
         stop_ts,
         rows_in_file,
         rows_inserted: inserted,
-        status: if failed { LoadStatus::Failed } else { LoadStatus::Success },
+        status: if failed {
+            LoadStatus::Failed
+        } else {
+            LoadStatus::Success
+        },
         trace,
     };
     record_event(db, &event)?;
@@ -104,8 +107,7 @@ pub fn undo_step(db: &mut Database, event_id: i64) -> Result<usize, StorageError
     if event.status == LoadStatus::Undone {
         return Ok(0);
     }
-    let removed =
-        db.delete_by_timestamp_range(&event.table_name, event.start_ts, event.stop_ts)?;
+    let removed = db.delete_by_timestamp_range(&event.table_name, event.start_ts, event.stop_ts)?;
     update_event_status(
         db,
         event_id,
@@ -137,7 +139,8 @@ mod tests {
         db
     }
 
-    const GOOD: &str = "plateID,ra,dec,mjd,nFibers\n300,180.0,0.0,52000,600\n301,181.0,0.5,52003,598\n";
+    const GOOD: &str =
+        "plateID,ra,dec,mjd,nFibers\n300,180.0,0.0,52000,600\n301,181.0,0.5,52003,598\n";
 
     #[test]
     fn successful_step_loads_and_journals() {

@@ -43,7 +43,10 @@ pub fn astronomer_queries() -> Vec<QuerySpec> {
             "The ten brightest galaxies",
             "select top 10 objID, modelMag_r from Galaxy order by modelMag_r",
             PlanClass::IndexSeek,
-            vec![Invariant::AtMostRows(10), Invariant::SortedAscending("modelMag_r")],
+            vec![
+                Invariant::AtMostRows(10),
+                Invariant::SortedAscending("modelMag_r"),
+            ],
         ),
         a(
             "A3",
@@ -125,7 +128,10 @@ pub fn astronomer_queries() -> Vec<QuerySpec> {
             "Objects with a tight USNO astrometric match",
             "select U.objID, U.delta from USNO U where U.delta < 0.5",
             PlanClass::Scan,
-            vec![Invariant::MayBeEmpty, Invariant::ColumnInRange("delta", 0.0, 0.5)],
+            vec![
+                Invariant::MayBeEmpty,
+                Invariant::ColumnInRange("delta", 0.0, 0.5),
+            ],
         ),
         a(
             "A13",

@@ -40,7 +40,11 @@ mod tests {
             .filter(|r| !r.violations.is_empty())
             .map(|r| format!("{}: {:?}", r.id, r.violations))
             .collect();
-        assert!(problems.is_empty(), "query problems:\n{}", problems.join("\n"));
+        assert!(
+            problems.is_empty(),
+            "query problems:\n{}",
+            problems.join("\n")
+        );
     }
 
     #[test]

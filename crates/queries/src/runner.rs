@@ -28,13 +28,16 @@ pub struct QueryReport {
     pub paper_elapsed_seconds: f64,
     /// The plan class the optimizer chose.
     pub plan_class: PlanClass,
+    /// The optimizer rules that produced the plan, in pipeline order.
+    pub rules_fired: Vec<String>,
     /// Violated invariants (empty = the query behaved as documented).
     pub violations: Vec<String>,
 }
 
 /// Run one query and build its report.
 pub fn run_query(server: &mut SkyServer, query: &QuerySpec) -> Result<QueryReport, SkyServerError> {
-    let plan_class = server.plan_class(&query.sql)?;
+    let summary = server.plan_summary(&query.sql)?;
+    let plan_class = summary.class;
     let outcome = server.execute(&query.sql)?;
     let mut violations = Vec::new();
     for invariant in &query.invariants {
@@ -60,6 +63,7 @@ pub fn run_query(server: &mut SkyServer, query: &QuerySpec) -> Result<QueryRepor
         paper_cpu_seconds: paper.cpu_seconds,
         paper_elapsed_seconds: paper.elapsed_seconds,
         plan_class,
+        rules_fired: summary.rules_fired.iter().map(|r| r.to_string()).collect(),
         violations,
     })
 }
@@ -110,6 +114,11 @@ mod tests {
         assert!(report.rows > 0);
         assert!(report.violations.is_empty(), "{:?}", report.violations);
         assert_eq!(report.plan_class, PlanClass::Scan);
+        assert!(
+            report.rules_fired.iter().any(|r| r == "predicate_pushdown"),
+            "rules: {:?}",
+            report.rules_fired
+        );
         assert!(report.paper_elapsed_seconds > report.sim_elapsed_seconds);
         let rendered = render_figure13(&[report]);
         assert!(rendered.contains("Q15A"));

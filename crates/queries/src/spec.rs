@@ -150,8 +150,12 @@ mod tests {
         assert!(Invariant::MayBeEmpty.check(&rs(vec![])).is_ok());
         assert!(Invariant::SortedAscending("distance").check(&r).is_ok());
         assert!(Invariant::SortedAscending("missing").check(&r).is_err());
-        assert!(Invariant::ColumnInRange("distance", 0.0, 1.0).check(&r).is_ok());
-        assert!(Invariant::ColumnInRange("distance", 0.0, 0.2).check(&r).is_err());
+        assert!(Invariant::ColumnInRange("distance", 0.0, 1.0)
+            .check(&r)
+            .is_ok());
+        assert!(Invariant::ColumnInRange("distance", 0.0, 0.2)
+            .check(&r)
+            .is_err());
         assert!(Invariant::ScalarAtLeast(5).check(&r).is_ok());
         assert!(Invariant::ScalarAtLeast(6).check(&r).is_err());
     }

@@ -9,20 +9,45 @@ use skyserver_storage::{Database, ForeignKey, StorageError};
 
 /// All foreign keys of the schema.
 pub fn all_foreign_keys() -> Vec<ForeignKey> {
-    let fk = |name: &str, table: &str, column: &str, ref_table: &str, ref_column: &str| ForeignKey {
-        name: name.to_string(),
-        table: table.to_string(),
-        columns: vec![column.to_string()],
-        ref_table: ref_table.to_string(),
-        ref_columns: vec![ref_column.to_string()],
-    };
+    let fk =
+        |name: &str, table: &str, column: &str, ref_table: &str, ref_column: &str| ForeignKey {
+            name: name.to_string(),
+            table: table.to_string(),
+            columns: vec![column.to_string()],
+            ref_table: ref_table.to_string(),
+            ref_columns: vec![ref_column.to_string()],
+        };
     vec![
         fk("fk_Frame_Field", "Frame", "fieldID", "Field", "fieldID"),
-        fk("fk_PhotoObj_Field", "PhotoObj", "fieldID", "Field", "fieldID"),
-        fk("fk_Profile_PhotoObj", "Profile", "objID", "PhotoObj", "objID"),
+        fk(
+            "fk_PhotoObj_Field",
+            "PhotoObj",
+            "fieldID",
+            "Field",
+            "fieldID",
+        ),
+        fk(
+            "fk_Profile_PhotoObj",
+            "Profile",
+            "objID",
+            "PhotoObj",
+            "objID",
+        ),
         fk("fk_SpecObj_Plate", "SpecObj", "plateID", "Plate", "plateID"),
-        fk("fk_SpecObj_PhotoObj", "SpecObj", "objID", "PhotoObj", "objID"),
-        fk("fk_SpecLine_SpecObj", "SpecLine", "specObjID", "SpecObj", "specObjID"),
+        fk(
+            "fk_SpecObj_PhotoObj",
+            "SpecObj",
+            "objID",
+            "PhotoObj",
+            "objID",
+        ),
+        fk(
+            "fk_SpecLine_SpecObj",
+            "SpecLine",
+            "specObjID",
+            "SpecObj",
+            "specObjID",
+        ),
         fk(
             "fk_SpecLineIndex_SpecObj",
             "SpecLineIndex",
@@ -30,9 +55,27 @@ pub fn all_foreign_keys() -> Vec<ForeignKey> {
             "SpecObj",
             "specObjID",
         ),
-        fk("fk_xcRedShift_SpecObj", "xcRedShift", "specObjID", "SpecObj", "specObjID"),
-        fk("fk_elRedShift_SpecObj", "elRedShift", "specObjID", "SpecObj", "specObjID"),
-        fk("fk_Neighbors_PhotoObj", "Neighbors", "objID", "PhotoObj", "objID"),
+        fk(
+            "fk_xcRedShift_SpecObj",
+            "xcRedShift",
+            "specObjID",
+            "SpecObj",
+            "specObjID",
+        ),
+        fk(
+            "fk_elRedShift_SpecObj",
+            "elRedShift",
+            "specObjID",
+            "SpecObj",
+            "specObjID",
+        ),
+        fk(
+            "fk_Neighbors_PhotoObj",
+            "Neighbors",
+            "objID",
+            "PhotoObj",
+            "objID",
+        ),
         fk("fk_USNO_PhotoObj", "USNO", "objID", "PhotoObj", "objID"),
         fk("fk_ROSAT_PhotoObj", "ROSAT", "objID", "PhotoObj", "objID"),
         fk("fk_FIRST_PhotoObj", "FIRST", "objID", "PhotoObj", "objID"),
@@ -69,10 +112,18 @@ mod tests {
             let child = db.table(&fk.table).unwrap();
             let parent = db.table(&fk.ref_table).unwrap();
             for c in &fk.columns {
-                assert!(child.schema().column(c).is_some(), "{}: bad child column {c}", fk.name);
+                assert!(
+                    child.schema().column(c).is_some(),
+                    "{}: bad child column {c}",
+                    fk.name
+                );
             }
             for c in &fk.ref_columns {
-                assert!(parent.schema().column(c).is_some(), "{}: bad parent column {c}", fk.name);
+                assert!(
+                    parent.schema().column(c).is_some(),
+                    "{}: bad parent column {c}",
+                    fk.name
+                );
             }
         }
     }
@@ -81,7 +132,11 @@ mod tests {
     fn profile_and_field_constraints_match_the_paper() {
         // "every profile has an object; every object is within a valid field"
         let fks = all_foreign_keys();
-        assert!(fks.iter().any(|f| f.table == "Profile" && f.ref_table == "PhotoObj"));
-        assert!(fks.iter().any(|f| f.table == "PhotoObj" && f.ref_table == "Field"));
+        assert!(fks
+            .iter()
+            .any(|f| f.table == "Profile" && f.ref_table == "PhotoObj"));
+        assert!(fks
+            .iter()
+            .any(|f| f.table == "PhotoObj" && f.ref_table == "Field"));
     }
 }

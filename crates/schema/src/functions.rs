@@ -12,8 +12,8 @@
 //! exact distance check.
 
 use skyserver_htm::{angular_distance_arcmin, cover, Convex};
-use skyserver_sql::{FunctionRegistry, ResultSet, SqlError};
 use skyserver_skygen::{photo_flag_value, photo_type_value, spec_class_value};
+use skyserver_sql::{FunctionRegistry, ResultSet, SqlError};
 use skyserver_storage::{Database, IndexKey, Value};
 
 /// Base URL of the object explorer (the paper's `fGetUrlExpId` returns the
@@ -79,11 +79,8 @@ pub fn register_functions(registry: &mut FunctionRegistry) {
             let radius_arcmin = arg_f64(args, 2, "spHTM_CoverCircleEq")?;
             let region = Convex::circle_arcmin(ra, dec, radius_arcmin);
             let ranges = cover(&region);
-            let mut rs = ResultSet::empty(vec![
-                "htmIDstart".into(),
-                "htmIDend".into(),
-                "full".into(),
-            ]);
+            let mut rs =
+                ResultSet::empty(vec!["htmIDstart".into(), "htmIDend".into(), "full".into()]);
             for r in ranges.ranges() {
                 rs.rows.push(vec![
                     Value::Int(r.lo as i64),
@@ -95,9 +92,7 @@ pub fn register_functions(registry: &mut FunctionRegistry) {
         },
     );
 
-    let nearby_columns = [
-        "objID", "run", "camcol", "field", "type", "distance",
-    ];
+    let nearby_columns = ["objID", "run", "camcol", "field", "type", "distance"];
     registry.register_table("fGetNearbyObjEq", &nearby_columns, |db, args| {
         let ra = arg_f64(args, 0, "fGetNearbyObjEq")?;
         let dec = arg_f64(args, 1, "fGetNearbyObjEq")?;
@@ -270,10 +265,10 @@ mod tests {
         let schema = crate::tables::photo_obj_schema();
         let positions = [
             (185.0, -0.5),
-            (185.005, -0.5),  // 0.3 arcmin away in ra
-            (185.0, -0.51),   // 0.6 arcmin away in dec
-            (185.2, -0.5),    // 12 arcmin away
-            (190.0, 2.0),     // far away
+            (185.005, -0.5), // 0.3 arcmin away in ra
+            (185.0, -0.51),  // 0.6 arcmin away in dec
+            (185.2, -0.5),   // 12 arcmin away
+            (190.0, 2.0),    // far away
         ];
         db.set_enforce_foreign_keys(false);
         for (i, (ra, dec)) in positions.iter().enumerate() {
@@ -289,7 +284,10 @@ mod tests {
                     name if name.starts_with("modelMag")
                         || name.starts_with("psfMag")
                         || name.starts_with("petroMag")
-                        || name.starts_with("fiberMag") => Value::Float(18.0),
+                        || name.starts_with("fiberMag") =>
+                    {
+                        Value::Float(18.0)
+                    }
                     _ => match c.ty {
                         skyserver_storage::DataType::Int => Value::Int(0),
                         skyserver_storage::DataType::Float => Value::Float(0.0),
@@ -339,14 +337,22 @@ mod tests {
         let db = db_with_objects();
         let r = registry();
         let f = &r.table("fGetNearbyObjEq").unwrap().func;
-        let rs = f(&db, &[Value::Float(185.0), Value::Float(-0.5), Value::Float(1.0)]).unwrap();
+        let rs = f(
+            &db,
+            &[Value::Float(185.0), Value::Float(-0.5), Value::Float(1.0)],
+        )
+        .unwrap();
         // Objects 1 (0'), 2 (~0.3') and 3 (0.6') are within 1 arcminute.
         assert_eq!(rs.len(), 3);
         let d = rs.column_values("distance");
         assert!(d[0].as_f64().unwrap() < d[1].as_f64().unwrap());
         assert!(d[2].as_f64().unwrap() <= 1.0);
         // Wider radius picks up the 12-arcminute neighbour too.
-        let rs = f(&db, &[Value::Float(185.0), Value::Float(-0.5), Value::Float(15.0)]).unwrap();
+        let rs = f(
+            &db,
+            &[Value::Float(185.0), Value::Float(-0.5), Value::Float(15.0)],
+        )
+        .unwrap();
         assert_eq!(rs.len(), 4);
     }
 
@@ -355,7 +361,11 @@ mod tests {
         let db = db_with_objects();
         let r = registry();
         let f = &r.table("fGetNearestObjEq").unwrap().func;
-        let rs = f(&db, &[Value::Float(185.004, ), Value::Float(-0.5), Value::Float(5.0)]).unwrap();
+        let rs = f(
+            &db,
+            &[Value::Float(185.004), Value::Float(-0.5), Value::Float(5.0)],
+        )
+        .unwrap();
         assert_eq!(rs.len(), 1);
         assert_eq!(rs.cell(0, "objID"), Some(&Value::Int(2)));
     }
@@ -376,7 +386,16 @@ mod tests {
         )
         .unwrap();
         assert_eq!(rs.len(), 3);
-        assert!(f(&db, &[Value::Float(2.0), Value::Float(1.0), Value::Float(0.0), Value::Float(1.0)]).is_err());
+        assert!(f(
+            &db,
+            &[
+                Value::Float(2.0),
+                Value::Float(1.0),
+                Value::Float(0.0),
+                Value::Float(1.0)
+            ]
+        )
+        .is_err());
     }
 
     #[test]
@@ -384,7 +403,11 @@ mod tests {
         let db = db_with_objects();
         let r = registry();
         let f = &r.table("spHTM_CoverCircleEq").unwrap().func;
-        let rs = f(&db, &[Value::Float(185.0), Value::Float(-0.5), Value::Float(1.0)]).unwrap();
+        let rs = f(
+            &db,
+            &[Value::Float(185.0), Value::Float(-0.5), Value::Float(1.0)],
+        )
+        .unwrap();
         assert!(!rs.is_empty());
         for row in &rs.rows {
             assert!(row[0].as_i64().unwrap() < row[1].as_i64().unwrap());
@@ -396,7 +419,15 @@ mod tests {
         let db = db_with_objects();
         let r = registry();
         let f = &r.table("fGetNearbyObjEq").unwrap().func;
-        assert!(f(&db, &[Value::str("x"), Value::Float(0.0), Value::Float(1.0)]).is_err());
-        assert!(f(&db, &[Value::Float(185.0), Value::Float(-0.5), Value::Float(-1.0)]).is_err());
+        assert!(f(
+            &db,
+            &[Value::str("x"), Value::Float(0.0), Value::Float(1.0)]
+        )
+        .is_err());
+        assert!(f(
+            &db,
+            &[Value::Float(185.0), Value::Float(-0.5), Value::Float(-1.0)]
+        )
+        .is_err());
     }
 }

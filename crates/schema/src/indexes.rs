@@ -15,8 +15,14 @@ pub fn all_indexes() -> Vec<IndexDef> {
     vec![
         // Photo side -------------------------------------------------------
         IndexDef::new("pk_PhotoObj", "PhotoObj", &["objID"]).unique(),
-        IndexDef::new("ix_PhotoObj_htmID", "PhotoObj", &["htmID"])
-            .include(&["objID", "ra", "dec", "type", "flags", "modelMag_r"]),
+        IndexDef::new("ix_PhotoObj_htmID", "PhotoObj", &["htmID"]).include(&[
+            "objID",
+            "ra",
+            "dec",
+            "type",
+            "flags",
+            "modelMag_r",
+        ]),
         IndexDef::new("ix_PhotoObj_type", "PhotoObj", &["type"]).include(&[
             "objID",
             "flags",
@@ -99,7 +105,11 @@ mod tests {
             "photoObj carries the documented six indices"
         );
         // Tens of indices in total, as the paper says.
-        let total: usize = db.table_names().iter().map(|t| db.indexes_for(t).len()).sum();
+        let total: usize = db
+            .table_names()
+            .iter()
+            .map(|t| db.indexes_for(t).len())
+            .sum();
         assert!(total >= 20);
     }
 
@@ -122,9 +132,27 @@ mod tests {
     #[test]
     fn fast_mover_covering_index_covers_the_query_columns() {
         let needed = [
-            "run", "camcol", "field", "objID", "parentID", "fiberMag_r", "fiberMag_g",
-            "fiberMag_u", "fiberMag_i", "fiberMag_z", "q_r", "u_r", "q_g", "u_g", "isoA_r",
-            "isoB_r", "isoA_g", "isoB_g", "cx", "cy", "cz",
+            "run",
+            "camcol",
+            "field",
+            "objID",
+            "parentID",
+            "fiberMag_r",
+            "fiberMag_g",
+            "fiberMag_u",
+            "fiberMag_i",
+            "fiberMag_z",
+            "q_r",
+            "u_r",
+            "q_g",
+            "u_g",
+            "isoA_r",
+            "isoB_r",
+            "isoA_g",
+            "isoB_g",
+            "cx",
+            "cy",
+            "cz",
         ];
         let def = all_indexes()
             .into_iter()

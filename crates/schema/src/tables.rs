@@ -6,7 +6,7 @@
 //! non-null"), and each table carries a description served by the schema
 //! browser.
 
-use skyserver_storage::{ColumnDef, Database, DataType, StorageError, TableSchema};
+use skyserver_storage::{ColumnDef, DataType, Database, StorageError, TableSchema};
 
 fn mag_columns(prefix: &str, description: &str) -> Vec<ColumnDef> {
     ['u', 'g', 'r', 'i', 'z']
@@ -34,17 +34,26 @@ pub fn photo_obj_schema() -> TableSchema {
         ColumnDef::new("obj", DataType::Int).describe("object number within the field"),
         ColumnDef::new("nChild", DataType::Int).describe("number of deblended children"),
         ColumnDef::new("type", DataType::Int).describe("morphological type (3=galaxy, 6=star)"),
-        ColumnDef::new("probPSF", DataType::Float).describe("probability the object is a point source"),
+        ColumnDef::new("probPSF", DataType::Float)
+            .describe("probability the object is a point source"),
         ColumnDef::new("flags", DataType::Int).describe("photometric status bit flags"),
         ColumnDef::new("status", DataType::Int).describe("pipeline status word"),
-        ColumnDef::new("ra", DataType::Float).describe("J2000 right ascension").with_unit("deg"),
-        ColumnDef::new("dec", DataType::Float).describe("J2000 declination").with_unit("deg"),
+        ColumnDef::new("ra", DataType::Float)
+            .describe("J2000 right ascension")
+            .with_unit("deg"),
+        ColumnDef::new("dec", DataType::Float)
+            .describe("J2000 declination")
+            .with_unit("deg"),
         ColumnDef::new("cx", DataType::Float).describe("unit vector x"),
         ColumnDef::new("cy", DataType::Float).describe("unit vector y"),
         ColumnDef::new("cz", DataType::Float).describe("unit vector z"),
         ColumnDef::new("htmID", DataType::Int).describe("20-deep Hierarchical Triangular Mesh id"),
-        ColumnDef::new("rowv", DataType::Float).describe("row-direction velocity").with_unit("pix/frame"),
-        ColumnDef::new("colv", DataType::Float).describe("column-direction velocity").with_unit("pix/frame"),
+        ColumnDef::new("rowv", DataType::Float)
+            .describe("row-direction velocity")
+            .with_unit("pix/frame"),
+        ColumnDef::new("colv", DataType::Float)
+            .describe("column-direction velocity")
+            .with_unit("pix/frame"),
     ];
     cols.extend(mag_columns("modelMag", "magnitude of the best model fit"));
     cols.extend(mag_columns("psfMag", "PSF magnitude"));
@@ -52,11 +61,21 @@ pub fn photo_obj_schema() -> TableSchema {
     cols.extend(mag_columns("fiberMag", "3-arcsecond fibre magnitude"));
     cols.extend(mag_columns("modelMagErr", "model magnitude error"));
     cols.extend(vec![
-        ColumnDef::new("petroRad_r", DataType::Float).describe("Petrosian radius (r band)").with_unit("arcsec"),
-        ColumnDef::new("isoA_r", DataType::Float).describe("isophotal major axis (r band)").with_unit("arcsec"),
-        ColumnDef::new("isoB_r", DataType::Float).describe("isophotal minor axis (r band)").with_unit("arcsec"),
-        ColumnDef::new("isoA_g", DataType::Float).describe("isophotal major axis (g band)").with_unit("arcsec"),
-        ColumnDef::new("isoB_g", DataType::Float).describe("isophotal minor axis (g band)").with_unit("arcsec"),
+        ColumnDef::new("petroRad_r", DataType::Float)
+            .describe("Petrosian radius (r band)")
+            .with_unit("arcsec"),
+        ColumnDef::new("isoA_r", DataType::Float)
+            .describe("isophotal major axis (r band)")
+            .with_unit("arcsec"),
+        ColumnDef::new("isoB_r", DataType::Float)
+            .describe("isophotal minor axis (r band)")
+            .with_unit("arcsec"),
+        ColumnDef::new("isoA_g", DataType::Float)
+            .describe("isophotal major axis (g band)")
+            .with_unit("arcsec"),
+        ColumnDef::new("isoB_g", DataType::Float)
+            .describe("isophotal minor axis (g band)")
+            .with_unit("arcsec"),
         ColumnDef::new("q_r", DataType::Float).describe("Stokes Q ellipticity (r band)"),
         ColumnDef::new("u_r", DataType::Float).describe("Stokes U ellipticity (r band)"),
         ColumnDef::new("q_g", DataType::Float).describe("Stokes Q ellipticity (g band)"),

@@ -48,9 +48,7 @@ pub fn all_views() -> Vec<(String, String, &'static str)> {
         ),
         (
             "SpecQso".to_string(),
-            format!(
-                "select * from SpecObj where specClass = {spec_qso} or specClass = {spec_hiz}"
-            ),
+            format!("select * from SpecObj where specClass = {spec_qso} or specClass = {spec_hiz}"),
             "Spectra classified as quasars.",
         ),
     ]

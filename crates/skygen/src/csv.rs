@@ -104,7 +104,12 @@ pub fn export_survey(survey: &Survey) -> Vec<CsvTable> {
             .geometry
             .frames
             .iter()
-            .map(|x| format!("{},{},{},{},{}", x.frame_id, x.field_id, x.band, x.zoom, x.image_bytes))
+            .map(|x| {
+                format!(
+                    "{},{},{},{},{}",
+                    x.frame_id, x.field_id, x.band, x.zoom, x.image_bytes
+                )
+            })
             .collect(),
     });
 
@@ -195,7 +200,16 @@ pub fn export_survey(survey: &Survey) -> Vec<CsvTable> {
             .spectro
             .plates
             .iter()
-            .map(|p| format!("{},{},{},{},{}", p.plate_id, f(p.ra), f(p.dec), p.mjd, p.n_fibers))
+            .map(|p| {
+                format!(
+                    "{},{},{},{},{}",
+                    p.plate_id,
+                    f(p.ra),
+                    f(p.dec),
+                    p.mjd,
+                    p.n_fibers
+                )
+            })
             .collect(),
     });
     tables.push(CsvTable {
@@ -272,7 +286,16 @@ pub fn export_survey(survey: &Survey) -> Vec<CsvTable> {
             .spectro
             .xc_redshifts
             .iter()
-            .map(|x| format!("{},{},{},{},{}", x.xc_red_shift_id, x.spec_obj_id, f(x.z), f(x.r), f(x.peak)))
+            .map(|x| {
+                format!(
+                    "{},{},{},{},{}",
+                    x.xc_red_shift_id,
+                    x.spec_obj_id,
+                    f(x.z),
+                    f(x.r),
+                    f(x.peak)
+                )
+            })
             .collect(),
     });
     tables.push(CsvTable {
@@ -282,7 +305,15 @@ pub fn export_survey(survey: &Survey) -> Vec<CsvTable> {
             .spectro
             .el_redshifts
             .iter()
-            .map(|x| format!("{},{},{},{}", x.el_red_shift_id, x.spec_obj_id, f(x.z), x.n_lines))
+            .map(|x| {
+                format!(
+                    "{},{},{},{}",
+                    x.el_red_shift_id,
+                    x.spec_obj_id,
+                    f(x.z),
+                    x.n_lines
+                )
+            })
             .collect(),
     });
 
@@ -294,7 +325,16 @@ pub fn export_survey(survey: &Survey) -> Vec<CsvTable> {
             .xmatch
             .usno
             .iter()
-            .map(|m| format!("{},{},{},{},{}", m.obj_id, m.usno_id, f(m.delta), f(m.blue_mag), f(m.red_mag)))
+            .map(|m| {
+                format!(
+                    "{},{},{},{},{}",
+                    m.obj_id,
+                    m.usno_id,
+                    f(m.delta),
+                    f(m.blue_mag),
+                    f(m.red_mag)
+                )
+            })
             .collect(),
     });
     tables.push(CsvTable {
@@ -314,7 +354,15 @@ pub fn export_survey(survey: &Survey) -> Vec<CsvTable> {
             .xmatch
             .first
             .iter()
-            .map(|m| format!("{},{},{},{}", m.obj_id, m.first_id, f(m.delta), f(m.peak_flux)))
+            .map(|m| {
+                format!(
+                    "{},{},{},{}",
+                    m.obj_id,
+                    m.first_id,
+                    f(m.delta),
+                    f(m.peak_flux)
+                )
+            })
             .collect(),
     });
 

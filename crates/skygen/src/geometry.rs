@@ -89,7 +89,8 @@ impl SurveyGeometry {
                 let run = 1000 + i64::from(stripe) * 10 + strip;
                 for camcol in 1..=CAMCOLS {
                     let camcol_dec = strip_dec
-                        + (camcol as f64 - 3.5) * (STRIPE_WIDTH_DEG / 2.0 / CAMCOLS as f64)
+                        + (camcol as f64 - 3.5)
+                            * (STRIPE_WIDTH_DEG / 2.0 / CAMCOLS as f64)
                             * (1.0 + STRIP_OVERLAP);
                     let ra_step = config.stripe_length_deg / f64::from(config.fields_per_camcol);
                     for field in 0..config.fields_per_camcol {
@@ -104,7 +105,8 @@ impl SurveyGeometry {
                             ra,
                             dec: camcol_dec,
                             ra_width: ra_step,
-                            dec_width: STRIPE_WIDTH_DEG / 2.0 / CAMCOLS as f64 * (1.0 + STRIP_OVERLAP),
+                            dec_width: STRIPE_WIDTH_DEG / 2.0 / CAMCOLS as f64
+                                * (1.0 + STRIP_OVERLAP),
                             stripe: i64::from(stripe) + 82, // SDSS stripe numbering
                             strip,
                             quality: 1,

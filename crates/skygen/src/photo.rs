@@ -145,7 +145,11 @@ pub fn generate_photo(
             (i % 1000) as i64,
             ra,
             dec,
-            if is_asteroid { PhotoType::Star as i64 } else { obj_type },
+            if is_asteroid {
+                PhotoType::Star as i64
+            } else {
+                obj_type
+            },
             is_galaxy && !is_asteroid,
             rng,
         );
@@ -213,9 +217,8 @@ pub fn generate_photo(
                     rng,
                 );
                 child.parent_id = parent_obj_id;
-                child.flags |= PhotoFlag::Child as i64
-                    | PhotoFlag::Primary as i64
-                    | PhotoFlag::OkRun as i64;
+                child.flags |=
+                    PhotoFlag::Child as i64 | PhotoFlag::Primary as i64 | PhotoFlag::OkRun as i64;
                 catalog.profiles.push(make_profile(&child, rng));
                 catalog.objects.push(child);
             }
@@ -258,7 +261,8 @@ fn plant_fast_mover_pairs(
                 rng,
             );
             obj.parent_id = 0;
-            obj.flags |= PhotoFlag::Primary as i64 | PhotoFlag::OkRun as i64 | PhotoFlag::Moved as i64;
+            obj.flags |=
+                PhotoFlag::Primary as i64 | PhotoFlag::OkRun as i64 | PhotoFlag::Moved as i64;
             // Elongated streak: isoA/isoB > 1.5 and large Stokes parameters.
             for b in 0..5 {
                 obj.iso_a[b] = rng.gen_range(2.5..4.0);
@@ -272,7 +276,13 @@ fn plant_fast_mover_pairs(
             if member == 0 {
                 obj.fiber_mag = [faint, faint, base_mag, faint, faint];
             } else {
-                obj.fiber_mag = [faint, base_mag + rng.gen_range(-1.5..1.5), faint, faint, faint];
+                obj.fiber_mag = [
+                    faint,
+                    base_mag + rng.gen_range(-1.5..1.5),
+                    faint,
+                    faint,
+                    faint,
+                ];
             }
             obj.rowv = 80.0; // too fast for the slow-mover query window
             obj.colv = 80.0;
@@ -302,7 +312,7 @@ fn synthesize_object(
     // end (roughly Euclidean number counts), clipped to the survey limits.
     let u01: f64 = rng.gen_range(0.0f64..1.0).max(1e-6);
     let r_mag = 22.5 + 2.5 * u01.log10().max(-3.4); // ~14 .. 22.5
-    // Colours: galaxies are redder on average than stars.
+                                                    // Colours: galaxies are redder on average than stars.
     let g_r = if extended {
         rng.gen_range(0.4..1.2)
     } else {
@@ -325,13 +335,22 @@ fn synthesize_object(
     for b in 0..5 {
         // Point sources: PSF ≈ model; extended sources lose light in the PSF
         // aperture and gain in the Petrosian aperture.
-        let extended_offset = if extended { rng.gen_range(0.3..0.9) } else { rng.gen_range(-0.02..0.02) };
+        let extended_offset = if extended {
+            rng.gen_range(0.3..0.9)
+        } else {
+            rng.gen_range(-0.02..0.02)
+        };
         psf_mag[b] = model_mag[b] + extended_offset;
-        petro_mag[b] = model_mag[b] - if extended { rng.gen_range(0.0..0.2) } else { 0.0 };
+        petro_mag[b] = model_mag[b]
+            - if extended {
+                rng.gen_range(0.0..0.2)
+            } else {
+                0.0
+            };
         fiber_mag[b] = model_mag[b] + rng.gen_range(0.05..0.25);
         // Fainter objects have larger errors.
-        model_mag_err[b] = 0.01 + 0.02 * ((model_mag[b] - 14.0).max(0.0) / 8.0).powi(2)
-            + rng.gen_range(0.0..0.01);
+        model_mag_err[b] =
+            0.01 + 0.02 * ((model_mag[b] - 14.0).max(0.0) / 8.0).powi(2) + rng.gen_range(0.0..0.01);
     }
     let (iso_a, iso_b, q, u) = if extended {
         let mut a = [0.0; 5];
@@ -360,7 +379,11 @@ fn synthesize_object(
         obj,
         n_child: 0,
         obj_type,
-        prob_psf: if extended { rng.gen_range(0.0..0.3) } else { rng.gen_range(0.7..1.0) },
+        prob_psf: if extended {
+            rng.gen_range(0.0..0.3)
+        } else {
+            rng.gen_range(0.7..1.0)
+        },
         flags: 0,
         status: 1,
         ra,
@@ -376,7 +399,11 @@ fn synthesize_object(
         petro_mag,
         fiber_mag,
         model_mag_err,
-        petro_rad_r: if extended { rng.gen_range(2.0..15.0) } else { rng.gen_range(1.0..2.0) },
+        petro_rad_r: if extended {
+            rng.gen_range(2.0..15.0)
+        } else {
+            rng.gen_range(1.0..2.0)
+        },
         iso_a,
         iso_b,
         q,
@@ -385,7 +412,11 @@ fn synthesize_object(
 }
 
 fn make_profile(obj: &PhotoObjRecord, rng: &mut ChaCha8Rng) -> ProfileRecord {
-    let n_bins = if obj.obj_type == PhotoType::Galaxy as i64 { 12 } else { 6 };
+    let n_bins = if obj.obj_type == PhotoType::Galaxy as i64 {
+        12
+    } else {
+        6
+    };
     let mut blob = Vec::with_capacity(n_bins * 8);
     let central = 10f64.powf((22.5 - obj.model_mag[2]) / 2.5);
     for bin in 0..n_bins {
@@ -485,8 +516,12 @@ mod tests {
         let fast: Vec<&PhotoObjRecord> = cat
             .objects
             .iter()
-            .filter(|o| o.iso_a[2] / o.iso_b[2] > 1.5 && o.iso_a[2] > 2.0 && o.parent_id == 0
-                && o.fiber_mag.iter().any(|&m| m > 23.0))
+            .filter(|o| {
+                o.iso_a[2] / o.iso_b[2] > 1.5
+                    && o.iso_a[2] > 2.0
+                    && o.parent_id == 0
+                    && o.fiber_mag.iter().any(|&m| m > 23.0)
+            })
             .collect();
         assert!(fast.len() >= config.fast_mover_pairs * 2 - 1);
     }

@@ -110,16 +110,16 @@ pub struct SpectroCatalog {
 
 /// Rest wavelengths of the most prominent optical lines (Angstroms).
 const REST_LINES: &[(i64, f64)] = &[
-    (3727, 3727.0),  // [OII]
-    (4102, 4102.0),  // H-delta
-    (4340, 4340.0),  // H-gamma
-    (4861, 4861.0),  // H-beta
-    (4959, 4959.0),  // [OIII]
-    (5007, 5007.0),  // [OIII]
-    (5890, 5890.0),  // Na D
-    (6563, 6563.0),  // H-alpha
-    (6583, 6583.0),  // [NII]
-    (6717, 6717.0),  // [SII]
+    (3727, 3727.0), // [OII]
+    (4102, 4102.0), // H-delta
+    (4340, 4340.0), // H-gamma
+    (4861, 4861.0), // H-beta
+    (4959, 4959.0), // [OIII]
+    (5007, 5007.0), // [OIII]
+    (5890, 5890.0), // Na D
+    (6563, 6563.0), // H-alpha
+    (6583, 6583.0), // [NII]
+    (6717, 6717.0), // [SII]
 ];
 
 /// Generate spectroscopy for a photometric catalog.
@@ -136,8 +136,9 @@ pub fn generate_spectro(
         .filter(|o| o.is_primary() && o.model_mag[2] < 20.5)
         .collect();
     targets.sort_by(|a, b| a.model_mag[2].total_cmp(&b.model_mag[2]));
-    let n_targets =
-        ((objects.len() as f64) * config.spectro_fraction).round().max(1.0) as usize;
+    let n_targets = ((objects.len() as f64) * config.spectro_fraction)
+        .round()
+        .max(1.0) as usize;
     let targets = &targets[..n_targets.min(targets.len())];
 
     let mut spec_obj_id = 3_000_000i64;
@@ -288,7 +289,11 @@ mod tests {
         let (_, objects, cat) = spectro();
         for s in &cat.spec_objs {
             let obj = objects.iter().find(|o| o.obj_id == s.obj_id);
-            assert!(obj.is_some(), "specObj {0} references missing photoObj", s.spec_obj_id);
+            assert!(
+                obj.is_some(),
+                "specObj {0} references missing photoObj",
+                s.spec_obj_id
+            );
             assert!(obj.unwrap().is_primary());
         }
     }

@@ -118,7 +118,10 @@ mod tests {
         // orderings that the reproduction relies on.
         assert_eq!(c.frames, 5 * c.fields);
         assert!(c.spec_lines >= 20 * c.spec_obj);
-        assert!(c.photo_obj > 100 * c.spec_obj / 2, "spectra are ~1% of objects");
+        assert!(
+            c.photo_obj > 100 * c.spec_obj / 2,
+            "spectra are ~1% of objects"
+        );
         assert!(c.el_redshifts < c.xc_redshifts);
         assert!(c.usno > c.rosat);
     }

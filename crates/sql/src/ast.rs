@@ -13,11 +13,19 @@ pub enum Statement {
     CreateTable(CreateTableStatement),
     CreateIndex(CreateIndexStatement),
     CreateView(CreateViewStatement),
-    DropTable { name: String },
+    DropTable {
+        name: String,
+    },
     /// `DECLARE @name type`
-    Declare { name: String, ty: DataType },
+    Declare {
+        name: String,
+        ty: DataType,
+    },
     /// `SET @name = expr`
-    SetVariable { name: String, expr: Expr },
+    SetVariable {
+        name: String,
+        expr: Expr,
+    },
 }
 
 /// `SELECT` statement.
@@ -355,9 +363,7 @@ impl Expr {
             }
             Expr::Between {
                 expr, low, high, ..
-            } => {
-                expr.contains_aggregate() || low.contains_aggregate() || high.contains_aggregate()
-            }
+            } => expr.contains_aggregate() || low.contains_aggregate() || high.contains_aggregate(),
             Expr::InList { expr, list, .. } => {
                 expr.contains_aggregate() || list.iter().any(Expr::contains_aggregate)
             }

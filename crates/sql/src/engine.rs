@@ -35,6 +35,16 @@ pub struct SqlEngine {
     variables: HashMap<String, Value>,
     /// When true, every SELECT outcome carries its rendered plan.
     capture_plans: bool,
+    /// Row-count threshold the optimizer's parallel-scan rule uses.
+    parallel_scan_threshold: usize,
+}
+
+/// What the optimizer decided for a statement: the Figure 13 bucket plus
+/// the rewrite rules that produced it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanSummary {
+    pub class: PlanClass,
+    pub rules_fired: Vec<&'static str>,
 }
 
 impl SqlEngine {
@@ -47,7 +57,20 @@ impl SqlEngine {
             paper_scale_factor: None,
             variables: HashMap::new(),
             capture_plans: false,
+            parallel_scan_threshold: crate::planner::PARALLEL_SCAN_THRESHOLD,
         }
+    }
+
+    /// Planner configured with this engine's settings.
+    fn planner(&self) -> Planner<'_> {
+        Planner::new(&self.db, &self.functions)
+            .with_parallel_scan_threshold(self.parallel_scan_threshold)
+    }
+
+    /// Override the table size at which heap scans go parallel (tests and
+    /// benchmarks; the default mirrors the paper's large-table behaviour).
+    pub fn set_parallel_scan_threshold(&mut self, threshold: usize) {
+        self.parallel_scan_threshold = threshold;
     }
 
     /// Read-only access to the database.
@@ -107,7 +130,11 @@ impl SqlEngine {
 
     /// Execute a script and return the outcome of its **last** statement
     /// (the usual shape of the paper's DECLARE/SET/SELECT scripts).
-    pub fn execute(&mut self, sql: &str, limits: QueryLimits) -> Result<StatementOutcome, SqlError> {
+    pub fn execute(
+        &mut self,
+        sql: &str,
+        limits: QueryLimits,
+    ) -> Result<StatementOutcome, SqlError> {
         let mut outcomes = self.execute_script(sql, limits)?;
         outcomes
             .pop()
@@ -134,9 +161,8 @@ impl SqlEngine {
         }
         for stmt in &statements {
             if let Statement::Select(s) = stmt {
-                let planner = Planner::new(&self.db, &self.functions);
-                let plan = planner.plan_select(s)?;
-                return Ok(plan.render());
+                let plan = self.planner().plan_select(s)?;
+                return Ok(plan.render_explain());
             }
         }
         Err(SqlError::Plan("no SELECT statement to explain".into()))
@@ -145,6 +171,12 @@ impl SqlEngine {
     /// Plan a select and return its [`PlanClass`] (used by the Figure 13
     /// harness to bucket queries).
     pub fn plan_class(&mut self, sql: &str) -> Result<PlanClass, SqlError> {
+        self.plan_summary(sql).map(|s| s.class)
+    }
+
+    /// Plan a select and return its class together with the optimizer rules
+    /// that fired.
+    pub fn plan_summary(&mut self, sql: &str) -> Result<PlanSummary, SqlError> {
         let statements = parse_script(sql)?;
         for stmt in &statements {
             match stmt {
@@ -156,8 +188,11 @@ impl SqlEngine {
         }
         for stmt in &statements {
             if let Statement::Select(s) = stmt {
-                let planner = Planner::new(&self.db, &self.functions);
-                return Ok(planner.plan_select(s)?.plan_class());
+                let plan = self.planner().plan_select(s)?;
+                return Ok(PlanSummary {
+                    class: plan.plan_class(),
+                    rules_fired: plan.rules_fired,
+                });
             }
         }
         Err(SqlError::Plan("no SELECT statement in script".into()))
@@ -259,8 +294,7 @@ impl SqlEngine {
         limits: QueryLimits,
         started: Instant,
     ) -> Result<StatementOutcome, SqlError> {
-        let planner = Planner::new(&self.db, &self.functions);
-        let plan = planner.plan_select(select)?;
+        let plan = self.planner().plan_select(select)?;
         let rendered = if self.capture_plans {
             Some(plan.render())
         } else {
@@ -308,9 +342,7 @@ impl SqlEngine {
             .collect();
         self.db.create_table(target, TableSchema::new(columns))?;
         let ts = self.db.next_timestamp();
-        let inserted = self
-            .db
-            .insert_many(target, result.rows.clone(), ts)?;
+        let inserted = self.db.insert_many(target, result.rows.clone(), ts)?;
         Ok(inserted)
     }
 
@@ -355,8 +387,7 @@ impl SqlEngine {
                     .collect::<Result<_, _>>()?
             }
             InsertSource::Select(select) => {
-                let planner = Planner::new(&self.db, &self.functions);
-                let plan = planner.plan_select(select)?;
+                let plan = self.planner().plan_select(select)?;
                 let executor = Executor::new(&self.db, &self.functions, &self.variables, limits);
                 executor.execute_select(&plan)?.result.rows
             }
@@ -563,9 +594,14 @@ mod tests {
         db.create_table("photoObj", schema).unwrap();
         db.create_index(IndexDef::new("pk_photoObj", "photoObj", &["objID"]).unique())
             .unwrap();
-        db.create_index(IndexDef::new("ix_htm", "photoObj", &["htmID"])).unwrap();
-        db.create_view("Galaxy", "select * from photoObj where type = 3", "galaxies")
+        db.create_index(IndexDef::new("ix_htm", "photoObj", &["htmID"]))
             .unwrap();
+        db.create_view(
+            "Galaxy",
+            "select * from photoObj where type = 3",
+            "galaxies",
+        )
+        .unwrap();
         db.create_view("Star", "select * from photoObj where type = 6", "stars")
             .unwrap();
         for i in 0..200i64 {
@@ -614,7 +650,8 @@ mod tests {
                 let obj_ra = row[ra_idx].as_f64().unwrap_or(0.0);
                 let d = (obj_ra - ra).abs();
                 if d <= radius {
-                    rs.rows.push(vec![row[id_idx].clone(), Value::Float(d * 60.0)]);
+                    rs.rows
+                        .push(vec![row[id_idx].clone(), Value::Float(d * 60.0)]);
                 }
             }
             Ok(rs)
@@ -625,7 +662,9 @@ mod tests {
     #[test]
     fn simple_select_and_projection() {
         let mut e = engine();
-        let r = e.query("select objID, ra from photoObj where objID = 5").unwrap();
+        let r = e
+            .query("select objID, ra from photoObj where objID = 5")
+            .unwrap();
         assert_eq!(r.len(), 1);
         assert_eq!(r.cell(0, "objID"), Some(&Value::Int(5)));
     }
@@ -727,7 +766,9 @@ mod tests {
             .unwrap();
         assert_eq!(r.len(), 2);
         assert_eq!(r.rows[0][0], Value::Int(6));
-        let r = e.query("select top 7 objID from photoObj order by objID").unwrap();
+        let r = e
+            .query("select top 7 objID from photoObj order by objID")
+            .unwrap();
         assert_eq!(r.len(), 7);
     }
 
@@ -763,7 +804,10 @@ mod tests {
             .unwrap();
         assert_eq!(o.rows_affected, 2);
         let o = e
-            .execute("update notes set txt = 'edited' where id = 2", QueryLimits::UNLIMITED)
+            .execute(
+                "update notes set txt = 'edited' where id = 2",
+                QueryLimits::UNLIMITED,
+            )
             .unwrap();
         assert_eq!(o.rows_affected, 1);
         let r = e.query("select txt from notes where id = 2").unwrap();
@@ -836,6 +880,129 @@ mod tests {
     }
 
     #[test]
+    fn left_join_where_filters_after_null_extension() {
+        let mut e = engine();
+        e.execute(
+            "create table a (id bigint not null, primary key (id))",
+            QueryLimits::UNLIMITED,
+        )
+        .unwrap();
+        e.execute(
+            "create table b (id bigint not null, x bigint not null, primary key (id))",
+            QueryLimits::UNLIMITED,
+        )
+        .unwrap();
+        e.execute("insert into a (id) values (1), (2)", QueryLimits::UNLIMITED)
+            .unwrap();
+        e.execute(
+            "insert into b (id, x) values (1, 5)",
+            QueryLimits::UNLIMITED,
+        )
+        .unwrap();
+        // A WHERE predicate on the nullable side filters the NULL-extended
+        // row out: only the matched row survives.
+        let r = e
+            .query("select a.id from a left join b on a.id = b.id where b.x = 5")
+            .unwrap();
+        assert_eq!(r.rows, vec![vec![Value::Int(1)]]);
+        // The anti-join idiom keeps exactly the unmatched row.
+        let r = e
+            .query("select a.id from a left join b on a.id = b.id where b.x is null")
+            .unwrap();
+        assert_eq!(r.rows, vec![vec![Value::Int(2)]]);
+        // Without a WHERE, both rows come back (one NULL-extended).
+        let r = e
+            .query("select a.id, b.x from a left join b on a.id = b.id order by a.id")
+            .unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.rows[1][1], Value::Null);
+    }
+
+    #[test]
+    fn left_join_against_a_merged_view_preserves_outer_rows() {
+        let mut e = engine();
+        // No star is a galaxy, so every one of the 100 stars is preserved
+        // NULL-extended.  The Galaxy view's qualifiers must filter the
+        // *scan*, not the joined result — otherwise the NULL rows vanish.
+        let r = e
+            .query("select count(*) from Star s left join Galaxy g on s.objID = g.objID")
+            .unwrap();
+        assert_eq!(r.scalar(), Some(&Value::Int(100)));
+        let r = e
+            .query(
+                "select count(*) from Star s left join Galaxy g on s.objID = g.objID \
+                 where g.objID is null",
+            )
+            .unwrap();
+        assert_eq!(r.scalar(), Some(&Value::Int(100)));
+    }
+
+    #[test]
+    fn explain_lists_fired_rules_for_figure_10_and_11_shapes() {
+        let mut e = engine();
+        // Figure 10: a spatial table-valued function drives a nested-loop
+        // join that probes the objID B-tree.
+        let fig10 = e
+            .explain(
+                "select G.objID, GN.distance from Galaxy as G \
+                 join fGetNearbyObjEq(180.5, -0.5, 120) as GN on G.objID = GN.objID \
+                 where (G.flags & 64) = 0 order by distance",
+            )
+            .unwrap();
+        assert!(fig10.contains("TableFunction(fGetNearbyObjEq"));
+        assert!(fig10.contains("-- optimizer rules fired:"));
+        for rule in [
+            "view_merge",
+            "predicate_pushdown",
+            "spatial_join_rewrite",
+            "join_strategy",
+        ] {
+            assert!(fig10.contains(rule), "{rule} missing from:\n{fig10}");
+        }
+        // Figure 11: an unindexed arithmetic predicate falls back to a
+        // parallel sequential scan (threshold lowered below the 200 rows).
+        e.set_parallel_scan_threshold(100);
+        let fig11 = e
+            .explain("select count(*) from photoObj where (rowv*rowv + colv*colv) > 1")
+            .unwrap();
+        assert!(fig11.contains("ParallelTableScan(photoObj"), "{fig11}");
+        assert!(fig11.contains("parallel_scan_fallback"), "{fig11}");
+        // And the plan summary agrees.
+        let summary = e
+            .plan_summary("select count(*) from photoObj where (rowv*rowv + colv*colv) > 1")
+            .unwrap();
+        assert_eq!(summary.class, PlanClass::Scan);
+        assert!(summary.rules_fired.contains(&"parallel_scan_fallback"));
+    }
+
+    #[test]
+    fn parallel_scan_returns_the_same_rows_as_serial() {
+        let mut serial = engine();
+        let mut parallel = engine();
+        parallel.set_parallel_scan_threshold(1);
+        let sql = "select objID from photoObj where modelMag_r < 18 order by objID";
+        let a = serial.query(sql).unwrap();
+        let b = parallel.query(sql).unwrap();
+        assert_eq!(a.rows, b.rows);
+        assert!(!a.rows.is_empty());
+    }
+
+    #[test]
+    fn limit_hint_stops_the_scan_early() {
+        let mut e = engine();
+        e.set_capture_plans(true);
+        let outcome = e
+            .execute("select top 5 objID from photoObj", QueryLimits::UNLIMITED)
+            .unwrap();
+        assert_eq!(outcome.result.len(), 5);
+        // An objID-only query is answered from the covering pk index, and
+        // the hint stops that scan after 5 entries instead of all 200.
+        assert_eq!(outcome.stats.stats.rows_from_index, 5);
+        assert_eq!(outcome.stats.stats.rows_scanned, 0);
+        assert!(outcome.plan.unwrap().contains("limit 5"));
+    }
+
+    #[test]
     fn stats_report_rows_and_simulation() {
         let mut e = engine();
         e.set_paper_scale_factor(Some(70_000.0));
@@ -859,7 +1026,10 @@ mod tests {
         assert!(e.query("select nonsense syntax here from").is_err());
         assert!(e.query("select dbo.fMissing(1) from photoObj").is_err());
         assert!(e
-            .execute("insert into photoObj (objID) values (1, 2)", QueryLimits::UNLIMITED)
+            .execute(
+                "insert into photoObj (objID) values (1, 2)",
+                QueryLimits::UNLIMITED
+            )
             .is_err());
     }
 

@@ -3,9 +3,10 @@
 //! A Volcano-style pipeline specialised to the left-deep plans the planner
 //! produces: materialise the driving source, fold in each join step
 //! (index-lookup / hash / nested-loop), apply the residual filter, then
-//! aggregate / sort / dedupe / limit and project.  Heap scans of large
-//! tables run in parallel worker threads (crossbeam), mirroring the paper's
-//! parallel sequential scans.
+//! aggregate / sort / dedupe / limit and project.  Scans the optimizer's
+//! parallel-scan rule marked [`AccessPath::ParallelHeapScan`] fan out over
+//! scoped worker threads, mirroring the paper's parallel sequential scans;
+//! scans granted a limit hint stop reading early.
 
 use crate::ast::{Expr, JoinKind};
 use crate::error::SqlError;
@@ -38,9 +39,6 @@ impl QueryLimits {
         max_seconds: Some(30.0),
     };
 }
-
-/// Minimum table size before a heap scan fans out over worker threads.
-const PARALLEL_SCAN_THRESHOLD: usize = 65_536;
 
 /// Executes SELECT plans.
 pub struct Executor<'a> {
@@ -132,29 +130,31 @@ impl<'a> Executor<'a> {
         // ------------------------------------------------------------------
         // Aggregation or plain projection.
         // ------------------------------------------------------------------
-        let mut projected: Vec<(Vec<Value>, Vec<Value>)> = if plan.has_aggregates
-            || !plan.group_by.is_empty()
-        {
-            self.aggregate(plan, &schema, rows)?
-        } else {
-            let ctx = self.ctx(&schema);
-            let mut out = Vec::with_capacity(rows.len());
-            for row in rows {
-                let mut proj = Vec::with_capacity(plan.projections.len());
-                for (expr, _) in &plan.projections {
-                    proj.push(eval(expr, &row, &ctx)?);
+        let mut projected: Vec<(Vec<Value>, Vec<Value>)> =
+            if plan.has_aggregates || !plan.group_by.is_empty() {
+                self.aggregate(plan, &schema, rows)?
+            } else {
+                let ctx = self.ctx(&schema);
+                let mut out = Vec::with_capacity(rows.len());
+                for row in rows {
+                    let mut proj = Vec::with_capacity(plan.projections.len());
+                    for (expr, _) in &plan.projections {
+                        proj.push(eval(expr, &row, &ctx)?);
+                    }
+                    out.push((row, proj));
                 }
-                out.push((row, proj));
-            }
-            out
-        };
+                out
+            };
         // ------------------------------------------------------------------
         // ORDER BY, DISTINCT, TOP.
         // ------------------------------------------------------------------
         if !plan.order_by.is_empty() {
-            let output_names: Vec<&str> = plan.projections.iter().map(|(_, n)| n.as_str()).collect();
+            let output_names: Vec<&str> =
+                plan.projections.iter().map(|(_, n)| n.as_str()).collect();
             let ctx = self.ctx(&schema);
-            let mut keyed: Vec<(Vec<Value>, (Vec<Value>, Vec<Value>))> = Vec::with_capacity(projected.len());
+            // (sort keys, (input row, projected row))
+            type KeyedRow = (Vec<Value>, (Vec<Value>, Vec<Value>));
+            let mut keyed: Vec<KeyedRow> = Vec::with_capacity(projected.len());
             for (row, proj) in projected {
                 let mut keys = Vec::with_capacity(plan.order_by.len());
                 for item in &plan.order_by {
@@ -163,10 +163,7 @@ impl<'a> Executor<'a> {
                         Expr::Column {
                             qualifier: None,
                             name,
-                        } if output_names
-                            .iter()
-                            .any(|n| n.eq_ignore_ascii_case(name)) =>
-                        {
+                        } if output_names.iter().any(|n| n.eq_ignore_ascii_case(name)) => {
                             let idx = output_names
                                 .iter()
                                 .position(|n| n.eq_ignore_ascii_case(name))
@@ -233,9 +230,7 @@ impl<'a> Executor<'a> {
         stats: &mut ScanStats,
     ) -> Result<(Vec<Vec<Value>>, RowSchema), SqlError> {
         match &source.kind {
-            SourceKind::Table { table, path } => {
-                self.scan_table(table, path, source, stats)
-            }
+            SourceKind::Table { table, path } => self.scan_table(table, path, source, stats),
             SourceKind::TableFunction { name, args } => {
                 let tf = self
                     .functions
@@ -292,32 +287,47 @@ impl<'a> Executor<'a> {
         stats: &mut ScanStats,
     ) -> Result<(Vec<Vec<Value>>, RowSchema), SqlError> {
         let t = self.db.table(table)?;
-        let full_schema = RowSchema::for_table(
-            Some(&source.alias),
-            &t.schema().column_names(),
-        );
+        let full_schema = RowSchema::for_table(Some(&source.alias), &t.schema().column_names());
         match path {
             AccessPath::HeapScan => {
                 let pred = source.pushed_predicate.as_ref();
                 let avg = t.avg_row_bytes().max(1);
-                let rows = if t.row_count() >= PARALLEL_SCAN_THRESHOLD {
-                    self.parallel_heap_scan(t, &full_schema, pred, stats)?
-                } else {
-                    let ctx = self.ctx(&full_schema);
-                    let mut out = Vec::new();
-                    for (_, row) in t.iter() {
-                        stats.rows_scanned += 1;
-                        if let Some(p) = pred {
-                            stats.predicates_evaluated += 1;
-                            if !eval(p, row, &ctx)?.is_truthy() {
-                                continue;
-                            }
+                let ctx = self.ctx(&full_schema);
+                let mut out = Vec::new();
+                let mut scanned = 0u64;
+                for (_, row) in t.iter() {
+                    scanned += 1;
+                    if let Some(p) = pred {
+                        stats.predicates_evaluated += 1;
+                        if !eval(p, row, &ctx)?.is_truthy() {
+                            continue;
                         }
-                        out.push(row.to_vec());
                     }
-                    out
-                };
-                stats.bytes_scanned += stats.rows_scanned.saturating_mul(avg);
+                    out.push(row.to_vec());
+                    if source.limit_hint.is_some_and(|l| out.len() as u64 >= l) {
+                        break;
+                    }
+                }
+                stats.rows_scanned += scanned;
+                stats.bytes_scanned += scanned.saturating_mul(avg);
+                Ok((out, full_schema))
+            }
+            AccessPath::ParallelHeapScan { workers } => {
+                let pred = source.pushed_predicate.as_ref();
+                let avg = t.avg_row_bytes().max(1);
+                // Count only this scan's rows towards its byte volume; the
+                // stats accumulator already carries earlier sources.
+                let before = stats.rows_scanned;
+                let rows = self.parallel_heap_scan(
+                    t,
+                    &full_schema,
+                    pred,
+                    *workers,
+                    source.limit_hint,
+                    stats,
+                )?;
+                let scanned = stats.rows_scanned - before;
+                stats.bytes_scanned += scanned.saturating_mul(avg);
                 Ok((rows, full_schema))
             }
             AccessPath::IndexSeek { index, bounds } => {
@@ -341,7 +351,10 @@ impl<'a> Executor<'a> {
                         None => None,
                     };
                     let hi = match &bounds.upper {
-                        Some((e, _)) => Some(IndexKey(vec![eval(e, &[], &ctx)?, Value::str("\u{10FFFF}")])),
+                        Some((e, _)) => Some(IndexKey(vec![
+                            eval(e, &[], &ctx)?,
+                            Value::str("\u{10FFFF}"),
+                        ])),
                         None => None,
                     };
                     idx.seek_range(lo.as_ref(), hi.as_ref())
@@ -364,6 +377,9 @@ impl<'a> Executor<'a> {
                         }
                     }
                     out.push(row.to_vec());
+                    if source.limit_hint.is_some_and(|l| out.len() as u64 >= l) {
+                        break;
+                    }
                 }
                 Ok((out, full_schema))
             }
@@ -375,7 +391,7 @@ impl<'a> Executor<'a> {
                 let covered: Vec<&str> = idx.def().covered_columns();
                 let schema = RowSchema::for_table(Some(&source.alias), &covered);
                 let ctx = self.ctx(&schema);
-                let entry_bytes = if idx.len() > 0 {
+                let entry_bytes = if !idx.is_empty() {
                     (idx.bytes() / idx.len() as u64).max(1)
                 } else {
                     1
@@ -393,6 +409,9 @@ impl<'a> Executor<'a> {
                         }
                     }
                     out.push(row);
+                    if source.limit_hint.is_some_and(|l| out.len() as u64 >= l) {
+                        break;
+                    }
                 }
                 Ok((out, schema))
             }
@@ -404,47 +423,59 @@ impl<'a> Executor<'a> {
         t: &skyserver_storage::Table,
         schema: &RowSchema,
         pred: Option<&Expr>,
+        workers: usize,
+        limit_hint: Option<u64>,
         stats: &mut ScanStats,
     ) -> Result<Vec<Vec<Value>>, SqlError> {
-        let workers = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(2)
-            .min(8);
+        let workers = workers
+            .min(
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(2),
+            )
+            .max(1);
         let partitions = t.partition_row_ids(workers);
-        let results: Vec<Result<(Vec<Vec<Value>>, u64, u64), SqlError>> =
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = partitions
-                    .iter()
-                    .map(|&(lo, hi)| {
-                        scope.spawn(move || {
-                            let ctx = EvalContext {
-                                schema,
-                                variables: self.variables,
-                                functions: self.functions,
-                                aggregates: None,
-                            };
-                            let mut out = Vec::new();
-                            let mut scanned = 0u64;
-                            let mut evaluated = 0u64;
-                            for (_, row) in t.iter_range(lo, hi) {
-                                scanned += 1;
-                                if let Some(p) = pred {
-                                    evaluated += 1;
-                                    if !eval(p, row, &ctx)?.is_truthy() {
-                                        continue;
-                                    }
+        // (partition rows, rows scanned, predicates evaluated)
+        type PartitionScan = Result<(Vec<Vec<Value>>, u64, u64), SqlError>;
+        let results: Vec<PartitionScan> = std::thread::scope(|scope| {
+            let handles: Vec<_> = partitions
+                .iter()
+                .map(|&(lo, hi)| {
+                    scope.spawn(move || {
+                        let ctx = EvalContext {
+                            schema,
+                            variables: self.variables,
+                            functions: self.functions,
+                            aggregates: None,
+                        };
+                        let mut out = Vec::new();
+                        let mut scanned = 0u64;
+                        let mut evaluated = 0u64;
+                        for (_, row) in t.iter_range(lo, hi) {
+                            scanned += 1;
+                            if let Some(p) = pred {
+                                evaluated += 1;
+                                if !eval(p, row, &ctx)?.is_truthy() {
+                                    continue;
                                 }
-                                out.push(row.to_vec());
                             }
-                            Ok((out, scanned, evaluated))
-                        })
+                            out.push(row.to_vec());
+                            // Each worker may stop at the limit: the
+                            // merged result still has at least `limit`
+                            // rows whenever the table does.
+                            if limit_hint.is_some_and(|l| out.len() as u64 >= l) {
+                                break;
+                            }
+                        }
+                        Ok((out, scanned, evaluated))
                     })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("scan worker panicked"))
-                    .collect()
-            });
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("scan worker panicked"))
+                .collect()
+        });
         let mut rows = Vec::new();
         for r in results {
             let (part, scanned, evaluated) = r?;
@@ -505,7 +536,9 @@ impl<'a> Executor<'a> {
                     let matches = idx.seek_prefix(&key);
                     let mut matched = false;
                     for (_, entry) in matches {
-                        let Some(inner_row) = t.get(entry.row_id) else { continue };
+                        let Some(inner_row) = t.get(entry.row_id) else {
+                            continue;
+                        };
                         stats.rows_from_index += 1;
                         stats.bytes_from_index += avg;
                         if let Some(p) = &inner.pushed_predicate {
@@ -527,7 +560,7 @@ impl<'a> Executor<'a> {
                     }
                     if !matched && step.kind == JoinKind::Left {
                         let mut combined = outer_row.clone();
-                        combined.extend(std::iter::repeat(Value::Null).take(inner_full_schema.len()));
+                        combined.extend(std::iter::repeat_n(Value::Null, inner_full_schema.len()));
                         out.push(combined);
                     }
                 }
@@ -581,8 +614,7 @@ impl<'a> Executor<'a> {
                     }
                     if !matched && step.kind == JoinKind::Left {
                         let mut combined = outer_row.clone();
-                        combined
-                            .extend(std::iter::repeat(Value::Null).take(inner_schema.len()));
+                        combined.extend(std::iter::repeat_n(Value::Null, inner_schema.len()));
                         out.push(combined);
                     }
                 }
@@ -610,8 +642,7 @@ impl<'a> Executor<'a> {
                     }
                     if !matched && step.kind == JoinKind::Left {
                         let mut combined = outer_row.clone();
-                        combined
-                            .extend(std::iter::repeat(Value::Null).take(inner_schema.len()));
+                        combined.extend(std::iter::repeat_n(Value::Null, inner_schema.len()));
                         out.push(combined);
                     }
                 }
@@ -658,7 +689,9 @@ impl<'a> Executor<'a> {
         for (_key, group_rows) in groups {
             let mut agg_values: HashMap<String, Value> = HashMap::new();
             for agg in &agg_exprs {
-                let Expr::Function { name, args } = agg else { continue };
+                let Expr::Function { name, args } = agg else {
+                    continue;
+                };
                 let value = self.eval_aggregate(name, args, &group_rows, &ctx)?;
                 agg_values.insert(aggregate_key(agg), value);
             }

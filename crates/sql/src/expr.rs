@@ -324,7 +324,11 @@ fn eval_binary(
                     "bitwise operator {op} needs integer operands, got {l} and {r}"
                 )));
             };
-            Ok(Value::Int(if op == BinaryOp::BitAnd { a & b } else { a | b }))
+            Ok(Value::Int(if op == BinaryOp::BitAnd {
+                a & b
+            } else {
+                a | b
+            }))
         }
         BinaryOp::And | BinaryOp::Or => unreachable!("handled above"),
     }
@@ -481,11 +485,11 @@ mod tests {
             eval_where("rowv*rowv + colv*colv between 50 and 1000", &schema, &row),
             Value::Bool(true)
         );
+        assert_eq!(eval_where("rowv > colv", &schema, &row), Value::Bool(false));
         assert_eq!(
-            eval_where("rowv > colv", &schema, &row),
-            Value::Bool(false)
+            eval_where("rowv + 5 = 15", &schema, &row),
+            Value::Bool(true)
         );
-        assert_eq!(eval_where("rowv + 5 = 15", &schema, &row), Value::Bool(true));
         assert_eq!(
             eval_where("rowv / 4 = 2.5", &schema, &row),
             Value::Bool(true)
@@ -512,9 +516,18 @@ mod tests {
     fn bitwise_flag_test() {
         let schema = RowSchema::for_table(None, &["flags"]);
         let row = vec![Value::Int(0b1010)];
-        assert_eq!(eval_where("(flags & 2) = 0", &schema, &row), Value::Bool(false));
-        assert_eq!(eval_where("(flags & 4) = 0", &schema, &row), Value::Bool(true));
-        assert_eq!(eval_where("(flags | 1) = 11", &schema, &row), Value::Bool(true));
+        assert_eq!(
+            eval_where("(flags & 2) = 0", &schema, &row),
+            Value::Bool(false)
+        );
+        assert_eq!(
+            eval_where("(flags & 4) = 0", &schema, &row),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            eval_where("(flags | 1) = 11", &schema, &row),
+            Value::Bool(true)
+        );
     }
 
     #[test]
@@ -522,10 +535,19 @@ mod tests {
         let schema = RowSchema::for_table(None, &["a"]);
         let row = vec![Value::Null];
         assert_eq!(eval_where("a > 1 and 1 = 1", &schema, &row), Value::Null);
-        assert_eq!(eval_where("a > 1 and 1 = 2", &schema, &row), Value::Bool(false));
-        assert_eq!(eval_where("a > 1 or 1 = 1", &schema, &row), Value::Bool(true));
+        assert_eq!(
+            eval_where("a > 1 and 1 = 2", &schema, &row),
+            Value::Bool(false)
+        );
+        assert_eq!(
+            eval_where("a > 1 or 1 = 1", &schema, &row),
+            Value::Bool(true)
+        );
         assert_eq!(eval_where("a is null", &schema, &row), Value::Bool(true));
-        assert_eq!(eval_where("a is not null", &schema, &row), Value::Bool(false));
+        assert_eq!(
+            eval_where("a is not null", &schema, &row),
+            Value::Bool(false)
+        );
         assert_eq!(eval_where("not a > 1", &schema, &row), Value::Null);
     }
 
@@ -533,12 +555,16 @@ mod tests {
     fn in_list_and_case() {
         let schema = RowSchema::for_table(None, &["type"]);
         let row = vec![Value::Int(3)];
-        assert_eq!(eval_where("type in (3, 6)", &schema, &row), Value::Bool(true));
-        assert_eq!(eval_where("type not in (3, 6)", &schema, &row), Value::Bool(false));
-        let stmt = parse_select(
-            "select case when type = 3 then 'galaxy' else 'other' end from t",
-        )
-        .unwrap();
+        assert_eq!(
+            eval_where("type in (3, 6)", &schema, &row),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            eval_where("type not in (3, 6)", &schema, &row),
+            Value::Bool(false)
+        );
+        let stmt = parse_select("select case when type = 3 then 'galaxy' else 'other' end from t")
+            .unwrap();
         let vars = HashMap::new();
         let funcs = FunctionRegistry::new();
         let c = ctx(&schema, &vars, &funcs);
@@ -557,7 +583,10 @@ mod tests {
         assert!(!like_match("", "_"));
         let schema = RowSchema::for_table(None, &["name"]);
         let row = vec![Value::str("M64")];
-        assert_eq!(eval_where("name like 'm%'", &schema, &row), Value::Bool(true));
+        assert_eq!(
+            eval_where("name like 'm%'", &schema, &row),
+            Value::Bool(true)
+        );
     }
 
     #[test]
@@ -635,7 +664,9 @@ mod tests {
 
     #[test]
     fn type_inference() {
-        let stmt = parse_select("select count(*), a > 1, a & 2, sqrt(a), cast(a as varchar) from t").unwrap();
+        let stmt =
+            parse_select("select count(*), a > 1, a & 2, sqrt(a), cast(a as varchar) from t")
+                .unwrap();
         let types: Vec<DataType> = stmt
             .projections
             .iter()

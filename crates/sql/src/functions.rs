@@ -21,8 +21,7 @@ pub type ScalarFn = Arc<dyn Fn(&[Value]) -> Result<Value, SqlError> + Send + Syn
 /// A table-valued user-defined function: it receives the database (so
 /// spatial functions can probe the PhotoObj table) plus its arguments and
 /// returns a result set.
-pub type TableFn =
-    Arc<dyn Fn(&Database, &[Value]) -> Result<ResultSet, SqlError> + Send + Sync>;
+pub type TableFn = Arc<dyn Fn(&Database, &[Value]) -> Result<ResultSet, SqlError> + Send + Sync>;
 
 /// A registered table-valued function: its output column names plus the
 /// implementation.  The planner needs the column names to bind references
@@ -223,14 +222,13 @@ fn unary_math(name: &str, args: &[Value], f: impl Fn(f64) -> f64) -> Result<Valu
     }
 }
 
-fn binary_math(
-    name: &str,
-    args: &[Value],
-    f: impl Fn(f64, f64) -> f64,
-) -> Result<Value, SqlError> {
+fn binary_math(name: &str, args: &[Value], f: impl Fn(f64, f64) -> f64) -> Result<Value, SqlError> {
     match args {
         [a, b] if a.is_null() || b.is_null() => Ok(Value::Null),
-        [a, b] => Ok(Value::Float(f(numeric_arg(name, a)?, numeric_arg(name, b)?))),
+        [a, b] => Ok(Value::Float(f(
+            numeric_arg(name, a)?,
+            numeric_arg(name, b)?,
+        ))),
         _ => Err(SqlError::Execution(format!("{name}() takes two arguments"))),
     }
 }
@@ -255,7 +253,9 @@ mod tests {
             Value::Float(3.0)
         );
         assert_eq!(
-            eval_builtin("POWER", &[Value::Int(2), Value::Int(10)]).unwrap().unwrap(),
+            eval_builtin("POWER", &[Value::Int(2), Value::Int(10)])
+                .unwrap()
+                .unwrap(),
             Value::Float(1024.0)
         );
         assert_eq!(
@@ -265,7 +265,9 @@ mod tests {
         let pi = eval_builtin("pi", &[]).unwrap().unwrap();
         assert!((pi.as_f64().unwrap() - std::f64::consts::PI).abs() < 1e-12);
         assert_eq!(
-            eval_builtin("round", &[Value::Float(2.567), Value::Int(2)]).unwrap().unwrap(),
+            eval_builtin("round", &[Value::Float(2.567), Value::Int(2)])
+                .unwrap()
+                .unwrap(),
             Value::Float(2.57)
         );
     }
@@ -273,7 +275,9 @@ mod tests {
     #[test]
     fn builtin_strings() {
         assert_eq!(
-            eval_builtin("upper", &[Value::str("ngc")]).unwrap().unwrap(),
+            eval_builtin("upper", &[Value::str("ngc")])
+                .unwrap()
+                .unwrap(),
             Value::str("NGC")
         );
         assert_eq!(
@@ -281,9 +285,12 @@ mod tests {
             Value::Int(3)
         );
         assert_eq!(
-            eval_builtin("substring", &[Value::str("skyserver"), Value::Int(4), Value::Int(6)])
-                .unwrap()
-                .unwrap(),
+            eval_builtin(
+                "substring",
+                &[Value::str("skyserver"), Value::Int(4), Value::Int(6)]
+            )
+            .unwrap()
+            .unwrap(),
             Value::str("server")
         );
         assert_eq!(
@@ -305,7 +312,9 @@ mod tests {
             Value::Int(3)
         );
         assert_eq!(
-            eval_builtin("nullif", &[Value::Int(3), Value::Int(3)]).unwrap().unwrap(),
+            eval_builtin("nullif", &[Value::Int(3), Value::Int(3)])
+                .unwrap()
+                .unwrap(),
             Value::Null
         );
     }
@@ -328,7 +337,11 @@ mod tests {
     fn registry_round_trip() {
         let mut reg = FunctionRegistry::new();
         reg.register_scalar("dbo.fPhotoFlags", |args| {
-            Ok(Value::Int(if args[0] == Value::str("saturated") { 64 } else { 0 }))
+            Ok(Value::Int(if args[0] == Value::str("saturated") {
+                64
+            } else {
+                0
+            }))
         });
         reg.register_table("fGetNearbyObjEq", &["objID", "distance"], |_db, _args| {
             Ok(ResultSet::empty(vec!["objID".into(), "distance".into()]))

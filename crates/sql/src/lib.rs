@@ -51,7 +51,7 @@ pub mod plan;
 pub mod planner;
 pub mod result;
 
-pub use engine::SqlEngine;
+pub use engine::{PlanSummary, SqlEngine};
 pub use error::SqlError;
 pub use executor::{Executor, QueryLimits};
 pub use expr::{eval, EvalContext, RowSchema};
@@ -65,7 +65,7 @@ pub use result::{ResultSet, StatementOutcome};
 mod proptests {
     use super::*;
     use proptest::prelude::*;
-    use skyserver_storage::{ColumnDef, Database, DataType, IndexDef, TableSchema, Value};
+    use skyserver_storage::{ColumnDef, DataType, Database, IndexDef, TableSchema, Value};
 
     fn engine_with_values(values: &[(i64, f64)]) -> SqlEngine {
         let mut db = Database::new("prop");
@@ -77,9 +77,11 @@ mod proptests {
             ]),
         )
         .unwrap();
-        db.create_index(IndexDef::new("ix_id", "t", &["id"])).unwrap();
+        db.create_index(IndexDef::new("ix_id", "t", &["id"]))
+            .unwrap();
         for (id, v) in values {
-            db.insert("t", vec![Value::Int(*id), Value::Float(*v)]).unwrap();
+            db.insert("t", vec![Value::Int(*id), Value::Float(*v)])
+                .unwrap();
         }
         SqlEngine::new(db, FunctionRegistry::new())
     }

@@ -166,9 +166,10 @@ impl Parser {
         if self.eat_keyword("top") {
             match self.advance() {
                 Token::Number(n) => {
-                    stmt.top = Some(n.parse::<u64>().map_err(|_| {
-                        SqlError::Parse(format!("invalid TOP count {n}"))
-                    })?);
+                    stmt.top = Some(
+                        n.parse::<u64>()
+                            .map_err(|_| SqlError::Parse(format!("invalid TOP count {n}")))?,
+                    );
                 }
                 other => {
                     return Err(SqlError::Parse(format!(
@@ -236,9 +237,7 @@ impl Parser {
                 items.push(SelectItem::QualifiedWildcard(q));
             } else {
                 let expr = self.parse_expr()?;
-                let alias = if self.eat_keyword("as") {
-                    Some(self.expect_ident()?)
-                } else if self.projection_alias_follows() {
+                let alias = if self.eat_keyword("as") || self.projection_alias_follows() {
                     Some(self.expect_ident()?)
                 } else {
                     None
@@ -258,9 +257,28 @@ impl Parser {
         match self.peek() {
             Token::Ident(s) => !matches!(
                 s.to_ascii_lowercase().as_str(),
-                "from" | "into" | "where" | "group" | "having" | "order" | "join" | "on"
-                    | "inner" | "left" | "cross" | "union" | "as" | "and" | "or" | "between"
-                    | "not" | "in" | "like" | "is" | "asc" | "desc"
+                "from"
+                    | "into"
+                    | "where"
+                    | "group"
+                    | "having"
+                    | "order"
+                    | "join"
+                    | "on"
+                    | "inner"
+                    | "left"
+                    | "cross"
+                    | "union"
+                    | "as"
+                    | "and"
+                    | "or"
+                    | "between"
+                    | "not"
+                    | "in"
+                    | "like"
+                    | "is"
+                    | "asc"
+                    | "desc"
             ),
             _ => false,
         }
@@ -339,9 +357,7 @@ impl Parser {
                 }
             }
         };
-        let alias = if self.eat_keyword("as") {
-            Some(self.expect_ident()?)
-        } else if self.from_alias_follows() {
+        let alias = if self.eat_keyword("as") || self.table_alias_follows() {
             Some(self.expect_ident()?)
         } else {
             None
@@ -354,12 +370,22 @@ impl Parser {
         })
     }
 
-    fn from_alias_follows(&self) -> bool {
+    fn table_alias_follows(&self) -> bool {
         match self.peek() {
             Token::Ident(s) => !matches!(
                 s.to_ascii_lowercase().as_str(),
-                "where" | "group" | "having" | "order" | "join" | "on" | "inner" | "left"
-                    | "cross" | "union" | "as" | "select"
+                "where"
+                    | "group"
+                    | "having"
+                    | "order"
+                    | "join"
+                    | "on"
+                    | "inner"
+                    | "left"
+                    | "cross"
+                    | "union"
+                    | "as"
+                    | "select"
             ),
             _ => false,
         }
@@ -479,9 +505,8 @@ impl Parser {
                         }
                         self.expect(&Token::RParen)?;
                     }
-                    let ty = DataType::parse(&ty_name).ok_or_else(|| {
-                        SqlError::Parse(format!("unknown column type {ty_name}"))
-                    })?;
+                    let ty = DataType::parse(&ty_name)
+                        .ok_or_else(|| SqlError::Parse(format!("unknown column type {ty_name}")))?;
                     let mut nullable = true;
                     if self.peek_keyword("not") {
                         self.advance();
@@ -820,9 +845,7 @@ impl Parser {
                 } else {
                     n.parse::<i64>()
                         .map(|i| Expr::Literal(Value::Int(i)))
-                        .or_else(|_| {
-                            n.parse::<f64>().map(|f| Expr::Literal(Value::Float(f)))
-                        })
+                        .or_else(|_| n.parse::<f64>().map(|f| Expr::Literal(Value::Float(f))))
                         .map_err(|_| SqlError::Parse(format!("bad numeric literal {n}")))
                 }
             }
@@ -951,8 +974,8 @@ mod tests {
 
     #[test]
     fn parses_basic_select() {
-        let s = parse_select("select objID, ra, dec from photoObj where ra > 180 and dec < 0")
-            .unwrap();
+        let s =
+            parse_select("select objID, ra, dec from photoObj where ra > 180 and dec < 0").unwrap();
         assert_eq!(s.projections.len(), 3);
         assert_eq!(s.from.len(), 1);
         assert!(s.selection.is_some());
@@ -964,8 +987,8 @@ mod tests {
 
     #[test]
     fn parses_top_distinct_order() {
-        let s = parse_select("select distinct top 10 type from PhotoObj order by type desc")
-            .unwrap();
+        let s =
+            parse_select("select distinct top 10 type from PhotoObj order by type desc").unwrap();
         assert_eq!(s.top, Some(10));
         assert!(s.distinct);
         assert_eq!(s.order_by.len(), 1);
@@ -1017,10 +1040,9 @@ mod tests {
 
     #[test]
     fn parses_comma_join_self_join() {
-        let s = parse_select(
-            "select r.objID, g.objID from PhotoObj r, PhotoObj g where r.run = g.run",
-        )
-        .unwrap();
+        let s =
+            parse_select("select r.objID, g.objID from PhotoObj r, PhotoObj g where r.run = g.run")
+                .unwrap();
         assert_eq!(s.from.len(), 2);
         assert_eq!(s.from[0].alias.as_deref(), Some("r"));
         assert_eq!(s.from[1].alias.as_deref(), Some("g"));
@@ -1098,10 +1120,7 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
-        let ci = parse_statement(
-            "create unique index ix_t on t (mag, id) include (name)",
-        )
-        .unwrap();
+        let ci = parse_statement("create unique index ix_t on t (mag, id) include (name)").unwrap();
         match ci {
             Statement::CreateIndex(c) => {
                 assert!(c.unique);
@@ -1110,8 +1129,8 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
-        let cv = parse_statement("create view Star as select * from PhotoObj where type = 6")
-            .unwrap();
+        let cv =
+            parse_statement("create view Star as select * from PhotoObj where type = 6").unwrap();
         assert!(matches!(cv, Statement::CreateView(_)));
     }
 

@@ -11,10 +11,17 @@ use crate::ast::{Expr, JoinKind, OrderByItem, SelectItem};
 use crate::expr::RowSchema;
 
 /// How a base table is accessed.
+// Plan nodes are built a handful of times per statement; clarity beats the
+// boxing a size-balanced enum would need.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq)]
 pub enum AccessPath {
-    /// Sequential scan of the heap (possibly parallel).
+    /// Serial sequential scan of the heap.
     HeapScan,
+    /// Parallel sequential scan fanned out over `workers` threads — the
+    /// Figure 11 brute-force path, chosen explicitly by the optimizer's
+    /// parallel-scan rule for large unindexed predicates.
+    ParallelHeapScan { workers: usize },
     /// B-tree seek using bounds on the leading key column.
     IndexSeek { index: String, bounds: IndexBounds },
     /// Full scan of a covering index (column subset, 10-100x less IO).
@@ -52,9 +59,13 @@ pub struct SourcePlan {
     pub pushed_predicate: Option<Expr>,
     /// Output schema of the source (all columns qualified by `alias`).
     pub schema: RowSchema,
+    /// Row budget granted by the limit-pushdown rule: the scan may stop
+    /// after producing this many (post-predicate) rows.
+    pub limit_hint: Option<u64>,
 }
 
 /// The kinds of plan sources.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq)]
 pub enum SourceKind {
     /// Base table (or temp table) access.
@@ -126,6 +137,9 @@ pub struct SelectPlan {
     pub into: Option<String>,
     /// Combined input schema (all sources joined) the projections reference.
     pub input_schema: RowSchema,
+    /// Optimizer rules that fired while producing this plan, in pipeline
+    /// order; `EXPLAIN` reports them.
+    pub rules_fired: Vec<&'static str>,
 }
 
 impl SelectPlan {
@@ -137,7 +151,7 @@ impl SelectPlan {
         for s in &self.sources {
             match &s.kind {
                 SourceKind::Table { path, .. } => match path {
-                    AccessPath::HeapScan => has_scan = true,
+                    AccessPath::HeapScan | AccessPath::ParallelHeapScan { .. } => has_scan = true,
                     AccessPath::IndexSeek { .. } | AccessPath::CoveringIndexScan { .. } => {
                         has_seek = true
                     }
@@ -160,6 +174,22 @@ impl SelectPlan {
         }
     }
 
+    /// Full `EXPLAIN` output: the plan tree plus the list of optimizer
+    /// rules that fired (how the reproduction shows *why* a query got its
+    /// Figure-10 or Figure-11 shape).
+    pub fn render_explain(&self) -> String {
+        let mut out = self.render();
+        if self.rules_fired.is_empty() {
+            out.push_str("-- optimizer rules fired: (none)\n");
+        } else {
+            out.push_str(&format!(
+                "-- optimizer rules fired: {}\n",
+                self.rules_fired.join(", ")
+            ));
+        }
+        out
+    }
+
     /// Render the plan as an indented text tree (the EXPLAIN output).
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -172,8 +202,8 @@ impl SelectPlan {
             );
             indent += 1;
         }
-        if self.top.is_some() {
-            push_line(&mut out, indent, &format!("Top({})", self.top.unwrap()));
+        if let Some(top) = self.top {
+            push_line(&mut out, indent, &format!("Top({top})"));
             indent += 1;
         }
         if self.distinct {
@@ -237,8 +267,16 @@ impl SelectPlan {
                 inner_keys,
             } => format!(
                 "HashJoin[{} = {}]",
-                outer_keys.iter().map(render_expr).collect::<Vec<_>>().join(", "),
-                inner_keys.iter().map(render_expr).collect::<Vec<_>>().join(", ")
+                outer_keys
+                    .iter()
+                    .map(render_expr)
+                    .collect::<Vec<_>>()
+                    .join(", "),
+                inner_keys
+                    .iter()
+                    .map(render_expr)
+                    .collect::<Vec<_>>()
+                    .join(", ")
             ),
             JoinStrategy::NestedLoop => "NestedLoopJoin".to_string(),
         };
@@ -283,6 +321,9 @@ fn render_source(out: &mut String, indent: usize, source: &SourcePlan) {
         SourceKind::Table { table, path } => {
             let access = match path {
                 AccessPath::HeapScan => format!("TableScan({table})"),
+                AccessPath::ParallelHeapScan { workers } => {
+                    format!("ParallelTableScan({table} x{workers})")
+                }
                 AccessPath::IndexSeek { index, bounds } => {
                     let mut b = Vec::new();
                     if let Some(e) = &bounds.equals {
@@ -315,14 +356,26 @@ fn render_source(out: &mut String, indent: usize, source: &SourcePlan) {
                 .as_ref()
                 .map(|p| format!(" where {}", render_expr(p)))
                 .unwrap_or_default();
-            push_line(out, indent, &format!("{access} AS {}{pred}", source.alias));
+            let limit = source
+                .limit_hint
+                .map(|n| format!(" limit {n}"))
+                .unwrap_or_default();
+            push_line(
+                out,
+                indent,
+                &format!("{access} AS {}{pred}{limit}", source.alias),
+            );
         }
         SourceKind::TableFunction { name, args } => {
             let a: Vec<String> = args.iter().map(render_expr).collect();
             push_line(
                 out,
                 indent,
-                &format!("TableFunction({name}({})) AS {}", a.join(", "), source.alias),
+                &format!(
+                    "TableFunction({name}({})) AS {}",
+                    a.join(", "),
+                    source.alias
+                ),
             );
         }
         SourceKind::Derived { plan } => {
@@ -421,6 +474,7 @@ mod tests {
             },
             pushed_predicate: None,
             schema: RowSchema::for_table(Some(alias), &["objID", "ra"]),
+            limit_hint: None,
         }
     }
 
@@ -444,6 +498,7 @@ mod tests {
             distinct: false,
             into: None,
             input_schema,
+            rules_fired: Vec::new(),
         }
     }
 
@@ -498,6 +553,7 @@ mod tests {
                     },
                     pushed_predicate: None,
                     schema: RowSchema::for_table(Some("GN"), &["objID", "distance"]),
+                    limit_hint: None,
                 },
                 simple_table_source(
                     "G",

@@ -1,0 +1,470 @@
+//! Name resolution: from an AST `SELECT` to the naive [`LogicalPlan`] the
+//! optimizer rules rewrite.
+//!
+//! The binder makes **no** optimization decisions.  Every base table is
+//! bound as a full heap scan, every view as a materialised derived table
+//! (remembering the view text so the view-merge rule can collapse it later),
+//! and every conjunct from WHERE / inner-join ON clauses is collected into
+//! one classified pool.  The rule pipeline then rewrites this structure into
+//! the physical shape `EXPLAIN` shows.
+
+use crate::ast::{Expr, FromItem, JoinKind, SelectItem, SelectStatement, TableSource};
+use crate::error::SqlError;
+use crate::expr::RowSchema;
+use crate::functions::FunctionRegistry;
+use crate::parser::parse_select;
+use crate::plan::{AccessPath, JoinStep, SourceKind};
+use skyserver_storage::Database;
+use std::collections::HashSet;
+
+/// Everything the rules need to look at besides the plan itself.
+pub struct PlanContext<'a> {
+    pub db: &'a Database,
+    pub functions: &'a FunctionRegistry,
+    /// Minimum table row count before the parallel-scan rule upgrades a heap
+    /// scan to a parallel scan (configurable so tests can force either path).
+    pub parallel_scan_threshold: usize,
+}
+
+/// A view chain the binder already collapsed to `base WHERE predicates`;
+/// the view-merge rule attaches the predicates to the plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MergedView {
+    pub base: String,
+    /// The chain's accumulated qualifiers, innermost view first, not yet
+    /// requalified with the outer alias.
+    pub predicates: Vec<Expr>,
+}
+
+/// Where a bound source came from, kept so rules can revisit the binding.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SourceOrigin {
+    /// A base (or temp) table named directly.
+    Table,
+    /// A named view.  `merged` carries the binder's one-time analysis of the
+    /// definition chain: `Some` for simple `SELECT * FROM base [WHERE ...]`
+    /// stacks (the view-merge rule applies it), `None` for definitions that
+    /// had to be materialised as a derived table.
+    View {
+        name: String,
+        merged: Option<MergedView>,
+    },
+    /// A table-valued function call.
+    Function,
+    /// An inline derived table `(select ...) as d`.
+    Derived,
+}
+
+/// One bound FROM item.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogicalSource {
+    pub alias: String,
+    pub kind: SourceKind,
+    pub schema: RowSchema,
+    pub origin: SourceOrigin,
+    /// `None` for the first comma-listed source, the join kind otherwise.
+    pub join_kind: Option<JoinKind>,
+    /// ON conjuncts of a **non-inner** join (inner-join ON conjuncts merge
+    /// into the global pool; outer-join ones must stay with their step).
+    pub outer_on: Vec<Expr>,
+    /// Single-source predicates the pushdown rule moved into this scan.
+    pub pushed: Vec<Expr>,
+    /// Row budget the limit-pushdown rule granted this scan (TOP n with no
+    /// later stage that could need more rows).
+    pub limit_hint: Option<u64>,
+}
+
+/// A WHERE / ON / merged-view conjunct with its alias footprint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Conjunct {
+    pub expr: Expr,
+    /// Aliases the conjunct references (canonical alias spelling).
+    pub aliases: HashSet<String>,
+    /// Set once a rule has given the conjunct a home (pushed into a scan or
+    /// folded into a join step); unconsumed conjuncts end up in the global
+    /// residual filter.
+    pub consumed: bool,
+}
+
+impl Conjunct {
+    pub fn new(expr: Expr, aliases: HashSet<String>) -> Self {
+        Conjunct {
+            expr,
+            aliases,
+            consumed: false,
+        }
+    }
+}
+
+/// The rule pipeline's working representation of one SELECT.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogicalPlan {
+    /// Bound FROM items, in current (initially syntactic) join order.
+    pub sources: Vec<LogicalSource>,
+    /// The classified conjunct pool.
+    pub conjuncts: Vec<Conjunct>,
+    /// Join steps, aligned with `sources[1..]`; built by the join-strategy
+    /// rule (when absent, finalization falls back to nested loops).
+    pub joins: Vec<JoinStep>,
+    /// True when every join is inner/comma (reordering is only legal then).
+    pub only_inner: bool,
+    /// True for `select <exprs>` with no FROM clause.
+    pub fromless: bool,
+    /// Original WHERE predicate (needed verbatim for FROM-less selects).
+    pub selection: Option<Expr>,
+    /// Statement pieces carried through to the physical plan.
+    pub select_items: Vec<SelectItem>,
+    pub group_by: Vec<Expr>,
+    pub having: Option<Expr>,
+    pub has_aggregates: bool,
+    pub order_by: Vec<crate::ast::OrderByItem>,
+    pub top: Option<u64>,
+    pub distinct: bool,
+    pub into: Option<String>,
+    /// Names of the rules that changed the plan, in pipeline order.
+    pub rules_fired: Vec<&'static str>,
+}
+
+impl LogicalPlan {
+    /// Alias → schema pairs, for conjunct classification.
+    pub fn alias_schemas(&self) -> Vec<(String, RowSchema)> {
+        self.sources
+            .iter()
+            .map(|s| (s.alias.clone(), s.schema.clone()))
+            .collect()
+    }
+
+    /// Aliases that can be NULL-extended (the inner side of an outer join).
+    /// WHERE conjuncts touching these must run *after* the join, so the
+    /// pushdown and join-strategy rules leave them in the global residual.
+    pub fn nullable_aliases(&self) -> HashSet<String> {
+        self.sources
+            .iter()
+            .filter(|s| s.join_kind == Some(JoinKind::Left))
+            .map(|s| s.alias.to_ascii_lowercase())
+            .collect()
+    }
+}
+
+/// Bind a SELECT statement: resolve names, plan nested selects, classify
+/// conjuncts.  `plan_nested` is called for view fallbacks and derived tables
+/// (the planner passes its own `plan_select` so nested queries run through
+/// the full pipeline too).
+pub fn bind(
+    stmt: &SelectStatement,
+    ctx: &PlanContext<'_>,
+    plan_nested: &dyn Fn(&SelectStatement) -> Result<crate::plan::SelectPlan, SqlError>,
+) -> Result<LogicalPlan, SqlError> {
+    if stmt.projections.is_empty() {
+        return Err(SqlError::Plan("SELECT list is empty".into()));
+    }
+    let mut sources = Vec::with_capacity(stmt.from.len());
+    let mut outer_on_pool: Vec<(usize, Expr)> = Vec::new();
+    let only_inner = stmt
+        .from
+        .iter()
+        .all(|f| matches!(f.join, None | Some(JoinKind::Inner) | Some(JoinKind::Cross)));
+    let mut inner_on: Vec<Expr> = Vec::new();
+    for item in &stmt.from {
+        let index = sources.len();
+        let source = bind_source(item, ctx, plan_nested)?;
+        if let Some(on) = &item.on {
+            if only_inner {
+                inner_on.extend(on.conjuncts().into_iter().cloned());
+            } else {
+                for c in on.conjuncts() {
+                    outer_on_pool.push((index, c.clone()));
+                }
+            }
+        }
+        sources.push(source);
+    }
+    for (index, expr) in outer_on_pool {
+        sources[index].outer_on.push(expr);
+    }
+    let fromless = sources.is_empty();
+
+    // Classify WHERE + inner-ON conjuncts by the aliases they reference.
+    let alias_schemas: Vec<(String, RowSchema)> = sources
+        .iter()
+        .map(|s| (s.alias.clone(), s.schema.clone()))
+        .collect();
+    let mut conjuncts = Vec::new();
+    if !fromless {
+        if let Some(w) = &stmt.selection {
+            for c in w.conjuncts() {
+                let aliases = aliases_of(c, &alias_schemas)?;
+                conjuncts.push(Conjunct::new(c.clone(), aliases));
+            }
+        }
+        for c in inner_on {
+            let aliases = aliases_of(&c, &alias_schemas)?;
+            conjuncts.push(Conjunct::new(c, aliases));
+        }
+    }
+
+    let has_aggregates = stmt
+        .projections
+        .iter()
+        .any(|p| matches!(p, SelectItem::Expr { expr, .. } if expr.contains_aggregate()))
+        || stmt
+            .having
+            .as_ref()
+            .map(Expr::contains_aggregate)
+            .unwrap_or(false);
+
+    Ok(LogicalPlan {
+        sources,
+        conjuncts,
+        joins: Vec::new(),
+        only_inner,
+        fromless,
+        selection: stmt.selection.clone(),
+        select_items: stmt.projections.clone(),
+        group_by: stmt.group_by.clone(),
+        having: stmt.having.clone(),
+        has_aggregates,
+        order_by: stmt.order_by.clone(),
+        top: stmt.top,
+        distinct: stmt.distinct,
+        into: stmt.into.clone(),
+        rules_fired: Vec::new(),
+    })
+}
+
+fn bind_source(
+    item: &FromItem,
+    ctx: &PlanContext<'_>,
+    plan_nested: &dyn Fn(&SelectStatement) -> Result<crate::plan::SelectPlan, SqlError>,
+) -> Result<LogicalSource, SqlError> {
+    match &item.source {
+        TableSource::Named(name) => {
+            let alias = item.alias.clone().unwrap_or_else(|| name.clone());
+            if ctx.db.has_table(name) {
+                let table = ctx.db.table(name)?;
+                let cols = table.schema().column_names();
+                let schema = RowSchema::for_table(Some(&alias), &cols);
+                return Ok(LogicalSource {
+                    alias,
+                    kind: SourceKind::Table {
+                        table: name.clone(),
+                        path: AccessPath::HeapScan,
+                    },
+                    schema,
+                    origin: SourceOrigin::Table,
+                    join_kind: item.join,
+                    outer_on: Vec::new(),
+                    pushed: Vec::new(),
+                    limit_hint: None,
+                });
+            }
+            if let Some(view) = ctx.db.view(name) {
+                let definition = parse_select(&view.sql)?;
+                // A simple `SELECT * FROM base [WHERE ...]` view (possibly
+                // stacked) is analysed once here; the view-merge rule later
+                // rewrites the source into a direct base-table access.  The
+                // naive binding is still a *correct* derived table — built
+                // by hand (one filtered scan) instead of recursively running
+                // the whole planning pipeline on the view body, so a
+                // pipeline prefix without the rule stays valid.
+                if let Some(merged) =
+                    crate::planner::rules::view_merge::merge_chain(&definition, ctx.db)?
+                {
+                    let sub_plan = naive_view_plan(&merged, ctx)?;
+                    let names = sub_plan
+                        .projections
+                        .iter()
+                        .map(|(_, n)| n.as_str())
+                        .collect::<Vec<_>>();
+                    let schema = RowSchema::for_table(Some(&alias), &names);
+                    return Ok(LogicalSource {
+                        alias,
+                        kind: SourceKind::Derived {
+                            plan: Box::new(sub_plan),
+                        },
+                        schema,
+                        origin: SourceOrigin::View {
+                            name: name.clone(),
+                            merged: Some(merged),
+                        },
+                        join_kind: item.join,
+                        outer_on: Vec::new(),
+                        pushed: Vec::new(),
+                        limit_hint: None,
+                    });
+                }
+                // Too complex to merge: materialise as a derived table.
+                let sub_plan = plan_nested(&definition)?;
+                let names = sub_plan
+                    .projections
+                    .iter()
+                    .map(|(_, n)| n.as_str())
+                    .collect::<Vec<_>>();
+                let schema = RowSchema::for_table(Some(&alias), &names);
+                return Ok(LogicalSource {
+                    alias,
+                    kind: SourceKind::Derived {
+                        plan: Box::new(sub_plan),
+                    },
+                    schema,
+                    origin: SourceOrigin::View {
+                        name: name.clone(),
+                        merged: None,
+                    },
+                    join_kind: item.join,
+                    outer_on: Vec::new(),
+                    pushed: Vec::new(),
+                    limit_hint: None,
+                });
+            }
+            Err(SqlError::Plan(format!("unknown table or view {name}")))
+        }
+        TableSource::Function { name, args } => {
+            let alias = item.alias.clone().unwrap_or_else(|| name.clone());
+            let tf = ctx
+                .functions
+                .table(name)
+                .ok_or_else(|| SqlError::UnknownFunction(name.clone()))?;
+            let cols: Vec<&str> = tf.columns.iter().map(String::as_str).collect();
+            let schema = RowSchema::for_table(Some(&alias), &cols);
+            Ok(LogicalSource {
+                alias,
+                kind: SourceKind::TableFunction {
+                    name: name.clone(),
+                    args: args.clone(),
+                },
+                schema,
+                origin: SourceOrigin::Function,
+                join_kind: item.join,
+                outer_on: Vec::new(),
+                pushed: Vec::new(),
+                limit_hint: None,
+            })
+        }
+        TableSource::Derived(select) => {
+            let alias = item
+                .alias
+                .clone()
+                .ok_or_else(|| SqlError::Plan("derived tables need an alias".into()))?;
+            let sub_plan = plan_nested(select)?;
+            let names = sub_plan
+                .projections
+                .iter()
+                .map(|(_, n)| n.as_str())
+                .collect::<Vec<_>>();
+            let schema = RowSchema::for_table(Some(&alias), &names);
+            Ok(LogicalSource {
+                alias,
+                kind: SourceKind::Derived {
+                    plan: Box::new(sub_plan),
+                },
+                schema,
+                origin: SourceOrigin::Derived,
+                join_kind: item.join,
+                outer_on: Vec::new(),
+                pushed: Vec::new(),
+                limit_hint: None,
+            })
+        }
+    }
+}
+
+/// The un-optimized but correct plan for a merged-view chain: one heap scan
+/// of the base table with the accumulated qualifiers applied during the
+/// scan, projecting every column.  Equivalent to planning the view body,
+/// minus the recursive pipeline run.
+fn naive_view_plan(
+    merged: &MergedView,
+    ctx: &PlanContext<'_>,
+) -> Result<crate::plan::SelectPlan, SqlError> {
+    use crate::plan::{SelectPlan, SourcePlan};
+    let table = ctx.db.table(&merged.base)?;
+    let cols = table.schema().column_names();
+    let schema = RowSchema::for_table(Some(&merged.base), &cols);
+    let projections: Vec<(Expr, String)> = schema
+        .columns()
+        .iter()
+        .map(|(q, name)| {
+            (
+                Expr::Column {
+                    qualifier: q.clone(),
+                    name: name.clone(),
+                },
+                name.clone(),
+            )
+        })
+        .collect();
+    Ok(SelectPlan {
+        sources: vec![SourcePlan {
+            alias: merged.base.clone(),
+            kind: SourceKind::Table {
+                table: merged.base.clone(),
+                path: AccessPath::HeapScan,
+            },
+            pushed_predicate: Expr::from_conjuncts(merged.predicates.clone()),
+            schema: schema.clone(),
+            limit_hint: None,
+        }],
+        joins: Vec::new(),
+        residual: None,
+        projections,
+        select_items: vec![SelectItem::Wildcard],
+        group_by: Vec::new(),
+        having: None,
+        has_aggregates: false,
+        order_by: Vec::new(),
+        top: None,
+        distinct: false,
+        into: None,
+        input_schema: schema,
+        rules_fired: Vec::new(),
+    })
+}
+
+/// Which aliases does an expression reference?  Errors on unknown aliases,
+/// unknown columns and ambiguous unqualified names — the same checks the
+/// monolithic planner performed.
+pub fn aliases_of(
+    expr: &Expr,
+    alias_schemas: &[(String, RowSchema)],
+) -> Result<HashSet<String>, SqlError> {
+    let mut cols = Vec::new();
+    expr.collect_columns(&mut cols);
+    let mut out = HashSet::new();
+    for (q, name) in cols {
+        match q {
+            Some(q) => {
+                let found = alias_schemas
+                    .iter()
+                    .find(|(a, _)| a.eq_ignore_ascii_case(&q));
+                match found {
+                    Some((a, _)) => {
+                        out.insert(a.clone());
+                    }
+                    None => {
+                        return Err(SqlError::Plan(format!("unknown table alias {q}")));
+                    }
+                }
+            }
+            None => {
+                let matches: Vec<&String> = alias_schemas
+                    .iter()
+                    .filter(|(_, s)| s.can_resolve(None, &name))
+                    .map(|(a, _)| a)
+                    .collect();
+                match matches.len() {
+                    0 => {
+                        return Err(SqlError::Plan(format!("unknown column {name}")));
+                    }
+                    1 => {
+                        out.insert(matches[0].clone());
+                    }
+                    _ => {
+                        return Err(SqlError::Plan(format!("ambiguous column {name}")));
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}

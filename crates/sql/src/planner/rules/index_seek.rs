@@ -1,0 +1,237 @@
+//! Access-path selection, part 1: sargable predicates on a B-tree index's
+//! leading column turn the heap scan into an index seek.  Equality bounds
+//! beat closed ranges beat half-open ranges, mirroring what the paper's
+//! discussion of SQL Server's optimizer implies for the 20 queries.
+//! Runs after pushdown so each source's own predicates are in place.
+
+use super::RewriteRule;
+use crate::ast::{BinaryOp, Expr};
+use crate::error::SqlError;
+use crate::plan::{AccessPath, IndexBounds, SourceKind};
+use crate::planner::binder::{LogicalPlan, PlanContext};
+
+pub struct IndexSeekSelection;
+
+impl RewriteRule for IndexSeekSelection {
+    fn name(&self) -> &'static str {
+        "index_seek"
+    }
+
+    fn apply(&self, plan: &mut LogicalPlan, ctx: &PlanContext<'_>) -> Result<bool, SqlError> {
+        let mut fired = false;
+        for source in &mut plan.sources {
+            let SourceKind::Table { table, path } = &mut source.kind else {
+                continue;
+            };
+            if *path != AccessPath::HeapScan {
+                continue;
+            }
+            let sargable = extract_sargable(&source.pushed);
+            if sargable.is_empty() {
+                continue;
+            }
+            let mut best: Option<(u32, AccessPath)> = None;
+            for idx in ctx.db.indexes_for(table) {
+                let leading = idx.def().leading_column();
+                let mut bounds = IndexBounds {
+                    column: leading.to_string(),
+                    ..Default::default()
+                };
+                for s in &sargable {
+                    if !s.column.eq_ignore_ascii_case(leading) {
+                        continue;
+                    }
+                    match s.kind {
+                        SargKind::Eq => bounds.equals = Some(s.value.clone()),
+                        SargKind::GtEq => bounds.lower = Some((s.value.clone(), true)),
+                        SargKind::Gt => bounds.lower = Some((s.value.clone(), false)),
+                        SargKind::LtEq => bounds.upper = Some((s.value.clone(), true)),
+                        SargKind::Lt => bounds.upper = Some((s.value.clone(), false)),
+                    }
+                }
+                let score = if bounds.equals.is_some() {
+                    3
+                } else if bounds.lower.is_some() && bounds.upper.is_some() {
+                    2
+                } else if !bounds.is_unbounded() {
+                    1
+                } else {
+                    0
+                };
+                if score > 0 && best.as_ref().map(|(s, _)| score > *s).unwrap_or(true) {
+                    best = Some((
+                        score,
+                        AccessPath::IndexSeek {
+                            index: idx.def().name.clone(),
+                            bounds,
+                        },
+                    ));
+                }
+            }
+            if let Some((_, chosen)) = best {
+                *path = chosen;
+                fired = true;
+            }
+        }
+        Ok(fired)
+    }
+}
+
+/// The sargable comparison shapes the rule recognises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SargKind {
+    Eq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+}
+
+/// One `column <op> constant-expression` bound.
+pub struct Sarg {
+    pub column: String,
+    pub kind: SargKind,
+    pub value: Expr,
+}
+
+/// Extract sargable `column op constant` conjuncts (BETWEEN counts as a
+/// closed range).  "Constant" means no column references — variables and
+/// scalar function calls are fine, they evaluate once at seek time.
+pub fn extract_sargable(conjuncts: &[Expr]) -> Vec<Sarg> {
+    let mut out = Vec::new();
+    let is_const = |e: &Expr| {
+        let mut cols = Vec::new();
+        e.collect_columns(&mut cols);
+        cols.is_empty() && !matches!(e, Expr::Star)
+    };
+    for c in conjuncts {
+        match c {
+            Expr::Binary { left, op, right } if op.is_comparison() => {
+                let (col, value, op) = match (&**left, &**right) {
+                    (Expr::Column { name, .. }, v) if is_const(v) => (name.clone(), v.clone(), *op),
+                    (v, Expr::Column { name, .. }) if is_const(v) => {
+                        (name.clone(), v.clone(), op.mirror())
+                    }
+                    _ => continue,
+                };
+                let kind = match op {
+                    BinaryOp::Eq => SargKind::Eq,
+                    BinaryOp::Lt => SargKind::Lt,
+                    BinaryOp::LtEq => SargKind::LtEq,
+                    BinaryOp::Gt => SargKind::Gt,
+                    BinaryOp::GtEq => SargKind::GtEq,
+                    _ => continue,
+                };
+                out.push(Sarg {
+                    column: col,
+                    kind,
+                    value,
+                });
+            }
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated: false,
+            } => {
+                if let Expr::Column { name, .. } = &**expr {
+                    if is_const(low) && is_const(high) {
+                        out.push(Sarg {
+                            column: name.clone(),
+                            kind: SargKind::GtEq,
+                            value: (**low).clone(),
+                        });
+                        out.push(Sarg {
+                            column: name.clone(),
+                            kind: SargKind::LtEq,
+                            value: (**high).clone(),
+                        });
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::rules::predicate_pushdown::PredicatePushdown;
+    use crate::planner::rules::testkit::{bind_only, ctx, registry, test_db};
+
+    fn pushed_plan(sql: &str) -> (skyserver_storage::Database, LogicalPlan) {
+        let db = test_db();
+        let funcs = registry();
+        let mut plan = bind_only(&db, &funcs, sql);
+        PredicatePushdown
+            .apply(&mut plan, &ctx(&db, &funcs))
+            .unwrap();
+        (db, plan)
+    }
+
+    fn path(plan: &LogicalPlan) -> &AccessPath {
+        match &plan.sources[0].kind {
+            SourceKind::Table { path, .. } => path,
+            other => panic!("expected a table source, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn equality_on_pk_becomes_index_seek() {
+        let (db, mut plan) = pushed_plan("select ra from photoObj where objID = 5");
+        assert_eq!(path(&plan), &AccessPath::HeapScan, "before: heap scan");
+        let funcs = registry();
+        assert!(IndexSeekSelection
+            .apply(&mut plan, &ctx(&db, &funcs))
+            .unwrap());
+        match path(&plan) {
+            AccessPath::IndexSeek { index, bounds } => {
+                assert_eq!(index, "pk_photoObj");
+                assert!(bounds.equals.is_some());
+            }
+            other => panic!("expected index seek, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn between_becomes_a_closed_range_seek() {
+        let (db, mut plan) =
+            pushed_plan("select ra, dec from photoObj where htmID between 1000 and 1005");
+        let funcs = registry();
+        assert!(IndexSeekSelection
+            .apply(&mut plan, &ctx(&db, &funcs))
+            .unwrap());
+        match path(&plan) {
+            AccessPath::IndexSeek { index, bounds } => {
+                assert_eq!(index, "ix_htm");
+                assert!(bounds.lower.is_some() && bounds.upper.is_some());
+            }
+            other => panic!("expected index seek, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn equality_beats_range_when_both_apply() {
+        let (db, mut plan) = pushed_plan("select ra from photoObj where htmID > 100 and objID = 3");
+        let funcs = registry();
+        assert!(IndexSeekSelection
+            .apply(&mut plan, &ctx(&db, &funcs))
+            .unwrap());
+        match path(&plan) {
+            AccessPath::IndexSeek { index, .. } => assert_eq!(index, "pk_photoObj"),
+            other => panic!("expected index seek, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_sargable_predicates_leave_the_heap_scan() {
+        let (db, mut plan) = pushed_plan("select objID from photoObj where type * 2 = 6");
+        let funcs = registry();
+        assert!(!IndexSeekSelection
+            .apply(&mut plan, &ctx(&db, &funcs))
+            .unwrap());
+        assert_eq!(path(&plan), &AccessPath::HeapScan);
+    }
+}

@@ -1,0 +1,299 @@
+//! Join-strategy selection: build the [`JoinStep`] chain that connects the
+//! (already ordered) sources.  For each step the rule pulls in the conjuncts
+//! that become evaluable once that source joins, detects equi-join pairs,
+//! and picks the cheapest algorithm:
+//!
+//! * **index-lookup nested loop** when the inner side is a base table with a
+//!   B-tree leading on an equi-join column (the Figure 10 probe),
+//! * **hash join** for equi-joins without a usable index (self-joins),
+//! * **plain nested loop** otherwise.
+//!
+//! Outer-join ON conjuncts (which the binder kept with their source, since
+//! they must not filter globally) are folded into that step's residual here.
+
+use super::RewriteRule;
+use crate::ast::{BinaryOp, Expr, JoinKind};
+use crate::error::SqlError;
+use crate::expr::RowSchema;
+use crate::plan::{JoinStep, JoinStrategy, SourceKind};
+use crate::planner::binder::{LogicalPlan, LogicalSource, PlanContext};
+use std::collections::HashSet;
+
+pub struct JoinStrategySelection;
+
+impl RewriteRule for JoinStrategySelection {
+    fn name(&self) -> &'static str {
+        "join_strategy"
+    }
+
+    fn apply(&self, plan: &mut LogicalPlan, ctx: &PlanContext<'_>) -> Result<bool, SqlError> {
+        if plan.sources.len() < 2 {
+            return Ok(false);
+        }
+        let mut joins = Vec::with_capacity(plan.sources.len() - 1);
+        // WHERE conjuncts touching a NULL-extended alias must filter after
+        // *all* joins (global residual), not inside a step, or NULL-extended
+        // rows would be produced/eliminated incorrectly.
+        let nullable = plan.nullable_aliases();
+        let mut available: HashSet<String> = HashSet::new();
+        available.insert(plan.sources[0].alias.to_ascii_lowercase());
+        for i in 1..plan.sources.len() {
+            available.insert(plan.sources[i].alias.to_ascii_lowercase());
+            // Conjuncts that become evaluable once this source is joined.
+            let mut step_conjuncts: Vec<Expr> = Vec::new();
+            for c in &mut plan.conjuncts {
+                if c.consumed || c.aliases.len() == 1 {
+                    continue;
+                }
+                if c.aliases
+                    .iter()
+                    .any(|a| nullable.contains(&a.to_ascii_lowercase()))
+                {
+                    continue;
+                }
+                let ready = c
+                    .aliases
+                    .iter()
+                    .all(|a| available.contains(&a.to_ascii_lowercase()));
+                if ready {
+                    step_conjuncts.push(c.expr.clone());
+                    c.consumed = true;
+                }
+            }
+            // Outer-join ON conjuncts always belong to their own step.
+            step_conjuncts.extend(plan.sources[i].outer_on.iter().cloned());
+            let outer_schema: RowSchema = plan.sources[..i]
+                .iter()
+                .map(|s| s.schema.clone())
+                .reduce(|a, b| a.join(&b))
+                .unwrap_or_default();
+            let kind = plan.sources[i].join_kind.unwrap_or(JoinKind::Inner);
+            joins.push(choose_strategy(
+                ctx,
+                &plan.sources[i],
+                &outer_schema,
+                kind,
+                step_conjuncts,
+            ));
+        }
+        plan.joins = joins;
+        Ok(true)
+    }
+}
+
+fn choose_strategy(
+    ctx: &PlanContext<'_>,
+    inner: &LogicalSource,
+    outer_schema: &RowSchema,
+    kind: JoinKind,
+    step_conjuncts: Vec<Expr>,
+) -> JoinStep {
+    // Find equi-join conjuncts: inner.column = outer-only expression.
+    let mut equi: Vec<(String, Expr)> = Vec::new();
+    let mut residual: Vec<Expr> = Vec::new();
+    for c in &step_conjuncts {
+        if let Expr::Binary {
+            left,
+            op: BinaryOp::Eq,
+            right,
+        } = c
+        {
+            if let Some((col, outer)) =
+                equi_join_sides(left, right, &inner.alias, &inner.schema, outer_schema)
+            {
+                equi.push((col, outer));
+                // The conjunct stays in the residual as well: a harmless
+                // re-check that keeps outer-join semantics simple.
+            }
+        }
+        residual.push(c.clone());
+    }
+    let strategy = if let SourceKind::Table { table, .. } = &inner.kind {
+        // Prefer an index lookup on an equi-join column.
+        let mut lookup = None;
+        'outer: for (col, outer) in &equi {
+            for idx in ctx.db.indexes_for(table) {
+                if idx.def().leading_column().eq_ignore_ascii_case(col) {
+                    lookup = Some(JoinStrategy::IndexLookup {
+                        index: idx.def().name.clone(),
+                        outer_key: outer.clone(),
+                        inner_column: col.clone(),
+                    });
+                    break 'outer;
+                }
+            }
+        }
+        lookup.unwrap_or_else(|| hash_or_nested(&equi, &inner.alias))
+    } else {
+        hash_or_nested(&equi, &inner.alias)
+    };
+    JoinStep {
+        kind,
+        strategy,
+        residual: Expr::from_conjuncts(residual),
+    }
+}
+
+fn hash_or_nested(equi: &[(String, Expr)], inner_alias: &str) -> JoinStrategy {
+    if equi.is_empty() {
+        JoinStrategy::NestedLoop
+    } else {
+        JoinStrategy::Hash {
+            outer_keys: equi.iter().map(|(_, o)| o.clone()).collect(),
+            inner_keys: equi
+                .iter()
+                .map(|(c, _)| Expr::Column {
+                    qualifier: Some(inner_alias.to_string()),
+                    name: c.clone(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// If `left = right` is an equi-join between the inner source and the outer
+/// side, return `(inner column name, outer expression)`.
+fn equi_join_sides(
+    left: &Expr,
+    right: &Expr,
+    inner_alias: &str,
+    inner_schema: &RowSchema,
+    outer_schema: &RowSchema,
+) -> Option<(String, Expr)> {
+    let is_inner_col = |e: &Expr| -> Option<String> {
+        if let Expr::Column { qualifier, name } = e {
+            let matches_alias = qualifier
+                .as_deref()
+                .map(|q| q.eq_ignore_ascii_case(inner_alias))
+                .unwrap_or_else(|| inner_schema.can_resolve(None, name));
+            if matches_alias && inner_schema.can_resolve(qualifier.as_deref(), name) {
+                return Some(name.clone());
+            }
+        }
+        None
+    };
+    let is_outer_expr = |e: &Expr| -> bool {
+        let mut cols = Vec::new();
+        e.collect_columns(&mut cols);
+        !cols.is_empty()
+            && cols
+                .iter()
+                .all(|(q, n)| outer_schema.can_resolve(q.as_deref(), n))
+    };
+    if let Some(col) = is_inner_col(left) {
+        if is_outer_expr(right) {
+            return Some((col, right.clone()));
+        }
+    }
+    if let Some(col) = is_inner_col(right) {
+        if is_outer_expr(left) {
+            return Some((col, left.clone()));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::rules::predicate_pushdown::PredicatePushdown;
+    use crate::planner::rules::spatial_join::SpatialJoinRewrite;
+    use crate::planner::rules::testkit::{bind_only, ctx, registry, test_db};
+
+    #[test]
+    fn equi_join_onto_indexed_table_uses_index_lookup() {
+        let db = test_db();
+        let funcs = registry();
+        let mut plan = bind_only(
+            &db,
+            &funcs,
+            "select G.objID, GN.distance from photoObj as G \
+             join fGetNearbyObjEq(185, -0.5, 1) as GN on G.objID = GN.objID",
+        );
+        PredicatePushdown
+            .apply(&mut plan, &ctx(&db, &funcs))
+            .unwrap();
+        SpatialJoinRewrite
+            .apply(&mut plan, &ctx(&db, &funcs))
+            .unwrap();
+        assert!(plan.joins.is_empty(), "before: no join steps yet");
+
+        assert!(JoinStrategySelection
+            .apply(&mut plan, &ctx(&db, &funcs))
+            .unwrap());
+        assert_eq!(plan.joins.len(), 1);
+        match &plan.joins[0].strategy {
+            JoinStrategy::IndexLookup {
+                index,
+                inner_column,
+                ..
+            } => {
+                assert_eq!(index, "pk_photoObj");
+                assert_eq!(inner_column, "objID");
+            }
+            other => panic!("expected index-lookup join, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn self_join_without_index_hashes() {
+        let db = test_db();
+        let funcs = registry();
+        let mut plan = bind_only(
+            &db,
+            &funcs,
+            "select r.objID, g.objID from photoObj r, photoObj g \
+             where r.ra = g.ra and r.objID <> g.objID",
+        );
+        PredicatePushdown
+            .apply(&mut plan, &ctx(&db, &funcs))
+            .unwrap();
+        JoinStrategySelection
+            .apply(&mut plan, &ctx(&db, &funcs))
+            .unwrap();
+        assert_eq!(plan.joins.len(), 1);
+        assert!(matches!(plan.joins[0].strategy, JoinStrategy::Hash { .. }));
+        // Both join conjuncts were folded into the step.
+        assert!(plan
+            .conjuncts
+            .iter()
+            .all(|c| c.consumed || c.aliases.len() == 1));
+    }
+
+    #[test]
+    fn cross_join_without_conjuncts_nested_loops() {
+        let db = test_db();
+        let funcs = registry();
+        let mut plan = bind_only(
+            &db,
+            &funcs,
+            "select r.objID from photoObj r, fGetNearbyObjEq(1, 2, 3) n",
+        );
+        JoinStrategySelection
+            .apply(&mut plan, &ctx(&db, &funcs))
+            .unwrap();
+        assert!(matches!(plan.joins[0].strategy, JoinStrategy::NestedLoop));
+        assert!(plan.joins[0].residual.is_none());
+    }
+
+    #[test]
+    fn outer_join_on_conjuncts_stay_with_their_step() {
+        let db = test_db();
+        let funcs = registry();
+        let mut plan = bind_only(
+            &db,
+            &funcs,
+            "select G.objID from photoObj as G \
+             left join fGetNearbyObjEq(185, -0.5, 1) as GN on G.objID = GN.objID",
+        );
+        JoinStrategySelection
+            .apply(&mut plan, &ctx(&db, &funcs))
+            .unwrap();
+        assert_eq!(plan.joins.len(), 1);
+        assert_eq!(plan.joins[0].kind, JoinKind::Left);
+        assert!(
+            plan.joins[0].residual.is_some(),
+            "the ON predicate must filter the step, not the whole result"
+        );
+    }
+}

@@ -1,0 +1,176 @@
+//! The optimizer: an ordered pipeline of named rewrite rules.
+//!
+//! Each rule is a [`RewriteRule`]: a pure structural rewrite over the
+//! [`LogicalPlan`](super::binder::LogicalPlan) that reports whether it
+//! changed anything.  The planner runs the default pipeline in order and
+//! records which rules fired; `EXPLAIN` prints that list, which is how the
+//! reproduction shows *why* a query got its Figure-10 (table-function
+//! nested-loop join) or Figure-11 (parallel scan) shape.
+//!
+//! The design follows the `PlanRewriter` idiom common in Rust query engines:
+//! rules are small, independent, and unit-tested in isolation — running a
+//! prefix of the pipeline is a valid (just less optimized) plan at every
+//! step.
+//!
+//! | order | rule | paper hook |
+//! |-------|------|------------|
+//! | 1 | [`view_merge::ViewMerge`] | §9.1.3 views-as-subclasses |
+//! | 2 | [`predicate_pushdown::PredicatePushdown`] | single-table qualifiers move into scans |
+//! | 3 | [`index_seek::IndexSeekSelection`] | sargable predicates → B-tree seeks |
+//! | 4 | [`covering_index::CoveringIndexSelection`] | tag-table replacement (10-100x less IO) |
+//! | 5 | [`spatial_join::SpatialJoinRewrite`] | Figure 10 TVF-driven join order |
+//! | 6 | [`join_strategy::JoinStrategySelection`] | index-lookup / hash / nested-loop choice |
+//! | 7 | [`parallel_scan::ParallelScanFallback`] | Figure 11 parallel sequential scan |
+//! | 8 | [`limit_pushdown::LimitPushdown`] | TOP n stops the scan early |
+
+use super::binder::{LogicalPlan, PlanContext};
+use crate::error::SqlError;
+
+pub mod covering_index;
+pub mod index_seek;
+pub mod join_strategy;
+pub mod limit_pushdown;
+pub mod parallel_scan;
+pub mod predicate_pushdown;
+pub mod spatial_join;
+pub mod view_merge;
+
+/// One named rewrite pass over the logical plan.
+pub trait RewriteRule {
+    /// Stable name reported by `EXPLAIN` when the rule fires.
+    fn name(&self) -> &'static str;
+
+    /// Rewrite the plan in place; return `Ok(true)` iff the plan changed.
+    fn apply(&self, plan: &mut LogicalPlan, ctx: &PlanContext<'_>) -> Result<bool, SqlError>;
+}
+
+/// The default rule pipeline, in application order.
+pub fn default_pipeline() -> Vec<Box<dyn RewriteRule>> {
+    vec![
+        Box::new(view_merge::ViewMerge),
+        Box::new(predicate_pushdown::PredicatePushdown),
+        Box::new(index_seek::IndexSeekSelection),
+        Box::new(covering_index::CoveringIndexSelection),
+        Box::new(spatial_join::SpatialJoinRewrite),
+        Box::new(join_strategy::JoinStrategySelection),
+        Box::new(parallel_scan::ParallelScanFallback),
+        Box::new(limit_pushdown::LimitPushdown),
+    ]
+}
+
+/// Run a pipeline over a plan, recording fired rules on the plan itself.
+pub fn run_pipeline(
+    plan: &mut LogicalPlan,
+    ctx: &PlanContext<'_>,
+    rules: &[Box<dyn RewriteRule>],
+) -> Result<(), SqlError> {
+    for rule in rules {
+        if rule.apply(plan, ctx)? {
+            plan.rules_fired.push(rule.name());
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+pub(crate) mod testkit {
+    //! Shared fixtures for the per-rule test modules.
+
+    use crate::functions::FunctionRegistry;
+    use crate::parser::parse_select;
+    use crate::planner::binder::{bind, LogicalPlan, PlanContext};
+    use crate::planner::Planner;
+    use skyserver_storage::{ColumnDef, DataType, Database, IndexDef, TableSchema, Value};
+
+    /// The photoObj-like test database the monolithic planner's tests used.
+    pub fn test_db() -> Database {
+        let mut db = Database::new("test");
+        let schema = TableSchema::new(vec![
+            ColumnDef::new("objID", DataType::Int),
+            ColumnDef::new("htmID", DataType::Int),
+            ColumnDef::new("ra", DataType::Float),
+            ColumnDef::new("dec", DataType::Float),
+            ColumnDef::new("type", DataType::Int),
+            ColumnDef::new("flags", DataType::Int),
+            ColumnDef::new("modelMag_r", DataType::Float),
+        ])
+        .with_primary_key(&["objID"]);
+        db.create_table("photoObj", schema).unwrap();
+        db.create_index(IndexDef::new("pk_photoObj", "photoObj", &["objID"]).unique())
+            .unwrap();
+        db.create_index(IndexDef::new("ix_htm", "photoObj", &["htmID"]).include(&["ra", "dec"]))
+            .unwrap();
+        db.create_index(
+            IndexDef::new("ix_type_mag", "photoObj", &["type"]).include(&["modelMag_r", "objID"]),
+        )
+        .unwrap();
+        db.create_view(
+            "Galaxy",
+            "select * from photoObj where type = 3 and (flags & 256) > 0",
+            "primary galaxies",
+        )
+        .unwrap();
+        db.create_view(
+            "Primaries",
+            "select * from photoObj where (flags & 256) > 0",
+            "primary",
+        )
+        .unwrap();
+        db.create_view(
+            "BrightGalaxy",
+            "select * from Galaxy where modelMag_r < 20",
+            "bright primary galaxies (stacked view)",
+        )
+        .unwrap();
+        for i in 0..10i64 {
+            db.insert(
+                "photoObj",
+                vec![
+                    Value::Int(i),
+                    Value::Int(1000 + i),
+                    Value::Float(180.0 + i as f64),
+                    Value::Float(0.0),
+                    Value::Int(if i % 2 == 0 { 3 } else { 6 }),
+                    Value::Int(256),
+                    Value::Float(18.0),
+                ],
+            )
+            .unwrap();
+        }
+        db
+    }
+
+    pub fn registry() -> FunctionRegistry {
+        let mut f = FunctionRegistry::new();
+        f.register_table("fGetNearbyObjEq", &["objID", "distance"], |_db, _args| {
+            Ok(crate::result::ResultSet::empty(vec![
+                "objID".into(),
+                "distance".into(),
+            ]))
+        });
+        f
+    }
+
+    /// Bind `sql` without running any rules: the "before" plan.
+    pub fn bind_only(db: &Database, functions: &FunctionRegistry, sql: &str) -> LogicalPlan {
+        let ctx = PlanContext {
+            db,
+            functions,
+            parallel_scan_threshold: crate::planner::PARALLEL_SCAN_THRESHOLD,
+        };
+        let planner = Planner::new(db, functions);
+        bind(&parse_select(sql).unwrap(), &ctx, &|s| {
+            planner.plan_select(s)
+        })
+        .unwrap()
+    }
+
+    /// A context with the default parallel threshold.
+    pub fn ctx<'a>(db: &'a Database, functions: &'a FunctionRegistry) -> PlanContext<'a> {
+        PlanContext {
+            db,
+            functions,
+            parallel_scan_threshold: crate::planner::PARALLEL_SCAN_THRESHOLD,
+        }
+    }
+}

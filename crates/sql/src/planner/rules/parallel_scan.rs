@@ -1,0 +1,118 @@
+//! Parallel-scan fallback — the Figure 11 plan shape.  When a predicate is
+//! neither sargable nor covered, the paper's answer is brute force: "a
+//! parallel sequential scan" of the heap.  This rule upgrades heap scans of
+//! large tables to an explicit parallel scan whose worker fan-out the
+//! executor honours, so `EXPLAIN` shows the choice instead of it being a
+//! hidden runtime heuristic.
+
+use super::RewriteRule;
+use crate::error::SqlError;
+use crate::plan::{AccessPath, SourceKind};
+use crate::planner::binder::{LogicalPlan, PlanContext};
+
+pub struct ParallelScanFallback;
+
+/// Upper bound on scan fan-out (matches the executor's historical cap).
+const MAX_SCAN_WORKERS: usize = 8;
+
+impl RewriteRule for ParallelScanFallback {
+    fn name(&self) -> &'static str {
+        "parallel_scan_fallback"
+    }
+
+    fn apply(&self, plan: &mut LogicalPlan, ctx: &PlanContext<'_>) -> Result<bool, SqlError> {
+        // The plan *requests* the maximum fan-out; the executor clamps it to
+        // the cores actually present at run time.  A fixed request keeps
+        // plans and EXPLAIN output identical across machines (snapshots
+        // would otherwise differ between a laptop and CI).
+        let workers = MAX_SCAN_WORKERS;
+        let mut fired = false;
+        for source in &mut plan.sources {
+            let SourceKind::Table { table, path } = &mut source.kind else {
+                continue;
+            };
+            if *path != AccessPath::HeapScan {
+                continue;
+            }
+            let t = ctx.db.table(table)?;
+            if t.row_count() >= ctx.parallel_scan_threshold {
+                *path = AccessPath::ParallelHeapScan { workers };
+                fired = true;
+            }
+        }
+        Ok(fired)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::binder::PlanContext;
+    use crate::planner::rules::testkit::{bind_only, registry, test_db};
+
+    fn low_threshold_ctx<'a>(
+        db: &'a skyserver_storage::Database,
+        funcs: &'a crate::functions::FunctionRegistry,
+    ) -> PlanContext<'a> {
+        PlanContext {
+            db,
+            functions: funcs,
+            parallel_scan_threshold: 5,
+        }
+    }
+
+    #[test]
+    fn big_table_heap_scan_goes_parallel() {
+        let db = test_db(); // 10 rows > threshold 5
+        let funcs = registry();
+        let mut plan = bind_only(&db, &funcs, "select * from photoObj where ra + dec > 100");
+        assert!(ParallelScanFallback
+            .apply(&mut plan, &low_threshold_ctx(&db, &funcs))
+            .unwrap());
+        match &plan.sources[0].kind {
+            SourceKind::Table { path, .. } => {
+                assert!(matches!(path, AccessPath::ParallelHeapScan { workers } if *workers >= 2));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn small_tables_stay_serial() {
+        let db = test_db(); // 10 rows < default threshold
+        let funcs = registry();
+        let mut plan = bind_only(&db, &funcs, "select * from photoObj where ra + dec > 100");
+        let ctx = PlanContext {
+            db: &db,
+            functions: &funcs,
+            parallel_scan_threshold: crate::planner::PARALLEL_SCAN_THRESHOLD,
+        };
+        assert!(!ParallelScanFallback.apply(&mut plan, &ctx).unwrap());
+        match &plan.sources[0].kind {
+            SourceKind::Table { path, .. } => assert_eq!(path, &AccessPath::HeapScan),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn index_paths_are_never_downgraded() {
+        let db = test_db();
+        let funcs = registry();
+        let mut plan = bind_only(&db, &funcs, "select ra from photoObj where objID = 5");
+        crate::planner::rules::predicate_pushdown::PredicatePushdown
+            .apply(&mut plan, &low_threshold_ctx(&db, &funcs))
+            .unwrap();
+        crate::planner::rules::index_seek::IndexSeekSelection
+            .apply(&mut plan, &low_threshold_ctx(&db, &funcs))
+            .unwrap();
+        assert!(!ParallelScanFallback
+            .apply(&mut plan, &low_threshold_ctx(&db, &funcs))
+            .unwrap());
+        match &plan.sources[0].kind {
+            SourceKind::Table { path, .. } => {
+                assert!(matches!(path, AccessPath::IndexSeek { .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

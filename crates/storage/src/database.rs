@@ -400,13 +400,12 @@ impl Database {
             .ref_columns
             .iter()
             .map(|c| {
-                parent
-                    .schema()
-                    .column_index(c)
-                    .ok_or_else(|| StorageError::ConstraintViolation(format!(
+                parent.schema().column_index(c).ok_or_else(|| {
+                    StorageError::ConstraintViolation(format!(
                         "foreign key {} references unknown column {c}",
                         fk.name
-                    )))
+                    ))
+                })
             })
             .collect::<Result<Vec<_>, _>>()?;
         Ok(parent
@@ -420,7 +419,9 @@ impl Database {
     pub fn validate_foreign_keys(&self) -> Vec<String> {
         let mut problems = Vec::new();
         for fk in &self.foreign_keys {
-            let Ok(child) = self.table(&fk.table) else { continue };
+            let Ok(child) = self.table(&fk.table) else {
+                continue;
+            };
             let positions: Vec<usize> = fk
                 .columns
                 .iter()
@@ -550,8 +551,10 @@ mod tests {
     #[test]
     fn insert_maintains_indices() {
         let mut d = db();
-        d.insert("plate", vec![Value::Int(1), Value::Float(180.0)]).unwrap();
-        d.insert("plate", vec![Value::Int(2), Value::Float(190.0)]).unwrap();
+        d.insert("plate", vec![Value::Int(1), Value::Float(180.0)])
+            .unwrap();
+        d.insert("plate", vec![Value::Int(2), Value::Float(190.0)])
+            .unwrap();
         let idx = d.index("plate", "pk_plate").unwrap();
         assert_eq!(idx.len(), 2);
         assert_eq!(idx.seek_exact(&IndexKey(vec![Value::Int(2)])).len(), 1);
@@ -560,13 +563,20 @@ mod tests {
     #[test]
     fn foreign_key_enforced_on_insert() {
         let mut d = db();
-        d.insert("plate", vec![Value::Int(1), Value::Float(180.0)]).unwrap();
-        // Valid child.
-        d.insert("specObj", vec![Value::Int(100), Value::Int(1), Value::Float(0.1)])
+        d.insert("plate", vec![Value::Int(1), Value::Float(180.0)])
             .unwrap();
+        // Valid child.
+        d.insert(
+            "specObj",
+            vec![Value::Int(100), Value::Int(1), Value::Float(0.1)],
+        )
+        .unwrap();
         // Dangling child.
         let err = d
-            .insert("specObj", vec![Value::Int(101), Value::Int(99), Value::Float(0.1)])
+            .insert(
+                "specObj",
+                vec![Value::Int(101), Value::Int(99), Value::Float(0.1)],
+            )
             .unwrap_err();
         assert!(matches!(err, StorageError::ForeignKeyViolation { .. }));
     }
@@ -575,20 +585,26 @@ mod tests {
     fn fk_enforcement_can_be_deferred_and_validated() {
         let mut d = db();
         d.set_enforce_foreign_keys(false);
-        d.insert("specObj", vec![Value::Int(100), Value::Int(77), Value::Float(0.1)])
-            .unwrap();
+        d.insert(
+            "specObj",
+            vec![Value::Int(100), Value::Int(77), Value::Float(0.1)],
+        )
+        .unwrap();
         let problems = d.validate_foreign_keys();
         assert_eq!(problems.len(), 1);
         assert!(problems[0].contains("fk_spec_plate"));
         // Fix the problem and re-validate.
-        d.insert("plate", vec![Value::Int(77), Value::Float(10.0)]).unwrap();
+        d.insert("plate", vec![Value::Int(77), Value::Float(10.0)])
+            .unwrap();
         assert!(d.validate_foreign_keys().is_empty());
     }
 
     #[test]
     fn delete_maintains_indices() {
         let mut d = db();
-        let rid = d.insert("plate", vec![Value::Int(5), Value::Float(1.0)]).unwrap();
+        let rid = d
+            .insert("plate", vec![Value::Int(5), Value::Float(1.0)])
+            .unwrap();
         assert!(d.delete("plate", rid).unwrap());
         assert!(!d.delete("plate", rid).unwrap());
         assert_eq!(d.index("plate", "pk_plate").unwrap().len(), 0);
@@ -612,8 +628,12 @@ mod tests {
     #[test]
     fn views_and_duplicates() {
         let mut d = db();
-        d.create_view("Galaxy", "SELECT * FROM photoObj WHERE type = 3", "galaxies")
-            .unwrap();
+        d.create_view(
+            "Galaxy",
+            "SELECT * FROM photoObj WHERE type = 3",
+            "galaxies",
+        )
+        .unwrap();
         assert!(d.view("galaxy").is_some());
         assert!(d.create_view("galaxy", "x", "dup").is_err());
         assert!(d.create_table("Galaxy", plate_schema()).is_err());
@@ -624,7 +644,8 @@ mod tests {
     fn summaries_report_sizes() {
         let mut d = db();
         for i in 0..100 {
-            d.insert("plate", vec![Value::Int(i), Value::Float(i as f64)]).unwrap();
+            d.insert("plate", vec![Value::Int(i), Value::Float(i as f64)])
+                .unwrap();
         }
         let summaries = d.summaries();
         let plate = summaries.iter().find(|s| s.name == "plate").unwrap();

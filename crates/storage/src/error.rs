@@ -81,7 +81,10 @@ mod tests {
 
     #[test]
     fn conversions() {
-        let s: StorageError = SchemaError::NullViolation { column: "ra".into() }.into();
+        let s: StorageError = SchemaError::NullViolation {
+            column: "ra".into(),
+        }
+        .into();
         assert!(matches!(s, StorageError::Schema(_)));
         let i: StorageError = IndexError::UnknownColumn("x".into()).into();
         assert!(matches!(i, StorageError::Index(_)));

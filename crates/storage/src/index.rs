@@ -70,6 +70,12 @@ impl IndexDef {
         self
     }
 
+    /// The leading key column — the one seeks and index-lookup joins bind
+    /// to.  Indexes always have at least one key column.
+    pub fn leading_column(&self) -> &str {
+        &self.key_columns[0]
+    }
+
     /// All columns the index can answer from (keys then included).
     pub fn covered_columns(&self) -> Vec<&str> {
         self.key_columns
@@ -182,12 +188,7 @@ impl BTreeIndex {
 
     /// Extract the key for a row.
     pub fn key_of(&self, row: &[Value]) -> IndexKey {
-        IndexKey(
-            self.key_positions
-                .iter()
-                .map(|&p| row[p].clone())
-                .collect(),
-        )
+        IndexKey(self.key_positions.iter().map(|&p| row[p].clone()).collect())
     }
 
     /// Add a row to the index (called on insert).
@@ -325,7 +326,12 @@ mod tests {
         ];
         for (id, htm, ra, ty) in rows {
             t.insert(
-                vec![Value::Int(id), Value::Int(htm), Value::Float(ra), Value::str(ty)],
+                vec![
+                    Value::Int(id),
+                    Value::Int(htm),
+                    Value::Float(ra),
+                    Value::str(ty),
+                ],
                 0,
             )
             .unwrap();
@@ -379,16 +385,11 @@ mod tests {
     #[test]
     fn unique_index_rejects_duplicates() {
         let t = table_with_rows();
-        assert!(BTreeIndex::build(
-            IndexDef::new("pk", "photoObj", &["objID"]).unique(),
-            &t
-        )
-        .is_ok());
-        let err = BTreeIndex::build(
-            IndexDef::new("uq_htm", "photoObj", &["htmID"]).unique(),
-            &t,
-        )
-        .unwrap_err();
+        assert!(
+            BTreeIndex::build(IndexDef::new("pk", "photoObj", &["objID"]).unique(), &t).is_ok()
+        );
+        let err = BTreeIndex::build(IndexDef::new("uq_htm", "photoObj", &["htmID"]).unique(), &t)
+            .unwrap_err();
         assert!(matches!(err, IndexError::UniqueViolation { .. }));
     }
 
@@ -407,7 +408,12 @@ mod tests {
             BTreeIndex::build(IndexDef::new("ix_htm", "photoObj", &["htmID"]), &t).unwrap();
         let rid = t
             .insert(
-                vec![Value::Int(6), Value::Int(450), Value::Float(60.0), Value::str("star")],
+                vec![
+                    Value::Int(6),
+                    Value::Int(450),
+                    Value::Float(60.0),
+                    Value::str("star"),
+                ],
                 0,
             )
             .unwrap();
@@ -439,10 +445,7 @@ mod tests {
     fn scan_visits_everything_in_key_order() {
         let t = table_with_rows();
         let idx = BTreeIndex::build(IndexDef::new("ix_ra", "photoObj", &["ra"]), &t).unwrap();
-        let ras: Vec<f64> = idx
-            .scan()
-            .map(|(k, _)| k.0[0].as_f64().unwrap())
-            .collect();
+        let ras: Vec<f64> = idx.scan().map(|(k, _)| k.0[0].as_f64().unwrap()).collect();
         let mut sorted = ras.clone();
         sorted.sort_by(f64::total_cmp);
         assert_eq!(ras, sorted);

@@ -82,22 +82,30 @@ pub struct CpuCost {
 impl CpuCost {
     /// Trivial `select count(*)` scan.
     pub fn simple_scan() -> Self {
-        CpuCost { clocks_per_byte: 10.0 }
+        CpuCost {
+            clocks_per_byte: 10.0,
+        }
     }
 
     /// Scan with an arithmetic predicate like `(r-g) > 1`.
     pub fn filtered_scan() -> Self {
-        CpuCost { clocks_per_byte: 19.0 }
+        CpuCost {
+            clocks_per_byte: 19.0,
+        }
     }
 
     /// Raw file copy (NTFS scan): almost no per-byte CPU.
     pub fn raw_copy() -> Self {
-        CpuCost { clocks_per_byte: 1.2 }
+        CpuCost {
+            clocks_per_byte: 1.2,
+        }
     }
 
     /// Index lookup path: dominated by per-row logic rather than bytes.
     pub fn index_lookup() -> Self {
-        CpuCost { clocks_per_byte: 25.0 }
+        CpuCost {
+            clocks_per_byte: 25.0,
+        }
     }
 
     /// Arbitrary cost.
@@ -190,7 +198,10 @@ impl IoSimulator {
         let disks = f64::from(self.config.disks) * p.disk_mbps;
         let controllers = f64::from(self.config.controllers) * p.controller_mbps;
         let buses = f64::from(self.config.pci_buses) * p.pci_bus_mbps;
-        disks.min(controllers).min(buses).min(p.memory_mbps * f64::from(self.config.pci_buses))
+        disks
+            .min(controllers)
+            .min(buses)
+            .min(p.memory_mbps * f64::from(self.config.pci_buses))
     }
 
     /// CPU-limited processing bandwidth in MB/s for the given per-byte cost,
@@ -239,7 +250,12 @@ impl IoSimulator {
     /// Simulate `lookups` random index lookups touching `bytes_per_lookup`
     /// each.  Random 8 KB-page reads cost a seek (~5 ms cold); warm lookups
     /// run from cache.
-    pub fn simulate_index_lookups(&self, lookups: u64, bytes_per_lookup: u64, warm: bool) -> SimTiming {
+    pub fn simulate_index_lookups(
+        &self,
+        lookups: u64,
+        bytes_per_lookup: u64,
+        warm: bool,
+    ) -> SimTiming {
         let seek_seconds = if warm { 0.0 } else { 0.005 };
         let per_lookup_io =
             seek_seconds + (bytes_per_lookup as f64 / 1e6) / self.profile.disk_mbps.max(1.0);
@@ -308,7 +324,10 @@ mod tests {
         let sql = s.scan_mbps(CpuCost::simple_scan());
         let raw = s.scan_mbps(CpuCost::raw_copy());
         assert!(sql < raw, "SQL scan should saturate below raw NTFS scan");
-        assert!(raw > 300.0, "raw scan should exceed 300 MB/s on 12 disks/2 buses");
+        assert!(
+            raw > 300.0,
+            "raw scan should exceed 300 MB/s on 12 disks/2 buses"
+        );
     }
 
     #[test]
@@ -321,8 +340,11 @@ mod tests {
         // strictly IO bound.
         let simple = s.simulate_scan(30_000_000_000, CpuCost::simple_scan());
         assert!(simple.io_bound);
-        assert!(simple.elapsed_seconds > 150.0 && simple.elapsed_seconds < 260.0,
-                "30GB scan at ~140MB/s should take ~3.5 minutes, got {}", simple.elapsed_seconds);
+        assert!(
+            simple.elapsed_seconds > 150.0 && simple.elapsed_seconds < 260.0,
+            "30GB scan at ~140MB/s should take ~3.5 minutes, got {}",
+            simple.elapsed_seconds
+        );
         assert!(t.cpu_seconds > simple.cpu_seconds);
     }
 
@@ -347,7 +369,10 @@ mod tests {
         let cold = s.simulate_index_lookups(1000, 8192, false);
         let warm = s.simulate_index_lookups(1000, 8192, true);
         assert!(cold.elapsed_seconds > warm.elapsed_seconds);
-        assert!(cold.elapsed_seconds < 10.0, "1000 cold lookups spread over 4 disks");
+        assert!(
+            cold.elapsed_seconds < 10.0,
+            "1000 cold lookups spread over 4 disks"
+        );
     }
 
     #[test]
@@ -365,7 +390,10 @@ mod tests {
         let mut last = 0.0;
         for d in 1..=12 {
             let mbps = sim(d).raw_io_mbps();
-            assert!(mbps >= last, "bandwidth must not decrease when adding disks");
+            assert!(
+                mbps >= last,
+                "bandwidth must not decrease when adding disks"
+            );
             last = mbps;
         }
     }

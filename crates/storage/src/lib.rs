@@ -48,7 +48,9 @@ mod proptests {
         prop_oneof![
             Just(Value::Null),
             any::<i64>().prop_map(Value::Int),
-            any::<f64>().prop_filter("finite", |f| f.is_finite()).prop_map(Value::Float),
+            any::<f64>()
+                .prop_filter("finite", |f| f.is_finite())
+                .prop_map(Value::Float),
             "[a-zA-Z0-9 ,._-]{0,24}".prop_map(Value::str),
             any::<bool>().prop_map(Value::Bool),
         ]

@@ -207,8 +207,13 @@ impl TableSchema {
 /// Errors raised by schema validation.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SchemaError {
-    ColumnCountMismatch { expected: usize, got: usize },
-    NullViolation { column: String },
+    ColumnCountMismatch {
+        expected: usize,
+        got: usize,
+    },
+    NullViolation {
+        column: String,
+    },
     TypeMismatch {
         column: String,
         expected: DataType,
@@ -220,7 +225,10 @@ impl fmt::Display for SchemaError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SchemaError::ColumnCountMismatch { expected, got } => {
-                write!(f, "row has {got} values but the table has {expected} columns")
+                write!(
+                    f,
+                    "row has {got} values but the table has {expected} columns"
+                )
             }
             SchemaError::NullViolation { column } => {
                 write!(f, "column {column} is NOT NULL but received NULL")
@@ -297,7 +305,12 @@ mod tests {
     fn validate_rejects_null_in_not_null_column() {
         let s = schema();
         let err = s
-            .validate_row(vec![Value::Null, Value::Float(1.0), Value::Null, Value::Int(0)])
+            .validate_row(vec![
+                Value::Null,
+                Value::Float(1.0),
+                Value::Null,
+                Value::Int(0),
+            ])
             .unwrap_err();
         assert!(matches!(err, SchemaError::NullViolation { .. }));
     }

@@ -86,8 +86,7 @@ impl ExecutionStats {
             CpuCost::simple_scan()
         };
         let simulated = simulate(stats, sim, cost, 1.0);
-        let simulated_at_paper_scale =
-            scale_factor.map(|f| simulate(stats, sim, cost, f.max(1.0)));
+        let simulated_at_paper_scale = scale_factor.map(|f| simulate(stats, sim, cost, f.max(1.0)));
         ExecutionStats {
             stats,
             wall_seconds: wall.as_secs_f64(),
@@ -158,7 +157,10 @@ mod tests {
         assert!(report.wall_seconds > 0.0);
         let small = report.simulated.elapsed_seconds;
         let big = report.simulated_at_paper_scale.unwrap().elapsed_seconds;
-        assert!(big > small * 50.0, "paper-scale projection should be ~140x slower");
+        assert!(
+            big > small * 50.0,
+            "paper-scale projection should be ~140x slower"
+        );
     }
 
     #[test]

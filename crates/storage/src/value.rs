@@ -288,7 +288,7 @@ impl Eq for Value {}
 
 impl PartialOrd for Value {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.total_cmp(other))
+        Some(self.cmp(other))
     }
 }
 
@@ -363,7 +363,7 @@ mod tests {
 
     #[test]
     fn null_sorts_first_and_is_not_equal() {
-        let mut vals = vec![Value::Int(3), Value::Null, Value::Int(1)];
+        let mut vals = [Value::Int(3), Value::Null, Value::Int(1)];
         vals.sort();
         assert!(vals[0].is_null());
         assert!(!Value::Null.sql_eq(&Value::Null));
@@ -394,7 +394,10 @@ mod tests {
             Value::str("3.25").coerce(DataType::Float),
             Some(Value::Float(3.25))
         );
-        assert_eq!(Value::Int(1).coerce(DataType::Bool), Some(Value::Bool(true)));
+        assert_eq!(
+            Value::Int(1).coerce(DataType::Bool),
+            Some(Value::Bool(true))
+        );
         assert_eq!(Value::Float(7.9).coerce(DataType::Int), Some(Value::Int(7)));
         assert_eq!(Value::str("abc").coerce(DataType::Int), None);
         assert_eq!(Value::Null.coerce(DataType::Int), Some(Value::Null));
@@ -414,7 +417,10 @@ mod tests {
         assert_eq!(Value::Float(2.0).to_csv_field(), "2.0");
         assert_eq!(Value::str("plain").to_csv_field(), "plain");
         assert_eq!(Value::str("a,b").to_csv_field(), "\"a,b\"");
-        assert_eq!(Value::str("say \"hi\"").to_csv_field(), "\"say \"\"hi\"\"\"");
+        assert_eq!(
+            Value::str("say \"hi\"").to_csv_field(),
+            "\"say \"\"hi\"\"\""
+        );
         assert_eq!(Value::Null.to_csv_field(), "");
     }
 

@@ -74,7 +74,10 @@ pub fn to_xml(result: &ResultSet) -> String {
         out.push_str("  <row>");
         for (name, value) in result.columns.iter().zip(row) {
             let tag = sanitize_tag(name);
-            out.push_str(&format!("<{tag}>{}</{tag}>", escape_xml(&value.to_string())));
+            out.push_str(&format!(
+                "<{tag}>{}</{tag}>",
+                escape_xml(&value.to_string())
+            ));
         }
         out.push_str("</row>\n");
     }
@@ -115,7 +118,9 @@ fn value_to_json(v: &Value) -> serde_json::Value {
 pub fn to_fits_ascii(result: &ResultSet) -> String {
     let mut out = String::new();
     let card = |text: &str| format!("{:<80}\n", text);
-    out.push_str(&card("SIMPLE  =                    T / SkyServer-RS ASCII table"));
+    out.push_str(&card(
+        "SIMPLE  =                    T / SkyServer-RS ASCII table",
+    ));
     out.push_str(&card("XTENSION= 'TABLE   '"));
     out.push_str(&card(&format!("TFIELDS = {:>20}", result.columns.len())));
     out.push_str(&card(&format!("NAXIS2  = {:>20}", result.rows.len())));
@@ -124,7 +129,10 @@ pub fn to_fits_ascii(result: &ResultSet) -> String {
     }
     out.push_str(&card("END"));
     for row in &result.rows {
-        let line: Vec<String> = row.iter().map(|v| format!("{:>16}", v.to_string())).collect();
+        let line: Vec<String> = row
+            .iter()
+            .map(|v| format!("{:>16}", v.to_string()))
+            .collect();
         out.push_str(&line.join(" "));
         out.push('\n');
     }
@@ -134,9 +142,20 @@ pub fn to_fits_ascii(result: &ResultSet) -> String {
 fn sanitize_tag(name: &str) -> String {
     let cleaned: String = name
         .chars()
-        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect();
-    if cleaned.chars().next().map(|c| c.is_ascii_digit()).unwrap_or(true) {
+    if cleaned
+        .chars()
+        .next()
+        .map(|c| c.is_ascii_digit())
+        .unwrap_or(true)
+    {
         format!("c_{cleaned}")
     } else {
         cleaned
@@ -158,7 +177,11 @@ mod tests {
             columns: vec!["objID".into(), "ra".into(), "name".into()],
             rows: vec![
                 vec![Value::Int(1), Value::Float(185.5), Value::str("M<64>")],
-                vec![Value::Int(2), Value::Float(186.0), Value::str("plain, comma")],
+                vec![
+                    Value::Int(2),
+                    Value::Float(186.0),
+                    Value::str("plain, comma"),
+                ],
             ],
             truncated: false,
         }

@@ -237,7 +237,10 @@ where
 }
 
 /// Minimal blocking HTTP GET used by the integration tests and examples.
-pub fn http_get(addr: std::net::SocketAddr, path_and_query: &str) -> std::io::Result<(u16, String)> {
+pub fn http_get(
+    addr: std::net::SocketAddr,
+    path_and_query: &str,
+) -> std::io::Result<(u16, String)> {
     let mut stream = TcpStream::connect(addr)?;
     write!(
         stream,
@@ -280,7 +283,10 @@ mod tests {
         assert_eq!(url_decode("a%20b+c"), "a b c");
         assert_eq!(url_decode("100%25"), "100%");
         assert_eq!(url_decode("plain"), "plain");
-        assert_eq!(url_decode("select+*+from+t%20where%20a%3D1"), "select * from t where a=1");
+        assert_eq!(
+            url_decode("select+*+from+t%20where%20a%3D1"),
+            "select * from t where a=1"
+        );
     }
 
     #[test]

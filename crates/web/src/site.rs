@@ -8,9 +8,9 @@
 use crate::formats::OutputFormat;
 use crate::http::{HttpServer, Request, Response};
 use crate::traffic::{LogRecord, Section};
-use parking_lot::Mutex;
 use skyserver::{SkyServer, SkyServerError};
 use std::sync::Arc;
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// The web application: a shared SkyServer plus a request log.
@@ -37,7 +37,7 @@ impl SkyServerSite {
 
     /// The request log accumulated so far (feeds the traffic analyser).
     pub fn request_log(&self) -> Vec<LogRecord> {
-        self.log.lock().clone()
+        self.log.lock().unwrap().clone()
     }
 
     /// Start an HTTP server for this site on the given port (0 = ephemeral).
@@ -55,10 +55,10 @@ impl SkyServerSite {
 
     fn record(&self, req: &Request, ok: bool) {
         let section = section_of_path(&req.path);
-        let mut counter = self.session_counter.lock();
+        let mut counter = self.session_counter.lock().unwrap();
         *counter += 1;
         let day = (self.started.elapsed().as_secs() / 86_400) as u32;
-        self.log.lock().push(LogRecord {
+        self.log.lock().unwrap().push(LogRecord {
             day,
             session: *counter,
             section,
@@ -112,10 +112,9 @@ impl SkyServerSite {
     }
 
     fn famous_places(&self) -> Response {
-        let mut sky = self.sky.lock();
-        match sky.query(
-            "select top 12 objID, ra, dec, modelMag_r from Galaxy order by modelMag_r",
-        ) {
+        let mut sky = self.sky.lock().unwrap();
+        match sky.query("select top 12 objID, ra, dec, modelMag_r from Galaxy order by modelMag_r")
+        {
             Ok(result) => {
                 let mut html = String::from("<html><body><h1>Famous places</h1><ul>");
                 for row in &result.rows {
@@ -139,7 +138,7 @@ impl SkyServerSite {
         let Some(id) = req.param("id").and_then(|s| s.parse::<i64>().ok()) else {
             return Response::bad_request("explore needs an integer ?id= parameter");
         };
-        let mut sky = self.sky.lock();
+        let mut sky = self.sky.lock().unwrap();
         match sky.explore(id) {
             Ok(summary) => Response::ok(
                 "application/json; charset=utf-8",
@@ -151,12 +150,22 @@ impl SkyServerSite {
     }
 
     fn navigator(&self, req: &Request) -> Response {
-        let ra = req.param("ra").and_then(|s| s.parse::<f64>().ok()).unwrap_or(181.0);
-        let dec = req.param("dec").and_then(|s| s.parse::<f64>().ok()).unwrap_or(-0.8);
-        let zoom = req.param("zoom").and_then(|s| s.parse::<u32>().ok()).unwrap_or(1).min(3);
+        let ra = req
+            .param("ra")
+            .and_then(|s| s.parse::<f64>().ok())
+            .unwrap_or(181.0);
+        let dec = req
+            .param("dec")
+            .and_then(|s| s.parse::<f64>().ok())
+            .unwrap_or(-0.8);
+        let zoom = req
+            .param("zoom")
+            .and_then(|s| s.parse::<u32>().ok())
+            .unwrap_or(1)
+            .min(3);
         // The visible radius shrinks as the user zooms in (4 levels, §5).
         let radius_arcmin = 60.0 / f64::from(1 << zoom);
-        let mut sky = self.sky.lock();
+        let mut sky = self.sky.lock().unwrap();
         match sky.nearby_objects(ra, dec, radius_arcmin) {
             Ok(result) => {
                 let objects: Vec<serde_json::Value> = result
@@ -191,7 +200,7 @@ impl SkyServerSite {
             return Response::bad_request("the SQL search page needs a ?cmd= parameter");
         };
         let format = OutputFormat::parse(req.param("format").unwrap_or("grid"));
-        let mut sky = self.sky.lock();
+        let mut sky = self.sky.lock().unwrap();
         // The public page enforces the 1,000 row / 30 second limits (§4).
         match sky.execute_public(sql) {
             Ok(outcome) => {
@@ -206,7 +215,7 @@ impl SkyServerSite {
     }
 
     fn schema_browser(&self) -> Response {
-        let sky = self.sky.lock();
+        let sky = self.sky.lock().unwrap();
         let description = sky.schema_description();
         Response::ok(
             "application/json; charset=utf-8",
@@ -215,7 +224,7 @@ impl SkyServerSite {
     }
 
     fn traffic_page(&self) -> Response {
-        let log = self.log.lock();
+        let log = self.log.lock().unwrap();
         Response::ok(
             "application/json; charset=utf-8",
             serde_json::json!({ "requests": log.len() }).to_string(),
@@ -366,9 +375,11 @@ mod tests {
     fn end_to_end_over_a_real_socket() {
         let site = site();
         let server = site.serve(0).unwrap();
-        let (status, body) =
-            crate::http::http_get(server.addr(), "/en/tools/search/x_sql?cmd=select+count(*)+from+Plate&format=csv")
-                .unwrap();
+        let (status, body) = crate::http::http_get(
+            server.addr(),
+            "/en/tools/search/x_sql?cmd=select+count(*)+from+Plate&format=csv",
+        )
+        .unwrap();
         assert_eq!(status, 200);
         assert!(body.lines().count() >= 2);
         server.stop();

@@ -12,8 +12,8 @@
 //! deployment of the HTTP server would feed.
 
 use rand::Rng;
-use rand_chacha::ChaCha8Rng;
 use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 
 /// Site sections, used to attribute traffic the way §7 does.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
@@ -154,7 +154,11 @@ fn pick_section(rng: &mut ChaCha8Rng, config: &TrafficConfig, crawler: bool) -> 
     let x: f64 = rng.gen_range(0.0..1.0);
     if crawler {
         // Crawlers walk the data pages.
-        return if x < 0.6 { Section::Explorer } else { Section::Navigator };
+        return if x < 0.6 {
+            Section::Explorer
+        } else {
+            Section::Navigator
+        };
     }
     let edu = config.education_fraction;
     let jp = config.japanese_fraction;
@@ -216,7 +220,10 @@ pub struct TrafficReport {
 pub fn analyze_traffic(log: &[LogRecord], config: &TrafficConfig) -> TrafficReport {
     let days = config.days;
     let mut daily: Vec<DailyTraffic> = (0..days)
-        .map(|day| DailyTraffic { day, ..Default::default() })
+        .map(|day| DailyTraffic {
+            day,
+            ..Default::default()
+        })
         .collect();
     let mut sessions_per_day: Vec<std::collections::HashSet<u64>> =
         vec![std::collections::HashSet::new(); days as usize];
@@ -226,7 +233,9 @@ pub fn analyze_traffic(log: &[LogRecord], config: &TrafficConfig) -> TrafficRepo
     let mut crawler_hits = 0u64;
     let mut total_page_views = 0u64;
     for r in log {
-        let Some(d) = daily.get_mut(r.day as usize) else { continue };
+        let Some(d) = daily.get_mut(r.day as usize) else {
+            continue;
+        };
         d.hits += 1;
         if r.crawler {
             crawler_hits += 1;
@@ -252,7 +261,11 @@ pub fn analyze_traffic(log: &[LogRecord], config: &TrafficConfig) -> TrafficRepo
     hit_counts.sort_unstable();
     let median = hit_counts.get(hit_counts.len() / 2).copied().unwrap_or(0);
     let peak = hit_counts.last().copied().unwrap_or(0);
-    let outage_days: Vec<u32> = daily.iter().filter(|d| d.hits == 0).map(|d| d.day).collect();
+    let outage_days: Vec<u32> = daily
+        .iter()
+        .filter(|d| d.hits == 0)
+        .map(|d| d.day)
+        .collect();
     // Availability: 8 software reboots at ~5 minutes, the rest at ~2 hours
     // (the paper's patch vs power split), over the whole period.
     let software = config.reboots.min(8) as f64 * 5.0 / 60.0;
@@ -268,7 +281,11 @@ pub fn analyze_traffic(log: &[LogRecord], config: &TrafficConfig) -> TrafficRepo
         german_share: ratio(german, total_page_views),
         crawler_share: ratio(crawler_hits, total_hits),
         pages_per_day: total_page_views as f64 / f64::from(days.max(1)),
-        peak_to_median: if median > 0 { peak as f64 / median as f64 } else { 0.0 },
+        peak_to_median: if median > 0 {
+            peak as f64 / median as f64
+        } else {
+            0.0
+        },
         outage_days,
         availability,
         daily,
@@ -344,19 +361,35 @@ mod tests {
     #[test]
     fn shares_match_section7() {
         let r = report();
-        assert!((0.2..0.4).contains(&r.crawler_share), "crawlers {}", r.crawler_share);
-        assert!((0.05..0.12).contains(&r.education_share), "edu {}", r.education_share);
+        assert!(
+            (0.2..0.4).contains(&r.crawler_share),
+            "crawlers {}",
+            r.crawler_share
+        );
+        assert!(
+            (0.05..0.12).contains(&r.education_share),
+            "edu {}",
+            r.education_share
+        );
         assert!((0.02..0.06).contains(&r.japanese_share));
         assert!((0.015..0.05).contains(&r.german_share));
         // Sustained usage of about 4,000 pages/day (paper's steady state);
         // the simulated average includes the ramp-up so allow a wide band.
-        assert!((2_000.0..8_000.0).contains(&r.pages_per_day), "pages/day {}", r.pages_per_day);
+        assert!(
+            (2_000.0..8_000.0).contains(&r.pages_per_day),
+            "pages/day {}",
+            r.pages_per_day
+        );
     }
 
     #[test]
     fn spike_and_outages_are_visible() {
         let r = report();
-        assert!(r.peak_to_median > 8.0, "TV spike should stand out, got {}", r.peak_to_median);
+        assert!(
+            r.peak_to_median > 8.0,
+            "TV spike should stand out, got {}",
+            r.peak_to_median
+        );
         assert_eq!(r.outage_days, vec![21, 55]);
         assert!(r.availability > 0.995 && r.availability < 1.0);
     }
@@ -372,7 +405,10 @@ mod tests {
 
     #[test]
     fn figure5_rendering_has_one_line_per_day() {
-        let config = TrafficConfig { days: 10, ..TrafficConfig::default() };
+        let config = TrafficConfig {
+            days: 10,
+            ..TrafficConfig::default()
+        };
         let log = simulate_traffic(&config);
         let r = analyze_traffic(&log, &config);
         let text = render_figure5(&r);
@@ -382,7 +418,10 @@ mod tests {
 
     #[test]
     fn analyzer_handles_an_empty_log() {
-        let config = TrafficConfig { days: 5, ..TrafficConfig::default() };
+        let config = TrafficConfig {
+            days: 5,
+            ..TrafficConfig::default()
+        };
         let r = analyze_traffic(&[], &config);
         assert_eq!(r.total_hits, 0);
         assert_eq!(r.outage_days.len(), 5);

@@ -6,7 +6,8 @@
 
 use skyserver::SkyServerBuilder;
 
-const SLOW_MOVERS: &str = "select objID, sqrt(rowv*rowv + colv*colv) as velocity, dbo.fGetUrlExpId(objID) as Url
+const SLOW_MOVERS: &str =
+    "select objID, sqrt(rowv*rowv + colv*colv) as velocity, dbo.fGetUrlExpId(objID) as Url
      into ##results
      from PhotoObj
      where (rowv*rowv + colv*colv) between 50 and 1000 and rowv >= 0 and colv >= 0";
@@ -29,7 +30,10 @@ const FAST_MOVERS: &str = "select r.objID as rId, g.objId as gId
        and abs(r.fiberMag_r - g.fiberMag_g) < 2.0";
 
 fn main() {
-    let mut sky = SkyServerBuilder::new().tiny().build().expect("build SkyServer");
+    let mut sky = SkyServerBuilder::new()
+        .tiny()
+        .build()
+        .expect("build SkyServer");
 
     println!("== Query 15: slow-moving asteroids (Figure 11) ==");
     println!("{}", sky.explain(SLOW_MOVERS).expect("plan"));

@@ -8,7 +8,10 @@ use skyserver_queries::{all_queries, render_figure13, run_all};
 
 fn main() {
     println!("Building the synthetic SkyServer (this generates and loads the catalog)...");
-    let mut sky = SkyServerBuilder::new().tiny().build().expect("build SkyServer");
+    let mut sky = SkyServerBuilder::new()
+        .tiny()
+        .build()
+        .expect("build SkyServer");
     println!(
         "{} photo objects loaded; projecting timings to the paper's 14M-object scale (x{:.0}).\n",
         sky.counts().photo_obj,
@@ -18,7 +21,11 @@ fn main() {
     // Show the plan of the paper's Query 1 (Figure 10).
     let queries = all_queries();
     let q1 = queries.iter().find(|q| q.id == "Q1").expect("Q1 exists");
-    println!("Query 1 ({}):\n{}", q1.title, sky.explain(&q1.sql).expect("plan"));
+    println!(
+        "Query 1 ({}):\n{}",
+        q1.title,
+        sky.explain(&q1.sql).expect("plan")
+    );
 
     // Run everything and print the Figure 13 table.
     println!("Running all {} queries...", queries.len());
@@ -34,8 +41,11 @@ fn main() {
         if of_class.is_empty() {
             continue;
         }
-        let mean_elapsed: f64 =
-            of_class.iter().map(|r| r.paper_elapsed_seconds).sum::<f64>() / of_class.len() as f64;
+        let mean_elapsed: f64 = of_class
+            .iter()
+            .map(|r| r.paper_elapsed_seconds)
+            .sum::<f64>()
+            / of_class.len() as f64;
         println!(
             "{:<10} {:>2} queries, mean projected elapsed {:.1}s",
             class,

@@ -7,7 +7,10 @@
 use skyserver::SkyServerBuilder;
 
 fn main() {
-    let mut sky = SkyServerBuilder::new().tiny().build().expect("build SkyServer");
+    let mut sky = SkyServerBuilder::new()
+        .tiny()
+        .build()
+        .expect("build SkyServer");
 
     // The classroom query: galaxies with measured spectra, their apparent
     // magnitude and redshift.
@@ -27,9 +30,8 @@ fn main() {
 
     // Bin by redshift and print an ASCII scatter: fainter (more distant)
     // galaxies should sit at higher redshift.
-    let mut bins: Vec<(f64, Vec<f64>)> = (0..10)
-        .map(|i| (0.05 * f64::from(i), Vec::new()))
-        .collect();
+    let mut bins: Vec<(f64, Vec<f64>)> =
+        (0..10).map(|i| (0.05 * f64::from(i), Vec::new())).collect();
     for row in &result.rows {
         let mag = row[0].as_f64().unwrap_or(0.0);
         let z = row[1].as_f64().unwrap_or(0.0);

@@ -13,7 +13,10 @@ use skyserver_web::{analyze_traffic, http_get, SkyServerSite, TrafficConfig};
 
 fn main() {
     println!("Building the Personal SkyServer (1%-scale survey)...");
-    let sky = SkyServerBuilder::new().tiny().build().expect("build SkyServer");
+    let sky = SkyServerBuilder::new()
+        .tiny()
+        .build()
+        .expect("build SkyServer");
     println!(
         "{} objects, {} spectra loaded.",
         sky.counts().photo_obj,
@@ -21,8 +24,14 @@ fn main() {
     );
 
     let site = SkyServerSite::new(sky);
-    let server = site.serve(8642).or_else(|_| site.serve(0)).expect("bind a port");
-    println!("SkyServer web interface listening on http://{}/", server.addr());
+    let server = site
+        .serve(8642)
+        .or_else(|_| site.serve(0))
+        .expect("bind a port");
+    println!(
+        "SkyServer web interface listening on http://{}/",
+        server.addr()
+    );
 
     // Exercise the site the way a visitor would (this doubles as a smoke
     // test when the example runs unattended).
@@ -39,7 +48,10 @@ fn main() {
 
     // Show what the site's own request log looks like through the Figure 5
     // analyser (a real deployment would accumulate this over months).
-    let config = TrafficConfig { days: 1, ..TrafficConfig::default() };
+    let config = TrafficConfig {
+        days: 1,
+        ..TrafficConfig::default()
+    };
     let report = analyze_traffic(&site.request_log(), &config);
     println!(
         "\nRequest log so far: {} hits across {} sections today.",

@@ -11,7 +11,10 @@ fn main() {
     // seconds.  Use `SkyServerBuilder::new().build()` for the Personal
     // SkyServer scale (~60k objects).
     println!("Generating and loading a synthetic Sloan survey...");
-    let mut sky = SkyServerBuilder::new().tiny().build().expect("build SkyServer");
+    let mut sky = SkyServerBuilder::new()
+        .tiny()
+        .build()
+        .expect("build SkyServer");
     let report = sky.load_report();
     println!(
         "Loaded {} rows ({} tables) in {:.2}s; {} neighbour pairs precomputed.\n",
@@ -26,7 +29,10 @@ fn main() {
     let mut summaries = sky.table_summaries();
     summaries.sort_by_key(|s| std::cmp::Reverse(s.rows));
     for s in summaries.iter().take(5) {
-        println!("  {:<14} {:>8} rows  {:>10} bytes", s.name, s.rows, s.data_bytes);
+        println!(
+            "  {:<14} {:>8} rows  {:>10} bytes",
+            s.name, s.rows, s.data_bytes
+        );
     }
 
     // A simple SQL question: the brightest galaxies.
@@ -38,11 +44,22 @@ fn main() {
 
     // A spatial question: what is near the first of them?
     let (ra, dec) = (
-        bright.cell(0, "ra").and_then(|v| v.as_f64()).unwrap_or(181.0),
-        bright.cell(0, "dec").and_then(|v| v.as_f64()).unwrap_or(-0.8),
+        bright
+            .cell(0, "ra")
+            .and_then(|v| v.as_f64())
+            .unwrap_or(181.0),
+        bright
+            .cell(0, "dec")
+            .and_then(|v| v.as_f64())
+            .unwrap_or(-0.8),
     );
-    let nearby = sky.nearby_objects(ra, dec, 2.0).expect("spatial query runs");
-    println!("Objects within 2 arcminutes of ({ra:.4}, {dec:.4}): {}", nearby.len());
+    let nearby = sky
+        .nearby_objects(ra, dec, 2.0)
+        .expect("spatial query runs");
+    println!(
+        "Objects within 2 arcminutes of ({ra:.4}, {dec:.4}): {}",
+        nearby.len()
+    );
 
     // And the public interface: the same query under the 1,000-row limit.
     let public = sky

@@ -40,7 +40,10 @@ fn full_pipeline_generate_load_query_web() {
     assert!(p <= counts.photo_obj as i64);
     // ~80% primary.
     let fraction = p as f64 / counts.photo_obj as f64;
-    assert!((0.7..0.95).contains(&fraction), "primary fraction {fraction}");
+    assert!(
+        (0.7..0.95).contains(&fraction),
+        "primary fraction {fraction}"
+    );
 
     // Spatial search through SQL and through the API agree.
     let via_sql = sky
@@ -84,9 +87,15 @@ fn explorer_schema_browser_and_formats_are_consistent() {
     let mut sky = tiny_server();
     // Schema browser metadata matches the live catalog.
     let description = sky.schema_description();
-    assert!(description.tables.iter().any(|t| t.name == "PhotoObj" && t.rows > 0));
+    assert!(description
+        .tables
+        .iter()
+        .any(|t| t.name == "PhotoObj" && t.rows > 0));
     assert!(description.views.iter().any(|v| v.name == "Galaxy"));
-    assert!(description.functions.iter().any(|f| f.contains("fgetnearbyobjeq")));
+    assert!(description
+        .functions
+        .iter()
+        .any(|f| f.contains("fgetnearbyobjeq")));
 
     // The explorer returns the same attribute count as the schema.
     let photo_columns = description
@@ -110,7 +119,12 @@ fn explorer_schema_browser_and_formats_are_consistent() {
     let result = sky
         .query("select top 7 objID, ra, dec from PhotoObj order by objID")
         .unwrap();
-    for format in [OutputFormat::Csv, OutputFormat::Json, OutputFormat::Xml, OutputFormat::Fits] {
+    for format in [
+        OutputFormat::Csv,
+        OutputFormat::Json,
+        OutputFormat::Xml,
+        OutputFormat::Fits,
+    ] {
         let rendered = format.render(&result);
         assert!(!rendered.is_empty());
     }

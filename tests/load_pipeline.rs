@@ -14,7 +14,11 @@ fn survey_load_journal_undo_and_reload() {
     .unwrap();
     let mut engine = create_engine("load_test").unwrap();
     let report = skyserver::loader::load_survey(&mut engine, &survey).unwrap();
-    assert!(report.is_clean(), "fk violations: {:?}", report.fk_violations);
+    assert!(
+        report.is_clean(),
+        "fk violations: {:?}",
+        report.fk_violations
+    );
     assert_eq!(report.events.len(), 13);
 
     // The loadEvents journal is queryable and complete.
@@ -22,7 +26,10 @@ fn survey_load_journal_undo_and_reload() {
     assert_eq!(events.len(), 13);
     assert!(events.iter().all(|e| e.status == LoadStatus::Success));
     let photo_event = events.iter().find(|e| e.table_name == "PhotoObj").unwrap();
-    assert_eq!(photo_event.rows_inserted as usize, survey.counts().photo_obj);
+    assert_eq!(
+        photo_event.rows_inserted as usize,
+        survey.counts().photo_obj
+    );
 
     // UNDO one step and verify only that table shrank.
     let spec_lines_before = engine

@@ -13,7 +13,10 @@ fn query1_is_an_index_lookup_join_and_q15_is_a_scan() {
     // with the photoObj primary key.
     let q1 = queries.iter().find(|q| q.id == "Q1").unwrap();
     let plan = sky.explain(&q1.sql).unwrap();
-    assert!(plan.contains("TableFunction(fGetNearbyObjEq"), "plan:\n{plan}");
+    assert!(
+        plan.contains("TableFunction(fGetNearbyObjEq"),
+        "plan:\n{plan}"
+    );
     assert!(plan.contains("index lookup"), "plan:\n{plan}");
     assert_eq!(sky.plan_class(&q1.sql).unwrap(), PlanClass::IndexSeek);
     let outcome = sky.execute(&q1.sql).unwrap();

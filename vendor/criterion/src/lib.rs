@@ -1,0 +1,177 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Exposes the definition API the workspace's benches use — [`Criterion`],
+//! `bench_function`, `benchmark_group` / `sample_size` / `finish`,
+//! [`black_box`], `criterion_group!`, `criterion_main!` — backed by a simple
+//! timing loop: each benchmark is warmed up briefly, then timed over a fixed
+//! number of samples, and the per-iteration mean / min / max are printed.
+//! There is no statistical analysis, HTML report or comparison baseline.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard optimization barrier.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 30 }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(name, self.sample_size, &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            sample_size: 30,
+        }
+    }
+
+    /// Accepted for API compatibility; command-line options are ignored.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        run_bench(&full, self.sample_size, &mut f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; `iter` times one sample.
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(name: &str, samples: usize, f: &mut F) {
+    // Calibrate: find an iteration count that takes ≳1 ms per sample, so
+    // sub-microsecond benchmarks still measure something.
+    let mut iterations = 1u64;
+    loop {
+        let mut b = Bencher {
+            iterations,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed >= Duration::from_millis(1) || iterations >= 1 << 20 {
+            break;
+        }
+        iterations *= 4;
+    }
+    let mut per_iter: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut b = Bencher {
+            iterations,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        per_iter.push(b.elapsed.as_secs_f64() / iterations as f64);
+    }
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    let min = per_iter.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = per_iter.iter().copied().fold(0.0f64, f64::max);
+    println!(
+        "{name:<40} mean {:>12}  min {:>12}  max {:>12}  ({} samples x {} iters)",
+        format_time(mean),
+        format_time(min),
+        format_time(max),
+        per_iter.len(),
+        iterations
+    );
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} us", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $($group(&mut criterion);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn harness_runs_a_bench() {
+        let mut c = Criterion::default();
+        sample_bench(&mut c);
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        group.bench_function("inner", |b| b.iter(|| black_box(2 * 2)));
+        group.finish();
+    }
+}

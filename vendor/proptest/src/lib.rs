@@ -1,0 +1,451 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Supports the subset this workspace's property tests use: the [`Strategy`]
+//! trait with `prop_map` / `prop_filter`, range and tuple strategies,
+//! `any::<T>()`, `Just`, `prop_oneof!`, simple character-class string
+//! strategies, `proptest::collection::vec`, and the `proptest!` /
+//! `prop_assert*` macros.  Cases are sampled from a seed derived from the
+//! test's path, so runs are deterministic; there is **no shrinking** — a
+//! failing case simply panics with the regular assert message.
+
+use rand::{Rng, SeedableRng};
+
+pub use rand_chacha::ChaCha8Rng as TestRng;
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// FNV-1a over the test path: a stable per-test base seed.
+#[doc(hidden)]
+pub fn fnv(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[doc(hidden)]
+pub fn new_rng(base: u64, case: u32) -> TestRng {
+    TestRng::seed_from_u64(base ^ (u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> strategy::Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        strategy::Map { inner: self, f }
+    }
+
+    fn prop_filter<F>(self, reason: &'static str, predicate: F) -> strategy::Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        strategy::Filter {
+            inner: self,
+            reason,
+            predicate,
+        }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+impl<V> Strategy for Box<dyn Strategy<Value = V>> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (**self).generate(rng)
+    }
+}
+
+/// A constant strategy.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// `any::<T>()`: the full value range of a primitive type.
+pub fn any<T: Arbitrary>() -> arbitrary::Any<T> {
+    arbitrary::Any(std::marker::PhantomData)
+}
+
+/// Primitive types `any::<T>()` supports.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.gen::<$t>()
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.gen::<bool>()
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Mix magnitudes so both small and astronomical values appear.
+        let exp = rng.gen_range(-64i32..64);
+        let mantissa = rng.gen_range(-1.0f64..1.0);
+        mantissa * (exp as f64).exp2()
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        f64::arbitrary(rng) as f32
+    }
+}
+
+pub mod arbitrary {
+    use super::{Arbitrary, Strategy, TestRng};
+
+    pub struct Any<T>(pub(crate) std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+pub mod strategy {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    pub struct Filter<S, F> {
+        pub(crate) inner: S,
+        pub(crate) reason: &'static str,
+        pub(crate) predicate: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..1000 {
+                let v = self.inner.generate(rng);
+                if (self.predicate)(&v) {
+                    return v;
+                }
+            }
+            panic!(
+                "prop_filter `{}` rejected 1000 samples in a row",
+                self.reason
+            );
+        }
+    }
+
+    /// Uniform choice between boxed strategies (`prop_oneof!`).
+    pub struct Union<V> {
+        options: Vec<Box<dyn Strategy<Value = V>>>,
+    }
+
+    impl<V> Union<V> {
+        pub fn new(options: Vec<Box<dyn Strategy<Value = V>>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let i = rng.gen_range(0..self.options.len());
+            self.options[i].generate(rng)
+        }
+    }
+
+    pub fn boxed<S: Strategy + 'static>(s: S) -> Box<dyn Strategy<Value = S::Value>> {
+        Box::new(s)
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize, f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+/// `&str` as a strategy: a character-class pattern of the shape
+/// `[chars]{lo,hi}` (the only regex shape this workspace uses).  Anything
+/// else falls back to short alphanumeric strings.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (chars, lo, hi) = parse_char_class(self).unwrap_or_else(|| {
+            (
+                ('a'..='z').chain('A'..='Z').chain('0'..='9').collect(),
+                0,
+                16,
+            )
+        });
+        let len = rng.gen_range(lo..=hi);
+        (0..len)
+            .map(|_| chars[rng.gen_range(0..chars.len())])
+            .collect()
+    }
+}
+
+fn parse_char_class(pattern: &str) -> Option<(Vec<char>, usize, usize)> {
+    let rest = pattern.strip_prefix('[')?;
+    let (class, counts) = rest.split_once(']')?;
+    let counts = counts.strip_prefix('{')?.strip_suffix('}')?;
+    let (lo, hi) = counts.split_once(',')?;
+    let lo: usize = lo.trim().parse().ok()?;
+    let hi: usize = hi.trim().parse().ok()?;
+    let mut chars = Vec::new();
+    let mut iter = class.chars().peekable();
+    while let Some(c) = iter.next() {
+        if iter.peek() == Some(&'-') {
+            let mut look = iter.clone();
+            look.next();
+            if let Some(&end) = look.peek() {
+                // `a-z` style range; a trailing `-` stays literal.
+                iter.next();
+                iter.next();
+                for v in (c as u32)..=(end as u32) {
+                    if let Some(ch) = char::from_u32(v) {
+                        chars.push(ch);
+                    }
+                }
+                continue;
+            }
+        }
+        chars.push(c);
+    }
+    if chars.is_empty() || lo > hi {
+        return None;
+    }
+    Some((chars, lo, hi))
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    /// `proptest::collection::vec(element, len_range)`.
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::boxed($s)),+])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// The test-definition macro.  Each `fn name(pat in strategy, ...) { body }`
+/// becomes a plain `#[test]` fn running `config.cases` sampled cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!(($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat_param in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let base = $crate::fnv(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..config.cases {
+                let mut rng = $crate::new_rng(base, case);
+                $(let $pat = $crate::Strategy::generate(&($strat), &mut rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_fns!(($cfg) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Tuple + range strategies stay in bounds.
+        #[test]
+        fn ranges_in_bounds((a, b) in (0i64..10, -1.0..1.0f64), n in 1usize..5) {
+            prop_assert!((0..10).contains(&a));
+            prop_assert!((-1.0..1.0).contains(&b));
+            prop_assert!((1..5).contains(&n));
+        }
+
+        /// collection::vec respects the length range.
+        #[test]
+        fn vec_lengths(v in crate::collection::vec(any::<u8>(), 2..7)) {
+            prop_assert!((2..7).contains(&v.len()));
+        }
+
+        /// Character-class string strategies match their class.
+        #[test]
+        fn string_class(s in "[a-c]{1,4}") {
+            prop_assert!((1..=4).contains(&s.len()), "len {}", s.len());
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+
+        /// prop_oneof + Just + prop_map compose.
+        #[test]
+        fn oneof_composes(x in prop_oneof![Just(1i64), 10i64..20, Just(5i64).prop_map(|v| v * 2)]) {
+            prop_assert!(x == 1 || x == 10 || (10..20).contains(&x));
+        }
+    }
+}

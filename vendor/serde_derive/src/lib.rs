@@ -1,0 +1,233 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates impls of the stand-in `serde::Serialize` / `serde::Deserialize`
+//! traits (the `Content`-tree protocol, see the vendored `serde` crate).
+//! Because `syn`/`quote` are unavailable offline, the item is parsed by
+//! walking the raw token stream.  Supported shapes — which cover every
+//! derive in this workspace — are:
+//!
+//! * structs with named fields (no generics),
+//! * enums whose variants are all unit variants (serialized as the variant
+//!   name, matching serde's JSON behaviour).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Item {
+    Struct { name: String, fields: Vec<String> },
+    Enum { name: String, variants: Vec<String> },
+}
+
+/// Skip attributes (`# [...]`) and visibility (`pub`, `pub(...)`) tokens.
+fn skip_decoration(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#` then the bracketed attribute body.
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_decoration(&tokens, 0);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde stand-in derive: expected struct/enum, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde stand-in derive: expected type name, found {other}"),
+    };
+    i += 1;
+    let body = match &tokens[i] {
+        TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!(
+            "serde stand-in derive: {name}: generics/tuple bodies are unsupported, found {other}"
+        ),
+    };
+    match kind.as_str() {
+        "struct" => Item::Struct {
+            name,
+            fields: parse_struct_fields(body),
+        },
+        "enum" => Item::Enum {
+            name,
+            variants: parse_enum_variants(body),
+        },
+        other => panic!("serde stand-in derive: unsupported item kind {other}"),
+    }
+}
+
+fn parse_struct_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_decoration(&tokens, i);
+        let Some(TokenTree::Ident(field)) = tokens.get(i) else {
+            break;
+        };
+        fields.push(field.to_string());
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde stand-in derive: expected `:` after field, found {other:?}"),
+        }
+        // Skip the type tokens up to the next top-level comma.  `,` inside
+        // groups is invisible here because a group is one token tree.
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == ',' => {
+                    i += 1;
+                    break;
+                }
+                // A `<` opens a generic argument list the walker must not
+                // mistake a nested `,` in (e.g. `BTreeMap<String, u64>`).
+                TokenTree::Punct(p) if p.as_char() == '<' => {
+                    let mut depth = 1usize;
+                    i += 1;
+                    while i < tokens.len() && depth > 0 {
+                        if let TokenTree::Punct(p) = &tokens[i] {
+                            match p.as_char() {
+                                '<' => depth += 1,
+                                '>' => depth -= 1,
+                                _ => {}
+                            }
+                        }
+                        i += 1;
+                    }
+                }
+                _ => i += 1,
+            }
+        }
+    }
+    fields
+}
+
+fn parse_enum_variants(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_decoration(&tokens, i);
+        let Some(TokenTree::Ident(variant)) = tokens.get(i) else {
+            break;
+        };
+        variants.push(variant.to_string());
+        i += 1;
+        match tokens.get(i) {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            Some(other) => panic!(
+                "serde stand-in derive: only unit enum variants are supported, found {other}"
+            ),
+        }
+    }
+    variants
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let code = match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!("(\"{f}\".to_string(), ::serde::Serialize::to_content(&self.{f})),")
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_content(&self) -> ::serde::Content {{\n\
+                         ::serde::Content::Map(vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => \"{v}\","))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_content(&self) -> ::serde::Content {{\n\
+                         ::serde::Content::Str(match self {{ {arms} }}.to_string())\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse()
+        .expect("serde stand-in derive: generated invalid Rust")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let code = match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: match map.iter().find(|(k, _)| k == \"{f}\") {{\n\
+                             Some((_, v)) => ::serde::Deserialize::from_content(v)?,\n\
+                             None => return Err(::serde::DeError::custom(\n\
+                                 \"missing field `{f}` of struct {name}\")),\n\
+                         }},"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_content(content: &::serde::Content)\n\
+                         -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         let map = match content {{\n\
+                             ::serde::Content::Map(m) => m,\n\
+                             _ => return Err(::serde::DeError::custom(\n\
+                                 \"expected a map for struct {name}\")),\n\
+                         }};\n\
+                         Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => Ok({name}::{v}),"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_content(content: &::serde::Content)\n\
+                         -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         let s = match content {{\n\
+                             ::serde::Content::Str(s) => s.as_str(),\n\
+                             _ => return Err(::serde::DeError::custom(\n\
+                                 \"expected a string for enum {name}\")),\n\
+                         }};\n\
+                         match s {{\n\
+                             {arms}\n\
+                             other => Err(::serde::DeError::custom(format!(\n\
+                                 \"unknown {name} variant {{other}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse()
+        .expect("serde stand-in derive: generated invalid Rust")
+}

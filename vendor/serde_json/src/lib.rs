@@ -1,0 +1,520 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Implements the slice of the serde_json API this workspace uses: the
+//! [`Value`] tree with indexing and `as_*` accessors, a strict JSON parser
+//! ([`from_str`] / [`from_slice`]), a compact printer ([`to_string`] /
+//! [`to_vec`] and `Display`), the [`json!`] macro, and [`to_value`] /
+//! conversion through the stand-in `serde::Content` protocol.
+
+use serde::{Content, Deserialize, Serialize};
+
+mod parse;
+
+/// JSON object representation (sorted keys, like default serde_json).
+pub type Map<K, V> = std::collections::BTreeMap<K, V>;
+
+/// A JSON number: integers are kept exact, like serde_json's `Number`.
+#[derive(Debug, Clone, Copy)]
+pub enum Number {
+    Int(i64),
+    UInt(u64),
+    Float(f64),
+}
+
+impl Number {
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::Int(i) => Some(i),
+            Number::UInt(u) => i64::try_from(u).ok(),
+            Number::Float(_) => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::Int(i) => u64::try_from(i).ok(),
+            Number::UInt(u) => Some(u),
+            Number::Float(_) => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Number::Int(i) => Some(i as f64),
+            Number::UInt(u) => Some(u as f64),
+            Number::Float(f) => Some(f),
+        }
+    }
+
+    fn is_float(&self) -> bool {
+        matches!(self, Number::Float(_))
+    }
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Self) -> bool {
+        match (self.is_float(), other.is_float()) {
+            // Integers compare exactly across signedness, floats bit-for-bit
+            // by value; an integer never equals a float (serde_json semantics).
+            (false, false) => self
+                .as_i64()
+                .zip(other.as_i64())
+                .map(|(a, b)| a == b)
+                .or_else(|| self.as_u64().zip(other.as_u64()).map(|(a, b)| a == b))
+                .unwrap_or(false),
+            (true, true) => self.as_f64() == other.as_f64(),
+            _ => false,
+        }
+    }
+}
+
+impl std::fmt::Display for Number {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            Number::Int(i) => write!(f, "{i}"),
+            Number::UInt(u) => write!(f, "{u}"),
+            Number::Float(x) if !x.is_finite() => f.write_str("null"),
+            Number::Float(x) if x == x.trunc() && x.abs() < 1e15 => {
+                write!(f, "{x:.1}")
+            }
+            Number::Float(x) => write!(f, "{x}"),
+        }
+    }
+}
+
+/// A parsed or constructed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Number(Number),
+    String(String),
+    Array(Vec<Value>),
+    Object(Map<String, Value>),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    pub fn is_boolean(&self) -> bool {
+        matches!(self, Value::Bool(_))
+    }
+
+    pub fn is_number(&self) -> bool {
+        matches!(self, Value::Number(_))
+    }
+
+    pub fn is_string(&self) -> bool {
+        matches!(self, Value::String(_))
+    }
+
+    pub fn is_array(&self) -> bool {
+        matches!(self, Value::Array(_))
+    }
+
+    pub fn is_object(&self) -> bool {
+        matches!(self, Value::Object(_))
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => n.as_f64(),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    pub fn as_object(&self) -> Option<&Map<String, Value>> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Object-key or array-index lookup without panicking.
+    pub fn get<I: Index>(&self, index: I) -> Option<&Value> {
+        index.lookup(self)
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Number(n) => out.push_str(&n.to_string()),
+            Value::String(s) => write_escaped(s, out),
+            Value::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Value::Object(entries) => {
+                out.push('{');
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut out = String::new();
+        self.write(&mut out);
+        f.write_str(&out)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+
+impl PartialEq<i64> for Value {
+    fn eq(&self, other: &i64) -> bool {
+        matches!(self, Value::Number(n) if !n.is_float()) && self.as_i64() == Some(*other)
+    }
+}
+
+impl PartialEq<u64> for Value {
+    fn eq(&self, other: &u64) -> bool {
+        matches!(self, Value::Number(n) if !n.is_float()) && self.as_u64() == Some(*other)
+    }
+}
+
+impl PartialEq<f64> for Value {
+    fn eq(&self, other: &f64) -> bool {
+        matches!(self, Value::Number(Number::Float(f)) if f == other)
+    }
+}
+
+/// Types usable with [`Value::get`] and the `value[...]` operators.
+pub trait Index {
+    fn lookup<'v>(&self, value: &'v Value) -> Option<&'v Value>;
+}
+
+impl Index for usize {
+    fn lookup<'v>(&self, value: &'v Value) -> Option<&'v Value> {
+        value.as_array().and_then(|a| a.get(*self))
+    }
+}
+
+impl Index for &str {
+    fn lookup<'v>(&self, value: &'v Value) -> Option<&'v Value> {
+        value.as_object().and_then(|o| o.get(*self))
+    }
+}
+
+impl Index for String {
+    fn lookup<'v>(&self, value: &'v Value) -> Option<&'v Value> {
+        value.as_object().and_then(|o| o.get(self.as_str()))
+    }
+}
+
+impl<I: Index> std::ops::Index<I> for Value {
+    type Output = Value;
+
+    /// Missing keys / wrong container kinds yield `Null`, like serde_json.
+    fn index(&self, index: I) -> &Value {
+        index.lookup(self).unwrap_or(&NULL)
+    }
+}
+
+impl Serialize for Value {
+    fn to_content(&self) -> Content {
+        match self {
+            Value::Null => Content::Null,
+            Value::Bool(b) => Content::Bool(*b),
+            Value::Number(Number::Int(i)) => Content::I64(*i),
+            Value::Number(Number::UInt(u)) => Content::U64(*u),
+            Value::Number(Number::Float(f)) => Content::F64(*f),
+            Value::String(s) => Content::Str(s.clone()),
+            Value::Array(items) => Content::Seq(items.iter().map(Serialize::to_content).collect()),
+            Value::Object(entries) => Content::Map(
+                entries
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.to_content()))
+                    .collect(),
+            ),
+        }
+    }
+}
+
+impl Deserialize for Value {
+    fn from_content(content: &Content) -> Result<Self, serde::DeError> {
+        Ok(content_to_value(content))
+    }
+}
+
+fn content_to_value(content: &Content) -> Value {
+    match content {
+        Content::Null => Value::Null,
+        Content::Bool(b) => Value::Bool(*b),
+        Content::I64(i) => Value::Number(Number::Int(*i)),
+        Content::U64(u) => Value::Number(Number::UInt(*u)),
+        Content::F64(f) => Value::Number(Number::Float(*f)),
+        Content::Str(s) => Value::String(s.clone()),
+        Content::Seq(items) => Value::Array(items.iter().map(content_to_value).collect()),
+        Content::Map(entries) => Value::Object(
+            entries
+                .iter()
+                .map(|(k, v)| (k.clone(), content_to_value(v)))
+                .collect(),
+        ),
+    }
+}
+
+/// Errors from parsing or printing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error(String);
+
+impl Error {
+    pub(crate) fn new(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Self {
+        Error(e.to_string())
+    }
+}
+
+/// Render any `Serialize` type into a [`Value`].
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    content_to_value(&value.to_content())
+}
+
+/// Serialize to a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(to_value(value).to_string())
+}
+
+/// Serialize to compact JSON bytes.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Parse JSON text into any `Deserialize` type.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let value = parse::parse(s)?;
+    Ok(T::from_content(&value.to_content())?)
+}
+
+/// Parse JSON bytes into any `Deserialize` type.
+pub fn from_slice<T: Deserialize>(bytes: &[u8]) -> Result<T, Error> {
+    let s = std::str::from_utf8(bytes).map_err(|e| Error::new(e.to_string()))?;
+    from_str(s)
+}
+
+#[macro_export]
+macro_rules! json {
+    ($($tt:tt)+) => { $crate::json_value!($($tt)+) };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_value {
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+    ([]) => { $crate::Value::Array(::std::vec::Vec::new()) };
+    ([ $($tt:tt)+ ]) => { $crate::Value::Array($crate::json_array!(@elems [] () $($tt)+)) };
+    ({}) => { $crate::Value::Object($crate::Map::new()) };
+    ({ $($tt:tt)+ }) => {{
+        let mut object = $crate::Map::new();
+        $crate::json_object!(@entries object $($tt)+);
+        $crate::Value::Object(object)
+    }};
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+// Object body muncher: `"key": <value tts>, ...`.  The value is accumulated
+// one token tree at a time until a top-level `,`; groups hide their inner
+// commas, so nesting needs no depth tracking.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_object {
+    (@entries $obj:ident) => {};
+    (@entries $obj:ident $key:literal : $($rest:tt)+) => {
+        $crate::json_object!(@value $obj $key () $($rest)+)
+    };
+    (@value $obj:ident $key:literal ($($val:tt)+) , $($rest:tt)*) => {
+        $obj.insert($key.to_string(), $crate::json_value!($($val)+));
+        $crate::json_object!(@entries $obj $($rest)*)
+    };
+    (@value $obj:ident $key:literal ($($val:tt)*) $next:tt $($rest:tt)*) => {
+        $crate::json_object!(@value $obj $key ($($val)* $next) $($rest)*)
+    };
+    (@value $obj:ident $key:literal ($($val:tt)+)) => {
+        $obj.insert($key.to_string(), $crate::json_value!($($val)+));
+    };
+}
+
+// Array body muncher, same accumulation scheme.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_array {
+    (@elems [$($done:expr,)*] ($($val:tt)+) , $($rest:tt)*) => {
+        $crate::json_array!(@elems [$($done,)* $crate::json_value!($($val)+),] () $($rest)*)
+    };
+    (@elems [$($done:expr,)*] ($($val:tt)*) $next:tt $($rest:tt)*) => {
+        $crate::json_array!(@elems [$($done,)*] ($($val)* $next) $($rest)*)
+    };
+    (@elems [$($done:expr,)*] ($($val:tt)+)) => {
+        vec![$($done,)* $crate::json_value!($($val)+)]
+    };
+    (@elems [$($done:expr,)*] ()) => {
+        vec![$($done,)*]
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_shapes() {
+        let v = json!({
+            "name": "skyserver",
+            "count": 3,
+            "ratio": 0.5,
+            "nested": { "ok": true, "items": [1, 2, 3] },
+            "computed": 2 + 2,
+            "none": null,
+        });
+        assert_eq!(v["name"].as_str(), Some("skyserver"));
+        assert_eq!(v["count"], json!(3));
+        assert_eq!(v["nested"]["items"][1].as_i64(), Some(2));
+        assert_eq!(v["computed"].as_i64(), Some(4));
+        assert!(v["none"].is_null());
+        assert!(v["missing"].is_null());
+    }
+
+    #[test]
+    fn display_round_trips_through_parser() {
+        let v = json!({ "a": [1, 2.5, "x\"y", null, true], "b": { "c": -7 } });
+        let text = v.to_string();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn integers_and_floats_stay_distinct() {
+        assert_eq!(from_str::<Value>("1").unwrap(), json!(1));
+        assert_ne!(json!(1), json!(1.0));
+        assert_eq!(json!(1.0).to_string(), "1.0");
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(from_str::<Value>("{").is_err());
+        assert!(from_str::<Value>("[1,]").is_err());
+        assert!(from_str::<Value>("nul").is_err());
+        assert!(from_str::<Value>("\"unterminated").is_err());
+        assert!(from_str::<Value>("1 trailing").is_err());
+    }
+
+    #[test]
+    fn escapes_round_trip() {
+        let v = json!({ "s": "line\nbreak\tand \\ \"quotes\" and ünïcode ☄" });
+        let back: Value = from_str(&v.to_string()).unwrap();
+        assert_eq!(back, v);
+        let unicode: Value = from_str(r#""☄ 😀""#).unwrap();
+        assert_eq!(unicode.as_str(), Some("☄ 😀"));
+    }
+}
