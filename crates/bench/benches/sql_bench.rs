@@ -5,7 +5,7 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use skyserver_bench::{build_server, Scale};
 
 fn bench_queries(c: &mut Criterion) {
-    let mut server = build_server(Scale::Tiny);
+    let server = build_server(Scale::Tiny);
     let some_id = server
         .query("select top 1 objID from PhotoObj")
         .unwrap()

@@ -1,0 +1,267 @@
+//! `http_bench` — drive the real HTTP server over TCP with traffic-shaped
+//! sessions from N concurrent client threads and report throughput and
+//! latency percentiles.
+//!
+//! Two serving modes are measured back to back:
+//!
+//! * **serialized** — a faithful replay of the PR-1 front end: every
+//!   request handled under one global mutex (`Mutex<SkyServer>` serialized
+//!   the whole site), no result cache, and `Connection: close` hardcoded
+//!   in every response, so clients reconnect for each request;
+//! * **shared** — the current architecture: pooled keep-alive HTTP
+//!   server, `RwLock<Arc<SkyServer>>` snapshots, engine `&self` read path
+//!   and the LRU result cache.
+//!
+//! Usage:
+//!
+//! ```text
+//! http_bench [--scale tiny|personal|benchmark] [--threads N]
+//!            [--requests N] [--out BENCH.json]
+//! ```
+//!
+//! The JSON report (stdout, and `--out` when given) captures both modes
+//! plus the speedup, the acceptance artifact for the serialized-vs-shared
+//! comparison.
+
+use skyserver_bench::{build_server, Scale};
+use skyserver_web::{HttpClient, HttpServer, ServerConfig, SkyServerSite};
+use std::net::SocketAddr;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// The request mix of one simulated session, shaped like the §7 traffic
+/// sections: mostly hot pages (home, famous places, navigator) plus a few
+/// distinct SQL searches — the workload `traffic.rs` models.
+fn session_paths(session: usize) -> Vec<String> {
+    let lang = ["en", "jp", "de"][session % 3];
+    vec![
+        format!("/{lang}/"),
+        format!("/{lang}/tools/places"),
+        format!(
+            "/{lang}/tools/navi?ra={}&dec=-0.8&zoom={}",
+            180.0 + (session % 8) as f64 * 0.2,
+            session % 3
+        ),
+        format!(
+            "/{lang}/tools/search/x_sql?cmd=select+count(*)+from+PhotoObj&format=json"
+        ),
+        format!(
+            "/{lang}/tools/search/x_sql?cmd=select+top+{}+objID,ra,dec+from+Galaxy+order+by+modelMag_r&format=csv",
+            session % 7 + 5
+        ),
+        format!("/{lang}/help/browser"),
+    ]
+}
+
+#[derive(Debug, Clone)]
+struct LoadStats {
+    requests: u64,
+    errors: u64,
+    elapsed_seconds: f64,
+    requests_per_second: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    max_ms: f64,
+}
+
+fn percentile(sorted_micros: &[u64], p: f64) -> f64 {
+    if sorted_micros.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted_micros.len() as f64 - 1.0) * p).round() as usize;
+    sorted_micros[rank] as f64 / 1000.0
+}
+
+/// Run `threads` concurrent clients, each issuing `requests_per_thread`
+/// requests in traffic-shaped sessions.  With `keep_alive` the client
+/// reuses one connection (the new server); without it every request opens
+/// a fresh connection (the old `Connection: close` front end).
+fn run_load(
+    addr: SocketAddr,
+    threads: usize,
+    requests_per_thread: usize,
+    keep_alive: bool,
+) -> LoadStats {
+    let started = Instant::now();
+    let mut all_latencies: Vec<u64> = Vec::new();
+    let mut errors = 0u64;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                scope.spawn(move || {
+                    let mut latencies = Vec::with_capacity(requests_per_thread);
+                    let mut errors = 0u64;
+                    let mut client =
+                        keep_alive.then(|| HttpClient::connect(addr).expect("connect"));
+                    let mut issued = 0usize;
+                    let mut session = t;
+                    'outer: loop {
+                        for path in session_paths(session) {
+                            if issued == requests_per_thread {
+                                break 'outer;
+                            }
+                            let request_started = Instant::now();
+                            let outcome = match client.as_mut() {
+                                Some(c) => c.get(&path),
+                                None => skyserver_web::http_get(addr, &path),
+                            };
+                            match outcome {
+                                Ok((200, _)) => {}
+                                Ok(_) | Err(_) => {
+                                    errors += 1;
+                                    if keep_alive {
+                                        // The server may have closed the
+                                        // connection: reconnect.
+                                        client =
+                                            Some(HttpClient::connect(addr).expect("reconnect"));
+                                    }
+                                }
+                            }
+                            latencies.push(request_started.elapsed().as_micros() as u64);
+                            issued += 1;
+                        }
+                        session += threads;
+                    }
+                    (latencies, errors)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (lat, err) = h.join().expect("client thread");
+            all_latencies.extend(lat);
+            errors += err;
+        }
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+    all_latencies.sort_unstable();
+    let requests = all_latencies.len() as u64;
+    LoadStats {
+        requests,
+        errors,
+        elapsed_seconds: elapsed,
+        requests_per_second: requests as f64 / elapsed.max(1e-9),
+        p50_ms: percentile(&all_latencies, 0.50),
+        p99_ms: percentile(&all_latencies, 0.99),
+        max_ms: all_latencies.last().copied().unwrap_or(0) as f64 / 1000.0,
+    }
+}
+
+fn stats_json(s: &LoadStats) -> String {
+    format!(
+        "{{\"requests\": {}, \"errors\": {}, \"elapsed_seconds\": {:.3}, \
+         \"requests_per_second\": {:.1}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \
+         \"max_ms\": {:.3}}}",
+        s.requests,
+        s.errors,
+        s.elapsed_seconds,
+        s.requests_per_second,
+        s.p50_ms,
+        s.p99_ms,
+        s.max_ms
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Tiny;
+    let mut threads = 8usize;
+    let mut requests = 120usize;
+    let mut out: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = args
+                    .get(i)
+                    .and_then(|s| Scale::parse(s))
+                    .unwrap_or_else(|| {
+                        eprintln!("unknown scale; use tiny, personal or benchmark");
+                        std::process::exit(2);
+                    });
+            }
+            "--threads" => {
+                i += 1;
+                threads = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(8);
+            }
+            "--requests" => {
+                i += 1;
+                requests = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(120);
+            }
+            "--out" => {
+                i += 1;
+                out = args.get(i).cloned();
+            }
+            "--help" | "-h" => {
+                println!(
+                    "http_bench [--scale tiny|personal|benchmark] [--threads N] \
+                     [--requests N-per-thread] [--out BENCH.json]"
+                );
+                return;
+            }
+            other => {
+                eprintln!("unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    eprintln!("building two identical SkyServers (scale {scale:?}) ...");
+    // Two deterministic builds of the same catalog: the baseline must not
+    // share (or warm) the shared site's result cache.
+    let baseline_site = SkyServerSite::new_with_cache(build_server(scale), 0);
+    let site = SkyServerSite::new(build_server(scale));
+
+    // Serialized baseline: every request behind one global mutex, no
+    // result cache, every connection closed after one request — the shape
+    // of the old `Mutex<SkyServer>` + `Connection: close` front end.
+    eprintln!("running the serialized baseline ({threads} threads x {requests} requests) ...");
+    // Both modes get a pool big enough for every client (the old front end
+    // spawned one thread per connection, so it was never pool-limited).
+    let config = ServerConfig {
+        workers: threads.max(4),
+        ..ServerConfig::default()
+    };
+    let global_lock = Mutex::new(());
+    let serialized_server = HttpServer::start_with(0, config.clone(), move |req| {
+        let _exclusive = global_lock.lock().unwrap();
+        baseline_site.handle(req)
+    })
+    .expect("start serialized server");
+    // Warm up (fills caches identically in both modes).
+    run_load(serialized_server.addr(), 2, 12, false);
+    let serialized = run_load(serialized_server.addr(), threads, requests, false);
+    serialized_server.stop();
+
+    eprintln!("running the shared read path ({threads} threads x {requests} requests) ...");
+    let shared_server = site.serve_with(0, config).expect("start shared server");
+    run_load(shared_server.addr(), 2, 12, true);
+    let shared = run_load(shared_server.addr(), threads, requests, true);
+    shared_server.stop();
+
+    let cache = site.cache_stats();
+    let report = format!(
+        "{{\n  \"bench\": \"http_concurrency\",\n  \"scale\": \"{:?}\",\n  \
+         \"threads\": {},\n  \"requests_per_thread\": {},\n  \
+         \"serialized\": {},\n  \"shared\": {},\n  \
+         \"throughput_speedup\": {:.2},\n  \"p99_speedup\": {:.2},\n  \
+         \"result_cache\": {{\"hits\": {}, \"misses\": {}}}\n}}",
+        scale,
+        threads,
+        requests,
+        stats_json(&serialized),
+        stats_json(&shared),
+        shared.requests_per_second / serialized.requests_per_second.max(1e-9),
+        serialized.p99_ms / shared.p99_ms.max(1e-9),
+        cache.hits,
+        cache.misses,
+    );
+    println!("{report}");
+    if let Some(path) = out {
+        std::fs::write(&path, format!("{report}\n")).expect("write BENCH json");
+        eprintln!("wrote {path}");
+    }
+    // Give the sockets a moment to drain before the process exits.
+    std::thread::sleep(Duration::from_millis(50));
+}

@@ -125,39 +125,47 @@ impl SkyServer {
     }
 
     /// Run a SQL script with **no** limits (the private / collaboration
-    /// interface) and return the last statement's outcome.
+    /// interface) and return the last statement's outcome.  This is the
+    /// exclusive path: DDL, DML, `SELECT ... INTO` and persistent session
+    /// variables all work here.
     pub fn execute(&mut self, sql: &str) -> Result<StatementOutcome, SkyServerError> {
         Ok(self.engine.execute(sql, QueryLimits::UNLIMITED)?)
     }
 
     /// Run a SQL script under the public web-interface limits
-    /// (1,000 rows / 30 seconds, §4 of the paper).
-    pub fn execute_public(&mut self, sql: &str) -> Result<StatementOutcome, SkyServerError> {
-        Ok(self.engine.execute(sql, QueryLimits::PUBLIC)?)
+    /// (1,000 rows / 30 seconds, §4 of the paper).  Takes `&self`: public
+    /// queries run on the shared read path, so any number of web requests
+    /// can execute concurrently.  Write statements are rejected with a
+    /// read-only error — the public interface never mutates the catalog.
+    pub fn execute_public(&self, sql: &str) -> Result<StatementOutcome, SkyServerError> {
+        Ok(self.engine.execute_read(sql, QueryLimits::PUBLIC)?)
     }
 
-    /// Convenience: run a query without limits and return just the rows.
-    pub fn query(&mut self, sql: &str) -> Result<ResultSet, SkyServerError> {
+    /// Convenience: run a read-only query without limits and return just
+    /// the rows.  Takes `&self` (shared read path).
+    pub fn query(&self, sql: &str) -> Result<ResultSet, SkyServerError> {
         Ok(self.engine.query(sql)?)
     }
 
     /// Render the plan of a SELECT.
-    pub fn explain(&mut self, sql: &str) -> Result<String, SkyServerError> {
+    pub fn explain(&self, sql: &str) -> Result<String, SkyServerError> {
         Ok(self.engine.explain(sql)?)
     }
 
     /// The plan class (index / scan / join-scan) of a SELECT -- the buckets
     /// Figure 13 groups queries into.
-    pub fn plan_class(&mut self, sql: &str) -> Result<PlanClass, SkyServerError> {
+    pub fn plan_class(&self, sql: &str) -> Result<PlanClass, SkyServerError> {
         Ok(self.engine.plan_class(sql)?)
     }
 
     /// The plan class plus the optimizer rules that fired for a SELECT.
-    pub fn plan_summary(
-        &mut self,
-        sql: &str,
-    ) -> Result<skyserver_sql::PlanSummary, SkyServerError> {
+    pub fn plan_summary(&self, sql: &str) -> Result<skyserver_sql::PlanSummary, SkyServerError> {
         Ok(self.engine.plan_summary(sql)?)
+    }
+
+    /// A snapshot of the SQL engine's cumulative execution counters.
+    pub fn engine_stats(&self) -> skyserver_sql::EngineStats {
+        self.engine.counters()
     }
 
     /// Per-table sizes (rows / data bytes / index bytes): the live data
@@ -174,7 +182,7 @@ impl SkyServer {
     /// Objects within `radius_arcmin` of `(ra, dec)`, nearest first (the
     /// `fGetNearbyObjEq` function exposed as an API).
     pub fn nearby_objects(
-        &mut self,
+        &self,
         ra: f64,
         dec: f64,
         radius_arcmin: f64,
@@ -186,7 +194,7 @@ impl SkyServer {
 
     /// Full drill-down for one object: attributes, neighbours, spectrum and
     /// cross-matches (the web "Explore" page payload).
-    pub fn explore(&mut self, obj_id: i64) -> Result<ObjectSummary, SkyServerError> {
+    pub fn explore(&self, obj_id: i64) -> Result<ObjectSummary, SkyServerError> {
         crate::explore::explore_object(self, obj_id)
     }
 }
@@ -201,7 +209,7 @@ mod tests {
 
     #[test]
     fn build_and_query() {
-        let mut s = server();
+        let s = server();
         let n = s.query("select count(*) from PhotoObj").unwrap();
         assert_eq!(
             n.scalar().unwrap().as_i64().unwrap() as usize,
@@ -238,7 +246,7 @@ mod tests {
 
     #[test]
     fn nearby_and_plan_class() {
-        let mut s = server();
+        let s = server();
         let nearby = s.nearby_objects(181.0, -0.8, 30.0).unwrap();
         let d = nearby.column_values("distance");
         for w in d.windows(2) {

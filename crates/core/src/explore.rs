@@ -39,10 +39,7 @@ pub struct SpectrumSummary {
 }
 
 /// Assemble the explorer payload for an object.
-pub fn explore_object(
-    server: &mut SkyServer,
-    obj_id: i64,
-) -> Result<ObjectSummary, SkyServerError> {
+pub fn explore_object(server: &SkyServer, obj_id: i64) -> Result<ObjectSummary, SkyServerError> {
     let record = server.query(&format!("select * from PhotoObj where objID = {obj_id}"))?;
     if record.is_empty() {
         return Err(SkyServerError::NotFound(format!("object {obj_id}")));
@@ -120,7 +117,7 @@ mod tests {
 
     #[test]
     fn explore_returns_full_record() {
-        let mut server = SkyServerBuilder::new().tiny().build().unwrap();
+        let server = SkyServerBuilder::new().tiny().build().unwrap();
         // Pick an object that definitely has a spectrum so the drill-down is
         // maximal.
         let with_spec = server
@@ -140,7 +137,7 @@ mod tests {
 
     #[test]
     fn explore_missing_object_errors() {
-        let mut server = SkyServerBuilder::new().tiny().build().unwrap();
+        let server = SkyServerBuilder::new().tiny().build().unwrap();
         assert!(server.explore(-1).is_err());
     }
 }

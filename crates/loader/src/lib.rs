@@ -127,7 +127,7 @@ mod tests {
 
     #[test]
     fn full_load_is_clean_and_queryable() {
-        let (mut engine, report, survey) = loaded_engine();
+        let (engine, report, survey) = loaded_engine();
         assert!(report.is_clean(), "violations: {:?}", report.fk_violations);
         assert!(report.total_rows > 0);
         assert!(report.mb_per_hour() > 0.0);
@@ -196,7 +196,7 @@ mod tests {
 
     #[test]
     fn primary_fraction_survives_the_load() {
-        let (mut engine, _, survey) = loaded_engine();
+        let (engine, _, survey) = loaded_engine();
         let total = engine
             .query("select count(*) from PhotoObj")
             .unwrap()
@@ -218,7 +218,7 @@ mod tests {
 
     #[test]
     fn pyramid_frames_exist_at_higher_zooms() {
-        let (mut engine, report, _) = loaded_engine();
+        let (engine, report, _) = loaded_engine();
         assert!(report.pyramid.tiles > 0);
         let r = engine
             .query("select count(*) from Frame where zoom > 0")

@@ -8,6 +8,18 @@
 //! measured wall-clock time and the [`skyserver_storage::IoSimulator`]
 //! projection of the same access pattern onto the paper's hardware -- the
 //! numbers Figures 10-13 report.
+//!
+//! The query API is split in two.  The full path
+//! ([`SqlEngine::execute`]/[`SqlEngine::execute_script`]) takes `&mut self`
+//! and supports DDL, DML, `SELECT ... INTO` and persistent session
+//! variables.  The **shared read path**
+//! ([`SqlEngine::execute_read`]/[`SqlEngine::query`]) takes `&self`: any
+//! number of threads can run `DECLARE`/`SET`/`SELECT` scripts concurrently
+//! against one engine.  Read scripts see a snapshot of the session
+//! variables and keep their own `DECLARE`/`SET` effects local to the call,
+//! so concurrent requests cannot observe each other's half-updated state;
+//! statements that would write (DML, DDL, `INTO`) are rejected with
+//! [`SqlError::ReadOnly`].
 
 use crate::ast::{Expr, InsertSource, Statement};
 use crate::error::SqlError;
@@ -22,6 +34,8 @@ use skyserver_storage::{
     ColumnDef, Database, ExecutionStats, IndexDef, IoSimulator, TableSchema, Value,
 };
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
 use std::time::Instant;
 
 /// The SQL engine: database + functions + session state.
@@ -32,11 +46,37 @@ pub struct SqlEngine {
     /// Multiplier applied when projecting measured scans to the paper's data
     /// volume (e.g. 14 M photoObj rows / rows generated).
     paper_scale_factor: Option<f64>,
-    variables: HashMap<String, Value>,
+    /// Session variables.  Interior-mutable so the shared read path can
+    /// snapshot them through `&self`; the `&mut` path goes through
+    /// `get_mut` and never contends.
+    variables: RwLock<HashMap<String, Value>>,
     /// When true, every SELECT outcome carries its rendered plan.
     capture_plans: bool,
     /// Row-count threshold the optimizer's parallel-scan rule uses.
     parallel_scan_threshold: usize,
+    /// Cumulative execution counters (atomics: bumped through `&self` by
+    /// concurrent readers).
+    counters: EngineCounters,
+}
+
+/// Interior-mutable cumulative counters.
+#[derive(Debug, Default)]
+struct EngineCounters {
+    selects: AtomicU64,
+    read_path_selects: AtomicU64,
+    rows_returned: AtomicU64,
+}
+
+/// A snapshot of the engine's cumulative execution counters (the numbers
+/// the schema/QA page surfaces next to the result-cache statistics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub struct EngineStats {
+    /// SELECT statements executed (both paths).
+    pub selects: u64,
+    /// SELECT statements executed through the shared `&self` read path.
+    pub read_path_selects: u64,
+    /// Total rows returned by all SELECTs.
+    pub rows_returned: u64,
 }
 
 /// What the optimizer decided for a statement: the Figure 13 bucket plus
@@ -55,9 +95,10 @@ impl SqlEngine {
             functions,
             simulator: IoSimulator::skyserver_production(),
             paper_scale_factor: None,
-            variables: HashMap::new(),
+            variables: RwLock::new(HashMap::new()),
             capture_plans: false,
             parallel_scan_threshold: crate::planner::PARALLEL_SCAN_THRESHOLD,
+            counters: EngineCounters::default(),
         }
     }
 
@@ -110,8 +151,21 @@ impl SqlEngine {
     }
 
     /// Current value of a session variable.
-    pub fn variable(&self, name: &str) -> Option<&Value> {
-        self.variables.get(&name.to_ascii_lowercase())
+    pub fn variable(&self, name: &str) -> Option<Value> {
+        self.variables
+            .read()
+            .unwrap()
+            .get(&name.to_ascii_lowercase())
+            .cloned()
+    }
+
+    /// A snapshot of the cumulative execution counters.
+    pub fn counters(&self) -> EngineStats {
+        EngineStats {
+            selects: self.counters.selects.load(Ordering::Relaxed),
+            read_path_selects: self.counters.read_path_selects.load(Ordering::Relaxed),
+            rows_returned: self.counters.rows_returned.load(Ordering::Relaxed),
+        }
     }
 
     /// Execute a script and return the outcome of every statement.
@@ -141,24 +195,77 @@ impl SqlEngine {
             .ok_or_else(|| SqlError::Parse("empty script".into()))
     }
 
-    /// Convenience: run a query with no limits and return just the rows.
-    pub fn query(&mut self, sql: &str) -> Result<ResultSet, SqlError> {
-        Ok(self.execute(sql, QueryLimits::UNLIMITED)?.result)
+    /// Execute a **read-only** script (`DECLARE`/`SET`/`SELECT`, no `INTO`)
+    /// through `&self`, returning every statement's outcome.  Session
+    /// variables are snapshotted at entry and `DECLARE`/`SET` effects stay
+    /// local to this call, so any number of threads can run read scripts
+    /// concurrently on one engine.  Write statements return
+    /// [`SqlError::ReadOnly`].
+    pub fn execute_read_script(
+        &self,
+        sql: &str,
+        limits: QueryLimits,
+    ) -> Result<Vec<StatementOutcome>, SqlError> {
+        let statements = parse_script(sql)?;
+        let mut vars = self.variables.read().unwrap().clone();
+        let mut outcomes = Vec::with_capacity(statements.len());
+        for stmt in &statements {
+            let started = Instant::now();
+            let outcome = match stmt {
+                Statement::Declare { name, .. } => {
+                    vars.insert(name.to_ascii_lowercase(), Value::Null);
+                    StatementOutcome::default()
+                }
+                Statement::SetVariable { name, expr } => {
+                    let value = eval_variable(expr, &vars, &self.functions)?;
+                    vars.insert(name.to_ascii_lowercase(), value);
+                    StatementOutcome::default()
+                }
+                Statement::Select(select) => {
+                    // Reject the write *before* planning or executing: a
+                    // public request must not burn its whole query budget
+                    // on a statement that errors anyway.
+                    if let Some(target) = &select.into {
+                        return Err(SqlError::ReadOnly(format!("SELECT ... INTO {target}")));
+                    }
+                    let (outcome, _into) = self.run_select(select, limits, started, &vars)?;
+                    self.counters
+                        .read_path_selects
+                        .fetch_add(1, Ordering::Relaxed);
+                    outcome
+                }
+                other => return Err(SqlError::ReadOnly(statement_kind(other).to_string())),
+            };
+            outcomes.push(outcome);
+        }
+        Ok(outcomes)
     }
 
-    /// Render the plan of the (single) SELECT statement in `sql`.
-    pub fn explain(&mut self, sql: &str) -> Result<String, SqlError> {
+    /// Execute a read-only script and return its **last** statement's
+    /// outcome (the `&self` counterpart of [`SqlEngine::execute`]).
+    pub fn execute_read(
+        &self,
+        sql: &str,
+        limits: QueryLimits,
+    ) -> Result<StatementOutcome, SqlError> {
+        let mut outcomes = self.execute_read_script(sql, limits)?;
+        outcomes
+            .pop()
+            .ok_or_else(|| SqlError::Parse("empty script".into()))
+    }
+
+    /// Convenience: run a read-only query with no limits and return just
+    /// the rows.  Takes `&self`: safe to call from many threads at once.
+    pub fn query(&self, sql: &str) -> Result<ResultSet, SqlError> {
+        Ok(self.execute_read(sql, QueryLimits::UNLIMITED)?.result)
+    }
+
+    /// Render the plan of the (single) SELECT statement in `sql`.  Any
+    /// `DECLARE`/`SET` in the script is evaluated into a local overlay so
+    /// planning cannot disturb (or be disturbed by) concurrent sessions.
+    pub fn explain(&self, sql: &str) -> Result<String, SqlError> {
         let statements = parse_script(sql)?;
-        for stmt in &statements {
-            // Execute any DECLARE/SET so variables referenced by the SELECT
-            // resolve, but skip DML.
-            match stmt {
-                Statement::Declare { .. } | Statement::SetVariable { .. } => {
-                    self.execute_statement(stmt, QueryLimits::UNLIMITED)?;
-                }
-                _ => {}
-            }
-        }
+        self.eval_script_variables(&statements)?;
         for stmt in &statements {
             if let Statement::Select(s) = stmt {
                 let plan = self.planner().plan_select(s)?;
@@ -170,22 +277,15 @@ impl SqlEngine {
 
     /// Plan a select and return its [`PlanClass`] (used by the Figure 13
     /// harness to bucket queries).
-    pub fn plan_class(&mut self, sql: &str) -> Result<PlanClass, SqlError> {
+    pub fn plan_class(&self, sql: &str) -> Result<PlanClass, SqlError> {
         self.plan_summary(sql).map(|s| s.class)
     }
 
     /// Plan a select and return its class together with the optimizer rules
     /// that fired.
-    pub fn plan_summary(&mut self, sql: &str) -> Result<PlanSummary, SqlError> {
+    pub fn plan_summary(&self, sql: &str) -> Result<PlanSummary, SqlError> {
         let statements = parse_script(sql)?;
-        for stmt in &statements {
-            match stmt {
-                Statement::Declare { .. } | Statement::SetVariable { .. } => {
-                    self.execute_statement(stmt, QueryLimits::UNLIMITED)?;
-                }
-                _ => {}
-            }
-        }
+        self.eval_script_variables(&statements)?;
         for stmt in &statements {
             if let Statement::Select(s) = stmt {
                 let plan = self.planner().plan_select(s)?;
@@ -196,6 +296,26 @@ impl SqlEngine {
             }
         }
         Err(SqlError::Plan("no SELECT statement in script".into()))
+    }
+
+    /// Evaluate the `DECLARE`/`SET` prefix of a script into a throwaway
+    /// overlay (planning only needs the side effect of surfacing evaluation
+    /// errors; variables are resolved at execution time).
+    fn eval_script_variables(&self, statements: &[Statement]) -> Result<(), SqlError> {
+        let mut vars = self.variables.read().unwrap().clone();
+        for stmt in statements {
+            match stmt {
+                Statement::Declare { name, .. } => {
+                    vars.insert(name.to_ascii_lowercase(), Value::Null);
+                }
+                Statement::SetVariable { name, expr } => {
+                    let value = eval_variable(expr, &vars, &self.functions)?;
+                    vars.insert(name.to_ascii_lowercase(), value);
+                }
+                _ => {}
+            }
+        }
+        Ok(())
     }
 
     // ----------------------------------------------------------------------
@@ -211,22 +331,29 @@ impl SqlEngine {
         match stmt {
             Statement::Declare { name, .. } => {
                 self.variables
+                    .get_mut()
+                    .unwrap()
                     .insert(name.to_ascii_lowercase(), Value::Null);
                 Ok(StatementOutcome::default())
             }
             Statement::SetVariable { name, expr } => {
-                let schema = RowSchema::default();
-                let ctx = EvalContext {
-                    schema: &schema,
-                    variables: &self.variables,
-                    functions: &self.functions,
-                    aggregates: None,
-                };
-                let value = eval(expr, &[], &ctx)?;
-                self.variables.insert(name.to_ascii_lowercase(), value);
+                let vars = self.variables.get_mut().unwrap();
+                let value = eval_variable(expr, vars, &self.functions)?;
+                vars.insert(name.to_ascii_lowercase(), value);
                 Ok(StatementOutcome::default())
             }
-            Statement::Select(select) => self.execute_select(select, limits, started),
+            Statement::Select(select) => {
+                let (mut outcome, into) = {
+                    let vars = self.variables.read().unwrap();
+                    self.run_select(select, limits, started, &vars)?
+                };
+                if let Some(target) = into {
+                    outcome.rows_affected = self.materialize_into(&target, &outcome.result)?;
+                    // Fold the materialisation into the measured wall time.
+                    outcome.stats.wall_seconds = started.elapsed().as_secs_f64();
+                }
+                Ok(outcome)
+            }
             Statement::Insert(insert) => {
                 let rows_affected = self.execute_insert(insert, limits)?;
                 Ok(StatementOutcome {
@@ -288,24 +415,25 @@ impl SqlEngine {
         }
     }
 
-    fn execute_select(
-        &mut self,
+    /// Plan and execute one SELECT through `&self`.  Returns the outcome
+    /// plus the `INTO` target, if any — materialising that target needs
+    /// `&mut self`, so it is left to the caller (the shared read path
+    /// rejects it instead).
+    fn run_select(
+        &self,
         select: &crate::ast::SelectStatement,
         limits: QueryLimits,
         started: Instant,
-    ) -> Result<StatementOutcome, SqlError> {
+        variables: &HashMap<String, Value>,
+    ) -> Result<(StatementOutcome, Option<String>), SqlError> {
         let plan = self.planner().plan_select(select)?;
         let rendered = if self.capture_plans {
             Some(plan.render())
         } else {
             None
         };
-        let executor = Executor::new(&self.db, &self.functions, &self.variables, limits);
+        let executor = Executor::new(&self.db, &self.functions, variables, limits);
         let executed = executor.execute_select(&plan)?;
-        let mut rows_affected = 0;
-        if let Some(target) = &plan.into {
-            rows_affected = self.materialize_into(target, &executed.result)?;
-        }
         let wall = started.elapsed();
         let stats = ExecutionStats::from_scan(
             executed.stats,
@@ -314,12 +442,20 @@ impl SqlEngine {
             plan_is_predicate_heavy(&plan),
             self.paper_scale_factor,
         );
-        Ok(StatementOutcome {
-            result: executed.result,
-            rows_affected,
-            stats,
-            plan: rendered,
-        })
+        self.counters.selects.fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .rows_returned
+            .fetch_add(executed.result.rows.len() as u64, Ordering::Relaxed);
+        let into = plan.into.clone();
+        Ok((
+            StatementOutcome {
+                result: executed.result,
+                rows_affected: 0,
+                stats,
+                plan: rendered,
+            },
+            into,
+        ))
     }
 
     /// `SELECT ... INTO ##target`: create the target table and fill it.
@@ -368,12 +504,13 @@ impl SqlEngine {
                 .collect::<Result<_, _>>()?
         };
         let width = table_columns.len();
+        let variables = self.variables.read().unwrap();
         let value_rows: Vec<Vec<Value>> = match &insert.source {
             InsertSource::Values(rows) => {
                 let schema = RowSchema::default();
                 let ctx = EvalContext {
                     schema: &schema,
-                    variables: &self.variables,
+                    variables: &variables,
                     functions: &self.functions,
                     aggregates: None,
                 };
@@ -388,10 +525,11 @@ impl SqlEngine {
             }
             InsertSource::Select(select) => {
                 let plan = self.planner().plan_select(select)?;
-                let executor = Executor::new(&self.db, &self.functions, &self.variables, limits);
+                let executor = Executor::new(&self.db, &self.functions, &variables, limits);
                 executor.execute_select(&plan)?.result.rows
             }
         };
+        drop(variables);
         let mut count = 0;
         for values in value_rows {
             if values.len() != column_order.len() {
@@ -426,9 +564,10 @@ impl SqlEngine {
                     .ok_or_else(|| SqlError::Plan(format!("unknown column {col}")))
             })
             .collect::<Result<_, _>>()?;
+        let variables = self.variables.read().unwrap();
         let ctx = EvalContext {
             schema: &schema,
-            variables: &self.variables,
+            variables: &variables,
             functions: &self.functions,
             aggregates: None,
         };
@@ -461,9 +600,10 @@ impl SqlEngine {
         let table = self.db.table(&delete.table)?;
         let names = table.schema().column_names();
         let schema = RowSchema::for_table(None, &names);
+        let variables = self.variables.read().unwrap();
         let ctx = EvalContext {
             schema: &schema,
-            variables: &self.variables,
+            variables: &variables,
             functions: &self.functions,
             aggregates: None,
         };
@@ -482,6 +622,38 @@ impl SqlEngine {
             self.db.delete(&delete.table, row_id)?;
         }
         Ok(count)
+    }
+}
+
+/// Evaluate a `SET @var = <expr>` right-hand side against a variable map.
+fn eval_variable(
+    expr: &Expr,
+    variables: &HashMap<String, Value>,
+    functions: &FunctionRegistry,
+) -> Result<Value, SqlError> {
+    let schema = RowSchema::default();
+    let ctx = EvalContext {
+        schema: &schema,
+        variables,
+        functions,
+        aggregates: None,
+    };
+    eval(expr, &[], &ctx)
+}
+
+/// Human-readable statement kind for read-only-violation errors.
+fn statement_kind(stmt: &Statement) -> &'static str {
+    match stmt {
+        Statement::Declare { .. } => "DECLARE",
+        Statement::SetVariable { .. } => "SET",
+        Statement::Select(_) => "SELECT",
+        Statement::Insert(_) => "INSERT",
+        Statement::Update(_) => "UPDATE",
+        Statement::Delete(_) => "DELETE",
+        Statement::CreateTable(_) => "CREATE TABLE",
+        Statement::CreateIndex(_) => "CREATE INDEX",
+        Statement::CreateView(_) => "CREATE VIEW",
+        Statement::DropTable { .. } => "DROP TABLE",
     }
 }
 
@@ -661,7 +833,7 @@ mod tests {
 
     #[test]
     fn simple_select_and_projection() {
-        let mut e = engine();
+        let e = engine();
         let r = e
             .query("select objID, ra from photoObj where objID = 5")
             .unwrap();
@@ -671,7 +843,7 @@ mod tests {
 
     #[test]
     fn count_star_and_group_by() {
-        let mut e = engine();
+        let e = engine();
         let r = e.query("select count(*) from photoObj").unwrap();
         assert_eq!(r.scalar(), Some(&Value::Int(200)));
         let r = e
@@ -687,7 +859,7 @@ mod tests {
 
     #[test]
     fn views_expand_to_base_table() {
-        let mut e = engine();
+        let e = engine();
         let galaxies = e.query("select count(*) from Galaxy").unwrap();
         assert_eq!(galaxies.scalar(), Some(&Value::Int(100)));
         let bright = e
@@ -709,7 +881,7 @@ mod tests {
             )
             .unwrap();
         assert_eq!(outcome.result.scalar(), Some(&Value::Int(180)));
-        assert_eq!(e.variable("saturated"), Some(&Value::Int(64)));
+        assert_eq!(e.variable("saturated"), Some(Value::Int(64)));
     }
 
     #[test]
@@ -744,7 +916,7 @@ mod tests {
 
     #[test]
     fn query15_shape_velocity_scan() {
-        let mut e = engine();
+        let e = engine();
         let r = e
             .query(
                 "select objID, sqrt(rowv*rowv + colv*colv) as velocity from photoObj \
@@ -760,7 +932,7 @@ mod tests {
 
     #[test]
     fn top_distinct_order_limits() {
-        let mut e = engine();
+        let e = engine();
         let r = e
             .query("select distinct type from photoObj order by type desc")
             .unwrap();
@@ -862,7 +1034,7 @@ mod tests {
 
     #[test]
     fn explain_shows_plan_shape() {
-        let mut e = engine();
+        let e = engine();
         let plan = e
             .explain(
                 "select G.objID, GN.distance from Galaxy as G \
@@ -920,7 +1092,7 @@ mod tests {
 
     #[test]
     fn left_join_against_a_merged_view_preserves_outer_rows() {
-        let mut e = engine();
+        let e = engine();
         // No star is a galaxy, so every one of the 100 stars is preserved
         // NULL-extended.  The Galaxy view's qualifiers must filter the
         // *scan*, not the joined result — otherwise the NULL rows vanish.
@@ -977,7 +1149,7 @@ mod tests {
 
     #[test]
     fn parallel_scan_returns_the_same_rows_as_serial() {
-        let mut serial = engine();
+        let serial = engine();
         let mut parallel = engine();
         parallel.set_parallel_scan_threshold(1);
         let sql = "select objID from photoObj where modelMag_r < 18 order by objID";
@@ -1034,8 +1206,100 @@ mod tests {
     }
 
     #[test]
-    fn fromless_select_evaluates_expressions() {
+    fn read_path_runs_declare_set_select_through_shared_ref() {
+        let e = engine();
+        // A full DECLARE/SET/SELECT script through `&self`.
+        let outcome = e
+            .execute_read(
+                "declare @saturated bigint; \
+                 set @saturated = dbo.fPhotoFlags('saturated'); \
+                 select count(*) from photoObj where (flags & @saturated) = 0",
+                QueryLimits::UNLIMITED,
+            )
+            .unwrap();
+        assert_eq!(outcome.result.scalar(), Some(&Value::Int(180)));
+        // The script's variables stayed local to the call.
+        assert_eq!(e.variable("saturated"), None);
+        // Counters observed both the select and its rows.
+        let stats = e.counters();
+        assert_eq!(stats.read_path_selects, 1);
+        assert_eq!(stats.selects, 1);
+        assert_eq!(stats.rows_returned, 1);
+    }
+
+    #[test]
+    fn read_path_sees_session_variables_but_cannot_change_them() {
         let mut e = engine();
+        e.execute(
+            "declare @limit float; set @limit = 16.0",
+            QueryLimits::UNLIMITED,
+        )
+        .unwrap();
+        let r = e
+            .execute_read(
+                "select count(*) from photoObj where modelMag_r < @limit",
+                QueryLimits::UNLIMITED,
+            )
+            .unwrap();
+        assert!(r.result.scalar().unwrap().as_i64().unwrap() > 0);
+        // Shadowing the variable inside a read script does not leak back.
+        e.execute_read("set @limit = 99.0; select 1", QueryLimits::UNLIMITED)
+            .unwrap();
+        assert_eq!(e.variable("limit"), Some(Value::Float(16.0)));
+    }
+
+    #[test]
+    fn read_path_rejects_writes() {
+        let e = engine();
+        for sql in [
+            "insert into photoObj (objID) values (999)",
+            "update photoObj set ra = 0 where objID = 1",
+            "delete from photoObj where objID = 1",
+            "create table t (id bigint not null)",
+            "drop table photoObj",
+            "select objID into ##tmp from photoObj",
+        ] {
+            match e.execute_read(sql, QueryLimits::UNLIMITED) {
+                Err(SqlError::ReadOnly(_)) => {}
+                other => panic!("{sql} should be rejected as read-only, got {other:?}"),
+            }
+        }
+        // Nothing was written.
+        assert_eq!(
+            e.query("select count(*) from photoObj").unwrap().scalar(),
+            Some(&Value::Int(200))
+        );
+    }
+
+    #[test]
+    fn concurrent_read_queries_share_one_engine() {
+        let e = engine();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for i in 0..8i64 {
+                let e = &e;
+                handles.push(scope.spawn(move || {
+                    for _ in 0..5 {
+                        let r = e
+                            .query(&format!(
+                                "select count(*) from photoObj where objID < {}",
+                                (i + 1) * 10
+                            ))
+                            .unwrap();
+                        assert_eq!(r.scalar(), Some(&Value::Int((i + 1) * 10)));
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+        });
+        assert_eq!(e.counters().selects, 40);
+    }
+
+    #[test]
+    fn fromless_select_evaluates_expressions() {
+        let e = engine();
         let r = e.query("select 1 + 1, pi()").unwrap();
         assert_eq!(r.rows[0][0], Value::Int(2));
         assert!((r.rows[0][1].as_f64().unwrap() - std::f64::consts::PI).abs() < 1e-12);

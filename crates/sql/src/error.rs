@@ -20,6 +20,9 @@ pub enum SqlError {
     LimitExceeded(String),
     /// Unknown scalar or table-valued function.
     UnknownFunction(String),
+    /// A write statement (DML, DDL, `SELECT ... INTO`) reached the shared
+    /// read-only query path.
+    ReadOnly(String),
 }
 
 impl fmt::Display for SqlError {
@@ -31,6 +34,9 @@ impl fmt::Display for SqlError {
             SqlError::Storage(e) => write!(f, "storage error: {e}"),
             SqlError::LimitExceeded(m) => write!(f, "query limit exceeded: {m}"),
             SqlError::UnknownFunction(n) => write!(f, "unknown function {n}"),
+            SqlError::ReadOnly(m) => {
+                write!(f, "read-only interface: {m} is not allowed here")
+            }
         }
     }
 }

@@ -51,7 +51,7 @@ pub mod plan;
 pub mod planner;
 pub mod result;
 
-pub use engine::{PlanSummary, SqlEngine};
+pub use engine::{EngineStats, PlanSummary, SqlEngine};
 pub use error::SqlError;
 pub use executor::{Executor, QueryLimits};
 pub use expr::{eval, EvalContext, RowSchema};
@@ -96,7 +96,7 @@ mod proptests {
             rows in proptest::collection::vec((0i64..40, -100.0..100.0f64), 1..80),
             needle in 0i64..40,
         ) {
-            let mut engine = engine_with_values(&rows);
+            let engine = engine_with_values(&rows);
             let expected = rows.iter().filter(|(id, _)| *id == needle).count();
             let r = engine
                 .query(&format!("select count(*) from t where id = {needle}"))
@@ -108,7 +108,7 @@ mod proptests {
         /// multiset of values.
         #[test]
         fn order_by_sorts(rows in proptest::collection::vec((0i64..1000, -1e6..1e6f64), 1..60)) {
-            let mut engine = engine_with_values(&rows);
+            let engine = engine_with_values(&rows);
             let r = engine.query("select v from t order by v").unwrap();
             let vals: Vec<f64> = r.rows.iter().map(|row| row[0].as_f64().unwrap()).collect();
             prop_assert_eq!(vals.len(), rows.len());
@@ -122,7 +122,7 @@ mod proptests {
         #[test]
         fn top_n_is_a_prefix(rows in proptest::collection::vec((0i64..1000, -1e3..1e3f64), 1..60),
                              n in 1u64..20) {
-            let mut engine = engine_with_values(&rows);
+            let engine = engine_with_values(&rows);
             let all = engine.query("select v from t order by v").unwrap();
             let top = engine.query(&format!("select top {n} v from t order by v")).unwrap();
             prop_assert!(top.len() <= n as usize);
@@ -135,7 +135,7 @@ mod proptests {
         fn range_count_matches(rows in proptest::collection::vec((0i64..50, -10.0..10.0f64), 0..80),
                                lo in 0i64..50, hi in 0i64..50) {
             let (lo, hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
-            let mut engine = engine_with_values(&rows);
+            let engine = engine_with_values(&rows);
             let expected = rows.iter().filter(|(id, _)| *id >= lo && *id <= hi).count();
             let r = engine
                 .query(&format!("select count(*) from t where id between {lo} and {hi}"))

@@ -37,7 +37,7 @@ pub use iosim::{CpuCost, DiskConfig, HardwareProfile, IoSimulator, SimTiming};
 pub use schema::{ColumnDef, SchemaError, TableSchema};
 pub use stats::{ExecutionStats, ScanStats};
 pub use table::{RowId, Table, Timestamp};
-pub use value::{hex_decode, hex_encode, DataType, Value};
+pub use value::{csv_escape, hex_decode, hex_encode, DataType, Value};
 
 #[cfg(test)]
 mod proptests {

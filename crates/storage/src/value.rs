@@ -233,15 +233,20 @@ impl Value {
                 }
             }
             Value::Bool(b) => if *b { "1" } else { "0" }.to_string(),
-            Value::Str(s) => {
-                if s.contains(',') || s.contains('"') || s.contains('\n') {
-                    format!("\"{}\"", s.replace('"', "\"\""))
-                } else {
-                    s.to_string()
-                }
-            }
+            Value::Str(s) => csv_escape(s),
             Value::Bytes(b) => hex_encode(b),
         }
+    }
+}
+
+/// Quote a CSV field when it contains a separator, quote or newline
+/// (doubling embedded quotes, RFC 4180 style).  The single source of the
+/// quoting rule for both data fields and header names.
+pub fn csv_escape(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
     }
 }
 

@@ -1,0 +1,271 @@
+//! An LRU query-result cache for the SQL search page.
+//!
+//! The paper's hottest pages (famous places, the galleries linked from the
+//! home page) are the *same* public queries issued over and over by
+//! thousands of visitors — §7's TV-driven 20x spike was almost entirely
+//! repeat traffic.  Caching the rendered result body by **normalized SQL +
+//! output format** turns that workload into memory reads.  The cache is
+//! safe because the public search page runs on the engine's read-only path
+//! (it cannot write), and any administrative write to the catalog goes
+//! through [`crate::site::SkyServerSite::with_admin`], which clears the
+//! cache.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A cached rendered response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CachedBody {
+    pub content_type: String,
+    pub body: Vec<u8>,
+}
+
+#[derive(Debug)]
+struct Entry {
+    /// `Arc` so a hit hands out a refcount bump, not a body copy, while
+    /// the cache mutex is held.
+    value: Arc<CachedBody>,
+    /// Recency stamp: larger = more recently used.
+    stamp: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    map: HashMap<String, Entry>,
+    tick: u64,
+}
+
+/// Counters and size of the cache (surfaced on the schema/QA page).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub entries: usize,
+}
+
+/// A thread-safe LRU cache from normalized query keys to rendered bodies.
+#[derive(Debug)]
+pub struct ResultCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+    /// Bodies larger than this are not cached (a full-table dump should not
+    /// evict a page of popular galleries).
+    max_body_bytes: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ResultCache {
+    /// A cache holding at most `capacity` rendered results.  A capacity of
+    /// 0 disables caching entirely (every lookup misses without being
+    /// counted, inserts are dropped).
+    pub fn new(capacity: usize) -> ResultCache {
+        ResultCache {
+            inner: Mutex::new(Inner::default()),
+            capacity,
+            max_body_bytes: 1 << 20,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Look up a key, refreshing its recency.  Counts a hit or a miss.
+    pub fn get(&self, key: &str) -> Option<Arc<CachedBody>> {
+        if self.capacity == 0 {
+            return None;
+        }
+        let mut inner = self.inner.lock().unwrap();
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(key) {
+            Some(entry) => {
+                entry.stamp = tick;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(&entry.value))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Insert a rendered body, evicting the least-recently-used entry when
+    /// the cache is full.  Oversized bodies are ignored.
+    pub fn insert(&self, key: String, value: CachedBody) {
+        if self.capacity == 0 || value.body.len() > self.max_body_bytes {
+            return;
+        }
+        let mut inner = self.inner.lock().unwrap();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if !inner.map.contains_key(&key) && inner.map.len() >= self.capacity {
+            if let Some(lru) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(k, _)| k.clone())
+            {
+                inner.map.remove(&lru);
+            }
+        }
+        inner.map.insert(
+            key,
+            Entry {
+                value: Arc::new(value),
+                stamp: tick,
+            },
+        );
+    }
+
+    /// Drop every entry (called after any administrative write).
+    pub fn clear(&self) {
+        self.inner.lock().unwrap().map.clear();
+    }
+
+    /// Hit/miss/size counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.inner.lock().unwrap().map.len(),
+        }
+    }
+}
+
+/// Normalize SQL for use as a cache key: collapse whitespace runs to one
+/// space, trim, and lowercase everything **outside** single-quoted string
+/// literals (the dialect is case-insensitive except in literals, so
+/// `SELECT objID  FROM  PhotoObj` and `select objid from photoobj` hit the
+/// same entry while `'Galaxy'` and `'galaxy'` stay distinct).
+pub fn normalize_sql(sql: &str) -> String {
+    let mut out = String::with_capacity(sql.len());
+    let mut in_literal = false;
+    let mut pending_space = false;
+    for c in sql.chars() {
+        if !in_literal && c.is_whitespace() {
+            pending_space = true;
+            continue;
+        }
+        if pending_space {
+            if !out.is_empty() {
+                out.push(' ');
+            }
+            pending_space = false;
+        }
+        if c == '\'' {
+            in_literal = !in_literal;
+            out.push(c);
+        } else if in_literal {
+            out.push(c);
+        } else {
+            out.push(c.to_ascii_lowercase());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn body(s: &str) -> CachedBody {
+        CachedBody {
+            content_type: "text/plain".into(),
+            body: s.as_bytes().to_vec(),
+        }
+    }
+
+    #[test]
+    fn normalization_collapses_whitespace_and_case_outside_literals() {
+        assert_eq!(
+            normalize_sql("  SELECT  objID\n FROM\tPhotoObj  "),
+            "select objid from photoobj"
+        );
+        assert_eq!(
+            normalize_sql("select 'Messier 31'  from t"),
+            "select 'Messier 31' from t"
+        );
+        // Literal case is preserved, so different literals keep distinct keys.
+        assert_ne!(
+            normalize_sql("select * from t where n = 'A'"),
+            normalize_sql("select * from t where n = 'a'")
+        );
+    }
+
+    #[test]
+    fn hit_miss_and_counters() {
+        let cache = ResultCache::new(4);
+        assert!(cache.get("k").is_none());
+        cache.insert("k".into(), body("v"));
+        assert_eq!(cache.get("k").unwrap().body, b"v");
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let cache = ResultCache::new(2);
+        cache.insert("a".into(), body("1"));
+        cache.insert("b".into(), body("2"));
+        // Touch "a" so "b" is the LRU entry.
+        assert!(cache.get("a").is_some());
+        cache.insert("c".into(), body("3"));
+        assert!(cache.get("a").is_some());
+        assert!(cache.get("b").is_none(), "LRU entry should be evicted");
+        assert!(cache.get("c").is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache = ResultCache::new(0);
+        cache.insert("a".into(), body("1"));
+        assert!(cache.get("a").is_none());
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 0);
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.misses, 0);
+    }
+
+    #[test]
+    fn clear_empties_the_cache() {
+        let cache = ResultCache::new(4);
+        cache.insert("a".into(), body("1"));
+        cache.clear();
+        assert!(cache.get("a").is_none());
+        assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn oversized_bodies_are_not_cached() {
+        let cache = ResultCache::new(4);
+        let huge = CachedBody {
+            content_type: "text/plain".into(),
+            body: vec![0u8; (1 << 20) + 1],
+        };
+        cache.insert("big".into(), huge);
+        assert!(cache.get("big").is_none());
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        let cache = ResultCache::new(16);
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let cache = &cache;
+                scope.spawn(move || {
+                    for i in 0..50 {
+                        let key = format!("k{}", (t * 50 + i) % 24);
+                        if cache.get(&key).is_none() {
+                            cache.insert(key, body("x"));
+                        }
+                    }
+                });
+            }
+        });
+        assert!(cache.stats().entries <= 16);
+    }
+}

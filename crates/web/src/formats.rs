@@ -7,7 +7,7 @@
 //! formats plus JSON (for the modern tooling this reproduction targets).
 
 use skyserver_sql::ResultSet;
-use skyserver_storage::Value;
+use skyserver_storage::{csv_escape, Value};
 
 /// The supported output formats.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,10 +54,13 @@ impl OutputFormat {
     }
 }
 
-/// CSV: header line plus one line per row.
+/// CSV: header line plus one line per row.  Header names go through the
+/// same escaping as data fields — a column alias containing a comma or
+/// quote must not corrupt the row structure.
 pub fn to_csv(result: &ResultSet) -> String {
     let mut out = String::new();
-    out.push_str(&result.columns.join(","));
+    let header: Vec<String> = result.columns.iter().map(|c| csv_escape(c)).collect();
+    out.push_str(&header.join(","));
     out.push('\n');
     for row in &result.rows {
         let line: Vec<String> = row.iter().map(Value::to_csv_field).collect();
@@ -117,7 +120,12 @@ fn value_to_json(v: &Value) -> serde_json::Value {
 /// card structure is what matters for recognisability.)
 pub fn to_fits_ascii(result: &ResultSet) -> String {
     let mut out = String::new();
-    let card = |text: &str| format!("{:<80}\n", text);
+    // Pad *and* clamp to the 80-column card width: an over-long column
+    // name must not emit an over-long card.
+    let card = |text: &str| {
+        let clamped: String = text.chars().take(80).collect();
+        format!("{clamped:<80}\n")
+    };
     out.push_str(&card(
         "SIMPLE  =                    T / SkyServer-RS ASCII table",
     ));
@@ -206,6 +214,20 @@ mod tests {
     }
 
     #[test]
+    fn csv_escapes_header_aliases_with_commas_and_quotes() {
+        let result = ResultSet {
+            columns: vec!["ra, dec".into(), "the \"best\" mag".into(), "plain".into()],
+            rows: vec![vec![Value::Int(1), Value::Int(2), Value::Int(3)]],
+            truncated: false,
+        };
+        let csv = to_csv(&result);
+        let lines: Vec<&str> = csv.lines().collect();
+        // Three columns must stay three fields: quoted, with doubled quotes.
+        assert_eq!(lines[0], "\"ra, dec\",\"the \"\"best\"\" mag\",plain");
+        assert_eq!(lines[1], "1,2,3");
+    }
+
+    #[test]
     fn xml_escapes_and_produces_rows() {
         let xml = to_xml(&rs());
         assert!(xml.contains("<result>"));
@@ -233,6 +255,26 @@ mod tests {
         }
         assert!(fits.contains("TTYPE1"));
         assert!(fits.contains("NAXIS2"));
+    }
+
+    #[test]
+    fn fits_cards_clamp_over_long_column_names() {
+        let long_alias = "a".repeat(120);
+        let result = ResultSet {
+            columns: vec![long_alias, "b".into()],
+            rows: vec![vec![Value::Int(1), Value::Int(2)]],
+            truncated: false,
+        };
+        let fits = to_fits_ascii(&result);
+        let header_lines: Vec<&str> = fits.lines().take_while(|l| !l.starts_with("END")).collect();
+        assert!(!header_lines.is_empty());
+        for line in header_lines {
+            assert_eq!(
+                line.chars().count(),
+                80,
+                "FITS card is not 80 columns: {line:?}"
+            );
+        }
     }
 
     #[test]

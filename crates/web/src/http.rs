@@ -2,15 +2,22 @@
 //!
 //! The original SkyServer front end is IIS + JavaScript ASP (§5); this is
 //! the smallest substrate that lets the reproduction serve the same page
-//! families and SQL endpoints to a browser or `curl`.  One thread per
-//! connection, GET only, no keep-alive -- entirely adequate for the paper's
-//! sustained load of ~500 users / 4,000 pages per day.
+//! families and SQL endpoints to a browser or `curl`.  The serving model
+//! mirrors what §7 demanded of the real site (a 20x TV-driven traffic
+//! spike, months of crawler load): a **bounded worker pool** pulls
+//! connections off a fixed-depth accept queue (overload answers `503`
+//! instead of spawning unbounded threads), connections are reused via
+//! **HTTP/1.1 keep-alive** (the `Connection:` header is honored), and the
+//! request head is capped at [`ServerConfig::max_header_bytes`] so a
+//! hostile client cannot grow memory without limit.
 
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 /// A parsed HTTP request.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -20,12 +27,34 @@ pub struct Request {
     pub path: String,
     /// Decoded query parameters.
     pub query: HashMap<String, String>,
+    /// Protocol version from the request line (`HTTP/1.1`, `HTTP/1.0`).
+    pub version: String,
+    /// Request headers, keys lowercased.
+    pub headers: HashMap<String, String>,
 }
 
 impl Request {
     /// A query parameter by name.
     pub fn param(&self, name: &str) -> Option<&str> {
         self.query.get(name).map(String::as_str)
+    }
+
+    /// A header by (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .get(&name.to_ascii_lowercase())
+            .map(String::as_str)
+    }
+
+    /// Whether the client wants the connection kept open: HTTP/1.1 defaults
+    /// to keep-alive unless `Connection: close`; HTTP/1.0 defaults to close
+    /// unless `Connection: keep-alive`.
+    pub fn wants_keep_alive(&self) -> bool {
+        match self.header("connection").map(str::to_ascii_lowercase) {
+            Some(v) if v.contains("close") => false,
+            Some(v) if v.contains("keep-alive") => true,
+            _ => self.version != "HTTP/1.0",
+        }
     }
 }
 
@@ -70,24 +99,38 @@ impl Response {
         }
     }
 
+    /// 503 Service Unavailable (the accept queue is full).
+    pub fn unavailable(message: &str) -> Response {
+        Response {
+            status: 503,
+            content_type: "text/plain; charset=utf-8".into(),
+            body: message.as_bytes().to_vec(),
+        }
+    }
+
     fn status_text(&self) -> &'static str {
         match self.status {
             200 => "OK",
             400 => "Bad Request",
             404 => "Not Found",
             500 => "Internal Server Error",
+            503 => "Service Unavailable",
             _ => "OK",
         }
     }
 
-    /// Serialise to the wire format.
-    pub fn to_bytes(&self) -> Vec<u8> {
+    /// Serialise to the wire format.  `keep_alive` selects the
+    /// `Connection:` header; callers that close unconditionally pass
+    /// `false` (the pre-keep-alive behaviour).
+    pub fn to_bytes(&self, keep_alive: bool) -> Vec<u8> {
+        let connection = if keep_alive { "keep-alive" } else { "close" };
         let mut out = format!(
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
             self.status,
             self.status_text(),
             self.content_type,
-            self.body.len()
+            self.body.len(),
+            connection,
         )
         .into_bytes();
         out.extend_from_slice(&self.body);
@@ -95,21 +138,22 @@ impl Response {
     }
 }
 
-/// Percent-decode a URL component (enough for the SQL the search page sends).
+/// Percent-decode a URL component (enough for the SQL the search page
+/// sends).  Works on the raw bytes so a `%` followed by multibyte UTF-8
+/// cannot cause an out-of-boundary string slice.
 pub fn url_decode(s: &str) -> String {
     let bytes = s.as_bytes();
     let mut out = Vec::with_capacity(bytes.len());
     let mut i = 0;
     while i < bytes.len() {
         match bytes[i] {
-            b'%' if i + 2 < bytes.len() => {
-                if let Ok(v) = u8::from_str_radix(&s[i + 1..i + 3], 16) {
-                    out.push(v);
-                    i += 3;
-                } else {
-                    out.push(b'%');
-                    i += 1;
-                }
+            b'%' if i + 2 < bytes.len()
+                && bytes[i + 1].is_ascii_hexdigit()
+                && bytes[i + 2].is_ascii_hexdigit() =>
+            {
+                let hex = std::str::from_utf8(&bytes[i + 1..i + 3]).unwrap();
+                out.push(u8::from_str_radix(hex, 16).unwrap());
+                i += 3;
             }
             b'+' => {
                 out.push(b' ');
@@ -124,12 +168,14 @@ pub fn url_decode(s: &str) -> String {
     String::from_utf8_lossy(&out).into_owned()
 }
 
-/// Parse the request line + query string of an HTTP request.
+/// Parse the request line, query string and headers of an HTTP request.
 pub fn parse_request(raw: &str) -> Option<Request> {
-    let first_line = raw.lines().next()?;
+    let mut lines = raw.lines();
+    let first_line = lines.next()?;
     let mut parts = first_line.split_whitespace();
     let method = parts.next()?.to_string();
     let target = parts.next()?;
+    let version = parts.next().unwrap_or("HTTP/1.1").to_string();
     let (path, query_string) = match target.split_once('?') {
         Some((p, q)) => (p, q),
         None => (target, ""),
@@ -139,24 +185,84 @@ pub fn parse_request(raw: &str) -> Option<Request> {
         let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
         query.insert(url_decode(k).to_ascii_lowercase(), url_decode(v));
     }
+    let mut headers = HashMap::new();
+    for line in lines {
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            headers.insert(name.trim().to_ascii_lowercase(), value.trim().to_string());
+        }
+    }
     Some(Request {
         method,
         path: url_decode(path),
         query,
+        version,
+        headers,
     })
 }
 
-/// A running HTTP server.
+/// Tuning knobs of the serving tier.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Number of worker threads handling connections.
+    pub workers: usize,
+    /// Depth of the accept queue; connections beyond it get a `503`.
+    pub queue_depth: usize,
+    /// Maximum bytes of request line + headers before the server answers
+    /// `400` and closes (defends against unbounded header growth).
+    pub max_header_bytes: usize,
+    /// Maximum requests served over one keep-alive connection.
+    pub max_keep_alive_requests: usize,
+    /// Socket read timeout (also bounds how long an idle keep-alive
+    /// connection pins a worker between requests).
+    pub read_timeout: Duration,
+    /// Wall-clock budget for one connection.  With a bounded pool a
+    /// long-lived keep-alive socket pins a worker; past this age the next
+    /// response says `Connection: close` so the worker rotates back to the
+    /// queue.
+    pub max_connection_age: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        ServerConfig {
+            // Enough workers to overlap I/O even on small machines: with a
+            // bounded pool, every worker a slow client can pin matters.
+            workers: (2 * cores).clamp(8, 32),
+            queue_depth: 64,
+            max_header_bytes: 16 * 1024,
+            max_keep_alive_requests: 100,
+            read_timeout: Duration::from_secs(5),
+            max_connection_age: Duration::from_secs(30),
+        }
+    }
+}
+
+/// A running HTTP server: an accept thread plus a bounded worker pool.
 pub struct HttpServer {
     addr: std::net::SocketAddr,
     shutdown: Arc<AtomicBool>,
-    handle: Option<std::thread::JoinHandle<()>>,
+    accept_handle: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
 }
 
 impl HttpServer {
     /// Start serving on `127.0.0.1:port` (port 0 picks a free port) with the
-    /// given request handler.
+    /// given request handler and default configuration.
     pub fn start<F>(port: u16, handler: F) -> std::io::Result<HttpServer>
+    where
+        F: Fn(&Request) -> Response + Send + Sync + 'static,
+    {
+        HttpServer::start_with(port, ServerConfig::default(), handler)
+    }
+
+    /// Start serving with an explicit [`ServerConfig`].
+    pub fn start_with<F>(port: u16, config: ServerConfig, handler: F) -> std::io::Result<HttpServer>
     where
         F: Fn(&Request) -> Response + Send + Sync + 'static,
     {
@@ -164,19 +270,54 @@ impl HttpServer {
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
         let shutdown = Arc::new(AtomicBool::new(false));
-        let shutdown_flag = Arc::clone(&shutdown);
         let handler = Arc::new(handler);
-        let handle = std::thread::spawn(move || {
+        let config = Arc::new(config);
+        let (tx, rx): (SyncSender<TcpStream>, Receiver<TcpStream>) =
+            std::sync::mpsc::sync_channel(config.queue_depth);
+        let rx = Arc::new(Mutex::new(rx));
+
+        let mut workers = Vec::with_capacity(config.workers);
+        for _ in 0..config.workers.max(1) {
+            let rx = Arc::clone(&rx);
+            let handler = Arc::clone(&handler);
+            let config = Arc::clone(&config);
+            let shutdown = Arc::clone(&shutdown);
+            workers.push(std::thread::spawn(move || loop {
+                // Holding the lock only while waiting: once a connection is
+                // received the lock drops and the next worker can wait.
+                let stream = match rx.lock().unwrap().recv() {
+                    Ok(stream) => stream,
+                    // All senders are gone: the accept loop exited.
+                    Err(_) => break,
+                };
+                // A panicking handler must cost one connection, not a pool
+                // worker — with a bounded pool, `workers` leaked panics
+                // would otherwise brick the whole server.
+                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let _ = handle_connection(stream, handler.as_ref(), &config, &shutdown);
+                }));
+            }));
+        }
+
+        let shutdown_flag = Arc::clone(&shutdown);
+        let accept_handle = std::thread::spawn(move || {
+            // `tx` is moved in here; dropping it on exit stops the workers.
             while !shutdown_flag.load(Ordering::Relaxed) {
                 match listener.accept() {
-                    Ok((stream, _)) => {
-                        let handler = Arc::clone(&handler);
-                        std::thread::spawn(move || {
-                            let _ = handle_connection(stream, handler.as_ref());
-                        });
-                    }
+                    Ok((stream, _)) => match tx.try_send(stream) {
+                        Ok(()) => {}
+                        Err(TrySendError::Full(stream)) => {
+                            // Bounded overload behaviour: shed the
+                            // connection instead of queueing without limit.
+                            let _ = refuse_connection(
+                                stream,
+                                Response::unavailable("server overloaded, retry shortly"),
+                            );
+                        }
+                        Err(TrySendError::Disconnected(_)) => break,
+                    },
                     Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                        std::thread::sleep(std::time::Duration::from_millis(10));
+                        std::thread::sleep(Duration::from_millis(5));
                     }
                     Err(_) => break,
                 }
@@ -185,7 +326,8 @@ impl HttpServer {
         Ok(HttpServer {
             addr,
             shutdown,
-            handle: Some(handle),
+            accept_handle: Some(accept_handle),
+            workers,
         })
     }
 
@@ -194,10 +336,17 @@ impl HttpServer {
         self.addr
     }
 
-    /// Stop accepting connections and join the accept thread.
+    /// Stop accepting connections and join the accept thread and workers.
     pub fn stop(mut self) {
+        self.shutdown_and_join();
+    }
+
+    fn shutdown_and_join(&mut self) {
         self.shutdown.store(true, Ordering::Relaxed);
-        if let Some(h) = self.handle.take() {
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
             let _ = h.join();
         }
     }
@@ -205,38 +354,121 @@ impl HttpServer {
 
 impl Drop for HttpServer {
     fn drop(&mut self) {
-        self.shutdown.store(true, Ordering::Relaxed);
-        if let Some(h) = self.handle.take() {
-            let _ = h.join();
-        }
+        self.shutdown_and_join();
     }
 }
 
-fn handle_connection<F>(mut stream: TcpStream, handler: &F) -> std::io::Result<()>
+/// Serve one connection, possibly across many keep-alive requests.
+fn handle_connection<F>(
+    mut stream: TcpStream,
+    handler: &F,
+    config: &ServerConfig,
+    shutdown: &AtomicBool,
+) -> std::io::Result<()>
 where
     F: Fn(&Request) -> Response,
 {
-    stream.set_read_timeout(Some(std::time::Duration::from_secs(5)))?;
+    stream.set_read_timeout(Some(config.read_timeout))?;
+    // Small request/response exchanges over keep-alive connections stall on
+    // Nagle + delayed-ACK (~40 ms per round trip) without this.
+    stream.set_nodelay(true)?;
+    let opened = std::time::Instant::now();
     let mut reader = BufReader::new(stream.try_clone()?);
-    let mut request_text = String::new();
+    let mut served = 0usize;
     loop {
-        let mut line = String::new();
-        let n = reader.read_line(&mut line)?;
-        if n == 0 || line == "\r\n" || line == "\n" {
-            break;
+        let head = match read_request_head(&mut reader, config.max_header_bytes)? {
+            HeadRead::Complete(head) => head,
+            HeadRead::Closed => return Ok(()),
+            HeadRead::TooLarge => {
+                // The client may still be streaming headers; a plain close
+                // here would RST the socket and destroy the 400 before the
+                // client reads it.
+                return refuse_connection(
+                    stream,
+                    Response::bad_request("request headers too large"),
+                );
+            }
+        };
+        let (response, client_keep_alive) = match parse_request(&head) {
+            Some(request) if request.method == "GET" => {
+                let keep = request.wants_keep_alive();
+                (handler(&request), keep)
+            }
+            Some(_) => (Response::bad_request("only GET is supported"), false),
+            None => (Response::bad_request("malformed request"), false),
+        };
+        served += 1;
+        let keep_alive = client_keep_alive
+            && served < config.max_keep_alive_requests
+            && opened.elapsed() < config.max_connection_age
+            && !shutdown.load(Ordering::Relaxed);
+        stream.write_all(&response.to_bytes(keep_alive))?;
+        stream.flush()?;
+        if !keep_alive {
+            return Ok(());
         }
-        request_text.push_str(&line);
     }
-    let response = match parse_request(&request_text) {
-        Some(request) if request.method == "GET" => handler(&request),
-        Some(_) => Response::bad_request("only GET is supported"),
-        None => Response::bad_request("malformed request"),
-    };
-    stream.write_all(&response.to_bytes())?;
-    stream.flush()
 }
 
-/// Minimal blocking HTTP GET used by the integration tests and examples.
+/// Send a refusal response on a connection whose request was never (fully)
+/// read, then close gracefully.  Closing with unread bytes in the socket
+/// would send RST, which flushes the client's receive buffer and destroys
+/// the response — so half-close the write side and briefly drain instead.
+fn refuse_connection(mut stream: TcpStream, response: Response) -> std::io::Result<()> {
+    stream.write_all(&response.to_bytes(false))?;
+    stream.flush()?;
+    stream.shutdown(std::net::Shutdown::Write)?;
+    stream.set_read_timeout(Some(Duration::from_millis(50)))?;
+    let mut sink = [0u8; 4096];
+    // Bounded drain: up to ~256 KiB or the 50 ms timeout, whichever first.
+    for _ in 0..64 {
+        match stream.read(&mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+    Ok(())
+}
+
+enum HeadRead {
+    /// Request line + headers, terminated by the blank line.
+    Complete(String),
+    /// The client closed the connection before sending a request.
+    Closed,
+    /// The head exceeded the configured byte cap.
+    TooLarge,
+}
+
+/// Read one request head (request line + headers) with a total byte cap.
+fn read_request_head<R: BufRead>(reader: &mut R, cap: usize) -> std::io::Result<HeadRead> {
+    let mut head = String::new();
+    // `take` enforces the cap even inside a single unterminated line, so a
+    // client streaming one endless header cannot grow the buffer.
+    let mut limited = reader.take(cap as u64);
+    loop {
+        let mut line = String::new();
+        let n = limited.read_line(&mut line)?;
+        if n == 0 {
+            return Ok(if head.is_empty() {
+                HeadRead::Closed
+            } else {
+                // EOF (or the byte cap) hit mid-request.
+                HeadRead::TooLarge
+            });
+        }
+        if !line.ends_with('\n') {
+            // read_line stopped because the `take` limit was reached.
+            return Ok(HeadRead::TooLarge);
+        }
+        if line == "\r\n" || line == "\n" {
+            return Ok(HeadRead::Complete(head));
+        }
+        head.push_str(&line);
+    }
+}
+
+/// Minimal blocking HTTP GET used by the integration tests and examples
+/// (one request per connection: sends `Connection: close`).
 pub fn http_get(
     addr: std::net::SocketAddr,
     path_and_query: &str,
@@ -261,6 +493,90 @@ pub fn http_get(
     Ok((status, body))
 }
 
+/// A keep-alive HTTP client: issues many GETs over one TCP connection,
+/// transparently reconnecting when the server answers `Connection: close`
+/// (e.g. after [`ServerConfig::max_keep_alive_requests`]).  Used by the
+/// concurrency tests and the TCP benchmark.
+pub struct HttpClient {
+    addr: std::net::SocketAddr,
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl HttpClient {
+    /// Open a persistent connection to the server.
+    pub fn connect(addr: std::net::SocketAddr) -> std::io::Result<HttpClient> {
+        let (stream, reader) = HttpClient::open(addr)?;
+        Ok(HttpClient {
+            addr,
+            stream,
+            reader,
+        })
+    }
+
+    fn open(addr: std::net::SocketAddr) -> std::io::Result<(TcpStream, BufReader<TcpStream>)> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok((stream, reader))
+    }
+
+    /// Issue one GET and read the full response (status, body).  The
+    /// connection stays open for the next call unless the server asked to
+    /// close it, in which case the next call reconnects.
+    pub fn get(&mut self, path_and_query: &str) -> std::io::Result<(u16, String)> {
+        write!(
+            self.stream,
+            "GET {path_and_query} HTTP/1.1\r\nHost: localhost\r\n\r\n"
+        )?;
+        self.stream.flush()?;
+        let mut status = 0u16;
+        let mut content_length = 0usize;
+        let mut server_closes = false;
+        let mut first = true;
+        loop {
+            let mut line = String::new();
+            let n = self.reader.read_line(&mut line)?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection mid-response",
+                ));
+            }
+            let trimmed = line.trim_end();
+            if first {
+                status = trimmed
+                    .split_whitespace()
+                    .nth(1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(0);
+                first = false;
+                continue;
+            }
+            if trimmed.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = trimmed.split_once(':') {
+                let name = name.trim();
+                if name.eq_ignore_ascii_case("content-length") {
+                    content_length = value.trim().parse().unwrap_or(0);
+                } else if name.eq_ignore_ascii_case("connection") {
+                    server_closes = value.trim().eq_ignore_ascii_case("close");
+                }
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body)?;
+        if server_closes {
+            let (stream, reader) = HttpClient::open(self.addr)?;
+            self.stream = stream;
+            self.reader = reader;
+        }
+        Ok((status, String::from_utf8_lossy(&body).into_owned()))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -275,6 +591,7 @@ mod tests {
         assert_eq!(r.path, "/en/tools/search/x_sql.asp");
         assert_eq!(r.param("cmd"), Some("select count(*) from PhotoObj"));
         assert_eq!(r.param("format"), Some("csv"));
+        assert_eq!(r.header("host"), Some("x"));
         assert!(parse_request("").is_none());
     }
 
@@ -290,14 +607,44 @@ mod tests {
     }
 
     #[test]
+    fn url_decoding_survives_multibyte_utf8_after_percent() {
+        // A multibyte char right after '%' must not slice across a char
+        // boundary (this used to panic).
+        assert_eq!(url_decode("%é"), "%é");
+        assert_eq!(url_decode("%4é"), "%4é");
+        assert_eq!(url_decode("é%20è"), "é è");
+        // Percent-encoded UTF-8 still decodes.
+        assert_eq!(url_decode("%C3%A9"), "é");
+        // Trailing and malformed escapes pass through unchanged.
+        assert_eq!(url_decode("%"), "%");
+        assert_eq!(url_decode("%2"), "%2");
+        assert_eq!(url_decode("%zz"), "%zz");
+    }
+
+    #[test]
+    fn keep_alive_negotiation() {
+        let http11 = parse_request("GET / HTTP/1.1\r\n\r\n").unwrap();
+        assert!(http11.wants_keep_alive());
+        let close = parse_request("GET / HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert!(!close.wants_keep_alive());
+        let http10 = parse_request("GET / HTTP/1.0\r\n\r\n").unwrap();
+        assert!(!http10.wants_keep_alive());
+        let http10_ka = parse_request("GET / HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n").unwrap();
+        assert!(http10_ka.wants_keep_alive());
+    }
+
+    #[test]
     fn response_serialisation() {
         let r = Response::ok("text/plain", "hello");
-        let bytes = r.to_bytes();
-        let text = String::from_utf8(bytes).unwrap();
+        let text = String::from_utf8(r.to_bytes(false)).unwrap();
         assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
         assert!(text.contains("Content-Length: 5"));
+        assert!(text.contains("Connection: close"));
         assert!(text.ends_with("hello"));
+        let text = String::from_utf8(r.to_bytes(true)).unwrap();
+        assert!(text.contains("Connection: keep-alive"));
         assert_eq!(Response::not_found("/x").status, 404);
+        assert_eq!(Response::unavailable("busy").status, 503);
     }
 
     #[test]
@@ -315,6 +662,106 @@ mod tests {
         assert_eq!(body, "hi there");
         let (status, _) = http_get(server.addr(), "/missing").unwrap();
         assert_eq!(status, 404);
+        server.stop();
+    }
+
+    #[test]
+    fn keep_alive_serves_many_requests_on_one_connection() {
+        let server =
+            HttpServer::start(0, |req| Response::ok("text/plain", req.path.clone())).unwrap();
+        let mut client = HttpClient::connect(server.addr()).unwrap();
+        for i in 0..10 {
+            let (status, body) = client.get(&format!("/echo/{i}")).unwrap();
+            assert_eq!(status, 200);
+            assert_eq!(body, format!("/echo/{i}"));
+        }
+        drop(client);
+        server.stop();
+    }
+
+    #[test]
+    fn client_reconnects_when_the_server_closes_after_max_requests() {
+        let config = ServerConfig {
+            max_keep_alive_requests: 3,
+            ..ServerConfig::default()
+        };
+        let server = HttpServer::start_with(0, config, |req| {
+            Response::ok("text/plain", req.path.clone())
+        })
+        .unwrap();
+        let mut client = HttpClient::connect(server.addr()).unwrap();
+        // 8 requests across a server that closes every 3rd connection: the
+        // client must ride through the `Connection: close` responses.
+        for i in 0..8 {
+            let (status, body) = client.get(&format!("/r{i}")).unwrap();
+            assert_eq!(status, 200, "request {i}");
+            assert_eq!(body, format!("/r{i}"));
+        }
+        drop(client);
+        server.stop();
+    }
+
+    #[test]
+    fn oversized_request_head_answers_400() {
+        let config = ServerConfig {
+            max_header_bytes: 1024,
+            ..ServerConfig::default()
+        };
+        let server =
+            HttpServer::start_with(0, config, |_| Response::ok("text/plain", "ok")).unwrap();
+        // Headers beyond the cap (sent as proper header lines).
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        write!(stream, "GET / HTTP/1.1\r\n").unwrap();
+        for i in 0..64 {
+            write!(stream, "X-Filler-{i}: {}\r\n", "y".repeat(64)).unwrap();
+        }
+        write!(stream, "\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(
+            response.starts_with("HTTP/1.1 400"),
+            "expected 400, got: {response}"
+        );
+
+        // One endless header line without a newline is also bounded.
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        write!(stream, "GET / HTTP/1.1\r\nX-Huge: {}", "z".repeat(4096)).unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(
+            response.starts_with("HTTP/1.1 400"),
+            "expected 400, got: {response}"
+        );
+
+        // A normal request still works.
+        let (status, _) = http_get(server.addr(), "/").unwrap();
+        assert_eq!(status, 200);
+        server.stop();
+    }
+
+    #[test]
+    fn worker_pool_handles_parallel_connections() {
+        let config = ServerConfig {
+            workers: 4,
+            ..ServerConfig::default()
+        };
+        let server = HttpServer::start_with(0, config, |req| {
+            Response::ok("text/plain", req.path.clone())
+        })
+        .unwrap();
+        let addr = server.addr();
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let (status, body) = http_get(addr, &format!("/{i}")).unwrap();
+                    assert_eq!(status, 200);
+                    assert_eq!(body, format!("/{i}"));
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
         server.stop();
     }
 }

@@ -3,6 +3,11 @@
 //! The SkyServer web front end (§2, §4, §5, §7 of the paper):
 //!
 //! * a dependency-free HTTP server ([`http`]) standing in for IIS + ASP,
+//!   with a bounded worker pool, HTTP/1.1 keep-alive and a capped request
+//!   head,
+//! * an LRU query-result cache ([`cache`]) keyed by normalized SQL +
+//!   output format, serving the paper's popular-places workload from
+//!   memory,
 //! * the site routes ([`site`]): famous places, navigator, object explorer,
 //!   SQL search with the public 1,000-row / 30-second limits, the schema
 //!   browser that feeds SkyServerQA, and the three language branches,
@@ -11,13 +16,17 @@
 //! * the site-traffic simulator and analyser ([`traffic`]) that regenerate
 //!   Figure 5 and the §7 operations statistics.
 
+pub mod cache;
 pub mod formats;
 pub mod http;
 pub mod site;
 pub mod traffic;
 
+pub use cache::{normalize_sql, CacheStats, ResultCache};
 pub use formats::{to_csv, to_fits_ascii, to_json, to_xml, OutputFormat};
-pub use http::{http_get, parse_request, url_decode, HttpServer, Request, Response};
+pub use http::{
+    http_get, parse_request, url_decode, HttpClient, HttpServer, Request, Response, ServerConfig,
+};
 pub use site::{SkyServerSite, LANGUAGES};
 pub use traffic::{
     analyze_traffic, render_figure5, simulate_traffic, DailyTraffic, LogRecord, Section,

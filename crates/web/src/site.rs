@@ -4,21 +4,36 @@
 //! the navigation (pan/zoom) tool, the object explorer, the SQL search pages
 //! with the public limits, the schema browser that feeds SkyServerQA, and
 //! the three language branches (English, Japanese, German).
+//!
+//! Concurrency model: the site holds `RwLock<Arc<SkyServer>>`.  Request
+//! handlers clone the `Arc` snapshot and immediately drop the lock, then
+//! run the query on the engine's shared `&self` read path — so any number
+//! of requests execute concurrently and a long query never blocks the
+//! others.  Writers (data loads, DDL) go through [`SkyServerSite::with_admin`],
+//! which takes the write lock, waits for in-flight snapshots to drain, and
+//! clears the result cache.
 
+use crate::cache::{normalize_sql, CachedBody, ResultCache};
 use crate::formats::OutputFormat;
 use crate::http::{HttpServer, Request, Response};
 use crate::traffic::{LogRecord, Section};
 use skyserver::{SkyServer, SkyServerError};
-use std::sync::Arc;
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
 
-/// The web application: a shared SkyServer plus a request log.
+/// How many rendered SQL results the site keeps (the paper's popular-places
+/// pages are a handful of hot queries, so a small cache covers them).
+const RESULT_CACHE_CAPACITY: usize = 128;
+
+/// The web application: a shared SkyServer plus a request log and a
+/// rendered-result cache.
 pub struct SkyServerSite {
-    sky: Mutex<SkyServer>,
+    sky: RwLock<Arc<SkyServer>>,
     log: Mutex<Vec<LogRecord>>,
     started: Instant,
-    session_counter: Mutex<u64>,
+    session_counter: AtomicU64,
+    cache: ResultCache,
 }
 
 /// The language branches of the site (§5: English, German, Japanese).
@@ -27,12 +42,61 @@ pub const LANGUAGES: [&str; 3] = ["en", "jp", "de"];
 impl SkyServerSite {
     /// Wrap a loaded SkyServer.
     pub fn new(sky: SkyServer) -> Arc<SkyServerSite> {
+        SkyServerSite::new_with_cache(sky, RESULT_CACHE_CAPACITY)
+    }
+
+    /// Wrap a loaded SkyServer with an explicit result-cache capacity
+    /// (0 disables the cache — used by the benchmark's no-cache baseline).
+    pub fn new_with_cache(sky: SkyServer, cache_capacity: usize) -> Arc<SkyServerSite> {
         Arc::new(SkyServerSite {
-            sky: Mutex::new(sky),
+            sky: RwLock::new(Arc::new(sky)),
             log: Mutex::new(Vec::new()),
             started: Instant::now(),
-            session_counter: Mutex::new(0),
+            session_counter: AtomicU64::new(0),
+            cache: ResultCache::new(cache_capacity),
         })
+    }
+
+    /// A read snapshot of the server.  The returned `Arc` stays valid for
+    /// the whole request even if an admin swap happens concurrently.
+    fn sky(&self) -> Arc<SkyServer> {
+        self.sky.read().unwrap().clone()
+    }
+
+    /// Run an administrative write (data load, DDL) with exclusive access.
+    /// Takes the write lock — blocking new requests — waits for in-flight
+    /// request snapshots to drop, runs `f`, and clears the result cache so
+    /// no stale rendering survives the write.
+    pub fn with_admin<R>(&self, f: impl FnOnce(&mut SkyServer) -> R) -> R {
+        let mut slot = self.sky.write().unwrap();
+        loop {
+            // In-flight requests hold clones of the Arc; once they finish
+            // (new ones are blocked on the write lock) we get exclusivity.
+            if let Some(sky) = Arc::get_mut(&mut slot) {
+                let result = f(sky);
+                self.cache.clear();
+                return result;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+    }
+
+    /// Replace the served catalog wholesale (e.g. after an offline rebuild).
+    /// Like [`SkyServerSite::with_admin`], waits for in-flight request
+    /// snapshots to drain before swapping — otherwise a request rendered
+    /// from the old catalog could repopulate the cache *after* the clear.
+    pub fn replace(&self, sky: SkyServer) {
+        let mut slot = self.sky.write().unwrap();
+        while Arc::strong_count(&slot) > 1 {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        *slot = Arc::new(sky);
+        self.cache.clear();
+    }
+
+    /// Result-cache hit/miss counters.
+    pub fn cache_stats(&self) -> crate::cache::CacheStats {
+        self.cache.stats()
     }
 
     /// The request log accumulated so far (feeds the traffic analyser).
@@ -42,8 +106,18 @@ impl SkyServerSite {
 
     /// Start an HTTP server for this site on the given port (0 = ephemeral).
     pub fn serve(self: &Arc<Self>, port: u16) -> std::io::Result<HttpServer> {
+        self.serve_with(port, crate::http::ServerConfig::default())
+    }
+
+    /// Start an HTTP server with an explicit serving configuration (worker
+    /// pool size, keep-alive and header limits).
+    pub fn serve_with(
+        self: &Arc<Self>,
+        port: u16,
+        config: crate::http::ServerConfig,
+    ) -> std::io::Result<HttpServer> {
         let site = Arc::clone(self);
-        HttpServer::start(port, move |req| site.handle(req))
+        HttpServer::start_with(port, config, move |req| site.handle(req))
     }
 
     /// Route one request.
@@ -55,12 +129,11 @@ impl SkyServerSite {
 
     fn record(&self, req: &Request, ok: bool) {
         let section = section_of_path(&req.path);
-        let mut counter = self.session_counter.lock().unwrap();
-        *counter += 1;
+        let session = self.session_counter.fetch_add(1, Ordering::Relaxed) + 1;
         let day = (self.started.elapsed().as_secs() / 86_400) as u32;
         self.log.lock().unwrap().push(LogRecord {
             day,
-            session: *counter,
+            session,
             section,
             page_view: ok,
             crawler: false,
@@ -112,7 +185,7 @@ impl SkyServerSite {
     }
 
     fn famous_places(&self) -> Response {
-        let mut sky = self.sky.lock().unwrap();
+        let sky = self.sky();
         match sky.query("select top 12 objID, ra, dec, modelMag_r from Galaxy order by modelMag_r")
         {
             Ok(result) => {
@@ -138,7 +211,7 @@ impl SkyServerSite {
         let Some(id) = req.param("id").and_then(|s| s.parse::<i64>().ok()) else {
             return Response::bad_request("explore needs an integer ?id= parameter");
         };
-        let mut sky = self.sky.lock().unwrap();
+        let sky = self.sky();
         match sky.explore(id) {
             Ok(summary) => Response::ok(
                 "application/json; charset=utf-8",
@@ -165,7 +238,7 @@ impl SkyServerSite {
             .min(3);
         // The visible radius shrinks as the user zooms in (4 levels, §5).
         let radius_arcmin = 60.0 / f64::from(1 << zoom);
-        let mut sky = self.sky.lock().unwrap();
+        let sky = self.sky();
         match sky.nearby_objects(ra, dec, radius_arcmin) {
             Ok(result) => {
                 let objects: Vec<serde_json::Value> = result
@@ -200,14 +273,27 @@ impl SkyServerSite {
             return Response::bad_request("the SQL search page needs a ?cmd= parameter");
         };
         let format = OutputFormat::parse(req.param("format").unwrap_or("grid"));
-        let mut sky = self.sky.lock().unwrap();
-        // The public page enforces the 1,000 row / 30 second limits (§4).
+        let cache_key = format!("{:?}|{}", format, normalize_sql(sql));
+        if let Some(cached) = self.cache.get(&cache_key) {
+            return Response::ok(&cached.content_type, cached.body.clone());
+        }
+        let sky = self.sky();
+        // The public page enforces the 1,000 row / 30 second limits (§4) and
+        // runs on the engine's shared read path: concurrent searches do not
+        // serialize, and write statements are rejected.
         match sky.execute_public(sql) {
             Ok(outcome) => {
                 let mut body = format.render(&outcome.result);
                 if outcome.result.truncated && format == OutputFormat::Grid {
                     body.push_str("\n(truncated to the public 1000-row limit)\n");
                 }
+                self.cache.insert(
+                    cache_key,
+                    CachedBody {
+                        content_type: format.content_type().to_string(),
+                        body: body.clone().into_bytes(),
+                    },
+                );
                 Response::ok(format.content_type(), body)
             }
             Err(e) => sql_error(e),
@@ -215,12 +301,22 @@ impl SkyServerSite {
     }
 
     fn schema_browser(&self) -> Response {
-        let sky = self.sky.lock().unwrap();
+        let sky = self.sky();
         let description = sky.schema_description();
-        Response::ok(
-            "application/json; charset=utf-8",
-            serde_json::to_vec(&description).unwrap_or_default(),
-        )
+        // The QA page carries the schema plus the serving-tier health
+        // numbers: result-cache hits/misses and engine counters.
+        let mut json = serde_json::to_value(&description);
+        if let serde_json::Value::Object(map) = &mut json {
+            map.insert(
+                "result_cache".to_string(),
+                serde_json::to_value(&self.cache.stats()),
+            );
+            map.insert(
+                "engine".to_string(),
+                serde_json::to_value(&sky.engine_stats()),
+            );
+        }
+        Response::ok("application/json; charset=utf-8", json.to_string())
     }
 
     fn traffic_page(&self) -> Response {
@@ -261,7 +357,7 @@ fn section_of_path(path: &str) -> Section {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::http::parse_request;
+    use crate::http::{parse_request, HttpClient};
     use skyserver::SkyServerBuilder;
 
     fn site() -> Arc<SkyServerSite> {
@@ -321,6 +417,53 @@ mod tests {
     }
 
     #[test]
+    fn sql_search_rejects_writes_on_the_public_page() {
+        let site = site();
+        let r = get(&site, "/en/tools/search/x_sql?cmd=drop+table+PhotoObj");
+        assert_eq!(r.status, 400);
+        let body = String::from_utf8(r.body).unwrap();
+        assert!(body.contains("read-only"), "{body}");
+        // The table is still there.
+        let r = get(
+            &site,
+            "/en/tools/search/x_sql?cmd=select+count(*)+from+PhotoObj&format=json",
+        );
+        assert_eq!(r.status, 200);
+    }
+
+    #[test]
+    fn result_cache_hits_repeat_queries_and_admin_writes_invalidate() {
+        let site = site();
+        let q = "/en/tools/search/x_sql?cmd=select+count(*)+as+n+from+notes_cache&format=json";
+        site.with_admin(|sky| {
+            sky.execute("create table notes_cache (id bigint not null)")
+                .unwrap();
+            sky.execute("insert into notes_cache (id) values (1), (2)")
+                .unwrap();
+        });
+        let r = get(&site, q);
+        assert_eq!(r.status, 200);
+        let first: serde_json::Value = serde_json::from_slice(&r.body).unwrap();
+        assert_eq!(first["rows"][0][0], serde_json::json!(2));
+        assert_eq!(site.cache_stats().hits, 0);
+        // Same query (different whitespace/case) is a cache hit.
+        let r = get(
+            &site,
+            "/en/tools/search/x_sql?cmd=SELECT++count(*)+AS+n+FROM+notes_cache&format=json",
+        );
+        assert_eq!(r.status, 200);
+        assert_eq!(site.cache_stats().hits, 1);
+        // An admin write clears the cache; the next read sees fresh data.
+        site.with_admin(|sky| {
+            sky.execute("insert into notes_cache (id) values (3)")
+                .unwrap();
+        });
+        let r = get(&site, q);
+        let fresh: serde_json::Value = serde_json::from_slice(&r.body).unwrap();
+        assert_eq!(fresh["rows"][0][0], serde_json::json!(3));
+    }
+
+    #[test]
     fn explorer_and_navigator_return_json() {
         let site = site();
         // Find a real object id through the SQL endpoint first.
@@ -356,6 +499,10 @@ mod tests {
         assert!(tables.iter().any(|t| t["name"] == "PhotoObj"));
         assert!(json["views"].as_array().unwrap().len() >= 5);
         assert!(!json["functions"].as_array().unwrap().is_empty());
+        // The serving-tier counters ride along.
+        assert!(json["result_cache"]["hits"].is_number());
+        assert!(json["result_cache"]["misses"].is_number());
+        assert!(json["engine"]["selects"].is_number());
     }
 
     #[test]
@@ -383,5 +530,83 @@ mod tests {
         assert_eq!(status, 200);
         assert!(body.lines().count() >= 2);
         server.stop();
+    }
+
+    /// The §7 smoke test: ~8 concurrent clients issuing distinct queries
+    /// over keep-alive connections against one running site.  Every
+    /// response must be correct and the request log must record all of
+    /// them (no lost updates).
+    #[test]
+    fn concurrent_sql_clients_share_the_read_path() {
+        let site = site();
+        let server = site.serve(0).unwrap();
+        let addr = server.addr();
+        const CLIENTS: u64 = 8;
+        const REQUESTS: u64 = 5;
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                std::thread::spawn(move || {
+                    let mut client = HttpClient::connect(addr).unwrap();
+                    for r in 0..REQUESTS {
+                        // Distinct per-(client, request) queries: TOP n over
+                        // the pk index returns exactly n rows.
+                        let n = (c * REQUESTS + r) % 9 + 1;
+                        let (status, body) = client
+                            .get(&format!(
+                                "/en/tools/search/x_sql?cmd=select+top+{n}+objID+from+PhotoObj&format=json"
+                            ))
+                            .unwrap();
+                        assert_eq!(status, 200, "client {c} request {r}: {body}");
+                        let json: serde_json::Value = serde_json::from_str(&body).unwrap();
+                        assert_eq!(
+                            json["rows"].as_array().unwrap().len(),
+                            n as usize,
+                            "client {c} request {r} got the wrong result"
+                        );
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let log = site.request_log();
+        assert_eq!(
+            log.len(),
+            (CLIENTS * REQUESTS) as usize,
+            "the request log lost updates under concurrency"
+        );
+        assert!(log.iter().all(|r| r.section == Section::SqlSearch));
+        server.stop();
+    }
+
+    #[test]
+    fn admin_writes_coexist_with_concurrent_readers() {
+        let site = site();
+        std::thread::scope(|scope| {
+            let reader_site = &site;
+            let reader = scope.spawn(move || {
+                for _ in 0..20 {
+                    let r = get(
+                        reader_site,
+                        "/en/tools/search/x_sql?cmd=select+count(*)+from+PhotoObj&format=json",
+                    );
+                    assert_eq!(r.status, 200);
+                }
+            });
+            for i in 0..5 {
+                site.with_admin(|sky| {
+                    sky.execute(&format!("create table admin_t{i} (id bigint not null)"))
+                        .unwrap();
+                });
+            }
+            reader.join().unwrap();
+        });
+        // The admin DDL landed.
+        let r = get(
+            &site,
+            "/en/tools/search/x_sql?cmd=select+count(*)+from+admin_t0&format=json",
+        );
+        assert_eq!(r.status, 200);
     }
 }

@@ -7,7 +7,7 @@
 use skyserver::SkyServerBuilder;
 
 fn main() {
-    let mut sky = SkyServerBuilder::new()
+    let sky = SkyServerBuilder::new()
         .tiny()
         .build()
         .expect("build SkyServer");

@@ -11,7 +11,7 @@ fn main() {
     // seconds.  Use `SkyServerBuilder::new().build()` for the Personal
     // SkyServer scale (~60k objects).
     println!("Generating and loading a synthetic Sloan survey...");
-    let mut sky = SkyServerBuilder::new()
+    let sky = SkyServerBuilder::new()
         .tiny()
         .build()
         .expect("build SkyServer");

@@ -22,7 +22,7 @@ fn full_pipeline_generate_load_query_web() {
     let counts = sky.counts().clone();
 
     // SQL layer agrees with the generator.
-    let mut sky = sky;
+    let sky = sky;
     let photo = sky.query("select count(*) from PhotoObj").unwrap();
     assert_eq!(
         photo.scalar().unwrap().as_i64().unwrap() as usize,
@@ -84,7 +84,7 @@ fn full_pipeline_generate_load_query_web() {
 
 #[test]
 fn explorer_schema_browser_and_formats_are_consistent() {
-    let mut sky = tiny_server();
+    let sky = tiny_server();
     // Schema browser metadata matches the live catalog.
     let description = sky.schema_description();
     assert!(description
