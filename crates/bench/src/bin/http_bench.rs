@@ -12,6 +12,13 @@
 //!   server, `RwLock<Arc<SkyServer>>` snapshots, engine `&self` read path
 //!   and the LRU result cache.
 //!
+//! A third phase measures the **mixed workload** the batch-job tier
+//! exists for: interactive point queries with heavy analytic scans either
+//! issued **inline** through `x_sql` (competing with interactive traffic
+//! at full speed) or **routed through the job queue** (`x_job/submit`,
+//! one paced batch worker).  The acceptance number is the interactive p99
+//! in each mode against the scan-free baseline.
+//!
 //! Usage:
 //!
 //! ```text
@@ -19,13 +26,13 @@
 //!            [--requests N] [--out BENCH.json]
 //! ```
 //!
-//! The JSON report (stdout, and `--out` when given) captures both modes
-//! plus the speedup, the acceptance artifact for the serialized-vs-shared
-//! comparison.
+//! The JSON report (stdout, and `--out` when given) captures both the
+//! serialized-vs-shared comparison and the mixed-workload p99s.
 
 use skyserver_bench::{build_server, Scale};
-use skyserver_web::{HttpClient, HttpServer, ServerConfig, SkyServerSite};
+use skyserver_web::{HttpClient, HttpServer, JobQueueConfig, ServerConfig, SkyServerSite};
 use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -72,6 +79,34 @@ fn percentile(sorted_micros: &[u64], p: f64) -> f64 {
     sorted_micros[rank] as f64 / 1000.0
 }
 
+/// The interactive side of the mixed workload: short point queries (index
+/// seeks, counts, the navigator) — the traffic that must stay fast while
+/// analytic scans run.
+fn point_paths(session: usize) -> Vec<String> {
+    vec![
+        format!(
+            "/en/tools/search/x_sql?cmd=select+top+{}+objID+from+PhotoObj&format=json",
+            session % 9 + 1
+        ),
+        format!(
+            "/en/tools/navi?ra={}&dec=-0.8&zoom={}",
+            180.0 + (session % 8) as f64 * 0.2,
+            session % 3
+        ),
+        "/en/tools/search/x_sql?cmd=select+count(*)+from+PhotoObj&format=json".to_string(),
+    ]
+}
+
+/// A heavy analytic scan: a nested-loop self-join over PhotoObj (millions
+/// of probes at any scale).  The varying constant defeats the result
+/// cache, as distinct ad-hoc analytic SQL would.
+fn heavy_scan_sql(i: u64) -> String {
+    format!(
+        "select+count(*)+from+PhotoObj+a+join+PhotoObj+b+on+a.objID+%3C+b.objID+where+a.ra+%3E+{}",
+        -(i as i64)
+    )
+}
+
 /// Run `threads` concurrent clients, each issuing `requests_per_thread`
 /// requests in traffic-shaped sessions.  With `keep_alive` the client
 /// reuses one connection (the new server); without it every request opens
@@ -81,6 +116,23 @@ fn run_load(
     threads: usize,
     requests_per_thread: usize,
     keep_alive: bool,
+) -> LoadStats {
+    run_shaped_load(
+        addr,
+        threads,
+        requests_per_thread,
+        keep_alive,
+        &session_paths,
+    )
+}
+
+/// [`run_load`] with an explicit per-session request mix.
+fn run_shaped_load(
+    addr: SocketAddr,
+    threads: usize,
+    requests_per_thread: usize,
+    keep_alive: bool,
+    paths: &(dyn Fn(usize) -> Vec<String> + Sync),
 ) -> LoadStats {
     let started = Instant::now();
     let mut all_latencies: Vec<u64> = Vec::new();
@@ -96,7 +148,7 @@ fn run_load(
                     let mut issued = 0usize;
                     let mut session = t;
                     'outer: loop {
-                        for path in session_paths(session) {
+                        for path in paths(session) {
                             if issued == requests_per_thread {
                                 break 'outer;
                             }
@@ -239,14 +291,129 @@ fn main() {
     run_load(shared_server.addr(), 2, 12, true);
     let shared = run_load(shared_server.addr(), threads, requests, true);
     shared_server.stop();
-
     let cache = site.cache_stats();
+
+    // ----------------------------------------------------------------------
+    // Mixed workload: interactive point queries with heavy scans either
+    // inline (through x_sql) or routed through the batch job queue.
+    // ----------------------------------------------------------------------
+    const HEAVY_CLIENTS: usize = 4;
+    const BATCH_JOBS: u64 = 4;
+    eprintln!("running the mixed workload (interactive + heavy scans) ...");
+    let mixed_site = SkyServerSite::new_with(
+        build_server(scale),
+        128,
+        // One paced batch worker: the whole point is that heavy scans run
+        // with bounded concurrency and a CPU duty-cycle brake.
+        JobQueueConfig {
+            workers: 1,
+            ..JobQueueConfig::default()
+        },
+    );
+    let mixed_server = mixed_site
+        .serve_with(
+            0,
+            ServerConfig {
+                // Interactive keep-alive clients and inline heavy scans
+                // each pin a worker; size the pool so queueing never
+                // confounds the CPU-contention measurement.
+                workers: threads + HEAVY_CLIENTS + 2,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("start mixed-workload server");
+    let addr = mixed_server.addr();
+    run_shaped_load(addr, 2, 12, true, &point_paths);
+
+    // Phase 1: interactive only (the no-scan baseline).
+    let mixed_baseline = run_shaped_load(addr, threads, requests, true, &point_paths);
+
+    // Phase 2: heavy scans inline through x_sql, competing at full speed.
+    let stop = AtomicBool::new(false);
+    let inline_scans_done = AtomicU64::new(0);
+    let mixed_inline = std::thread::scope(|scope| {
+        for c in 0..HEAVY_CLIENTS {
+            let stop = &stop;
+            let inline_scans_done = &inline_scans_done;
+            scope.spawn(move || {
+                let mut i = c as u64 * 1_000_000;
+                while !stop.load(Ordering::Relaxed) {
+                    let path = format!(
+                        "/en/tools/search/x_sql?cmd={}&format=json",
+                        heavy_scan_sql(i)
+                    );
+                    let _ = skyserver_web::http_get(addr, &path);
+                    inline_scans_done.fetch_add(1, Ordering::Relaxed);
+                    i += 1;
+                }
+            });
+        }
+        // Let every heavy client get a scan in flight before measuring.
+        std::thread::sleep(Duration::from_millis(300));
+        let stats = run_shaped_load(addr, threads, requests, true, &point_paths);
+        stop.store(true, Ordering::Relaxed);
+        stats
+    });
+
+    // Phase 3: the same heavy scans submitted to the batch job queue.
+    let mut job_ids: Vec<u64> = Vec::new();
+    for i in 0..BATCH_JOBS {
+        let path = format!(
+            "/x_job/submit?cmd={}&submitter=bench",
+            heavy_scan_sql(10_000_000 + i)
+        );
+        let (status, body) = skyserver_web::http_get(addr, &path).expect("submit job");
+        assert_eq!(status, 200, "job submission failed: {body}");
+        let id = body
+            .split("\"job_id\":")
+            .nth(1)
+            .and_then(|s| s.trim_start().split(&[',', '}'][..]).next())
+            .and_then(|s| s.trim().parse().ok())
+            .expect("job id in submit response");
+        job_ids.push(id);
+    }
+    // Let the batch worker start scanning before measuring.
+    std::thread::sleep(Duration::from_millis(300));
+    let mixed_batched = run_shaped_load(addr, threads, requests, true, &point_paths);
+    let batch_progress: u64 = job_ids
+        .iter()
+        .filter_map(|id| {
+            let (_, body) =
+                skyserver_web::http_get(addr, &format!("/x_job/status?id={id}")).ok()?;
+            body.split("\"rows_processed\":")
+                .nth(1)?
+                .trim_start()
+                .split(&[',', '}'][..])
+                .next()?
+                .trim()
+                .parse::<u64>()
+                .ok()
+        })
+        .sum();
+    // The jobs only exist to load the system; stop them so shutdown is
+    // instant instead of waiting out millions of paced probes.
+    for id in &job_ids {
+        let _ = skyserver_web::http_get(addr, &format!("/x_job/cancel?id={id}"));
+    }
+    mixed_server.stop();
+
     let report = format!(
         "{{\n  \"bench\": \"http_concurrency\",\n  \"scale\": \"{:?}\",\n  \
          \"threads\": {},\n  \"requests_per_thread\": {},\n  \
          \"serialized\": {},\n  \"shared\": {},\n  \
          \"throughput_speedup\": {:.2},\n  \"p99_speedup\": {:.2},\n  \
-         \"result_cache\": {{\"hits\": {}, \"misses\": {}}}\n}}",
+         \"result_cache\": {{\"hits\": {}, \"misses\": {}}},\n  \
+         \"mixed_workload\": {{\n    \
+         \"interactive_threads\": {},\n    \
+         \"heavy_clients_inline\": {},\n    \
+         \"batch_jobs\": {},\n    \
+         \"inline_scans_completed\": {},\n    \
+         \"batch_rows_processed_during_run\": {},\n    \
+         \"interactive_baseline\": {},\n    \
+         \"interactive_with_inline_scans\": {},\n    \
+         \"interactive_with_batched_scans\": {},\n    \
+         \"inline_p99_inflation\": {:.2},\n    \
+         \"batched_p99_inflation\": {:.2}\n  }}\n}}",
         scale,
         threads,
         requests,
@@ -256,6 +423,16 @@ fn main() {
         serialized.p99_ms / shared.p99_ms.max(1e-9),
         cache.hits,
         cache.misses,
+        threads,
+        HEAVY_CLIENTS,
+        BATCH_JOBS,
+        inline_scans_done.load(Ordering::Relaxed),
+        batch_progress,
+        stats_json(&mixed_baseline),
+        stats_json(&mixed_inline),
+        stats_json(&mixed_batched),
+        mixed_inline.p99_ms / mixed_baseline.p99_ms.max(1e-9),
+        mixed_batched.p99_ms / mixed_baseline.p99_ms.max(1e-9),
     );
     println!("{report}");
     if let Some(path) = out {

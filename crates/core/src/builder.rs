@@ -147,6 +147,20 @@ impl SkyServer {
         Ok(self.engine.query(sql)?)
     }
 
+    /// Run a read-only script with a [`skyserver_sql::QueryMonitor`]
+    /// attached — the batch-job tier's entry point.  Takes `&self` (shared
+    /// read path), so batch scans overlap freely with interactive queries;
+    /// the monitor observes rows-processed progress and can cancel the
+    /// query mid-scan or pace it to cede CPU to interactive traffic.
+    pub fn execute_batch(
+        &self,
+        sql: &str,
+        limits: QueryLimits,
+        monitor: &skyserver_sql::QueryMonitor,
+    ) -> Result<StatementOutcome, SkyServerError> {
+        Ok(self.engine.execute_read_with(sql, limits, Some(monitor))?)
+    }
+
     /// Render the plan of a SELECT.
     pub fn explain(&self, sql: &str) -> Result<String, SkyServerError> {
         Ok(self.engine.explain(sql)?)

@@ -55,7 +55,9 @@ pub use skyserver_storage as storage;
 // Re-export the most common types at the top level.
 pub use skyserver_loader::LoadReport;
 pub use skyserver_skygen::{Survey, SurveyConfig};
-pub use skyserver_sql::{PlanClass, QueryLimits, ResultSet, SqlError, StatementOutcome};
+pub use skyserver_sql::{
+    PlanClass, QueryLimits, QueryMonitor, ResultSet, SqlError, StatementOutcome,
+};
 pub use skyserver_storage::{DiskConfig, HardwareProfile, IoSimulator, Value};
 
 /// Errors from the high-level SkyServer API.

@@ -1,7 +1,7 @@
 //! # skyserver-queries
 //!
 //! The evaluation workload of the SkyServer paper: the 20 data-mining
-//! queries of [Szalay]/[Gray] (§3, §11, Figure 13), the 15 simpler
+//! queries of Szalay/Gray (§3, §11, Figure 13), the 15 simpler
 //! astronomer queries, result invariants for each, and the timing harness
 //! that regenerates the Figure 13 table.
 

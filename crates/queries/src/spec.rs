@@ -1,7 +1,7 @@
 //! Query specifications: SQL text plus machine-checkable result invariants.
 //!
 //! The paper's evaluation is built around 20 representative astronomy
-//! queries ([Szalay], detailed in [Gray]) plus 15 simpler queries posed by
+//! queries (Szalay, detailed in Gray) plus 15 simpler queries posed by
 //! astronomers.  Absolute timings depend on hardware and data volume, but
 //! each query has properties that must hold on any faithful SDSS-like
 //! catalog (result cardinality class, orderings, plan class); those are what
@@ -12,7 +12,7 @@ use skyserver_sql::{PlanClass, ResultSet};
 /// Which evaluation family a query belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum QueryFamily {
-    /// The 20 data-mining queries of [Szalay]/[Gray] (Figure 13).
+    /// The 20 data-mining queries of Szalay/Gray (Figure 13).
     DataMining,
     /// The 15 simpler queries posed by astronomers (§11).
     Astronomer,

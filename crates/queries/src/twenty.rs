@@ -1,4 +1,4 @@
-//! The 20 data-mining queries (Q1..Q20) of [Szalay]/[Gray], §3 and §11 of
+//! The 20 data-mining queries (Q1..Q20) of Szalay/Gray, §3 and §11 of
 //! the SkyServer paper, adapted to the synthetic catalog.
 //!
 //! The paper gives three of them verbatim (Q1, Q15 and the fast-moving

@@ -1,0 +1,121 @@
+//! Keeps `docs/QUERIES.md` honest: the cookbook documents a plan class and
+//! the fired optimizer rules for every data-mining query; this test parses
+//! the document, runs each query against a real (tiny) SkyServer, and
+//! asserts the documentation matches what the optimizer actually does.
+
+use skyserver::SkyServerBuilder;
+use skyserver_queries::runner::run_query;
+use skyserver_queries::twenty::twenty_queries;
+use std::collections::HashMap;
+
+/// A query's documented plan facts, parsed from `docs/QUERIES.md`.
+#[derive(Debug, PartialEq)]
+struct Documented {
+    plan_class: String,
+    rules_fired: Vec<String>,
+}
+
+/// Parse the cookbook: each query section starts `### Qn — title` and is
+/// followed by a `**Plan class:** \`X\` · **Rules fired:** \`a\`, \`b\``
+/// block (possibly wrapped across lines).
+fn parse_queries_doc(text: &str) -> HashMap<String, Documented> {
+    let mut out = HashMap::new();
+    let mut current_id: Option<String> = None;
+    let mut pending: String = String::new();
+    for line in text.lines() {
+        if let Some(heading) = line.strip_prefix("### ") {
+            current_id = heading
+                .split_whitespace()
+                .next()
+                .map(|id| id.trim_end_matches('—').to_string());
+            pending.clear();
+            continue;
+        }
+        let Some(id) = &current_id else { continue };
+        if line.contains("**Plan class:**") || !pending.is_empty() {
+            pending.push_str(line);
+            pending.push(' ');
+        }
+        // The metadata block ends at the first blank line after it began.
+        if !pending.is_empty() && line.trim().is_empty() {
+            let backticked: Vec<String> = pending
+                .split('`')
+                .skip(1)
+                .step_by(2)
+                .map(str::to_string)
+                .collect();
+            let (class, rules) = backticked
+                .split_first()
+                .expect("plan-class block lists at least the class");
+            out.insert(
+                id.clone(),
+                Documented {
+                    plan_class: class.clone(),
+                    rules_fired: rules.to_vec(),
+                },
+            );
+            pending.clear();
+            current_id = None;
+        }
+    }
+    out
+}
+
+#[test]
+fn cookbook_plan_classes_match_the_optimizer() {
+    let text = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../docs/QUERIES.md"
+    ))
+    .expect("docs/QUERIES.md exists");
+    let documented = parse_queries_doc(&text);
+    let queries = twenty_queries();
+    assert_eq!(
+        documented.len(),
+        queries.len(),
+        "the cookbook documents every query exactly once (found: {:?})",
+        {
+            let mut ids: Vec<&String> = documented.keys().collect();
+            ids.sort();
+            ids
+        }
+    );
+
+    let mut sky = SkyServerBuilder::new().tiny().build().unwrap();
+    for query in &queries {
+        let doc = documented
+            .get(query.id)
+            .unwrap_or_else(|| panic!("{} missing from docs/QUERIES.md", query.id));
+        // Run the query for real (not just plan it): the report carries the
+        // chosen plan class, the fired rules, and any invariant violations.
+        let report =
+            run_query(&mut sky, query).unwrap_or_else(|e| panic!("{} does not run: {e}", query.id));
+        assert!(
+            report.violations.is_empty(),
+            "{}: invariants violated: {:?}",
+            query.id,
+            report.violations
+        );
+        assert_eq!(
+            doc.plan_class,
+            format!("{:?}", report.plan_class),
+            "{}: docs/QUERIES.md documents plan class `{}`, the optimizer chose `{:?}`",
+            query.id,
+            doc.plan_class,
+            report.plan_class
+        );
+        assert_eq!(
+            doc.rules_fired, report.rules_fired,
+            "{}: docs/QUERIES.md documents different fired rules than the optimizer reports",
+            query.id
+        );
+        // The documented class also matches the spec the Figure 13 harness
+        // asserts, so code, spec and prose cannot drift apart pairwise.
+        assert_eq!(
+            doc.plan_class,
+            format!("{:?}", query.expected_class),
+            "{}: docs/QUERIES.md disagrees with the QuerySpec expected class",
+            query.id
+        );
+    }
+}

@@ -1,8 +1,8 @@
 //! Cross-survey matches.
 //!
 //! "The pipeline tries to correlate each object with objects in other
-//! surveys: United States Naval Observatory [USNO], Röntgen Satellite
-//! [ROSAT], Faint Images of the Radio Sky at Twenty-centimeters [FIRST], and
+//! surveys: United States Naval Observatory (USNO), Röntgen Satellite
+//! (ROSAT), Faint Images of the Radio Sky at Twenty-centimeters (FIRST), and
 //! others.  Successful correlations are recorded in a set of relationship
 //! tables." (§9)
 

@@ -6,24 +6,37 @@ use std::fmt;
 /// A parsed statement.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Statement {
+    /// A `SELECT` query (possibly with `INTO`).
     Select(SelectStatement),
+    /// An `INSERT` statement.
     Insert(InsertStatement),
+    /// An `UPDATE` statement.
     Update(UpdateStatement),
+    /// A `DELETE` statement.
     Delete(DeleteStatement),
+    /// A `CREATE TABLE` statement.
     CreateTable(CreateTableStatement),
+    /// A `CREATE [UNIQUE] INDEX` statement.
     CreateIndex(CreateIndexStatement),
+    /// A `CREATE VIEW` statement.
     CreateView(CreateViewStatement),
+    /// `DROP TABLE name`.
     DropTable {
+        /// The table to drop.
         name: String,
     },
     /// `DECLARE @name type`
     Declare {
+        /// Variable name (without the `@`).
         name: String,
+        /// Declared type.
         ty: DataType,
     },
     /// `SET @name = expr`
     SetVariable {
+        /// Variable name (without the `@`).
         name: String,
+        /// The value expression.
         expr: Expr,
     },
 }
@@ -33,14 +46,21 @@ pub enum Statement {
 pub struct SelectStatement {
     /// `TOP n`
     pub top: Option<u64>,
+    /// `SELECT DISTINCT`.
     pub distinct: bool,
+    /// The select list.
     pub projections: Vec<SelectItem>,
     /// `INTO ##temp` target.
     pub into: Option<String>,
+    /// The FROM clause, in join order.
     pub from: Vec<FromItem>,
+    /// The WHERE predicate.
     pub selection: Option<Expr>,
+    /// `GROUP BY` expressions.
     pub group_by: Vec<Expr>,
+    /// `HAVING` predicate.
     pub having: Option<Expr>,
+    /// `ORDER BY` items.
     pub order_by: Vec<OrderByItem>,
 }
 
@@ -52,13 +72,20 @@ pub enum SelectItem {
     /// `alias.*`
     QualifiedWildcard(String),
     /// An expression with an optional `AS alias`.
-    Expr { expr: Expr, alias: Option<String> },
+    Expr {
+        /// The projected expression.
+        expr: Expr,
+        /// The `AS` alias, if given.
+        alias: Option<String>,
+    },
 }
 
 /// One entry of the FROM clause (the first has `join = None`).
 #[derive(Debug, Clone, PartialEq)]
 pub struct FromItem {
+    /// What is being scanned (table, view, TVF or derived table).
     pub source: TableSource,
+    /// The `AS` alias, if given.
     pub alias: Option<String>,
     /// How this item joins with everything to its left (None for the first
     /// item or comma-separated items, which behave like inner joins with the
@@ -74,7 +101,12 @@ pub enum TableSource {
     /// A named table or view (possibly a `##temp`).
     Named(String),
     /// A table-valued function call, e.g. `fGetNearbyObjEq(185, -0.5, 1)`.
-    Function { name: String, args: Vec<Expr> },
+    Function {
+        /// Function name.
+        name: String,
+        /// Call arguments.
+        args: Vec<Expr>,
+    },
     /// A derived table `(SELECT ...)`.
     Derived(Box<SelectStatement>),
 }
@@ -82,79 +114,106 @@ pub enum TableSource {
 /// Join kinds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum JoinKind {
+    /// `[INNER] JOIN`.
     Inner,
+    /// `LEFT [OUTER] JOIN`.
     Left,
+    /// `CROSS JOIN`.
     Cross,
 }
 
 /// `ORDER BY` item.
 #[derive(Debug, Clone, PartialEq)]
 pub struct OrderByItem {
+    /// The sort key (an output alias or any input expression).
     pub expr: Expr,
+    /// `ASC` (default) vs `DESC`.
     pub ascending: bool,
 }
 
 /// `INSERT` statement.
 #[derive(Debug, Clone, PartialEq)]
 pub struct InsertStatement {
+    /// The target table.
     pub table: String,
     /// Explicit column list (empty = all columns in order).
     pub columns: Vec<String>,
+    /// Where the rows come from.
     pub source: InsertSource,
 }
 
 /// Source of inserted rows.
 #[derive(Debug, Clone, PartialEq)]
 pub enum InsertSource {
+    /// `VALUES (...), (...)` row literals.
     Values(Vec<Vec<Expr>>),
+    /// `INSERT ... SELECT`.
     Select(Box<SelectStatement>),
 }
 
 /// `UPDATE` statement.
 #[derive(Debug, Clone, PartialEq)]
 pub struct UpdateStatement {
+    /// The target table.
     pub table: String,
+    /// `SET column = expr` pairs.
     pub assignments: Vec<(String, Expr)>,
+    /// The WHERE predicate (None updates every row).
     pub selection: Option<Expr>,
 }
 
 /// `DELETE` statement.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DeleteStatement {
+    /// The target table.
     pub table: String,
+    /// The WHERE predicate (None deletes every row).
     pub selection: Option<Expr>,
 }
 
 /// `CREATE TABLE` statement.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CreateTableStatement {
+    /// The new table's name.
     pub name: String,
+    /// Column definitions.
     pub columns: Vec<ColumnSpec>,
+    /// `PRIMARY KEY (...)` columns (empty = none).
     pub primary_key: Vec<String>,
 }
 
 /// One column of a CREATE TABLE.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ColumnSpec {
+    /// Column name.
     pub name: String,
+    /// Column type.
     pub ty: DataType,
+    /// Whether NULLs are allowed.
     pub nullable: bool,
 }
 
 /// `CREATE [UNIQUE] INDEX name ON table (cols) [INCLUDE (cols)]`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CreateIndexStatement {
+    /// Index name.
     pub name: String,
+    /// The indexed table.
     pub table: String,
+    /// Key columns, in order.
     pub columns: Vec<String>,
+    /// `INCLUDE` (covered, non-key) columns.
     pub include: Vec<String>,
+    /// `UNIQUE` index?
     pub unique: bool,
 }
 
 /// `CREATE VIEW name AS SELECT ...`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CreateViewStatement {
+    /// View name.
     pub name: String,
+    /// The view body.
     pub query: SelectStatement,
 }
 
@@ -165,7 +224,9 @@ pub enum Expr {
     Literal(Value),
     /// Column reference, optionally qualified by a table alias.
     Column {
+        /// The table alias, when written `alias.column`.
         qualifier: Option<String>,
+        /// The column name.
         name: String,
     },
     /// `@variable`.
@@ -173,54 +234,92 @@ pub enum Expr {
     /// `*` (only valid inside `count(*)`).
     Star,
     /// Unary operator.
-    Unary { op: UnaryOp, expr: Box<Expr> },
+    Unary {
+        /// The operator.
+        op: UnaryOp,
+        /// The operand.
+        expr: Box<Expr>,
+    },
     /// Binary operator.
     Binary {
+        /// Left operand.
         left: Box<Expr>,
+        /// The operator.
         op: BinaryOp,
+        /// Right operand.
         right: Box<Expr>,
     },
     /// Function call: built-ins, aggregates and `dbo.`-prefixed UDFs.
-    Function { name: String, args: Vec<Expr> },
+    Function {
+        /// Function name as written.
+        name: String,
+        /// Call arguments.
+        args: Vec<Expr>,
+    },
     /// `expr BETWEEN low AND high`.
     Between {
+        /// The tested expression.
         expr: Box<Expr>,
+        /// Lower bound (inclusive).
         low: Box<Expr>,
+        /// Upper bound (inclusive).
         high: Box<Expr>,
+        /// `NOT BETWEEN`?
         negated: bool,
     },
     /// `expr IN (a, b, c)`.
     InList {
+        /// The tested expression.
         expr: Box<Expr>,
+        /// The list members.
         list: Vec<Expr>,
+        /// `NOT IN`?
         negated: bool,
     },
     /// `expr IS [NOT] NULL`.
-    IsNull { expr: Box<Expr>, negated: bool },
+    IsNull {
+        /// The tested expression.
+        expr: Box<Expr>,
+        /// `IS NOT NULL`?
+        negated: bool,
+    },
     /// `expr LIKE pattern`.
     Like {
+        /// The tested expression.
         expr: Box<Expr>,
+        /// The pattern (`%`/`_` wildcards).
         pattern: Box<Expr>,
+        /// `NOT LIKE`?
         negated: bool,
     },
     /// `CASE WHEN cond THEN val ... [ELSE val] END`.
     Case {
+        /// `(condition, value)` branches, in order.
         branches: Vec<(Expr, Expr)>,
+        /// The `ELSE` value, if given.
         else_value: Option<Box<Expr>>,
     },
     /// `CAST(expr AS type)`.
-    Cast { expr: Box<Expr>, ty: DataType },
+    Cast {
+        /// The cast operand.
+        expr: Box<Expr>,
+        /// The target type.
+        ty: DataType,
+    },
 }
 
 /// Unary operators.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum UnaryOp {
+    /// Arithmetic negation (`-x`).
     Neg,
+    /// Logical negation (`NOT x`).
     Not,
 }
 
 /// Binary operators.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)] // the variants are the operators themselves
 pub enum BinaryOp {
     Add,
     Sub,

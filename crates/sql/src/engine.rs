@@ -26,6 +26,7 @@ use crate::error::SqlError;
 use crate::executor::{Executor, QueryLimits};
 use crate::expr::{eval, EvalContext, RowSchema};
 use crate::functions::FunctionRegistry;
+use crate::monitor::QueryMonitor;
 use crate::parser::parse_script;
 use crate::plan::{PlanClass, SelectPlan};
 use crate::planner::Planner;
@@ -83,7 +84,9 @@ pub struct EngineStats {
 /// the rewrite rules that produced it.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PlanSummary {
+    /// The Figure 13 bucket (index seek / scan / join-scan).
     pub class: PlanClass,
+    /// The optimizer rules that fired, in pipeline order.
     pub rules_fired: Vec<&'static str>,
 }
 
@@ -206,6 +209,19 @@ impl SqlEngine {
         sql: &str,
         limits: QueryLimits,
     ) -> Result<Vec<StatementOutcome>, SqlError> {
+        self.execute_read_script_with(sql, limits, None)
+    }
+
+    /// [`SqlEngine::execute_read_script`] with an optional [`QueryMonitor`]
+    /// attached: the executing SELECTs report rows-processed progress to it
+    /// and stop with [`SqlError::Cancelled`] when it is cancelled — the
+    /// hook the batch-query job tier is built on.
+    pub fn execute_read_script_with(
+        &self,
+        sql: &str,
+        limits: QueryLimits,
+        monitor: Option<&QueryMonitor>,
+    ) -> Result<Vec<StatementOutcome>, SqlError> {
         let statements = parse_script(sql)?;
         let mut vars = self.variables.read().unwrap().clone();
         let mut outcomes = Vec::with_capacity(statements.len());
@@ -228,7 +244,8 @@ impl SqlEngine {
                     if let Some(target) = &select.into {
                         return Err(SqlError::ReadOnly(format!("SELECT ... INTO {target}")));
                     }
-                    let (outcome, _into) = self.run_select(select, limits, started, &vars)?;
+                    let (outcome, _into) =
+                        self.run_select(select, limits, started, &vars, monitor)?;
                     self.counters
                         .read_path_selects
                         .fetch_add(1, Ordering::Relaxed);
@@ -248,7 +265,18 @@ impl SqlEngine {
         sql: &str,
         limits: QueryLimits,
     ) -> Result<StatementOutcome, SqlError> {
-        let mut outcomes = self.execute_read_script(sql, limits)?;
+        self.execute_read_with(sql, limits, None)
+    }
+
+    /// [`SqlEngine::execute_read`] with an optional [`QueryMonitor`]: the
+    /// monitor observes progress and can cancel or pace the running query.
+    pub fn execute_read_with(
+        &self,
+        sql: &str,
+        limits: QueryLimits,
+        monitor: Option<&QueryMonitor>,
+    ) -> Result<StatementOutcome, SqlError> {
+        let mut outcomes = self.execute_read_script_with(sql, limits, monitor)?;
         outcomes
             .pop()
             .ok_or_else(|| SqlError::Parse("empty script".into()))
@@ -345,7 +373,7 @@ impl SqlEngine {
             Statement::Select(select) => {
                 let (mut outcome, into) = {
                     let vars = self.variables.read().unwrap();
-                    self.run_select(select, limits, started, &vars)?
+                    self.run_select(select, limits, started, &vars, None)?
                 };
                 if let Some(target) = into {
                     outcome.rows_affected = self.materialize_into(&target, &outcome.result)?;
@@ -425,6 +453,7 @@ impl SqlEngine {
         limits: QueryLimits,
         started: Instant,
         variables: &HashMap<String, Value>,
+        monitor: Option<&QueryMonitor>,
     ) -> Result<(StatementOutcome, Option<String>), SqlError> {
         let plan = self.planner().plan_select(select)?;
         let rendered = if self.capture_plans {
@@ -432,7 +461,8 @@ impl SqlEngine {
         } else {
             None
         };
-        let executor = Executor::new(&self.db, &self.functions, variables, limits);
+        let executor =
+            Executor::new(&self.db, &self.functions, variables, limits).with_monitor(monitor);
         let executed = executor.execute_select(&plan)?;
         let wall = started.elapsed();
         let stats = ExecutionStats::from_scan(
@@ -1295,6 +1325,113 @@ mod tests {
             }
         });
         assert_eq!(e.counters().selects, 40);
+    }
+
+    #[test]
+    fn monitor_reports_progress_and_cancels_a_running_scan() {
+        let e = engine();
+        // A completed scan reports every processed row.
+        let m = QueryMonitor::new();
+        let r = e
+            .execute_read_with(
+                "select count(*) from photoObj where modelMag_r > 0",
+                QueryLimits::UNLIMITED,
+                Some(&m),
+            )
+            .unwrap();
+        assert_eq!(r.result.scalar(), Some(&Value::Int(200)));
+        assert_eq!(m.rows_processed(), 200, "all scanned rows reported");
+        // A pre-cancelled monitor stops the query at the first batch
+        // boundary (the table is smaller than one batch, so cancel before
+        // starting to make the effect deterministic).
+        let m = QueryMonitor::new();
+        m.cancel();
+        // Nested loop over 200x200 = 40k probes crosses many batch
+        // boundaries; cancellation must surface as SqlError::Cancelled.
+        let err = e
+            .execute_read_with(
+                "select count(*) from photoObj a join photoObj b on a.objID < b.objID",
+                QueryLimits::UNLIMITED,
+                Some(&m),
+            )
+            .unwrap_err();
+        assert_eq!(err, SqlError::Cancelled);
+    }
+
+    #[test]
+    fn cancelling_mid_flight_stops_a_long_join() {
+        let e = std::sync::Arc::new(engine());
+        let m = std::sync::Arc::new(QueryMonitor::new());
+        // Pace the query before it starts so it cannot finish before the
+        // cancel lands (~150 batches x 2 ms >> the time to cancel).
+        m.set_pace(std::time::Duration::from_millis(2));
+        let worker = {
+            let e = std::sync::Arc::clone(&e);
+            let m = std::sync::Arc::clone(&m);
+            std::thread::spawn(move || {
+                e.execute_read_with(
+                    // ~40k nested-loop probes: slow enough to observe, fast
+                    // enough for CI if cancellation were broken.
+                    "select count(*) from photoObj a join photoObj b on a.objID < b.objID",
+                    QueryLimits::UNLIMITED,
+                    Some(&m),
+                )
+            })
+        };
+        while m.rows_processed() == 0 {
+            std::thread::yield_now();
+        }
+        m.cancel();
+        let result = worker.join().unwrap();
+        assert_eq!(result.unwrap_err(), SqlError::Cancelled);
+        // Progress halted: the counter does not advance after cancellation.
+        let frozen = m.rows_processed();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(m.rows_processed(), frozen);
+    }
+
+    #[test]
+    fn cancellation_lands_even_when_every_join_probe_misses() {
+        // objID (0..200) never equals htmID (100_000..): the join produces
+        // zero matches, so cancellation must be honoured on the probes
+        // themselves, not only on per-match work.
+        let e = engine();
+        let m = QueryMonitor::new();
+        m.cancel();
+        let err = e
+            .execute_read_with(
+                "select count(*) from photoObj a join photoObj b on a.objID = b.htmID",
+                QueryLimits::UNLIMITED,
+                Some(&m),
+            )
+            .unwrap_err();
+        assert_eq!(err, SqlError::Cancelled);
+    }
+
+    #[test]
+    fn parallel_scan_workers_honour_the_monitor() {
+        let mut e = engine();
+        e.set_parallel_scan_threshold(1);
+        let m = QueryMonitor::new();
+        let r = e
+            .execute_read_with(
+                "select count(*) from photoObj where (rowv*rowv + colv*colv) > 1",
+                QueryLimits::UNLIMITED,
+                Some(&m),
+            )
+            .unwrap();
+        assert_eq!(r.result.scalar(), Some(&Value::Int(4)));
+        assert_eq!(m.rows_processed(), 200);
+        let m = QueryMonitor::new();
+        m.cancel();
+        let err = e
+            .execute_read_with(
+                "select count(*) from photoObj where (rowv*rowv + colv*colv) > 1",
+                QueryLimits::UNLIMITED,
+                Some(&m),
+            )
+            .unwrap_err();
+        assert_eq!(err, SqlError::Cancelled);
     }
 
     #[test]

@@ -23,6 +23,9 @@ pub enum SqlError {
     /// A write statement (DML, DDL, `SELECT ... INTO`) reached the shared
     /// read-only query path.
     ReadOnly(String),
+    /// The query's [`crate::QueryMonitor`] was cancelled while it ran; the
+    /// executor stopped at the next row-batch boundary.
+    Cancelled,
 }
 
 impl fmt::Display for SqlError {
@@ -37,6 +40,7 @@ impl fmt::Display for SqlError {
             SqlError::ReadOnly(m) => {
                 write!(f, "read-only interface: {m} is not allowed here")
             }
+            SqlError::Cancelled => write!(f, "query cancelled"),
         }
     }
 }

@@ -6,12 +6,15 @@
 //! aggregate / sort / dedupe / limit and project.  Scans the optimizer's
 //! parallel-scan rule marked [`AccessPath::ParallelHeapScan`] fan out over
 //! scoped worker threads, mirroring the paper's parallel sequential scans;
-//! scans granted a limit hint stop reading early.
+//! scans granted a limit hint stop reading early.  When a
+//! [`QueryMonitor`] is attached, every scan and join loop reports progress
+//! and honours cancellation/pacing at [`MONITOR_BATCH`]-row granularity.
 
 use crate::ast::{Expr, JoinKind};
 use crate::error::SqlError;
 use crate::expr::{aggregate_key, eval, EvalContext, RowSchema};
 use crate::functions::FunctionRegistry;
+use crate::monitor::{QueryMonitor, MONITOR_BATCH};
 use crate::plan::{AccessPath, JoinStrategy, SelectPlan, SourceKind, SourcePlan};
 use crate::result::ResultSet;
 use skyserver_storage::{Database, IndexKey, ScanStats, Value};
@@ -22,7 +25,9 @@ use std::time::Instant;
 /// rows or 30 seconds, §4).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct QueryLimits {
+    /// Maximum rows returned (the rest are truncated and flagged).
     pub max_rows: Option<usize>,
+    /// Wall-clock computation budget in seconds.
     pub max_seconds: Option<f64>,
 }
 
@@ -42,17 +47,27 @@ impl QueryLimits {
 
 /// Executes SELECT plans.
 pub struct Executor<'a> {
+    /// The database the plan reads.
     pub db: &'a Database,
+    /// Scalar and table-valued functions.
     pub functions: &'a FunctionRegistry,
+    /// Session variables visible to the query.
     pub variables: &'a HashMap<String, Value>,
+    /// Row/time budgets enforced during execution.
     pub limits: QueryLimits,
     started: Instant,
+    /// Cooperative cancellation/progress/pacing hook, checked every
+    /// [`MONITOR_BATCH`] rows or probes.  `None` costs nothing on the hot
+    /// path beyond a local counter increment.
+    monitor: Option<&'a QueryMonitor>,
 }
 
 /// Result of executing a plan, before any INTO handling.
 #[derive(Debug, Clone)]
 pub struct ExecutedSelect {
+    /// The produced rows.
     pub result: ResultSet,
+    /// Raw scan counters accumulated during execution.
     pub stats: ScanStats,
 }
 
@@ -70,7 +85,73 @@ impl<'a> Executor<'a> {
             variables,
             limits,
             started: Instant::now(),
+            monitor: None,
         }
+    }
+
+    /// Attach a [`QueryMonitor`]: the executor reports progress to it and
+    /// honours cancellation and pacing at row-batch granularity.
+    pub fn with_monitor(mut self, monitor: Option<&'a QueryMonitor>) -> Self {
+        self.monitor = monitor;
+        self
+    }
+
+    /// Count one processed row/probe into the local batch counter; every
+    /// [`MONITOR_BATCH`] rows the batch is flushed to the monitor, which
+    /// may cancel or pace the query.
+    #[inline]
+    fn tick(&self, pending: &mut u64) -> Result<(), SqlError> {
+        *pending += 1;
+        if *pending >= MONITOR_BATCH {
+            self.flush_progress(pending)?;
+        }
+        Ok(())
+    }
+
+    /// Count one unit of work that is *not* a scanned row or probe (e.g. a
+    /// residual-predicate evaluation over rows the scan already reported):
+    /// checks the time budget and the monitor's cancellation/pacing at
+    /// batch granularity without inflating the progress counter.
+    #[inline]
+    fn tick_quiet(&self, pending: &mut u64) -> Result<(), SqlError> {
+        *pending += 1;
+        if *pending >= MONITOR_BATCH {
+            *pending = 0;
+            self.checkpoint()?;
+        }
+        Ok(())
+    }
+
+    /// Flush the pending row count to the monitor and honour the time
+    /// budget and the monitor's cancellation flag and pacing sleep.
+    fn flush_progress(&self, pending: &mut u64) -> Result<(), SqlError> {
+        if *pending == 0 {
+            return Ok(());
+        }
+        if let Some(monitor) = self.monitor {
+            monitor.add_rows(*pending);
+        }
+        *pending = 0;
+        self.checkpoint()
+    }
+
+    /// The shared batch-boundary checkpoint: enforce the time budget and
+    /// the monitor's cancellation flag, then apply its pacing sleep.
+    fn checkpoint(&self) -> Result<(), SqlError> {
+        // Batch boundaries double as time-budget checkpoints, so a long
+        // scan hits its `max_seconds` limit mid-flight instead of only at
+        // the next pipeline stage.
+        self.check_time()?;
+        if let Some(monitor) = self.monitor {
+            if monitor.is_cancelled() {
+                return Err(SqlError::Cancelled);
+            }
+            let pace = monitor.pace();
+            if !pace.is_zero() {
+                std::thread::sleep(pace);
+            }
+        }
+        Ok(())
     }
 
     fn check_time(&self) -> Result<(), SqlError> {
@@ -118,7 +199,11 @@ impl<'a> Executor<'a> {
         if let Some(pred) = &plan.residual {
             let ctx = self.ctx(&schema);
             let mut kept = Vec::with_capacity(rows.len());
+            let mut pending = 0u64;
             for row in rows {
+                // Quiet: these rows were already counted by the scans and
+                // joins that produced them; only check cancel/time/pace.
+                self.tick_quiet(&mut pending)?;
                 stats.predicates_evaluated += 1;
                 if eval(pred, &row, &ctx)?.is_truthy() {
                     kept.push(row);
@@ -295,8 +380,10 @@ impl<'a> Executor<'a> {
                 let ctx = self.ctx(&full_schema);
                 let mut out = Vec::new();
                 let mut scanned = 0u64;
+                let mut pending = 0u64;
                 for (_, row) in t.iter() {
                     scanned += 1;
+                    self.tick(&mut pending)?;
                     if let Some(p) = pred {
                         stats.predicates_evaluated += 1;
                         if !eval(p, row, &ctx)?.is_truthy() {
@@ -308,6 +395,7 @@ impl<'a> Executor<'a> {
                         break;
                     }
                 }
+                self.flush_progress(&mut pending)?;
                 stats.rows_scanned += scanned;
                 stats.bytes_scanned += scanned.saturating_mul(avg);
                 Ok((out, full_schema))
@@ -366,7 +454,9 @@ impl<'a> Executor<'a> {
                 let avg = t.avg_row_bytes().max(1);
                 let ctx = self.ctx(&full_schema);
                 let mut out = Vec::new();
+                let mut pending = 0u64;
                 for row_id in entries {
+                    self.tick(&mut pending)?;
                     let Some(row) = t.get(row_id) else { continue };
                     stats.rows_from_index += 1;
                     stats.bytes_from_index += avg;
@@ -381,6 +471,7 @@ impl<'a> Executor<'a> {
                         break;
                     }
                 }
+                self.flush_progress(&mut pending)?;
                 Ok((out, full_schema))
             }
             AccessPath::CoveringIndexScan { index } => {
@@ -397,7 +488,9 @@ impl<'a> Executor<'a> {
                     1
                 };
                 let mut out = Vec::new();
+                let mut pending = 0u64;
                 for (key, entry) in idx.scan() {
+                    self.tick(&mut pending)?;
                     stats.rows_from_index += 1;
                     stats.bytes_from_index += entry_bytes;
                     let mut row: Vec<Value> = key.0.clone();
@@ -413,6 +506,7 @@ impl<'a> Executor<'a> {
                         break;
                     }
                 }
+                self.flush_progress(&mut pending)?;
                 Ok((out, schema))
             }
         }
@@ -451,8 +545,12 @@ impl<'a> Executor<'a> {
                         let mut out = Vec::new();
                         let mut scanned = 0u64;
                         let mut evaluated = 0u64;
+                        let mut pending = 0u64;
                         for (_, row) in t.iter_range(lo, hi) {
                             scanned += 1;
+                            // Each worker reports to (and is cancelled or
+                            // paced by) the same shared monitor.
+                            self.tick(&mut pending)?;
                             if let Some(p) = pred {
                                 evaluated += 1;
                                 if !eval(p, row, &ctx)?.is_truthy() {
@@ -467,6 +565,7 @@ impl<'a> Executor<'a> {
                                 break;
                             }
                         }
+                        self.flush_progress(&mut pending)?;
                         Ok((out, scanned, evaluated))
                     })
                 })
@@ -527,8 +626,13 @@ impl<'a> Executor<'a> {
                 let inner_ctx = self.ctx(&inner_full_schema);
                 let combined_ctx = self.ctx(&combined_schema);
                 let avg = t.avg_row_bytes().max(1);
+                let mut pending = 0u64;
                 for outer_row in &outer_rows {
                     self.check_time()?;
+                    // One tick per probe, even when it finds no matches —
+                    // otherwise a join full of misses would never observe
+                    // cancellation or pacing.
+                    self.tick(&mut pending)?;
                     let key = eval(outer_key, outer_row, &outer_ctx)?;
                     stats.index_seeks += 1;
                     // Prefix seek: composite indexes (run, camcol, field)
@@ -536,6 +640,7 @@ impl<'a> Executor<'a> {
                     let matches = idx.seek_prefix(&key);
                     let mut matched = false;
                     for (_, entry) in matches {
+                        self.tick(&mut pending)?;
                         let Some(inner_row) = t.get(entry.row_id) else {
                             continue;
                         };
@@ -564,6 +669,7 @@ impl<'a> Executor<'a> {
                         out.push(combined);
                     }
                 }
+                self.flush_progress(&mut pending)?;
                 // The inner side of an index-lookup join keeps its full heap
                 // schema (all columns).
                 Ok((out, combined_schema))
@@ -588,8 +694,11 @@ impl<'a> Executor<'a> {
                 let combined_schema = outer_schema.join(&inner_schema);
                 let outer_ctx = self.ctx(outer_schema);
                 let combined_ctx = self.ctx(&combined_schema);
+                let mut pending = 0u64;
                 for outer_row in &outer_rows {
                     self.check_time()?;
+                    // One tick per probe, matches or not (see above).
+                    self.tick(&mut pending)?;
                     let key: Vec<Value> = outer_keys
                         .iter()
                         .map(|k| eval(k, outer_row, &outer_ctx))
@@ -598,6 +707,7 @@ impl<'a> Executor<'a> {
                     if !key.iter().any(Value::is_null) {
                         if let Some(bucket) = hash.get(&key) {
                             for &i in bucket {
+                                self.tick(&mut pending)?;
                                 stats.join_probes += 1;
                                 let mut combined = outer_row.clone();
                                 combined.extend(inner_rows[i].iter().cloned());
@@ -618,16 +728,22 @@ impl<'a> Executor<'a> {
                         out.push(combined);
                     }
                 }
+                self.flush_progress(&mut pending)?;
                 Ok((out, combined_schema))
             }
             JoinStrategy::NestedLoop => {
                 let (inner_rows, inner_schema) = self.execute_source(inner, stats)?;
                 let combined_schema = outer_schema.join(&inner_schema);
                 let ctx = self.ctx(&combined_schema);
+                let mut pending = 0u64;
                 for outer_row in &outer_rows {
                     self.check_time()?;
+                    // One tick per outer row so an empty inner side still
+                    // observes cancellation and pacing.
+                    self.tick(&mut pending)?;
                     let mut matched = false;
                     for inner_row in &inner_rows {
+                        self.tick(&mut pending)?;
                         stats.join_probes += 1;
                         let mut combined = outer_row.clone();
                         combined.extend(inner_row.iter().cloned());
@@ -646,6 +762,7 @@ impl<'a> Executor<'a> {
                         out.push(combined);
                     }
                 }
+                self.flush_progress(&mut pending)?;
                 Ok((out, combined_schema))
             }
         }

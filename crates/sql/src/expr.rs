@@ -110,8 +110,11 @@ impl RowSchema {
 
 /// Everything an expression evaluation needs besides the row itself.
 pub struct EvalContext<'a> {
+    /// Schema of the row being evaluated.
     pub schema: &'a RowSchema,
+    /// Session variables (`@name`).
     pub variables: &'a HashMap<String, Value>,
+    /// Scalar function registry.
     pub functions: &'a FunctionRegistry,
     /// Pre-computed aggregate values keyed by [`aggregate_key`] (present only
     /// while projecting grouped results).

@@ -28,7 +28,9 @@ pub type TableFn = Arc<dyn Fn(&Database, &[Value]) -> Result<ResultSet, SqlError
 /// like `GN.distance` before the function has run.
 #[derive(Clone)]
 pub struct TableFunction {
+    /// Output column names, in order.
     pub columns: Vec<String>,
+    /// The implementation.
     pub func: TableFn,
 }
 

@@ -22,24 +22,41 @@ pub enum Token {
     Number(String),
     /// Single-quoted string literal (quotes stripped, `''` unescaped).
     StringLit(String),
-    // Punctuation and operators.
+    /// `,`
     Comma,
+    /// `.`
     Dot,
+    /// `;`
     Semicolon,
+    /// `(`
     LParen,
+    /// `)`
     RParen,
+    /// `+`
     Plus,
+    /// `-`
     Minus,
+    /// `*`
     Star,
+    /// `/`
     Slash,
+    /// `%`
     Percent,
+    /// `=`
     Eq,
+    /// `<>` or `!=`
     NotEq,
+    /// `<`
     Lt,
+    /// `<=`
     LtEq,
+    /// `>`
     Gt,
+    /// `>=`
     GtEq,
+    /// `&` (bitwise AND, the flag-test operator)
     Ampersand,
+    /// `|` (bitwise OR)
     Pipe,
     /// End of input.
     Eof,
@@ -79,7 +96,9 @@ impl fmt::Display for Token {
 /// A lexing error with a byte offset into the input.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LexError {
+    /// What went wrong.
     pub message: String,
+    /// Byte offset into the input where lexing failed.
     pub position: usize,
 }
 

@@ -39,6 +39,8 @@
 //! assert_eq!(result.cell(0, "n"), Some(&Value::Int(1)));
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod ast;
 pub mod engine;
 pub mod error;
@@ -46,6 +48,7 @@ pub mod executor;
 pub mod expr;
 pub mod functions;
 pub mod lexer;
+pub mod monitor;
 pub mod parser;
 pub mod plan;
 pub mod planner;
@@ -56,6 +59,7 @@ pub use error::SqlError;
 pub use executor::{Executor, QueryLimits};
 pub use expr::{eval, EvalContext, RowSchema};
 pub use functions::{FunctionRegistry, ScalarFn, TableFn, TableFunction};
+pub use monitor::{QueryMonitor, MONITOR_BATCH};
 pub use parser::{parse_script, parse_select, parse_statement};
 pub use plan::{AccessPath, PlanClass, SelectPlan};
 pub use planner::Planner;

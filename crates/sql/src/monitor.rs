@@ -1,0 +1,125 @@
+//! Cooperative query monitoring: cancellation, progress and pacing.
+//!
+//! The public SkyServer had two defences against expensive ad-hoc SQL: the
+//! interactive limits (1,000 rows / 30 seconds, §4) and — operationally —
+//! a batch tier where long scans run *outside* the interactive pool
+//! (CasJobs).  Both need a way to observe and stop a query that is already
+//! running.  A [`QueryMonitor`] is that hook: the executor checks it at
+//! row-batch granularity (every [`MONITOR_BATCH`] rows or probes), so a
+//! running scan can
+//!
+//! * be **cancelled** mid-flight ([`QueryMonitor::cancel`] makes the
+//!   executor return [`crate::SqlError::Cancelled`] at the next batch
+//!   boundary),
+//! * report **progress** ([`QueryMonitor::rows_processed`] counts rows
+//!   scanned and join probes, the job tier's progress bar), and
+//! * be **paced** ([`QueryMonitor::set_pace`] inserts a short sleep per
+//!   batch, so a background batch scan yields CPU to interactive queries
+//!   instead of competing with them at full speed).
+//!
+//! The monitor is all atomics: one instance is shared between the executing
+//! thread(s) — including parallel-scan workers — and any number of
+//! observers, with no locks on the hot path.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Duration;
+
+/// How many rows/probes the executor processes between monitor checks.
+///
+/// Small enough that cancellation lands within milliseconds on any
+/// realistic scan, large enough that the per-row cost is one local counter
+/// increment.
+pub const MONITOR_BATCH: u64 = 256;
+
+/// A shared cancellation/progress/pacing handle for one running query.
+///
+/// Create one per query, hand a reference to the executor (via
+/// [`crate::SqlEngine::execute_read_with`]) and keep a clone of the
+/// surrounding `Arc` to observe or cancel from other threads.
+#[derive(Debug, Default)]
+pub struct QueryMonitor {
+    cancelled: AtomicBool,
+    rows_processed: AtomicU64,
+    pace_micros: AtomicU64,
+}
+
+impl QueryMonitor {
+    /// A fresh monitor: not cancelled, zero progress, no pacing.
+    pub fn new() -> QueryMonitor {
+        QueryMonitor::default()
+    }
+
+    /// Ask the running query to stop.  The executor notices at the next
+    /// row-batch boundary and returns [`crate::SqlError::Cancelled`].
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// Has [`QueryMonitor::cancel`] been called?
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Relaxed)
+    }
+
+    /// Rows scanned plus join probes processed so far — the progress
+    /// number a job status page shows.
+    pub fn rows_processed(&self) -> u64 {
+        self.rows_processed.load(Ordering::Relaxed)
+    }
+
+    /// Record `n` more processed rows (called by the executor).
+    pub fn add_rows(&self, n: u64) {
+        self.rows_processed.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Throttle the query: sleep this long after every [`MONITOR_BATCH`]
+    /// rows.  Zero (the default) disables pacing.  The batch tier uses
+    /// this so background scans cede CPU to interactive traffic.
+    pub fn set_pace(&self, pace: Duration) {
+        self.pace_micros
+            .store(pace.as_micros() as u64, Ordering::Relaxed);
+    }
+
+    /// The current pacing sleep (zero = none).
+    pub fn pace(&self) -> Duration {
+        Duration::from_micros(self.pace_micros.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monitor_starts_clean_and_accumulates() {
+        let m = QueryMonitor::new();
+        assert!(!m.is_cancelled());
+        assert_eq!(m.rows_processed(), 0);
+        assert_eq!(m.pace(), Duration::ZERO);
+        m.add_rows(100);
+        m.add_rows(56);
+        assert_eq!(m.rows_processed(), 156);
+        m.cancel();
+        assert!(m.is_cancelled());
+    }
+
+    #[test]
+    fn pace_round_trips() {
+        let m = QueryMonitor::new();
+        m.set_pace(Duration::from_micros(750));
+        assert_eq!(m.pace(), Duration::from_micros(750));
+        m.set_pace(Duration::ZERO);
+        assert_eq!(m.pace(), Duration::ZERO);
+    }
+
+    #[test]
+    fn monitor_is_shareable_across_threads() {
+        let m = std::sync::Arc::new(QueryMonitor::new());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let m = std::sync::Arc::clone(&m);
+                scope.spawn(move || m.add_rows(1000));
+            }
+        });
+        assert_eq!(m.rows_processed(), 4000);
+    }
+}

@@ -21,11 +21,22 @@ pub enum AccessPath {
     /// Parallel sequential scan fanned out over `workers` threads — the
     /// Figure 11 brute-force path, chosen explicitly by the optimizer's
     /// parallel-scan rule for large unindexed predicates.
-    ParallelHeapScan { workers: usize },
+    ParallelHeapScan {
+        /// Requested worker fan-out (fixed so EXPLAIN is machine-independent).
+        workers: usize,
+    },
     /// B-tree seek using bounds on the leading key column.
-    IndexSeek { index: String, bounds: IndexBounds },
+    IndexSeek {
+        /// The index used.
+        index: String,
+        /// Key bounds of the seek.
+        bounds: IndexBounds,
+    },
     /// Full scan of a covering index (column subset, 10-100x less IO).
-    CoveringIndexScan { index: String },
+    CoveringIndexScan {
+        /// The covering index scanned instead of the heap.
+        index: String,
+    },
 }
 
 /// Bounds on the leading column of an index.
@@ -69,17 +80,32 @@ pub struct SourcePlan {
 #[derive(Debug, Clone, PartialEq)]
 pub enum SourceKind {
     /// Base table (or temp table) access.
-    Table { table: String, path: AccessPath },
+    Table {
+        /// Table name.
+        table: String,
+        /// How the table is read.
+        path: AccessPath,
+    },
     /// Table-valued function call (e.g. `fGetNearbyObjEq`).
-    TableFunction { name: String, args: Vec<Expr> },
+    TableFunction {
+        /// Function name.
+        name: String,
+        /// Call arguments (evaluated before the scan).
+        args: Vec<Expr>,
+    },
     /// Materialised sub-select.
-    Derived { plan: Box<SelectPlan> },
+    Derived {
+        /// The sub-select's plan.
+        plan: Box<SelectPlan>,
+    },
 }
 
 /// How a source joins with everything planned before it.
 #[derive(Debug, Clone, PartialEq)]
 pub struct JoinStep {
+    /// Inner / left / cross.
     pub kind: JoinKind,
+    /// The join algorithm.
     pub strategy: JoinStrategy,
     /// Residual predicate evaluated on the combined row (anything the
     /// strategy's key comparison does not already guarantee).
@@ -91,6 +117,7 @@ pub struct JoinStep {
 pub enum JoinStrategy {
     /// For each outer row, probe a B-tree index on the inner table.
     IndexLookup {
+        /// The probed index.
         index: String,
         /// Expression over the outer (accumulated) row producing the key.
         outer_key: Expr,
@@ -100,7 +127,9 @@ pub enum JoinStrategy {
     /// Build a hash table on the inner side keyed by `inner_keys`, probe
     /// with `outer_keys`.
     Hash {
+        /// Probe-side key expressions (over the accumulated row).
         outer_keys: Vec<Expr>,
+        /// Build-side key expressions (over the inner row).
         inner_keys: Vec<Expr>,
     },
     /// Plain nested loop over the materialised inner side.
@@ -132,6 +161,7 @@ pub struct SelectPlan {
     pub order_by: Vec<OrderByItem>,
     /// TOP n limit.
     pub top: Option<u64>,
+    /// `SELECT DISTINCT`.
     pub distinct: bool,
     /// `INTO ##target` destination.
     pub into: Option<String>,

@@ -19,7 +19,9 @@ use std::collections::HashSet;
 
 /// Everything the rules need to look at besides the plan itself.
 pub struct PlanContext<'a> {
+    /// The database (tables, views, indexes, statistics).
     pub db: &'a Database,
+    /// Registered scalar and table-valued functions.
     pub functions: &'a FunctionRegistry,
     /// Minimum table row count before the parallel-scan rule upgrades a heap
     /// scan to a parallel scan (configurable so tests can force either path).
@@ -30,6 +32,7 @@ pub struct PlanContext<'a> {
 /// the view-merge rule attaches the predicates to the plan.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MergedView {
+    /// The base table the view chain bottoms out at.
     pub base: String,
     /// The chain's accumulated qualifiers, innermost view first, not yet
     /// requalified with the outer alias.
@@ -46,7 +49,9 @@ pub enum SourceOrigin {
     /// stacks (the view-merge rule applies it), `None` for definitions that
     /// had to be materialised as a derived table.
     View {
+        /// The view's name.
         name: String,
+        /// The binder's one-time merge analysis (see above).
         merged: Option<MergedView>,
     },
     /// A table-valued function call.
@@ -58,9 +63,13 @@ pub enum SourceOrigin {
 /// One bound FROM item.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LogicalSource {
+    /// Alias the query refers to this source by.
     pub alias: String,
+    /// What is read and how (starts as a naive heap scan).
     pub kind: SourceKind,
+    /// The source's output schema.
     pub schema: RowSchema,
+    /// What the alias was bound to.
     pub origin: SourceOrigin,
     /// `None` for the first comma-listed source, the join kind otherwise.
     pub join_kind: Option<JoinKind>,
@@ -77,6 +86,7 @@ pub struct LogicalSource {
 /// A WHERE / ON / merged-view conjunct with its alias footprint.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Conjunct {
+    /// The predicate expression.
     pub expr: Expr,
     /// Aliases the conjunct references (canonical alias spelling).
     pub aliases: HashSet<String>,
@@ -87,6 +97,7 @@ pub struct Conjunct {
 }
 
 impl Conjunct {
+    /// A fresh, unconsumed conjunct with its alias footprint.
     pub fn new(expr: Expr, aliases: HashSet<String>) -> Self {
         Conjunct {
             expr,
@@ -114,12 +125,19 @@ pub struct LogicalPlan {
     pub selection: Option<Expr>,
     /// Statement pieces carried through to the physical plan.
     pub select_items: Vec<SelectItem>,
+    /// GROUP BY expressions.
     pub group_by: Vec<Expr>,
+    /// HAVING predicate.
     pub having: Option<Expr>,
+    /// True if any projection or HAVING contains an aggregate.
     pub has_aggregates: bool,
+    /// ORDER BY items.
     pub order_by: Vec<crate::ast::OrderByItem>,
+    /// TOP n limit.
     pub top: Option<u64>,
+    /// `SELECT DISTINCT`.
     pub distinct: bool,
+    /// `INTO ##target` destination.
     pub into: Option<String>,
     /// Names of the rules that changed the plan, in pipeline order.
     pub rules_fired: Vec<&'static str>,

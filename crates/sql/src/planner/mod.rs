@@ -34,7 +34,9 @@ pub const PARALLEL_SCAN_THRESHOLD: usize = 65_536;
 
 /// Plans SELECT statements against a database + function registry.
 pub struct Planner<'a> {
+    /// The database planned against (tables, views, indexes, stats).
     pub db: &'a Database,
+    /// Registered scalar and table-valued functions.
     pub functions: &'a FunctionRegistry,
     parallel_scan_threshold: usize,
 }

@@ -12,6 +12,8 @@ use crate::expr::RowSchema;
 use crate::plan::{AccessPath, SourceKind};
 use crate::planner::binder::{LogicalPlan, PlanContext};
 
+/// The `covering_index` rule: answers a query from an index that covers
+/// every referenced column — the paper's 10-100x smaller "tag tables".
 pub struct CoveringIndexSelection;
 
 impl RewriteRule for CoveringIndexSelection {

@@ -10,6 +10,8 @@ use crate::error::SqlError;
 use crate::plan::{AccessPath, IndexBounds, SourceKind};
 use crate::planner::binder::{LogicalPlan, PlanContext};
 
+/// The `index_seek` rule: turns sargable single-table predicates into
+/// B-tree seeks on a matching index.
 pub struct IndexSeekSelection;
 
 impl RewriteRule for IndexSeekSelection {
@@ -79,6 +81,7 @@ impl RewriteRule for IndexSeekSelection {
 
 /// The sargable comparison shapes the rule recognises.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)] // the variants are the comparison operators themselves
 pub enum SargKind {
     Eq,
     Lt,
@@ -89,8 +92,11 @@ pub enum SargKind {
 
 /// One `column <op> constant-expression` bound.
 pub struct Sarg {
+    /// The bounded column.
     pub column: String,
+    /// The comparison shape.
     pub kind: SargKind,
+    /// The constant side of the comparison.
     pub value: Expr,
 }
 

@@ -19,6 +19,8 @@ use crate::plan::{JoinStep, JoinStrategy, SourceKind};
 use crate::planner::binder::{LogicalPlan, LogicalSource, PlanContext};
 use std::collections::HashSet;
 
+/// The `join_strategy` rule: picks index-lookup, hash or nested-loop for
+/// every join step based on the available indexes and key shapes.
 pub struct JoinStrategySelection;
 
 impl RewriteRule for JoinStrategySelection {

@@ -9,6 +9,8 @@ use super::RewriteRule;
 use crate::error::SqlError;
 use crate::planner::binder::{LogicalPlan, PlanContext};
 
+/// The `limit_pushdown` rule: a `TOP n` without sort/aggregate/distinct
+/// grants the driving base-table scan a limit hint so it stops early.
 pub struct LimitPushdown;
 
 impl RewriteRule for LimitPushdown {

@@ -1,7 +1,7 @@
 //! The optimizer: an ordered pipeline of named rewrite rules.
 //!
 //! Each rule is a [`RewriteRule`]: a pure structural rewrite over the
-//! [`LogicalPlan`](super::binder::LogicalPlan) that reports whether it
+//! [`LogicalPlan`] that reports whether it
 //! changed anything.  The planner runs the default pipeline in order and
 //! records which rules fired; `EXPLAIN` prints that list, which is how the
 //! reproduction shows *why* a query got its Figure-10 (table-function

@@ -10,6 +10,8 @@ use crate::error::SqlError;
 use crate::plan::{AccessPath, SourceKind};
 use crate::planner::binder::{LogicalPlan, PlanContext};
 
+/// The `parallel_scan_fallback` rule: large unindexed heap scans fan out
+/// over worker threads (the Figure 11 brute-force path).
 pub struct ParallelScanFallback;
 
 /// Upper bound on scan fan-out (matches the executor's historical cap).

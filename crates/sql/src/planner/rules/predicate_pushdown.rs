@@ -8,6 +8,8 @@ use super::RewriteRule;
 use crate::error::SqlError;
 use crate::planner::binder::{LogicalPlan, PlanContext};
 
+/// The `predicate_pushdown` rule: moves single-table conjuncts into the
+/// scan that produces their rows.
 pub struct PredicatePushdown;
 
 impl RewriteRule for PredicatePushdown {

@@ -11,6 +11,8 @@ use crate::error::SqlError;
 use crate::plan::{AccessPath, SourceKind};
 use crate::planner::binder::{LogicalPlan, PlanContext};
 
+/// The `spatial_join_rewrite` rule: reorders a table-valued function (or
+/// the smaller side) to drive the join — the Figure 10 plan shape.
 pub struct SpatialJoinRewrite;
 
 impl RewriteRule for SpatialJoinRewrite {

@@ -3,7 +3,7 @@
 //! `Galaxy` / `Star` / `PhotoPrimary` are defined as `SELECT * FROM photoObj
 //! WHERE <qualifiers>`; a query against such a view should "map down to the
 //! base photoObj table with the additional qualifiers", not materialise the
-//! view.  The binder analyses every view definition once ([`merge_chain`])
+//! view.  The binder analyses every view definition once (`merge_chain`)
 //! and stores the collapsed `base WHERE qualifiers` result on the source;
 //! this rule applies it — rewriting the materialised derived table into a
 //! direct base-table access with the requalified view qualifiers attached
@@ -22,6 +22,8 @@ use crate::plan::{AccessPath, SourceKind};
 use crate::planner::binder::{LogicalPlan, MergedView, PlanContext, SourceOrigin};
 use skyserver_storage::Database;
 
+/// The `view_merge` rule: collapses simple view chains onto their base
+/// table, folding the views' qualifiers into the scan (§9.1.3).
 pub struct ViewMerge;
 
 impl RewriteRule for ViewMerge {

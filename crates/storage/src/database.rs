@@ -17,10 +17,15 @@ use std::collections::BTreeMap;
 /// `ref_table(ref_columns)`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ForeignKey {
+    /// Constraint name.
     pub name: String,
+    /// The referencing table.
     pub table: String,
+    /// The referencing columns, in order.
     pub columns: Vec<String>,
+    /// The referenced table.
     pub ref_table: String,
+    /// The referenced columns, in order.
     pub ref_columns: Vec<String>,
 }
 
@@ -28,21 +33,32 @@ pub struct ForeignKey {
 /// (the storage layer only stores and lists them).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ViewDef {
+    /// View name.
     pub name: String,
+    /// The defining SELECT text.
     pub sql: String,
+    /// Human-readable description (shown in the schema browser).
     pub description: String,
 }
 
 /// Summary row for the schema browser / Table 1 reproduction.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct TableSummary {
+    /// Table name.
     pub name: String,
+    /// Row count.
     pub rows: u64,
+    /// Bytes of row data.
     pub data_bytes: u64,
+    /// Bytes across all of the table's indexes.
     pub index_bytes: u64,
+    /// Average row width in bytes.
     pub avg_row_bytes: u64,
+    /// Number of columns.
     pub columns: usize,
+    /// Number of indexes.
     pub indexes: usize,
+    /// Human-readable description (shown in the schema browser).
     pub description: String,
 }
 

@@ -19,8 +19,11 @@ pub enum StorageError {
     Index(IndexError),
     /// A foreign-key constraint was violated.
     ForeignKeyViolation {
+        /// The referencing table.
         table: String,
+        /// The violated constraint's name.
         constraint: String,
+        /// The offending key value.
         value: String,
     },
     /// Generic constraint violation.

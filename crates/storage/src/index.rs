@@ -29,6 +29,7 @@ impl IndexKey {
 /// One index entry: the row it points at plus any included column values.
 #[derive(Debug, Clone, PartialEq)]
 pub struct IndexEntry {
+    /// The row this entry points at.
     pub row_id: RowId,
     /// Values of the included (covering) columns, in declaration order.
     pub included: Vec<Value>,
@@ -37,12 +38,15 @@ pub struct IndexEntry {
 /// Definition of an index: which columns are keys and which are included.
 #[derive(Debug, Clone, PartialEq)]
 pub struct IndexDef {
+    /// Index name.
     pub name: String,
+    /// The indexed table.
     pub table: String,
     /// Key column names in order.
     pub key_columns: Vec<String>,
     /// Included (non-key, covering) column names.
     pub included_columns: Vec<String>,
+    /// Whether duplicate keys are rejected.
     pub unique: bool,
 }
 
@@ -113,8 +117,13 @@ pub struct BTreeIndex {
 /// Errors raised while building or maintaining an index.
 #[derive(Debug, Clone, PartialEq)]
 pub enum IndexError {
+    /// A key or included column does not exist on the table.
     UnknownColumn(String),
-    UniqueViolation { key: String },
+    /// A duplicate key was inserted into a unique index.
+    UniqueViolation {
+        /// The duplicated key, rendered for the error message.
+        key: String,
+    },
 }
 
 impl std::fmt::Display for IndexError {

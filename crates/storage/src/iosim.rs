@@ -76,6 +76,7 @@ impl HardwareProfile {
 /// `(r-g) > 1` filter (~1 300 and ~2 300 clocks per 128-byte record).
 #[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct CpuCost {
+    /// Clocks of CPU work per byte scanned.
     pub clocks_per_byte: f64,
 }
 
@@ -117,8 +118,11 @@ impl CpuCost {
 /// A disk subsystem configuration (how many spindles/controllers/buses).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct DiskConfig {
+    /// Number of spindles.
     pub disks: u32,
+    /// Number of disk controllers.
     pub controllers: u32,
+    /// Number of PCI buses the controllers share.
     pub pci_buses: u32,
 }
 
@@ -160,7 +164,9 @@ impl DiskConfig {
 /// The I/O simulator: combines a hardware profile with a disk configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct IoSimulator {
+    /// Per-component hardware speeds.
     pub profile: HardwareProfile,
+    /// Disk subsystem shape.
     pub config: DiskConfig,
 }
 

@@ -21,6 +21,8 @@
 //! The SQL layer (`skyserver-sql`) builds the parser, planner and executor
 //! on top of these primitives.
 
+#![warn(missing_docs)]
+
 pub mod database;
 pub mod error;
 pub mod index;

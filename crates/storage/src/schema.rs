@@ -207,16 +207,25 @@ impl TableSchema {
 /// Errors raised by schema validation.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SchemaError {
+    /// A row had the wrong number of values.
     ColumnCountMismatch {
+        /// Columns the schema defines.
         expected: usize,
+        /// Values the row supplied.
         got: usize,
     },
+    /// NULL in a non-nullable column.
     NullViolation {
+        /// The violated column.
         column: String,
     },
+    /// A value's type does not match its column.
     TypeMismatch {
+        /// The violated column.
         column: String,
+        /// The column's declared type.
         expected: DataType,
+        /// The supplied value's type (None for NULL).
         got: Option<DataType>,
     },
 }

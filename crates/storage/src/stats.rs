@@ -57,6 +57,7 @@ impl ScanStats {
 /// Full execution report for one statement.
 #[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct ExecutionStats {
+    /// Raw access-path counters.
     pub stats: ScanStats,
     /// Measured wall-clock time of the in-process execution.
     pub wall_seconds: f64,

@@ -65,11 +65,17 @@ impl fmt::Display for DataType {
 /// the executor (projection, sorting, temp-table materialisation).
 #[derive(Debug, Clone)]
 pub enum Value {
+    /// SQL NULL.
     Null,
+    /// 64-bit integer.
     Int(i64),
+    /// 64-bit float.
     Float(f64),
+    /// String (shared).
     Str(Arc<str>),
+    /// Binary blob (shared).
     Bytes(Arc<[u8]>),
+    /// Boolean.
     Bool(bool),
 }
 

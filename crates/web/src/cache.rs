@@ -17,7 +17,9 @@ use std::sync::{Arc, Mutex};
 /// A cached rendered response.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CachedBody {
+    /// The rendered response's content type.
     pub content_type: String,
+    /// The rendered response body.
     pub body: Vec<u8>,
 }
 
@@ -28,27 +30,46 @@ struct Entry {
     value: Arc<CachedBody>,
     /// Recency stamp: larger = more recently used.
     stamp: u64,
+    /// Bytes this entry accounts for against the cache's byte budget.
+    bytes: usize,
 }
 
 #[derive(Debug, Default)]
 struct Inner {
     map: HashMap<String, Entry>,
     tick: u64,
+    /// Sum of every entry's accounted bytes (kept <= the byte budget).
+    total_bytes: usize,
 }
 
 /// Counters and size of the cache (surfaced on the schema/QA page).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
 pub struct CacheStats {
+    /// Lookups answered from the cache.
     pub hits: u64,
+    /// Lookups that found nothing.
     pub misses: u64,
+    /// Entries currently cached.
     pub entries: usize,
+    /// Bytes of rendered bodies (plus keys) currently cached.
+    pub bytes: usize,
 }
 
-/// A thread-safe LRU cache from normalized query keys to rendered bodies.
+/// Default byte budget: generous for the paper's popular-page workload but
+/// a hard bound — 128 entries at the 1 MiB per-body cap would otherwise
+/// be 128 MiB.
+const DEFAULT_BYTE_BUDGET: usize = 16 << 20;
+
+/// A thread-safe LRU cache from normalized query keys to rendered bodies,
+/// bounded by **both** an entry count and a rendered-body byte budget
+/// (evicting by count alone lets a handful of huge bodies blow memory).
 #[derive(Debug)]
 pub struct ResultCache {
     inner: Mutex<Inner>,
     capacity: usize,
+    /// Total bytes of cached bodies+keys; least-recently-used entries are
+    /// evicted until an insert fits.
+    byte_budget: usize,
     /// Bodies larger than this are not cached (a full-table dump should not
     /// evict a page of popular galleries).
     max_body_bytes: usize,
@@ -57,13 +78,20 @@ pub struct ResultCache {
 }
 
 impl ResultCache {
-    /// A cache holding at most `capacity` rendered results.  A capacity of
-    /// 0 disables caching entirely (every lookup misses without being
-    /// counted, inserts are dropped).
+    /// A cache holding at most `capacity` rendered results under the
+    /// default byte budget.  A capacity of 0 disables caching entirely
+    /// (every lookup misses without being counted, inserts are dropped).
     pub fn new(capacity: usize) -> ResultCache {
+        ResultCache::with_byte_budget(capacity, DEFAULT_BYTE_BUDGET)
+    }
+
+    /// A cache bounded by `capacity` entries **and** `byte_budget` bytes
+    /// of rendered bodies, whichever fills first.
+    pub fn with_byte_budget(capacity: usize, byte_budget: usize) -> ResultCache {
         ResultCache {
             inner: Mutex::new(Inner::default()),
             capacity,
+            byte_budget,
             max_body_bytes: 1 << 20,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -91,45 +119,65 @@ impl ResultCache {
         }
     }
 
-    /// Insert a rendered body, evicting the least-recently-used entry when
-    /// the cache is full.  Oversized bodies are ignored.
+    /// Insert a rendered body, evicting least-recently-used entries until
+    /// both the entry count and the byte budget fit.  Bodies over the
+    /// per-entry cap — or too big to ever fit the byte budget — are
+    /// ignored rather than allowed to wipe the whole cache.
     pub fn insert(&self, key: String, value: CachedBody) {
         if self.capacity == 0 || value.body.len() > self.max_body_bytes {
+            return;
+        }
+        let entry_bytes = key.len() + value.content_type.len() + value.body.len();
+        if entry_bytes > self.byte_budget {
             return;
         }
         let mut inner = self.inner.lock().unwrap();
         inner.tick += 1;
         let tick = inner.tick;
-        if !inner.map.contains_key(&key) && inner.map.len() >= self.capacity {
-            if let Some(lru) = inner
+        // Replacing an entry releases its bytes before the budget check.
+        if let Some(old) = inner.map.remove(&key) {
+            inner.total_bytes -= old.bytes;
+        }
+        while inner.map.len() >= self.capacity || inner.total_bytes + entry_bytes > self.byte_budget
+        {
+            let Some(lru) = inner
                 .map
                 .iter()
                 .min_by_key(|(_, e)| e.stamp)
                 .map(|(k, _)| k.clone())
-            {
-                inner.map.remove(&lru);
+            else {
+                break;
+            };
+            if let Some(evicted) = inner.map.remove(&lru) {
+                inner.total_bytes -= evicted.bytes;
             }
         }
+        inner.total_bytes += entry_bytes;
         inner.map.insert(
             key,
             Entry {
                 value: Arc::new(value),
                 stamp: tick,
+                bytes: entry_bytes,
             },
         );
     }
 
     /// Drop every entry (called after any administrative write).
     pub fn clear(&self) {
-        self.inner.lock().unwrap().map.clear();
+        let mut inner = self.inner.lock().unwrap();
+        inner.map.clear();
+        inner.total_bytes = 0;
     }
 
     /// Hit/miss/size counters.
     pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().unwrap();
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            entries: self.inner.lock().unwrap().map.len(),
+            entries: inner.map.len(),
+            bytes: inner.total_bytes,
         }
     }
 }
@@ -248,6 +296,54 @@ mod tests {
         };
         cache.insert("big".into(), huge);
         assert!(cache.get("big").is_none());
+    }
+
+    #[test]
+    fn byte_budget_evicts_lru_entries_until_the_insert_fits() {
+        // Budget for roughly two of the three bodies (keys are 1 byte,
+        // content type 10, bodies 100 → 111 accounted bytes each).
+        let cache = ResultCache::with_byte_budget(16, 250);
+        let block = |c: char| body(&String::from(c).repeat(100));
+        cache.insert("a".into(), block('1'));
+        cache.insert("b".into(), block('2'));
+        assert_eq!(cache.stats().bytes, 222);
+        // Touch "a" so "b" is the LRU victim when "c" needs room.
+        assert!(cache.get("a").is_some());
+        cache.insert("c".into(), block('3'));
+        assert!(cache.get("a").is_some());
+        assert!(cache.get("b").is_none(), "LRU entry must make room");
+        assert!(cache.get("c").is_some());
+        assert!(cache.stats().bytes <= 250);
+        // Clearing resets the byte accounting.
+        cache.clear();
+        assert_eq!(cache.stats().bytes, 0);
+    }
+
+    #[test]
+    fn an_entry_bigger_than_the_budget_does_not_wipe_the_cache() {
+        // Regression: before byte accounting, a single huge rendered body
+        // (under the 1 MiB per-entry cap) was cached no matter what, so a
+        // few of them dwarfed the configured "capacity".  Now it is simply
+        // not cached — and must not evict the popular entries either.
+        let cache = ResultCache::with_byte_budget(16, 500);
+        cache.insert("popular".into(), body("x"));
+        cache.insert("huge".into(), body(&"y".repeat(1000)));
+        assert!(cache.get("huge").is_none(), "over-budget body was cached");
+        assert!(
+            cache.get("popular").is_some(),
+            "over-budget insert evicted an unrelated entry"
+        );
+    }
+
+    #[test]
+    fn replacing_an_entry_releases_its_bytes() {
+        let cache = ResultCache::with_byte_budget(16, 10_000);
+        cache.insert("k".into(), body(&"a".repeat(100)));
+        let first = cache.stats().bytes;
+        cache.insert("k".into(), body("b"));
+        assert!(cache.stats().bytes < first);
+        assert_eq!(cache.stats().entries, 1);
+        assert_eq!(cache.get("k").unwrap().body, b"b");
     }
 
     #[test]

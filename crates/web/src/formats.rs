@@ -12,10 +12,15 @@ use skyserver_storage::{csv_escape, Value};
 /// The supported output formats.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum OutputFormat {
+    /// Human-readable aligned grid (the default).
     Grid,
+    /// RFC 4180-style comma-separated values.
     Csv,
+    /// Simple row/column XML.
     Xml,
+    /// `{"columns": [...], "rows": [[...]]}` JSON.
     Json,
+    /// A FITS-style ASCII table (80-column header cards).
     Fits,
 }
 
@@ -170,7 +175,9 @@ fn sanitize_tag(name: &str) -> String {
     }
 }
 
-fn escape_xml(s: &str) -> String {
+/// Escape `&`, `<` and `>` for XML/HTML element content (shared with the
+/// site's HTML pages; not sufficient for attribute contexts).
+pub(crate) fn escape_xml(s: &str) -> String {
     s.replace('&', "&amp;")
         .replace('<', "&lt;")
         .replace('>', "&gt;")

@@ -22,6 +22,7 @@ use std::time::Duration;
 /// A parsed HTTP request.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Request {
+    /// HTTP method (`GET`, ...).
     pub method: String,
     /// Path without the query string, e.g. `/en/tools/search/x_sql.asp`.
     pub path: String,
@@ -61,8 +62,11 @@ impl Request {
 /// An HTTP response.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Response {
+    /// HTTP status code.
     pub status: u16,
+    /// The `Content-Type` header value.
     pub content_type: String,
+    /// The response body.
     pub body: Vec<u8>,
 }
 
@@ -108,11 +112,21 @@ impl Response {
         }
     }
 
+    /// 429 Too Many Requests (a per-submitter job quota was hit).
+    pub fn too_many_requests(message: &str) -> Response {
+        Response {
+            status: 429,
+            content_type: "text/plain; charset=utf-8".into(),
+            body: message.as_bytes().to_vec(),
+        }
+    }
+
     fn status_text(&self) -> &'static str {
         match self.status {
             200 => "OK",
             400 => "Bad Request",
             404 => "Not Found",
+            429 => "Too Many Requests",
             500 => "Internal Server Error",
             503 => "Service Unavailable",
             _ => "OK",

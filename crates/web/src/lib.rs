@@ -11,14 +11,21 @@
 //! * the site routes ([`site`]): famous places, navigator, object explorer,
 //!   SQL search with the public 1,000-row / 30-second limits, the schema
 //!   browser that feeds SkyServerQA, and the three language branches,
+//! * the asynchronous batch-query job tier ([`jobs`]): a CasJobs-style
+//!   queue with its own bounded worker pool, per-submitter quotas, stored
+//!   results with TTL expiry, and cancellation/progress via the SQL
+//!   engine's `QueryMonitor`,
 //! * the result output formats ([`formats`]): grid, CSV, XML, JSON and a
 //!   FITS-style ASCII table,
 //! * the site-traffic simulator and analyser ([`traffic`]) that regenerate
 //!   Figure 5 and the §7 operations statistics.
 
+#![warn(missing_docs)]
+
 pub mod cache;
 pub mod formats;
 pub mod http;
+pub mod jobs;
 pub mod site;
 pub mod traffic;
 
@@ -27,6 +34,7 @@ pub use formats::{to_csv, to_fits_ascii, to_json, to_xml, OutputFormat};
 pub use http::{
     http_get, parse_request, url_decode, HttpClient, HttpServer, Request, Response, ServerConfig,
 };
+pub use jobs::{JobQueue, JobQueueConfig, JobState, JobStatus};
 pub use site::{SkyServerSite, LANGUAGES};
 pub use traffic::{
     analyze_traffic, render_figure5, simulate_traffic, DailyTraffic, LogRecord, Section,

@@ -2,20 +2,23 @@
 //!
 //! The page families mirror Figure 1 of the paper: a famous-places gallery,
 //! the navigation (pan/zoom) tool, the object explorer, the SQL search pages
-//! with the public limits, the schema browser that feeds SkyServerQA, and
-//! the three language branches (English, Japanese, German).
+//! with the public limits, the schema browser that feeds SkyServerQA, the
+//! three language branches (English, Japanese, German), and the batch-query
+//! job endpoints (`/x_job/*` plus the `/tools/jobs` "My Jobs" page).
 //!
-//! Concurrency model: the site holds `RwLock<Arc<SkyServer>>`.  Request
-//! handlers clone the `Arc` snapshot and immediately drop the lock, then
-//! run the query on the engine's shared `&self` read path — so any number
-//! of requests execute concurrently and a long query never blocks the
-//! others.  Writers (data loads, DDL) go through [`SkyServerSite::with_admin`],
-//! which takes the write lock, waits for in-flight snapshots to drain, and
-//! clears the result cache.
+//! Concurrency model: the site holds `Arc<RwLock<Arc<SkyServer>>>`.  Request
+//! handlers clone the inner `Arc` snapshot and immediately drop the lock,
+//! then run the query on the engine's shared `&self` read path — so any
+//! number of requests execute concurrently and a long query never blocks the
+//! others.  Batch jobs snapshot the same slot from their own worker pool
+//! (see [`crate::jobs`]).  Writers (data loads, DDL) go through
+//! [`SkyServerSite::with_admin`], which takes the write lock, waits for
+//! in-flight snapshots to drain, and clears the result cache.
 
 use crate::cache::{normalize_sql, CachedBody, ResultCache};
 use crate::formats::OutputFormat;
 use crate::http::{HttpServer, Request, Response};
+use crate::jobs::{JobQueue, JobQueueConfig, JobRunner, JobStatus};
 use crate::traffic::{LogRecord, Section};
 use skyserver::{SkyServer, SkyServerError};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -26,14 +29,25 @@ use std::time::Instant;
 /// pages are a handful of hot queries, so a small cache covers them).
 const RESULT_CACHE_CAPACITY: usize = 128;
 
-/// The web application: a shared SkyServer plus a request log and a
-/// rendered-result cache.
+/// Byte budget of the rendered-result cache: entry count alone does not
+/// bound memory when individual bodies approach the 1 MiB per-entry cap.
+const RESULT_CACHE_BYTE_BUDGET: usize = 8 << 20;
+
+/// The submitter identity used when a job request carries no `submitter=`
+/// parameter (the reproduction has no accounts; the real CasJobs did).
+const ANONYMOUS: &str = "anonymous";
+
+/// The web application: a shared SkyServer plus a request log, a
+/// rendered-result cache and the batch-query job tier.
 pub struct SkyServerSite {
-    sky: RwLock<Arc<SkyServer>>,
+    /// Shared with the job-queue runner closure: batch workers snapshot
+    /// the same catalog slot the request handlers do.
+    sky: Arc<RwLock<Arc<SkyServer>>>,
     log: Mutex<Vec<LogRecord>>,
     started: Instant,
     session_counter: AtomicU64,
     cache: ResultCache,
+    jobs: Arc<JobQueue>,
 }
 
 /// The language branches of the site (§5: English, German, Japanese).
@@ -48,13 +62,41 @@ impl SkyServerSite {
     /// Wrap a loaded SkyServer with an explicit result-cache capacity
     /// (0 disables the cache — used by the benchmark's no-cache baseline).
     pub fn new_with_cache(sky: SkyServer, cache_capacity: usize) -> Arc<SkyServerSite> {
+        SkyServerSite::new_with(sky, cache_capacity, JobQueueConfig::default())
+    }
+
+    /// Wrap a loaded SkyServer with explicit cache and job-tier settings.
+    pub fn new_with(
+        sky: SkyServer,
+        cache_capacity: usize,
+        job_config: JobQueueConfig,
+    ) -> Arc<SkyServerSite> {
+        let sky = Arc::new(RwLock::new(Arc::new(sky)));
+        // Batch jobs run against the same catalog slot the handlers read:
+        // each job snapshots the current Arc, so jobs see a consistent
+        // catalog for their whole run and admin writes wait for them
+        // (exactly like in-flight interactive requests).
+        let job_slot = Arc::clone(&sky);
+        let runner: Arc<JobRunner> = Arc::new(move |sql, limits, monitor| {
+            let snapshot = job_slot.read().unwrap().clone();
+            snapshot
+                .execute_batch(sql, limits, monitor)
+                .map(|outcome| outcome.result)
+        });
         Arc::new(SkyServerSite {
-            sky: RwLock::new(Arc::new(sky)),
+            sky,
             log: Mutex::new(Vec::new()),
             started: Instant::now(),
             session_counter: AtomicU64::new(0),
-            cache: ResultCache::new(cache_capacity),
+            cache: ResultCache::with_byte_budget(cache_capacity, RESULT_CACHE_BYTE_BUDGET),
+            jobs: JobQueue::start(job_config, runner),
         })
+    }
+
+    /// The batch-query job tier (submit/status/fetch/cancel also have HTTP
+    /// endpoints under `/x_job/`).
+    pub fn jobs(&self) -> &JobQueue {
+        &self.jobs
     }
 
     /// A read snapshot of the server.  The returned `Arc` stays valid for
@@ -67,8 +109,16 @@ impl SkyServerSite {
     /// Takes the write lock — blocking new requests — waits for in-flight
     /// request snapshots to drop, runs `f`, and clears the result cache so
     /// no stale rendering survives the write.
+    ///
+    /// Running **batch jobs** hold catalog snapshots too; rather than wait
+    /// out a scan that may run for minutes (stalling every new request
+    /// behind the write lock), the admin path cancels running jobs — they
+    /// end `Cancelled`, queued jobs survive and run against the new
+    /// catalog.  Stored job results are deliberately *not* invalidated: a
+    /// job's result reflects the catalog at its run time.
     pub fn with_admin<R>(&self, f: impl FnOnce(&mut SkyServer) -> R) -> R {
         let mut slot = self.sky.write().unwrap();
+        self.jobs.cancel_running();
         loop {
             // In-flight requests hold clones of the Arc; once they finish
             // (new ones are blocked on the write lock) we get exclusivity.
@@ -87,6 +137,8 @@ impl SkyServerSite {
     /// from the old catalog could repopulate the cache *after* the clear.
     pub fn replace(&self, sky: SkyServer) {
         let mut slot = self.sky.write().unwrap();
+        // As in `with_admin`: don't wait out running batch scans.
+        self.jobs.cancel_running();
         while Arc::strong_count(&slot) > 1 {
             std::thread::sleep(std::time::Duration::from_millis(1));
         }
@@ -157,6 +209,11 @@ impl SkyServerSite {
                 self.schema_browser()
             }
             "/traffic" => self.traffic_page(),
+            "/x_job/submit" => self.job_submit(req),
+            "/x_job/status" => self.job_status(req),
+            "/x_job/fetch" => self.job_fetch(req),
+            "/x_job/cancel" => self.job_cancel(req),
+            "/tools/jobs" => self.my_jobs(req),
             _ => Response::not_found(&req.path),
         }
     }
@@ -179,6 +236,7 @@ impl SkyServerSite {
              <li><a href=\"/{lang}/tools/places\">Famous places</a></li>\
              <li><a href=\"/{lang}/tools/navi?ra=181&dec=-0.8&zoom=1\">Navigate the sky</a></li>\
              <li><a href=\"/{lang}/tools/search/x_sql?cmd=select top 10 objID, ra, dec from PhotoObj\">SQL search</a></li>\
+             <li><a href=\"/{lang}/tools/jobs\">My Jobs (batch queries)</a></li>\
              <li><a href=\"/{lang}/help/browser\">Schema browser</a></li>\
              </ul></body></html>"
         ))
@@ -326,7 +384,158 @@ impl SkyServerSite {
             serde_json::json!({ "requests": log.len() }).to_string(),
         )
     }
+
+    // ----------------------------------------------------------------------
+    // The batch-query job endpoints (the CasJobs surface).
+    // ----------------------------------------------------------------------
+
+    /// `/x_job/submit?cmd=...[&submitter=...]`: enqueue a read-only script
+    /// as a batch job and return its id.
+    fn job_submit(&self, req: &Request) -> Response {
+        let Some(sql) = req.param("cmd") else {
+            return Response::bad_request("job submission needs a ?cmd= parameter");
+        };
+        let submitter = req.param("submitter").unwrap_or(ANONYMOUS);
+        match self.jobs.submit(submitter, sql) {
+            Ok(id) => Response::ok(
+                "application/json; charset=utf-8",
+                serde_json::json!({ "job_id": id, "state": "queued" }).to_string(),
+            ),
+            Err(quota) => Response::too_many_requests(&quota),
+        }
+    }
+
+    /// `/x_job/status?id=...`: state + progress + queue position.
+    fn job_status(&self, req: &Request) -> Response {
+        let Some(id) = req.param("id").and_then(|s| s.parse::<u64>().ok()) else {
+            return Response::bad_request("job status needs an integer ?id= parameter");
+        };
+        match self.jobs.status(id) {
+            Some(status) => Response::ok(
+                "application/json; charset=utf-8",
+                job_status_json(&status).to_string(),
+            ),
+            None => Response::not_found(&format!("job {id} (unknown id, or its result expired)")),
+        }
+    }
+
+    /// `/x_job/fetch?id=...[&format=csv|json|xml|fits|grid]`: the stored
+    /// result of a finished job, rendered through the shared formatters.
+    fn job_fetch(&self, req: &Request) -> Response {
+        let Some(id) = req.param("id").and_then(|s| s.parse::<u64>().ok()) else {
+            return Response::bad_request("job fetch needs an integer ?id= parameter");
+        };
+        let format = OutputFormat::parse(req.param("format").unwrap_or("csv"));
+        // Unknown (or TTL-expired) ids are a 404, matching the status
+        // endpoint; a job in the wrong state for fetching is a 400.
+        if self.jobs.status(id).is_none() {
+            return Response::not_found(&format!("job {id} (unknown id, or its result expired)"));
+        }
+        match self.jobs.result(id) {
+            Ok(result) => Response::ok(format.content_type(), format.render(&result)),
+            Err(why) => Response::bad_request(&why),
+        }
+    }
+
+    /// `/x_job/cancel?id=...`: cancel a queued or running job.
+    fn job_cancel(&self, req: &Request) -> Response {
+        let Some(id) = req.param("id").and_then(|s| s.parse::<u64>().ok()) else {
+            return Response::bad_request("job cancel needs an integer ?id= parameter");
+        };
+        match self.jobs.cancel(id) {
+            Some(state) => Response::ok(
+                "application/json; charset=utf-8",
+                serde_json::json!({ "job_id": id, "state": state.as_str() }).to_string(),
+            ),
+            None => Response::not_found(&format!("job {id}")),
+        }
+    }
+
+    /// `/tools/jobs[?submitter=...]`: the "My Jobs" HTML page.
+    fn my_jobs(&self, req: &Request) -> Response {
+        let submitter = req.param("submitter");
+        let jobs = self.jobs.jobs(submitter);
+        let mut html = String::from(
+            "<html><head><title>My Jobs</title></head><body><h1>My Jobs</h1>\
+             <p>Submit long-running SQL as a batch job: \
+             <code>/x_job/submit?cmd=...</code></p>\
+             <table border=\"1\"><tr><th>id</th><th>submitter</th><th>state</th>\
+             <th>queue</th><th>progress</th><th>rows</th><th>actions</th></tr>",
+        );
+        for job in &jobs {
+            let queue = job
+                .queue_position
+                .map(|p| format!("#{}", p + 1))
+                .unwrap_or_default();
+            let rows = job
+                .result_rows
+                .map(|r| {
+                    if job.truncated {
+                        format!("{r} (truncated)")
+                    } else {
+                        r.to_string()
+                    }
+                })
+                .unwrap_or_default();
+            let actions = if job.state.is_finished() {
+                if job.state == crate::jobs::JobState::Done {
+                    format!(
+                        "<a href=\"/x_job/fetch?id={}&format=csv\">fetch csv</a>",
+                        job.id
+                    )
+                } else {
+                    // Error text can echo attacker-controlled SQL fragments
+                    // (string literals survive into parse errors verbatim).
+                    html_escape(job.error.as_deref().unwrap_or_default())
+                }
+            } else {
+                format!("<a href=\"/x_job/cancel?id={}\">cancel</a>", job.id)
+            };
+            html.push_str(&format!(
+                "<tr><td><a href=\"/x_job/status?id={id}\">{id}</a></td><td>{submitter}</td>\
+                 <td>{state}</td><td>{queue}</td><td>{progress} rows</td><td>{rows}</td>\
+                 <td>{actions}</td></tr>",
+                id = job.id,
+                submitter = html_escape(&job.submitter),
+                state = job.state,
+                progress = job.rows_processed,
+            ));
+        }
+        html.push_str("</table></body></html>");
+        Response::html(html)
+    }
 }
+
+impl Drop for SkyServerSite {
+    fn drop(&mut self) {
+        // Stop the batch workers (cancelling any running scan); without
+        // this, worker threads holding `Arc<JobQueue>` would outlive the
+        // site.
+        self.jobs.shutdown();
+    }
+}
+
+/// The JSON rendering of a job status snapshot.
+fn job_status_json(status: &JobStatus) -> serde_json::Value {
+    serde_json::json!({
+        "job_id": status.id,
+        "submitter": status.submitter,
+        "sql": status.sql,
+        "state": status.state.as_str(),
+        "queue_position": status.queue_position,
+        "rows_processed": status.rows_processed,
+        "result_rows": status.result_rows,
+        "result_bytes": status.result_bytes,
+        "truncated": status.truncated,
+        "error": status.error,
+        "waited_seconds": status.waited_seconds,
+        "run_seconds": status.run_seconds,
+    })
+}
+
+/// User-supplied strings on the My Jobs page share the formats module's
+/// element-content escaper.
+use crate::formats::escape_xml as html_escape;
 
 fn sql_error(e: SkyServerError) -> Response {
     Response::bad_request(&format!("query failed: {e}"))
@@ -339,6 +548,8 @@ fn section_of_path(path: &str) -> Section {
         Section::German
     } else if path.contains("/proj/") || path.contains("/edu") {
         Section::Education
+    } else if path.contains("x_job") || path.contains("/tools/jobs") {
+        Section::BatchJobs
     } else if path.contains("places") {
         Section::FamousPlaces
     } else if path.contains("navi") {
@@ -578,6 +789,206 @@ mod tests {
         );
         assert!(log.iter().all(|r| r.section == Section::SqlSearch));
         server.stop();
+    }
+
+    /// The end-to-end batch-tier test over a real socket: submit a job,
+    /// poll it to completion, fetch the CSV; then cancel a long-running
+    /// scan mid-flight and observe `Cancelled` with a halted progress
+    /// counter.  (Also a named CI step, like the §7 concurrency smoke
+    /// test.)
+    #[test]
+    fn http_job_lifecycle_end_to_end() {
+        let site = site();
+        let server = site.serve(0).unwrap();
+        let addr = server.addr();
+        let poll_state = |id: i64| -> (String, u64) {
+            let (status, body) =
+                crate::http::http_get(addr, &format!("/x_job/status?id={id}")).unwrap();
+            assert_eq!(status, 200, "{body}");
+            let json: serde_json::Value = serde_json::from_str(&body).unwrap();
+            (
+                json["state"].as_str().unwrap().to_string(),
+                json["rows_processed"].as_u64().unwrap(),
+            )
+        };
+        let wait_for_state = |id: i64, wanted: &str| {
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+            loop {
+                let (state, _) = poll_state(id);
+                if state == wanted {
+                    break;
+                }
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "job {id} stuck before {wanted} (currently {state})"
+                );
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+        };
+
+        // 1. Submit a quick batch query and poll it to completion.
+        let (status, body) = crate::http::http_get(
+            addr,
+            "/x_job/submit?cmd=select+top+20+objID,ra+from+PhotoObj+order+by+objID&submitter=alice",
+        )
+        .unwrap();
+        assert_eq!(status, 200, "{body}");
+        let json: serde_json::Value = serde_json::from_str(&body).unwrap();
+        let quick = json["job_id"].as_i64().unwrap();
+        wait_for_state(quick, "done");
+
+        // 2. Fetch the stored result as CSV through the shared formatters.
+        let (status, csv) =
+            crate::http::http_get(addr, &format!("/x_job/fetch?id={quick}&format=csv")).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(csv.lines().count(), 21, "header + 20 rows:\n{csv}");
+        assert!(csv.lines().next().unwrap().contains("objID"));
+
+        // 3. Submit a long-running scan (millions of paced nested-loop
+        //    probes — it cannot finish before the cancel below).
+        let (status, body) = crate::http::http_get(
+            addr,
+            "/x_job/submit?cmd=select+count(*)+from+PhotoObj+a+join+PhotoObj+b+on+a.objID+%3C+b.objID&submitter=alice",
+        )
+        .unwrap();
+        assert_eq!(status, 200, "{body}");
+        let json: serde_json::Value = serde_json::from_str(&body).unwrap();
+        let slow = json["job_id"].as_i64().unwrap();
+
+        // 4. Wait until it is running and has visible progress, cancel it,
+        //    and observe the Cancelled state.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        loop {
+            let (state, progress) = poll_state(slow);
+            if state == "running" && progress > 0 {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "job {slow} never showed progress ({state}, {progress})"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        let (status, body) =
+            crate::http::http_get(addr, &format!("/x_job/cancel?id={slow}")).unwrap();
+        assert_eq!(status, 200, "{body}");
+        wait_for_state(slow, "cancelled");
+
+        // 5. The scan actually stopped: the progress counter is frozen.
+        let (_, frozen) = poll_state(slow);
+        std::thread::sleep(std::time::Duration::from_millis(40));
+        let (state, after) = poll_state(slow);
+        assert_eq!(state, "cancelled");
+        assert_eq!(after, frozen, "progress advanced after cancellation");
+
+        // 6. Fetching a cancelled job is a clear error, unknown ids 404,
+        //    and the My Jobs page shows both jobs.
+        let (status, body) =
+            crate::http::http_get(addr, &format!("/x_job/fetch?id={slow}")).unwrap();
+        assert_eq!(status, 400);
+        assert!(body.contains("cancelled"), "{body}");
+        let (status, _) = crate::http::http_get(addr, "/x_job/status?id=99999").unwrap();
+        assert_eq!(status, 404);
+        // Fetch agrees with status on unknown ids.
+        let (status, _) = crate::http::http_get(addr, "/x_job/fetch?id=99999").unwrap();
+        assert_eq!(status, 404);
+        let (status, html) = crate::http::http_get(addr, "/tools/jobs?submitter=alice").unwrap();
+        assert_eq!(status, 200);
+        assert!(html.contains("done"), "{html}");
+        assert!(html.contains("cancelled"), "{html}");
+        server.stop();
+    }
+
+    #[test]
+    fn job_writes_are_rejected_and_bad_requests_are_400() {
+        let site = site();
+        // A write submitted as a batch job fails with the read-only error
+        // (jobs run on the engine's shared read path by construction).
+        let id = site
+            .jobs()
+            .submit("mallory", "drop table PhotoObj")
+            .unwrap();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while !site.jobs().status(id).unwrap().state.is_finished() {
+            assert!(std::time::Instant::now() < deadline);
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let status = site.jobs().status(id).unwrap();
+        assert_eq!(status.state, crate::jobs::JobState::Failed);
+        assert!(status.error.as_deref().unwrap().contains("read-only"));
+        // The table survived.
+        let r = get(
+            &site,
+            "/en/tools/search/x_sql?cmd=select+count(*)+from+PhotoObj&format=json",
+        );
+        assert_eq!(r.status, 200);
+        // Malformed endpoint parameters are 400s, not panics.
+        assert_eq!(get(&site, "/x_job/submit").status, 400);
+        assert_eq!(get(&site, "/x_job/status?id=abc").status, 400);
+        assert_eq!(get(&site, "/x_job/cancel").status, 400);
+        assert_eq!(get(&site, "/x_job/fetch").status, 400);
+    }
+
+    #[test]
+    fn admin_writes_cancel_running_batch_jobs_instead_of_waiting() {
+        let site = site();
+        let id = site
+            .jobs()
+            .submit(
+                "ops",
+                "select count(*) from PhotoObj a join PhotoObj b on a.objID < b.objID",
+            )
+            .unwrap();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        loop {
+            let s = site.jobs().status(id).unwrap();
+            if s.state == crate::jobs::JobState::Running && s.rows_processed > 0 {
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline);
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        // The scan would run for minutes; the admin write must not wait it
+        // out — it cancels the job and proceeds promptly.
+        let started = std::time::Instant::now();
+        site.with_admin(|sky| {
+            sky.execute("create table admin_probe (id bigint not null)")
+                .unwrap();
+        });
+        assert!(
+            started.elapsed() < std::time::Duration::from_secs(10),
+            "admin write waited out the batch scan"
+        );
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while !site.jobs().status(id).unwrap().state.is_finished() {
+            assert!(std::time::Instant::now() < deadline);
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        assert_eq!(
+            site.jobs().status(id).unwrap().state,
+            crate::jobs::JobState::Cancelled
+        );
+    }
+
+    #[test]
+    fn my_jobs_escapes_html_in_error_messages() {
+        let site = site();
+        // Parse errors echo string literals verbatim, so a submitted query
+        // can smuggle HTML into job.error; the My Jobs page must escape it.
+        let id = site.jobs().submit("eve", "select 1 '<b>boom</b>'").unwrap();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while !site.jobs().status(id).unwrap().state.is_finished() {
+            assert!(std::time::Instant::now() < deadline);
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        assert_eq!(
+            site.jobs().status(id).unwrap().state,
+            crate::jobs::JobState::Failed
+        );
+        let r = get(&site, "/tools/jobs");
+        let html = String::from_utf8(r.body).unwrap();
+        assert!(!html.contains("<b>boom</b>"), "unescaped error:\n{html}");
+        assert!(html.contains("&lt;b&gt;boom&lt;/b&gt;"), "{html}");
     }
 
     #[test]

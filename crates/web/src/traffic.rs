@@ -18,14 +18,25 @@ use rand_chacha::ChaCha8Rng;
 /// Site sections, used to attribute traffic the way §7 does.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum Section {
+    /// The home page.
     Home,
+    /// The famous-places gallery.
     FamousPlaces,
+    /// The pan/zoom navigation tool.
     Navigator,
+    /// The object explorer.
     Explorer,
+    /// The SQL search pages.
     SqlSearch,
+    /// The asynchronous batch-query endpoints (`/x_job/*`, My Jobs).
+    BatchJobs,
+    /// The education projects.
     Education,
+    /// The Japanese sub-web.
     Japanese,
+    /// The German sub-web.
     German,
+    /// Help and documentation (incl. the schema browser).
     Help,
 }
 
@@ -47,6 +58,7 @@ pub struct LogRecord {
 /// Traffic simulation parameters (defaults reproduce §7).
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct TrafficConfig {
+    /// RNG seed (the simulation is deterministic per seed).
     pub seed: u64,
     /// Number of days to simulate (the paper covers ~7 months).
     pub days: u32,
@@ -187,23 +199,34 @@ fn pick_section(rng: &mut ChaCha8Rng, config: &TrafficConfig, crawler: bool) -> 
 /// One day of the Figure 5 series.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
 pub struct DailyTraffic {
+    /// Day index since the site opened (0-based).
     pub day: u32,
+    /// Raw HTTP hits (pages + embedded assets).
     pub hits: u64,
+    /// Full page views.
     pub page_views: u64,
+    /// Distinct sessions.
     pub sessions: u64,
 }
 
 /// The §7 summary plus the Figure 5 daily series.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct TrafficReport {
+    /// The Figure 5 daily series.
     pub daily: Vec<DailyTraffic>,
+    /// Hits over the whole period.
     pub total_hits: u64,
+    /// Page views over the whole period.
     pub total_page_views: u64,
+    /// Sessions over the whole period.
     pub total_sessions: u64,
-    /// Fraction of page views in each special section.
+    /// Fraction of page views in the education section.
     pub education_share: f64,
+    /// Fraction of page views in the Japanese sub-web.
     pub japanese_share: f64,
+    /// Fraction of page views in the German sub-web.
     pub german_share: f64,
+    /// Fraction of raw hits from crawlers.
     pub crawler_share: f64,
     /// Average page views per day over the period.
     pub pages_per_day: f64,
