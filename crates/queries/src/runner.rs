@@ -32,6 +32,16 @@ pub struct QueryReport {
     pub rules_fired: Vec<String>,
     /// Violated invariants (empty = the query behaved as documented).
     pub violations: Vec<String>,
+    /// Heap rows read by full scans (raw counter; `BENCH_SQL.json` tracks
+    /// this so executor refactors cannot silently change the access
+    /// pattern).
+    pub rows_scanned: u64,
+    /// Rows read through indices (seeks and covering scans).
+    pub rows_from_index: u64,
+    /// Predicate evaluations performed.
+    pub predicates_evaluated: u64,
+    /// Heap bytes read by full scans.
+    pub bytes_scanned: u64,
 }
 
 /// Run one query and build its report.
@@ -65,6 +75,10 @@ pub fn run_query(server: &mut SkyServer, query: &QuerySpec) -> Result<QueryRepor
         plan_class,
         rules_fired: summary.rules_fired.iter().map(|r| r.to_string()).collect(),
         violations,
+        rows_scanned: stats.stats.rows_scanned,
+        rows_from_index: stats.stats.rows_from_index,
+        predicates_evaluated: stats.stats.predicates_evaluated,
+        bytes_scanned: stats.stats.bytes_scanned,
     })
 }
 

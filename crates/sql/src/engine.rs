@@ -55,6 +55,10 @@ pub struct SqlEngine {
     capture_plans: bool,
     /// Row-count threshold the optimizer's parallel-scan rule uses.
     parallel_scan_threshold: usize,
+    /// Compile expressions into ordinal-resolved programs at plan time
+    /// (default).  Off = interpret every expression per row; kept as the
+    /// measurable baseline for `sql_bench`.
+    compile_expressions: bool,
     /// Cumulative execution counters (atomics: bumped through `&self` by
     /// concurrent readers).
     counters: EngineCounters,
@@ -101,6 +105,7 @@ impl SqlEngine {
             variables: RwLock::new(HashMap::new()),
             capture_plans: false,
             parallel_scan_threshold: crate::planner::PARALLEL_SCAN_THRESHOLD,
+            compile_expressions: true,
             counters: EngineCounters::default(),
         }
     }
@@ -109,6 +114,15 @@ impl SqlEngine {
     fn planner(&self) -> Planner<'_> {
         Planner::new(&self.db, &self.functions)
             .with_parallel_scan_threshold(self.parallel_scan_threshold)
+            .with_expression_compilation(self.compile_expressions)
+    }
+
+    /// Enable or disable compiled expression programs (on by default).
+    /// Disabling drops the executor back to per-row interpretation — the
+    /// baseline `sql_bench` records its compiled-vs-interpreted comparison
+    /// against.
+    pub fn set_expression_compilation(&mut self, compile: bool) {
+        self.compile_expressions = compile;
     }
 
     /// Override the table size at which heap scans go parallel (tests and

@@ -1,0 +1,10 @@
+//! Execution-time machinery that sits between the planner and the
+//! interpreter: compiled expression programs (see [`compile`]).
+//!
+//! The plan finalizer compiles every hot predicate, join key and projection
+//! into a [`compile::CompiledExpr`] program; the executor runs those
+//! programs per row and only falls back to the tree-walking interpreter in
+//! [`crate::expr`] when a program could not be built (unknown column,
+//! compilation disabled for benchmarking).
+
+pub mod compile;

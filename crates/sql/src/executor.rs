@@ -9,16 +9,31 @@
 //! scans granted a limit hint stop reading early.  When a
 //! [`QueryMonitor`] is attached, every scan and join loop reports progress
 //! and honours cancellation/pacing at [`MONITOR_BATCH`]-row granularity.
+//!
+//! Execution is **compiled first**: the planner finalizer attaches
+//! [`CompiledPrograms`] (ordinal-resolved, constant-folded expression
+//! programs — see [`crate::exec::compile`]) to the plan, and every hot loop
+//! here runs the program for its predicate / join key / projection.  The
+//! tree-walking interpreter in [`crate::expr`] remains the fallback for any
+//! slot that could not be compiled (late-bound columns, compilation
+//! disabled for benchmarking) — both paths share one semantics, so they mix
+//! freely.  Scans practice **late materialization**: rows stream borrowed
+//! from storage, the filter runs *before* any copy, and single-table plans
+//! without joins/sort/aggregation project straight into the output row, so
+//! a rejected row is never cloned at all.
 
 use crate::ast::{Expr, JoinKind};
 use crate::error::SqlError;
+use crate::exec::compile::{
+    collect_aggregates, CompiledAggregate, CompiledExpr, CompiledPrograms, SortKey,
+};
 use crate::expr::{aggregate_key, eval, EvalContext, RowSchema};
 use crate::functions::FunctionRegistry;
 use crate::monitor::{QueryMonitor, MONITOR_BATCH};
 use crate::plan::{AccessPath, JoinStrategy, SelectPlan, SourceKind, SourcePlan};
 use crate::result::ResultSet;
 use skyserver_storage::{Database, IndexKey, ScanStats, Value};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::HashMap;
 use std::time::Instant;
 
 /// Row-count / time budgets (the public SkyServer limits queries to 1,000
@@ -43,6 +58,137 @@ impl QueryLimits {
         max_rows: Some(1000),
         max_seconds: Some(30.0),
     };
+}
+
+/// A per-row predicate: the compiled program when one was built, the
+/// interpreter otherwise, or nothing.
+enum RowFilter<'a> {
+    None,
+    Compiled(&'a CompiledExpr),
+    Interpreted(&'a Expr),
+}
+
+impl<'a> RowFilter<'a> {
+    fn new(compiled: Option<&'a CompiledExpr>, expr: Option<&'a Expr>) -> Self {
+        match (compiled, expr) {
+            (Some(c), _) => RowFilter::Compiled(c),
+            (None, Some(e)) => RowFilter::Interpreted(e),
+            (None, None) => RowFilter::None,
+        }
+    }
+
+    fn is_some(&self) -> bool {
+        !matches!(self, RowFilter::None)
+    }
+
+    #[inline]
+    fn accepts(&self, row: &[Value], ctx: &EvalContext<'_>) -> Result<bool, SqlError> {
+        match self {
+            RowFilter::None => Ok(true),
+            RowFilter::Compiled(p) => Ok(p.eval(row, ctx)?.is_truthy()),
+            RowFilter::Interpreted(e) => Ok(eval(e, row, ctx)?.is_truthy()),
+        }
+    }
+}
+
+/// A per-row value producer: compiled program or interpreted expression.
+enum RowExpr<'a> {
+    Compiled(&'a CompiledExpr),
+    Interpreted(&'a Expr),
+}
+
+impl<'a> RowExpr<'a> {
+    #[inline]
+    fn eval(&self, row: &[Value], ctx: &EvalContext<'_>) -> Result<Value, SqlError> {
+        match self {
+            RowExpr::Compiled(p) => p.eval(row, ctx),
+            RowExpr::Interpreted(e) => eval(e, row, ctx),
+        }
+    }
+}
+
+/// Pair every expression of a list with its compiled program when the whole
+/// list compiled (programs are all-or-nothing per list).
+fn zip_exprs<'a>(
+    compiled: Option<&'a [CompiledExpr]>,
+    exprs: impl ExactSizeIterator<Item = &'a Expr>,
+) -> Vec<RowExpr<'a>> {
+    match compiled {
+        Some(c) if c.len() == exprs.len() => c.iter().map(RowExpr::Compiled).collect(),
+        _ => exprs.map(RowExpr::Interpreted).collect(),
+    }
+}
+
+/// Programs a scan applies while streaming borrowed rows: the pushed filter
+/// and, on the late-materialization fast path, the output projection that
+/// replaces whole-row cloning.
+#[derive(Clone, Copy, Default)]
+struct ScanPrograms<'a> {
+    filter: Option<&'a CompiledExpr>,
+    project: Option<&'a [CompiledExpr]>,
+}
+
+/// Programs of one join step.
+#[derive(Clone, Copy, Default)]
+struct JoinPrograms<'a> {
+    inner_filter: Option<&'a CompiledExpr>,
+    outer_key: Option<&'a CompiledExpr>,
+    hash_keys: Option<&'a (Vec<CompiledExpr>, Vec<CompiledExpr>)>,
+    residual: Option<&'a CompiledExpr>,
+}
+
+/// The full heap schema of a base table, qualified by its alias — what
+/// heap/parallel/seek scans materialize rows with, and what the inner side
+/// of an index-lookup join uses (it fetches whole heap rows by RowId
+/// regardless of the source's planned access path).
+///
+/// This is THE definition of the runtime row layout: the planner's program
+/// compiler resolves ordinals through these same functions, so the executor
+/// and the compiled programs cannot drift apart.
+pub(crate) fn heap_schema(db: &Database, alias: &str, table: &str) -> Result<RowSchema, SqlError> {
+    let t = db.table(table)?;
+    Ok(RowSchema::for_table(
+        Some(alias),
+        &t.schema().column_names(),
+    ))
+}
+
+/// The schema a table scan materializes rows with for a given access path:
+/// covering scans produce the covered column subset, everything else the
+/// full heap schema.  Shared with the planner's program compiler (see
+/// [`heap_schema`]).
+pub(crate) fn scan_schema(
+    db: &Database,
+    alias: &str,
+    table: &str,
+    path: &AccessPath,
+) -> Result<RowSchema, SqlError> {
+    match path {
+        AccessPath::CoveringIndexScan { index } => {
+            let idx = db
+                .index(table, index)
+                .ok_or_else(|| SqlError::Plan(format!("index {index} disappeared")))?;
+            let covered: Vec<&str> = idx.def().covered_columns();
+            Ok(RowSchema::for_table(Some(alias), &covered))
+        }
+        _ => heap_schema(db, alias, table),
+    }
+}
+
+fn source_program(programs: Option<&CompiledPrograms>, index: usize) -> Option<&CompiledExpr> {
+    programs.and_then(|p| p.source_predicates.get(index).and_then(Option::as_ref))
+}
+
+fn join_programs<'a>(programs: Option<&'a CompiledPrograms>, index: usize) -> JoinPrograms<'a> {
+    let Some(p) = programs else {
+        return JoinPrograms::default();
+    };
+    JoinPrograms {
+        inner_filter: p.source_predicates.get(index + 1).and_then(Option::as_ref),
+        outer_key: p.join_outer_keys.get(index).and_then(Option::as_ref),
+        hash_keys: p.join_hash_keys.get(index).and_then(Option::as_ref),
+        residual: p.join_residuals.get(index).and_then(Option::as_ref),
+    }
 }
 
 /// Executes SELECT plans.
@@ -174,29 +320,94 @@ impl<'a> Executor<'a> {
         }
     }
 
+    /// Produce one output row from a borrowed storage row: either evaluate
+    /// the compiled projection straight into the output (fast path) or
+    /// materialise the row as-is.
+    #[inline]
+    fn emit(
+        &self,
+        row: &[Value],
+        project: Option<&[CompiledExpr]>,
+        ctx: &EvalContext<'_>,
+    ) -> Result<Vec<Value>, SqlError> {
+        match project {
+            Some(programs) => {
+                let mut out = Vec::with_capacity(programs.len());
+                for p in programs {
+                    out.push(p.eval(row, ctx)?);
+                }
+                Ok(out)
+            }
+            None => Ok(row.to_vec()),
+        }
+    }
+
     /// Execute a SELECT plan to completion.
     pub fn execute_select(&self, plan: &SelectPlan) -> Result<ExecutedSelect, SqlError> {
         let mut stats = ScanStats::default();
+        let programs = plan.programs.as_ref();
+        // ------------------------------------------------------------------
+        // Late-materialization fast path: a single base-table source with no
+        // joins, residual, aggregation or sort.  The compiled filter runs on
+        // the borrowed storage row and survivors are projected directly into
+        // the output — rejected rows are never copied, and TOP-n stops the
+        // scan without materialising anything extra.
+        // ------------------------------------------------------------------
+        if let Some(p) = programs {
+            let streamable = plan.joins.is_empty()
+                && plan.residual.is_none()
+                && !plan.has_aggregates
+                && plan.group_by.is_empty()
+                && plan.order_by.is_empty()
+                && plan.sources.len() == 1
+                && matches!(plan.sources[0].kind, SourceKind::Table { .. });
+            if streamable {
+                if let Some(proj) = p.projections.as_deref() {
+                    let scan = ScanPrograms {
+                        filter: source_program(programs, 0),
+                        project: Some(proj),
+                    };
+                    let (rows, _schema) =
+                        self.execute_source(&plan.sources[0], scan, &mut stats)?;
+                    self.check_time()?;
+                    return Ok(self.finish(plan, rows, stats));
+                }
+            }
+        }
         // ------------------------------------------------------------------
         // FROM pipeline.
         // ------------------------------------------------------------------
         let (mut rows, mut schema) = if plan.sources.is_empty() {
             (vec![Vec::new()], RowSchema::default())
         } else {
-            self.execute_source(&plan.sources[0], &mut stats)?
+            let scan = ScanPrograms {
+                filter: source_program(programs, 0),
+                project: None,
+            };
+            self.execute_source(&plan.sources[0], scan, &mut stats)?
         };
         for (i, step) in plan.joins.iter().enumerate() {
             self.check_time()?;
             let inner = &plan.sources[i + 1];
-            let (joined_rows, joined_schema) =
-                self.execute_join(rows, &schema, inner, step, &mut stats)?;
+            let (joined_rows, joined_schema) = self.execute_join(
+                rows,
+                &schema,
+                inner,
+                step,
+                join_programs(programs, i),
+                &mut stats,
+            )?;
             rows = joined_rows;
             schema = joined_schema;
         }
         // ------------------------------------------------------------------
         // Residual filter.
         // ------------------------------------------------------------------
-        if let Some(pred) = &plan.residual {
+        if plan.residual.is_some() {
+            let filter = RowFilter::new(
+                programs.and_then(|p| p.residual.as_ref()),
+                plan.residual.as_ref(),
+            );
             let ctx = self.ctx(&schema);
             let mut kept = Vec::with_capacity(rows.len());
             let mut pending = 0u64;
@@ -205,7 +416,7 @@ impl<'a> Executor<'a> {
                 // joins that produced them; only check cancel/time/pace.
                 self.tick_quiet(&mut pending)?;
                 stats.predicates_evaluated += 1;
-                if eval(pred, &row, &ctx)?.is_truthy() {
+                if filter.accepts(&row, &ctx)? {
                     kept.push(row);
                 }
             }
@@ -217,47 +428,65 @@ impl<'a> Executor<'a> {
         // ------------------------------------------------------------------
         let mut projected: Vec<(Vec<Value>, Vec<Value>)> =
             if plan.has_aggregates || !plan.group_by.is_empty() {
-                self.aggregate(plan, &schema, rows)?
+                self.aggregate(plan, &schema, rows, programs)?
             } else {
                 let ctx = self.ctx(&schema);
+                let projections = zip_exprs(
+                    programs.and_then(|p| p.projections.as_deref()),
+                    plan.projections.iter().map(|(e, _)| e),
+                );
                 let mut out = Vec::with_capacity(rows.len());
                 for row in rows {
-                    let mut proj = Vec::with_capacity(plan.projections.len());
-                    for (expr, _) in &plan.projections {
-                        proj.push(eval(expr, &row, &ctx)?);
+                    let mut proj = Vec::with_capacity(projections.len());
+                    for p in &projections {
+                        proj.push(p.eval(&row, &ctx)?);
                     }
                     out.push((row, proj));
                 }
                 out
             };
         // ------------------------------------------------------------------
-        // ORDER BY, DISTINCT, TOP.
+        // ORDER BY.
         // ------------------------------------------------------------------
         if !plan.order_by.is_empty() {
+            let ctx = self.ctx(&schema);
+            let sort_programs = programs.and_then(|p| p.order_by.as_deref());
             let output_names: Vec<&str> =
                 plan.projections.iter().map(|(_, n)| n.as_str()).collect();
-            let ctx = self.ctx(&schema);
             // (sort keys, (input row, projected row))
             type KeyedRow = (Vec<Value>, (Vec<Value>, Vec<Value>));
             let mut keyed: Vec<KeyedRow> = Vec::with_capacity(projected.len());
             for (row, proj) in projected {
                 let mut keys = Vec::with_capacity(plan.order_by.len());
-                for item in &plan.order_by {
-                    // ORDER BY can name an output alias or any input column.
-                    let key = match &item.expr {
-                        Expr::Column {
-                            qualifier: None,
-                            name,
-                        } if output_names.iter().any(|n| n.eq_ignore_ascii_case(name)) => {
-                            let idx = output_names
-                                .iter()
-                                .position(|n| n.eq_ignore_ascii_case(name))
-                                .expect("checked above");
-                            proj[idx].clone()
+                match sort_programs {
+                    Some(sort_keys) => {
+                        for sk in sort_keys {
+                            keys.push(match sk {
+                                SortKey::Output(idx) => proj[*idx].clone(),
+                                SortKey::Input(program) => program.eval(&row, &ctx)?,
+                            });
                         }
-                        e => eval(e, &row, &ctx)?,
-                    };
-                    keys.push(key);
+                    }
+                    None => {
+                        for item in &plan.order_by {
+                            // ORDER BY can name an output alias or any input
+                            // column.
+                            let key = match &item.expr {
+                                Expr::Column {
+                                    qualifier: None,
+                                    name,
+                                } if output_names.iter().any(|n| n.eq_ignore_ascii_case(name)) => {
+                                    let idx = output_names
+                                        .iter()
+                                        .position(|n| n.eq_ignore_ascii_case(name))
+                                        .expect("checked above");
+                                    proj[idx].clone()
+                                }
+                                e => eval(e, &row, &ctx)?,
+                            };
+                            keys.push(key);
+                        }
+                    }
                 }
                 keyed.push((keys, (row, proj)));
             }
@@ -273,16 +502,30 @@ impl<'a> Executor<'a> {
             });
             projected = keyed.into_iter().map(|(_, rp)| rp).collect();
         }
-        let mut final_rows: Vec<Vec<Value>> = projected.into_iter().map(|(_, p)| p).collect();
+        let final_rows: Vec<Vec<Value>> = projected.into_iter().map(|(_, p)| p).collect();
+        Ok(self.finish(plan, final_rows, stats))
+    }
+
+    /// The shared tail of every SELECT: DISTINCT, TOP, the row-budget
+    /// truncation, and the result assembly.
+    fn finish(
+        &self,
+        plan: &SelectPlan,
+        mut final_rows: Vec<Vec<Value>>,
+        mut stats: ScanStats,
+    ) -> ExecutedSelect {
         if plan.distinct {
-            let mut seen = BTreeMap::new();
-            let mut deduped = Vec::with_capacity(final_rows.len());
+            // Hash-based dedupe preserving first-occurrence order.  Rows
+            // move into the map (duplicates are simply dropped) and move
+            // back out sorted by insertion rank — no clones at all.
+            let mut seen: HashMap<Vec<Value>, usize> = HashMap::with_capacity(final_rows.len());
             for row in final_rows {
-                if seen.insert(row.clone(), ()).is_none() {
-                    deduped.push(row);
-                }
+                let rank = seen.len();
+                seen.entry(row).or_insert(rank);
             }
-            final_rows = deduped;
+            let mut ordered: Vec<(Vec<Value>, usize)> = seen.into_iter().collect();
+            ordered.sort_unstable_by_key(|(_, rank)| *rank);
+            final_rows = ordered.into_iter().map(|(row, _)| row).collect();
         }
         if let Some(top) = plan.top {
             final_rows.truncate(top as usize);
@@ -295,14 +538,14 @@ impl<'a> Executor<'a> {
             }
         }
         stats.rows_returned = final_rows.len() as u64;
-        Ok(ExecutedSelect {
+        ExecutedSelect {
             result: ResultSet {
                 columns: plan.projections.iter().map(|(_, n)| n.clone()).collect(),
                 rows: final_rows,
                 truncated,
             },
             stats,
-        })
+        }
     }
 
     // ----------------------------------------------------------------------
@@ -312,10 +555,11 @@ impl<'a> Executor<'a> {
     fn execute_source(
         &self,
         source: &SourcePlan,
+        scan: ScanPrograms<'_>,
         stats: &mut ScanStats,
     ) -> Result<(Vec<Vec<Value>>, RowSchema), SqlError> {
         match &source.kind {
-            SourceKind::Table { table, path } => self.scan_table(table, path, source, stats),
+            SourceKind::Table { table, path } => self.scan_table(table, path, source, scan, stats),
             SourceKind::TableFunction { name, args } => {
                 let tf = self
                     .functions
@@ -330,13 +574,14 @@ impl<'a> Executor<'a> {
                 let result = (tf.func)(self.db, &arg_values)?;
                 let mut rows = result.rows;
                 // Apply any pushed predicate over the TVF output.
-                if let Some(pred) = &source.pushed_predicate {
+                if source.pushed_predicate.is_some() {
+                    let filter = RowFilter::new(scan.filter, source.pushed_predicate.as_ref());
                     let ctx = self.ctx(&source.schema);
                     rows = rows
                         .into_iter()
-                        .filter_map(|r| match eval(pred, &r, &ctx) {
-                            Ok(v) if v.is_truthy() => Some(Ok(r)),
-                            Ok(_) => None,
+                        .filter_map(|r| match filter.accepts(&r, &ctx) {
+                            Ok(true) => Some(Ok(r)),
+                            Ok(false) => None,
                             Err(e) => Some(Err(e)),
                         })
                         .collect::<Result<_, _>>()?;
@@ -348,13 +593,14 @@ impl<'a> Executor<'a> {
                 let executed = self.execute_select(plan)?;
                 stats.merge(&executed.stats);
                 let mut rows = executed.result.rows;
-                if let Some(pred) = &source.pushed_predicate {
+                if source.pushed_predicate.is_some() {
+                    let filter = RowFilter::new(scan.filter, source.pushed_predicate.as_ref());
                     let ctx = self.ctx(&source.schema);
                     rows = rows
                         .into_iter()
-                        .filter_map(|r| match eval(pred, &r, &ctx) {
-                            Ok(v) if v.is_truthy() => Some(Ok(r)),
-                            Ok(_) => None,
+                        .filter_map(|r| match filter.accepts(&r, &ctx) {
+                            Ok(true) => Some(Ok(r)),
+                            Ok(false) => None,
                             Err(e) => Some(Err(e)),
                         })
                         .collect::<Result<_, _>>()?;
@@ -369,13 +615,15 @@ impl<'a> Executor<'a> {
         table: &str,
         path: &AccessPath,
         source: &SourcePlan,
+        scan: ScanPrograms<'_>,
         stats: &mut ScanStats,
     ) -> Result<(Vec<Vec<Value>>, RowSchema), SqlError> {
         let t = self.db.table(table)?;
-        let full_schema = RowSchema::for_table(Some(&source.alias), &t.schema().column_names());
+        let full_schema = heap_schema(self.db, &source.alias, table)?;
         match path {
             AccessPath::HeapScan => {
-                let pred = source.pushed_predicate.as_ref();
+                let filter = RowFilter::new(scan.filter, source.pushed_predicate.as_ref());
+                let has_filter = filter.is_some();
                 let avg = t.avg_row_bytes().max(1);
                 let ctx = self.ctx(&full_schema);
                 let mut out = Vec::new();
@@ -384,13 +632,13 @@ impl<'a> Executor<'a> {
                 for (_, row) in t.iter() {
                     scanned += 1;
                     self.tick(&mut pending)?;
-                    if let Some(p) = pred {
+                    if has_filter {
                         stats.predicates_evaluated += 1;
-                        if !eval(p, row, &ctx)?.is_truthy() {
+                        if !filter.accepts(row, &ctx)? {
                             continue;
                         }
                     }
-                    out.push(row.to_vec());
+                    out.push(self.emit(row, scan.project, &ctx)?);
                     if source.limit_hint.is_some_and(|l| out.len() as u64 >= l) {
                         break;
                     }
@@ -401,7 +649,6 @@ impl<'a> Executor<'a> {
                 Ok((out, full_schema))
             }
             AccessPath::ParallelHeapScan { workers } => {
-                let pred = source.pushed_predicate.as_ref();
                 let avg = t.avg_row_bytes().max(1);
                 // Count only this scan's rows towards its byte volume; the
                 // stats accumulator already carries earlier sources.
@@ -409,7 +656,8 @@ impl<'a> Executor<'a> {
                 let rows = self.parallel_heap_scan(
                     t,
                     &full_schema,
-                    pred,
+                    source,
+                    scan,
                     *workers,
                     source.limit_hint,
                     stats,
@@ -452,6 +700,8 @@ impl<'a> Executor<'a> {
                 };
                 stats.index_seeks += 1;
                 let avg = t.avg_row_bytes().max(1);
+                let filter = RowFilter::new(scan.filter, source.pushed_predicate.as_ref());
+                let has_filter = filter.is_some();
                 let ctx = self.ctx(&full_schema);
                 let mut out = Vec::new();
                 let mut pending = 0u64;
@@ -460,13 +710,13 @@ impl<'a> Executor<'a> {
                     let Some(row) = t.get(row_id) else { continue };
                     stats.rows_from_index += 1;
                     stats.bytes_from_index += avg;
-                    if let Some(p) = &source.pushed_predicate {
+                    if has_filter {
                         stats.predicates_evaluated += 1;
-                        if !eval(p, row, &ctx)?.is_truthy() {
+                        if !filter.accepts(row, &ctx)? {
                             continue;
                         }
                     }
-                    out.push(row.to_vec());
+                    out.push(self.emit(row, scan.project, &ctx)?);
                     if source.limit_hint.is_some_and(|l| out.len() as u64 >= l) {
                         break;
                     }
@@ -479,8 +729,9 @@ impl<'a> Executor<'a> {
                     .db
                     .index(table, index)
                     .ok_or_else(|| SqlError::Plan(format!("index {index} disappeared")))?;
-                let covered: Vec<&str> = idx.def().covered_columns();
-                let schema = RowSchema::for_table(Some(&source.alias), &covered);
+                let schema = scan_schema(self.db, &source.alias, table, path)?;
+                let filter = RowFilter::new(scan.filter, source.pushed_predicate.as_ref());
+                let has_filter = filter.is_some();
                 let ctx = self.ctx(&schema);
                 let entry_bytes = if !idx.is_empty() {
                     (idx.bytes() / idx.len() as u64).max(1)
@@ -489,19 +740,27 @@ impl<'a> Executor<'a> {
                 };
                 let mut out = Vec::new();
                 let mut pending = 0u64;
+                // The covering entry is assembled into a scratch row once
+                // per entry; the filter runs on the scratch before any
+                // further copy is made.
+                let mut scratch: Vec<Value> = Vec::new();
                 for (key, entry) in idx.scan() {
                     self.tick(&mut pending)?;
                     stats.rows_from_index += 1;
                     stats.bytes_from_index += entry_bytes;
-                    let mut row: Vec<Value> = key.0.clone();
-                    row.extend(entry.included.iter().cloned());
-                    if let Some(p) = &source.pushed_predicate {
+                    scratch.clear();
+                    scratch.extend(key.0.iter().cloned());
+                    scratch.extend(entry.included.iter().cloned());
+                    if has_filter {
                         stats.predicates_evaluated += 1;
-                        if !eval(p, &row, &ctx)?.is_truthy() {
+                        if !filter.accepts(&scratch, &ctx)? {
                             continue;
                         }
                     }
-                    out.push(row);
+                    out.push(match scan.project {
+                        Some(_) => self.emit(&scratch, scan.project, &ctx)?,
+                        None => std::mem::take(&mut scratch),
+                    });
                     if source.limit_hint.is_some_and(|l| out.len() as u64 >= l) {
                         break;
                     }
@@ -512,11 +771,13 @@ impl<'a> Executor<'a> {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn parallel_heap_scan(
         &self,
         t: &skyserver_storage::Table,
         schema: &RowSchema,
-        pred: Option<&Expr>,
+        source: &SourcePlan,
+        scan: ScanPrograms<'_>,
         workers: usize,
         limit_hint: Option<u64>,
         stats: &mut ScanStats,
@@ -542,6 +803,8 @@ impl<'a> Executor<'a> {
                             functions: self.functions,
                             aggregates: None,
                         };
+                        let filter = RowFilter::new(scan.filter, source.pushed_predicate.as_ref());
+                        let has_filter = filter.is_some();
                         let mut out = Vec::new();
                         let mut scanned = 0u64;
                         let mut evaluated = 0u64;
@@ -551,13 +814,13 @@ impl<'a> Executor<'a> {
                             // Each worker reports to (and is cancelled or
                             // paced by) the same shared monitor.
                             self.tick(&mut pending)?;
-                            if let Some(p) = pred {
+                            if has_filter {
                                 evaluated += 1;
-                                if !eval(p, row, &ctx)?.is_truthy() {
+                                if !filter.accepts(row, &ctx)? {
                                     continue;
                                 }
                             }
-                            out.push(row.to_vec());
+                            out.push(self.emit(row, scan.project, &ctx)?);
                             // Each worker may stop at the limit: the
                             // merged result still has at least `limit`
                             // rows whenever the table does.
@@ -595,6 +858,7 @@ impl<'a> Executor<'a> {
         outer_schema: &RowSchema,
         inner: &SourcePlan,
         step: &crate::plan::JoinStep,
+        join: JoinPrograms<'_>,
         stats: &mut ScanStats,
     ) -> Result<(Vec<Vec<Value>>, RowSchema), SqlError> {
         let mut out = Vec::new();
@@ -619,12 +883,20 @@ impl<'a> Executor<'a> {
                         "index {index} does not lead with {inner_column}"
                     )));
                 }
-                let inner_full_schema =
-                    RowSchema::for_table(Some(&inner.alias), &t.schema().column_names());
+                let inner_full_schema = heap_schema(self.db, &inner.alias, table)?;
                 let combined_schema = outer_schema.join(&inner_full_schema);
                 let outer_ctx = self.ctx(outer_schema);
                 let inner_ctx = self.ctx(&inner_full_schema);
                 let combined_ctx = self.ctx(&combined_schema);
+                let key_program = match join.outer_key {
+                    Some(p) => RowExpr::Compiled(p),
+                    None => RowExpr::Interpreted(outer_key),
+                };
+                let inner_filter =
+                    RowFilter::new(join.inner_filter, inner.pushed_predicate.as_ref());
+                let has_inner_filter = inner_filter.is_some();
+                let residual = RowFilter::new(join.residual, step.residual.as_ref());
+                let has_residual = residual.is_some();
                 let avg = t.avg_row_bytes().max(1);
                 let mut pending = 0u64;
                 for outer_row in &outer_rows {
@@ -633,7 +905,7 @@ impl<'a> Executor<'a> {
                     // otherwise a join full of misses would never observe
                     // cancellation or pacing.
                     self.tick(&mut pending)?;
-                    let key = eval(outer_key, outer_row, &outer_ctx)?;
+                    let key = key_program.eval(outer_row, &outer_ctx)?;
                     stats.index_seeks += 1;
                     // Prefix seek: composite indexes (run, camcol, field)
                     // still serve equality probes on their leading column.
@@ -646,17 +918,17 @@ impl<'a> Executor<'a> {
                         };
                         stats.rows_from_index += 1;
                         stats.bytes_from_index += avg;
-                        if let Some(p) = &inner.pushed_predicate {
+                        if has_inner_filter {
                             stats.predicates_evaluated += 1;
-                            if !eval(p, inner_row, &inner_ctx)?.is_truthy() {
+                            if !inner_filter.accepts(inner_row, &inner_ctx)? {
                                 continue;
                             }
                         }
                         let mut combined = outer_row.clone();
                         combined.extend(inner_row.iter().cloned());
-                        if let Some(r) = &step.residual {
+                        if has_residual {
                             stats.predicates_evaluated += 1;
-                            if !eval(r, &combined, &combined_ctx)?.is_truthy() {
+                            if !residual.accepts(&combined, &combined_ctx)? {
                                 continue;
                             }
                         }
@@ -678,13 +950,27 @@ impl<'a> Executor<'a> {
                 outer_keys,
                 inner_keys,
             } => {
-                let (inner_rows, inner_schema) = self.execute_source(inner, stats)?;
+                let inner_scan = ScanPrograms {
+                    filter: join.inner_filter,
+                    project: None,
+                };
+                let (inner_rows, inner_schema) = self.execute_source(inner, inner_scan, stats)?;
                 let inner_ctx = self.ctx(&inner_schema);
-                let mut hash: BTreeMap<Vec<Value>, Vec<usize>> = BTreeMap::new();
+                let (outer_programs, inner_programs) = match join.hash_keys {
+                    Some((o, i)) => (Some(o.as_slice()), Some(i.as_slice())),
+                    None => (None, None),
+                };
+                let build_keys = zip_exprs(inner_programs, inner_keys.iter());
+                let probe_keys = zip_exprs(outer_programs, outer_keys.iter());
+                // Hashed build side: equal keys hash equally across numeric
+                // types (see the `Hash` impl on `Value`), floats key on
+                // their total-order bits.
+                let mut hash: HashMap<Vec<Value>, Vec<usize>> =
+                    HashMap::with_capacity(inner_rows.len());
                 for (i, row) in inner_rows.iter().enumerate() {
-                    let key: Vec<Value> = inner_keys
+                    let key: Vec<Value> = build_keys
                         .iter()
-                        .map(|k| eval(k, row, &inner_ctx))
+                        .map(|k| k.eval(row, &inner_ctx))
                         .collect::<Result<_, _>>()?;
                     if key.iter().any(Value::is_null) {
                         continue;
@@ -694,14 +980,16 @@ impl<'a> Executor<'a> {
                 let combined_schema = outer_schema.join(&inner_schema);
                 let outer_ctx = self.ctx(outer_schema);
                 let combined_ctx = self.ctx(&combined_schema);
+                let residual = RowFilter::new(join.residual, step.residual.as_ref());
+                let has_residual = residual.is_some();
                 let mut pending = 0u64;
                 for outer_row in &outer_rows {
                     self.check_time()?;
                     // One tick per probe, matches or not (see above).
                     self.tick(&mut pending)?;
-                    let key: Vec<Value> = outer_keys
+                    let key: Vec<Value> = probe_keys
                         .iter()
-                        .map(|k| eval(k, outer_row, &outer_ctx))
+                        .map(|k| k.eval(outer_row, &outer_ctx))
                         .collect::<Result<_, _>>()?;
                     let mut matched = false;
                     if !key.iter().any(Value::is_null) {
@@ -711,9 +999,9 @@ impl<'a> Executor<'a> {
                                 stats.join_probes += 1;
                                 let mut combined = outer_row.clone();
                                 combined.extend(inner_rows[i].iter().cloned());
-                                if let Some(r) = &step.residual {
+                                if has_residual {
                                     stats.predicates_evaluated += 1;
-                                    if !eval(r, &combined, &combined_ctx)?.is_truthy() {
+                                    if !residual.accepts(&combined, &combined_ctx)? {
                                         continue;
                                     }
                                 }
@@ -732,9 +1020,15 @@ impl<'a> Executor<'a> {
                 Ok((out, combined_schema))
             }
             JoinStrategy::NestedLoop => {
-                let (inner_rows, inner_schema) = self.execute_source(inner, stats)?;
+                let inner_scan = ScanPrograms {
+                    filter: join.inner_filter,
+                    project: None,
+                };
+                let (inner_rows, inner_schema) = self.execute_source(inner, inner_scan, stats)?;
                 let combined_schema = outer_schema.join(&inner_schema);
                 let ctx = self.ctx(&combined_schema);
+                let residual = RowFilter::new(join.residual, step.residual.as_ref());
+                let has_residual = residual.is_some();
                 let mut pending = 0u64;
                 for outer_row in &outer_rows {
                     self.check_time()?;
@@ -747,9 +1041,9 @@ impl<'a> Executor<'a> {
                         stats.join_probes += 1;
                         let mut combined = outer_row.clone();
                         combined.extend(inner_row.iter().cloned());
-                        if let Some(r) = &step.residual {
+                        if has_residual {
                             stats.predicates_evaluated += 1;
-                            if !eval(r, &combined, &ctx)?.is_truthy() {
+                            if !residual.accepts(&combined, &ctx)? {
                                 continue;
                             }
                         }
@@ -772,8 +1066,119 @@ impl<'a> Executor<'a> {
     // Aggregation
     // ----------------------------------------------------------------------
 
+    /// Group rows and evaluate aggregates.  Dispatches to the compiled
+    /// variant when the finalizer produced programs for every piece, and to
+    /// the interpreter otherwise; both produce groups in ascending key
+    /// order.
     #[allow(clippy::type_complexity)]
     fn aggregate(
+        &self,
+        plan: &SelectPlan,
+        schema: &RowSchema,
+        rows: Vec<Vec<Value>>,
+        programs: Option<&CompiledPrograms>,
+    ) -> Result<Vec<(Vec<Value>, Vec<Value>)>, SqlError> {
+        if let Some(p) = programs {
+            if let (Some(group_by), Some(aggregates), Some(projections)) = (
+                p.group_by.as_ref(),
+                p.aggregates.as_ref(),
+                p.projections.as_ref(),
+            ) {
+                if plan.having.is_none() || p.having.is_some() {
+                    return self.aggregate_compiled(
+                        plan,
+                        schema,
+                        rows,
+                        group_by,
+                        aggregates,
+                        projections,
+                        p.having.as_ref(),
+                    );
+                }
+            }
+        }
+        self.aggregate_interpreted(plan, schema, rows)
+    }
+
+    /// Hash-grouped aggregation over compiled programs: the group key, each
+    /// aggregate argument, HAVING and the projections run without any name
+    /// resolution or per-row key formatting.
+    #[allow(clippy::too_many_arguments, clippy::type_complexity)]
+    fn aggregate_compiled(
+        &self,
+        plan: &SelectPlan,
+        schema: &RowSchema,
+        rows: Vec<Vec<Value>>,
+        group_by: &[CompiledExpr],
+        aggregates: &[CompiledAggregate],
+        projections: &[CompiledExpr],
+        having: Option<&CompiledExpr>,
+    ) -> Result<Vec<(Vec<Value>, Vec<Value>)>, SqlError> {
+        let ctx = self.ctx(schema);
+        let mut groups: HashMap<Vec<Value>, Vec<Vec<Value>>> = HashMap::new();
+        for row in rows {
+            let key: Vec<Value> = group_by
+                .iter()
+                .map(|g| g.eval(&row, &ctx))
+                .collect::<Result<_, _>>()?;
+            groups.entry(key).or_default().push(row);
+        }
+        // A grand aggregate over zero rows still produces one group.
+        if groups.is_empty() && plan.group_by.is_empty() {
+            groups.insert(Vec::new(), Vec::new());
+        }
+        // Ascending key order, exactly like the ordered map the interpreter
+        // used to group with.
+        let mut groups: Vec<(Vec<Value>, Vec<Vec<Value>>)> = groups.into_iter().collect();
+        groups.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        let mut out = Vec::with_capacity(groups.len());
+        for (_key, group_rows) in groups {
+            let mut agg_values: HashMap<String, Value> = HashMap::new();
+            for agg in aggregates {
+                let value = if agg.count_star {
+                    Value::Int(group_rows.len() as i64)
+                } else {
+                    let arg = agg
+                        .arg
+                        .as_ref()
+                        .expect("non-count aggregates always compile with an argument");
+                    let mut values = Vec::with_capacity(group_rows.len());
+                    for row in &group_rows {
+                        let v = arg.eval(row, &ctx)?;
+                        if !v.is_null() {
+                            values.push(v);
+                        }
+                    }
+                    combine_aggregate(&agg.name, &agg.lower, values)?
+                };
+                agg_values.insert(agg.key.clone(), value);
+            }
+            let representative = group_rows
+                .first()
+                .cloned()
+                .unwrap_or_else(|| vec![Value::Null; schema.len()]);
+            let agg_ctx = EvalContext {
+                schema,
+                variables: self.variables,
+                functions: self.functions,
+                aggregates: Some(&agg_values),
+            };
+            if let Some(h) = having {
+                if !h.eval(&representative, &agg_ctx)?.is_truthy() {
+                    continue;
+                }
+            }
+            let mut proj = Vec::with_capacity(projections.len());
+            for p in projections {
+                proj.push(p.eval(&representative, &agg_ctx)?);
+            }
+            out.push((representative, proj));
+        }
+        Ok(out)
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn aggregate_interpreted(
         &self,
         plan: &SelectPlan,
         schema: &RowSchema,
@@ -788,8 +1193,8 @@ impl<'a> Executor<'a> {
             collect_aggregates(h, &mut agg_exprs);
         }
         let ctx = self.ctx(schema);
-        // Group rows.
-        let mut groups: BTreeMap<Vec<Value>, Vec<Vec<Value>>> = BTreeMap::new();
+        // Group rows (ascending key order via a final sort).
+        let mut groups: HashMap<Vec<Value>, Vec<Vec<Value>>> = HashMap::new();
         for row in rows {
             let key: Vec<Value> = plan
                 .group_by
@@ -802,6 +1207,8 @@ impl<'a> Executor<'a> {
         if groups.is_empty() && plan.group_by.is_empty() {
             groups.insert(Vec::new(), Vec::new());
         }
+        let mut groups: Vec<(Vec<Value>, Vec<Vec<Value>>)> = groups.into_iter().collect();
+        groups.sort_unstable_by(|a, b| a.0.cmp(&b.0));
         let mut out = Vec::with_capacity(groups.len());
         for (_key, group_rows) in groups {
             let mut agg_values: HashMap<String, Value> = HashMap::new();
@@ -857,99 +1264,52 @@ impl<'a> Executor<'a> {
                 values.push(v);
             }
         }
-        match lower.as_str() {
-            "count" => Ok(Value::Int(values.len() as i64)),
-            "min" => Ok(values
-                .iter()
-                .cloned()
-                .min_by(|a, b| a.total_cmp(b))
-                .unwrap_or(Value::Null)),
-            "max" => Ok(values
-                .iter()
-                .cloned()
-                .max_by(|a, b| a.total_cmp(b))
-                .unwrap_or(Value::Null)),
-            "sum" | "avg" | "stdev" | "var" => {
-                if values.is_empty() {
-                    return Ok(Value::Null);
-                }
-                let nums: Vec<f64> = values.iter().filter_map(Value::as_f64).collect();
-                if nums.len() != values.len() {
-                    return Err(SqlError::Execution(format!(
-                        "{name}() over non-numeric values"
-                    )));
-                }
-                let sum: f64 = nums.iter().sum();
-                let n = nums.len() as f64;
-                match lower.as_str() {
-                    "sum" => Ok(Value::Float(sum)),
-                    "avg" => Ok(Value::Float(sum / n)),
-                    _ => {
-                        let mean = sum / n;
-                        let var = nums.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
-                            / (n - 1.0).max(1.0);
-                        if lower == "var" {
-                            Ok(Value::Float(var))
-                        } else {
-                            Ok(Value::Float(var.sqrt()))
-                        }
-                    }
-                }
-            }
-            other => Err(SqlError::Execution(format!("unknown aggregate {other}"))),
-        }
+        combine_aggregate(name, &lower, values)
     }
 }
 
-fn collect_aggregates(expr: &Expr, out: &mut Vec<Expr>) {
-    match expr {
-        Expr::Function { name, args } => {
-            if crate::ast::is_aggregate_name(name) {
-                if !out.contains(expr) {
-                    out.push(expr.clone());
+/// Combine the non-NULL argument values of one group into the aggregate's
+/// result.  Shared by the interpreted and compiled aggregation paths.
+fn combine_aggregate(name: &str, lower: &str, values: Vec<Value>) -> Result<Value, SqlError> {
+    match lower {
+        "count" => Ok(Value::Int(values.len() as i64)),
+        "min" => Ok(values
+            .iter()
+            .cloned()
+            .min_by(|a, b| a.total_cmp(b))
+            .unwrap_or(Value::Null)),
+        "max" => Ok(values
+            .iter()
+            .cloned()
+            .max_by(|a, b| a.total_cmp(b))
+            .unwrap_or(Value::Null)),
+        "sum" | "avg" | "stdev" | "var" => {
+            if values.is_empty() {
+                return Ok(Value::Null);
+            }
+            let nums: Vec<f64> = values.iter().filter_map(Value::as_f64).collect();
+            if nums.len() != values.len() {
+                return Err(SqlError::Execution(format!(
+                    "{name}() over non-numeric values"
+                )));
+            }
+            let sum: f64 = nums.iter().sum();
+            let n = nums.len() as f64;
+            match lower {
+                "sum" => Ok(Value::Float(sum)),
+                "avg" => Ok(Value::Float(sum / n)),
+                _ => {
+                    let mean = sum / n;
+                    let var =
+                        nums.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0).max(1.0);
+                    if lower == "var" {
+                        Ok(Value::Float(var))
+                    } else {
+                        Ok(Value::Float(var.sqrt()))
+                    }
                 }
-            } else {
-                for a in args {
-                    collect_aggregates(a, out);
-                }
             }
         }
-        Expr::Unary { expr, .. } => collect_aggregates(expr, out),
-        Expr::Binary { left, right, .. } => {
-            collect_aggregates(left, out);
-            collect_aggregates(right, out);
-        }
-        Expr::Between {
-            expr, low, high, ..
-        } => {
-            collect_aggregates(expr, out);
-            collect_aggregates(low, out);
-            collect_aggregates(high, out);
-        }
-        Expr::InList { expr, list, .. } => {
-            collect_aggregates(expr, out);
-            for e in list {
-                collect_aggregates(e, out);
-            }
-        }
-        Expr::IsNull { expr, .. } => collect_aggregates(expr, out),
-        Expr::Like { expr, pattern, .. } => {
-            collect_aggregates(expr, out);
-            collect_aggregates(pattern, out);
-        }
-        Expr::Case {
-            branches,
-            else_value,
-        } => {
-            for (c, v) in branches {
-                collect_aggregates(c, out);
-                collect_aggregates(v, out);
-            }
-            if let Some(e) = else_value {
-                collect_aggregates(e, out);
-            }
-        }
-        Expr::Cast { expr, .. } => collect_aggregates(expr, out),
-        _ => {}
+        other => Err(SqlError::Execution(format!("unknown aggregate {other}"))),
     }
 }

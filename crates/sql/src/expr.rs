@@ -146,18 +146,7 @@ pub fn eval(expr: &Expr, row: &[Value], ctx: &EvalContext<'_>) -> Result<Value, 
         )),
         Expr::Unary { op, expr } => {
             let v = eval(expr, row, ctx)?;
-            match op {
-                UnaryOp::Neg => match v {
-                    Value::Null => Ok(Value::Null),
-                    Value::Int(i) => Ok(Value::Int(-i)),
-                    Value::Float(f) => Ok(Value::Float(-f)),
-                    other => Err(SqlError::Execution(format!("cannot negate {other}"))),
-                },
-                UnaryOp::Not => match v {
-                    Value::Null => Ok(Value::Null),
-                    other => Ok(Value::Bool(!other.is_truthy())),
-                },
-            }
+            apply_unary(*op, v)
         }
         Expr::Binary { left, op, right } => eval_binary(left, *op, right, row, ctx),
         Expr::Function { name, args } => eval_function(name, args, row, ctx),
@@ -170,12 +159,7 @@ pub fn eval(expr: &Expr, row: &[Value], ctx: &EvalContext<'_>) -> Result<Value, 
             let v = eval(expr, row, ctx)?;
             let lo = eval(low, row, ctx)?;
             let hi = eval(high, row, ctx)?;
-            if v.is_null() || lo.is_null() || hi.is_null() {
-                return Ok(Value::Null);
-            }
-            let within = v.total_cmp(&lo) != std::cmp::Ordering::Less
-                && v.total_cmp(&hi) != std::cmp::Ordering::Greater;
-            Ok(Value::Bool(within != *negated))
+            Ok(between_value(&v, &lo, &hi, *negated))
         }
         Expr::InList {
             expr,
@@ -308,19 +292,43 @@ fn eval_binary(
     }
     let l = eval(left, row, ctx)?;
     let r = eval(right, row, ctx)?;
+    apply_binary(&l, op, &r)
+}
+
+/// Apply a unary operator with the interpreter's NULL/type semantics.  The
+/// single source of truth for both the interpreter and compiled programs.
+pub(crate) fn apply_unary(op: UnaryOp, v: Value) -> Result<Value, SqlError> {
+    match op {
+        UnaryOp::Neg => match v {
+            Value::Null => Ok(Value::Null),
+            Value::Int(i) => Ok(Value::Int(-i)),
+            Value::Float(f) => Ok(Value::Float(-f)),
+            other => Err(SqlError::Execution(format!("cannot negate {other}"))),
+        },
+        UnaryOp::Not => match v {
+            Value::Null => Ok(Value::Null),
+            other => Ok(Value::Bool(!other.is_truthy())),
+        },
+    }
+}
+
+/// Apply a non-logical binary operator (arithmetic, comparison, bitwise) to
+/// two already-evaluated operands with NULL propagation.  `AND`/`OR` need
+/// short-circuiting over unevaluated operands and are handled by the caller.
+pub(crate) fn apply_binary(l: &Value, op: BinaryOp, r: &Value) -> Result<Value, SqlError> {
     if l.is_null() || r.is_null() {
         return Ok(Value::Null);
     }
     match op {
         BinaryOp::Add | BinaryOp::Sub | BinaryOp::Mul | BinaryOp::Div | BinaryOp::Mod => {
-            arithmetic(&l, op, &r)
+            arithmetic(l, op, r)
         }
-        BinaryOp::Eq => Ok(Value::Bool(l.sql_eq(&r))),
-        BinaryOp::NotEq => Ok(Value::Bool(!l.sql_eq(&r))),
-        BinaryOp::Lt => Ok(Value::Bool(l.total_cmp(&r) == std::cmp::Ordering::Less)),
-        BinaryOp::LtEq => Ok(Value::Bool(l.total_cmp(&r) != std::cmp::Ordering::Greater)),
-        BinaryOp::Gt => Ok(Value::Bool(l.total_cmp(&r) == std::cmp::Ordering::Greater)),
-        BinaryOp::GtEq => Ok(Value::Bool(l.total_cmp(&r) != std::cmp::Ordering::Less)),
+        BinaryOp::Eq => Ok(Value::Bool(l.sql_eq(r))),
+        BinaryOp::NotEq => Ok(Value::Bool(!l.sql_eq(r))),
+        BinaryOp::Lt => Ok(Value::Bool(l.total_cmp(r) == std::cmp::Ordering::Less)),
+        BinaryOp::LtEq => Ok(Value::Bool(l.total_cmp(r) != std::cmp::Ordering::Greater)),
+        BinaryOp::Gt => Ok(Value::Bool(l.total_cmp(r) == std::cmp::Ordering::Greater)),
+        BinaryOp::GtEq => Ok(Value::Bool(l.total_cmp(r) != std::cmp::Ordering::Less)),
         BinaryOp::BitAnd | BinaryOp::BitOr => {
             let (Some(a), Some(b)) = (l.as_i64(), r.as_i64()) else {
                 return Err(SqlError::Execution(format!(
@@ -333,8 +341,19 @@ fn eval_binary(
                 a | b
             }))
         }
-        BinaryOp::And | BinaryOp::Or => unreachable!("handled above"),
+        BinaryOp::And | BinaryOp::Or => unreachable!("logical operators are handled by callers"),
     }
+}
+
+/// `BETWEEN` over already-evaluated operands: NULL anywhere is unknown,
+/// otherwise an inclusive [`Value::total_cmp`] range check.
+pub(crate) fn between_value(v: &Value, lo: &Value, hi: &Value, negated: bool) -> Value {
+    if v.is_null() || lo.is_null() || hi.is_null() {
+        return Value::Null;
+    }
+    let within = v.total_cmp(lo) != std::cmp::Ordering::Less
+        && v.total_cmp(hi) != std::cmp::Ordering::Greater;
+    Value::Bool(within != negated)
 }
 
 fn arithmetic(l: &Value, op: BinaryOp, r: &Value) -> Result<Value, SqlError> {
@@ -393,22 +412,14 @@ fn arithmetic(l: &Value, op: BinaryOp, r: &Value) -> Result<Value, SqlError> {
 /// SQL `LIKE` pattern matching: `%` matches any run of characters, `_`
 /// matches exactly one.  Matching is case-insensitive (SQL Server default
 /// collation).
+///
+/// One-shot convenience over [`crate::exec::compile::LikeMatcher`], which
+/// parses the pattern into `%`-separated segments once and matches in
+/// O(text x pattern) — pathological patterns like `a%a%a%...%b` cannot
+/// trigger the exponential retry a naive recursive matcher suffers.  Hot
+/// paths (compiled predicates) build the matcher once per query instead.
 pub fn like_match(text: &str, pattern: &str) -> bool {
-    fn rec(t: &[u8], p: &[u8]) -> bool {
-        match p.first() {
-            None => t.is_empty(),
-            Some(b'%') => {
-                // Try to match the rest of the pattern at every position.
-                (0..=t.len()).any(|i| rec(&t[i..], &p[1..]))
-            }
-            Some(b'_') => !t.is_empty() && rec(&t[1..], &p[1..]),
-            Some(&c) => !t.is_empty() && t[0] == c && rec(&t[1..], &p[1..]),
-        }
-    }
-    rec(
-        text.to_ascii_lowercase().as_bytes(),
-        pattern.to_ascii_lowercase().as_bytes(),
-    )
+    crate::exec::compile::LikeMatcher::new(pattern).matches(text)
 }
 
 /// Infer the output type of an expression against a schema (best effort,

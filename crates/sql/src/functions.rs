@@ -93,6 +93,13 @@ impl FunctionRegistry {
         self.scalars.get(&normalize_name(name))
     }
 
+    /// Look up a scalar UDF by an already-[`normalize_name`]d name.  The
+    /// compiled expression path normalizes once at plan time, so the per-row
+    /// lookup allocates nothing.
+    pub fn scalar_normalized(&self, normalized: &str) -> Option<&ScalarFn> {
+        self.scalars.get(normalized)
+    }
+
     /// Look up a table-valued UDF.
     pub fn table(&self, name: &str) -> Option<&TableFunction> {
         self.tables.get(&normalize_name(name))
@@ -116,28 +123,41 @@ impl FunctionRegistry {
 /// Evaluate a built-in scalar function.  Returns `None` when the name is not
 /// a built-in (the caller then consults the UDF registry).
 pub fn eval_builtin(name: &str, args: &[Value]) -> Option<Result<Value, SqlError>> {
-    let name = normalize_name(name);
-    let result = match name.as_str() {
-        "sqrt" => unary_math(&name, args, f64::sqrt),
+    eval_builtin_normalized(&normalize_name(name), args)
+}
+
+/// Is the (already-normalized) name a built-in scalar function?  Used by the
+/// expression compiler to classify calls at plan time.
+pub fn is_builtin(normalized: &str) -> bool {
+    // Every built-in arm returns `Some` for any argument list (bad arity is
+    // `Some(Err)`), so probing with no arguments is a safe membership test.
+    eval_builtin_normalized(normalized, &[]).is_some()
+}
+
+/// [`eval_builtin`] without the per-call name normalization: `name` must
+/// already be lowercase with any `dbo.` prefix stripped.
+pub fn eval_builtin_normalized(name: &str, args: &[Value]) -> Option<Result<Value, SqlError>> {
+    let result = match name {
+        "sqrt" => unary_math(name, args, f64::sqrt),
         "abs" => match args {
             [Value::Int(i)] => Ok(Value::Int(i.abs())),
-            _ => unary_math(&name, args, f64::abs),
+            _ => unary_math(name, args, f64::abs),
         },
-        "floor" => unary_math(&name, args, f64::floor),
-        "ceiling" | "ceil" => unary_math(&name, args, f64::ceil),
-        "exp" => unary_math(&name, args, f64::exp),
-        "log" => unary_math(&name, args, f64::ln),
-        "log10" => unary_math(&name, args, f64::log10),
-        "sin" => unary_math(&name, args, f64::sin),
-        "cos" => unary_math(&name, args, f64::cos),
-        "tan" => unary_math(&name, args, f64::tan),
-        "asin" => unary_math(&name, args, f64::asin),
-        "acos" => unary_math(&name, args, f64::acos),
-        "atan" => unary_math(&name, args, f64::atan),
-        "radians" => unary_math(&name, args, f64::to_radians),
-        "degrees" => unary_math(&name, args, f64::to_degrees),
-        "sign" => unary_math(&name, args, f64::signum),
-        "square" => unary_math(&name, args, |x| x * x),
+        "floor" => unary_math(name, args, f64::floor),
+        "ceiling" | "ceil" => unary_math(name, args, f64::ceil),
+        "exp" => unary_math(name, args, f64::exp),
+        "log" => unary_math(name, args, f64::ln),
+        "log10" => unary_math(name, args, f64::log10),
+        "sin" => unary_math(name, args, f64::sin),
+        "cos" => unary_math(name, args, f64::cos),
+        "tan" => unary_math(name, args, f64::tan),
+        "asin" => unary_math(name, args, f64::asin),
+        "acos" => unary_math(name, args, f64::acos),
+        "atan" => unary_math(name, args, f64::atan),
+        "radians" => unary_math(name, args, f64::to_radians),
+        "degrees" => unary_math(name, args, f64::to_degrees),
+        "sign" => unary_math(name, args, f64::signum),
+        "square" => unary_math(name, args, |x| x * x),
         "pi" => {
             if args.is_empty() {
                 Ok(Value::Float(std::f64::consts::PI))
@@ -145,11 +165,11 @@ pub fn eval_builtin(name: &str, args: &[Value]) -> Option<Result<Value, SqlError
                 Err(SqlError::Execution("pi() takes no arguments".into()))
             }
         }
-        "power" => binary_math(&name, args, f64::powf),
-        "atn2" | "atan2" => binary_math(&name, args, f64::atan2),
+        "power" => binary_math(name, args, f64::powf),
+        "atn2" | "atan2" => binary_math(name, args, f64::atan2),
         "round" => match args {
-            [v] => unary_math(&name, std::slice::from_ref(v), f64::round),
-            [v, d] => round_to_digits(&name, v, d),
+            [v] => unary_math(name, std::slice::from_ref(v), f64::round),
+            [v, d] => round_to_digits(name, v, d),
             _ => Err(SqlError::Execution("round() takes 1 or 2 arguments".into())),
         },
         "str" => match args.first() {
@@ -161,11 +181,11 @@ pub fn eval_builtin(name: &str, args: &[Value]) -> Option<Result<Value, SqlError
             Some(v) => Ok(Value::Int(v.to_string().len() as i64)),
             None => Err(SqlError::Execution("len() needs an argument".into())),
         },
-        "upper" => string_fn(&name, args, |s| s.to_ascii_uppercase()),
-        "lower" => string_fn(&name, args, |s| s.to_ascii_lowercase()),
-        "ltrim" => string_fn(&name, args, |s| s.trim_start().to_string()),
-        "rtrim" => string_fn(&name, args, |s| s.trim_end().to_string()),
-        "substring" => substring_fn(&name, args),
+        "upper" => string_fn(name, args, |s| s.to_ascii_uppercase()),
+        "lower" => string_fn(name, args, |s| s.to_ascii_lowercase()),
+        "ltrim" => string_fn(name, args, |s| s.trim_start().to_string()),
+        "rtrim" => string_fn(name, args, |s| s.trim_end().to_string()),
+        "substring" => substring_fn(name, args),
         "coalesce" | "isnull" => {
             for a in args {
                 if !a.is_null() {

@@ -44,6 +44,7 @@
 pub mod ast;
 pub mod engine;
 pub mod error;
+pub mod exec;
 pub mod executor;
 pub mod expr;
 pub mod functions;
@@ -56,6 +57,7 @@ pub mod result;
 
 pub use engine::{EngineStats, PlanSummary, SqlEngine};
 pub use error::SqlError;
+pub use exec::compile::{CompiledExpr, CompiledPrograms, LikeMatcher};
 pub use executor::{Executor, QueryLimits};
 pub use expr::{eval, EvalContext, RowSchema};
 pub use functions::{FunctionRegistry, ScalarFn, TableFn, TableFunction};

@@ -8,6 +8,7 @@
 //! reproduction shows the plan shapes of Figures 10-12.
 
 use crate::ast::{Expr, JoinKind, OrderByItem, SelectItem};
+use crate::exec::compile::CompiledPrograms;
 use crate::expr::RowSchema;
 
 /// How a base table is accessed.
@@ -170,6 +171,11 @@ pub struct SelectPlan {
     /// Optimizer rules that fired while producing this plan, in pipeline
     /// order; `EXPLAIN` reports them.
     pub rules_fired: Vec<&'static str>,
+    /// Expression programs compiled at plan finalization (ordinal-resolved
+    /// predicates, join keys, projections...).  `None` runs the interpreter
+    /// instead — EXPLAIN output is identical either way, since it renders
+    /// the `Expr`s.
+    pub programs: Option<CompiledPrograms>,
 }
 
 impl SelectPlan {
@@ -529,6 +535,7 @@ mod tests {
             into: None,
             input_schema,
             rules_fired: Vec::new(),
+            programs: None,
         }
     }
 

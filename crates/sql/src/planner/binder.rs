@@ -436,6 +436,7 @@ fn naive_view_plan(
         into: None,
         input_schema: schema,
         rules_fired: Vec::new(),
+        programs: None,
     })
 }
 

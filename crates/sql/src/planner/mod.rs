@@ -22,9 +22,12 @@ pub mod rules;
 
 use crate::ast::{Expr, JoinKind, SelectItem, SelectStatement};
 use crate::error::SqlError;
+use crate::exec::compile::{
+    collect_aggregates, compile, CompiledAggregate, CompiledExpr, CompiledPrograms, SortKey,
+};
 use crate::expr::RowSchema;
 use crate::functions::FunctionRegistry;
-use crate::plan::{JoinStep, JoinStrategy, SelectPlan, SourcePlan};
+use crate::plan::{JoinStep, JoinStrategy, SelectPlan, SourceKind, SourcePlan};
 use binder::{LogicalPlan, PlanContext};
 use skyserver_storage::Database;
 
@@ -39,6 +42,7 @@ pub struct Planner<'a> {
     /// Registered scalar and table-valued functions.
     pub functions: &'a FunctionRegistry,
     parallel_scan_threshold: usize,
+    compile_expressions: bool,
 }
 
 impl<'a> Planner<'a> {
@@ -48,12 +52,22 @@ impl<'a> Planner<'a> {
             db,
             functions,
             parallel_scan_threshold: PARALLEL_SCAN_THRESHOLD,
+            compile_expressions: true,
         }
     }
 
     /// Override the parallel-scan threshold (tests and benchmarks).
     pub fn with_parallel_scan_threshold(mut self, threshold: usize) -> Self {
         self.parallel_scan_threshold = threshold;
+        self
+    }
+
+    /// Enable or disable expression-program compilation at finalization.
+    /// Disabling it makes the executor fall back to the tree-walking
+    /// interpreter everywhere — the recorded baseline `sql_bench` compares
+    /// against.
+    pub fn with_expression_compilation(mut self, compile: bool) -> Self {
+        self.compile_expressions = compile;
         self
     }
 
@@ -71,7 +85,11 @@ impl<'a> Planner<'a> {
         let mut logical = binder::bind(stmt, &ctx, &|nested| self.plan_select(nested))?;
         let pipeline = rules::default_pipeline();
         rules::run_pipeline(&mut logical, &ctx, &pipeline)?;
-        finalize(logical)
+        let mut plan = finalize(logical)?;
+        if self.compile_expressions {
+            plan.programs = build_programs(&plan, &ctx);
+        }
+        Ok(plan)
     }
 }
 
@@ -155,7 +173,183 @@ fn finalize(logical: LogicalPlan) -> Result<SelectPlan, SqlError> {
         into,
         input_schema,
         rules_fired,
+        programs: None,
     })
+}
+
+/// The schema [`crate::executor::Executor::execute_source`] materializes a
+/// source with: heap/parallel/seek scans produce all table columns, covering
+/// scans the covered subset, table functions and derived tables their bound
+/// schema.  Program compilation resolves ordinals through the executor's own
+/// schema-derivation helpers ([`crate::executor::scan_schema`]), so the two
+/// sides cannot drift apart.
+fn exec_source_schema(source: &SourcePlan, db: &Database) -> Option<RowSchema> {
+    match &source.kind {
+        SourceKind::Table { table, path } => {
+            crate::executor::scan_schema(db, &source.alias, table, path).ok()
+        }
+        _ => Some(source.schema.clone()),
+    }
+}
+
+/// The full heap schema of a base-table source — what the executor uses for
+/// the inner side of an index-lookup join (it fetches whole heap rows by
+/// RowId there, regardless of the source's chosen access path).
+fn full_table_schema(source: &SourcePlan, db: &Database) -> Option<RowSchema> {
+    match &source.kind {
+        SourceKind::Table { table, .. } => {
+            crate::executor::heap_schema(db, &source.alias, table).ok()
+        }
+        _ => None,
+    }
+}
+
+/// Compile every hot expression of a finalized plan into ordinal-resolved
+/// programs (the tentpole of the compiled execution path).  Any slot whose
+/// compilation fails — e.g. a projection naming an unknown column, which
+/// only errors at execution time — stays `None` and the executor interprets
+/// that expression instead, so compilation can never change results.
+fn build_programs(plan: &SelectPlan, ctx: &PlanContext<'_>) -> Option<CompiledPrograms> {
+    let db = ctx.db;
+    let funcs = ctx.functions;
+    let mut programs = CompiledPrograms::default();
+
+    // Reconstruct the executor's runtime schemas: per-source predicate
+    // schemas, the accumulated (combined) schema before/after each join.
+    let mut pred_schemas: Vec<RowSchema> = Vec::with_capacity(plan.sources.len());
+    let mut combined = if plan.sources.is_empty() {
+        RowSchema::default()
+    } else {
+        let s = exec_source_schema(&plan.sources[0], db)?;
+        pred_schemas.push(s.clone());
+        s
+    };
+    let mut outer_schemas: Vec<RowSchema> = Vec::with_capacity(plan.joins.len());
+    let mut combined_after: Vec<RowSchema> = Vec::with_capacity(plan.joins.len());
+    for (i, step) in plan.joins.iter().enumerate() {
+        let inner = &plan.sources[i + 1];
+        outer_schemas.push(combined.clone());
+        let inner_schema = match &step.strategy {
+            // Index-lookup joins fetch whole heap rows from the inner table.
+            JoinStrategy::IndexLookup { .. } => full_table_schema(inner, db)?,
+            _ => exec_source_schema(inner, db)?,
+        };
+        pred_schemas.push(inner_schema.clone());
+        combined = combined.join(&inner_schema);
+        combined_after.push(combined.clone());
+    }
+
+    for (i, source) in plan.sources.iter().enumerate() {
+        programs.source_predicates.push(
+            source
+                .pushed_predicate
+                .as_ref()
+                .and_then(|p| compile(p, &pred_schemas[i], funcs).ok()),
+        );
+    }
+    for (i, step) in plan.joins.iter().enumerate() {
+        let (outer_key, hash_keys) = match &step.strategy {
+            JoinStrategy::IndexLookup { outer_key, .. } => {
+                (compile(outer_key, &outer_schemas[i], funcs).ok(), None)
+            }
+            JoinStrategy::Hash {
+                outer_keys,
+                inner_keys,
+            } => {
+                let outer: Option<Vec<CompiledExpr>> = outer_keys
+                    .iter()
+                    .map(|k| compile(k, &outer_schemas[i], funcs).ok())
+                    .collect();
+                let inner: Option<Vec<CompiledExpr>> = inner_keys
+                    .iter()
+                    .map(|k| compile(k, &pred_schemas[i + 1], funcs).ok())
+                    .collect();
+                (None, outer.zip(inner))
+            }
+            JoinStrategy::NestedLoop => (None, None),
+        };
+        programs.join_outer_keys.push(outer_key);
+        programs.join_hash_keys.push(hash_keys);
+        programs.join_residuals.push(
+            step.residual
+                .as_ref()
+                .and_then(|r| compile(r, &combined_after[i], funcs).ok()),
+        );
+    }
+    programs.residual = plan
+        .residual
+        .as_ref()
+        .and_then(|r| compile(r, &combined, funcs).ok());
+    programs.projections = plan
+        .projections
+        .iter()
+        .map(|(e, _)| compile(e, &combined, funcs).ok())
+        .collect();
+    programs.group_by = plan
+        .group_by
+        .iter()
+        .map(|g| compile(g, &combined, funcs).ok())
+        .collect();
+    programs.having = plan
+        .having
+        .as_ref()
+        .and_then(|h| compile(h, &combined, funcs).ok());
+
+    if plan.has_aggregates || !plan.group_by.is_empty() {
+        let mut agg_exprs: Vec<Expr> = Vec::new();
+        for (expr, _) in &plan.projections {
+            collect_aggregates(expr, &mut agg_exprs);
+        }
+        if let Some(h) = &plan.having {
+            collect_aggregates(h, &mut agg_exprs);
+        }
+        programs.aggregates = agg_exprs
+            .iter()
+            .map(|agg| {
+                let Expr::Function { name, args } = agg else {
+                    return None;
+                };
+                let lower = name.to_ascii_lowercase();
+                let count_star =
+                    lower == "count" && matches!(args.first(), Some(Expr::Star) | None);
+                let arg = if count_star {
+                    None
+                } else {
+                    Some(compile(args.first()?, &combined, funcs).ok()?)
+                };
+                Some(CompiledAggregate {
+                    key: crate::expr::aggregate_key(agg),
+                    name: name.clone(),
+                    lower,
+                    count_star,
+                    arg,
+                })
+            })
+            .collect();
+    }
+
+    if !plan.order_by.is_empty() {
+        let output_names: Vec<&str> = plan.projections.iter().map(|(_, n)| n.as_str()).collect();
+        programs.order_by = plan
+            .order_by
+            .iter()
+            .map(|item| match &item.expr {
+                Expr::Column {
+                    qualifier: None,
+                    name,
+                } if output_names.iter().any(|n| n.eq_ignore_ascii_case(name)) => {
+                    let idx = output_names
+                        .iter()
+                        .position(|n| n.eq_ignore_ascii_case(name))
+                        .expect("checked above");
+                    Some(SortKey::Output(idx))
+                }
+                e => compile(e, &combined, funcs).ok().map(SortKey::Input),
+            })
+            .collect();
+    }
+
+    Some(programs)
 }
 
 /// Expand the select list against the combined input schema.

@@ -297,6 +297,46 @@ impl PartialEq for Value {
 
 impl Eq for Value {}
 
+/// Hashing consistent with the [`Value::total_cmp`]-based `Eq`: the executor
+/// keys hash joins, DISTINCT and GROUP BY on `Value` rows, so equal values
+/// must hash equally **across types**.  `Int` and `Float` compare numerically
+/// (`Int(2) == Float(2.0)`), so both hash through the float's total-order bit
+/// pattern: `f64::total_cmp` equality is exactly bit equality, which makes
+/// the bits a sound hash key.  Distinct large ints that collapse to the same
+/// `f64` merely collide — `Eq` still separates them.
+impl std::hash::Hash for Value {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => state.write_u8(0),
+            Value::Bool(b) => {
+                state.write_u8(1);
+                state.write_u8(u8::from(*b));
+            }
+            Value::Int(i) => {
+                state.write_u8(2);
+                state.write_u64((*i as f64).to_bits());
+            }
+            Value::Float(f) => {
+                state.write_u8(2);
+                state.write_u64(f.to_bits());
+            }
+            // Length-prefix variable-width payloads: without it, adjacent
+            // values in a multi-column key could shift bytes across value
+            // boundaries and collide ([ "a\x03b", "c" ] vs [ "a", "b\x03c" ]).
+            Value::Str(s) => {
+                state.write_u8(3);
+                state.write_usize(s.len());
+                state.write(s.as_bytes());
+            }
+            Value::Bytes(b) => {
+                state.write_u8(4);
+                state.write_usize(b.len());
+                state.write(b);
+            }
+        }
+    }
+}
+
 impl PartialOrd for Value {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
@@ -450,6 +490,40 @@ mod tests {
         assert_eq!(Value::Int(-7).to_string(), "-7");
         assert_eq!(Value::Bool(true).to_string(), "1");
         assert_eq!(Value::Null.to_string(), "NULL");
+    }
+
+    #[test]
+    fn hash_agrees_with_eq_across_types() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        fn h(v: &Value) -> u64 {
+            let mut s = DefaultHasher::new();
+            v.hash(&mut s);
+            s.finish()
+        }
+        // Cross-type numeric equality must hash equally.
+        assert_eq!(Value::Int(2), Value::Float(2.0));
+        assert_eq!(h(&Value::Int(2)), h(&Value::Float(2.0)));
+        // total_cmp distinguishes -0.0 from +0.0, and so do the hashes.
+        assert_ne!(Value::Float(-0.0), Value::Float(0.0));
+        assert_ne!(h(&Value::Float(-0.0)), h(&Value::Float(0.0)));
+        // Bool(1) and Int(1) are different types, never equal.
+        assert_ne!(Value::Bool(true), Value::Int(1));
+        // A HashSet keyed on rows of values behaves like the ordered map.
+        let mut set = std::collections::HashSet::new();
+        assert!(set.insert(vec![Value::Int(3), Value::str("x")]));
+        assert!(!set.insert(vec![Value::Float(3.0), Value::str("x")]));
+        // String payloads are length-prefixed: bytes must not shift across
+        // value boundaries within a multi-column key.
+        fn hrow(r: &[Value]) -> u64 {
+            let mut s = DefaultHasher::new();
+            r.hash(&mut s);
+            s.finish()
+        }
+        assert_ne!(
+            hrow(&[Value::str("a\u{3}b"), Value::str("c")]),
+            hrow(&[Value::str("a"), Value::str("b\u{3}c")]),
+        );
     }
 
     #[test]
