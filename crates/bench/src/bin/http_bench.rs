@@ -19,15 +19,24 @@
 //! one paced batch worker).  The acceptance number is the interactive p99
 //! in each mode against the scan-free baseline.
 //!
+//! A fourth phase drives the **`/api/v1` programmatic surface** with
+//! typed clients: paginated result walking (follow `next_cursor` until
+//! the full result is covered), object/cone lookups, and **error-path
+//! sampling** (missing parameters, unknown endpoints, broken SQL — each
+//! must answer its registered status with the structured envelope).  Any
+//! status mismatch fails the run, so the bench doubles as an API smoke
+//! test in CI quick mode.
+//!
 //! Usage:
 //!
 //! ```text
 //! http_bench [--scale tiny|personal|benchmark] [--threads N]
-//!            [--requests N] [--out BENCH.json]
+//!            [--requests N] [--quick] [--out BENCH.json]
 //! ```
 //!
-//! The JSON report (stdout, and `--out` when given) captures both the
-//! serialized-vs-shared comparison and the mixed-workload p99s.
+//! The JSON report (stdout, and `--out` when given) captures the
+//! serialized-vs-shared comparison, the mixed-workload p99s and the
+//! API-traffic phase.
 
 use skyserver_bench::{build_server, Scale};
 use skyserver_web::{HttpClient, HttpServer, JobQueueConfig, ServerConfig, SkyServerSite};
@@ -198,6 +207,156 @@ fn run_shaped_load(
     }
 }
 
+/// Counters of the API-traffic phase beyond latency.
+#[derive(Debug, Default)]
+struct ApiCounters {
+    /// Paginated walks that covered their full result exactly once.
+    walks_completed: u64,
+    /// Rows accumulated across completed walks.
+    rows_walked: u64,
+    /// Error-path samples that answered the expected 400.
+    sampled_400: u64,
+    /// Error-path samples that answered the expected 404.
+    sampled_404: u64,
+    /// Error-path samples that answered the expected 422.
+    sampled_422: u64,
+    /// Requests whose status did not match the expectation (must be 0).
+    status_mismatches: u64,
+}
+
+/// The API phase: each "session" walks a paginated query result through
+/// its cursor chain, fetches an object and a cone, and samples three
+/// error paths, asserting the registered status for every request.
+fn run_api_load(
+    addr: SocketAddr,
+    threads: usize,
+    requests_per_thread: usize,
+    object_id: i64,
+) -> (LoadStats, ApiCounters) {
+    const WALK_SQL: &str = "select+top+40+objID,ra+from+PhotoObj+order+by+objID";
+    const WALK_ROWS: u64 = 40;
+    let started = Instant::now();
+    let mut all_latencies: Vec<u64> = Vec::new();
+    let mut totals = ApiCounters::default();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                scope.spawn(move || {
+                    let mut latencies = Vec::with_capacity(requests_per_thread);
+                    let mut counters = ApiCounters::default();
+                    let mut client = HttpClient::connect(addr).expect("connect");
+                    let mut session = t;
+                    let timed_get = |client: &mut HttpClient,
+                                     path: &str,
+                                     expected: u16,
+                                     latencies: &mut Vec<u64>|
+                     -> Option<String> {
+                        let request_started = Instant::now();
+                        let outcome = client.get(path);
+                        latencies.push(request_started.elapsed().as_micros() as u64);
+                        match outcome {
+                            Ok((status, body)) if status == expected => Some(body),
+                            _ => None,
+                        }
+                    };
+                    while latencies.len() < requests_per_thread {
+                        // 1. A paginated walk over the full 40-row result.
+                        let mut cursor: Option<String> = None;
+                        let mut rows = 0u64;
+                        let mut pages = 0;
+                        loop {
+                            let url = match &cursor {
+                                None => format!("/api/v1/query?sql={WALK_SQL}&limit=15"),
+                                Some(c) => {
+                                    format!("/api/v1/query?sql={WALK_SQL}&limit=15&cursor={c}")
+                                }
+                            };
+                            let Some(body) = timed_get(&mut client, &url, 200, &mut latencies)
+                            else {
+                                counters.status_mismatches += 1;
+                                break;
+                            };
+                            let Ok(v) = serde_json::from_str::<serde_json::Value>(&body) else {
+                                counters.status_mismatches += 1;
+                                break;
+                            };
+                            rows += v["rows"].as_array().map(|r| r.len()).unwrap_or(0) as u64;
+                            pages += 1;
+                            if pages > 10 {
+                                counters.status_mismatches += 1;
+                                break;
+                            }
+                            match v["meta"]["next_cursor"].as_str() {
+                                Some(next) => cursor = Some(next.to_string()),
+                                None => break,
+                            }
+                        }
+                        if rows == WALK_ROWS {
+                            counters.walks_completed += 1;
+                            counters.rows_walked += rows;
+                        }
+                        // 2. Typed object and cone lookups.
+                        let object_path = format!("/api/v1/objects/{object_id}");
+                        if timed_get(&mut client, &object_path, 200, &mut latencies).is_none() {
+                            counters.status_mismatches += 1;
+                        }
+                        let cone = format!(
+                            "/api/v1/cone?ra={}&dec=-0.8&radius=10&limit=25",
+                            180.0 + (session % 8) as f64 * 0.2
+                        );
+                        if timed_get(&mut client, &cone, 200, &mut latencies).is_none() {
+                            counters.status_mismatches += 1;
+                        }
+                        // 3. Error-path samples: each must answer its
+                        //    registered status with the envelope.
+                        for (path, expected, tally) in [
+                            ("/api/v1/query", 400u16, 0usize),
+                            ("/api/v1/nope", 404, 1),
+                            ("/api/v1/query?sql=selec+broken", 422, 2),
+                        ] {
+                            match timed_get(&mut client, path, expected, &mut latencies) {
+                                Some(body) if body.contains("\"error\"") => match tally {
+                                    0 => counters.sampled_400 += 1,
+                                    1 => counters.sampled_404 += 1,
+                                    _ => counters.sampled_422 += 1,
+                                },
+                                _ => counters.status_mismatches += 1,
+                            }
+                        }
+                        session += threads;
+                    }
+                    (latencies, counters)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (lat, c) = h.join().expect("api client thread");
+            all_latencies.extend(lat);
+            totals.walks_completed += c.walks_completed;
+            totals.rows_walked += c.rows_walked;
+            totals.sampled_400 += c.sampled_400;
+            totals.sampled_404 += c.sampled_404;
+            totals.sampled_422 += c.sampled_422;
+            totals.status_mismatches += c.status_mismatches;
+        }
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+    all_latencies.sort_unstable();
+    let requests = all_latencies.len() as u64;
+    (
+        LoadStats {
+            requests,
+            errors: totals.status_mismatches,
+            elapsed_seconds: elapsed,
+            requests_per_second: requests as f64 / elapsed.max(1e-9),
+            p50_ms: percentile(&all_latencies, 0.50),
+            p99_ms: percentile(&all_latencies, 0.99),
+            max_ms: all_latencies.last().copied().unwrap_or(0) as f64 / 1000.0,
+        },
+        totals,
+    )
+}
+
 fn stats_json(s: &LoadStats) -> String {
     format!(
         "{{\"requests\": {}, \"errors\": {}, \"elapsed_seconds\": {:.3}, \
@@ -218,10 +377,14 @@ fn main() {
     let mut scale = Scale::Tiny;
     let mut threads = 8usize;
     let mut requests = 120usize;
+    let mut quick = false;
     let mut out: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--quick" => {
+                quick = true;
+            }
             "--scale" => {
                 i += 1;
                 scale = args
@@ -247,7 +410,7 @@ fn main() {
             "--help" | "-h" => {
                 println!(
                     "http_bench [--scale tiny|personal|benchmark] [--threads N] \
-                     [--requests N-per-thread] [--out BENCH.json]"
+                     [--requests N-per-thread] [--quick] [--out BENCH.json]"
                 );
                 return;
             }
@@ -257,6 +420,12 @@ fn main() {
             }
         }
         i += 1;
+    }
+    if quick {
+        // The CI smoke configuration: every phase runs (the status
+        // assertions of the API phase still hold), just smaller.
+        threads = threads.min(4);
+        requests = requests.min(30);
     }
 
     eprintln!("building two identical SkyServers (scale {scale:?}) ...");
@@ -397,6 +566,47 @@ fn main() {
     }
     mixed_server.stop();
 
+    // ----------------------------------------------------------------------
+    // API traffic: typed clients against /api/v1 — paginated result
+    // walking, object/cone lookups, error-path sampling.
+    // ----------------------------------------------------------------------
+    eprintln!("running the API-traffic phase ({threads} threads x {requests} requests) ...");
+    let api_server = site
+        .serve_with(
+            0,
+            ServerConfig {
+                workers: threads + 2,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("start API server");
+    let api_addr = api_server.addr();
+    // Discover a real object id through the API itself.
+    let (status, body) = skyserver_web::http_get(
+        api_addr,
+        "/api/v1/query?sql=select+top+1+objID+from+PhotoObj",
+    )
+    .expect("object discovery");
+    assert_eq!(status, 200, "object discovery failed: {body}");
+    let object_id = serde_json::from_str::<serde_json::Value>(&body)
+        .ok()
+        .and_then(|v| v["rows"][0][0].as_i64())
+        .expect("an objID in the discovery response");
+    run_api_load(api_addr, 2, 12, object_id); // warm-up
+    let (api_stats, api_counters) = run_api_load(api_addr, threads, requests, object_id);
+    api_server.stop();
+
+    // The phase doubles as the API smoke test: a status mismatch, a
+    // broken pagination walk or a missing error sample fails the run.
+    let api_healthy = api_counters.status_mismatches == 0
+        && api_counters.walks_completed > 0
+        && api_counters.sampled_400 > 0
+        && api_counters.sampled_404 > 0
+        && api_counters.sampled_422 > 0;
+    if !api_healthy {
+        eprintln!("API phase violations: {api_counters:?}");
+    }
+
     let report = format!(
         "{{\n  \"bench\": \"http_concurrency\",\n  \"scale\": \"{:?}\",\n  \
          \"threads\": {},\n  \"requests_per_thread\": {},\n  \
@@ -413,7 +623,14 @@ fn main() {
          \"interactive_with_inline_scans\": {},\n    \
          \"interactive_with_batched_scans\": {},\n    \
          \"inline_p99_inflation\": {:.2},\n    \
-         \"batched_p99_inflation\": {:.2}\n  }}\n}}",
+         \"batched_p99_inflation\": {:.2}\n  }},\n  \
+         \"api_traffic\": {{\n    \
+         \"stats\": {},\n    \
+         \"paginated_walks_completed\": {},\n    \
+         \"rows_walked\": {},\n    \
+         \"error_samples\": {{\"status_400\": {}, \"status_404\": {}, \
+         \"status_422\": {}}},\n    \
+         \"status_mismatches\": {}\n  }}\n}}",
         scale,
         threads,
         requests,
@@ -433,12 +650,33 @@ fn main() {
         stats_json(&mixed_batched),
         mixed_inline.p99_ms / mixed_baseline.p99_ms.max(1e-9),
         mixed_batched.p99_ms / mixed_baseline.p99_ms.max(1e-9),
+        stats_json(&api_stats),
+        api_counters.walks_completed,
+        api_counters.rows_walked,
+        api_counters.sampled_400,
+        api_counters.sampled_404,
+        api_counters.sampled_422,
+        api_counters.status_mismatches,
     );
     println!("{report}");
+    // The report must be valid JSON with the API phase present — the
+    // artifact is tracked and CI re-reads it.
+    let parsed: serde_json::Value =
+        serde_json::from_str(&report).expect("report serialises as valid JSON");
+    assert!(
+        parsed["api_traffic"]["stats"]["requests"]
+            .as_u64()
+            .unwrap_or(0)
+            > 0,
+        "API phase missing from the report"
+    );
     if let Some(path) = out {
         std::fs::write(&path, format!("{report}\n")).expect("write BENCH json");
         eprintln!("wrote {path}");
     }
     // Give the sockets a moment to drain before the process exits.
     std::thread::sleep(Duration::from_millis(50));
+    if !api_healthy {
+        std::process::exit(1);
+    }
 }

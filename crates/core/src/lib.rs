@@ -73,6 +73,20 @@ pub enum SkyServerError {
     NotFound(String),
 }
 
+impl SkyServerError {
+    /// A stable, machine-readable error code for this error class, used by
+    /// the web tier's `/api/v1` error envelope.  SQL errors delegate to
+    /// [`SqlError::code`]; the other classes have their own codes.
+    pub fn code(&self) -> &'static str {
+        match self {
+            SkyServerError::Generation(_) => "internal_error",
+            SkyServerError::Storage(_) => "storage_error",
+            SkyServerError::Sql(e) => e.code(),
+            SkyServerError::NotFound(_) => "not_found",
+        }
+    }
+}
+
 impl std::fmt::Display for SkyServerError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -111,5 +125,14 @@ mod tests {
         assert!(SkyServerError::NotFound("object 7".into())
             .to_string()
             .contains("object 7"));
+    }
+
+    #[test]
+    fn error_codes_delegate_to_the_sql_taxonomy() {
+        let e: SkyServerError = SqlError::Parse("boom".into()).into();
+        assert_eq!(e.code(), "sql_parse_error");
+        let e: SkyServerError = SqlError::ReadOnly("drop table".into()).into();
+        assert_eq!(e.code(), "read_only");
+        assert_eq!(SkyServerError::NotFound("x".into()).code(), "not_found");
     }
 }

@@ -28,6 +28,29 @@ pub enum SqlError {
     Cancelled,
 }
 
+impl SqlError {
+    /// A stable, machine-readable error code for this error class.
+    ///
+    /// The web tier's `/api/v1` error envelope exposes these codes to
+    /// programmatic clients, so they are part of the public contract: a
+    /// code, once published, keeps its meaning.  (The human-readable
+    /// [`fmt::Display`] message may change freely.)
+    pub fn code(&self) -> &'static str {
+        match self {
+            SqlError::Parse(_) => "sql_parse_error",
+            SqlError::Plan(_) => "sql_plan_error",
+            SqlError::Execution(_) => "sql_execution_error",
+            SqlError::Storage(_) => "storage_error",
+            // The row budget truncates (flagged, not an error); the only
+            // limit that raises is the wall-clock computation budget.
+            SqlError::LimitExceeded(_) => "query_timeout",
+            SqlError::UnknownFunction(_) => "sql_unknown_function",
+            SqlError::ReadOnly(_) => "read_only",
+            SqlError::Cancelled => "query_cancelled",
+        }
+    }
+}
+
 impl fmt::Display for SqlError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -65,5 +88,13 @@ mod tests {
             .contains("limit"));
         let s: SqlError = StorageError::UnknownTable("t".into()).into();
         assert!(s.to_string().contains("t"));
+    }
+
+    #[test]
+    fn codes_are_stable() {
+        assert_eq!(SqlError::Parse("x".into()).code(), "sql_parse_error");
+        assert_eq!(SqlError::LimitExceeded("t".into()).code(), "query_timeout");
+        assert_eq!(SqlError::ReadOnly("drop".into()).code(), "read_only");
+        assert_eq!(SqlError::Cancelled.code(), "query_cancelled");
     }
 }

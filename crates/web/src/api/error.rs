@@ -1,0 +1,308 @@
+//! The machine-readable error envelope of the `/api/v1` surface.
+//!
+//! Every API failure renders as
+//!
+//! ```json
+//! {"error": {"code": "...", "message": "...", "detail": ...}}
+//! ```
+//!
+//! with a status code determined by the error *class*, never by the
+//! handler ad hoc: parameter problems are `400`, missing resources `404`,
+//! SQL rejections `422`, the computation budget `408`, job quotas `429`.
+//! The `code` strings are a stable contract ([`ERROR_CODES`] is the
+//! single source of truth; the spec endpoint and `docs/API.md` both
+//! render it), while `message` is free-form human text and `detail`
+//! carries structured extras (e.g. the supported-format list).
+
+use crate::http::Response;
+use skyserver::SkyServerError;
+
+/// The stable error-code taxonomy: `(code, HTTP status, description)`.
+///
+/// Codes map 1:1 to an error *class*; the status is a function of the
+/// code.  New codes may be added, but a published code never changes its
+/// meaning or status.
+pub const ERROR_CODES: &[(&str, u16, &str)] = &[
+    (
+        "missing_parameter",
+        400,
+        "A required parameter was not supplied.",
+    ),
+    (
+        "invalid_parameter",
+        400,
+        "A parameter failed to parse as its declared type or was out of range.",
+    ),
+    (
+        "invalid_cursor",
+        400,
+        "The pagination cursor is malformed or belongs to a different query.",
+    ),
+    (
+        "unsupported_format",
+        400,
+        "The format parameter names no supported output format.",
+    ),
+    (
+        "read_only",
+        403,
+        "A write statement (DML, DDL, SELECT INTO) reached the read-only public interface.",
+    ),
+    (
+        "not_found",
+        404,
+        "The requested object, job or resource does not exist (or its result expired).",
+    ),
+    (
+        "unknown_endpoint",
+        404,
+        "No /api/v1 route matches the request path.",
+    ),
+    (
+        "method_not_allowed",
+        405,
+        "The endpoint exists but does not accept this HTTP method.",
+    ),
+    (
+        "not_acceptable",
+        406,
+        "No Accept-ed media type is servable, or the endpoint does not support the requested format.",
+    ),
+    (
+        "query_timeout",
+        408,
+        "The query exceeded its wall-clock computation budget.",
+    ),
+    (
+        "job_not_ready",
+        409,
+        "The job has not finished; poll its status until it is done.",
+    ),
+    ("job_cancelled", 409, "The job was cancelled."),
+    (
+        "query_cancelled",
+        409,
+        "The query was cancelled while it ran.",
+    ),
+    ("sql_parse_error", 422, "The SQL failed to lex or parse."),
+    (
+        "sql_plan_error",
+        422,
+        "The SQL failed to bind or plan (unknown table, ambiguous column, ...).",
+    ),
+    (
+        "sql_execution_error",
+        422,
+        "The SQL failed at runtime (type error, bad function arguments, ...).",
+    ),
+    (
+        "sql_unknown_function",
+        422,
+        "The SQL referenced an unknown scalar or table-valued function.",
+    ),
+    (
+        "job_failed",
+        422,
+        "The batch job ended in an error; the message carries the job's error text.",
+    ),
+    (
+        "quota_exceeded",
+        429,
+        "A per-submitter batch-job quota (active jobs or stored result bytes) was hit.",
+    ),
+    ("storage_error", 500, "An internal storage failure."),
+    ("internal_error", 500, "An unexpected server-side failure."),
+    (
+        "overloaded",
+        503,
+        "The accept queue is full; retry shortly (emitted pre-routing, with a plain-text body).",
+    ),
+];
+
+/// The HTTP status registered for an error code (500 for codes outside
+/// the taxonomy, which would itself be a bug the conformance suite
+/// catches).
+pub fn status_for(code: &str) -> u16 {
+    ERROR_CODES
+        .iter()
+        .find(|(c, _, _)| *c == code)
+        .map(|(_, status, _)| *status)
+        .unwrap_or(500)
+}
+
+/// A structured API failure: everything needed to render the envelope.
+#[derive(Debug, Clone)]
+pub struct ApiError {
+    /// HTTP status (a function of [`ApiError::code`]).
+    pub status: u16,
+    /// Stable machine-readable code from [`ERROR_CODES`].
+    pub code: &'static str,
+    /// Human-readable message.
+    pub message: String,
+    /// Optional structured detail (e.g. the supported-format list).
+    pub detail: Option<serde_json::Value>,
+}
+
+impl ApiError {
+    /// An error with the status registered for `code` in [`ERROR_CODES`].
+    pub fn new(code: &'static str, message: impl Into<String>) -> ApiError {
+        ApiError {
+            status: status_for(code),
+            code,
+            message: message.into(),
+            detail: None,
+        }
+    }
+
+    /// Attach structured detail (builder style).
+    pub fn with_detail(mut self, detail: serde_json::Value) -> ApiError {
+        self.detail = Some(detail);
+        self
+    }
+
+    /// `400 missing_parameter`.
+    pub fn missing_parameter(name: &str) -> ApiError {
+        ApiError::new(
+            "missing_parameter",
+            format!("missing required parameter `{name}`"),
+        )
+        .with_detail(serde_json::json!({ "parameter": name }))
+    }
+
+    /// `400 invalid_parameter`: `raw` failed to parse as `type_name`.
+    pub fn invalid_parameter(name: &str, raw: &str, type_name: &str, why: &str) -> ApiError {
+        ApiError::new(
+            "invalid_parameter",
+            format!("parameter `{name}`: `{raw}` is not a valid {type_name}: {why}"),
+        )
+        .with_detail(serde_json::json!({
+            "parameter": name,
+            "value": raw,
+            "expected": type_name,
+        }))
+    }
+
+    /// `400 unsupported_format`, listing what is supported.
+    pub fn unsupported_format(raw: &str) -> ApiError {
+        let supported: Vec<&str> = crate::formats::OutputFormat::ALL
+            .iter()
+            .map(|f| f.name())
+            .collect();
+        ApiError::new(
+            "unsupported_format",
+            format!("`{raw}` is not a supported output format"),
+        )
+        .with_detail(serde_json::json!({ "supported": supported }))
+    }
+
+    /// `406 not_acceptable` for an Accept header we cannot serve.
+    pub fn not_acceptable(accept: &str) -> ApiError {
+        let supported: Vec<&str> = crate::formats::OutputFormat::ALL
+            .iter()
+            .map(|f| f.name())
+            .collect();
+        ApiError::new(
+            "not_acceptable",
+            format!("no servable media type in Accept: {accept}"),
+        )
+        .with_detail(serde_json::json!({ "supported": supported }))
+    }
+
+    /// `404 not_found`.
+    pub fn not_found(what: impl Into<String>) -> ApiError {
+        ApiError::new("not_found", what.into())
+    }
+
+    /// `500 internal_error`.
+    pub fn internal(message: impl Into<String>) -> ApiError {
+        ApiError::new("internal_error", message.into())
+    }
+
+    /// Render the envelope.  Errors are always JSON, whatever output
+    /// format the request asked for: a client that cannot parse the body
+    /// still has the status code, and a client that can gets the code.
+    pub fn into_response(self) -> Response {
+        let detail = self.detail.unwrap_or(serde_json::Value::Null);
+        let body = serde_json::json!({
+            "error": {
+                "code": self.code,
+                "message": self.message,
+                "detail": detail,
+            }
+        });
+        let mut response = Response::ok(
+            "application/json; charset=utf-8",
+            body.to_string().into_bytes(),
+        );
+        response.status = self.status;
+        response
+    }
+}
+
+impl From<SkyServerError> for ApiError {
+    /// Map an engine error onto the taxonomy: the code comes from
+    /// [`SkyServerError::code`], the status from [`ERROR_CODES`], and the
+    /// message is the error's display text.
+    fn from(e: SkyServerError) -> ApiError {
+        ApiError::new(e.code(), e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skyserver::SqlError;
+
+    #[test]
+    fn codes_are_unique_and_status_lookup_works() {
+        for (i, (code, status, _)) in ERROR_CODES.iter().enumerate() {
+            assert_eq!(status_for(code), *status);
+            assert!(
+                !ERROR_CODES[i + 1..].iter().any(|(c, _, _)| c == code),
+                "duplicate error code {code}"
+            );
+        }
+        assert_eq!(status_for("no_such_code"), 500);
+    }
+
+    #[test]
+    fn engine_errors_map_onto_the_taxonomy() {
+        let cases: Vec<(SkyServerError, &str, u16)> = vec![
+            (SqlError::Parse("x".into()).into(), "sql_parse_error", 422),
+            (SqlError::Plan("x".into()).into(), "sql_plan_error", 422),
+            (
+                SqlError::LimitExceeded("30s".into()).into(),
+                "query_timeout",
+                408,
+            ),
+            (SqlError::ReadOnly("drop".into()).into(), "read_only", 403),
+            (SqlError::Cancelled.into(), "query_cancelled", 409),
+            (
+                SkyServerError::NotFound("object 9".into()),
+                "not_found",
+                404,
+            ),
+        ];
+        for (e, code, status) in cases {
+            let api: ApiError = e.into();
+            assert_eq!(api.code, code);
+            assert_eq!(api.status, status);
+        }
+    }
+
+    #[test]
+    fn envelope_shape() {
+        let r = ApiError::missing_parameter("sql").into_response();
+        assert_eq!(r.status, 400);
+        let json: serde_json::Value = serde_json::from_slice(&r.body).unwrap();
+        assert_eq!(
+            json["error"]["code"],
+            serde_json::json!("missing_parameter")
+        );
+        assert!(json["error"]["message"].as_str().unwrap().contains("sql"));
+        assert_eq!(
+            json["error"]["detail"]["parameter"],
+            serde_json::json!("sql")
+        );
+    }
+}

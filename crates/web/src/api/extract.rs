@@ -1,0 +1,313 @@
+//! Typed request extraction (`FromRequest`-style).
+//!
+//! Handlers never touch raw strings: every path capture, query parameter
+//! and form field goes through [`FromParam`], and a malformed value is a
+//! structured `400 invalid_parameter` — **never** a silent default.  The
+//! legacy `.asp` adapters use the same extractors (that is how the
+//! navigator stopped rendering the wrong sky position for `?ra=abc`),
+//! they only differ in how they render the resulting [`ApiError`].
+
+use super::error::ApiError;
+use crate::formats::OutputFormat;
+use crate::http::Request;
+use std::collections::HashMap;
+
+/// A type that can be parsed from one path/query/form parameter.
+pub trait FromParam: Sized {
+    /// The type name shown in error messages and the generated spec
+    /// (e.g. `"integer"`, `"number"`, `"zoom level (0..=3)"`).
+    const TYPE_NAME: &'static str;
+
+    /// Parse the raw (already percent-decoded) parameter text.
+    fn from_param(raw: &str) -> Result<Self, String>;
+}
+
+macro_rules! from_param_via_fromstr {
+    ($ty:ty, $name:literal, $why:literal) => {
+        impl FromParam for $ty {
+            const TYPE_NAME: &'static str = $name;
+            fn from_param(raw: &str) -> Result<Self, String> {
+                raw.trim().parse::<$ty>().map_err(|_| $why.to_string())
+            }
+        }
+    };
+}
+
+from_param_via_fromstr!(i64, "integer", "expected a signed integer");
+from_param_via_fromstr!(u64, "integer", "expected a non-negative integer");
+from_param_via_fromstr!(u32, "integer", "expected a non-negative integer");
+from_param_via_fromstr!(usize, "integer", "expected a non-negative integer");
+from_param_via_fromstr!(f64, "number", "expected a number");
+
+impl FromParam for String {
+    const TYPE_NAME: &'static str = "string";
+    fn from_param(raw: &str) -> Result<Self, String> {
+        Ok(raw.to_string())
+    }
+}
+
+/// The navigator's zoom level: an integer in `0..=3` (§5's four levels).
+/// Out-of-range values are a parse error, not a clamp — the legacy page
+/// used to clamp silently and render the wrong field of view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Zoom(pub u32);
+
+impl FromParam for Zoom {
+    const TYPE_NAME: &'static str = "zoom level (integer 0..=3)";
+    fn from_param(raw: &str) -> Result<Self, String> {
+        let level: u32 = raw
+            .trim()
+            .parse()
+            .map_err(|_| "expected an integer".to_string())?;
+        if level > 3 {
+            return Err(format!("zoom {level} is out of range (0..=3)"));
+        }
+        Ok(Zoom(level))
+    }
+}
+
+/// A request seen through the extractor layer: the underlying HTTP
+/// request, the router's path captures, and (for form POSTs) the decoded
+/// body fields.  Parameter lookup order is path capture, query string,
+/// then form body.
+pub struct ApiRequest<'r> {
+    req: &'r Request,
+    captures: Vec<(&'static str, String)>,
+    form: HashMap<String, String>,
+}
+
+impl<'r> ApiRequest<'r> {
+    /// Wrap a routed request with its path captures.
+    pub fn new(req: &'r Request, captures: Vec<(&'static str, String)>) -> ApiRequest<'r> {
+        ApiRequest {
+            form: req.form_params(),
+            req,
+            captures,
+        }
+    }
+
+    /// Wrap a legacy (non-routed) request so the `.asp` adapters can use
+    /// the same extractors.
+    pub fn legacy(req: &'r Request) -> ApiRequest<'r> {
+        ApiRequest::new(req, Vec::new())
+    }
+
+    /// The underlying HTTP request.
+    pub fn request(&self) -> &Request {
+        self.req
+    }
+
+    /// The raw text of a parameter: path capture, query, then form body.
+    pub fn raw_param(&self, name: &str) -> Option<&str> {
+        self.captures
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+            .or_else(|| self.req.param(name))
+            .or_else(|| self.form.get(name).map(String::as_str))
+    }
+
+    /// A typed path capture.  The router guarantees the capture exists
+    /// for a matched route; parse failure is the client's `400`.
+    pub fn path_param<T: FromParam>(&self, name: &'static str) -> Result<T, ApiError> {
+        let raw = self
+            .captures
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+            .ok_or_else(|| ApiError::internal(format!("route declared no `{name}` capture")))?;
+        T::from_param(raw).map_err(|why| ApiError::invalid_parameter(name, raw, T::TYPE_NAME, &why))
+    }
+
+    /// A typed optional parameter: `Ok(None)` when absent, `400` when
+    /// present but malformed.
+    pub fn optional<T: FromParam>(&self, name: &str) -> Result<Option<T>, ApiError> {
+        match self.raw_param(name) {
+            None => Ok(None),
+            Some(raw) => T::from_param(raw)
+                .map(Some)
+                .map_err(|why| ApiError::invalid_parameter(name, raw, T::TYPE_NAME, &why)),
+        }
+    }
+
+    /// A typed required parameter: `400 missing_parameter` when absent.
+    pub fn require<T: FromParam>(&self, name: &str) -> Result<T, ApiError> {
+        self.optional(name)?
+            .ok_or_else(|| ApiError::missing_parameter(name))
+    }
+
+    /// The SQL text of a query/job request: the named parameter if given,
+    /// otherwise a non-form POST body (so `curl --data-binary @query.sql`
+    /// works without URL encoding).
+    pub fn sql_text(&self, name: &str) -> Result<String, ApiError> {
+        if let Some(raw) = self.raw_param(name) {
+            if !raw.trim().is_empty() {
+                return Ok(raw.to_string());
+            }
+        }
+        if !self.req.body.is_empty() && !self.req.is_form() {
+            let body = String::from_utf8_lossy(&self.req.body).into_owned();
+            if !body.trim().is_empty() {
+                return Ok(body);
+            }
+        }
+        Err(ApiError::missing_parameter(name))
+    }
+
+    /// Resolve the response format: an explicit `format=` parameter wins
+    /// (query string or form body — unknown names are a `400` listing the
+    /// supported set, no silent CSV/grid fallback on this surface), then
+    /// the `Accept` header (`406` when nothing listed is servable), then
+    /// `default`.
+    pub fn format(&self, default: OutputFormat) -> Result<OutputFormat, ApiError> {
+        if let Some(raw) = self.raw_param("format") {
+            return OutputFormat::try_parse(raw).ok_or_else(|| ApiError::unsupported_format(raw));
+        }
+        accept_format(self.req, default)
+    }
+}
+
+/// [`ApiRequest::format`] for callers that only have the raw request
+/// (no form-body fields; only the query string and the `Accept` header).
+pub fn negotiate_format(req: &Request, default: OutputFormat) -> Result<OutputFormat, ApiError> {
+    if let Some(raw) = req.param("format") {
+        return OutputFormat::try_parse(raw).ok_or_else(|| ApiError::unsupported_format(raw));
+    }
+    accept_format(req, default)
+}
+
+/// The `Accept`-header half of format negotiation.
+fn accept_format(req: &Request, default: OutputFormat) -> Result<OutputFormat, ApiError> {
+    match req.header("accept") {
+        None => Ok(default),
+        Some(accept) => match OutputFormat::from_accept(accept) {
+            crate::formats::AcceptNegotiation::Format(format) => Ok(format),
+            crate::formats::AcceptNegotiation::Any => Ok(default),
+            crate::formats::AcceptNegotiation::Unacceptable => {
+                Err(ApiError::not_acceptable(accept))
+            }
+        },
+    }
+}
+
+/// Range-validate an already-parsed number (`400 invalid_parameter` with
+/// the allowed interval in the message when outside `[min, max]`).
+pub fn check_range(name: &str, value: f64, min: f64, max: f64) -> Result<(), ApiError> {
+    if !value.is_finite() || value < min || value > max {
+        return Err(ApiError::invalid_parameter(
+            name,
+            &value.to_string(),
+            "number",
+            &format!("must be between {min} and {max}"),
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::parse_request;
+
+    fn req(path_and_query: &str) -> Request {
+        parse_request(&format!("GET {path_and_query} HTTP/1.1\r\n")).unwrap()
+    }
+
+    #[test]
+    fn typed_extraction_and_errors() {
+        let r = req("/x?ra=181.5&zoom=2&name=abc");
+        let api = ApiRequest::legacy(&r);
+        assert_eq!(api.require::<f64>("ra").unwrap(), 181.5);
+        assert_eq!(api.require::<Zoom>("zoom").unwrap(), Zoom(2));
+        assert_eq!(api.optional::<f64>("missing").unwrap(), None);
+        let err = api.require::<f64>("missing").unwrap_err();
+        assert_eq!(err.code, "missing_parameter");
+        let err = api.require::<i64>("name").unwrap_err();
+        assert_eq!(err.code, "invalid_parameter");
+        assert_eq!(err.status, 400);
+    }
+
+    #[test]
+    fn zoom_rejects_out_of_range_instead_of_clamping() {
+        let r = req("/x?zoom=7");
+        let api = ApiRequest::legacy(&r);
+        let err = api.require::<Zoom>("zoom").unwrap_err();
+        assert_eq!(err.code, "invalid_parameter");
+        assert!(err.message.contains("0..=3"), "{}", err.message);
+    }
+
+    #[test]
+    fn path_captures_win_over_query() {
+        let r = req("/x?id=9");
+        let api = ApiRequest::new(&r, vec![("id", "42".to_string())]);
+        assert_eq!(api.path_param::<i64>("id").unwrap(), 42);
+        assert_eq!(api.require::<i64>("id").unwrap(), 42);
+    }
+
+    #[test]
+    fn sql_text_falls_back_to_a_raw_body() {
+        let mut r =
+            parse_request("POST /api/v1/query HTTP/1.1\r\nContent-Type: text/plain\r\n").unwrap();
+        r.body = b"select 1".to_vec();
+        let api = ApiRequest::legacy(&r);
+        assert_eq!(api.sql_text("sql").unwrap(), "select 1");
+        let r = req("/api/v1/query");
+        let api = ApiRequest::legacy(&r);
+        assert_eq!(api.sql_text("sql").unwrap_err().code, "missing_parameter");
+    }
+
+    #[test]
+    fn format_negotiation_orders_param_accept_default() {
+        let r = req("/x?format=csv");
+        assert_eq!(
+            negotiate_format(&r, OutputFormat::Json).unwrap(),
+            OutputFormat::Csv
+        );
+        let r = req("/x?format=nope");
+        let err = negotiate_format(&r, OutputFormat::Json).unwrap_err();
+        assert_eq!(err.code, "unsupported_format");
+        assert_eq!(err.status, 400);
+        let mut r = req("/x");
+        r.headers
+            .insert("accept".to_string(), "text/csv".to_string());
+        assert_eq!(
+            negotiate_format(&r, OutputFormat::Json).unwrap(),
+            OutputFormat::Csv
+        );
+        r.headers
+            .insert("accept".to_string(), "image/png".to_string());
+        let err = negotiate_format(&r, OutputFormat::Json).unwrap_err();
+        assert_eq!(err.code, "not_acceptable");
+        assert_eq!(err.status, 406);
+        let r = req("/x");
+        assert_eq!(
+            negotiate_format(&r, OutputFormat::Json).unwrap(),
+            OutputFormat::Json
+        );
+    }
+
+    #[test]
+    fn format_field_in_a_form_body_is_honoured() {
+        let mut r = parse_request(
+            "POST /api/v1/query HTTP/1.1\r\nContent-Type: application/x-www-form-urlencoded\r\n",
+        )
+        .unwrap();
+        r.body = b"sql=select+1&format=csv".to_vec();
+        let api = ApiRequest::legacy(&r);
+        assert_eq!(api.format(OutputFormat::Json).unwrap(), OutputFormat::Csv);
+        r.body = b"sql=select+1&format=exe".to_vec();
+        let api = ApiRequest::legacy(&r);
+        assert_eq!(
+            api.format(OutputFormat::Json).unwrap_err().code,
+            "unsupported_format"
+        );
+    }
+
+    #[test]
+    fn range_checks() {
+        assert!(check_range("ra", 181.0, 0.0, 360.0).is_ok());
+        let err = check_range("ra", 400.0, 0.0, 360.0).unwrap_err();
+        assert_eq!(err.code, "invalid_parameter");
+        assert!(check_range("dec", f64::NAN, -90.0, 90.0).is_err());
+    }
+}

@@ -1,0 +1,498 @@
+//! The `/api/v1` endpoint handlers and the shared typed operations the
+//! legacy `.asp`/`/tools`/`/x_job` adapters reuse.
+//!
+//! Each handler is glue only: extractors parse and validate, the shared
+//! `*_payload` operations talk to the engine/job queue, pagination and
+//! formats render.  The legacy routes in [`crate::site`] call the same
+//! operations — one implementation serves both surfaces.
+
+use super::error::ApiError;
+use super::extract::{check_range, ApiRequest};
+use super::pagination::{render_page, Page};
+use super::router::{ParamLocation, ParamSpec, Route, Router};
+use crate::cache::normalize_sql;
+use crate::formats::OutputFormat;
+use crate::http::Response;
+use crate::jobs::{JobState, JobStatus};
+use crate::site::SkyServerSite;
+use skyserver::{ObjectSummary, ResultSet, StatementOutcome};
+use std::sync::Arc;
+
+/// The submitter identity used when a job request names none (the
+/// reproduction has no accounts; the real CasJobs did).
+pub(crate) const ANONYMOUS: &str = "anonymous";
+
+const JSON_CONTENT_TYPE: &str = "application/json; charset=utf-8";
+
+// ---------------------------------------------------------------------------
+// Shared typed operations (API handlers and legacy adapters both call
+// these).
+// ---------------------------------------------------------------------------
+
+/// Run a read-only SQL script under the public limits (§4).
+pub(crate) fn public_query(site: &SkyServerSite, sql: &str) -> Result<StatementOutcome, ApiError> {
+    site.sky().execute_public(sql).map_err(ApiError::from)
+}
+
+/// Materialize a paginated resource through the site's rows cache: the
+/// first page of a cursor walk executes `produce` and caches the result
+/// under the walk's cursor key; every later page reads memory instead of
+/// re-running the query.  (Admin writes clear the cache.)
+fn materialized(
+    site: &SkyServerSite,
+    key: &str,
+    produce: impl FnOnce() -> Result<ResultSet, ApiError>,
+) -> Result<Arc<ResultSet>, ApiError> {
+    if let Some(hit) = site.rows_cache().get(key) {
+        return Ok(hit);
+    }
+    let result = Arc::new(produce()?);
+    site.rows_cache()
+        .insert(key.to_string(), Arc::clone(&result));
+    Ok(result)
+}
+
+/// The Explore drill-down payload for one object.
+pub(crate) fn explore_payload(site: &SkyServerSite, id: i64) -> Result<ObjectSummary, ApiError> {
+    site.sky().explore(id).map_err(ApiError::from)
+}
+
+/// Objects within `radius_arcmin` of `(ra, dec)`, nearest first.
+pub(crate) fn cone_payload(
+    site: &SkyServerSite,
+    ra: f64,
+    dec: f64,
+    radius_arcmin: f64,
+) -> Result<ResultSet, ApiError> {
+    site.sky()
+        .nearby_objects(ra, dec, radius_arcmin)
+        .map_err(ApiError::from)
+}
+
+/// Submit a batch job (`429 quota_exceeded` on a per-submitter limit).
+pub(crate) fn submit_job(
+    site: &SkyServerSite,
+    submitter: &str,
+    sql: &str,
+) -> Result<u64, ApiError> {
+    site.jobs()
+        .submit(submitter, sql)
+        .map_err(|quota| ApiError::new("quota_exceeded", quota))
+}
+
+/// A job's status snapshot (`404` for unknown or expired ids).
+pub(crate) fn job_status_payload(site: &SkyServerSite, id: u64) -> Result<JobStatus, ApiError> {
+    site.jobs()
+        .status(id)
+        .ok_or_else(|| ApiError::not_found(format!("job {id} (unknown id, or its result expired)")))
+}
+
+/// The stored result of a finished job, with per-state structured errors.
+pub(crate) fn job_result_payload(
+    site: &SkyServerSite,
+    id: u64,
+) -> Result<Arc<ResultSet>, ApiError> {
+    let status = job_status_payload(site, id)?;
+    match status.state {
+        JobState::Done => site.jobs().result(id).map_err(ApiError::internal),
+        JobState::Queued | JobState::Running => Err(ApiError::new(
+            "job_not_ready",
+            format!(
+                "job {id} is still {}; poll its status until it is done",
+                status.state
+            ),
+        )),
+        JobState::Failed => Err(ApiError::new(
+            "job_failed",
+            format!(
+                "job {id} failed: {}",
+                status.error.as_deref().unwrap_or("unknown error")
+            ),
+        )),
+        JobState::Cancelled => Err(ApiError::new(
+            "job_cancelled",
+            format!("job {id} was cancelled"),
+        )),
+    }
+}
+
+/// Cancel a job (`404` for unknown ids); returns the post-cancel state.
+pub(crate) fn cancel_job(site: &SkyServerSite, id: u64) -> Result<JobState, ApiError> {
+    site.jobs()
+        .cancel(id)
+        .ok_or_else(|| ApiError::not_found(format!("job {id}")))
+}
+
+/// The JSON rendering of a job status snapshot (shared with the legacy
+/// `/x_job/status` endpoint).
+pub(crate) fn job_status_json(status: &JobStatus) -> serde_json::Value {
+    serde_json::json!({
+        "job_id": status.id,
+        "submitter": status.submitter,
+        "sql": status.sql,
+        "state": status.state.as_str(),
+        "queue_position": status.queue_position,
+        "rows_processed": status.rows_processed,
+        "result_rows": status.result_rows,
+        "result_bytes": status.result_bytes,
+        "truncated": status.truncated,
+        "error": status.error,
+        "waited_seconds": status.waited_seconds,
+        "run_seconds": status.run_seconds,
+    })
+}
+
+/// Serialise a JSON document body; a serialisation failure is a `500`
+/// envelope, never a `200` with an empty body (the old explore endpoint
+/// did exactly that via `unwrap_or_default`).
+pub(crate) fn json_document<T: serde::Serialize>(value: &T) -> Result<Response, ApiError> {
+    match serde_json::to_vec(value) {
+        Ok(body) => Ok(Response::ok(JSON_CONTENT_TYPE, body)),
+        Err(e) => Err(ApiError::internal(format!(
+            "failed to serialise the response: {e}"
+        ))),
+    }
+}
+
+/// Require the negotiated format to be JSON (document endpoints such as
+/// `/objects/{id}` and `/schema` have no tabular rendering): `406` with
+/// the supported list otherwise.
+fn require_json(req: &ApiRequest<'_>) -> Result<(), ApiError> {
+    let format = req.format(OutputFormat::Json)?;
+    if format != OutputFormat::Json {
+        return Err(ApiError::new(
+            "not_acceptable",
+            format!(
+                "this endpoint only serves json (requested {})",
+                format.name()
+            ),
+        )
+        .with_detail(serde_json::json!({ "supported": ["json"] })));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Endpoint handlers.
+// ---------------------------------------------------------------------------
+
+fn spec(_site: &SkyServerSite, req: &ApiRequest<'_>) -> Result<Response, ApiError> {
+    require_json(req)?;
+    Ok(Response::ok(
+        JSON_CONTENT_TYPE,
+        super::router().spec().to_string().into_bytes(),
+    ))
+}
+
+fn query(site: &SkyServerSite, req: &ApiRequest<'_>) -> Result<Response, ApiError> {
+    let sql = req.sql_text("sql")?;
+    let format = req.format(OutputFormat::Json)?;
+    let key = format!("query|{}", normalize_sql(&sql));
+    let page = Page::from_request(req, &key)?;
+    let result = materialized(site, &key, || Ok(public_query(site, &sql)?.result))?;
+    Ok(render_page(&result, &page, &key, format))
+}
+
+fn object(site: &SkyServerSite, req: &ApiRequest<'_>) -> Result<Response, ApiError> {
+    require_json(req)?;
+    let id: i64 = req.path_param("id")?;
+    json_document(&explore_payload(site, id)?)
+}
+
+fn cone(site: &SkyServerSite, req: &ApiRequest<'_>) -> Result<Response, ApiError> {
+    let ra: f64 = req.require("ra")?;
+    check_range("ra", ra, 0.0, 360.0)?;
+    let dec: f64 = req.require("dec")?;
+    check_range("dec", dec, -90.0, 90.0)?;
+    let radius: f64 = req.require("radius")?;
+    if !radius.is_finite() || radius <= 0.0 || radius > 600.0 {
+        return Err(ApiError::invalid_parameter(
+            "radius",
+            &radius.to_string(),
+            "number",
+            "must be a radius in arcminutes between 0 (exclusive) and 600",
+        ));
+    }
+    let format = req.format(OutputFormat::Json)?;
+    let key = format!("cone|{ra}|{dec}|{radius}");
+    let page = Page::from_request(req, &key)?;
+    let result = materialized(site, &key, || cone_payload(site, ra, dec, radius))?;
+    Ok(render_page(&result, &page, &key, format))
+}
+
+fn jobs_list(site: &SkyServerSite, req: &ApiRequest<'_>) -> Result<Response, ApiError> {
+    require_json(req)?;
+    let submitter: Option<String> = req.optional("submitter")?;
+    let jobs: Vec<serde_json::Value> = site
+        .jobs()
+        .jobs(submitter.as_deref())
+        .iter()
+        .map(job_status_json)
+        .collect();
+    Ok(Response::ok(
+        JSON_CONTENT_TYPE,
+        serde_json::json!({ "jobs": jobs }).to_string().into_bytes(),
+    ))
+}
+
+fn job_submit(site: &SkyServerSite, req: &ApiRequest<'_>) -> Result<Response, ApiError> {
+    let sql = req.sql_text("sql")?;
+    let submitter: String = req
+        .optional("submitter")?
+        .unwrap_or_else(|| ANONYMOUS.to_string());
+    let id = submit_job(site, &submitter, &sql)?;
+    let body = serde_json::json!({
+        "job_id": id,
+        "state": "queued",
+        "href": format!("{}/jobs/{id}", super::API_PREFIX),
+    });
+    let mut response = Response::ok(JSON_CONTENT_TYPE, body.to_string().into_bytes());
+    response.status = 201;
+    Ok(response)
+}
+
+fn job_status(site: &SkyServerSite, req: &ApiRequest<'_>) -> Result<Response, ApiError> {
+    require_json(req)?;
+    let id: u64 = req.path_param("id")?;
+    let status = job_status_payload(site, id)?;
+    Ok(Response::ok(
+        JSON_CONTENT_TYPE,
+        job_status_json(&status).to_string().into_bytes(),
+    ))
+}
+
+fn job_result(site: &SkyServerSite, req: &ApiRequest<'_>) -> Result<Response, ApiError> {
+    let id: u64 = req.path_param("id")?;
+    let format = req.format(OutputFormat::Json)?;
+    let key = format!("job|{id}");
+    let page = Page::from_request(req, &key)?;
+    let result = job_result_payload(site, id)?;
+    Ok(render_page(&result, &page, &key, format))
+}
+
+fn job_cancel(site: &SkyServerSite, req: &ApiRequest<'_>) -> Result<Response, ApiError> {
+    let id: u64 = req.path_param("id")?;
+    let state = cancel_job(site, id)?;
+    Ok(Response::ok(
+        JSON_CONTENT_TYPE,
+        serde_json::json!({ "job_id": id, "state": state.as_str() })
+            .to_string()
+            .into_bytes(),
+    ))
+}
+
+fn schema(site: &SkyServerSite, req: &ApiRequest<'_>) -> Result<Response, ApiError> {
+    require_json(req)?;
+    json_document(&site.sky().schema_description())
+}
+
+// ---------------------------------------------------------------------------
+// The route table.
+// ---------------------------------------------------------------------------
+
+const FORMAT_PARAM: ParamSpec = ParamSpec {
+    name: "format",
+    location: ParamLocation::Query,
+    type_name: "one of grid|csv|xml|json|fits",
+    required: false,
+    description: "Output format; overrides the Accept header. Default json.",
+};
+
+const LIMIT_PARAM: ParamSpec = ParamSpec {
+    name: "limit",
+    location: ParamLocation::Query,
+    type_name: "integer",
+    required: false,
+    description: "Page size (1..=1000, default 100).",
+};
+
+const CURSOR_PARAM: ParamSpec = ParamSpec {
+    name: "cursor",
+    location: ParamLocation::Query,
+    type_name: "opaque cursor",
+    required: false,
+    description: "Continuation token from the previous page's next_cursor.",
+};
+
+const SQL_PARAM: ParamSpec = ParamSpec {
+    name: "sql",
+    location: ParamLocation::Query,
+    type_name: "string",
+    required: true,
+    description: "The read-only SQL script to run (on POST, may instead be \
+                  the raw request body).",
+};
+
+const JOB_ID_PARAM: ParamSpec = ParamSpec {
+    name: "id",
+    location: ParamLocation::Path,
+    type_name: "integer",
+    required: true,
+    description: "The job id returned at submission.",
+};
+
+/// Build the v1 route table (the one the router dispatches *and* the spec
+/// endpoint renders).
+pub(crate) fn v1_router() -> Router {
+    Router::new(vec![
+        Route {
+            method: "GET",
+            pattern: "/api/v1",
+            name: "spec",
+            description: "This machine-readable description of the API surface.",
+            params: &[],
+            handler: spec,
+        },
+        Route {
+            method: "GET",
+            pattern: "/api/v1/query",
+            name: "query",
+            description: "Run a read-only SQL script under the public limits \
+                          (1,000 rows / 30 seconds) and page the result.",
+            params: &[SQL_PARAM, FORMAT_PARAM, LIMIT_PARAM, CURSOR_PARAM],
+            handler: query,
+        },
+        Route {
+            method: "POST",
+            pattern: "/api/v1/query",
+            name: "query",
+            description: "As GET /api/v1/query; the SQL may be a form field \
+                          or the raw request body.",
+            params: &[SQL_PARAM, FORMAT_PARAM, LIMIT_PARAM, CURSOR_PARAM],
+            handler: query,
+        },
+        Route {
+            method: "GET",
+            pattern: "/api/v1/objects/{id}",
+            name: "explore_object",
+            description: "The Explore drill-down for one object: attributes, \
+                          neighbours, spectrum, cross-matches.",
+            params: &[ParamSpec {
+                name: "id",
+                location: ParamLocation::Path,
+                type_name: "integer",
+                required: true,
+                description: "The objID of a PhotoObj row.",
+            }],
+            handler: object,
+        },
+        Route {
+            method: "GET",
+            pattern: "/api/v1/cone",
+            name: "cone_search",
+            description: "Objects within a radius of a sky position, nearest \
+                          first (fGetNearbyObjEq as a REST resource).",
+            params: &[
+                ParamSpec {
+                    name: "ra",
+                    location: ParamLocation::Query,
+                    type_name: "number",
+                    required: true,
+                    description: "Right ascension in degrees (0..=360).",
+                },
+                ParamSpec {
+                    name: "dec",
+                    location: ParamLocation::Query,
+                    type_name: "number",
+                    required: true,
+                    description: "Declination in degrees (-90..=90).",
+                },
+                ParamSpec {
+                    name: "radius",
+                    location: ParamLocation::Query,
+                    type_name: "number",
+                    required: true,
+                    description: "Search radius in arcminutes (0 < r <= 600).",
+                },
+                FORMAT_PARAM,
+                LIMIT_PARAM,
+                CURSOR_PARAM,
+            ],
+            handler: cone,
+        },
+        Route {
+            method: "GET",
+            pattern: "/api/v1/jobs",
+            name: "jobs_list",
+            description: "Batch jobs, newest first, optionally filtered by \
+                          submitter.",
+            params: &[ParamSpec {
+                name: "submitter",
+                location: ParamLocation::Query,
+                type_name: "string",
+                required: false,
+                description: "Only this submitter's jobs.",
+            }],
+            handler: jobs_list,
+        },
+        Route {
+            method: "POST",
+            pattern: "/api/v1/jobs",
+            name: "job_submit",
+            description: "Submit a read-only SQL script as a batch job \
+                          (201 with the job id and href).",
+            params: &[
+                ParamSpec {
+                    name: "sql",
+                    location: ParamLocation::Query,
+                    type_name: "string",
+                    required: true,
+                    description: "The read-only SQL script to run as a job \
+                                  (may instead be the raw request body).",
+                },
+                ParamSpec {
+                    name: "submitter",
+                    location: ParamLocation::Query,
+                    type_name: "string",
+                    required: false,
+                    description: "Submitter identity for quotas and the job \
+                                  list (default \"anonymous\").",
+                },
+            ],
+            handler: job_submit,
+        },
+        Route {
+            method: "GET",
+            pattern: "/api/v1/jobs/{id}",
+            name: "job_status",
+            description: "One job's state, queue position and progress.",
+            params: &[JOB_ID_PARAM],
+            handler: job_status,
+        },
+        Route {
+            method: "GET",
+            pattern: "/api/v1/jobs/{id}/result",
+            name: "job_result",
+            description: "The stored result of a Done job, paged and \
+                          format-negotiated like /query.",
+            params: &[JOB_ID_PARAM, FORMAT_PARAM, LIMIT_PARAM, CURSOR_PARAM],
+            handler: job_result,
+        },
+        Route {
+            method: "DELETE",
+            pattern: "/api/v1/jobs/{id}",
+            name: "job_cancel",
+            description: "Cancel a queued or running job.",
+            params: &[JOB_ID_PARAM],
+            handler: job_cancel,
+        },
+        Route {
+            method: "POST",
+            pattern: "/api/v1/jobs/{id}/cancel",
+            name: "job_cancel",
+            description: "As DELETE /api/v1/jobs/{id}, for clients that \
+                          cannot send DELETE.",
+            params: &[JOB_ID_PARAM],
+            handler: job_cancel,
+        },
+        Route {
+            method: "GET",
+            pattern: "/api/v1/schema",
+            name: "schema",
+            description: "The schema-browser metadata: tables, views, \
+                          indices, functions.",
+            params: &[],
+            handler: schema,
+        },
+    ])
+}

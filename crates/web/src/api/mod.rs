@@ -1,0 +1,61 @@
+//! The versioned, typed programmatic surface: `/api/v1`.
+//!
+//! The paper's whole point is *programmatic* public access — astronomers
+//! and their tools hitting the archive through stable URLs, not just
+//! browsers (§1, §4).  This module is that contract, redesigned from the
+//! `.asp`-era string matching into four explicit layers:
+//!
+//! * a declarative [`Router`] — method + path-segment patterns with
+//!   `{typed}` captures; the route table is data, and the `GET /api/v1`
+//!   self-description is generated from the very table dispatch walks,
+//!   so docs cannot drift from behaviour;
+//! * an extractor layer — every path/query/body parameter parses through
+//!   [`FromParam`] into its declared type, and a malformed value is a
+//!   structured `400`, never a silent default;
+//! * a machine-readable error envelope ([`ApiError`]) —
+//!   `{"error": {code, message, detail}}` with the stable [`ERROR_CODES`]
+//!   taxonomy mapped from [`skyserver::SqlError`] /
+//!   [`skyserver::SkyServerError`] / job-queue errors (400 parameter,
+//!   404 missing, 408 timeout, 422 SQL, 429 quota, 503 overload);
+//! * cursor pagination and content negotiation ([`Page`],
+//!   [`negotiate_format`]) — `?limit=` + opaque `?cursor=` continuation
+//!   tokens with total/truncation metadata, and one `Accept`/`?format=`
+//!   resolution path through [`OutputFormat`](crate::formats::OutputFormat)
+//!   (`406` when nothing is servable).
+//!
+//! The legacy `/tools`/`.asp`/`/x_job` routes in [`crate::site`] are thin
+//! adapters over the same typed operations, so one implementation serves
+//! both surfaces.
+
+mod error;
+mod extract;
+pub(crate) mod handlers;
+mod pagination;
+mod router;
+
+pub use error::{status_for, ApiError, ERROR_CODES};
+pub use extract::{check_range, negotiate_format, ApiRequest, FromParam, Zoom};
+pub use pagination::{
+    decode_cursor, encode_cursor, paginate, render_page, Page, PageMeta, DEFAULT_PAGE_LIMIT,
+    MAX_PAGE_LIMIT,
+};
+pub use router::{Handler, ParamLocation, ParamSpec, Route, Router};
+
+use crate::http::{Request, Response};
+use crate::site::SkyServerSite;
+use std::sync::OnceLock;
+
+/// The version prefix every route in this module lives under.
+pub const API_PREFIX: &str = "/api/v1";
+
+/// The process-wide v1 router.  Built once; the route table is static
+/// data shared by dispatch and the spec endpoint.
+pub fn router() -> &'static Router {
+    static ROUTER: OnceLock<Router> = OnceLock::new();
+    ROUTER.get_or_init(handlers::v1_router)
+}
+
+/// Dispatch an `/api/...` request through the typed router.
+pub fn dispatch(site: &SkyServerSite, req: &Request) -> Response {
+    router().dispatch(site, req)
+}

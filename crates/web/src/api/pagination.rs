@@ -1,0 +1,288 @@
+//! Cursor-based pagination for tabular API results.
+//!
+//! Clients page with `?limit=` and an **opaque continuation token**
+//! (`?cursor=`) returned in the previous page's metadata.  The token
+//! encodes the row offset *and a fingerprint of the resource it was
+//! issued for* — replaying a cursor against a different query is a
+//! structured `400 invalid_cursor`, not silently wrong rows.  Walking
+//! `next_cursor` until it is absent yields the full (row-budget-capped)
+//! result exactly once.
+
+use super::error::ApiError;
+use super::extract::ApiRequest;
+use crate::formats::{value_to_json, OutputFormat};
+use crate::http::Response;
+use skyserver::ResultSet;
+use skyserver_storage::{hex_decode, hex_encode};
+
+/// Page size when the client sends no `limit`.
+pub const DEFAULT_PAGE_LIMIT: usize = 100;
+
+/// Largest accepted `limit` (the public interactive row budget).
+pub const MAX_PAGE_LIMIT: usize = 1000;
+
+/// A validated page request: how many rows, starting where.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Page {
+    /// Maximum rows in this page (`1..=MAX_PAGE_LIMIT`).
+    pub limit: usize,
+    /// Row offset decoded from the cursor (0 without one).
+    pub offset: usize,
+}
+
+impl Page {
+    /// Parse `?limit=` / `?cursor=` for the resource identified by `key`
+    /// (the key binds cursors to their query — see [`encode_cursor`]).
+    pub fn from_request(req: &ApiRequest<'_>, key: &str) -> Result<Page, ApiError> {
+        let limit = req
+            .optional::<usize>("limit")?
+            .unwrap_or(DEFAULT_PAGE_LIMIT);
+        if limit == 0 || limit > MAX_PAGE_LIMIT {
+            return Err(ApiError::invalid_parameter(
+                "limit",
+                &limit.to_string(),
+                "integer",
+                &format!("must be between 1 and {MAX_PAGE_LIMIT}"),
+            ));
+        }
+        let offset = match req.raw_param("cursor") {
+            None => 0,
+            Some(token) => decode_cursor(token, key)?,
+        };
+        Ok(Page { limit, offset })
+    }
+}
+
+/// FNV-1a over the resource key: cheap, deterministic, and good enough to
+/// catch a cursor replayed against a different query.
+fn fingerprint(key: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in key.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Encode a continuation token for row `offset` of the resource `key`.
+/// The token is opaque to clients (hex of a versioned payload).
+pub fn encode_cursor(offset: usize, key: &str) -> String {
+    hex_encode(format!("v1:{offset}:{:016x}", fingerprint(key)).as_bytes())
+}
+
+/// Decode and validate a continuation token against the resource `key`.
+pub fn decode_cursor(token: &str, key: &str) -> Result<usize, ApiError> {
+    let malformed = || {
+        ApiError::new(
+            "invalid_cursor",
+            "malformed pagination cursor; pass a next_cursor value exactly as returned",
+        )
+    };
+    let bytes = hex_decode(token.trim()).ok_or_else(malformed)?;
+    let text = String::from_utf8(bytes).map_err(|_| malformed())?;
+    let mut parts = text.split(':');
+    if parts.next() != Some("v1") {
+        return Err(malformed());
+    }
+    let offset: usize = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(malformed)?;
+    let fp = parts.next().ok_or_else(malformed)?;
+    if parts.next().is_some() {
+        return Err(malformed());
+    }
+    if fp != format!("{:016x}", fingerprint(key)) {
+        return Err(ApiError::new(
+            "invalid_cursor",
+            "this cursor was issued for a different query; restart without a cursor",
+        ));
+    }
+    Ok(offset)
+}
+
+/// Pagination metadata for one rendered page.
+#[derive(Debug, Clone)]
+pub struct PageMeta {
+    /// Rows in this page.
+    pub returned: usize,
+    /// Rows in the whole (row-budget-capped) result.
+    pub total_rows: usize,
+    /// Row offset of this page.
+    pub offset: usize,
+    /// The page limit applied.
+    pub limit: usize,
+    /// Whether the engine's row budget truncated the underlying result.
+    pub truncated: bool,
+    /// Continuation token for the next page (`None` on the last page).
+    pub next_cursor: Option<String>,
+}
+
+/// Slice one page out of `result`, producing the page rows and metadata.
+pub fn paginate<'a>(
+    result: &'a ResultSet,
+    page: &Page,
+    key: &str,
+) -> (&'a [Vec<skyserver::Value>], PageMeta) {
+    let total = result.rows.len();
+    let start = page.offset.min(total);
+    let end = start.saturating_add(page.limit).min(total);
+    let rows = &result.rows[start..end];
+    let next_cursor = (end < total).then(|| encode_cursor(end, key));
+    (
+        rows,
+        PageMeta {
+            returned: rows.len(),
+            total_rows: total,
+            offset: start,
+            limit: page.limit,
+            truncated: result.truncated,
+            next_cursor,
+        },
+    )
+}
+
+/// Render one page of `result` in `format`.
+///
+/// JSON carries the metadata in the envelope
+/// (`{"columns", "rows", "meta": {...}}`); the other formats keep their
+/// plain body and carry the metadata in `X-Total-Rows` / `X-Row-Offset` /
+/// `X-Truncated` / `X-Next-Cursor` response headers.
+pub fn render_page(result: &ResultSet, page: &Page, key: &str, format: OutputFormat) -> Response {
+    let (rows, meta) = paginate(result, page, key);
+    if format == OutputFormat::Json {
+        let json_rows: Vec<Vec<serde_json::Value>> = rows
+            .iter()
+            .map(|row| row.iter().map(value_to_json).collect())
+            .collect();
+        let next_cursor = meta
+            .next_cursor
+            .clone()
+            .map(serde_json::Value::String)
+            .unwrap_or(serde_json::Value::Null);
+        let body = serde_json::json!({
+            "columns": result.columns,
+            "rows": json_rows,
+            "meta": {
+                "returned": meta.returned,
+                "total_rows": meta.total_rows,
+                "offset": meta.offset,
+                "limit": meta.limit,
+                "truncated": meta.truncated,
+                "next_cursor": next_cursor,
+            }
+        });
+        return Response::ok(format.content_type(), body.to_string().into_bytes());
+    }
+    let page_set = ResultSet {
+        columns: result.columns.clone(),
+        rows: rows.to_vec(),
+        truncated: result.truncated,
+    };
+    let mut response = Response::ok(format.content_type(), format.render(&page_set))
+        .with_header("X-Total-Rows", &meta.total_rows.to_string())
+        .with_header("X-Row-Offset", &meta.offset.to_string())
+        .with_header("X-Truncated", if meta.truncated { "true" } else { "false" });
+    if let Some(cursor) = &meta.next_cursor {
+        response = response.with_header("X-Next-Cursor", cursor);
+    }
+    response
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skyserver::Value;
+
+    fn result(n: usize) -> ResultSet {
+        ResultSet {
+            columns: vec!["n".into()],
+            rows: (0..n).map(|i| vec![Value::Int(i as i64)]).collect(),
+            truncated: false,
+        }
+    }
+
+    #[test]
+    fn cursor_round_trip_and_binding() {
+        let token = encode_cursor(37, "query|select 1");
+        assert_eq!(decode_cursor(&token, "query|select 1").unwrap(), 37);
+        // A cursor issued for another query is rejected, not misapplied.
+        let err = decode_cursor(&token, "query|select 2").unwrap_err();
+        assert_eq!(err.code, "invalid_cursor");
+        assert!(err.message.contains("different query"), "{}", err.message);
+        // Garbage tokens are a clean 400.
+        for garbage in ["zz", "", "00", &hex_encode(b"v2:1:00")] {
+            assert_eq!(
+                decode_cursor(garbage, "k").unwrap_err().code,
+                "invalid_cursor"
+            );
+        }
+    }
+
+    #[test]
+    fn pagination_walk_covers_every_row_exactly_once() {
+        let rs = result(25);
+        let mut seen = Vec::new();
+        let mut offset = 0usize;
+        let mut pages = 0;
+        loop {
+            let page = Page { limit: 10, offset };
+            let (rows, meta) = paginate(&rs, &page, "k");
+            seen.extend(rows.iter().map(|r| r[0].as_i64().unwrap()));
+            pages += 1;
+            assert_eq!(meta.total_rows, 25);
+            match meta.next_cursor {
+                Some(token) => offset = decode_cursor(&token, "k").unwrap(),
+                None => break,
+            }
+        }
+        assert_eq!(pages, 3);
+        assert_eq!(seen, (0..25).collect::<Vec<i64>>());
+    }
+
+    #[test]
+    fn offset_past_the_end_is_an_empty_last_page() {
+        let rs = result(5);
+        let (rows, meta) = paginate(
+            &rs,
+            &Page {
+                limit: 10,
+                offset: 99,
+            },
+            "k",
+        );
+        assert!(rows.is_empty());
+        assert_eq!(meta.returned, 0);
+        assert!(meta.next_cursor.is_none());
+    }
+
+    #[test]
+    fn non_json_pages_carry_metadata_headers() {
+        let rs = result(12);
+        let r = render_page(
+            &rs,
+            &Page {
+                limit: 5,
+                offset: 0,
+            },
+            "k",
+            OutputFormat::Csv,
+        );
+        assert_eq!(r.status, 200);
+        assert_eq!(r.header("X-Total-Rows"), Some("12"));
+        assert!(r.header("X-Next-Cursor").is_some());
+        let body = String::from_utf8(r.body).unwrap();
+        assert_eq!(body.lines().count(), 6, "header + 5 rows");
+        // The last page has no next cursor.
+        let r = render_page(
+            &rs,
+            &Page {
+                limit: 5,
+                offset: 10,
+            },
+            "k",
+            OutputFormat::Csv,
+        );
+        assert_eq!(r.header("X-Next-Cursor"), None);
+    }
+}

@@ -1,0 +1,239 @@
+//! The declarative method + path-pattern router of the API surface.
+//!
+//! Routes are **data**: a method, a segment pattern with `{typed}`
+//! captures, a name, a description, and parameter specs.  Dispatch walks
+//! the same table the `GET /api/v1` self-description renders, so the
+//! published spec cannot drift from what actually dispatches — there is
+//! no second list to forget to update.
+
+use super::error::ApiError;
+use super::extract::ApiRequest;
+use crate::http::{Request, Response};
+use crate::site::SkyServerSite;
+
+/// A route handler: typed request in, response or structured error out.
+pub type Handler = fn(&SkyServerSite, &ApiRequest<'_>) -> Result<Response, ApiError>;
+
+/// Where a declared parameter is carried.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParamLocation {
+    /// A `{capture}` in the path pattern.
+    Path,
+    /// A query-string parameter (also accepted as a form-body field on
+    /// POST).
+    Query,
+    /// The raw request body (POST).
+    Body,
+}
+
+impl ParamLocation {
+    /// The name used in the generated spec (`"path"`, `"query"`, `"body"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ParamLocation::Path => "path",
+            ParamLocation::Query => "query",
+            ParamLocation::Body => "body",
+        }
+    }
+}
+
+/// One declared parameter of a route (rendered into the spec).
+#[derive(Debug, Clone, Copy)]
+pub struct ParamSpec {
+    /// Parameter name.
+    pub name: &'static str,
+    /// Where the parameter is carried.
+    pub location: ParamLocation,
+    /// Human-readable type (matches the extractor's `TYPE_NAME`).
+    pub type_name: &'static str,
+    /// Whether the request fails without it.
+    pub required: bool,
+    /// What the parameter does.
+    pub description: &'static str,
+}
+
+/// One routable endpoint.
+pub struct Route {
+    /// HTTP method (`GET`, `POST`, `DELETE`).
+    pub method: &'static str,
+    /// Path pattern, e.g. `/api/v1/objects/{id}`.
+    pub pattern: &'static str,
+    /// Stable handler name (spec + conformance tests key on it).
+    pub name: &'static str,
+    /// One-line description for the spec.
+    pub description: &'static str,
+    /// Declared parameters.
+    pub params: &'static [ParamSpec],
+    /// The handler function.
+    pub handler: Handler,
+}
+
+impl Route {
+    /// Match a concrete path against the pattern; returns the captures
+    /// (pattern `{name}` segments) on success.
+    fn match_path(&self, path: &str) -> Option<Vec<(&'static str, String)>> {
+        let mut captures = Vec::new();
+        let mut pattern_segments = self.pattern.split('/').filter(|s| !s.is_empty());
+        let mut path_segments = path.split('/').filter(|s| !s.is_empty());
+        loop {
+            match (pattern_segments.next(), path_segments.next()) {
+                (None, None) => return Some(captures),
+                (Some(pattern), Some(actual)) => {
+                    match pattern.strip_prefix('{').and_then(|s| s.strip_suffix('}')) {
+                        Some(name) => captures.push((name, actual.to_string())),
+                        None if pattern == actual => {}
+                        None => return None,
+                    }
+                }
+                _ => return None,
+            }
+        }
+    }
+}
+
+/// The route table: dispatch and self-description from the same data.
+pub struct Router {
+    routes: Vec<Route>,
+}
+
+impl Router {
+    /// Build a router over a route table.
+    pub fn new(routes: Vec<Route>) -> Router {
+        Router { routes }
+    }
+
+    /// The route table (the spec endpoint and tests iterate it).
+    pub fn routes(&self) -> &[Route] {
+        &self.routes
+    }
+
+    /// Dispatch one request: path + method matching, typed extraction in
+    /// the handler, and the error envelope for every failure mode —
+    /// `404 unknown_endpoint` when no pattern matches,
+    /// `405 method_not_allowed` (with the allowed methods in the detail)
+    /// when the path exists under other methods.
+    pub fn dispatch(&self, site: &SkyServerSite, req: &Request) -> Response {
+        let path = req.path.trim_end_matches('/');
+        let path = if path.is_empty() { "/" } else { path };
+        let mut allowed: Vec<&'static str> = Vec::new();
+        for route in &self.routes {
+            if let Some(captures) = route.match_path(path) {
+                if route.method == req.method {
+                    let api_req = ApiRequest::new(req, captures);
+                    return match (route.handler)(site, &api_req) {
+                        Ok(response) => response,
+                        Err(error) => error.into_response(),
+                    };
+                }
+                allowed.push(route.method);
+            }
+        }
+        if !allowed.is_empty() {
+            allowed.sort_unstable();
+            allowed.dedup();
+            return ApiError::new(
+                "method_not_allowed",
+                format!("{} is not allowed on {path}", req.method),
+            )
+            .with_detail(serde_json::json!({ "allowed": allowed }))
+            .into_response();
+        }
+        ApiError::new(
+            "unknown_endpoint",
+            format!("no API endpoint matches {path}; GET /api/v1 lists the surface"),
+        )
+        .into_response()
+    }
+
+    /// The machine-readable spec, generated from the route table.
+    pub fn spec(&self) -> serde_json::Value {
+        let endpoints: Vec<serde_json::Value> = self
+            .routes
+            .iter()
+            .map(|route| {
+                let params: Vec<serde_json::Value> = route
+                    .params
+                    .iter()
+                    .map(|p| {
+                        serde_json::json!({
+                            "name": p.name,
+                            "in": p.location.as_str(),
+                            "type": p.type_name,
+                            "required": p.required,
+                            "description": p.description,
+                        })
+                    })
+                    .collect();
+                serde_json::json!({
+                    "method": route.method,
+                    "path": route.pattern,
+                    "name": route.name,
+                    "description": route.description,
+                    "params": params,
+                })
+            })
+            .collect();
+        let error_codes: Vec<serde_json::Value> = super::error::ERROR_CODES
+            .iter()
+            .map(|(code, status, description)| {
+                serde_json::json!({
+                    "code": code,
+                    "status": status,
+                    "description": description,
+                })
+            })
+            .collect();
+        let formats: Vec<&str> = crate::formats::OutputFormat::ALL
+            .iter()
+            .map(|f| f.name())
+            .collect();
+        serde_json::json!({
+            "api": "skyserver",
+            "version": "v1",
+            "self": super::API_PREFIX,
+            "formats": formats,
+            "pagination": {
+                "limit_param": "limit",
+                "cursor_param": "cursor",
+                "default_limit": super::pagination::DEFAULT_PAGE_LIMIT,
+                "max_limit": super::pagination::MAX_PAGE_LIMIT,
+            },
+            "endpoints": endpoints,
+            "error_codes": error_codes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn route(method: &'static str, pattern: &'static str) -> Route {
+        Route {
+            method,
+            pattern,
+            name: "test",
+            description: "",
+            params: &[],
+            handler: |_, _| Ok(Response::ok("text/plain", "ok")),
+        }
+    }
+
+    #[test]
+    fn patterns_match_and_capture() {
+        let r = route("GET", "/api/v1/objects/{id}");
+        assert_eq!(
+            r.match_path("/api/v1/objects/42"),
+            Some(vec![("id", "42".to_string())])
+        );
+        assert_eq!(r.match_path("/api/v1/objects"), None);
+        assert_eq!(r.match_path("/api/v1/objects/42/extra"), None);
+        assert_eq!(r.match_path("/api/v1/jobs/42"), None);
+        let r = route("GET", "/api/v1/jobs/{id}/result");
+        assert_eq!(
+            r.match_path("/api/v1/jobs/7/result"),
+            Some(vec![("id", "7".to_string())])
+        );
+        assert_eq!(r.match_path("/api/v1/jobs/7"), None);
+    }
+}

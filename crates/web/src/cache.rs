@@ -24,82 +24,62 @@ pub struct CachedBody {
 }
 
 #[derive(Debug)]
-struct Entry {
+struct Entry<V> {
     /// `Arc` so a hit hands out a refcount bump, not a body copy, while
     /// the cache mutex is held.
-    value: Arc<CachedBody>,
+    value: Arc<V>,
     /// Recency stamp: larger = more recently used.
     stamp: u64,
     /// Bytes this entry accounts for against the cache's byte budget.
     bytes: usize,
 }
 
-#[derive(Debug, Default)]
-struct Inner {
-    map: HashMap<String, Entry>,
+#[derive(Debug)]
+struct Inner<V> {
+    map: HashMap<String, Entry<V>>,
     tick: u64,
     /// Sum of every entry's accounted bytes (kept <= the byte budget).
     total_bytes: usize,
 }
 
-/// Counters and size of the cache (surfaced on the schema/QA page).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
-pub struct CacheStats {
-    /// Lookups answered from the cache.
-    pub hits: u64,
-    /// Lookups that found nothing.
-    pub misses: u64,
-    /// Entries currently cached.
-    pub entries: usize,
-    /// Bytes of rendered bodies (plus keys) currently cached.
-    pub bytes: usize,
+impl<V> Default for Inner<V> {
+    fn default() -> Self {
+        Inner {
+            map: HashMap::new(),
+            tick: 0,
+            total_bytes: 0,
+        }
+    }
 }
 
-/// Default byte budget: generous for the paper's popular-page workload but
-/// a hard bound — 128 entries at the 1 MiB per-body cap would otherwise
-/// be 128 MiB.
-const DEFAULT_BYTE_BUDGET: usize = 16 << 20;
-
-/// A thread-safe LRU cache from normalized query keys to rendered bodies,
-/// bounded by **both** an entry count and a rendered-body byte budget
-/// (evicting by count alone lets a handful of huge bodies blow memory).
+/// The shared LRU machinery: a string-keyed map bounded by entry count
+/// **and** accounted bytes, with hit/miss counters.  [`ResultCache`]
+/// (rendered bodies) and [`RowCache`] (materialized result sets) are the
+/// two instantiations.
 #[derive(Debug)]
-pub struct ResultCache {
-    inner: Mutex<Inner>,
+struct Lru<V> {
+    inner: Mutex<Inner<V>>,
     capacity: usize,
-    /// Total bytes of cached bodies+keys; least-recently-used entries are
-    /// evicted until an insert fits.
     byte_budget: usize,
-    /// Bodies larger than this are not cached (a full-table dump should not
-    /// evict a page of popular galleries).
-    max_body_bytes: usize,
+    /// Entries accounting for more than this are not cached at all.
+    max_entry_bytes: usize,
     hits: AtomicU64,
     misses: AtomicU64,
 }
 
-impl ResultCache {
-    /// A cache holding at most `capacity` rendered results under the
-    /// default byte budget.  A capacity of 0 disables caching entirely
-    /// (every lookup misses without being counted, inserts are dropped).
-    pub fn new(capacity: usize) -> ResultCache {
-        ResultCache::with_byte_budget(capacity, DEFAULT_BYTE_BUDGET)
-    }
-
-    /// A cache bounded by `capacity` entries **and** `byte_budget` bytes
-    /// of rendered bodies, whichever fills first.
-    pub fn with_byte_budget(capacity: usize, byte_budget: usize) -> ResultCache {
-        ResultCache {
+impl<V> Lru<V> {
+    fn new(capacity: usize, byte_budget: usize, max_entry_bytes: usize) -> Lru<V> {
+        Lru {
             inner: Mutex::new(Inner::default()),
             capacity,
             byte_budget,
-            max_body_bytes: 1 << 20,
+            max_entry_bytes,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
     }
 
-    /// Look up a key, refreshing its recency.  Counts a hit or a miss.
-    pub fn get(&self, key: &str) -> Option<Arc<CachedBody>> {
+    fn get(&self, key: &str) -> Option<Arc<V>> {
         if self.capacity == 0 {
             return None;
         }
@@ -119,16 +99,15 @@ impl ResultCache {
         }
     }
 
-    /// Insert a rendered body, evicting least-recently-used entries until
-    /// both the entry count and the byte budget fit.  Bodies over the
-    /// per-entry cap — or too big to ever fit the byte budget — are
+    /// Insert with the caller-computed byte accounting, evicting
+    /// least-recently-used entries until both bounds fit.  Entries over
+    /// the per-entry cap — or too big to ever fit the byte budget — are
     /// ignored rather than allowed to wipe the whole cache.
-    pub fn insert(&self, key: String, value: CachedBody) {
-        if self.capacity == 0 || value.body.len() > self.max_body_bytes {
-            return;
-        }
-        let entry_bytes = key.len() + value.content_type.len() + value.body.len();
-        if entry_bytes > self.byte_budget {
+    fn insert(&self, key: String, value: Arc<V>, entry_bytes: usize) {
+        if self.capacity == 0
+            || entry_bytes > self.max_entry_bytes
+            || entry_bytes > self.byte_budget
+        {
             return;
         }
         let mut inner = self.inner.lock().unwrap();
@@ -156,22 +135,20 @@ impl ResultCache {
         inner.map.insert(
             key,
             Entry {
-                value: Arc::new(value),
+                value,
                 stamp: tick,
                 bytes: entry_bytes,
             },
         );
     }
 
-    /// Drop every entry (called after any administrative write).
-    pub fn clear(&self) {
+    fn clear(&self) {
         let mut inner = self.inner.lock().unwrap();
         inner.map.clear();
         inner.total_bytes = 0;
     }
 
-    /// Hit/miss/size counters.
-    pub fn stats(&self) -> CacheStats {
+    fn stats(&self) -> CacheStats {
         let inner = self.inner.lock().unwrap();
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
@@ -179,6 +156,120 @@ impl ResultCache {
             entries: inner.map.len(),
             bytes: inner.total_bytes,
         }
+    }
+}
+
+/// Counters and size of the cache (surfaced on the schema/QA page).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries currently cached.
+    pub entries: usize,
+    /// Bytes of rendered bodies (plus keys) currently cached.
+    pub bytes: usize,
+}
+
+/// Default byte budget: generous for the paper's popular-page workload but
+/// a hard bound — 128 entries at the 1 MiB per-body cap would otherwise
+/// be 128 MiB.
+const DEFAULT_BYTE_BUDGET: usize = 16 << 20;
+
+/// A thread-safe LRU cache from normalized query keys to rendered bodies,
+/// bounded by **both** an entry count and a rendered-body byte budget
+/// (evicting by count alone lets a handful of huge bodies blow memory).
+#[derive(Debug)]
+pub struct ResultCache {
+    lru: Lru<CachedBody>,
+}
+
+impl ResultCache {
+    /// A cache holding at most `capacity` rendered results under the
+    /// default byte budget.  A capacity of 0 disables caching entirely
+    /// (every lookup misses without being counted, inserts are dropped).
+    pub fn new(capacity: usize) -> ResultCache {
+        ResultCache::with_byte_budget(capacity, DEFAULT_BYTE_BUDGET)
+    }
+
+    /// A cache bounded by `capacity` entries **and** `byte_budget` bytes
+    /// of rendered bodies, whichever fills first.  Bodies over a 1 MiB
+    /// per-entry cap are never cached (a full-table dump should not
+    /// evict a page of popular galleries).
+    pub fn with_byte_budget(capacity: usize, byte_budget: usize) -> ResultCache {
+        ResultCache {
+            lru: Lru::new(capacity, byte_budget, 1 << 20),
+        }
+    }
+
+    /// Look up a key, refreshing its recency.  Counts a hit or a miss.
+    pub fn get(&self, key: &str) -> Option<Arc<CachedBody>> {
+        self.lru.get(key)
+    }
+
+    /// Insert a rendered body, evicting least-recently-used entries until
+    /// both the entry count and the byte budget fit.
+    pub fn insert(&self, key: String, value: CachedBody) {
+        let entry_bytes = key.len() + value.content_type.len() + value.body.len();
+        self.lru.insert(key, Arc::new(value), entry_bytes);
+    }
+
+    /// Drop every entry (called after any administrative write).
+    pub fn clear(&self) {
+        self.lru.clear();
+    }
+
+    /// Hit/miss/size counters.
+    pub fn stats(&self) -> CacheStats {
+        self.lru.stats()
+    }
+}
+
+/// An LRU cache of **materialized result sets** keyed by the API's
+/// pagination resource key (the same `normalize_sql`-based key the
+/// continuation cursors fingerprint).
+///
+/// A cursor walk issues one request per page; without this cache every
+/// page re-executes the full query from scratch — a 1,000-row result
+/// walked at the default limit of 100 would run the identical scan ten
+/// times.  With it, the first page executes and materializes, and the
+/// rest of the walk reads memory.  Cleared on administrative writes
+/// alongside [`ResultCache`].
+#[derive(Debug)]
+pub struct RowCache {
+    lru: Lru<skyserver::ResultSet>,
+}
+
+impl RowCache {
+    /// A cache bounded by `capacity` entries and `byte_budget` accounted
+    /// bytes (per-entry cap 1 MiB, like the rendered-body cache).
+    /// Capacity 0 disables caching.
+    pub fn new(capacity: usize, byte_budget: usize) -> RowCache {
+        RowCache {
+            lru: Lru::new(capacity, byte_budget, 1 << 20),
+        }
+    }
+
+    /// Look up a materialized result, refreshing its recency.
+    pub fn get(&self, key: &str) -> Option<Arc<skyserver::ResultSet>> {
+        self.lru.get(key)
+    }
+
+    /// Insert a materialized result (shared, not copied).
+    pub fn insert(&self, key: String, result: Arc<skyserver::ResultSet>) {
+        let entry_bytes = key.len() + crate::jobs::approx_result_bytes(&result) as usize;
+        self.lru.insert(key, result, entry_bytes);
+    }
+
+    /// Drop every entry (called after any administrative write).
+    pub fn clear(&self) {
+        self.lru.clear();
+    }
+
+    /// Hit/miss/size counters.
+    pub fn stats(&self) -> CacheStats {
+        self.lru.stats()
     }
 }
 

@@ -9,6 +9,19 @@
 use skyserver_sql::ResultSet;
 use skyserver_storage::{csv_escape, Value};
 
+/// The outcome of `Accept`-header negotiation
+/// ([`OutputFormat::from_accept`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AcceptNegotiation {
+    /// A listed media type maps to this format.
+    Format(OutputFormat),
+    /// The client takes anything (`*/*`, or no/empty header): the caller
+    /// picks its default.
+    Any,
+    /// Nothing listed is servable; the API answers `406`.
+    Unacceptable,
+}
+
 /// The supported output formats.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum OutputFormat {
@@ -25,14 +38,81 @@ pub enum OutputFormat {
 }
 
 impl OutputFormat {
-    /// Parse the `format=` query parameter.
-    pub fn parse(s: &str) -> OutputFormat {
+    /// Every supported format, in documentation order.
+    pub const ALL: [OutputFormat; 5] = [
+        OutputFormat::Grid,
+        OutputFormat::Csv,
+        OutputFormat::Xml,
+        OutputFormat::Json,
+        OutputFormat::Fits,
+    ];
+
+    /// The lower-case name used in `?format=` parameters and the API spec.
+    pub fn name(self) -> &'static str {
+        match self {
+            OutputFormat::Grid => "grid",
+            OutputFormat::Csv => "csv",
+            OutputFormat::Xml => "xml",
+            OutputFormat::Json => "json",
+            OutputFormat::Fits => "fits",
+        }
+    }
+
+    /// Parse the `format=` query parameter strictly: `None` for unknown
+    /// names.  The `/api/v1` surface turns `None` into a structured `400`
+    /// listing the supported formats.
+    pub fn try_parse(s: &str) -> Option<OutputFormat> {
         match s.to_ascii_lowercase().as_str() {
-            "csv" => OutputFormat::Csv,
-            "xml" => OutputFormat::Xml,
-            "json" => OutputFormat::Json,
-            "fits" => OutputFormat::Fits,
-            _ => OutputFormat::Grid,
+            "grid" => Some(OutputFormat::Grid),
+            "csv" => Some(OutputFormat::Csv),
+            "xml" => Some(OutputFormat::Xml),
+            "json" => Some(OutputFormat::Json),
+            "fits" => Some(OutputFormat::Fits),
+            _ => None,
+        }
+    }
+
+    /// Parse the `format=` query parameter with the legacy fallback:
+    /// unknown names render as the grid (the `.asp`-era pages always
+    /// produced *something*; existing links must keep working).
+    pub fn parse(s: &str) -> OutputFormat {
+        OutputFormat::try_parse(s).unwrap_or(OutputFormat::Grid)
+    }
+
+    /// Content negotiation from an `Accept` header value: the first media
+    /// type we can serve wins (listed order, q-values ignored).
+    pub fn from_accept(header: &str) -> AcceptNegotiation {
+        let mut saw_item = false;
+        for item in header.split(',') {
+            let media = item
+                .split(';')
+                .next()
+                .unwrap_or("")
+                .trim()
+                .to_ascii_lowercase();
+            if media.is_empty() {
+                continue;
+            }
+            saw_item = true;
+            match media.as_str() {
+                "*/*" | "application/*" => return AcceptNegotiation::Any,
+                "application/json" => return AcceptNegotiation::Format(OutputFormat::Json),
+                "text/csv" => return AcceptNegotiation::Format(OutputFormat::Csv),
+                "application/xml" | "text/xml" => {
+                    return AcceptNegotiation::Format(OutputFormat::Xml)
+                }
+                "text/plain" | "text/*" => return AcceptNegotiation::Format(OutputFormat::Grid),
+                "application/fits" | "image/fits" => {
+                    return AcceptNegotiation::Format(OutputFormat::Fits)
+                }
+                _ => {}
+            }
+        }
+        if saw_item {
+            AcceptNegotiation::Unacceptable
+        } else {
+            // An empty Accept header is the same as no header.
+            AcceptNegotiation::Any
         }
     }
 
@@ -108,7 +188,8 @@ pub fn to_json(result: &ResultSet) -> String {
     .to_string()
 }
 
-fn value_to_json(v: &Value) -> serde_json::Value {
+/// One storage value as a JSON value (shared with the API envelope).
+pub(crate) fn value_to_json(v: &Value) -> serde_json::Value {
     match v {
         Value::Null => serde_json::Value::Null,
         Value::Int(i) => serde_json::json!(i),
@@ -209,6 +290,34 @@ mod tests {
         assert_eq!(OutputFormat::parse("anything"), OutputFormat::Grid);
         assert!(OutputFormat::Json.content_type().contains("json"));
         assert!(OutputFormat::Csv.content_type().contains("csv"));
+        // The strict parser refuses what the legacy parser defaults.
+        assert_eq!(OutputFormat::try_parse("anything"), None);
+        assert_eq!(OutputFormat::try_parse("Json"), Some(OutputFormat::Json));
+        for format in OutputFormat::ALL {
+            assert_eq!(OutputFormat::try_parse(format.name()), Some(format));
+        }
+    }
+
+    #[test]
+    fn accept_header_negotiation() {
+        assert_eq!(
+            OutputFormat::from_accept("application/json"),
+            AcceptNegotiation::Format(OutputFormat::Json)
+        );
+        assert_eq!(
+            OutputFormat::from_accept("text/html, text/csv;q=0.9"),
+            AcceptNegotiation::Format(OutputFormat::Csv)
+        );
+        assert_eq!(OutputFormat::from_accept("*/*"), AcceptNegotiation::Any);
+        assert_eq!(OutputFormat::from_accept(""), AcceptNegotiation::Any);
+        assert_eq!(
+            OutputFormat::from_accept("text/xml"),
+            AcceptNegotiation::Format(OutputFormat::Xml)
+        );
+        assert_eq!(
+            OutputFormat::from_accept("image/png"),
+            AcceptNegotiation::Unacceptable
+        );
     }
 
     #[test]

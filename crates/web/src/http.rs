@@ -32,12 +32,38 @@ pub struct Request {
     pub version: String,
     /// Request headers, keys lowercased.
     pub headers: HashMap<String, String>,
+    /// Request body (empty for GET; read up to
+    /// [`ServerConfig::max_body_bytes`] for POST).
+    pub body: Vec<u8>,
 }
 
 impl Request {
     /// A query parameter by name.
     pub fn param(&self, name: &str) -> Option<&str> {
         self.query.get(name).map(String::as_str)
+    }
+
+    /// Attach a body (builder style; used by tests that construct requests
+    /// through [`parse_request`], which parses the head only).
+    pub fn with_body(mut self, body: Vec<u8>) -> Request {
+        self.body = body;
+        self
+    }
+
+    /// Whether the body is an HTML-form submission
+    /// (`application/x-www-form-urlencoded`).
+    pub fn is_form(&self) -> bool {
+        self.header("content-type")
+            .is_some_and(|ct| ct.starts_with("application/x-www-form-urlencoded"))
+    }
+
+    /// Decoded `application/x-www-form-urlencoded` body parameters (empty
+    /// for any other content type).  Keys are lowercased like query keys.
+    pub fn form_params(&self) -> HashMap<String, String> {
+        if !self.is_form() {
+            return HashMap::new();
+        }
+        parse_query_pairs(&String::from_utf8_lossy(&self.body))
     }
 
     /// A header by (case-insensitive) name.
@@ -68,15 +94,31 @@ pub struct Response {
     pub content_type: String,
     /// The response body.
     pub body: Vec<u8>,
+    /// Extra response headers (`(name, value)` pairs) beyond the
+    /// Content-Type / Content-Length / Connection set the server always
+    /// writes.  The API tier uses these for pagination metadata on
+    /// non-JSON bodies (`X-Next-Cursor`, `X-Total-Rows`).
+    pub headers: Vec<(String, String)>,
 }
 
 impl Response {
+    /// A response with an arbitrary status code and a plain-text body.
+    pub fn with_status(status: u16, message: &str) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8".into(),
+            body: message.as_bytes().to_vec(),
+            headers: Vec::new(),
+        }
+    }
+
     /// 200 OK with a text body.
     pub fn ok(content_type: &str, body: impl Into<Vec<u8>>) -> Response {
         Response {
             status: 200,
             content_type: content_type.to_string(),
             body: body.into(),
+            headers: Vec::new(),
         }
     }
 
@@ -87,45 +129,51 @@ impl Response {
 
     /// 404 Not Found.
     pub fn not_found(path: &str) -> Response {
-        Response {
-            status: 404,
-            content_type: "text/plain; charset=utf-8".into(),
-            body: format!("not found: {path}").into_bytes(),
-        }
+        Response::with_status(404, &format!("not found: {path}"))
     }
 
     /// 400 Bad Request.
     pub fn bad_request(message: &str) -> Response {
-        Response {
-            status: 400,
-            content_type: "text/plain; charset=utf-8".into(),
-            body: message.as_bytes().to_vec(),
-        }
+        Response::with_status(400, message)
     }
 
     /// 503 Service Unavailable (the accept queue is full).
     pub fn unavailable(message: &str) -> Response {
-        Response {
-            status: 503,
-            content_type: "text/plain; charset=utf-8".into(),
-            body: message.as_bytes().to_vec(),
-        }
+        Response::with_status(503, message)
     }
 
     /// 429 Too Many Requests (a per-submitter job quota was hit).
     pub fn too_many_requests(message: &str) -> Response {
-        Response {
-            status: 429,
-            content_type: "text/plain; charset=utf-8".into(),
-            body: message.as_bytes().to_vec(),
-        }
+        Response::with_status(429, message)
+    }
+
+    /// Attach an extra response header (builder style).
+    pub fn with_header(mut self, name: &str, value: &str) -> Response {
+        self.headers.push((name.to_string(), value.to_string()));
+        self
+    }
+
+    /// The first extra header with the given (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
     }
 
     fn status_text(&self) -> &'static str {
         match self.status {
             200 => "OK",
+            201 => "Created",
             400 => "Bad Request",
+            403 => "Forbidden",
             404 => "Not Found",
+            405 => "Method Not Allowed",
+            406 => "Not Acceptable",
+            408 => "Request Timeout",
+            409 => "Conflict",
+            413 => "Payload Too Large",
+            422 => "Unprocessable Entity",
             429 => "Too Many Requests",
             500 => "Internal Server Error",
             503 => "Service Unavailable",
@@ -138,15 +186,19 @@ impl Response {
     /// `false` (the pre-keep-alive behaviour).
     pub fn to_bytes(&self, keep_alive: bool) -> Vec<u8> {
         let connection = if keep_alive { "keep-alive" } else { "close" };
-        let mut out = format!(
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
             self.status,
             self.status_text(),
             self.content_type,
             self.body.len(),
             connection,
-        )
-        .into_bytes();
+        );
+        for (name, value) in &self.headers {
+            head.push_str(&format!("{name}: {value}\r\n"));
+        }
+        head.push_str("\r\n");
+        let mut out = head.into_bytes();
         out.extend_from_slice(&self.body);
         out
     }
@@ -182,7 +234,20 @@ pub fn url_decode(s: &str) -> String {
     String::from_utf8_lossy(&out).into_owned()
 }
 
-/// Parse the request line, query string and headers of an HTTP request.
+/// Decode `k=v&k2=v2` pairs (query strings and form bodies share the
+/// encoding).  Keys are lowercased.
+fn parse_query_pairs(raw: &str) -> HashMap<String, String> {
+    let mut pairs = HashMap::new();
+    for pair in raw.split('&').filter(|p| !p.is_empty()) {
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        pairs.insert(url_decode(k).to_ascii_lowercase(), url_decode(v));
+    }
+    pairs
+}
+
+/// Parse the request line, query string and headers of an HTTP request
+/// head.  The body (if any) is read separately by the server and attached
+/// via [`Request::with_body`].
 pub fn parse_request(raw: &str) -> Option<Request> {
     let mut lines = raw.lines();
     let first_line = lines.next()?;
@@ -194,11 +259,7 @@ pub fn parse_request(raw: &str) -> Option<Request> {
         Some((p, q)) => (p, q),
         None => (target, ""),
     };
-    let mut query = HashMap::new();
-    for pair in query_string.split('&').filter(|p| !p.is_empty()) {
-        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
-        query.insert(url_decode(k).to_ascii_lowercase(), url_decode(v));
-    }
+    let query = parse_query_pairs(query_string);
     let mut headers = HashMap::new();
     for line in lines {
         if line.is_empty() {
@@ -214,6 +275,7 @@ pub fn parse_request(raw: &str) -> Option<Request> {
         query,
         version,
         headers,
+        body: Vec::new(),
     })
 }
 
@@ -227,6 +289,9 @@ pub struct ServerConfig {
     /// Maximum bytes of request line + headers before the server answers
     /// `400` and closes (defends against unbounded header growth).
     pub max_header_bytes: usize,
+    /// Maximum bytes of request body (POST) before the server answers
+    /// `413` and closes.
+    pub max_body_bytes: usize,
     /// Maximum requests served over one keep-alive connection.
     pub max_keep_alive_requests: usize,
     /// Socket read timeout (also bounds how long an idle keep-alive
@@ -250,6 +315,7 @@ impl Default for ServerConfig {
             workers: (2 * cores).clamp(8, 32),
             queue_depth: 64,
             max_header_bytes: 16 * 1024,
+            max_body_bytes: 256 * 1024,
             max_keep_alive_requests: 100,
             read_timeout: Duration::from_secs(5),
             max_connection_age: Duration::from_secs(30),
@@ -404,11 +470,51 @@ where
             }
         };
         let (response, client_keep_alive) = match parse_request(&head) {
-            Some(request) if request.method == "GET" => {
+            Some(mut request) => {
+                // Chunked uploads are not supported; a declared body is
+                // read in full (keep-alive depends on consuming it) up to
+                // the configured cap.  Every parsed method reaches the
+                // handler — method routing (405s, the API's structured
+                // envelope) is the application's concern, not transport's.
+                if request
+                    .header("transfer-encoding")
+                    .is_some_and(|te| !te.eq_ignore_ascii_case("identity"))
+                {
+                    return refuse_connection(
+                        stream,
+                        Response::bad_request("chunked request bodies are not supported"),
+                    );
+                }
+                let content_length = match request.header("content-length") {
+                    None => 0,
+                    // A declared-but-unparseable length must close the
+                    // connection: treating it as 0 would leave the body
+                    // bytes in the stream to corrupt the next keep-alive
+                    // request.
+                    Some(v) => match v.trim().parse::<usize>() {
+                        Ok(n) => n,
+                        Err(_) => {
+                            return refuse_connection(
+                                stream,
+                                Response::bad_request("malformed Content-Length"),
+                            )
+                        }
+                    },
+                };
+                if content_length > config.max_body_bytes {
+                    return refuse_connection(
+                        stream,
+                        Response::with_status(413, "request body too large"),
+                    );
+                }
+                if content_length > 0 {
+                    let mut body = vec![0u8; content_length];
+                    reader.read_exact(&mut body)?;
+                    request.body = body;
+                }
                 let keep = request.wants_keep_alive();
                 (handler(&request), keep)
             }
-            Some(_) => (Response::bad_request("only GET is supported"), false),
             None => (Response::bad_request("malformed request"), false),
         };
         served += 1;
@@ -487,11 +593,30 @@ pub fn http_get(
     addr: std::net::SocketAddr,
     path_and_query: &str,
 ) -> std::io::Result<(u16, String)> {
+    http_request(addr, "GET", path_and_query, None, &[])
+}
+
+/// Minimal blocking HTTP request with an optional body (one request per
+/// connection: sends `Connection: close`).  `content_type` must be given
+/// whenever `body` is non-empty.
+pub fn http_request(
+    addr: std::net::SocketAddr,
+    method: &str,
+    path_and_query: &str,
+    content_type: Option<&str>,
+    body: &[u8],
+) -> std::io::Result<(u16, String)> {
     let mut stream = TcpStream::connect(addr)?;
+    let content_type_header = content_type
+        .map(|ct| format!("Content-Type: {ct}\r\n"))
+        .unwrap_or_default();
     write!(
         stream,
-        "GET {path_and_query} HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n"
+        "{method} {path_and_query} HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\
+         {content_type_header}Content-Length: {}\r\n\r\n",
+        body.len()
     )?;
+    stream.write_all(body)?;
     let mut response = String::new();
     stream.read_to_string(&mut response)?;
     let status = response
@@ -540,10 +665,29 @@ impl HttpClient {
     /// connection stays open for the next call unless the server asked to
     /// close it, in which case the next call reconnects.
     pub fn get(&mut self, path_and_query: &str) -> std::io::Result<(u16, String)> {
+        self.request("GET", path_and_query, None, &[])
+    }
+
+    /// Issue one request with an optional body over the persistent
+    /// connection (status, body).  `content_type` must be given whenever
+    /// `body` is non-empty.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path_and_query: &str,
+        content_type: Option<&str>,
+        body: &[u8],
+    ) -> std::io::Result<(u16, String)> {
+        let content_type_header = content_type
+            .map(|ct| format!("Content-Type: {ct}\r\n"))
+            .unwrap_or_default();
         write!(
             self.stream,
-            "GET {path_and_query} HTTP/1.1\r\nHost: localhost\r\n\r\n"
+            "{method} {path_and_query} HTTP/1.1\r\nHost: localhost\r\n\
+             {content_type_header}Content-Length: {}\r\n\r\n",
+            body.len()
         )?;
+        self.stream.write_all(body)?;
         self.stream.flush()?;
         let mut status = 0u16;
         let mut content_length = 0usize;
@@ -751,6 +895,101 @@ mod tests {
         let (status, _) = http_get(server.addr(), "/").unwrap();
         assert_eq!(status, 200);
         server.stop();
+    }
+
+    #[test]
+    fn post_bodies_reach_the_handler_and_form_params_decode() {
+        let server = HttpServer::start(0, |req| {
+            if req.method == "POST" {
+                let form = req.form_params();
+                let echo = form
+                    .get("sql")
+                    .cloned()
+                    .unwrap_or_else(|| String::from_utf8_lossy(&req.body).into_owned());
+                Response::ok("text/plain", echo)
+            } else {
+                Response::ok("text/plain", "not a post")
+            }
+        })
+        .unwrap();
+        // A urlencoded form body.
+        let (status, body) = http_request(
+            server.addr(),
+            "POST",
+            "/submit",
+            Some("application/x-www-form-urlencoded"),
+            b"sql=select+1&x=2",
+        )
+        .unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, "select 1");
+        // A raw body passes through untouched.
+        let mut client = HttpClient::connect(server.addr()).unwrap();
+        let (status, body) = client
+            .request(
+                "POST",
+                "/submit",
+                Some("text/plain"),
+                b"select top 3 x from t",
+            )
+            .unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, "select top 3 x from t");
+        // The connection survives for a follow-up request.
+        let (status, _) = client.get("/after").unwrap();
+        assert_eq!(status, 200);
+        drop(client);
+        server.stop();
+    }
+
+    #[test]
+    fn every_method_reaches_the_handler_and_bad_bodies_are_refused() {
+        let config = ServerConfig {
+            max_body_bytes: 16,
+            ..ServerConfig::default()
+        };
+        let server = HttpServer::start_with(0, config, |req| {
+            Response::ok("text/plain", req.method.clone())
+        })
+        .unwrap();
+        // Method routing (including 405s) is the application's concern:
+        // the transport forwards whatever parses, so the API tier can
+        // answer wrong methods with its structured envelope.
+        for method in ["GET", "POST", "DELETE", "PATCH", "PUT"] {
+            let (status, body) = http_request(server.addr(), method, "/", None, &[]).unwrap();
+            assert_eq!(status, 200, "{method}");
+            assert_eq!(body, method);
+        }
+        // Oversized bodies are a 413 before the handler runs.
+        let (status, _) =
+            http_request(server.addr(), "POST", "/", Some("text/plain"), &[b'x'; 64]).unwrap();
+        assert_eq!(status, 413);
+        // A malformed Content-Length closes with a 400 instead of leaving
+        // the declared body bytes in the stream to corrupt the next
+        // keep-alive request.
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        write!(
+            stream,
+            "POST / HTTP/1.1\r\nContent-Length: 2abc\r\n\r\nhello"
+        )
+        .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(
+            response.starts_with("HTTP/1.1 400"),
+            "expected 400, got: {response}"
+        );
+        server.stop();
+    }
+
+    #[test]
+    fn extra_headers_are_serialised() {
+        let r = Response::ok("text/plain", "x").with_header("X-Next-Cursor", "abc123");
+        assert_eq!(r.header("x-next-cursor"), Some("abc123"));
+        let text = String::from_utf8(r.to_bytes(false)).unwrap();
+        let (head, body) = text.split_once("\r\n\r\n").unwrap();
+        assert!(head.contains("X-Next-Cursor: abc123"), "{head}");
+        assert_eq!(body, "x");
     }
 
     #[test]

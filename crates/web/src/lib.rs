@@ -3,8 +3,12 @@
 //! The SkyServer web front end (§2, §4, §5, §7 of the paper):
 //!
 //! * a dependency-free HTTP server ([`http`]) standing in for IIS + ASP,
-//!   with a bounded worker pool, HTTP/1.1 keep-alive and a capped request
-//!   head,
+//!   with a bounded worker pool, HTTP/1.1 keep-alive, POST bodies and a
+//!   capped request head,
+//! * the versioned programmatic surface ([`api`]): a declarative typed
+//!   router under `/api/v1` with extractors, a machine-readable error
+//!   envelope, cursor pagination, content negotiation and a generated
+//!   self-description (`GET /api/v1`),
 //! * an LRU query-result cache ([`cache`]) keyed by normalized SQL +
 //!   output format, serving the paper's popular-places workload from
 //!   memory,
@@ -22,6 +26,7 @@
 
 #![warn(missing_docs)]
 
+pub mod api;
 pub mod cache;
 pub mod formats;
 pub mod http;
@@ -29,10 +34,12 @@ pub mod jobs;
 pub mod site;
 pub mod traffic;
 
-pub use cache::{normalize_sql, CacheStats, ResultCache};
-pub use formats::{to_csv, to_fits_ascii, to_json, to_xml, OutputFormat};
+pub use api::{ApiError, Router, API_PREFIX, ERROR_CODES};
+pub use cache::{normalize_sql, CacheStats, ResultCache, RowCache};
+pub use formats::{to_csv, to_fits_ascii, to_json, to_xml, AcceptNegotiation, OutputFormat};
 pub use http::{
-    http_get, parse_request, url_decode, HttpClient, HttpServer, Request, Response, ServerConfig,
+    http_get, http_request, parse_request, url_decode, HttpClient, HttpServer, Request, Response,
+    ServerConfig,
 };
 pub use jobs::{JobQueue, JobQueueConfig, JobState, JobStatus};
 pub use site::{SkyServerSite, LANGUAGES};

@@ -15,12 +15,18 @@
 //! [`SkyServerSite::with_admin`], which takes the write lock, waits for
 //! in-flight snapshots to drain, and clears the result cache.
 
-use crate::cache::{normalize_sql, CachedBody, ResultCache};
+use crate::api;
+use crate::api::handlers::{
+    cancel_job, cone_payload, explore_payload, job_result_payload, job_status_json,
+    job_status_payload, json_document, public_query, submit_job, ANONYMOUS,
+};
+use crate::api::{ApiError, ApiRequest, Zoom};
+use crate::cache::{normalize_sql, CachedBody, ResultCache, RowCache};
 use crate::formats::OutputFormat;
 use crate::http::{HttpServer, Request, Response};
-use crate::jobs::{JobQueue, JobQueueConfig, JobRunner, JobStatus};
+use crate::jobs::{JobQueue, JobQueueConfig, JobRunner};
 use crate::traffic::{LogRecord, Section};
-use skyserver::{SkyServer, SkyServerError};
+use skyserver::SkyServer;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
@@ -33,10 +39,6 @@ const RESULT_CACHE_CAPACITY: usize = 128;
 /// bound memory when individual bodies approach the 1 MiB per-entry cap.
 const RESULT_CACHE_BYTE_BUDGET: usize = 8 << 20;
 
-/// The submitter identity used when a job request carries no `submitter=`
-/// parameter (the reproduction has no accounts; the real CasJobs did).
-const ANONYMOUS: &str = "anonymous";
-
 /// The web application: a shared SkyServer plus a request log, a
 /// rendered-result cache and the batch-query job tier.
 pub struct SkyServerSite {
@@ -47,6 +49,9 @@ pub struct SkyServerSite {
     started: Instant,
     session_counter: AtomicU64,
     cache: ResultCache,
+    /// Materialized result sets for the API's cursor walks: page N+1 of a
+    /// paginated query reads memory instead of re-running the scan.
+    rows: RowCache,
     jobs: Arc<JobQueue>,
 }
 
@@ -89,6 +94,7 @@ impl SkyServerSite {
             started: Instant::now(),
             session_counter: AtomicU64::new(0),
             cache: ResultCache::with_byte_budget(cache_capacity, RESULT_CACHE_BYTE_BUDGET),
+            rows: RowCache::new(cache_capacity, RESULT_CACHE_BYTE_BUDGET),
             jobs: JobQueue::start(job_config, runner),
         })
     }
@@ -99,10 +105,16 @@ impl SkyServerSite {
         &self.jobs
     }
 
-    /// A read snapshot of the server.  The returned `Arc` stays valid for
-    /// the whole request even if an admin swap happens concurrently.
-    fn sky(&self) -> Arc<SkyServer> {
+    /// A read snapshot of the server (shared with the API handler layer).
+    /// The returned `Arc` stays valid for the whole request even if an
+    /// admin swap happens concurrently.
+    pub(crate) fn sky(&self) -> Arc<SkyServer> {
         self.sky.read().unwrap().clone()
+    }
+
+    /// The materialized-rows cache backing API cursor walks.
+    pub(crate) fn rows_cache(&self) -> &RowCache {
+        &self.rows
     }
 
     /// Run an administrative write (data load, DDL) with exclusive access.
@@ -125,6 +137,7 @@ impl SkyServerSite {
             if let Some(sky) = Arc::get_mut(&mut slot) {
                 let result = f(sky);
                 self.cache.clear();
+                self.rows.clear();
                 return result;
             }
             std::thread::sleep(std::time::Duration::from_millis(1));
@@ -144,6 +157,7 @@ impl SkyServerSite {
         }
         *slot = Arc::new(sky);
         self.cache.clear();
+        self.rows.clear();
     }
 
     /// Result-cache hit/miss counters.
@@ -175,11 +189,11 @@ impl SkyServerSite {
     /// Route one request.
     pub fn handle(&self, req: &Request) -> Response {
         let response = self.route(req);
-        self.record(req, response.status == 200);
+        self.record(req, response.status);
         response
     }
 
-    fn record(&self, req: &Request, ok: bool) {
+    fn record(&self, req: &Request, status: u16) {
         let section = section_of_path(&req.path);
         let session = self.session_counter.fetch_add(1, Ordering::Relaxed) + 1;
         let day = (self.started.elapsed().as_secs() / 86_400) as u32;
@@ -187,13 +201,29 @@ impl SkyServerSite {
             day,
             session,
             section,
-            page_view: ok,
+            // API traffic is machine clients, never page views; its
+            // non-200 responses are counted via `status` instead.
+            page_view: status == 200 && section != Section::Api,
             crawler: false,
+            status,
         });
     }
 
     fn route(&self, req: &Request) -> Response {
         let path = req.path.trim_end_matches('/');
+        // The programmatic surface dispatches through the typed router
+        // (no language branches there: the API speaks JSON, not prose).
+        if path == "/api" || path.starts_with("/api/") {
+            return api::dispatch(self, req);
+        }
+        // The legacy pages are GET-only (the transport forwards every
+        // method so the API above can answer with its envelope).
+        if req.method != "GET" {
+            return Response::with_status(
+                405,
+                &format!("method {} is not allowed on this page", req.method),
+            );
+        }
         // Language branches share the same handlers.
         let normalized = LANGUAGES
             .iter()
@@ -261,43 +291,47 @@ impl SkyServerSite {
                 html.push_str("</ul></body></html>");
                 Response::html(html)
             }
-            Err(e) => sql_error(e),
+            Err(e) => legacy_error_with_prefix("query failed: ", &ApiError::from(e)),
         }
     }
 
     fn explore(&self, req: &Request) -> Response {
-        let Some(id) = req.param("id").and_then(|s| s.parse::<i64>().ok()) else {
-            return Response::bad_request("explore needs an integer ?id= parameter");
+        // A thin adapter over the API's typed operation: the same
+        // extractor (so `?id=abc` is a clean 400, not a silent miss) and
+        // the same payload; only the error rendering is the legacy
+        // plain-text shape.
+        let params = ApiRequest::legacy(req);
+        let id: i64 = match params.require("id") {
+            Ok(id) => id,
+            Err(e) => return legacy_error(&e),
         };
-        let sky = self.sky();
-        match sky.explore(id) {
-            Ok(summary) => Response::ok(
-                "application/json; charset=utf-8",
-                serde_json::to_vec(&summary).unwrap_or_default(),
-            ),
-            Err(SkyServerError::NotFound(_)) => Response::not_found(&format!("object {id}")),
-            Err(e) => sql_error(e),
+        match explore_payload(self, id).and_then(|summary| json_document(&summary)) {
+            Ok(response) => response,
+            Err(e) => legacy_error(&e),
         }
     }
 
     fn navigator(&self, req: &Request) -> Response {
-        let ra = req
-            .param("ra")
-            .and_then(|s| s.parse::<f64>().ok())
-            .unwrap_or(181.0);
-        let dec = req
-            .param("dec")
-            .and_then(|s| s.parse::<f64>().ok())
-            .unwrap_or(-0.8);
-        let zoom = req
-            .param("zoom")
-            .and_then(|s| s.parse::<u32>().ok())
-            .unwrap_or(1)
-            .min(3);
+        // Typed extraction with the legacy defaults for *absent* params;
+        // malformed or out-of-range values are a 400 with a readable
+        // message (the page used to clamp/default silently and render
+        // the wrong sky position).
+        let params = ApiRequest::legacy(req);
+        let parsed = (|| -> Result<(f64, f64, u32), ApiError> {
+            let ra = params.optional::<f64>("ra")?.unwrap_or(181.0);
+            api::check_range("ra", ra, 0.0, 360.0)?;
+            let dec = params.optional::<f64>("dec")?.unwrap_or(-0.8);
+            api::check_range("dec", dec, -90.0, 90.0)?;
+            let Zoom(zoom) = params.optional::<Zoom>("zoom")?.unwrap_or(Zoom(1));
+            Ok((ra, dec, zoom))
+        })();
+        let (ra, dec, zoom) = match parsed {
+            Ok(p) => p,
+            Err(e) => return legacy_error(&e),
+        };
         // The visible radius shrinks as the user zooms in (4 levels, §5).
         let radius_arcmin = 60.0 / f64::from(1 << zoom);
-        let sky = self.sky();
-        match sky.nearby_objects(ra, dec, radius_arcmin) {
+        match cone_payload(self, ra, dec, radius_arcmin) {
             Ok(result) => {
                 let objects: Vec<serde_json::Value> = result
                     .rows
@@ -322,7 +356,7 @@ impl SkyServerSite {
                     .to_string(),
                 )
             }
-            Err(e) => sql_error(e),
+            Err(e) => legacy_error(&e),
         }
     }
 
@@ -330,16 +364,17 @@ impl SkyServerSite {
         let Some(sql) = req.param("cmd") else {
             return Response::bad_request("the SQL search page needs a ?cmd= parameter");
         };
+        // The legacy page keeps the forgiving format fallback (unknown
+        // names render as the grid — existing links must keep working);
+        // `/api/v1/query` is the strict surface.
         let format = OutputFormat::parse(req.param("format").unwrap_or("grid"));
         let cache_key = format!("{:?}|{}", format, normalize_sql(sql));
         if let Some(cached) = self.cache.get(&cache_key) {
             return Response::ok(&cached.content_type, cached.body.clone());
         }
-        let sky = self.sky();
-        // The public page enforces the 1,000 row / 30 second limits (§4) and
-        // runs on the engine's shared read path: concurrent searches do not
-        // serialize, and write statements are rejected.
-        match sky.execute_public(sql) {
+        // Same typed operation as the API's /query handler: the public
+        // 1,000 row / 30 second limits on the engine's shared read path.
+        match public_query(self, sql) {
             Ok(outcome) => {
                 let mut body = format.render(&outcome.result);
                 if outcome.result.truncated && format == OutputFormat::Grid {
@@ -354,7 +389,7 @@ impl SkyServerSite {
                 );
                 Response::ok(format.content_type(), body)
             }
-            Err(e) => sql_error(e),
+            Err(e) => legacy_error_with_prefix("query failed: ", &e),
         }
     }
 
@@ -370,6 +405,10 @@ impl SkyServerSite {
                 serde_json::to_value(&self.cache.stats()),
             );
             map.insert(
+                "row_cache".to_string(),
+                serde_json::to_value(&self.rows.stats()),
+            );
+            map.insert(
                 "engine".to_string(),
                 serde_json::to_value(&sky.engine_stats()),
             );
@@ -379,9 +418,22 @@ impl SkyServerSite {
 
     fn traffic_page(&self) -> Response {
         let log = self.log.lock().unwrap();
+        // API traffic is attributed separately from page views, and its
+        // structured error responses separately again (§7's taxonomy
+        // gains a machine-client column).
+        let api_hits = log.iter().filter(|r| r.section == Section::Api).count();
+        let api_errors = log
+            .iter()
+            .filter(|r| r.section == Section::Api && r.status != 200 && r.status != 201)
+            .count();
         Response::ok(
             "application/json; charset=utf-8",
-            serde_json::json!({ "requests": log.len() }).to_string(),
+            serde_json::json!({
+                "requests": log.len(),
+                "api_hits": api_hits,
+                "api_errors": api_errors,
+            })
+            .to_string(),
         )
     }
 
@@ -390,64 +442,68 @@ impl SkyServerSite {
     // ----------------------------------------------------------------------
 
     /// `/x_job/submit?cmd=...[&submitter=...]`: enqueue a read-only script
-    /// as a batch job and return its id.
+    /// as a batch job and return its id.  Thin adapter over the API's
+    /// job-submission operation (`POST /api/v1/jobs` is the REST shape).
     fn job_submit(&self, req: &Request) -> Response {
         let Some(sql) = req.param("cmd") else {
             return Response::bad_request("job submission needs a ?cmd= parameter");
         };
         let submitter = req.param("submitter").unwrap_or(ANONYMOUS);
-        match self.jobs.submit(submitter, sql) {
+        match submit_job(self, submitter, sql) {
             Ok(id) => Response::ok(
                 "application/json; charset=utf-8",
                 serde_json::json!({ "job_id": id, "state": "queued" }).to_string(),
             ),
-            Err(quota) => Response::too_many_requests(&quota),
+            Err(e) => legacy_error(&e),
         }
     }
 
     /// `/x_job/status?id=...`: state + progress + queue position.
     fn job_status(&self, req: &Request) -> Response {
-        let Some(id) = req.param("id").and_then(|s| s.parse::<u64>().ok()) else {
-            return Response::bad_request("job status needs an integer ?id= parameter");
+        let params = ApiRequest::legacy(req);
+        let id: u64 = match params.require("id") {
+            Ok(id) => id,
+            Err(e) => return legacy_error(&e),
         };
-        match self.jobs.status(id) {
-            Some(status) => Response::ok(
+        match job_status_payload(self, id) {
+            Ok(status) => Response::ok(
                 "application/json; charset=utf-8",
                 job_status_json(&status).to_string(),
             ),
-            None => Response::not_found(&format!("job {id} (unknown id, or its result expired)")),
+            Err(e) => legacy_error(&e),
         }
     }
 
     /// `/x_job/fetch?id=...[&format=csv|json|xml|fits|grid]`: the stored
     /// result of a finished job, rendered through the shared formatters.
+    /// Unknown (or TTL-expired) ids are a 404, matching the status
+    /// endpoint; a job in the wrong state for fetching is a 400.
     fn job_fetch(&self, req: &Request) -> Response {
-        let Some(id) = req.param("id").and_then(|s| s.parse::<u64>().ok()) else {
-            return Response::bad_request("job fetch needs an integer ?id= parameter");
+        let params = ApiRequest::legacy(req);
+        let id: u64 = match params.require("id") {
+            Ok(id) => id,
+            Err(e) => return legacy_error(&e),
         };
         let format = OutputFormat::parse(req.param("format").unwrap_or("csv"));
-        // Unknown (or TTL-expired) ids are a 404, matching the status
-        // endpoint; a job in the wrong state for fetching is a 400.
-        if self.jobs.status(id).is_none() {
-            return Response::not_found(&format!("job {id} (unknown id, or its result expired)"));
-        }
-        match self.jobs.result(id) {
+        match job_result_payload(self, id) {
             Ok(result) => Response::ok(format.content_type(), format.render(&result)),
-            Err(why) => Response::bad_request(&why),
+            Err(e) => legacy_error(&e),
         }
     }
 
     /// `/x_job/cancel?id=...`: cancel a queued or running job.
     fn job_cancel(&self, req: &Request) -> Response {
-        let Some(id) = req.param("id").and_then(|s| s.parse::<u64>().ok()) else {
-            return Response::bad_request("job cancel needs an integer ?id= parameter");
+        let params = ApiRequest::legacy(req);
+        let id: u64 = match params.require("id") {
+            Ok(id) => id,
+            Err(e) => return legacy_error(&e),
         };
-        match self.jobs.cancel(id) {
-            Some(state) => Response::ok(
+        match cancel_job(self, id) {
+            Ok(state) => Response::ok(
                 "application/json; charset=utf-8",
                 serde_json::json!({ "job_id": id, "state": state.as_str() }).to_string(),
             ),
-            None => Response::not_found(&format!("job {id}")),
+            Err(e) => legacy_error(&e),
         }
     }
 
@@ -515,34 +571,36 @@ impl Drop for SkyServerSite {
     }
 }
 
-/// The JSON rendering of a job status snapshot.
-fn job_status_json(status: &JobStatus) -> serde_json::Value {
-    serde_json::json!({
-        "job_id": status.id,
-        "submitter": status.submitter,
-        "sql": status.sql,
-        "state": status.state.as_str(),
-        "queue_position": status.queue_position,
-        "rows_processed": status.rows_processed,
-        "result_rows": status.result_rows,
-        "result_bytes": status.result_bytes,
-        "truncated": status.truncated,
-        "error": status.error,
-        "waited_seconds": status.waited_seconds,
-        "run_seconds": status.run_seconds,
-    })
-}
-
 /// User-supplied strings on the My Jobs page share the formats module's
 /// element-content escaper.
 use crate::formats::escape_xml as html_escape;
 
-fn sql_error(e: SkyServerError) -> Response {
-    Response::bad_request(&format!("query failed: {e}"))
+/// Render a structured [`ApiError`] in the legacy plain-text shape the
+/// `.asp`-era pages answer with.  The legacy status vocabulary is
+/// narrower than the API's: resources keep 404 and quotas keep 429, but
+/// every other failure class (408 timeout, 422 SQL, 409 state conflicts,
+/// 403 read-only ...) collapses to the historical 400 so existing
+/// clients and tests see exactly the old contract.
+fn legacy_error(e: &ApiError) -> Response {
+    legacy_error_with_prefix("", e)
+}
+
+/// [`legacy_error`] with a message prefix (the SQL page has always said
+/// "query failed: ...").
+fn legacy_error_with_prefix(prefix: &str, e: &ApiError) -> Response {
+    let status = match e.status {
+        404 => 404,
+        429 => 429,
+        500 => 500,
+        _ => 400,
+    };
+    Response::with_status(status, &format!("{prefix}{}", e.message))
 }
 
 fn section_of_path(path: &str) -> Section {
-    if path.starts_with("/jp") {
+    if path == "/api" || path.starts_with("/api/") {
+        Section::Api
+    } else if path.starts_with("/jp") {
         Section::Japanese
     } else if path.starts_with("/de") {
         Section::German

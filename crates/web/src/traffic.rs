@@ -30,6 +30,9 @@ pub enum Section {
     SqlSearch,
     /// The asynchronous batch-query endpoints (`/x_job/*`, My Jobs).
     BatchJobs,
+    /// The versioned programmatic surface (`/api/v1/*`): machine clients,
+    /// not page views.
+    Api,
     /// The education projects.
     Education,
     /// The Japanese sub-web.
@@ -49,10 +52,15 @@ pub struct LogRecord {
     pub session: u64,
     /// Which part of the site was hit.
     pub section: Section,
-    /// True if the request is a full page view (false = embedded asset hit).
+    /// True if the request is a full page view (false = embedded asset hit
+    /// or a programmatic `/api` call).
     pub page_view: bool,
     /// True if the client is a crawler.
     pub crawler: bool,
+    /// HTTP status of the response (the simulator always records 200; the
+    /// live site records the real status so non-200 API responses are
+    /// countable separately from page views).
+    pub status: u16,
 }
 
 /// Traffic simulation parameters (defaults reproduce §7).
@@ -144,6 +152,7 @@ pub fn simulate_traffic(config: &TrafficConfig) -> Vec<LogRecord> {
                     section,
                     page_view: true,
                     crawler,
+                    status: 200,
                 });
                 // Asset hits attached to this page view.
                 let hits = (config.hits_per_page * rng.gen_range(0.0..2.0)).round() as u64;
@@ -154,6 +163,7 @@ pub fn simulate_traffic(config: &TrafficConfig) -> Vec<LogRecord> {
                         section,
                         page_view: false,
                         crawler,
+                        status: 200,
                     });
                 }
             }
@@ -228,6 +238,12 @@ pub struct TrafficReport {
     pub german_share: f64,
     /// Fraction of raw hits from crawlers.
     pub crawler_share: f64,
+    /// Raw hits on the `/api/v1` programmatic surface (machine clients,
+    /// attributed separately from page views).
+    pub api_hits: u64,
+    /// The subset of [`TrafficReport::api_hits`] that answered non-200
+    /// (structured API errors are workload too, but a different kind).
+    pub api_errors: u64,
     /// Average page views per day over the period.
     pub pages_per_day: f64,
     /// Peak-day hits over median-day hits (the TV spike shows up here).
@@ -255,6 +271,8 @@ pub fn analyze_traffic(log: &[LogRecord], config: &TrafficConfig) -> TrafficRepo
     let mut german = 0u64;
     let mut crawler_hits = 0u64;
     let mut total_page_views = 0u64;
+    let mut api_hits = 0u64;
+    let mut api_errors = 0u64;
     for r in log {
         let Some(d) = daily.get_mut(r.day as usize) else {
             continue;
@@ -262,6 +280,12 @@ pub fn analyze_traffic(log: &[LogRecord], config: &TrafficConfig) -> TrafficRepo
         d.hits += 1;
         if r.crawler {
             crawler_hits += 1;
+        }
+        if r.section == Section::Api {
+            api_hits += 1;
+            if r.status != 200 && r.status != 201 {
+                api_errors += 1;
+            }
         }
         if r.page_view {
             d.page_views += 1;
@@ -303,6 +327,8 @@ pub fn analyze_traffic(log: &[LogRecord], config: &TrafficConfig) -> TrafficRepo
         japanese_share: ratio(japanese, total_page_views),
         german_share: ratio(german, total_page_views),
         crawler_share: ratio(crawler_hits, total_hits),
+        api_hits,
+        api_errors,
         pages_per_day: total_page_views as f64 / f64::from(days.max(1)),
         peak_to_median: if median > 0 {
             peak as f64 / median as f64
@@ -437,6 +463,33 @@ mod tests {
         let text = render_figure5(&r);
         assert_eq!(text.lines().count(), 1 + 10 + 2);
         assert!(text.contains("total hits"));
+    }
+
+    #[test]
+    fn api_hits_are_attributed_separately_from_page_views() {
+        let config = TrafficConfig {
+            days: 1,
+            ..TrafficConfig::default()
+        };
+        let record = |section, page_view, status| LogRecord {
+            day: 0,
+            session: 1,
+            section,
+            page_view,
+            crawler: false,
+            status,
+        };
+        let log = vec![
+            record(Section::Api, false, 200),
+            record(Section::Api, false, 422),
+            record(Section::Api, false, 201),
+            record(Section::Home, true, 200),
+        ];
+        let r = analyze_traffic(&log, &config);
+        assert_eq!(r.api_hits, 3);
+        assert_eq!(r.api_errors, 1, "only the 422 is an API error");
+        assert_eq!(r.total_page_views, 1, "API hits are not page views");
+        assert_eq!(r.total_hits, 4);
     }
 
     #[test]
