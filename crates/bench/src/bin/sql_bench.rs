@@ -3,11 +3,14 @@
 //! Two phases, one artifact:
 //!
 //! 1. **Microbenches** on a synthetic 100k+ row catalog: the scan / filter /
-//!    join / aggregate hot paths, each measured twice — once with compiled
-//!    expression programs (the default execution mode) and once with the
-//!    tree-walking interpreter (`SqlEngine::set_expression_compilation(false)`,
-//!    the pre-compilation executor) — so the compiled-vs-interpreted ratio
-//!    is recorded and tracked over time.
+//!    join / aggregate hot paths, each measured three times — with the
+//!    tree-walking interpreter (`set_expression_compilation(false)`), with
+//!    compiled programs evaluated row-at-a-time
+//!    (`set_vectorized_execution(false)`), and in the default vectorized
+//!    batch mode — so both the compiled-vs-interpreted and the
+//!    vectorized-vs-row ratios are recorded and tracked over time.  Each
+//!    microbench also records the scan counters of the vectorized run
+//!    (`segments_pruned`, `batches_processed`, `bytes_scanned`).
 //! 2. **The documented query suite**: every data-mining query from
 //!    `docs/QUERIES.md` runs end to end on a tiny SkyServer; per-query wall
 //!    time, row count, plan class and raw scan counters go into the report,
@@ -147,6 +150,13 @@ fn microbenches() -> Vec<Micro> {
             sql: "select count(*) from obj_name where name like '%obj-0001%'".into(),
         },
         Micro {
+            // htmID is monotonic in the row number, so every 4,096-row
+            // segment covers a disjoint range and this range predicate lets
+            // zone maps skip almost the whole table.
+            name: "zone_pruned_range",
+            sql: "select count(*) from photo where htmID between 6000000 and 6000400".into(),
+        },
+        Micro {
             name: "hash_join",
             sql: "select count(*) from photo p join htm_zone z on p.htmID = z.htmID \
                   where z.zone < 64"
@@ -185,7 +195,8 @@ fn query_json(r: &QueryReport) -> String {
     format!(
         "{{\"id\": \"{}\", \"rows\": {}, \"wall_ms\": {:.3}, \"plan_class\": \"{}\", \
          \"rules_fired\": {}, \"rows_scanned\": {}, \"rows_from_index\": {}, \
-         \"predicates_evaluated\": {}, \"bytes_scanned\": {}, \"violations\": {}}}",
+         \"predicates_evaluated\": {}, \"bytes_scanned\": {}, \"segments_pruned\": {}, \
+         \"batches_processed\": {}, \"violations\": {}}}",
         r.id,
         r.rows,
         r.wall_seconds * 1e3,
@@ -195,6 +206,8 @@ fn query_json(r: &QueryReport) -> String {
         r.rows_from_index,
         r.predicates_evaluated,
         r.bytes_scanned,
+        r.segments_pruned,
+        r.batches_processed,
         r.violations.len()
     )
 }
@@ -238,23 +251,60 @@ fn main() {
         engine.set_expression_compilation(false);
         let (interpreted_ms, rows_a) = measure(&mut engine, &m.sql, runs);
         engine.set_expression_compilation(true);
-        let (compiled_ms, rows_b) = measure(&mut engine, &m.sql, runs);
+        engine.set_vectorized_execution(false);
+        let (row_ms, rows_b) = measure(&mut engine, &m.sql, runs);
+        engine.set_vectorized_execution(true);
+        let (compiled_ms, rows_c) = measure(&mut engine, &m.sql, runs);
         assert_eq!(
             rows_a, rows_b,
-            "{}: interpreted and compiled modes disagree on the result",
+            "{}: interpreted and row-compiled modes disagree on the result",
             m.name
         );
+        assert_eq!(
+            rows_b, rows_c,
+            "{}: row-compiled and vectorized modes disagree on the result",
+            m.name
+        );
+        let stats = engine
+            .execute(&m.sql, QueryLimits::UNLIMITED)
+            .expect("stats run failed after successful timed runs")
+            .stats
+            .stats;
         let speedup = interpreted_ms / compiled_ms.max(1e-9);
+        let vector_speedup = row_ms / compiled_ms.max(1e-9);
         eprintln!(
-            "  {:<20} interpreted {:>9.2} ms   compiled {:>9.2} ms   {:>5.2}x  ({} rows)",
-            m.name, interpreted_ms, compiled_ms, speedup, rows_a
+            "  {:<20} interpreted {:>9.2} ms   row {:>9.2} ms   vectorized {:>9.2} ms   \
+             {:>5.2}x total {:>5.2}x vector  ({} rows, {} pruned)",
+            m.name,
+            interpreted_ms,
+            row_ms,
+            compiled_ms,
+            speedup,
+            vector_speedup,
+            rows_a,
+            stats.segments_pruned
         );
         micro_json.push(format!(
-            "    \"{}\": {{\"interpreted_ms\": {:.3}, \"compiled_ms\": {:.3}, \
-             \"speedup\": {:.2}, \"rows\": {}}}",
-            m.name, interpreted_ms, compiled_ms, speedup, rows_a
+            "    \"{}\": {{\"interpreted_ms\": {:.3}, \"row_ms\": {:.3}, \
+             \"compiled_ms\": {:.3}, \"speedup\": {:.2}, \"vector_speedup\": {:.2}, \
+             \"rows\": {}, \"segments_pruned\": {}, \"batches_processed\": {}, \
+             \"bytes_scanned\": {}}}",
+            m.name,
+            interpreted_ms,
+            row_ms,
+            compiled_ms,
+            speedup,
+            vector_speedup,
+            rows_a,
+            stats.segments_pruned,
+            stats.batches_processed,
+            stats.bytes_scanned
         ));
     }
+    // Release the microbench catalog before timing the query suite: the
+    // 120k-row engine holds tens of MB of column arrays and dictionaries,
+    // and keeping it resident distorts the suite walls on small machines.
+    drop(engine);
 
     // ----------------------------------------------------------------------
     // Phase 2: the documented query suite, both modes.
@@ -315,19 +365,38 @@ fn main() {
         "scan_filter",
         "velocity_scan_q15",
         "like_scan",
+        "zone_pruned_range",
         "hash_join",
         "group_aggregate",
         "distinct_pairs",
         "top_n_early_stop",
     ] {
-        let speedup = parsed
-            .get("microbenches")
-            .and_then(|m| m.get(bench))
-            .and_then(|b| b.get("speedup"))
-            .and_then(|s| s.as_f64());
-        if speedup.is_none() {
-            problems.push(format!("microbench {bench:?} has no speedup"));
+        for key in ["speedup", "vector_speedup"] {
+            let value = parsed
+                .get("microbenches")
+                .and_then(|m| m.get(bench))
+                .and_then(|b| b.get(key))
+                .and_then(|s| s.as_f64());
+            if value.is_none() {
+                problems.push(format!("microbench {bench:?} has no {key}"));
+            }
         }
+    }
+    // Zone maps must actually fire somewhere: at the microbench scale the
+    // range scan over the monotonic htmID column prunes whole segments.
+    let pruned_somewhere = parsed
+        .get("microbenches")
+        .and_then(|m| m.as_object())
+        .is_some_and(|benches| {
+            benches.values().any(|b| {
+                b.get("segments_pruned")
+                    .and_then(|p| p.as_u64())
+                    .unwrap_or(0)
+                    > 0
+            })
+        });
+    if !pruned_somewhere {
+        problems.push("no microbench recorded a nonzero segments_pruned".into());
     }
     let queries = parsed
         .get("query_suite")
@@ -346,6 +415,11 @@ fn main() {
                         "query {:?} recorded {violations} violations",
                         q.get("id")
                     ));
+                }
+                for key in ["segments_pruned", "batches_processed"] {
+                    if q.get(key).and_then(|v| v.as_u64()).is_none() {
+                        problems.push(format!("query {:?} has no {key}", q.get("id")));
+                    }
                 }
             }
         }

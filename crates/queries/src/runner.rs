@@ -40,8 +40,13 @@ pub struct QueryReport {
     pub rows_from_index: u64,
     /// Predicate evaluations performed.
     pub predicates_evaluated: u64,
-    /// Heap bytes read by full scans.
+    /// Heap bytes read by full scans (per-column: only the columns the
+    /// plan touches are charged).
     pub bytes_scanned: u64,
+    /// Whole segments skipped by zone-map pruning.
+    pub segments_pruned: u64,
+    /// Row batches the vectorized heap scans processed.
+    pub batches_processed: u64,
 }
 
 /// Run one query and build its report.
@@ -79,6 +84,8 @@ pub fn run_query(server: &mut SkyServer, query: &QuerySpec) -> Result<QueryRepor
         rows_from_index: stats.stats.rows_from_index,
         predicates_evaluated: stats.stats.predicates_evaluated,
         bytes_scanned: stats.stats.bytes_scanned,
+        segments_pruned: stats.stats.segments_pruned,
+        batches_processed: stats.stats.batches_processed,
     })
 }
 

@@ -237,14 +237,14 @@ fn spatial_candidates(db: &Database, region: &Convex) -> Result<Vec<Candidate>, 
                 let hi = IndexKey(vec![Value::Int((r.hi - 1) as i64)]);
                 for (_, entry) in index.seek_range(Some(&lo), Some(&hi)) {
                     if let Some(row) = table.get(entry.row_id) {
-                        out.push(make(row));
+                        out.push(make(&row));
                     }
                 }
             }
         }
         None => {
             for (_, row) in table.iter() {
-                out.push(make(row));
+                out.push(make(&row));
             }
         }
     }

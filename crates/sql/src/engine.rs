@@ -59,6 +59,10 @@ pub struct SqlEngine {
     /// (default).  Off = interpret every expression per row; kept as the
     /// measurable baseline for `sql_bench`.
     compile_expressions: bool,
+    /// Run compiled heap scans through the vectorized batch pipeline
+    /// (default).  Off = row-at-a-time compiled evaluation; the middle rung
+    /// of the interpreted / compiled / vectorized equivalence ladder.
+    vectorized: bool,
     /// Cumulative execution counters (atomics: bumped through `&self` by
     /// concurrent readers).
     counters: EngineCounters,
@@ -106,6 +110,7 @@ impl SqlEngine {
             capture_plans: false,
             parallel_scan_threshold: crate::planner::PARALLEL_SCAN_THRESHOLD,
             compile_expressions: true,
+            vectorized: true,
             counters: EngineCounters::default(),
         }
     }
@@ -115,6 +120,7 @@ impl SqlEngine {
         Planner::new(&self.db, &self.functions)
             .with_parallel_scan_threshold(self.parallel_scan_threshold)
             .with_expression_compilation(self.compile_expressions)
+            .with_vectorized(self.vectorized)
     }
 
     /// Enable or disable compiled expression programs (on by default).
@@ -123,6 +129,14 @@ impl SqlEngine {
     /// against.
     pub fn set_expression_compilation(&mut self, compile: bool) {
         self.compile_expressions = compile;
+    }
+
+    /// Enable or disable the vectorized batch pipeline for compiled heap
+    /// scans (on by default).  Disabling keeps compiled programs but
+    /// evaluates them row-at-a-time — used by the three-way equivalence
+    /// tests and benchmarks.
+    pub fn set_vectorized_execution(&mut self, vectorized: bool) {
+        self.vectorized = vectorized;
     }
 
     /// Override the table size at which heap scans go parallel (tests and
@@ -619,15 +633,15 @@ impl SqlEngine {
         let mut changes: Vec<(usize, Vec<Value>)> = Vec::new();
         for (row_id, row) in table.iter() {
             let keep = match &update.selection {
-                Some(pred) => eval(pred, row, &ctx)?.is_truthy(),
+                Some(pred) => eval(pred, &row, &ctx)?.is_truthy(),
                 None => true,
             };
             if !keep {
                 continue;
             }
-            let mut new_row = row.to_vec();
+            let mut new_row = row.clone();
             for (pos, expr) in &assignment_positions {
-                new_row[*pos] = eval(expr, row, &ctx)?;
+                new_row[*pos] = eval(expr, &row, &ctx)?;
             }
             changes.push((row_id, new_row));
         }
@@ -654,7 +668,7 @@ impl SqlEngine {
         let mut victims = Vec::new();
         for (row_id, row) in table.iter() {
             let hit = match &delete.selection {
-                Some(pred) => eval(pred, row, &ctx)?.is_truthy(),
+                Some(pred) => eval(pred, &row, &ctx)?.is_truthy(),
                 None => true,
             };
             if hit {

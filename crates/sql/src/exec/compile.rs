@@ -295,6 +295,58 @@ pub enum CompiledExpr {
 }
 
 impl CompiledExpr {
+    /// Append every column ordinal this program reads to `out` (duplicates
+    /// allowed — callers sort and dedup).  The batch executor uses this to
+    /// materialize only the columns a scalar-fallback program actually
+    /// touches instead of the whole row.
+    pub fn collect_columns(&self, out: &mut Vec<usize>) {
+        match self {
+            CompiledExpr::Const(_) | CompiledExpr::Var { .. } | CompiledExpr::Agg { .. } => {}
+            CompiledExpr::Col(i) => out.push(*i),
+            CompiledExpr::Unary { expr, .. }
+            | CompiledExpr::IsNull { expr, .. }
+            | CompiledExpr::LikePre { expr, .. }
+            | CompiledExpr::Cast { expr, .. } => expr.collect_columns(out),
+            CompiledExpr::And(items) | CompiledExpr::Or(items) => {
+                items.iter().for_each(|e| e.collect_columns(out));
+            }
+            CompiledExpr::Binary { left, right, .. } => {
+                left.collect_columns(out);
+                right.collect_columns(out);
+            }
+            CompiledExpr::Between {
+                expr, low, high, ..
+            } => {
+                expr.collect_columns(out);
+                low.collect_columns(out);
+                high.collect_columns(out);
+            }
+            CompiledExpr::InList { expr, list, .. } => {
+                expr.collect_columns(out);
+                list.iter().for_each(|e| e.collect_columns(out));
+            }
+            CompiledExpr::LikeDyn { expr, pattern, .. } => {
+                expr.collect_columns(out);
+                pattern.collect_columns(out);
+            }
+            CompiledExpr::Case {
+                branches,
+                else_value,
+            } => {
+                for (condition, value) in branches {
+                    condition.collect_columns(out);
+                    value.collect_columns(out);
+                }
+                if let Some(e) = else_value {
+                    e.collect_columns(out);
+                }
+            }
+            CompiledExpr::Call { args, .. } => {
+                args.iter().for_each(|e| e.collect_columns(out));
+            }
+        }
+    }
+
     /// Evaluate an operand *by reference* where possible: columns borrow
     /// from the row and constants from the program, so the hot comparison
     /// shapes (`col < const`, `col BETWEEN a AND b`) move no `Value` at

@@ -8,3 +8,4 @@
 //! compilation disabled for benchmarking).
 
 pub mod compile;
+pub mod vector;

@@ -1,0 +1,875 @@
+//! Vectorized batch execution for heap scans.
+//!
+//! A `BatchProgram` is built once per scan from the compiled filter and
+//! projection.  The executor then drives it one *chunk* (≤ [`BATCH_ROWS`]
+//! slots of one storage segment) at a time: the chunk's live slots form a
+//! selection vector, each filter conjunct runs as a tight loop over the
+//! selection directly against the typed column arrays — no row
+//! materialization, no `Value` construction on the common Int/Float paths —
+//! and only the surviving offsets are gathered into output rows.
+//!
+//! # Semantics
+//!
+//! The result must be *indistinguishable* from evaluating the compiled
+//! program row-at-a-time (`filter.eval(row)?.is_truthy()`), which for a
+//! conjunction means SQL three-valued logic:
+//!
+//! * a conjunct evaluating to a falsy value removes the row from the
+//!   selection immediately (short-circuit — later conjuncts never see it);
+//! * a conjunct evaluating to NULL *flags* the row but keeps it in the
+//!   selection ([`crate::exec::compile::CompiledExpr::And`] keeps
+//!   evaluating after a NULL — errors in later conjuncts must still fire);
+//! * after the last conjunct, flagged rows are dropped: `NULL` is not
+//!   truthy.
+//!
+//! Conjuncts run left-to-right, each over ascending offsets, so the first
+//! error a chunk can raise is deterministic.  It may differ from the
+//! row-at-a-time order (conjunct-major vs row-major) — equivalence tests
+//! compare errors as "both fail", not message-for-message.
+//!
+//! String columns evaluate predicates **once per dictionary entry** and
+//! then map the per-row codes through the precomputed answers — the
+//! dictionary trick that makes `LIKE` scans cheap.  When a dictionary is
+//! near-unique (more entries than selected rows) the predicate runs per
+//! selected row instead, so the trick never costs more than it saves.
+
+use crate::ast::BinaryOp;
+use crate::error::SqlError;
+use crate::exec::compile::{CompiledExpr, LikeMatcher};
+use crate::expr::EvalContext;
+use skyserver_storage::{ColumnData, DataType, Segment, Value};
+use std::cmp::Ordering;
+
+/// Rows per processed batch.  A quarter of a storage segment: small enough
+/// that a chunk's selection vector and column slices stay cache-resident,
+/// large enough to amortise per-chunk dispatch.
+pub const BATCH_ROWS: usize = 1024;
+
+/// How one output column of the gather stage is produced.
+enum Gather<'a> {
+    /// Direct column fetch — no scratch row needed.
+    Col(usize),
+    /// General program over the materialized scratch row.
+    Eval(&'a CompiledExpr),
+}
+
+/// One conjunct of the filter, specialised to a kernel where possible.
+enum Conjunct<'a> {
+    /// `col <op> const` (constants normalised to the right-hand side).
+    CmpConst {
+        col: usize,
+        op: BinaryOp,
+        konst: &'a Value,
+    },
+    /// `col [NOT] BETWEEN lo AND hi` with constant bounds.
+    Between {
+        col: usize,
+        low: &'a Value,
+        high: &'a Value,
+        negated: bool,
+    },
+    /// `col [NOT] IN (consts)` — NULL list members can never match and are
+    /// dropped at build time.
+    InList {
+        col: usize,
+        list: Vec<&'a Value>,
+        negated: bool,
+    },
+    /// `col IS [NOT] NULL` — answered from the validity bitmap alone.
+    IsNull { col: usize, negated: bool },
+    /// `col [NOT] LIKE 'pattern'` with a precompiled matcher.
+    Like {
+        col: usize,
+        matcher: &'a LikeMatcher,
+        negated: bool,
+    },
+    /// `(col & mask) <op> const` / `(col | mask)` — the SkyServer flag
+    /// idiom, specialised for Int columns.
+    FlagsCmp {
+        col: usize,
+        mask: i64,
+        or: bool,
+        op: BinaryOp,
+        konst: &'a Value,
+    },
+    /// A comparison against a NULL constant: NULL for every row.
+    AlwaysNull,
+    /// Anything else: run the compiled program per row over a sparse
+    /// scratch row holding only the columns the program reads.
+    Scalar {
+        expr: &'a CompiledExpr,
+        /// Sorted, deduped ordinals of the columns `expr` reads.
+        cols: Vec<usize>,
+    },
+}
+
+/// Build the scalar-fallback conjunct: record which columns the program
+/// reads so evaluation materializes only those (out-of-range ordinals are
+/// dropped — `CompiledExpr::eval` reports them itself).
+fn scalar_conjunct(expr: &CompiledExpr, ncols: usize) -> Conjunct<'_> {
+    let mut cols = Vec::new();
+    expr.collect_columns(&mut cols);
+    cols.sort_unstable();
+    cols.dedup();
+    cols.retain(|&c| c < ncols);
+    Conjunct::Scalar { expr, cols }
+}
+
+/// Tri-state outcome of one conjunct for one row.
+#[derive(Clone, Copy, PartialEq)]
+enum Tri {
+    True,
+    False,
+    Null,
+}
+
+impl Tri {
+    #[inline]
+    fn of_bool(b: bool) -> Tri {
+        if b {
+            Tri::True
+        } else {
+            Tri::False
+        }
+    }
+
+    #[inline]
+    fn of_value(v: &Value) -> Tri {
+        if v.is_null() {
+            Tri::Null
+        } else if v.is_truthy() {
+            Tri::True
+        } else {
+            Tri::False
+        }
+    }
+}
+
+/// Reusable per-scan buffers (one per worker thread).
+#[derive(Default)]
+pub(crate) struct BatchScratch {
+    /// Selected slot offsets within the current segment.
+    sel: Vec<u32>,
+    /// NULL flags, parallel to `sel` (a row whose filter saw a NULL
+    /// conjunct survives the selection but is dropped at the end).
+    nulls: Vec<bool>,
+    /// Scratch row for scalar-fallback conjuncts and non-trivial
+    /// projections.
+    row: Vec<Value>,
+    /// Per-dictionary-entry predicate answers, reused across chunks of the
+    /// same segment.
+    dict: Vec<Tri>,
+}
+
+/// A compiled filter + projection specialised for batch execution over one
+/// table's segments.
+pub(crate) struct BatchProgram<'a> {
+    conjuncts: Vec<Conjunct<'a>>,
+    gather: Option<Vec<Gather<'a>>>,
+    /// Sorted, deduped ordinals read by the [`Gather::Eval`] projections —
+    /// the only columns the gather stage loads into the scratch row.
+    eval_cols: Vec<usize>,
+    column_types: Vec<DataType>,
+}
+
+impl<'a> BatchProgram<'a> {
+    /// Specialise `filter`/`project` against a table with the given column
+    /// types.  Never fails: shapes without a kernel become scalar-fallback
+    /// conjuncts with identical semantics.
+    pub fn build(
+        filter: Option<&'a CompiledExpr>,
+        project: Option<&'a [CompiledExpr]>,
+        column_types: Vec<DataType>,
+    ) -> BatchProgram<'a> {
+        let mut conjuncts = Vec::new();
+        if let Some(f) = filter {
+            let items: Vec<&CompiledExpr> = match f {
+                CompiledExpr::And(items) => items.iter().collect(),
+                other => vec![other],
+            };
+            for item in items {
+                conjuncts.push(build_conjunct(item, &column_types));
+            }
+        }
+        let gather: Option<Vec<Gather<'a>>> = project.map(|programs| {
+            programs
+                .iter()
+                .map(|p| match p {
+                    CompiledExpr::Col(i) if *i < column_types.len() => Gather::Col(*i),
+                    other => Gather::Eval(other),
+                })
+                .collect()
+        });
+        let mut eval_cols = Vec::new();
+        for g in gather.iter().flatten() {
+            if let Gather::Eval(p) = g {
+                p.collect_columns(&mut eval_cols);
+            }
+        }
+        eval_cols.sort_unstable();
+        eval_cols.dedup();
+        eval_cols.retain(|&c| c < column_types.len());
+        BatchProgram {
+            conjuncts,
+            gather,
+            eval_cols,
+            column_types,
+        }
+    }
+
+    /// Load the live slots of `base..end` into the selection vector.
+    /// Returns the live count.
+    pub fn begin_chunk(
+        &self,
+        seg: &Segment,
+        base: usize,
+        end: usize,
+        scratch: &mut BatchScratch,
+    ) -> u64 {
+        scratch.sel.clear();
+        let deleted = seg.deleted();
+        for (off, &dead) in deleted.iter().enumerate().take(end).skip(base) {
+            if !dead {
+                scratch.sel.push(off as u32);
+            }
+        }
+        scratch.nulls.clear();
+        scratch.nulls.resize(scratch.sel.len(), false);
+        scratch.sel.len() as u64
+    }
+
+    /// Run every filter conjunct over the current selection, leaving only
+    /// accepted offsets in `scratch.sel`.
+    pub fn filter_chunk(
+        &self,
+        seg: &Segment,
+        scratch: &mut BatchScratch,
+        ctx: &EvalContext<'_>,
+    ) -> Result<(), SqlError> {
+        if self.conjuncts.is_empty() {
+            return Ok(());
+        }
+        for conjunct in &self.conjuncts {
+            self.apply_conjunct(conjunct, seg, scratch, ctx)?;
+            if scratch.sel.is_empty() {
+                return Ok(());
+            }
+        }
+        // Drop NULL-flagged survivors: NULL is not truthy.
+        let mut kept = 0usize;
+        for i in 0..scratch.sel.len() {
+            if !scratch.nulls[i] {
+                scratch.sel[kept] = scratch.sel[i];
+                kept += 1;
+            }
+        }
+        scratch.sel.truncate(kept);
+        scratch.nulls.truncate(kept);
+        scratch.nulls.iter_mut().for_each(|n| *n = false);
+        Ok(())
+    }
+
+    /// Materialize the accepted rows of the current selection into `out`.
+    pub fn emit_chunk(
+        &self,
+        seg: &Segment,
+        scratch: &mut BatchScratch,
+        ctx: &EvalContext<'_>,
+        out: &mut Vec<Vec<Value>>,
+    ) -> Result<(), SqlError> {
+        let ncols = self.column_types.len();
+        match &self.gather {
+            None => {
+                for &off in &scratch.sel {
+                    let off = off as usize;
+                    let mut row = Vec::with_capacity(ncols);
+                    for c in 0..ncols {
+                        row.push(seg.value(off, c));
+                    }
+                    out.push(row);
+                }
+            }
+            Some(gather) => {
+                let needs_scratch = gather.iter().any(|g| matches!(g, Gather::Eval(_)));
+                if needs_scratch {
+                    // Full-width (programs address by ordinal) but only the
+                    // ordinals the Eval projections read are loaded per row.
+                    scratch.row.clear();
+                    scratch.row.resize(ncols, Value::Null);
+                }
+                for &off in &scratch.sel {
+                    let off = off as usize;
+                    if needs_scratch {
+                        for &c in &self.eval_cols {
+                            scratch.row[c] = seg.value(off, c);
+                        }
+                    }
+                    let mut row = Vec::with_capacity(gather.len());
+                    for g in gather {
+                        row.push(match g {
+                            Gather::Col(c) => seg.value(off, *c),
+                            Gather::Eval(p) => p.eval(&scratch.row, ctx)?,
+                        });
+                    }
+                    out.push(row);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Apply one conjunct over the selection, retaining True and Null rows
+    /// (the latter flagged) and dropping False rows.
+    fn apply_conjunct(
+        &self,
+        conjunct: &Conjunct<'a>,
+        seg: &Segment,
+        scratch: &mut BatchScratch,
+        ctx: &EvalContext<'_>,
+    ) -> Result<(), SqlError> {
+        match conjunct {
+            Conjunct::AlwaysNull => {
+                scratch.nulls.iter_mut().for_each(|n| *n = true);
+                Ok(())
+            }
+            Conjunct::IsNull { col, negated } => {
+                let validity = seg.column(*col).validity();
+                retain(scratch, |off, _| {
+                    // v.is_null() != negated, never NULL itself.
+                    Tri::of_bool(validity[off as usize] == *negated)
+                });
+                Ok(())
+            }
+            Conjunct::CmpConst { col, op, konst } => {
+                self.cmp_kernel(seg, scratch, *col, *op, konst, ctx)
+            }
+            Conjunct::Between {
+                col,
+                low,
+                high,
+                negated,
+            } => {
+                let column = seg.column(*col);
+                let validity = column.validity();
+                match column.data() {
+                    ColumnData::Int(ints) => retain(scratch, |off, _| {
+                        let off = off as usize;
+                        if !validity[off] {
+                            return Tri::Null;
+                        }
+                        let v = ints[off];
+                        let within = ord_int(v, low) != Ordering::Less
+                            && ord_int(v, high) != Ordering::Greater;
+                        Tri::of_bool(within != *negated)
+                    }),
+                    ColumnData::Float(floats) => retain(scratch, |off, _| {
+                        let off = off as usize;
+                        if !validity[off] {
+                            return Tri::Null;
+                        }
+                        let v = floats[off];
+                        let within = ord_float(v, low) != Ordering::Less
+                            && ord_float(v, high) != Ordering::Greater;
+                        Tri::of_bool(within != *negated)
+                    }),
+                    ColumnData::Str { dict, codes } => {
+                        str_kernel(scratch, validity, dict, codes, |s| {
+                            let within = ord_str(s, low) != Ordering::Less
+                                && ord_str(s, high) != Ordering::Greater;
+                            Tri::of_bool(within != *negated)
+                        });
+                    }
+                    _ => retain_generic(scratch, seg, *col, |v| {
+                        Tri::of_value(&crate::expr::between_value(v, low, high, *negated))
+                    }),
+                }
+                Ok(())
+            }
+            Conjunct::InList { col, list, negated } => {
+                let column = seg.column(*col);
+                let validity = column.validity();
+                match column.data() {
+                    ColumnData::Int(ints) => retain(scratch, |off, _| {
+                        let off = off as usize;
+                        if !validity[off] {
+                            return Tri::Null;
+                        }
+                        let v = ints[off];
+                        let found = list.iter().any(|k| ord_int(v, k) == Ordering::Equal);
+                        Tri::of_bool(found != *negated)
+                    }),
+                    ColumnData::Float(floats) => retain(scratch, |off, _| {
+                        let off = off as usize;
+                        if !validity[off] {
+                            return Tri::Null;
+                        }
+                        let v = floats[off];
+                        let found = list.iter().any(|k| ord_float(v, k) == Ordering::Equal);
+                        Tri::of_bool(found != *negated)
+                    }),
+                    ColumnData::Str { dict, codes } => {
+                        str_kernel(scratch, validity, dict, codes, |s| {
+                            let found = list.iter().any(|k| ord_str(s, k) == Ordering::Equal);
+                            Tri::of_bool(found != *negated)
+                        });
+                    }
+                    _ => retain_generic(scratch, seg, *col, |v| {
+                        if v.is_null() {
+                            return Tri::Null;
+                        }
+                        let found = list.iter().any(|k| v.sql_eq(k));
+                        Tri::of_bool(found != *negated)
+                    }),
+                }
+                Ok(())
+            }
+            Conjunct::Like {
+                col,
+                matcher,
+                negated,
+            } => {
+                let column = seg.column(*col);
+                let validity = column.validity();
+                match column.data() {
+                    ColumnData::Str { dict, codes } => {
+                        str_kernel(scratch, validity, dict, codes, |s| {
+                            Tri::of_bool(matcher.matches(s) != *negated)
+                        });
+                    }
+                    _ => retain_generic(scratch, seg, *col, |v| {
+                        if v.is_null() {
+                            return Tri::Null;
+                        }
+                        Tri::of_bool(matcher.matches_value(v) != *negated)
+                    }),
+                }
+                Ok(())
+            }
+            Conjunct::FlagsCmp {
+                col,
+                mask,
+                or,
+                op,
+                konst,
+            } => {
+                let column = seg.column(*col);
+                let validity = column.validity();
+                match column.data() {
+                    ColumnData::Int(ints) => retain(scratch, |off, _| {
+                        let off = off as usize;
+                        if !validity[off] {
+                            return Tri::Null;
+                        }
+                        let masked = if *or {
+                            ints[off] | mask
+                        } else {
+                            ints[off] & mask
+                        };
+                        Tri::of_bool(cmp_holds(*op, ord_int(masked, konst), |a| {
+                            sql_eq_int(a, konst)
+                        }))
+                    }),
+                    // Build guards on DataType::Int, but a segment could be
+                    // empty of data before the first insert; fall back.
+                    _ => retain_generic(scratch, seg, *col, |v| {
+                        if v.is_null() {
+                            return Tri::Null;
+                        }
+                        let Some(l) = v.as_i64() else {
+                            return Tri::False; // unreachable for Int columns
+                        };
+                        let masked = if *or { l | mask } else { l & mask };
+                        Tri::of_bool(cmp_holds(*op, ord_int(masked, konst), |a| {
+                            sql_eq_int(a, konst)
+                        }))
+                    }),
+                }
+                Ok(())
+            }
+            Conjunct::Scalar { expr, cols } => {
+                let ncols = self.column_types.len();
+                let mut err = None;
+                let seg_ref = seg;
+                // Split borrows: `retain` mutates sel/nulls while the
+                // closure fills the scratch row.  The row stays full-width
+                // (programs address columns by ordinal) but only the
+                // ordinals the program reads are loaded per row; the rest
+                // stay NULL and are never consulted.
+                let mut row = std::mem::take(&mut scratch.row);
+                row.clear();
+                row.resize(ncols, Value::Null);
+                retain(scratch, |off, _| {
+                    if err.is_some() {
+                        return Tri::True; // error already pending; keep row sets, bail after
+                    }
+                    for &c in cols {
+                        row[c] = seg_ref.value(off as usize, c);
+                    }
+                    match expr.eval(&row, ctx) {
+                        Ok(v) => Tri::of_value(&v),
+                        Err(e) => {
+                            err = Some(e);
+                            Tri::True
+                        }
+                    }
+                });
+                scratch.row = row;
+                match err {
+                    Some(e) => Err(e),
+                    None => Ok(()),
+                }
+            }
+        }
+    }
+
+    /// The `col <op> const` kernel, monomorphised per column representation.
+    fn cmp_kernel(
+        &self,
+        seg: &Segment,
+        scratch: &mut BatchScratch,
+        col: usize,
+        op: BinaryOp,
+        konst: &Value,
+        _ctx: &EvalContext<'_>,
+    ) -> Result<(), SqlError> {
+        let column = seg.column(col);
+        let validity = column.validity();
+        match column.data() {
+            ColumnData::Int(ints) => retain(scratch, |off, _| {
+                let off = off as usize;
+                if !validity[off] {
+                    return Tri::Null;
+                }
+                let v = ints[off];
+                Tri::of_bool(cmp_holds(op, ord_int(v, konst), |a| sql_eq_int(a, konst)))
+            }),
+            ColumnData::Float(floats) => retain(scratch, |off, _| {
+                let off = off as usize;
+                if !validity[off] {
+                    return Tri::Null;
+                }
+                let v = floats[off];
+                Tri::of_bool(cmp_holds(op, ord_float(v, konst), |a| {
+                    sql_eq_float(a, konst)
+                }))
+            }),
+            ColumnData::Str { dict, codes } => {
+                str_kernel(scratch, validity, dict, codes, |s| {
+                    Tri::of_bool(cmp_holds(op, ord_str(s, konst), |a| sql_eq_str(a, konst)))
+                });
+            }
+            _ => retain_generic(scratch, seg, col, |v| {
+                if v.is_null() {
+                    return Tri::Null;
+                }
+                let holds = match op {
+                    BinaryOp::Eq => v.sql_eq(konst),
+                    BinaryOp::NotEq => !v.sql_eq(konst),
+                    BinaryOp::Lt => v.total_cmp(konst) == Ordering::Less,
+                    BinaryOp::LtEq => v.total_cmp(konst) != Ordering::Greater,
+                    BinaryOp::Gt => v.total_cmp(konst) == Ordering::Greater,
+                    BinaryOp::GtEq => v.total_cmp(konst) != Ordering::Less,
+                    _ => unreachable!("only comparisons build CmpConst"),
+                };
+                Tri::of_bool(holds)
+            }),
+        }
+        Ok(())
+    }
+}
+
+/// Run `f` over the selection, keeping True rows, keeping-and-flagging Null
+/// rows, dropping False rows.  `f` gets `(offset, already_flagged)`.
+#[inline]
+fn retain(scratch: &mut BatchScratch, mut f: impl FnMut(u32, bool) -> Tri) {
+    let mut kept = 0usize;
+    for i in 0..scratch.sel.len() {
+        let off = scratch.sel[i];
+        let flagged = scratch.nulls[i];
+        match f(off, flagged) {
+            Tri::False => {}
+            tri => {
+                scratch.sel[kept] = off;
+                scratch.nulls[kept] = flagged || tri == Tri::Null;
+                kept += 1;
+            }
+        }
+    }
+    scratch.sel.truncate(kept);
+    scratch.nulls.truncate(kept);
+}
+
+/// Generic per-row fallback for column representations without a dedicated
+/// kernel (Bytes, Bool): fetch the cell as a [`Value`] — still no full-row
+/// materialization.
+#[inline]
+fn retain_generic(
+    scratch: &mut BatchScratch,
+    seg: &Segment,
+    col: usize,
+    mut f: impl FnMut(&Value) -> Tri,
+) {
+    let column = seg.column(col);
+    retain(scratch, |off, _| {
+        let v = column.value(off as usize);
+        f(&v)
+    })
+}
+
+/// Evaluate a predicate once per dictionary entry into `answers`.
+#[inline]
+fn prime_dict(
+    answers: &mut Vec<Tri>,
+    dict: &[std::sync::Arc<str>],
+    mut f: impl FnMut(&str) -> Tri,
+) {
+    answers.clear();
+    answers.extend(dict.iter().map(|s| f(s)));
+}
+
+/// Run a string predicate over a dictionary-encoded column.  When the
+/// dictionary is no larger than the selection, the predicate runs once per
+/// distinct entry and the per-row codes map through the answers; for
+/// near-unique dictionaries (more entries than selected rows) that would
+/// evaluate entries no selected row uses, so the predicate runs per row
+/// instead.
+#[inline]
+fn str_kernel(
+    scratch: &mut BatchScratch,
+    validity: &[bool],
+    dict: &[std::sync::Arc<str>],
+    codes: &[u32],
+    pred: impl Fn(&str) -> Tri,
+) {
+    if dict.len() <= scratch.sel.len() {
+        prime_dict(&mut scratch.dict, dict, &pred);
+        let answers = std::mem::take(&mut scratch.dict);
+        retain(scratch, |off, _| {
+            let off = off as usize;
+            if !validity[off] {
+                Tri::Null
+            } else {
+                answers[codes[off] as usize]
+            }
+        });
+        scratch.dict = answers;
+    } else {
+        retain(scratch, |off, _| {
+            let off = off as usize;
+            if !validity[off] {
+                Tri::Null
+            } else {
+                pred(&dict[codes[off] as usize])
+            }
+        });
+    }
+}
+
+/// Does `op` hold given the [`Value::total_cmp`] ordering?  `Eq`/`NotEq`
+/// route through `eq` because SQL equality and total ordering agree only on
+/// non-NULL values (which is all a kernel ever passes).
+#[inline]
+fn cmp_holds(op: BinaryOp, ord: Ordering, eq: impl Fn(Ordering) -> bool) -> bool {
+    match op {
+        BinaryOp::Eq => eq(ord),
+        BinaryOp::NotEq => !eq(ord),
+        BinaryOp::Lt => ord == Ordering::Less,
+        BinaryOp::LtEq => ord != Ordering::Greater,
+        BinaryOp::Gt => ord == Ordering::Greater,
+        BinaryOp::GtEq => ord != Ordering::Less,
+        _ => unreachable!("only comparisons reach cmp_holds"),
+    }
+}
+
+#[inline]
+fn sql_eq_int(ord: Ordering, konst: &Value) -> bool {
+    // sql_eq == (total_cmp == Equal) for non-NULL operands; konst is
+    // non-NULL by construction.
+    debug_assert!(!konst.is_null());
+    ord == Ordering::Equal
+}
+
+#[inline]
+fn sql_eq_float(ord: Ordering, konst: &Value) -> bool {
+    debug_assert!(!konst.is_null());
+    ord == Ordering::Equal
+}
+
+#[inline]
+fn sql_eq_str(ord: Ordering, konst: &Value) -> bool {
+    debug_assert!(!konst.is_null());
+    ord == Ordering::Equal
+}
+
+/// `Value::total_cmp(Int(v), konst)` without constructing a `Value`.
+#[inline]
+fn ord_int(v: i64, konst: &Value) -> Ordering {
+    match konst {
+        Value::Int(k) => v.cmp(k),
+        Value::Float(k) => (v as f64).total_cmp(k),
+        // Type-rank order: Bool(1) < Int/Float(2) < Str(3) < Bytes(4).
+        Value::Bool(_) => Ordering::Greater,
+        Value::Str(_) | Value::Bytes(_) => Ordering::Less,
+        Value::Null => Ordering::Greater,
+    }
+}
+
+/// `Value::total_cmp(Float(v), konst)` without constructing a `Value`.
+#[inline]
+fn ord_float(v: f64, konst: &Value) -> Ordering {
+    match konst {
+        Value::Int(k) => v.total_cmp(&(*k as f64)),
+        Value::Float(k) => v.total_cmp(k),
+        Value::Bool(_) => Ordering::Greater,
+        Value::Str(_) | Value::Bytes(_) => Ordering::Less,
+        Value::Null => Ordering::Greater,
+    }
+}
+
+/// `Value::total_cmp(Str(v), konst)` without constructing a `Value`.
+#[inline]
+fn ord_str(v: &str, konst: &Value) -> Ordering {
+    match konst {
+        Value::Str(k) => v.cmp(&**k),
+        Value::Bytes(_) => Ordering::Less,
+        Value::Null | Value::Bool(_) | Value::Int(_) | Value::Float(_) => Ordering::Greater,
+    }
+}
+
+/// Specialise one conjunct.  Falls back to [`Conjunct::Scalar`] whenever a
+/// shape has no kernel — semantics are preserved either way.
+fn build_conjunct<'a>(expr: &'a CompiledExpr, column_types: &[DataType]) -> Conjunct<'a> {
+    let col_ok = |i: &usize| *i < column_types.len();
+    match expr {
+        CompiledExpr::Binary { op, left, right } if op.is_comparison() => {
+            // Normalise `const op col` to `col mirror(op) const`.
+            let (col, op, konst) = match (&**left, &**right) {
+                (CompiledExpr::Col(i), CompiledExpr::Const(k)) if col_ok(i) => (*i, *op, k),
+                (CompiledExpr::Const(k), CompiledExpr::Col(i)) if col_ok(i) => (*i, op.mirror(), k),
+                (inner, CompiledExpr::Const(k)) => {
+                    return build_flags(inner, *op, k, column_types)
+                        .unwrap_or(scalar_conjunct(expr, column_types.len()));
+                }
+                _ => return scalar_conjunct(expr, column_types.len()),
+            };
+            if konst.is_null() {
+                Conjunct::AlwaysNull
+            } else {
+                Conjunct::CmpConst { col, op, konst }
+            }
+        }
+        CompiledExpr::Between {
+            expr: inner,
+            low,
+            high,
+            negated,
+        } => match (&**inner, &**low, &**high) {
+            (CompiledExpr::Col(i), CompiledExpr::Const(lo), CompiledExpr::Const(hi))
+                if col_ok(i) =>
+            {
+                if lo.is_null() || hi.is_null() {
+                    Conjunct::AlwaysNull
+                } else {
+                    Conjunct::Between {
+                        col: *i,
+                        low: lo,
+                        high: hi,
+                        negated: *negated,
+                    }
+                }
+            }
+            _ => scalar_conjunct(expr, column_types.len()),
+        },
+        CompiledExpr::InList {
+            expr: inner,
+            list,
+            negated,
+        } => match &**inner {
+            CompiledExpr::Col(i) if col_ok(i) => {
+                let consts: Vec<&Value> = list
+                    .iter()
+                    .filter_map(|item| match item {
+                        CompiledExpr::Const(v) => Some(v),
+                        _ => None,
+                    })
+                    .collect();
+                if consts.len() != list.len() {
+                    return scalar_conjunct(expr, column_types.len());
+                }
+                Conjunct::InList {
+                    col: *i,
+                    // NULL members never satisfy sql_eq; drop them.
+                    list: consts.into_iter().filter(|v| !v.is_null()).collect(),
+                    negated: *negated,
+                }
+            }
+            _ => scalar_conjunct(expr, column_types.len()),
+        },
+        CompiledExpr::IsNull {
+            expr: inner,
+            negated,
+        } => match &**inner {
+            CompiledExpr::Col(i) if col_ok(i) => Conjunct::IsNull {
+                col: *i,
+                negated: *negated,
+            },
+            _ => scalar_conjunct(expr, column_types.len()),
+        },
+        CompiledExpr::LikePre {
+            expr: inner,
+            matcher,
+            negated,
+        } => match &**inner {
+            CompiledExpr::Col(i) if col_ok(i) => Conjunct::Like {
+                col: *i,
+                matcher,
+                negated: *negated,
+            },
+            _ => scalar_conjunct(expr, column_types.len()),
+        },
+        _ => scalar_conjunct(expr, column_types.len()),
+    }
+}
+
+/// Recognise the flag idiom `(col & mask)` / `(col | mask)` as the left
+/// side of a comparison — Int columns only, where `as_i64` is exact.
+fn build_flags<'a>(
+    inner: &'a CompiledExpr,
+    op: BinaryOp,
+    konst: &'a Value,
+    column_types: &[DataType],
+) -> Option<Conjunct<'a>> {
+    let CompiledExpr::Binary {
+        op: bit_op,
+        left,
+        right,
+    } = inner
+    else {
+        return None;
+    };
+    let or = match bit_op {
+        BinaryOp::BitAnd => false,
+        BinaryOp::BitOr => true,
+        _ => return None,
+    };
+    let (col, mask_v) = match (&**left, &**right) {
+        (CompiledExpr::Col(i), CompiledExpr::Const(k)) => (*i, k),
+        (CompiledExpr::Const(k), CompiledExpr::Col(i)) => (*i, k),
+        _ => return None,
+    };
+    if column_types.get(col) != Some(&DataType::Int) {
+        return None;
+    }
+    if mask_v.is_null() || konst.is_null() {
+        // NULL anywhere makes the whole comparison NULL for every row.
+        return Some(Conjunct::AlwaysNull);
+    }
+    let mask = mask_v.as_i64()?;
+    Some(Conjunct::FlagsCmp {
+        col,
+        mask,
+        or,
+        op,
+        konst,
+    })
+}

@@ -27,12 +27,13 @@ use crate::error::SqlError;
 use crate::exec::compile::{
     collect_aggregates, CompiledAggregate, CompiledExpr, CompiledPrograms, SortKey,
 };
+use crate::exec::vector::{BatchProgram, BatchScratch, BATCH_ROWS};
 use crate::expr::{aggregate_key, eval, EvalContext, RowSchema};
 use crate::functions::FunctionRegistry;
 use crate::monitor::{QueryMonitor, MONITOR_BATCH};
 use crate::plan::{AccessPath, JoinStrategy, SelectPlan, SourceKind, SourcePlan};
 use crate::result::ResultSet;
-use skyserver_storage::{Database, IndexKey, ScanStats, Value};
+use skyserver_storage::{DataType, Database, IndexKey, ScanStats, Value, SEGMENT_ROWS};
 use std::collections::HashMap;
 use std::time::Instant;
 
@@ -126,6 +127,10 @@ fn zip_exprs<'a>(
 struct ScanPrograms<'a> {
     filter: Option<&'a CompiledExpr>,
     project: Option<&'a [CompiledExpr]>,
+    /// Run heap scans in vectorized batches (plan-level switch).  Only
+    /// honoured when the pushed filter (if any) compiled — the batch
+    /// kernels execute compiled programs, not interpreter trees.
+    vectorized: bool,
 }
 
 /// Programs of one join step.
@@ -135,6 +140,8 @@ struct JoinPrograms<'a> {
     outer_key: Option<&'a CompiledExpr>,
     hash_keys: Option<&'a (Vec<CompiledExpr>, Vec<CompiledExpr>)>,
     residual: Option<&'a CompiledExpr>,
+    /// Propagates [`ScanPrograms::vectorized`] to inner-side scans.
+    vectorized: bool,
 }
 
 /// The full heap schema of a base table, qualified by its alias — what
@@ -175,11 +182,59 @@ pub(crate) fn scan_schema(
     }
 }
 
+/// What one heap scan (or one parallel-scan partition) produced: the
+/// surviving rows plus the counters to fold into the query's [`ScanStats`].
+#[derive(Default)]
+struct HeapScanOutcome {
+    rows: Vec<Vec<Value>>,
+    /// Live rows visited in non-pruned segments.
+    scanned: u64,
+    /// Rows the pushed predicate was evaluated over.
+    evaluated: u64,
+    /// Segments skipped entirely by zone-map pruning.
+    pruned: u64,
+    /// Row chunks processed (each ≤ [`BATCH_ROWS`] slots).
+    batches: u64,
+    /// Bytes of the visited rows' scanned columns.
+    bytes: u64,
+    /// Full-row-equivalent bytes of the visited rows (all columns), for
+    /// the row-store simulation.
+    logical_bytes: u64,
+}
+
+impl HeapScanOutcome {
+    fn merge_into(&self, stats: &mut ScanStats) {
+        stats.rows_scanned += self.scanned;
+        stats.predicates_evaluated += self.evaluated;
+        stats.segments_pruned += self.pruned;
+        stats.batches_processed += self.batches;
+        stats.bytes_scanned += self.bytes;
+        stats.logical_bytes_scanned += self.logical_bytes;
+    }
+}
+
+/// Bytes of the columns a row-id gather actually touched: the planner's
+/// scan-column set when known, the whole row otherwise.
+fn gathered_bytes(row: &[Value], scan_columns: Option<&[usize]>) -> u64 {
+    match scan_columns {
+        Some(cols) => cols
+            .iter()
+            .filter_map(|&c| row.get(c))
+            .map(|v| v.byte_size() as u64)
+            .sum(),
+        None => row.iter().map(|v| v.byte_size() as u64).sum(),
+    }
+}
+
 fn source_program(programs: Option<&CompiledPrograms>, index: usize) -> Option<&CompiledExpr> {
     programs.and_then(|p| p.source_predicates.get(index).and_then(Option::as_ref))
 }
 
-fn join_programs<'a>(programs: Option<&'a CompiledPrograms>, index: usize) -> JoinPrograms<'a> {
+fn join_programs<'a>(
+    programs: Option<&'a CompiledPrograms>,
+    index: usize,
+    vectorized: bool,
+) -> JoinPrograms<'a> {
     let Some(p) = programs else {
         return JoinPrograms::default();
     };
@@ -188,6 +243,7 @@ fn join_programs<'a>(programs: Option<&'a CompiledPrograms>, index: usize) -> Jo
         outer_key: p.join_outer_keys.get(index).and_then(Option::as_ref),
         hash_keys: p.join_hash_keys.get(index).and_then(Option::as_ref),
         residual: p.join_residuals.get(index).and_then(Option::as_ref),
+        vectorized,
     }
 }
 
@@ -248,6 +304,18 @@ impl<'a> Executor<'a> {
     #[inline]
     fn tick(&self, pending: &mut u64) -> Result<(), SqlError> {
         *pending += 1;
+        if *pending >= MONITOR_BATCH {
+            self.flush_progress(pending)?;
+        }
+        Ok(())
+    }
+
+    /// [`Self::tick`] for a whole batch of rows at once: chunked scans
+    /// report progress (and observe cancellation/pacing) at chunk
+    /// granularity instead of per row.
+    #[inline]
+    fn tick_rows(&self, pending: &mut u64, n: u64) -> Result<(), SqlError> {
+        *pending += n;
         if *pending >= MONITOR_BATCH {
             self.flush_progress(pending)?;
         }
@@ -366,6 +434,7 @@ impl<'a> Executor<'a> {
                     let scan = ScanPrograms {
                         filter: source_program(programs, 0),
                         project: Some(proj),
+                        vectorized: plan.vectorized,
                     };
                     let (rows, _schema) =
                         self.execute_source(&plan.sources[0], scan, &mut stats)?;
@@ -383,6 +452,7 @@ impl<'a> Executor<'a> {
             let scan = ScanPrograms {
                 filter: source_program(programs, 0),
                 project: None,
+                vectorized: plan.vectorized,
             };
             self.execute_source(&plan.sources[0], scan, &mut stats)?
         };
@@ -394,7 +464,7 @@ impl<'a> Executor<'a> {
                 &schema,
                 inner,
                 step,
-                join_programs(programs, i),
+                join_programs(programs, i, plan.vectorized),
                 &mut stats,
             )?;
             rows = joined_rows;
@@ -622,48 +692,21 @@ impl<'a> Executor<'a> {
         let full_schema = heap_schema(self.db, &source.alias, table)?;
         match path {
             AccessPath::HeapScan => {
-                let filter = RowFilter::new(scan.filter, source.pushed_predicate.as_ref());
-                let has_filter = filter.is_some();
-                let avg = t.avg_row_bytes().max(1);
-                let ctx = self.ctx(&full_schema);
-                let mut out = Vec::new();
-                let mut scanned = 0u64;
-                let mut pending = 0u64;
-                for (_, row) in t.iter() {
-                    scanned += 1;
-                    self.tick(&mut pending)?;
-                    if has_filter {
-                        stats.predicates_evaluated += 1;
-                        if !filter.accepts(row, &ctx)? {
-                            continue;
-                        }
-                    }
-                    out.push(self.emit(row, scan.project, &ctx)?);
-                    if source.limit_hint.is_some_and(|l| out.len() as u64 >= l) {
-                        break;
-                    }
-                }
-                self.flush_progress(&mut pending)?;
-                stats.rows_scanned += scanned;
-                stats.bytes_scanned += scanned.saturating_mul(avg);
-                Ok((out, full_schema))
-            }
-            AccessPath::ParallelHeapScan { workers } => {
-                let avg = t.avg_row_bytes().max(1);
-                // Count only this scan's rows towards its byte volume; the
-                // stats accumulator already carries earlier sources.
-                let before = stats.rows_scanned;
-                let rows = self.parallel_heap_scan(
+                let outcome = self.scan_heap_segments(
                     t,
-                    &full_schema,
+                    0,
+                    t.segments().len(),
                     source,
                     scan,
-                    *workers,
+                    &full_schema,
                     source.limit_hint,
-                    stats,
                 )?;
-                let scanned = stats.rows_scanned - before;
-                stats.bytes_scanned += scanned.saturating_mul(avg);
+                outcome.merge_into(stats);
+                Ok((outcome.rows, full_schema))
+            }
+            AccessPath::ParallelHeapScan { workers } => {
+                let rows =
+                    self.parallel_heap_scan(t, &full_schema, source, scan, *workers, stats)?;
                 Ok((rows, full_schema))
             }
             AccessPath::IndexSeek { index, bounds } => {
@@ -699,7 +742,14 @@ impl<'a> Executor<'a> {
                         .collect::<Vec<_>>()
                 };
                 stats.index_seeks += 1;
-                let avg = t.avg_row_bytes().max(1);
+                // Index traffic is charged per entry at the index's own
+                // entry size; the gathered heap columns are charged to
+                // `bytes_scanned` at their actual widths.
+                let entry_bytes = if !idx.is_empty() {
+                    (idx.bytes() / idx.len() as u64).max(1)
+                } else {
+                    1
+                };
                 let filter = RowFilter::new(scan.filter, source.pushed_predicate.as_ref());
                 let has_filter = filter.is_some();
                 let ctx = self.ctx(&full_schema);
@@ -707,16 +757,24 @@ impl<'a> Executor<'a> {
                 let mut pending = 0u64;
                 for row_id in entries {
                     self.tick(&mut pending)?;
-                    let Some(row) = t.get(row_id) else { continue };
+                    // Gather only the referenced columns (see the join-side
+                    // comment on `get_sparse`): unreferenced cells stay NULL
+                    // and are never read downstream.
+                    let fetched = match source.scan_columns.as_deref() {
+                        Some(cols) => t.get_sparse(row_id, cols),
+                        None => t.get(row_id),
+                    };
+                    let Some(row) = fetched else { continue };
                     stats.rows_from_index += 1;
-                    stats.bytes_from_index += avg;
+                    stats.bytes_from_index += entry_bytes;
+                    stats.bytes_scanned += gathered_bytes(&row, source.scan_columns.as_deref());
                     if has_filter {
                         stats.predicates_evaluated += 1;
-                        if !filter.accepts(row, &ctx)? {
+                        if !filter.accepts(&row, &ctx)? {
                             continue;
                         }
                     }
-                    out.push(self.emit(row, scan.project, &ctx)?);
+                    out.push(self.emit(&row, scan.project, &ctx)?);
                     if source.limit_hint.is_some_and(|l| out.len() as u64 >= l) {
                         break;
                     }
@@ -771,7 +829,6 @@ impl<'a> Executor<'a> {
         }
     }
 
-    #[allow(clippy::too_many_arguments)]
     fn parallel_heap_scan(
         &self,
         t: &skyserver_storage::Table,
@@ -779,7 +836,6 @@ impl<'a> Executor<'a> {
         source: &SourcePlan,
         scan: ScanPrograms<'_>,
         workers: usize,
-        limit_hint: Option<u64>,
         stats: &mut ScanStats,
     ) -> Result<Vec<Vec<Value>>, SqlError> {
         let workers = workers
@@ -789,47 +845,22 @@ impl<'a> Executor<'a> {
                     .unwrap_or(2),
             )
             .max(1);
+        // Partitions are segment-aligned, so each worker owns a whole
+        // range of segments and prunes/scans them independently.
         let partitions = t.partition_row_ids(workers);
-        // (partition rows, rows scanned, predicates evaluated)
-        type PartitionScan = Result<(Vec<Vec<Value>>, u64, u64), SqlError>;
-        let results: Vec<PartitionScan> = std::thread::scope(|scope| {
+        let limit_hint = source.limit_hint;
+        let results: Vec<Result<HeapScanOutcome, SqlError>> = std::thread::scope(|scope| {
             let handles: Vec<_> = partitions
                 .iter()
                 .map(|&(lo, hi)| {
                     scope.spawn(move || {
-                        let ctx = EvalContext {
-                            schema,
-                            variables: self.variables,
-                            functions: self.functions,
-                            aggregates: None,
-                        };
-                        let filter = RowFilter::new(scan.filter, source.pushed_predicate.as_ref());
-                        let has_filter = filter.is_some();
-                        let mut out = Vec::new();
-                        let mut scanned = 0u64;
-                        let mut evaluated = 0u64;
-                        let mut pending = 0u64;
-                        for (_, row) in t.iter_range(lo, hi) {
-                            scanned += 1;
-                            // Each worker reports to (and is cancelled or
-                            // paced by) the same shared monitor.
-                            self.tick(&mut pending)?;
-                            if has_filter {
-                                evaluated += 1;
-                                if !filter.accepts(row, &ctx)? {
-                                    continue;
-                                }
-                            }
-                            out.push(self.emit(row, scan.project, &ctx)?);
-                            // Each worker may stop at the limit: the
-                            // merged result still has at least `limit`
-                            // rows whenever the table does.
-                            if limit_hint.is_some_and(|l| out.len() as u64 >= l) {
-                                break;
-                            }
-                        }
-                        self.flush_progress(&mut pending)?;
-                        Ok((out, scanned, evaluated))
+                        let seg_lo = lo / SEGMENT_ROWS;
+                        let seg_hi = hi.div_ceil(SEGMENT_ROWS);
+                        // Each worker reports to (and is cancelled or paced
+                        // by) the same shared monitor.  Each may stop at the
+                        // limit: the merged result still has at least
+                        // `limit` rows whenever the table does.
+                        self.scan_heap_segments(t, seg_lo, seg_hi, source, scan, schema, limit_hint)
                     })
                 })
                 .collect();
@@ -840,12 +871,142 @@ impl<'a> Executor<'a> {
         });
         let mut rows = Vec::new();
         for r in results {
-            let (part, scanned, evaluated) = r?;
-            stats.rows_scanned += scanned;
-            stats.predicates_evaluated += evaluated;
-            rows.extend(part);
+            let outcome = r?;
+            outcome.merge_into(stats);
+            rows.extend(outcome.rows);
         }
         Ok(rows)
+    }
+
+    /// Scan the live rows of segments `seg_lo..seg_hi`, applying the pushed
+    /// filter and (on the fast path) the output projection.
+    ///
+    /// This is the engine's one heap-scan loop, shared by the serial and
+    /// parallel access paths.  Work proceeds segment by segment:
+    ///
+    /// 1. **Zone pruning** — if any [`crate::plan::ZoneConstraint`] proves
+    ///    the segment's min/max cannot satisfy the pushed predicate, the
+    ///    whole segment is skipped without touching its rows.
+    /// 2. **Chunking** — surviving segments are processed in chunks of
+    ///    [`BATCH_ROWS`] slots.  With a vectorized plan and a compiled (or
+    ///    absent) filter, each chunk runs through the [`BatchProgram`]
+    ///    kernels; otherwise rows are materialized and filtered one at a
+    ///    time.  Either way progress, limit hints and byte accounting are
+    ///    checked at chunk boundaries, so both modes report identical
+    ///    counters.
+    #[allow(clippy::too_many_arguments)]
+    fn scan_heap_segments(
+        &self,
+        t: &skyserver_storage::Table,
+        seg_lo: usize,
+        seg_hi: usize,
+        source: &SourcePlan,
+        scan: ScanPrograms<'_>,
+        schema: &RowSchema,
+        limit_hint: Option<u64>,
+    ) -> Result<HeapScanOutcome, SqlError> {
+        let filter = RowFilter::new(scan.filter, source.pushed_predicate.as_ref());
+        let has_filter = filter.is_some();
+        let ctx = EvalContext {
+            schema,
+            variables: self.variables,
+            functions: self.functions,
+            aggregates: None,
+        };
+        // The batch kernels only run compiled programs: an interpreted
+        // pushed predicate (compilation failed or disabled) forces the
+        // row-at-a-time loop.
+        let use_vector =
+            scan.vectorized && (scan.filter.is_some() || source.pushed_predicate.is_none());
+        let column_types: Vec<DataType> = t.schema().columns().iter().map(|c| c.ty).collect();
+        let ncols = column_types.len();
+        let program =
+            use_vector.then(|| BatchProgram::build(scan.filter, scan.project, column_types));
+        let mut scratch = BatchScratch::default();
+        let mut row_scratch: Vec<Value> = Vec::with_capacity(ncols);
+        let mut outcome = HeapScanOutcome::default();
+        let mut pending = 0u64;
+        let segments = t.segments();
+        let seg_hi = seg_hi.min(segments.len());
+        'segments: for seg in &segments[seg_lo.min(seg_hi)..seg_hi] {
+            if !source.zone_constraints.is_empty()
+                && source.zone_constraints.iter().any(|zc| {
+                    let col = seg.column(zc.ordinal);
+                    !zc.zone_overlaps(col.zone_min(), col.zone_max())
+                })
+            {
+                outcome.pruned += 1;
+                continue;
+            }
+            // Charge scanned bytes at this segment's actual per-column
+            // rate, restricted to the columns the query touches; the
+            // full-row rate feeds the row-store simulation.
+            let live = seg.live_rows() as u64;
+            let full_bytes: u64 = (0..ncols).map(|c| seg.column(c).bytes()).sum();
+            let col_bytes: u64 = match source.scan_columns.as_deref() {
+                Some(cols) => cols.iter().map(|&c| seg.column(c).bytes()).sum(),
+                None => full_bytes,
+            };
+            let per_row = |total: u64| {
+                if total > 0 {
+                    (total / live.max(1)).max(1)
+                } else {
+                    0
+                }
+            };
+            let bytes_per_row = per_row(col_bytes);
+            let logical_per_row = per_row(full_bytes);
+            let slots = seg.slot_count();
+            let mut base = 0usize;
+            while base < slots {
+                let end = (base + BATCH_ROWS).min(slots);
+                let visited = match &program {
+                    Some(program) => {
+                        let visited = program.begin_chunk(seg, base, end, &mut scratch);
+                        program.filter_chunk(seg, &mut scratch, &ctx)?;
+                        program.emit_chunk(seg, &mut scratch, &ctx, &mut outcome.rows)?;
+                        visited
+                    }
+                    None => {
+                        let mut visited = 0u64;
+                        for off in base..end {
+                            if !seg.is_live(off) {
+                                continue;
+                            }
+                            visited += 1;
+                            row_scratch.clear();
+                            for c in 0..ncols {
+                                row_scratch.push(seg.value(off, c));
+                            }
+                            if has_filter && !filter.accepts(&row_scratch, &ctx)? {
+                                continue;
+                            }
+                            outcome
+                                .rows
+                                .push(self.emit(&row_scratch, scan.project, &ctx)?);
+                        }
+                        visited
+                    }
+                };
+                outcome.scanned += visited;
+                outcome.batches += 1;
+                if has_filter {
+                    outcome.evaluated += visited;
+                }
+                outcome.bytes += visited.saturating_mul(bytes_per_row);
+                outcome.logical_bytes += visited.saturating_mul(logical_per_row);
+                self.tick_rows(&mut pending, visited)?;
+                if let Some(l) = limit_hint {
+                    if outcome.rows.len() as u64 >= l {
+                        outcome.rows.truncate(l as usize);
+                        break 'segments;
+                    }
+                }
+                base = end;
+            }
+        }
+        self.flush_progress(&mut pending)?;
+        Ok(outcome)
     }
 
     // ----------------------------------------------------------------------
@@ -897,8 +1058,17 @@ impl<'a> Executor<'a> {
                 let has_inner_filter = inner_filter.is_some();
                 let residual = RowFilter::new(join.residual, step.residual.as_ref());
                 let has_residual = residual.is_some();
-                let avg = t.avg_row_bytes().max(1);
+                let entry_bytes = if !idx.is_empty() {
+                    (idx.bytes() / idx.len() as u64).max(1)
+                } else {
+                    1
+                };
                 let mut pending = 0u64;
+                // Combined rows are assembled in a scratch buffer: the outer
+                // prefix is written once per probe and only surviving rows
+                // are cloned out, so rejected matches cost no allocation.
+                let outer_len = outer_schema.len();
+                let mut scratch: Vec<Value> = Vec::with_capacity(combined_schema.len());
                 for outer_row in &outer_rows {
                     self.check_time()?;
                     // One tick per probe, even when it finds no matches —
@@ -911,29 +1081,47 @@ impl<'a> Executor<'a> {
                     // still serve equality probes on their leading column.
                     let matches = idx.seek_prefix(&key);
                     let mut matched = false;
+                    let mut primed = false;
                     for (_, entry) in matches {
                         self.tick(&mut pending)?;
-                        let Some(inner_row) = t.get(entry.row_id) else {
+                        // Late materialization on the probe side: only the
+                        // columns the statement references on this alias are
+                        // gathered; the rest stay NULL and are provably
+                        // never read (`scan_columns` is the statement-wide
+                        // union for the alias).  `gathered_bytes` charges
+                        // the same referenced cells either way.
+                        let fetched = match inner.scan_columns.as_deref() {
+                            Some(cols) => t.get_sparse(entry.row_id, cols),
+                            None => t.get(entry.row_id),
+                        };
+                        let Some(inner_row) = fetched else {
                             continue;
                         };
                         stats.rows_from_index += 1;
-                        stats.bytes_from_index += avg;
+                        stats.bytes_from_index += entry_bytes;
+                        stats.bytes_scanned +=
+                            gathered_bytes(&inner_row, inner.scan_columns.as_deref());
                         if has_inner_filter {
                             stats.predicates_evaluated += 1;
-                            if !inner_filter.accepts(inner_row, &inner_ctx)? {
+                            if !inner_filter.accepts(&inner_row, &inner_ctx)? {
                                 continue;
                             }
                         }
-                        let mut combined = outer_row.clone();
-                        combined.extend(inner_row.iter().cloned());
+                        if !primed {
+                            scratch.clear();
+                            scratch.extend(outer_row.iter().cloned());
+                            primed = true;
+                        }
+                        scratch.truncate(outer_len);
+                        scratch.extend(inner_row);
                         if has_residual {
                             stats.predicates_evaluated += 1;
-                            if !residual.accepts(&combined, &combined_ctx)? {
+                            if !residual.accepts(&scratch, &combined_ctx)? {
                                 continue;
                             }
                         }
                         matched = true;
-                        out.push(combined);
+                        out.push(scratch.clone());
                     }
                     if !matched && step.kind == JoinKind::Left {
                         let mut combined = outer_row.clone();
@@ -953,6 +1141,7 @@ impl<'a> Executor<'a> {
                 let inner_scan = ScanPrograms {
                     filter: join.inner_filter,
                     project: None,
+                    vectorized: join.vectorized,
                 };
                 let (inner_rows, inner_schema) = self.execute_source(inner, inner_scan, stats)?;
                 let inner_ctx = self.ctx(&inner_schema);
@@ -983,30 +1172,41 @@ impl<'a> Executor<'a> {
                 let residual = RowFilter::new(join.residual, step.residual.as_ref());
                 let has_residual = residual.is_some();
                 let mut pending = 0u64;
+                // The probe key is built in a scratch buffer reused across
+                // outer rows: lookups borrow it as a slice, so the per-probe
+                // `Vec` allocation of the naive loop disappears.  Combined
+                // rows use the same trick: the outer prefix is cloned once
+                // per matching probe and residual-rejected rows never leave
+                // the scratch buffer.
+                let mut probe_key: Vec<Value> = Vec::with_capacity(probe_keys.len());
+                let outer_len = outer_schema.len();
+                let mut scratch: Vec<Value> = Vec::with_capacity(combined_schema.len());
                 for outer_row in &outer_rows {
                     self.check_time()?;
                     // One tick per probe, matches or not (see above).
                     self.tick(&mut pending)?;
-                    let key: Vec<Value> = probe_keys
-                        .iter()
-                        .map(|k| k.eval(outer_row, &outer_ctx))
-                        .collect::<Result<_, _>>()?;
+                    probe_key.clear();
+                    for k in &probe_keys {
+                        probe_key.push(k.eval(outer_row, &outer_ctx)?);
+                    }
                     let mut matched = false;
-                    if !key.iter().any(Value::is_null) {
-                        if let Some(bucket) = hash.get(&key) {
+                    if !probe_key.iter().any(Value::is_null) {
+                        if let Some(bucket) = hash.get(probe_key.as_slice()) {
+                            scratch.clear();
+                            scratch.extend(outer_row.iter().cloned());
                             for &i in bucket {
                                 self.tick(&mut pending)?;
                                 stats.join_probes += 1;
-                                let mut combined = outer_row.clone();
-                                combined.extend(inner_rows[i].iter().cloned());
+                                scratch.truncate(outer_len);
+                                scratch.extend(inner_rows[i].iter().cloned());
                                 if has_residual {
                                     stats.predicates_evaluated += 1;
-                                    if !residual.accepts(&combined, &combined_ctx)? {
+                                    if !residual.accepts(&scratch, &combined_ctx)? {
                                         continue;
                                     }
                                 }
                                 matched = true;
-                                out.push(combined);
+                                out.push(scratch.clone());
                             }
                         }
                     }
@@ -1023,6 +1223,7 @@ impl<'a> Executor<'a> {
                 let inner_scan = ScanPrograms {
                     filter: join.inner_filter,
                     project: None,
+                    vectorized: join.vectorized,
                 };
                 let (inner_rows, inner_schema) = self.execute_source(inner, inner_scan, stats)?;
                 let combined_schema = outer_schema.join(&inner_schema);
@@ -1030,25 +1231,34 @@ impl<'a> Executor<'a> {
                 let residual = RowFilter::new(join.residual, step.residual.as_ref());
                 let has_residual = residual.is_some();
                 let mut pending = 0u64;
+                // The cross product dominates this strategy (the spatial
+                // rewrite feeds it quadratically many candidate pairs), so
+                // pair rows are assembled in a reused scratch buffer: the
+                // outer prefix is cloned once per outer row and only pairs
+                // that survive the residual are cloned into the output.
+                let outer_len = outer_schema.len();
+                let mut scratch: Vec<Value> = Vec::with_capacity(combined_schema.len());
                 for outer_row in &outer_rows {
                     self.check_time()?;
                     // One tick per outer row so an empty inner side still
                     // observes cancellation and pacing.
                     self.tick(&mut pending)?;
                     let mut matched = false;
+                    scratch.clear();
+                    scratch.extend(outer_row.iter().cloned());
                     for inner_row in &inner_rows {
                         self.tick(&mut pending)?;
                         stats.join_probes += 1;
-                        let mut combined = outer_row.clone();
-                        combined.extend(inner_row.iter().cloned());
+                        scratch.truncate(outer_len);
+                        scratch.extend(inner_row.iter().cloned());
                         if has_residual {
                             stats.predicates_evaluated += 1;
-                            if !residual.accepts(&combined, &ctx)? {
+                            if !residual.accepts(&scratch, &ctx)? {
                                 continue;
                             }
                         }
                         matched = true;
-                        out.push(combined);
+                        out.push(scratch.clone());
                     }
                     if !matched && step.kind == JoinKind::Left {
                         let mut combined = outer_row.clone();

@@ -422,6 +422,8 @@ fn naive_view_plan(
             pushed_predicate: Expr::from_conjuncts(merged.predicates.clone()),
             schema: schema.clone(),
             limit_hint: None,
+            zone_constraints: Vec::new(),
+            scan_columns: None,
         }],
         joins: Vec::new(),
         residual: None,
@@ -437,6 +439,7 @@ fn naive_view_plan(
         input_schema: schema,
         rules_fired: Vec::new(),
         programs: None,
+        vectorized: false,
     })
 }
 

@@ -17,6 +17,7 @@
 //!    source order, assemble residual filters and emit the physical
 //!    [`SelectPlan`] with the list of fired rules, which `EXPLAIN` reports.
 
+pub mod annotate;
 pub mod binder;
 pub mod rules;
 
@@ -43,6 +44,7 @@ pub struct Planner<'a> {
     pub functions: &'a FunctionRegistry,
     parallel_scan_threshold: usize,
     compile_expressions: bool,
+    vectorized: bool,
 }
 
 impl<'a> Planner<'a> {
@@ -53,6 +55,7 @@ impl<'a> Planner<'a> {
             functions,
             parallel_scan_threshold: PARALLEL_SCAN_THRESHOLD,
             compile_expressions: true,
+            vectorized: true,
         }
     }
 
@@ -71,6 +74,14 @@ impl<'a> Planner<'a> {
         self
     }
 
+    /// Enable or disable the vectorized batch pipeline for heap scans.
+    /// Disabled, compiled plans evaluate row-at-a-time — the intermediate
+    /// rung of the interpreted / compiled / vectorized equivalence tests.
+    pub fn with_vectorized(mut self, vectorized: bool) -> Self {
+        self.vectorized = vectorized;
+        self
+    }
+
     fn context(&self) -> PlanContext<'a> {
         PlanContext {
             db: self.db,
@@ -86,8 +97,13 @@ impl<'a> Planner<'a> {
         let pipeline = rules::default_pipeline();
         rules::run_pipeline(&mut logical, &ctx, &pipeline)?;
         let mut plan = finalize(logical)?;
+        // Zone constraints and scan columns are computed regardless of the
+        // execution mode so all three executors (interpreted, compiled,
+        // vectorized) prune and count identically.
+        annotate::annotate(&mut plan, self.db);
         if self.compile_expressions {
             plan.programs = build_programs(&plan, &ctx);
+            plan.vectorized = self.vectorized;
         }
         Ok(plan)
     }
@@ -155,6 +171,8 @@ fn finalize(logical: LogicalPlan) -> Result<SelectPlan, SqlError> {
             pushed_predicate: Expr::from_conjuncts(s.pushed),
             schema: s.schema,
             limit_hint: s.limit_hint,
+            zone_constraints: Vec::new(),
+            scan_columns: None,
         })
         .collect();
 
@@ -174,6 +192,7 @@ fn finalize(logical: LogicalPlan) -> Result<SelectPlan, SqlError> {
         input_schema,
         rules_fired,
         programs: None,
+        vectorized: false,
     })
 }
 

@@ -1,11 +1,13 @@
 //! Accounting regression: `ScanStats` counters and EXPLAIN output for a
 //! fixed, deterministic catalog must not drift when the executor changes.
 //!
-//! The expression-compilation / late-materialization refactor promises that
+//! The vectorized / row-at-a-time / interpreted executors all promise that
 //! `rows_scanned`, `predicates_evaluated`, `bytes_scanned` (and friends) are
-//! *identical* to the interpreted executor's accounting.  Every expected
-//! string below was captured from the pre-refactor interpreter on the same
-//! seed catalog; the compiled executor must reproduce them byte for byte.
+//! *identical*.  Every expected string below pins the columnar accounting:
+//! heap `bytes_scanned` charges only the columns a plan touches, index paths
+//! charge real entry bytes plus the gathered heap columns, and heap scans
+//! report `pruned` segments and `batches` processed.  All three executors
+//! must reproduce these lines byte for byte.
 
 use skyserver_sql::{FunctionRegistry, QueryLimits, SqlEngine};
 use skyserver_storage::{ColumnDef, DataType, Database, IndexDef, TableSchema, Value};
@@ -58,7 +60,7 @@ fn stats_line(engine: &mut SqlEngine, sql: &str) -> String {
     let outcome = engine.execute(sql, QueryLimits::UNLIMITED).unwrap();
     let s = outcome.stats.stats;
     format!(
-        "scanned={} bytes={} idx_rows={} idx_bytes={} seeks={} probes={} preds={} returned={}",
+        "scanned={} bytes={} idx_rows={} idx_bytes={} seeks={} probes={} preds={} returned={} pruned={} batches={}",
         s.rows_scanned,
         s.bytes_scanned,
         s.rows_from_index,
@@ -66,7 +68,9 @@ fn stats_line(engine: &mut SqlEngine, sql: &str) -> String {
         s.index_seeks,
         s.join_probes,
         s.predicates_evaluated,
-        s.rows_returned
+        s.rows_returned,
+        s.segments_pruned,
+        s.batches_processed
     )
 }
 
@@ -80,67 +84,67 @@ const CASES: &[Case] = &[
     Case {
         what: "full heap scan with a non-sargable pushed predicate",
         sql: "select ra from photo where ra + dec > 186",
-        expected: "scanned=1000 bytes=66000 idx_rows=0 idx_bytes=0 seeks=0 probes=0 preds=1000 returned=363",
+        expected: "scanned=1000 bytes=16000 idx_rows=0 idx_bytes=0 seeks=0 probes=0 preds=1000 returned=363 pruned=0 batches=1",
     },
     Case {
         what: "point index seek on the primary key",
         sql: "select ra from photo where objID = 5",
-        expected: "scanned=0 bytes=0 idx_rows=1 idx_bytes=66 seeks=1 probes=0 preds=1 returned=1",
+        expected: "scanned=0 bytes=16 idx_rows=1 idx_bytes=24 seeks=1 probes=0 preds=1 returned=1 pruned=0 batches=0",
     },
     Case {
         what: "range index seek on htmID",
         sql: "select ra from photo where htmID between 7010 and 7019",
-        expected: "scanned=0 bytes=0 idx_rows=40 idx_bytes=2640 seeks=1 probes=0 preds=40 returned=40",
+        expected: "scanned=0 bytes=640 idx_rows=40 idx_bytes=960 seeks=1 probes=0 preds=40 returned=40 pruned=0 batches=0",
     },
     Case {
         what: "covering index scan with a residual-style pushed predicate",
         sql: "select objID, magr from photo where magr * 2 > 30",
-        expected: "scanned=0 bytes=0 idx_rows=1000 idx_bytes=40000 seeks=0 probes=0 preds=1000 returned=857",
+        expected: "scanned=0 bytes=0 idx_rows=1000 idx_bytes=40000 seeks=0 probes=0 preds=1000 returned=857 pruned=0 batches=0",
     },
     Case {
         what: "hash self-join on an unindexed float column",
         sql: "select count(*) from photo a join photo b on a.ra = b.ra",
-        expected: "scanned=2000 bytes=132000 idx_rows=0 idx_bytes=0 seeks=0 probes=1000 preds=1000 returned=1",
+        expected: "scanned=2000 bytes=16000 idx_rows=0 idx_bytes=0 seeks=0 probes=1000 preds=1000 returned=1 pruned=0 batches=2",
     },
     Case {
         what: "index-lookup join probing the primary key",
         sql: "select count(*) from photo a join photo b on a.objID = b.objID",
-        expected: "scanned=0 bytes=0 idx_rows=2000 idx_bytes=90000 seeks=1000 probes=0 preds=1000 returned=1",
+        expected: "scanned=0 bytes=8000 idx_rows=2000 idx_bytes=48000 seeks=1000 probes=0 preds=1000 returned=1 pruned=0 batches=0",
     },
     Case {
         what: "merged view scan (Galaxy qualifiers pushed into the scan)",
         sql: "select count(*) from Galaxy where magr < 17",
-        expected: "scanned=0 bytes=0 idx_rows=500 idx_bytes=33000 seeks=1 probes=0 preds=500 returned=1",
+        expected: "scanned=0 bytes=8000 idx_rows=500 idx_bytes=20000 seeks=1 probes=0 preds=500 returned=1 pruned=0 batches=0",
     },
     Case {
         what: "group by with aggregate over a heap scan",
         sql: "select type, count(*) from photo where flags = 0 group by type",
-        expected: "scanned=1000 bytes=66000 idx_rows=0 idx_bytes=0 seeks=0 probes=0 preds=1000 returned=2",
+        expected: "scanned=1000 bytes=16000 idx_rows=0 idx_bytes=0 seeks=0 probes=0 preds=1000 returned=2 pruned=0 batches=1",
     },
     Case {
         what: "distinct over a covering scan",
         sql: "select distinct type from photo",
-        expected: "scanned=0 bytes=0 idx_rows=1000 idx_bytes=40000 seeks=0 probes=0 preds=0 returned=2",
+        expected: "scanned=0 bytes=0 idx_rows=1000 idx_bytes=40000 seeks=0 probes=0 preds=0 returned=2 pruned=0 batches=0",
     },
     Case {
         what: "TOP with a pushed limit hint stops the covering scan early",
         sql: "select top 7 objID from photo",
-        expected: "scanned=0 bytes=0 idx_rows=7 idx_bytes=168 seeks=0 probes=0 preds=0 returned=7",
+        expected: "scanned=0 bytes=0 idx_rows=7 idx_bytes=168 seeks=0 probes=0 preds=0 returned=7 pruned=0 batches=0",
     },
     Case {
         what: "LIKE scan over the string column",
         sql: "select count(*) from photo where name like 'obj-00%'",
-        expected: "scanned=1000 bytes=66000 idx_rows=0 idx_bytes=0 seeks=0 probes=0 preds=1000 returned=1",
+        expected: "scanned=1000 bytes=10000 idx_rows=0 idx_bytes=0 seeks=0 probes=0 preds=1000 returned=1 pruned=0 batches=1",
     },
     Case {
         what: "left join keeps NULL-extended rows, residual after the join",
         sql: "select count(*) from photo a left join Galaxy g on a.objID = g.objID where g.objID is null",
-        expected: "scanned=0 bytes=0 idx_rows=2000 idx_bytes=90000 seeks=1000 probes=0 preds=2500 returned=1",
+        expected: "scanned=0 bytes=16000 idx_rows=2000 idx_bytes=48000 seeks=1000 probes=0 preds=2500 returned=1 pruned=0 batches=0",
     },
     Case {
         what: "order by an arithmetic expression over a filtered scan",
         sql: "select objID from photo where flags = 64 order by magr * -1",
-        expected: "scanned=1000 bytes=66000 idx_rows=0 idx_bytes=0 seeks=0 probes=0 preds=1000 returned=100",
+        expected: "scanned=1000 bytes=24000 idx_rows=0 idx_bytes=0 seeks=0 probes=0 preds=1000 returned=100 pruned=0 batches=1",
     },
 ];
 
@@ -186,6 +190,43 @@ fn compiled_and_interpreted_executors_agree_on_rows_and_stats() {
         assert_eq!(a.result.rows, b.result.rows, "row divergence for {sql}");
         assert_eq!(a.stats.stats, b.stats.stats, "stats divergence for {sql}");
     }
+}
+
+/// A 10,000-row table spans three 4,096-row segments; `objID` is inserted in
+/// order, so each segment's zone map covers a disjoint range and a range
+/// predicate lets the scan skip whole segments without touching a row.
+#[test]
+fn zone_map_pruning_skips_cold_segments() {
+    let mut db = Database::new("zones");
+    let schema = TableSchema::new(vec![
+        ColumnDef::new("objID", DataType::Int),
+        ColumnDef::new("val", DataType::Float),
+    ]);
+    db.create_table("sweep", schema).unwrap();
+    for i in 0..10_000i64 {
+        db.insert("sweep", vec![Value::Int(i), Value::Float((i % 100) as f64)])
+            .unwrap();
+    }
+    let mut engine = SqlEngine::new(db, FunctionRegistry::new());
+    // Only segment 0 (objID 0..=4095) can contain matches; segments 1 and 2
+    // are pruned by their zone maps, so the scan visits 4,096 rows in four
+    // 1,024-row batches and charges bytes for the objID column alone.
+    let line = stats_line(&mut engine, "select count(*) from sweep where objID < 1000");
+    assert_eq!(
+        line,
+        "scanned=4096 bytes=32768 idx_rows=0 idx_bytes=0 seeks=0 probes=0 \
+         preds=4096 returned=1 pruned=2 batches=4"
+    );
+    // A predicate outside every zone prunes all three segments.
+    let none = stats_line(
+        &mut engine,
+        "select count(*) from sweep where objID > 50000",
+    );
+    assert_eq!(
+        none,
+        "scanned=0 bytes=0 idx_rows=0 idx_bytes=0 seeks=0 probes=0 \
+         preds=0 returned=1 pruned=3 batches=0"
+    );
 }
 
 #[test]

@@ -289,7 +289,7 @@ impl Database {
             .get_mut(&key)
             .ok_or_else(|| StorageError::UnknownTable(table.into()))?;
         let row_id = t.insert(row, ts)?;
-        let stored = t.get(row_id).expect("row just inserted").to_vec();
+        let stored = t.get(row_id).expect("row just inserted");
         if let Some(idxs) = self.indexes.get_mut(&key) {
             for idx in idxs.iter_mut() {
                 idx.insert_row(row_id, &stored)?;
@@ -320,7 +320,7 @@ impl Database {
             .tables
             .get_mut(&key)
             .ok_or_else(|| StorageError::UnknownTable(table.into()))?;
-        let Some(row) = t.get(row_id).map(<[Value]>::to_vec) else {
+        let Some(row) = t.get(row_id) else {
             return Ok(false);
         };
         t.delete(row_id);

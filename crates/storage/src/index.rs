@@ -170,7 +170,7 @@ impl BTreeIndex {
             bytes: 0,
         };
         for (row_id, row) in table.iter() {
-            index.insert_row(row_id, row)?;
+            index.insert_row(row_id, &row)?;
         }
         Ok(index)
     }
@@ -426,9 +426,9 @@ mod tests {
                 0,
             )
             .unwrap();
-        idx.insert_row(rid, t.get(rid).unwrap()).unwrap();
+        idx.insert_row(rid, &t.get(rid).unwrap()).unwrap();
         assert_eq!(idx.seek_exact(&IndexKey(vec![Value::Int(450)])).len(), 2);
-        let row = t.get(rid).unwrap().to_vec();
+        let row = t.get(rid).unwrap();
         t.delete(rid);
         idx.remove_row(rid, &row);
         assert_eq!(idx.seek_exact(&IndexKey(vec![Value::Int(450)])).len(), 1);

@@ -38,7 +38,7 @@ pub use index::{BTreeIndex, IndexDef, IndexEntry, IndexKey};
 pub use iosim::{CpuCost, DiskConfig, HardwareProfile, IoSimulator, SimTiming};
 pub use schema::{ColumnDef, SchemaError, TableSchema};
 pub use stats::{ExecutionStats, ScanStats};
-pub use table::{RowId, Table, Timestamp};
+pub use table::{Column, ColumnData, RowId, Segment, Table, Timestamp, SEGMENT_ROWS};
 pub use value::{csv_escape, hex_decode, hex_encode, DataType, Value};
 
 #[cfg(test)]

@@ -1,32 +1,339 @@
-//! Heap tables: the base row storage.
+//! Columnar tables: typed column segments with zone maps.
 //!
-//! Rows are appended to a vector and addressed by a stable [`RowId`].
-//! Deletions flip a tombstone flag instead of moving rows, which keeps
-//! RowIds valid for secondary indices.  Every row carries a logical insert
-//! timestamp; this is what the loader's **UNDO** step uses (§9.4: "Undo
-//! consists of deleting all records of that table with an insert time
-//! between the bad load step start and stop times").
+//! Rows are appended into fixed-size **segments** of [`SEGMENT_ROWS`] slots.
+//! Within a segment every column is a typed array (`i64` / `f64` /
+//! dictionary-encoded strings / bools / byte blobs) plus a validity bitmap,
+//! and each column carries a **zone map**: the min/max of its non-null
+//! values and a null count.  Scans can prune a whole segment when a
+//! predicate's range is disjoint from the zone, and the vectorized executor
+//! runs tight monomorphic loops directly over the arrays.
+//!
+//! The row-oriented API (insert / get / iter / update / delete) is kept as a
+//! compatibility surface so the loader, indexes and admin writes keep
+//! working; `get`/`iter` now materialize owned rows from the columns.
+//!
+//! Rows are addressed by a stable [`RowId`] (global slot index: segment
+//! number x [`SEGMENT_ROWS`] + offset).  Deletions flip a tombstone flag
+//! instead of moving rows, which keeps RowIds valid for secondary indices.
+//! Every row carries a logical insert timestamp; this is what the loader's
+//! **UNDO** step uses (§9.4: "Undo consists of deleting all records of that
+//! table with an insert time between the bad load step start and stop
+//! times").
+//!
+//! Zone maps are maintained conservatively: inserts tighten them, updates
+//! only widen them, and deletes leave them untouched — a zone is always a
+//! superset of the live values, so pruning on it is sound (it can only be
+//! less effective than optimal, never wrong).
 
 use crate::schema::{SchemaError, TableSchema};
-use crate::value::Value;
+use crate::value::{DataType, Value};
+use std::collections::HashMap;
+use std::sync::Arc;
 
-/// Stable identifier of a row within a table (its slot index).
+/// Stable identifier of a row within a table (its global slot index).
 pub type RowId = usize;
 
 /// Logical timestamp type (monotonically increasing, supplied by the
 /// database-wide clock).
 pub type Timestamp = u64;
 
-/// A heap table.
+/// Number of row slots per segment.  Fixed so `RowId -> (segment, offset)`
+/// is a shift/mask, and sized so a segment's hot columns fit in L2 while
+/// zone maps stay selective.
+pub const SEGMENT_ROWS: usize = 4096;
+
+// ---------------------------------------------------------------------------
+// Column storage
+// ---------------------------------------------------------------------------
+
+/// The typed array behind one column of one segment.
+///
+/// Slots whose validity bit is false (NULLs) hold an unspecified sentinel
+/// (`0` / `0.0` / `u32::MAX` / `false` / empty) — readers must consult the
+/// validity bitmap before touching the array value.
+#[derive(Debug, Clone)]
+pub enum ColumnData {
+    /// `bigint` columns.
+    Int(Vec<i64>),
+    /// `float` columns.
+    Float(Vec<f64>),
+    /// `varchar` columns, dictionary-encoded per segment: `codes[i]`
+    /// indexes into `dict` (except NULL slots, which hold `u32::MAX`).
+    Str {
+        /// Distinct strings of this segment, in first-seen order.
+        dict: Vec<Arc<str>>,
+        /// Per-slot dictionary codes.
+        codes: Vec<u32>,
+    },
+    /// `varbinary` columns.
+    Bytes(Vec<Arc<[u8]>>),
+    /// `bit` columns.
+    Bool(Vec<bool>),
+}
+
+impl ColumnData {
+    fn new(ty: DataType) -> ColumnData {
+        match ty {
+            DataType::Int => ColumnData::Int(Vec::new()),
+            DataType::Float => ColumnData::Float(Vec::new()),
+            DataType::Str => ColumnData::Str {
+                dict: Vec::new(),
+                codes: Vec::new(),
+            },
+            DataType::Bytes => ColumnData::Bytes(Vec::new()),
+            DataType::Bool => ColumnData::Bool(Vec::new()),
+        }
+    }
+}
+
+/// One column of one segment: the typed array, its validity bitmap and its
+/// zone map.
+#[derive(Debug, Clone)]
+pub struct Column {
+    data: ColumnData,
+    /// `true` = the slot holds a real value; `false` = NULL.
+    validity: Vec<bool>,
+    /// Minimum non-null value ever stored in this segment (conservative
+    /// under deletes/updates).
+    zone_min: Option<Value>,
+    /// Maximum non-null value ever stored in this segment (conservative).
+    zone_max: Option<Value>,
+    /// Number of NULLs ever stored in this segment (conservative: deletes
+    /// do not decrement it).
+    null_count: usize,
+    /// Exact bytes of this column's *live* values.
+    bytes: u64,
+    /// Dictionary lookup for `Str` columns (dedup on append).
+    dict_lookup: HashMap<Arc<str>, u32>,
+}
+
+impl Column {
+    fn new(ty: DataType) -> Column {
+        Column {
+            data: ColumnData::new(ty),
+            validity: Vec::new(),
+            zone_min: None,
+            zone_max: None,
+            null_count: 0,
+            bytes: 0,
+            dict_lookup: HashMap::new(),
+        }
+    }
+
+    /// The typed value array.
+    pub fn data(&self) -> &ColumnData {
+        &self.data
+    }
+
+    /// Validity bitmap (`true` = non-null).
+    pub fn validity(&self) -> &[bool] {
+        &self.validity
+    }
+
+    /// Zone-map minimum over the segment's non-null values (None when the
+    /// segment holds no non-null value for this column).
+    pub fn zone_min(&self) -> Option<&Value> {
+        self.zone_min.as_ref()
+    }
+
+    /// Zone-map maximum over the segment's non-null values.
+    pub fn zone_max(&self) -> Option<&Value> {
+        self.zone_max.as_ref()
+    }
+
+    /// Conservative count of NULLs stored in this segment (never less than
+    /// the number of live NULLs).
+    pub fn null_count(&self) -> usize {
+        self.null_count
+    }
+
+    /// Exact bytes of this column's live values.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Widen the zone map to cover `v` (non-null values only).
+    fn widen_zone(&mut self, v: &Value) {
+        if v.is_null() {
+            self.null_count += 1;
+            return;
+        }
+        match &self.zone_min {
+            Some(m) if v.total_cmp(m) != std::cmp::Ordering::Less => {}
+            _ => self.zone_min = Some(v.clone()),
+        }
+        match &self.zone_max {
+            Some(m) if v.total_cmp(m) != std::cmp::Ordering::Greater => {}
+            _ => self.zone_max = Some(v.clone()),
+        }
+    }
+
+    /// Append a validated value (matching the column's declared type, or
+    /// NULL) to the end of the array.
+    fn push(&mut self, v: &Value) {
+        let valid = !v.is_null();
+        self.validity.push(valid);
+        self.widen_zone(v);
+        self.bytes += v.byte_size() as u64;
+        match (&mut self.data, v) {
+            (ColumnData::Int(arr), Value::Int(i)) => arr.push(*i),
+            (ColumnData::Int(arr), Value::Null) => arr.push(0),
+            (ColumnData::Float(arr), Value::Float(f)) => arr.push(*f),
+            (ColumnData::Float(arr), Value::Null) => arr.push(0.0),
+            (ColumnData::Str { dict, codes }, Value::Str(s)) => {
+                let code = match self.dict_lookup.get(s) {
+                    Some(&c) => c,
+                    None => {
+                        let c = dict.len() as u32;
+                        dict.push(Arc::clone(s));
+                        self.dict_lookup.insert(Arc::clone(s), c);
+                        c
+                    }
+                };
+                codes.push(code);
+            }
+            (ColumnData::Str { codes, .. }, Value::Null) => codes.push(u32::MAX),
+            (ColumnData::Bytes(arr), Value::Bytes(b)) => arr.push(Arc::clone(b)),
+            (ColumnData::Bytes(arr), Value::Null) => arr.push(Arc::from(&[][..])),
+            (ColumnData::Bool(arr), Value::Bool(b)) => arr.push(*b),
+            (ColumnData::Bool(arr), Value::Null) => arr.push(false),
+            (data, v) => unreachable!("schema validation let {v:?} into a {data:?} column"),
+        }
+    }
+
+    /// Overwrite the value at `off` (update path).  Zone maps only widen.
+    fn set(&mut self, off: usize, v: &Value) {
+        self.bytes = self.bytes.saturating_sub(self.value_bytes(off));
+        self.bytes += v.byte_size() as u64;
+        self.validity[off] = !v.is_null();
+        self.widen_zone(v);
+        match (&mut self.data, v) {
+            (ColumnData::Int(arr), Value::Int(i)) => arr[off] = *i,
+            (ColumnData::Int(arr), Value::Null) => arr[off] = 0,
+            (ColumnData::Float(arr), Value::Float(f)) => arr[off] = *f,
+            (ColumnData::Float(arr), Value::Null) => arr[off] = 0.0,
+            (ColumnData::Str { dict, codes }, Value::Str(s)) => {
+                let code = match self.dict_lookup.get(s) {
+                    Some(&c) => c,
+                    None => {
+                        let c = dict.len() as u32;
+                        dict.push(Arc::clone(s));
+                        self.dict_lookup.insert(Arc::clone(s), c);
+                        c
+                    }
+                };
+                codes[off] = code;
+            }
+            (ColumnData::Str { codes, .. }, Value::Null) => codes[off] = u32::MAX,
+            (ColumnData::Bytes(arr), Value::Bytes(b)) => arr[off] = Arc::clone(b),
+            (ColumnData::Bytes(arr), Value::Null) => arr[off] = Arc::from(&[][..]),
+            (ColumnData::Bool(arr), Value::Bool(b)) => arr[off] = *b,
+            (ColumnData::Bool(arr), Value::Null) => arr[off] = false,
+            (data, v) => unreachable!("schema validation let {v:?} into a {data:?} column"),
+        }
+    }
+
+    /// Materialize the value at `off` as a [`Value`].
+    pub fn value(&self, off: usize) -> Value {
+        if !self.validity[off] {
+            return Value::Null;
+        }
+        match &self.data {
+            ColumnData::Int(arr) => Value::Int(arr[off]),
+            ColumnData::Float(arr) => Value::Float(arr[off]),
+            ColumnData::Str { dict, codes } => Value::Str(Arc::clone(&dict[codes[off] as usize])),
+            ColumnData::Bytes(arr) => Value::Bytes(Arc::clone(&arr[off])),
+            ColumnData::Bool(arr) => Value::Bool(arr[off]),
+        }
+    }
+
+    /// Bytes the value at `off` accounts for.
+    fn value_bytes(&self, off: usize) -> u64 {
+        if !self.validity[off] {
+            return 1; // NULL
+        }
+        (match &self.data {
+            ColumnData::Int(_) | ColumnData::Float(_) => 8,
+            ColumnData::Str { dict, codes } => 2 + dict[codes[off] as usize].len(),
+            ColumnData::Bytes(arr) => 4 + arr[off].len(),
+            ColumnData::Bool(_) => 1,
+        }) as u64
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Segments
+// ---------------------------------------------------------------------------
+
+/// One fixed-size horizontal slice of a table: per-column typed arrays plus
+/// the per-slot insert timestamps and tombstones.
+#[derive(Debug, Clone)]
+pub struct Segment {
+    columns: Vec<Column>,
+    insert_ts: Vec<Timestamp>,
+    deleted: Vec<bool>,
+    live: usize,
+}
+
+impl Segment {
+    fn new(schema: &TableSchema) -> Segment {
+        Segment {
+            columns: schema.columns().iter().map(|c| Column::new(c.ty)).collect(),
+            insert_ts: Vec::new(),
+            deleted: Vec::new(),
+            live: 0,
+        }
+    }
+
+    /// Number of occupied slots (live + tombstoned).
+    pub fn slot_count(&self) -> usize {
+        self.deleted.len()
+    }
+
+    /// Number of live rows.
+    pub fn live_rows(&self) -> usize {
+        self.live
+    }
+
+    /// Tombstone bitmap (`true` = deleted).
+    pub fn deleted(&self) -> &[bool] {
+        &self.deleted
+    }
+
+    /// Is the slot at `off` live?
+    pub fn is_live(&self, off: usize) -> bool {
+        off < self.deleted.len() && !self.deleted[off]
+    }
+
+    /// The column at position `c`.
+    pub fn column(&self, c: usize) -> &Column {
+        &self.columns[c]
+    }
+
+    /// Materialize one cell.
+    pub fn value(&self, off: usize, c: usize) -> Value {
+        self.columns[c].value(off)
+    }
+
+    /// Materialize a full row.
+    fn row(&self, off: usize) -> Vec<Value> {
+        self.columns.iter().map(|c| c.value(off)).collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Table
+// ---------------------------------------------------------------------------
+
+/// A columnar table: an append-only vector of [`Segment`]s behind the
+/// row-oriented compatibility API.
 #[derive(Debug, Clone)]
 pub struct Table {
     name: String,
     schema: TableSchema,
-    rows: Vec<Vec<Value>>,
-    /// Insert timestamp per row (parallel to `rows`).
-    insert_ts: Vec<Timestamp>,
-    /// Tombstones (parallel to `rows`).
-    deleted: Vec<bool>,
+    segments: Vec<Segment>,
+    /// Total occupied slots across all segments.
+    slots: usize,
     live_rows: usize,
     data_bytes: u64,
     /// Free-text description shown by the schema browser.
@@ -39,9 +346,8 @@ impl Table {
         Table {
             name: name.into(),
             schema,
-            rows: Vec::new(),
-            insert_ts: Vec::new(),
-            deleted: Vec::new(),
+            segments: Vec::new(),
+            slots: 0,
             live_rows: 0,
             data_bytes: 0,
             description: String::new(),
@@ -75,7 +381,7 @@ impl Table {
 
     /// Number of slots including tombstones.
     pub fn slot_count(&self) -> usize {
-        self.rows.len()
+        self.slots
     }
 
     /// Approximate bytes of live row data (the paper's Table 1 reports data
@@ -93,61 +399,135 @@ impl Table {
         }
     }
 
+    /// The table's segments, in slot order (segment `s` covers slots
+    /// `[s * SEGMENT_ROWS, s * SEGMENT_ROWS + slot_count)`).
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    #[inline]
+    fn locate(&self, id: RowId) -> Option<(usize, usize)> {
+        if id >= self.slots {
+            return None;
+        }
+        Some((id / SEGMENT_ROWS, id % SEGMENT_ROWS))
+    }
+
     /// Insert a row after validating it against the schema.  Returns the new
     /// RowId.
     pub fn insert(&mut self, row: Vec<Value>, ts: Timestamp) -> Result<RowId, SchemaError> {
         let row = self.schema.validate_row(row)?;
         let bytes: u64 = row.iter().map(|v| v.byte_size() as u64).sum();
-        let id = self.rows.len();
-        self.rows.push(row);
-        self.insert_ts.push(ts);
-        self.deleted.push(false);
+        if self
+            .segments
+            .last()
+            .is_none_or(|s| s.slot_count() == SEGMENT_ROWS)
+        {
+            self.segments.push(Segment::new(&self.schema));
+        }
+        let seg = self.segments.last_mut().expect("segment just ensured");
+        for (c, v) in row.iter().enumerate() {
+            seg.columns[c].push(v);
+        }
+        seg.insert_ts.push(ts);
+        seg.deleted.push(false);
+        seg.live += 1;
+        let id = self.slots;
+        self.slots += 1;
         self.live_rows += 1;
         self.data_bytes += bytes;
         Ok(id)
     }
 
-    /// Fetch a live row by id.
-    pub fn get(&self, id: RowId) -> Option<&[Value]> {
-        if id < self.rows.len() && !self.deleted[id] {
-            Some(&self.rows[id])
+    /// Fetch a live row by id, materialized from the column arrays.
+    pub fn get(&self, id: RowId) -> Option<Vec<Value>> {
+        let (s, off) = self.locate(id)?;
+        let seg = &self.segments[s];
+        if seg.is_live(off) {
+            Some(seg.row(off))
         } else {
             None
         }
     }
 
+    /// Fetch a live row by id, materializing only the cells named in
+    /// `columns` (storage ordinals); every other cell is [`Value::Null`].
+    ///
+    /// The row keeps its full width so schema ordinals stay valid.  The
+    /// caller must guarantee the skipped cells are never read — the SQL
+    /// planner's per-alias scan-column union (every column the statement
+    /// references on that alias) provides exactly that guarantee for
+    /// index-lookup joins, where gathering all 50+ catalog columns per
+    /// probe would dominate the join cost.
+    pub fn get_sparse(&self, id: RowId, columns: &[usize]) -> Option<Vec<Value>> {
+        let (s, off) = self.locate(id)?;
+        let seg = &self.segments[s];
+        if !seg.is_live(off) {
+            return None;
+        }
+        let mut row = vec![Value::Null; seg.columns.len()];
+        for &c in columns {
+            if c < seg.columns.len() {
+                row[c] = seg.value(off, c);
+            }
+        }
+        Some(row)
+    }
+
     /// Fetch a single cell of a live row.
-    pub fn get_cell(&self, id: RowId, column: usize) -> Option<&Value> {
-        self.get(id).and_then(|r| r.get(column))
+    pub fn get_cell(&self, id: RowId, column: usize) -> Option<Value> {
+        let (s, off) = self.locate(id)?;
+        let seg = &self.segments[s];
+        if seg.is_live(off) && column < seg.columns.len() {
+            Some(seg.value(off, column))
+        } else {
+            None
+        }
     }
 
     /// Insert timestamp of a row (even if deleted).
     pub fn insert_timestamp(&self, id: RowId) -> Option<Timestamp> {
-        self.insert_ts.get(id).copied()
+        let (s, off) = self.locate(id)?;
+        self.segments[s].insert_ts.get(off).copied()
     }
 
-    /// Mark a row deleted; returns true if it was live.
+    /// Mark a row deleted; returns true if it was live.  Zone maps stay
+    /// untouched (conservative supersets of the live values).
     pub fn delete(&mut self, id: RowId) -> bool {
-        if id < self.rows.len() && !self.deleted[id] {
-            self.deleted[id] = true;
-            self.live_rows -= 1;
-            let bytes: u64 = self.rows[id].iter().map(|v| v.byte_size() as u64).sum();
-            self.data_bytes = self.data_bytes.saturating_sub(bytes);
-            true
-        } else {
-            false
+        let Some((s, off)) = self.locate(id) else {
+            return false;
+        };
+        let seg = &mut self.segments[s];
+        if !seg.is_live(off) {
+            return false;
         }
+        let bytes: u64 = seg.columns.iter().map(|c| c.value_bytes(off)).sum();
+        for c in seg.columns.iter_mut() {
+            c.bytes = c.bytes.saturating_sub(c.value_bytes(off));
+        }
+        seg.deleted[off] = true;
+        seg.live -= 1;
+        self.live_rows -= 1;
+        self.data_bytes = self.data_bytes.saturating_sub(bytes);
+        true
     }
 
-    /// Update a live row in place (validating the new values).
+    /// Update a live row in place (validating the new values).  Zone maps
+    /// only widen — the old values are not removed from them.
     pub fn update(&mut self, id: RowId, row: Vec<Value>) -> Result<bool, SchemaError> {
-        if id >= self.rows.len() || self.deleted[id] {
+        let Some((s, off)) = self.locate(id) else {
+            return Ok(false);
+        };
+        if !self.segments[s].is_live(off) {
             return Ok(false);
         }
         let row = self.schema.validate_row(row)?;
-        let old_bytes: u64 = self.rows[id].iter().map(|v| v.byte_size() as u64).sum();
+        let seg = &mut self.segments[s];
+        let old_bytes: u64 = seg.columns.iter().map(|c| c.value_bytes(off)).sum();
         let new_bytes: u64 = row.iter().map(|v| v.byte_size() as u64).sum();
-        self.rows[id] = row;
+        for (c, v) in row.iter().enumerate() {
+            seg.columns[c].set(off, v);
+        }
         self.data_bytes = self.data_bytes - old_bytes + new_bytes;
         Ok(true)
     }
@@ -157,58 +537,75 @@ impl Table {
     /// removed.
     pub fn delete_by_timestamp_range(&mut self, start: Timestamp, stop: Timestamp) -> usize {
         let mut removed = 0;
-        for id in 0..self.rows.len() {
-            if !self.deleted[id] && self.insert_ts[id] >= start && self.insert_ts[id] <= stop {
-                self.delete(id);
-                removed += 1;
+        for id in 0..self.slots {
+            let (s, off) = (id / SEGMENT_ROWS, id % SEGMENT_ROWS);
+            if self.segments[s].is_live(off) {
+                let ts = self.segments[s].insert_ts[off];
+                if ts >= start && ts <= stop {
+                    self.delete(id);
+                    removed += 1;
+                }
             }
         }
         removed
     }
 
-    /// Iterate over live rows as `(RowId, &row)`.
-    pub fn iter(&self) -> impl Iterator<Item = (RowId, &[Value])> {
-        self.rows
-            .iter()
-            .enumerate()
-            .filter(move |(i, _)| !self.deleted[*i])
-            .map(|(i, r)| (i, r.as_slice()))
+    /// Iterate over live rows as `(RowId, row)`, materializing each row from
+    /// the column arrays.
+    pub fn iter(&self) -> impl Iterator<Item = (RowId, Vec<Value>)> + '_ {
+        self.iter_range(0, self.slots)
     }
 
     /// Iterate over all live RowIds.
     pub fn row_ids(&self) -> impl Iterator<Item = RowId> + '_ {
-        (0..self.rows.len()).filter(move |&i| !self.deleted[i])
+        (0..self.slots).filter(move |&i| self.segments[i / SEGMENT_ROWS].is_live(i % SEGMENT_ROWS))
     }
 
-    /// Split the live row-id space into `n` roughly equal chunks for the
-    /// parallel scan operator.
+    /// Split the live row-id space into at most `n` chunks of whole
+    /// segments for the parallel scan operator.  Segment alignment keeps
+    /// per-worker zone pruning and byte accounting identical to the serial
+    /// scan.
     pub fn partition_row_ids(&self, n: usize) -> Vec<(RowId, RowId)> {
-        let total = self.rows.len();
+        let total = self.slots;
         if total == 0 || n == 0 {
             return vec![];
         }
-        let n = n.min(total);
-        let chunk = total.div_ceil(n);
+        let nsegs = self.segments.len();
+        let n = n.min(nsegs);
+        let per = nsegs.div_ceil(n);
         (0..n)
-            .map(|i| (i * chunk, ((i + 1) * chunk).min(total)))
+            .map(|i| {
+                let lo = i * per * SEGMENT_ROWS;
+                let hi = (((i + 1) * per) * SEGMENT_ROWS).min(total);
+                (lo, hi)
+            })
             .filter(|(lo, hi)| lo < hi)
             .collect()
     }
 
     /// Iterate live rows whose slot index lies in `[lo, hi)` (for parallel
     /// scan partitions).
-    pub fn iter_range(&self, lo: RowId, hi: RowId) -> impl Iterator<Item = (RowId, &[Value])> {
-        let hi = hi.min(self.rows.len());
-        (lo..hi)
-            .filter(move |&i| !self.deleted[i])
-            .map(move |i| (i, self.rows[i].as_slice()))
+    pub fn iter_range(
+        &self,
+        lo: RowId,
+        hi: RowId,
+    ) -> impl Iterator<Item = (RowId, Vec<Value>)> + '_ {
+        let hi = hi.min(self.slots);
+        (lo..hi).filter_map(move |i| {
+            let (s, off) = (i / SEGMENT_ROWS, i % SEGMENT_ROWS);
+            let seg = &self.segments[s];
+            if seg.is_live(off) {
+                Some((i, seg.row(off)))
+            } else {
+                None
+            }
+        })
     }
 
     /// Remove all rows (used by reload steps and tests).
     pub fn truncate(&mut self) {
-        self.rows.clear();
-        self.insert_ts.clear();
-        self.deleted.clear();
+        self.segments.clear();
+        self.slots = 0;
         self.live_rows = 0;
         self.data_bytes = 0;
     }
@@ -242,7 +639,7 @@ mod tests {
         assert_eq!(t.row_count(), 2);
         assert_eq!(t.get(r0).unwrap()[0], Value::Int(1));
         assert_eq!(t.get(r1).unwrap()[2], Value::str("b"));
-        assert_eq!(t.get_cell(r1, 1), Some(&Value::Float(18.5)));
+        assert_eq!(t.get_cell(r1, 1), Some(Value::Float(18.5)));
         assert_eq!(t.insert_timestamp(r1), Some(11));
     }
 
@@ -265,7 +662,7 @@ mod tests {
         let mut t = table();
         let r0 = t.insert(row(1, 17.5, "a"), 1).unwrap();
         assert!(t.update(r0, row(1, 12.0, "brighter")).unwrap());
-        assert_eq!(t.get_cell(r0, 1), Some(&Value::Float(12.0)));
+        assert_eq!(t.get_cell(r0, 1), Some(Value::Float(12.0)));
         assert!(!t.update(999, row(9, 9.0, "x")).unwrap());
     }
 
@@ -331,5 +728,90 @@ mod tests {
         assert_eq!(t.row_count(), 0);
         assert_eq!(t.data_bytes(), 0);
         assert_eq!(t.iter().count(), 0);
+    }
+
+    #[test]
+    fn rows_spill_into_multiple_segments() {
+        let mut t = table();
+        let n = SEGMENT_ROWS + 100;
+        for i in 0..n {
+            t.insert(row(i as i64, i as f64, "x"), 0).unwrap();
+        }
+        assert_eq!(t.segments().len(), 2);
+        assert_eq!(t.segments()[0].slot_count(), SEGMENT_ROWS);
+        assert_eq!(t.segments()[1].slot_count(), 100);
+        assert_eq!(t.row_count(), n);
+        // RowIds address across the segment boundary.
+        assert_eq!(
+            t.get(SEGMENT_ROWS).unwrap()[0],
+            Value::Int(SEGMENT_ROWS as i64)
+        );
+        // Segment-aligned partitions split on the boundary.
+        let parts = t.partition_row_ids(2);
+        assert_eq!(parts, vec![(0, SEGMENT_ROWS), (SEGMENT_ROWS, n)]);
+    }
+
+    #[test]
+    fn zone_maps_track_min_max_and_nulls() {
+        let mut t = table();
+        t.insert(row(5, 17.5, "b"), 0).unwrap();
+        t.insert(row(2, 19.5, "a"), 0).unwrap();
+        t.insert(vec![Value::Int(9), Value::Float(16.0), Value::Null], 0)
+            .unwrap();
+        let seg = &t.segments()[0];
+        assert_eq!(seg.column(0).zone_min(), Some(&Value::Int(2)));
+        assert_eq!(seg.column(0).zone_max(), Some(&Value::Int(9)));
+        assert_eq!(seg.column(1).zone_min(), Some(&Value::Float(16.0)));
+        assert_eq!(seg.column(1).zone_max(), Some(&Value::Float(19.5)));
+        assert_eq!(seg.column(2).zone_min(), Some(&Value::str("a")));
+        assert_eq!(seg.column(2).zone_max(), Some(&Value::str("b")));
+        assert_eq!(seg.column(2).null_count(), 1);
+        assert_eq!(seg.column(0).null_count(), 0);
+    }
+
+    #[test]
+    fn updates_widen_zones_conservatively() {
+        let mut t = table();
+        let r0 = t.insert(row(5, 17.5, "m"), 0).unwrap();
+        t.update(r0, row(100, 17.5, "m")).unwrap();
+        let seg = &t.segments()[0];
+        // Widened to cover the new value; the stale min stays (conservative).
+        assert_eq!(seg.column(0).zone_min(), Some(&Value::Int(5)));
+        assert_eq!(seg.column(0).zone_max(), Some(&Value::Int(100)));
+    }
+
+    #[test]
+    fn string_dictionary_dedups_within_a_segment() {
+        let mut t = table();
+        for i in 0..100 {
+            t.insert(row(i, 0.0, if i % 2 == 0 { "even" } else { "odd" }), 0)
+                .unwrap();
+        }
+        let seg = &t.segments()[0];
+        match seg.column(2).data() {
+            ColumnData::Str { dict, codes } => {
+                assert_eq!(dict.len(), 2);
+                assert_eq!(codes.len(), 100);
+                assert_eq!(&*dict[codes[0] as usize], "even");
+                assert_eq!(&*dict[codes[1] as usize], "odd");
+            }
+            other => panic!("expected a Str column, got {other:?}"),
+        }
+        assert_eq!(seg.column(2).value(3), Value::str("odd"));
+    }
+
+    #[test]
+    fn column_bytes_are_exact_per_segment() {
+        let mut t = table();
+        let r0 = t.insert(row(1, 1.0, "abcd"), 0).unwrap();
+        t.insert(row(2, 2.0, "xy"), 0).unwrap();
+        let seg = &t.segments()[0];
+        assert_eq!(seg.column(0).bytes(), 16);
+        assert_eq!(seg.column(1).bytes(), 16);
+        assert_eq!(seg.column(2).bytes(), (2 + 4) + (2 + 2));
+        t.delete(r0);
+        let seg = &t.segments()[0];
+        assert_eq!(seg.column(0).bytes(), 8);
+        assert_eq!(seg.column(2).bytes(), 2 + 2);
     }
 }
