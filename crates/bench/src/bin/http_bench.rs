@@ -446,7 +446,9 @@ fn main() {
     };
     let global_lock = Mutex::new(());
     let serialized_server = HttpServer::start_with(0, config.clone(), move |req| {
-        let _exclusive = global_lock.lock().unwrap();
+        let _exclusive = global_lock
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         baseline_site.handle(req)
     })
     .expect("start serialized server");

@@ -10,6 +10,8 @@
 //!   substrate (HTM lookups and covers, storage scans and seeks, SQL
 //!   execution, the load pipeline, traffic simulation).
 
+#![forbid(unsafe_code)]
+
 use skyserver::{SkyServer, SkyServerBuilder, SurveyConfig};
 
 /// Which data scale a reproduction run uses.

@@ -37,6 +37,8 @@
 //! println!("{} unsaturated galaxies nearby", outcome.result.len());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod builder;
 pub mod explore;
 

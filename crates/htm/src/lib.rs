@@ -27,6 +27,8 @@
 //! assert!(ranges.contains(id));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod cover;
 pub mod mesh;
 pub mod region;

@@ -13,6 +13,8 @@
 //! 5. the loader reports its throughput (the paper: ~5 GB/hour, CPU bound in
 //!    data conversion).
 
+#![forbid(unsafe_code)]
+
 pub mod csv;
 pub mod events;
 pub mod neighbors;

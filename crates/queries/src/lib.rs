@@ -5,6 +5,8 @@
 //! astronomer queries, result invariants for each, and the timing harness
 //! that regenerates the Figure 13 table.
 
+#![forbid(unsafe_code)]
+
 pub mod astronomer;
 pub mod runner;
 pub mod spec;

@@ -1,0 +1,70 @@
+//! Every documented query passes the static plan verifier with zero
+//! findings — both through the structured [`SqlEngine::verify`] API and
+//! through the user-facing `EXPLAIN VERIFY` statement.
+
+use skyserver::SkyServerBuilder;
+use skyserver_queries::twenty::twenty_queries;
+
+#[test]
+fn the_documented_queries_verify_clean() {
+    let sky = SkyServerBuilder::new().tiny().build().unwrap();
+    for query in &twenty_queries() {
+        let report = sky
+            .engine()
+            .verify(&query.sql)
+            .unwrap_or_else(|e| panic!("{} does not plan: {e}", query.id));
+        assert!(
+            report.is_clean(),
+            "{}: plan verifier found violations: {}",
+            query.id,
+            report.render_violations()
+        );
+        assert!(
+            report.checks_run > 0,
+            "{}: verifier ran no checks",
+            query.id
+        );
+    }
+}
+
+#[test]
+fn explain_verify_reports_success_for_the_documented_queries() {
+    let sky = SkyServerBuilder::new().tiny().build().unwrap();
+    for query in &twenty_queries() {
+        // Rewrite the script so its SELECT runs under EXPLAIN VERIFY; any
+        // DECLARE/SET prelude stays intact.
+        let script: Vec<String> = query
+            .sql
+            .split(';')
+            .map(str::trim)
+            .filter(|frag| !frag.is_empty())
+            .map(|frag| {
+                let starts_select = frag
+                    .split_whitespace()
+                    .next()
+                    .is_some_and(|w| w.eq_ignore_ascii_case("select"));
+                if starts_select {
+                    format!("explain verify {frag}")
+                } else {
+                    frag.to_string()
+                }
+            })
+            .collect();
+        let result = sky
+            .engine()
+            .query(&script.join(";\n"))
+            .unwrap_or_else(|e| panic!("{}: EXPLAIN VERIFY failed: {e}", query.id));
+        assert_eq!(
+            result.columns,
+            vec!["plan_verify".to_string()],
+            "{}: unexpected EXPLAIN VERIFY shape",
+            query.id
+        );
+        let cell = result.rows[0][0].to_string();
+        assert!(
+            cell.starts_with("plan verified:"),
+            "{}: EXPLAIN VERIFY reported: {cell}",
+            query.id
+        );
+    }
+}

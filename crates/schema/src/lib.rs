@@ -14,6 +14,8 @@
 //! * [`create_engine`] which returns a ready-to-load [`SqlEngine`] with
 //!   everything installed (what the loader and the web front end use).
 
+#![forbid(unsafe_code)]
+
 pub mod constraints;
 pub mod functions;
 pub mod indexes;

@@ -27,6 +27,8 @@
 //! assert_eq!(csv[2].name, "PhotoObj");
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod config;
 pub mod csv;
 pub mod flags;

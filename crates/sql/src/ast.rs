@@ -39,6 +39,10 @@ pub enum Statement {
         /// The value expression.
         expr: Expr,
     },
+    /// `EXPLAIN VERIFY <select>`: plan the query and run the static plan
+    /// verifier over it, reporting the check summary or the violations
+    /// instead of executing.
+    ExplainVerify(SelectStatement),
 }
 
 /// `SELECT` statement.

@@ -63,6 +63,10 @@ pub struct SqlEngine {
     /// (default).  Off = row-at-a-time compiled evaluation; the middle rung
     /// of the interpreted / compiled / vectorized equivalence ladder.
     vectorized: bool,
+    /// Run the static plan verifier after every planner finalization and
+    /// fail the statement on violations.  Debug builds always verify; this
+    /// flag opts release builds in ([`SqlEngine::set_plan_verification`]).
+    verify_plans: bool,
     /// Cumulative execution counters (atomics: bumped through `&self` by
     /// concurrent readers).
     counters: EngineCounters,
@@ -111,6 +115,7 @@ impl SqlEngine {
             parallel_scan_threshold: crate::planner::PARALLEL_SCAN_THRESHOLD,
             compile_expressions: true,
             vectorized: true,
+            verify_plans: false,
             counters: EngineCounters::default(),
         }
     }
@@ -121,6 +126,7 @@ impl SqlEngine {
             .with_parallel_scan_threshold(self.parallel_scan_threshold)
             .with_expression_compilation(self.compile_expressions)
             .with_vectorized(self.vectorized)
+            .with_verification(self.verify_plans || cfg!(debug_assertions))
     }
 
     /// Enable or disable compiled expression programs (on by default).
@@ -143,6 +149,15 @@ impl SqlEngine {
     /// benchmarks; the default mirrors the paper's large-table behaviour).
     pub fn set_parallel_scan_threshold(&mut self, threshold: usize) {
         self.parallel_scan_threshold = threshold;
+    }
+
+    /// Enable or disable the static plan verifier
+    /// ([`crate::verify::verify_plan`]) on every planned statement.  Debug
+    /// builds always verify (`debug_assertions`); this opts release builds
+    /// in.  A verification failure aborts the statement with
+    /// [`SqlError::Plan`].
+    pub fn set_plan_verification(&mut self, verify: bool) {
+        self.verify_plans = verify;
     }
 
     /// Read-only access to the database.
@@ -185,7 +200,7 @@ impl SqlEngine {
     pub fn variable(&self, name: &str) -> Option<Value> {
         self.variables
             .read()
-            .unwrap()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .get(&name.to_ascii_lowercase())
             .cloned()
     }
@@ -251,7 +266,11 @@ impl SqlEngine {
         monitor: Option<&QueryMonitor>,
     ) -> Result<Vec<StatementOutcome>, SqlError> {
         let statements = parse_script(sql)?;
-        let mut vars = self.variables.read().unwrap().clone();
+        let mut vars = self
+            .variables
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone();
         let mut outcomes = Vec::with_capacity(statements.len());
         for stmt in &statements {
             let started = Instant::now();
@@ -279,6 +298,9 @@ impl SqlEngine {
                         .fetch_add(1, Ordering::Relaxed);
                     outcome
                 }
+                // Verification only plans — nothing is executed or written,
+                // so the shared read path can serve it.
+                Statement::ExplainVerify(select) => self.explain_verify(select)?,
                 other => return Err(SqlError::ReadOnly(statement_kind(other).to_string())),
             };
             outcomes.push(outcome);
@@ -358,7 +380,11 @@ impl SqlEngine {
     /// overlay (planning only needs the side effect of surfacing evaluation
     /// errors; variables are resolved at execution time).
     fn eval_script_variables(&self, statements: &[Statement]) -> Result<(), SqlError> {
-        let mut vars = self.variables.read().unwrap().clone();
+        let mut vars = self
+            .variables
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone();
         for stmt in statements {
             match stmt {
                 Statement::Declare { name, .. } => {
@@ -400,7 +426,10 @@ impl SqlEngine {
             }
             Statement::Select(select) => {
                 let (mut outcome, into) = {
-                    let vars = self.variables.read().unwrap();
+                    let vars = self
+                        .variables
+                        .read()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
                     self.run_select(select, limits, started, &vars, None)?
                 };
                 if let Some(target) = into {
@@ -468,7 +497,50 @@ impl SqlEngine {
                 self.db.drop_table(name)?;
                 Ok(StatementOutcome::default())
             }
+            Statement::ExplainVerify(select) => self.explain_verify(select),
         }
+    }
+
+    /// Plan a SELECT and run the static verifier over it, rendering the
+    /// report as a one-column result set (the `EXPLAIN VERIFY` output):
+    /// the summary line first, then one row per violation.
+    fn explain_verify(
+        &self,
+        select: &crate::ast::SelectStatement,
+    ) -> Result<StatementOutcome, SqlError> {
+        // Verification is disabled on this planner pass so that a broken
+        // plan is *reported* rather than aborting the statement.
+        let plan = self
+            .planner()
+            .with_verification(false)
+            .plan_select(select)?;
+        let report = crate::verify::verify_plan(&plan, &self.db);
+        let mut result = ResultSet::empty(vec!["plan_verify".to_string()]);
+        if report.is_clean() {
+            result.rows.push(vec![Value::str(report.summary())]);
+        } else {
+            for violation in &report.violations {
+                result.rows.push(vec![Value::str(violation.to_string())]);
+            }
+        }
+        Ok(StatementOutcome {
+            result,
+            ..Default::default()
+        })
+    }
+
+    /// Plan the (single) SELECT in `sql` and return the static verifier's
+    /// structured report — the programmatic face of `EXPLAIN VERIFY`.
+    pub fn verify(&self, sql: &str) -> Result<crate::verify::VerifyReport, SqlError> {
+        let statements = parse_script(sql)?;
+        self.eval_script_variables(&statements)?;
+        for stmt in &statements {
+            if let Statement::Select(s) | Statement::ExplainVerify(s) = stmt {
+                let plan = self.planner().with_verification(false).plan_select(s)?;
+                return Ok(crate::verify::verify_plan(&plan, &self.db));
+            }
+        }
+        Err(SqlError::Plan("no SELECT statement to verify".into()))
     }
 
     /// Plan and execute one SELECT through `&self`.  Returns the outcome
@@ -562,7 +634,10 @@ impl SqlEngine {
                 .collect::<Result<_, _>>()?
         };
         let width = table_columns.len();
-        let variables = self.variables.read().unwrap();
+        let variables = self
+            .variables
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let value_rows: Vec<Vec<Value>> = match &insert.source {
             InsertSource::Values(rows) => {
                 let schema = RowSchema::default();
@@ -622,7 +697,10 @@ impl SqlEngine {
                     .ok_or_else(|| SqlError::Plan(format!("unknown column {col}")))
             })
             .collect::<Result<_, _>>()?;
-        let variables = self.variables.read().unwrap();
+        let variables = self
+            .variables
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let ctx = EvalContext {
             schema: &schema,
             variables: &variables,
@@ -658,7 +736,10 @@ impl SqlEngine {
         let table = self.db.table(&delete.table)?;
         let names = table.schema().column_names();
         let schema = RowSchema::for_table(None, &names);
-        let variables = self.variables.read().unwrap();
+        let variables = self
+            .variables
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let ctx = EvalContext {
             schema: &schema,
             variables: &variables,
@@ -712,6 +793,7 @@ fn statement_kind(stmt: &Statement) -> &'static str {
         Statement::CreateIndex(_) => "CREATE INDEX",
         Statement::CreateView(_) => "CREATE VIEW",
         Statement::DropTable { .. } => "DROP TABLE",
+        Statement::ExplainVerify(_) => "EXPLAIN VERIFY",
     }
 }
 

@@ -549,6 +549,7 @@ impl<'a> Executor<'a> {
                                     let idx = output_names
                                         .iter()
                                         .position(|n| n.eq_ignore_ascii_case(name))
+                                        // skylint: allow(no-expect) the match guard just proved the name is present
                                         .expect("checked above");
                                     proj[idx].clone()
                                 }
@@ -866,6 +867,7 @@ impl<'a> Executor<'a> {
                 .collect();
             handles
                 .into_iter()
+                // skylint: allow(no-expect) re-raising a worker panic on the coordinator is the correct propagation
                 .map(|h| h.join().expect("scan worker panicked"))
                 .collect()
         });
@@ -1351,6 +1353,7 @@ impl<'a> Executor<'a> {
                     let arg = agg
                         .arg
                         .as_ref()
+                        // skylint: allow(no-expect) invariant enforced by the plan verifier (count_star XOR arg)
                         .expect("non-count aggregates always compile with an argument");
                     let mut values = Vec::with_capacity(group_rows.len());
                     for row in &group_rows {

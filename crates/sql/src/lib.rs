@@ -39,6 +39,7 @@
 //! assert_eq!(result.cell(0, "n"), Some(&Value::Int(1)));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ast;
@@ -54,6 +55,7 @@ pub mod parser;
 pub mod plan;
 pub mod planner;
 pub mod result;
+pub mod verify;
 
 pub use engine::{EngineStats, PlanSummary, SqlEngine};
 pub use error::SqlError;
@@ -66,6 +68,7 @@ pub use parser::{parse_script, parse_select, parse_statement};
 pub use plan::{AccessPath, PlanClass, SelectPlan};
 pub use planner::Planner;
 pub use result::{ResultSet, StatementOutcome};
+pub use verify::{verify_plan, VerifyReport, Violation, ViolationKind};
 
 #[cfg(test)]
 mod proptests {

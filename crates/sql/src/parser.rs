@@ -135,6 +135,10 @@ impl Parser {
     fn parse_statement(&mut self) -> Result<Statement, SqlError> {
         if self.peek_keyword("select") {
             Ok(Statement::Select(self.parse_select_statement()?))
+        } else if self.peek_keyword("explain") {
+            self.advance();
+            self.expect_keyword("verify")?;
+            Ok(Statement::ExplainVerify(self.parse_select_statement()?))
         } else if self.peek_keyword("insert") {
             self.parse_insert()
         } else if self.peek_keyword("update") {

@@ -140,7 +140,11 @@ fn collect_plan_columns(plan: &SelectPlan, out: &mut Vec<(Option<String>, String
 
 /// Extract zone constraints from a pushed predicate, or nothing when any
 /// conjunct is non-total.
-fn zone_constraints(pred: &Expr, alias: &str, schema: &TableSchema) -> Vec<ZoneConstraint> {
+pub(crate) fn zone_constraints(
+    pred: &Expr,
+    alias: &str,
+    schema: &TableSchema,
+) -> Vec<ZoneConstraint> {
     let conjuncts = pred.conjuncts();
     if !conjuncts.iter().all(|c| is_total(c, alias, schema)) {
         return Vec::new();
@@ -247,7 +251,7 @@ fn total_operand(e: &Expr, alias: &str, schema: &TableSchema) -> bool {
 }
 
 /// Can this conjunct's evaluation ever raise an execution error?
-fn is_total(e: &Expr, alias: &str, schema: &TableSchema) -> bool {
+pub(crate) fn is_total(e: &Expr, alias: &str, schema: &TableSchema) -> bool {
     match e {
         Expr::Binary { left, op, right } if op.is_comparison() => {
             total_operand(left, alias, schema) && total_operand(right, alias, schema)

@@ -45,6 +45,7 @@ pub struct Planner<'a> {
     parallel_scan_threshold: usize,
     compile_expressions: bool,
     vectorized: bool,
+    verify: bool,
 }
 
 impl<'a> Planner<'a> {
@@ -56,6 +57,7 @@ impl<'a> Planner<'a> {
             parallel_scan_threshold: PARALLEL_SCAN_THRESHOLD,
             compile_expressions: true,
             vectorized: true,
+            verify: cfg!(debug_assertions),
         }
     }
 
@@ -82,6 +84,15 @@ impl<'a> Planner<'a> {
         self
     }
 
+    /// Enable or disable the post-finalization plan verifier
+    /// ([`crate::verify::verify_plan`]).  On by default in debug builds
+    /// (every test-planned statement is verified); release builds opt in
+    /// via [`crate::SqlEngine::set_plan_verification`].
+    pub fn with_verification(mut self, verify: bool) -> Self {
+        self.verify = verify;
+        self
+    }
+
     fn context(&self) -> PlanContext<'a> {
         PlanContext {
             db: self.db,
@@ -104,6 +115,15 @@ impl<'a> Planner<'a> {
         if self.compile_expressions {
             plan.programs = build_programs(&plan, &ctx);
             plan.vectorized = self.vectorized;
+        }
+        if self.verify {
+            let report = crate::verify::verify_plan(&plan, self.db);
+            if !report.is_clean() {
+                return Err(SqlError::Plan(format!(
+                    "plan verification failed: {}",
+                    report.render_violations()
+                )));
+            }
         }
         Ok(plan)
     }
@@ -202,7 +222,7 @@ fn finalize(logical: LogicalPlan) -> Result<SelectPlan, SqlError> {
 /// schema.  Program compilation resolves ordinals through the executor's own
 /// schema-derivation helpers ([`crate::executor::scan_schema`]), so the two
 /// sides cannot drift apart.
-fn exec_source_schema(source: &SourcePlan, db: &Database) -> Option<RowSchema> {
+pub(crate) fn exec_source_schema(source: &SourcePlan, db: &Database) -> Option<RowSchema> {
     match &source.kind {
         SourceKind::Table { table, path } => {
             crate::executor::scan_schema(db, &source.alias, table, path).ok()
@@ -214,7 +234,7 @@ fn exec_source_schema(source: &SourcePlan, db: &Database) -> Option<RowSchema> {
 /// The full heap schema of a base-table source — what the executor uses for
 /// the inner side of an index-lookup join (it fetches whole heap rows by
 /// RowId there, regardless of the source's chosen access path).
-fn full_table_schema(source: &SourcePlan, db: &Database) -> Option<RowSchema> {
+pub(crate) fn full_table_schema(source: &SourcePlan, db: &Database) -> Option<RowSchema> {
     match &source.kind {
         SourceKind::Table { table, .. } => {
             crate::executor::heap_schema(db, &source.alias, table).ok()

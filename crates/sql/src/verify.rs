@@ -1,0 +1,830 @@
+//! Static plan/program verification — the engine's analogue of LLVM's IR
+//! verifier.
+//!
+//! [`verify_plan`] walks a finalized [`SelectPlan`] and structurally checks
+//! every invariant the compiled/vectorized executors rely on but never
+//! re-validate at runtime:
+//!
+//! * **Ordinal bounds** — every [`CompiledExpr`] program references only
+//!   columns that exist in the exact runtime row layout it will be evaluated
+//!   against, including the index-lookup-join corner where the inner side
+//!   keeps its *full heap schema* regardless of its planned access path.
+//! * **Schema arithmetic** — the combined `input_schema` equals the join of
+//!   the planned source schemas, accumulated step by step.
+//! * **Zone-constraint soundness** — declared [`ZoneConstraint`]s name real
+//!   columns of compatible types, require a fully *total* pushed predicate,
+//!   and are never stricter than what re-derivation from that predicate
+//!   yields (a stricter interval could skip segments holding matching rows).
+//! * **Scan-column coverage** — the columns compiled programs actually read
+//!   from a base-table source are a subset of the annotated per-alias
+//!   scan-column union that byte accounting and `BatchProgram` construction
+//!   consume.
+//! * **Plan-shape consistency** — `rules_fired` agrees with the physical
+//!   shape (e.g. a `limit_hint` appears only on base-table scans and only
+//!   when `limit_pushdown` fired).
+//!
+//! The pass runs automatically after planner finalization in debug builds,
+//! on demand via [`crate::SqlEngine::set_plan_verification`], and is exposed
+//! to users as `EXPLAIN VERIFY <select>`.
+
+use crate::exec::compile::{CompiledExpr, SortKey};
+use crate::expr::RowSchema;
+use crate::plan::{AccessPath, SelectPlan, SourceKind, SourcePlan, ZoneConstraint};
+use crate::planner::annotate;
+use skyserver_storage::{DataType, Database, TableSchema, Value};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// The structural invariant a [`Violation`] breaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// A compiled program references a column ordinal outside the runtime
+    /// row layout it executes against.
+    OrdinalOutOfRange,
+    /// The combined `input_schema` disagrees with the join of the planned
+    /// source schemas.
+    SchemaWidthMismatch,
+    /// A compiled-program vector's length disagrees with the plan structure
+    /// it parallels, or a program exists for a slot the plan does not have.
+    ProgramArityMismatch,
+    /// A declared zone constraint could prune a segment that contains
+    /// satisfying rows (bad ordinal/type, non-total predicate, or an
+    /// interval stricter than the pushed predicate implies).
+    ZoneConstraintUnsound,
+    /// A compiled program reads a base-table column missing from the
+    /// annotated scan-column union byte accounting charges.
+    ScanColumnNotCovered,
+    /// `rules_fired`, annotations or hints disagree with the physical plan
+    /// shape.
+    PlanShapeInconsistent,
+}
+
+impl ViolationKind {
+    /// Stable lowercase identifier (tests and EXPLAIN VERIFY output).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ViolationKind::OrdinalOutOfRange => "ordinal_out_of_range",
+            ViolationKind::SchemaWidthMismatch => "schema_width_mismatch",
+            ViolationKind::ProgramArityMismatch => "program_arity_mismatch",
+            ViolationKind::ZoneConstraintUnsound => "zone_constraint_unsound",
+            ViolationKind::ScanColumnNotCovered => "scan_column_not_covered",
+            ViolationKind::PlanShapeInconsistent => "plan_shape_inconsistent",
+        }
+    }
+}
+
+impl fmt::Display for ViolationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One structural violation found by [`verify_plan`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// Which invariant is broken.
+    pub kind: ViolationKind,
+    /// Where in the plan (e.g. `sources[1].zone_constraints[0]`).
+    pub site: String,
+    /// Human-readable description of the mismatch.
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at {}: {}", self.kind, self.site, self.detail)
+    }
+}
+
+/// The outcome of verifying one plan (including its derived sub-plans).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct VerifyReport {
+    /// Number of compiled expression programs inspected.
+    pub programs_checked: usize,
+    /// Number of individual structural checks performed.
+    pub checks_run: usize,
+    /// Violations found; empty for a well-formed plan.
+    pub violations: Vec<Violation>,
+}
+
+impl VerifyReport {
+    /// True when no violation was found.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// The one-line success summary `EXPLAIN VERIFY` prints.
+    pub fn summary(&self) -> String {
+        format!(
+            "plan verified: {} programs, {} checks",
+            self.programs_checked, self.checks_run
+        )
+    }
+
+    /// All violations, one per line (error messages).
+    pub fn render_violations(&self) -> String {
+        self.violations
+            .iter()
+            .map(Violation::to_string)
+            .collect::<Vec<_>>()
+            .join("; ")
+    }
+}
+
+/// Verify a finalized plan against `db`. Walks derived sub-plans too.
+pub fn verify_plan(plan: &SelectPlan, db: &Database) -> VerifyReport {
+    let mut v = Verifier {
+        db,
+        report: VerifyReport::default(),
+    };
+    v.verify(plan, "");
+    v.report
+}
+
+struct Verifier<'a> {
+    db: &'a Database,
+    report: VerifyReport,
+}
+
+impl Verifier<'_> {
+    fn violation(&mut self, kind: ViolationKind, site: String, detail: String) {
+        self.report
+            .violations
+            .push(Violation { kind, site, detail });
+    }
+
+    fn check(
+        &mut self,
+        ok: bool,
+        kind: ViolationKind,
+        site: &str,
+        detail: impl FnOnce() -> String,
+    ) {
+        self.report.checks_run += 1;
+        if !ok {
+            self.violation(kind, site.to_string(), detail());
+        }
+    }
+
+    fn verify(&mut self, plan: &SelectPlan, prefix: &str) {
+        self.check_join_count(plan, prefix);
+        self.check_input_schema(plan, prefix);
+        self.check_sources(plan, prefix);
+        self.check_programs(plan, prefix);
+        for (i, source) in plan.sources.iter().enumerate() {
+            if let SourceKind::Derived { plan: sub } = &source.kind {
+                self.verify(sub, &format!("{prefix}sources[{i}].derived."));
+            }
+        }
+    }
+
+    /// `joins[i]` connects `sources[i + 1]`; the counts must agree.
+    fn check_join_count(&mut self, plan: &SelectPlan, prefix: &str) {
+        let expected = plan.sources.len().saturating_sub(1);
+        self.check(
+            plan.joins.len() == expected,
+            ViolationKind::PlanShapeInconsistent,
+            &format!("{prefix}joins"),
+            || {
+                format!(
+                    "{} sources need {} join steps, plan has {}",
+                    plan.sources.len(),
+                    expected,
+                    plan.joins.len()
+                )
+            },
+        );
+    }
+
+    /// Check (b): left width + right width accumulates to `input_schema`.
+    fn check_input_schema(&mut self, plan: &SelectPlan, prefix: &str) {
+        let mut planned = RowSchema::default();
+        for (i, source) in plan.sources.iter().enumerate() {
+            planned = planned.join(&source.schema);
+            let prefix_width = planned.len();
+            self.check(
+                plan.input_schema.len() >= prefix_width,
+                ViolationKind::SchemaWidthMismatch,
+                &format!("{prefix}input_schema"),
+                || {
+                    format!(
+                        "sources[0..={i}] contribute {prefix_width} columns but \
+                         input_schema has only {}",
+                        plan.input_schema.len()
+                    )
+                },
+            );
+        }
+        self.check(
+            plan.input_schema == planned,
+            ViolationKind::SchemaWidthMismatch,
+            &format!("{prefix}input_schema"),
+            || {
+                format!(
+                    "input_schema ({} columns) is not the join of the planned \
+                     source schemas ({} columns)",
+                    plan.input_schema.len(),
+                    planned.len()
+                )
+            },
+        );
+    }
+
+    /// Checks (c) and the per-source half of (e): zone constraints, scan
+    /// columns, limit hints, access-path/rule agreement.
+    fn check_sources(&mut self, plan: &SelectPlan, prefix: &str) {
+        for (i, source) in plan.sources.iter().enumerate() {
+            let site = format!("{prefix}sources[{i}]");
+            match &source.kind {
+                SourceKind::Table { table, path } => {
+                    if let AccessPath::ParallelHeapScan { .. } = path {
+                        self.check(
+                            plan.rules_fired.contains(&"parallel_scan_fallback"),
+                            ViolationKind::PlanShapeInconsistent,
+                            &site,
+                            || {
+                                "parallel heap scan without parallel_scan_fallback \
+                                 in rules_fired"
+                                    .to_string()
+                            },
+                        );
+                    }
+                    let Ok(t) = self.db.table(table) else {
+                        self.violation(
+                            ViolationKind::PlanShapeInconsistent,
+                            site,
+                            format!("source table {table} does not exist"),
+                        );
+                        continue;
+                    };
+                    let schema = t.schema().clone();
+                    self.check_zone_constraints(source, &schema, &site);
+                    if let Some(cols) = &source.scan_columns {
+                        for (c, ordinal) in cols.iter().enumerate() {
+                            self.check(
+                                *ordinal < schema.columns().len(),
+                                ViolationKind::OrdinalOutOfRange,
+                                &format!("{site}.scan_columns[{c}]"),
+                                || {
+                                    format!(
+                                        "storage ordinal {ordinal} out of range for \
+                                         {table} ({} columns)",
+                                        schema.columns().len()
+                                    )
+                                },
+                            );
+                        }
+                    }
+                }
+                _ => {
+                    self.check(
+                        source.zone_constraints.is_empty(),
+                        ViolationKind::PlanShapeInconsistent,
+                        &site,
+                        || "zone constraints on a non-base-table source".to_string(),
+                    );
+                    self.check(
+                        source.scan_columns.is_none(),
+                        ViolationKind::PlanShapeInconsistent,
+                        &site,
+                        || "scan columns annotated on a non-base-table source".to_string(),
+                    );
+                    self.check(
+                        source.limit_hint.is_none(),
+                        ViolationKind::PlanShapeInconsistent,
+                        &site,
+                        || "limit hint on a non-base-table source".to_string(),
+                    );
+                }
+            }
+            if source.limit_hint.is_some() {
+                self.check(
+                    plan.rules_fired.contains(&"limit_pushdown"),
+                    ViolationKind::PlanShapeInconsistent,
+                    &site,
+                    || "limit hint without limit_pushdown in rules_fired".to_string(),
+                );
+            }
+        }
+    }
+
+    /// Check (c): every declared zone constraint must be satisfiable-set
+    /// preserving — bad ordinals, type mismatches, non-total predicates or
+    /// intervals stricter than re-derivation yields are all unsound.
+    fn check_zone_constraints(&mut self, source: &SourcePlan, schema: &TableSchema, site: &str) {
+        if source.zone_constraints.is_empty() {
+            return;
+        }
+        let zsite = format!("{site}.zone_constraints");
+        let Some(pred) = &source.pushed_predicate else {
+            self.violation(
+                ViolationKind::ZoneConstraintUnsound,
+                zsite,
+                "zone constraints declared without a pushed predicate".to_string(),
+            );
+            return;
+        };
+        self.check(
+            pred.conjuncts()
+                .iter()
+                .all(|c| annotate::is_total(c, &source.alias, schema)),
+            ViolationKind::ZoneConstraintUnsound,
+            &zsite,
+            || {
+                "zone constraints declared but a pushed conjunct is not total \
+                 (pruning could suppress an execution error)"
+                    .to_string()
+            },
+        );
+        let derived = annotate::zone_constraints(pred, &source.alias, schema);
+        for (z, constraint) in source.zone_constraints.iter().enumerate() {
+            let csite = format!("{site}.zone_constraints[{z}]");
+            self.report.checks_run += 1;
+            if constraint.ordinal >= schema.columns().len() {
+                self.violation(
+                    ViolationKind::OrdinalOutOfRange,
+                    csite,
+                    format!(
+                        "constraint ordinal {} out of range ({} columns)",
+                        constraint.ordinal,
+                        schema.columns().len()
+                    ),
+                );
+                continue;
+            }
+            let col = &schema.columns()[constraint.ordinal];
+            self.check(
+                col.name == constraint.column,
+                ViolationKind::ZoneConstraintUnsound,
+                &csite,
+                || {
+                    format!(
+                        "constraint names column {} but ordinal {} is {}",
+                        constraint.column, constraint.ordinal, col.name
+                    )
+                },
+            );
+            for (value, _) in constraint.low.iter().chain(constraint.high.iter()) {
+                self.check(
+                    bound_type_compatible(value, col.ty),
+                    ViolationKind::ZoneConstraintUnsound,
+                    &csite,
+                    || {
+                        format!(
+                            "bound {value} is type-incompatible with {} column {}",
+                            col.ty, col.name
+                        )
+                    },
+                );
+            }
+            match derived.iter().find(|d| d.ordinal == constraint.ordinal) {
+                None => self.violation(
+                    ViolationKind::ZoneConstraintUnsound,
+                    csite,
+                    format!(
+                        "pushed predicate implies no interval for column {}",
+                        constraint.column
+                    ),
+                ),
+                Some(d) => {
+                    self.check(
+                        !bound_stricter(&constraint.low, &d.low, Ordering::Greater),
+                        ViolationKind::ZoneConstraintUnsound,
+                        &csite,
+                        || stricter_detail(constraint, d, "lower"),
+                    );
+                    self.check(
+                        !bound_stricter(&constraint.high, &d.high, Ordering::Less),
+                        ViolationKind::ZoneConstraintUnsound,
+                        &csite,
+                        || stricter_detail(constraint, d, "upper"),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Checks (a), (d) and the program half of the arity checks: reconstruct
+    /// the executor's runtime row layouts exactly as program compilation did
+    /// and bound every compiled ordinal against them.
+    fn check_programs(&mut self, plan: &SelectPlan, prefix: &str) {
+        self.check(
+            !plan.vectorized || plan.programs.is_some(),
+            ViolationKind::PlanShapeInconsistent,
+            &format!("{prefix}vectorized"),
+            || "vectorized execution requested without compiled programs".to_string(),
+        );
+        let Some(programs) = &plan.programs else {
+            return;
+        };
+        let site = |s: &str| format!("{prefix}programs.{s}");
+
+        // Arity: program vectors parallel the plan structure.
+        let arity: [(&str, usize, usize); 4] = [
+            (
+                "source_predicates",
+                programs.source_predicates.len(),
+                plan.sources.len(),
+            ),
+            (
+                "join_outer_keys",
+                programs.join_outer_keys.len(),
+                plan.joins.len(),
+            ),
+            (
+                "join_hash_keys",
+                programs.join_hash_keys.len(),
+                plan.joins.len(),
+            ),
+            (
+                "join_residuals",
+                programs.join_residuals.len(),
+                plan.joins.len(),
+            ),
+        ];
+        for (name, got, want) in arity {
+            self.check(
+                got == want,
+                ViolationKind::ProgramArityMismatch,
+                &site(name),
+                || format!("{got} programs for {want} plan slots"),
+            );
+        }
+        if let Some(p) = &programs.projections {
+            let (got, want) = (p.len(), plan.projections.len());
+            self.check(
+                got == want,
+                ViolationKind::ProgramArityMismatch,
+                &site("projections"),
+                || format!("{got} programs for {want} projections"),
+            );
+        }
+        if let Some(g) = &programs.group_by {
+            let (got, want) = (g.len(), plan.group_by.len());
+            self.check(
+                got == want,
+                ViolationKind::ProgramArityMismatch,
+                &site("group_by"),
+                || format!("{got} programs for {want} group-by keys"),
+            );
+        }
+        if let Some(o) = &programs.order_by {
+            let (got, want) = (o.len(), plan.order_by.len());
+            self.check(
+                got == want,
+                ViolationKind::ProgramArityMismatch,
+                &site("order_by"),
+                || format!("{got} sort keys for {want} order-by items"),
+            );
+        }
+        self.check(
+            programs.having.is_none() || plan.having.is_some(),
+            ViolationKind::ProgramArityMismatch,
+            &site("having"),
+            || "compiled HAVING program but the plan has no HAVING".to_string(),
+        );
+        self.check(
+            programs.residual.is_none() || plan.residual.is_some(),
+            ViolationKind::ProgramArityMismatch,
+            &site("residual"),
+            || "compiled residual program but the plan has no residual".to_string(),
+        );
+
+        // Reconstruct the runtime row layouts the executor will hand each
+        // program — per-source predicate schemas and the accumulated
+        // combined schema before/after each join (index-lookup joins fetch
+        // whole heap rows on the inner side).
+        let mut pred_schemas: Vec<RowSchema> = Vec::with_capacity(plan.sources.len());
+        let mut combined = RowSchema::default();
+        for (i, source) in plan.sources.iter().enumerate() {
+            let runtime = if i > 0
+                && matches!(
+                    plan.joins.get(i - 1).map(|j| &j.strategy),
+                    Some(crate::plan::JoinStrategy::IndexLookup { .. })
+                ) {
+                crate::planner::full_table_schema(source, self.db)
+            } else {
+                crate::planner::exec_source_schema(source, self.db)
+            };
+            let Some(runtime) = runtime else {
+                self.violation(
+                    ViolationKind::PlanShapeInconsistent,
+                    format!("{prefix}sources[{i}]"),
+                    "runtime schema of the source cannot be derived".to_string(),
+                );
+                return;
+            };
+            combined = combined.join(&runtime);
+            pred_schemas.push(runtime);
+        }
+        let offsets: Vec<usize> = pred_schemas
+            .iter()
+            .scan(0usize, |acc, s| {
+                let start = *acc;
+                *acc += s.len();
+                Some(start)
+            })
+            .collect();
+
+        // Scan-column unions, translated to storage ordinals per source.
+        let scan_unions: Vec<Option<(TableSchema, Vec<usize>)>> = plan
+            .sources
+            .iter()
+            .map(|s| match (&s.kind, &s.scan_columns) {
+                (SourceKind::Table { table, .. }, Some(cols)) => self
+                    .db
+                    .table(table)
+                    .ok()
+                    .map(|t| (t.schema().clone(), cols.clone())),
+                _ => None,
+            })
+            .collect();
+
+        let ctx = ProgramContext {
+            pred_schemas,
+            combined,
+            offsets,
+            scan_unions,
+        };
+
+        for (i, p) in programs.source_predicates.iter().enumerate() {
+            if let Some(p) = p {
+                self.check(
+                    plan.sources
+                        .get(i)
+                        .is_some_and(|s| s.pushed_predicate.is_some()),
+                    ViolationKind::ProgramArityMismatch,
+                    &site(&format!("source_predicates[{i}]")),
+                    || "compiled predicate for a source with none pushed".to_string(),
+                );
+                self.check_expr_source(p, i, &ctx, &site(&format!("source_predicates[{i}]")));
+            }
+        }
+        for (i, step) in plan.joins.iter().enumerate() {
+            use crate::plan::JoinStrategy;
+            let outer_width = ctx
+                .offsets
+                .get(i + 1)
+                .copied()
+                .unwrap_or(ctx.combined.len());
+            if let Some(Some(k)) = programs.join_outer_keys.get(i) {
+                self.check(
+                    matches!(step.strategy, JoinStrategy::IndexLookup { .. }),
+                    ViolationKind::ProgramArityMismatch,
+                    &site(&format!("join_outer_keys[{i}]")),
+                    || "outer-key program on a non-index-lookup join".to_string(),
+                );
+                self.check_expr_combined(
+                    k,
+                    outer_width,
+                    &ctx,
+                    &site(&format!("join_outer_keys[{i}]")),
+                );
+            }
+            if let Some(Some((outer, inner))) = programs.join_hash_keys.get(i) {
+                match &step.strategy {
+                    JoinStrategy::Hash {
+                        outer_keys,
+                        inner_keys,
+                    } => {
+                        self.check(
+                            outer.len() == outer_keys.len() && inner.len() == inner_keys.len(),
+                            ViolationKind::ProgramArityMismatch,
+                            &site(&format!("join_hash_keys[{i}]")),
+                            || {
+                                format!(
+                                    "{}/{} compiled keys for {}/{} plan keys",
+                                    outer.len(),
+                                    inner.len(),
+                                    outer_keys.len(),
+                                    inner_keys.len()
+                                )
+                            },
+                        );
+                    }
+                    _ => self.violation(
+                        ViolationKind::ProgramArityMismatch,
+                        site(&format!("join_hash_keys[{i}]")),
+                        "hash-key programs on a non-hash join".to_string(),
+                    ),
+                }
+                for (k, key) in outer.iter().enumerate() {
+                    self.check_expr_combined(
+                        key,
+                        outer_width,
+                        &ctx,
+                        &site(&format!("join_hash_keys[{i}].outer[{k}]")),
+                    );
+                }
+                for (k, key) in inner.iter().enumerate() {
+                    self.check_expr_source(
+                        key,
+                        i + 1,
+                        &ctx,
+                        &site(&format!("join_hash_keys[{i}].inner[{k}]")),
+                    );
+                }
+            }
+            if let Some(Some(r)) = programs.join_residuals.get(i) {
+                let width = ctx
+                    .offsets
+                    .get(i + 2)
+                    .copied()
+                    .unwrap_or(ctx.combined.len());
+                self.check_expr_combined(r, width, &ctx, &site(&format!("join_residuals[{i}]")));
+            }
+        }
+        let full = ctx.combined.len();
+        if let Some(r) = &programs.residual {
+            self.check_expr_combined(r, full, &ctx, &site("residual"));
+        }
+        if let Some(projs) = &programs.projections {
+            for (i, p) in projs.iter().enumerate() {
+                self.check_expr_combined(p, full, &ctx, &site(&format!("projections[{i}]")));
+            }
+        }
+        if let Some(groups) = &programs.group_by {
+            for (i, g) in groups.iter().enumerate() {
+                self.check_expr_combined(g, full, &ctx, &site(&format!("group_by[{i}]")));
+            }
+        }
+        if let Some(h) = &programs.having {
+            self.check_expr_combined(h, full, &ctx, &site("having"));
+        }
+        if let Some(aggs) = &programs.aggregates {
+            for (i, agg) in aggs.iter().enumerate() {
+                self.report.checks_run += 1;
+                if agg.count_star != agg.arg.is_none() {
+                    self.violation(
+                        ViolationKind::ProgramArityMismatch,
+                        site(&format!("aggregates[{i}]")),
+                        format!(
+                            "{} must have an argument program exactly when it is \
+                             not count(*)",
+                            agg.name
+                        ),
+                    );
+                }
+                if let Some(arg) = &agg.arg {
+                    self.check_expr_combined(arg, full, &ctx, &site(&format!("aggregates[{i}]")));
+                }
+            }
+        }
+        if let Some(keys) = &programs.order_by {
+            for (i, key) in keys.iter().enumerate() {
+                match key {
+                    SortKey::Output(idx) => self.check(
+                        *idx < plan.projections.len(),
+                        ViolationKind::OrdinalOutOfRange,
+                        &site(&format!("order_by[{i}]")),
+                        || {
+                            format!(
+                                "sort key targets output column {idx} of {}",
+                                plan.projections.len()
+                            )
+                        },
+                    ),
+                    SortKey::Input(e) => {
+                        self.check_expr_combined(e, full, &ctx, &site(&format!("order_by[{i}]")));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Bound-check a program over one source's runtime schema and verify
+    /// scan-column coverage for that source.
+    fn check_expr_source(&mut self, e: &CompiledExpr, i: usize, ctx: &ProgramContext, site: &str) {
+        self.report.programs_checked += 1;
+        let mut cols = Vec::new();
+        e.collect_columns(&mut cols);
+        let Some(schema) = ctx.pred_schemas.get(i) else {
+            return;
+        };
+        for ordinal in cols {
+            self.report.checks_run += 1;
+            if ordinal >= schema.len() {
+                self.violation(
+                    ViolationKind::OrdinalOutOfRange,
+                    site.to_string(),
+                    format!(
+                        "program reads column {ordinal} of a {}-column source row",
+                        schema.len()
+                    ),
+                );
+                continue;
+            }
+            self.check_coverage(i, ordinal, ctx, site);
+        }
+    }
+
+    /// Bound-check a program over a prefix of the combined runtime schema
+    /// (width `limit`) and verify scan-column coverage per base table.
+    fn check_expr_combined(
+        &mut self,
+        e: &CompiledExpr,
+        limit: usize,
+        ctx: &ProgramContext,
+        site: &str,
+    ) {
+        self.report.programs_checked += 1;
+        let mut cols = Vec::new();
+        e.collect_columns(&mut cols);
+        for ordinal in cols {
+            self.report.checks_run += 1;
+            if ordinal >= limit {
+                self.violation(
+                    ViolationKind::OrdinalOutOfRange,
+                    site.to_string(),
+                    format!("program reads column {ordinal} of a {limit}-column row"),
+                );
+                continue;
+            }
+            // Map the combined ordinal back to (source, local ordinal).
+            let src = match ctx.offsets.binary_search(&ordinal) {
+                Ok(i) => i,
+                Err(i) => i.saturating_sub(1),
+            };
+            self.check_coverage(src, ordinal - ctx.offsets[src], ctx, site);
+        }
+    }
+
+    /// Check (d): the base-table column a program reads must be inside the
+    /// annotated scan-column union byte accounting and `BatchProgram`
+    /// construction rely on.
+    fn check_coverage(&mut self, source: usize, local: usize, ctx: &ProgramContext, site: &str) {
+        let Some(Some((table_schema, union))) = ctx.scan_unions.get(source) else {
+            return;
+        };
+        let Some((_, name)) = ctx
+            .pred_schemas
+            .get(source)
+            .and_then(|s| s.columns().get(local))
+        else {
+            return;
+        };
+        let Some(storage_ordinal) = table_schema.column_index(name) else {
+            return;
+        };
+        self.check(
+            union.contains(&storage_ordinal),
+            ViolationKind::ScanColumnNotCovered,
+            site,
+            || {
+                format!(
+                    "program reads column {name} (storage ordinal {storage_ordinal}) \
+                     outside the annotated scan-column union {union:?}"
+                )
+            },
+        );
+    }
+}
+
+/// Runtime layout context shared by the per-program checks.
+struct ProgramContext {
+    pred_schemas: Vec<RowSchema>,
+    combined: RowSchema,
+    offsets: Vec<usize>,
+    scan_unions: Vec<Option<(TableSchema, Vec<usize>)>>,
+}
+
+/// Can a zone-map comparison against `value` be meaningful for a column of
+/// type `ty`?  Numeric kinds (int/float/bool) compare with each other under
+/// [`Value::total_cmp`]; strings and blobs only with themselves.
+fn bound_type_compatible(value: &Value, ty: DataType) -> bool {
+    let numeric = |t: DataType| matches!(t, DataType::Int | DataType::Float | DataType::Bool);
+    match value.data_type() {
+        None => false, // NULL bounds never prune soundly
+        Some(vt) if numeric(vt) => numeric(ty),
+        Some(vt) => vt == ty,
+    }
+}
+
+/// Is `declared` strictly tighter than `derived` on this side?  `prefer` is
+/// the ordering that makes a bound tighter (`Greater` for lower bounds,
+/// `Less` for upper bounds).  A declared bound where derivation found none
+/// is tighter by definition.
+fn bound_stricter(
+    declared: &Option<(Value, bool)>,
+    derived: &Option<(Value, bool)>,
+    prefer: Ordering,
+) -> bool {
+    match (declared, derived) {
+        (None, _) => false,
+        (Some(_), None) => true,
+        (Some((dv, dinc)), Some((rv, rinc))) => match dv.total_cmp(rv) {
+            o if o == prefer => true,
+            Ordering::Equal => *rinc && !*dinc,
+            _ => false,
+        },
+    }
+}
+
+fn stricter_detail(declared: &ZoneConstraint, derived: &ZoneConstraint, side: &str) -> String {
+    format!(
+        "declared interval {} is stricter than the pushed predicate implies \
+         ({}) on the {side} bound — pruning could skip satisfying rows",
+        declared.render(),
+        derived.render()
+    )
+}

@@ -1,0 +1,254 @@
+//! The static plan verifier ([`skyserver_sql::verify_plan`]): clean plans
+//! stay clean (property-tested over generated queries), and seeded plan
+//! mutations are rejected with the right structured [`ViolationKind`].
+
+use proptest::prelude::*;
+use skyserver_sql::plan::ZoneConstraint;
+use skyserver_sql::{
+    parse_select, verify_plan, FunctionRegistry, Planner, SelectPlan, SqlEngine, ViolationKind,
+};
+use skyserver_storage::{ColumnDef, DataType, Database, IndexDef, TableSchema, Value};
+
+/// A small catalog: `t(id int indexed, v float, name str)` with enough rows
+/// that heap scans annotate zone constraints and scan columns.
+fn test_db(rows: usize) -> Database {
+    let mut db = Database::new("verify");
+    db.create_table(
+        "t",
+        TableSchema::new(vec![
+            ColumnDef::new("id", DataType::Int),
+            ColumnDef::new("v", DataType::Float),
+            ColumnDef::new("name", DataType::Str),
+        ]),
+    )
+    .unwrap();
+    db.create_index(IndexDef::new("ix_id", "t", &["id"]))
+        .unwrap();
+    for i in 0..rows {
+        db.insert(
+            "t",
+            vec![
+                Value::Int(i as i64),
+                Value::Float(i as f64 / 3.0),
+                Value::str(format!("row{i}")),
+            ],
+        )
+        .unwrap();
+    }
+    db
+}
+
+/// Plan `sql` against a fresh catalog and hand back plan + db for mutation.
+fn planned(sql: &str) -> (SelectPlan, Database) {
+    let db = test_db(64);
+    let functions = FunctionRegistry::new();
+    let stmt = parse_select(sql).expect("test SQL parses");
+    let plan = Planner::new(&db, &functions)
+        .plan_select(&stmt)
+        .expect("test SQL plans");
+    (plan, db)
+}
+
+fn kinds(plan: &SelectPlan, db: &Database) -> Vec<ViolationKind> {
+    verify_plan(plan, db)
+        .violations
+        .iter()
+        .map(|v| v.kind)
+        .collect()
+}
+
+#[test]
+fn well_formed_plans_verify_clean() {
+    for sql in [
+        "select count(*) from t",
+        "select id, v from t where id = 7",
+        "select top 5 v from t where v < 10.0 order by v desc",
+        "select name, count(*) as n from t group by name having count(*) > 0",
+        "select a.id, b.v from t as a join t as b on a.id = b.id where a.v < 3.0",
+    ] {
+        let (plan, db) = planned(sql);
+        let report = verify_plan(&plan, &db);
+        assert!(
+            report.is_clean(),
+            "{sql}: unexpected violations: {}",
+            report.render_violations()
+        );
+        assert!(report.checks_run > 0, "{sql}: verifier ran no checks");
+    }
+}
+
+#[test]
+fn out_of_range_scan_column_is_rejected() {
+    let (mut plan, db) = planned("select count(*) from t where v < 10.0");
+    plan.sources[0].scan_columns = Some(vec![999]);
+    let found = kinds(&plan, &db);
+    assert!(
+        found.contains(&ViolationKind::OrdinalOutOfRange),
+        "expected ordinal_out_of_range, got {found:?}"
+    );
+}
+
+#[test]
+fn wrong_input_schema_width_is_rejected() {
+    let (mut plan, db) = planned("select id, v from t where id = 3");
+    plan.input_schema = Default::default();
+    let found = kinds(&plan, &db);
+    assert!(
+        found.contains(&ViolationKind::SchemaWidthMismatch),
+        "expected schema_width_mismatch, got {found:?}"
+    );
+}
+
+#[test]
+fn overgrown_input_schema_is_rejected() {
+    let (mut plan, db) = planned("select id, v from t where id = 3");
+    plan.input_schema = plan.input_schema.join(&plan.input_schema);
+    let found = kinds(&plan, &db);
+    assert!(
+        found.contains(&ViolationKind::SchemaWidthMismatch),
+        "expected schema_width_mismatch, got {found:?}"
+    );
+}
+
+#[test]
+fn unsound_zone_constraint_is_rejected() {
+    // `v < 10.0` derives an upper bound for v; declaring a *lower* bound the
+    // predicate never implied could prune segments holding matching rows.
+    let (mut plan, db) = planned("select count(*) from t where v < 10.0");
+    assert!(
+        plan.sources[0].pushed_predicate.is_some(),
+        "test premise: the predicate is pushed to the scan"
+    );
+    plan.sources[0].zone_constraints.push(ZoneConstraint {
+        ordinal: 1,
+        column: "v".to_string(),
+        low: Some((Value::Float(5.0), true)),
+        high: None,
+    });
+    let found = kinds(&plan, &db);
+    assert!(
+        found.contains(&ViolationKind::ZoneConstraintUnsound),
+        "expected zone_constraint_unsound, got {found:?}"
+    );
+}
+
+#[test]
+fn tightened_zone_bound_is_rejected() {
+    let (mut plan, db) = planned("select count(*) from t where v < 10.0");
+    let constraint = plan.sources[0]
+        .zone_constraints
+        .iter_mut()
+        .find(|z| z.column == "v")
+        .expect("test premise: the scan annotates a zone constraint for v");
+    // The predicate implies v < 10.0; claiming v < 2.0 would prune segments
+    // whose rows satisfy the real predicate.
+    constraint.high = Some((Value::Float(2.0), false));
+    let found = kinds(&plan, &db);
+    assert!(
+        found.contains(&ViolationKind::ZoneConstraintUnsound),
+        "expected zone_constraint_unsound, got {found:?}"
+    );
+}
+
+#[test]
+fn program_arity_mismatch_is_rejected() {
+    let (mut plan, db) = planned("select id, v from t where v < 10.0");
+    let programs = plan.programs.as_mut().expect("plans compile by default");
+    programs.source_predicates.push(None);
+    let found = kinds(&plan, &db);
+    assert!(
+        found.contains(&ViolationKind::ProgramArityMismatch),
+        "expected program_arity_mismatch, got {found:?}"
+    );
+}
+
+#[test]
+fn limit_hint_without_its_rule_is_rejected() {
+    let (mut plan, db) = planned("select id from t where v < 10.0");
+    assert!(
+        !plan.rules_fired.contains(&"limit_pushdown"),
+        "test premise: no TOP means limit_pushdown must not fire"
+    );
+    plan.sources[0].limit_hint = Some(5);
+    let found = kinds(&plan, &db);
+    assert!(
+        found.contains(&ViolationKind::PlanShapeInconsistent),
+        "expected plan_shape_inconsistent, got {found:?}"
+    );
+}
+
+#[test]
+fn explain_verify_reports_the_summary_row() {
+    let db = test_db(16);
+    let engine = SqlEngine::new(db, FunctionRegistry::new());
+    let result = engine
+        .query("explain verify select top 3 id, v from t where id = 5 order by v")
+        .unwrap();
+    assert_eq!(result.columns, vec!["plan_verify".to_string()]);
+    assert_eq!(result.rows.len(), 1);
+    let cell = result.rows[0][0].to_string();
+    assert!(
+        cell.starts_with("plan verified:"),
+        "unexpected EXPLAIN VERIFY output: {cell}"
+    );
+}
+
+#[test]
+fn engine_verify_returns_a_structured_report() {
+    let db = test_db(16);
+    let engine = SqlEngine::new(db, FunctionRegistry::new());
+    let report = engine
+        .verify("select name, count(*) from t group by name")
+        .unwrap();
+    assert!(report.is_clean(), "{}", report.render_violations());
+    assert!(report.programs_checked > 0);
+    assert!(
+        engine.verify("set nocount on").is_err(),
+        "no SELECT to verify"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every plan the optimizer produces for a generated query passes the
+    /// verifier with zero findings — the pass never false-positives on
+    /// plans the planner actually emits.
+    #[test]
+    fn generated_queries_verify_clean(
+        rows in 0usize..80,
+        projection in 0usize..4,
+        predicate in 0usize..5,
+        needle in 0i64..80,
+        bound in -10.0..30.0f64,
+        top in 0u64..10,
+        order in 0usize..2,
+    ) {
+        let projection = ["count(*)", "id", "id, v", "name, v"][projection];
+        let predicate = match predicate {
+            0 => String::new(),
+            1 => format!(" where id = {needle}"),
+            2 => format!(" where id between {} and {}", needle / 2, needle),
+            3 => format!(" where v < {bound:.3}"),
+            _ => format!(" where v >= {bound:.3} and name like 'row%'"),
+        };
+        let top = if top == 0 { String::new() } else { format!("top {top} ") };
+        let aggregated = projection == "count(*)";
+        let order = if order == 1 && !aggregated { " order by id desc" } else { "" };
+        let sql = format!("select {top}{projection} from t{predicate}{order}");
+
+        let db = test_db(rows);
+        let functions = FunctionRegistry::new();
+        let stmt = parse_select(&sql).expect("generated SQL parses");
+        let plan = Planner::new(&db, &functions)
+            .with_verification(false)
+            .plan_select(&stmt)
+            .expect("generated SQL plans");
+        let report = verify_plan(&plan, &db);
+        prop_assert!(
+            report.is_clean(),
+            "{sql}: {}",
+            report.render_violations()
+        );
+    }
+}

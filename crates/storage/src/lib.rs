@@ -21,6 +21,7 @@
 //! The SQL layer (`skyserver-sql`) builds the parser, planner and executor
 //! on top of these primitives.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod database;

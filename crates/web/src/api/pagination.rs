@@ -127,7 +127,7 @@ pub fn paginate<'a>(
     let total = result.rows.len();
     let start = page.offset.min(total);
     let end = start.saturating_add(page.limit).min(total);
-    let rows = &result.rows[start..end];
+    let rows = result.rows.get(start..end).unwrap_or(&[]);
     let next_cursor = (end < total).then(|| encode_cursor(end, key));
     (
         rows,

@@ -83,7 +83,10 @@ impl<V> Lru<V> {
         if self.capacity == 0 {
             return None;
         }
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         inner.tick += 1;
         let tick = inner.tick;
         match inner.map.get_mut(key) {
@@ -110,7 +113,10 @@ impl<V> Lru<V> {
         {
             return;
         }
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         inner.tick += 1;
         let tick = inner.tick;
         // Replacing an entry releases its bytes before the budget check.
@@ -143,13 +149,19 @@ impl<V> Lru<V> {
     }
 
     fn clear(&self) {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         inner.map.clear();
         inner.total_bytes = 0;
     }
 
     fn stats(&self) -> CacheStats {
-        let inner = self.inner.lock().unwrap();
+        let inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),

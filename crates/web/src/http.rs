@@ -211,27 +211,34 @@ pub fn url_decode(s: &str) -> String {
     let bytes = s.as_bytes();
     let mut out = Vec::with_capacity(bytes.len());
     let mut i = 0;
-    while i < bytes.len() {
-        match bytes[i] {
-            b'%' if i + 2 < bytes.len()
-                && bytes[i + 1].is_ascii_hexdigit()
-                && bytes[i + 2].is_ascii_hexdigit() =>
-            {
-                let hex = std::str::from_utf8(&bytes[i + 1..i + 3]).unwrap();
-                out.push(u8::from_str_radix(hex, 16).unwrap());
+    while let Some(&b) = bytes.get(i) {
+        match (b, bytes.get(i + 1), bytes.get(i + 2)) {
+            (b'%', Some(&hi), Some(&lo)) if hi.is_ascii_hexdigit() && lo.is_ascii_hexdigit() => {
+                out.push((hex_val(hi) << 4) | hex_val(lo));
                 i += 3;
             }
-            b'+' => {
+            (b'+', _, _) => {
                 out.push(b' ');
                 i += 1;
             }
-            b => {
+            _ => {
                 out.push(b);
                 i += 1;
             }
         }
     }
     String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Value of one hex digit.  Total: callers guard with `is_ascii_hexdigit`,
+/// and any other byte maps to 0 rather than panicking on a request path.
+fn hex_val(b: u8) -> u8 {
+    match b {
+        b'0'..=b'9' => b - b'0',
+        b'a'..=b'f' => b - b'a' + 10,
+        b'A'..=b'F' => b - b'A' + 10,
+        _ => 0,
+    }
 }
 
 /// Decode `k=v&k2=v2` pairs (query strings and form bodies share the
@@ -365,7 +372,11 @@ impl HttpServer {
             workers.push(std::thread::spawn(move || loop {
                 // Holding the lock only while waiting: once a connection is
                 // received the lock drops and the next worker can wait.
-                let stream = match rx.lock().unwrap().recv() {
+                let stream = match rx
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .recv()
+                {
                     Ok(stream) => stream,
                     // All senders are gone: the accept loop exited.
                     Err(_) => break,

@@ -232,7 +232,10 @@ impl JobQueue {
             next_id: AtomicU64::new(1),
             workers: Mutex::new(Vec::new()),
         });
-        let mut workers = queue.workers.lock().unwrap();
+        let mut workers = queue
+            .workers
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         for _ in 0..config.workers.max(1) {
             let queue = Arc::clone(&queue);
             let runner = Arc::clone(&runner);
@@ -254,7 +257,10 @@ impl JobQueue {
     /// run.  Called by the site on drop; idempotent.
     pub fn shutdown(&self) {
         {
-            let mut inner = self.inner.lock().unwrap();
+            let mut inner = self
+                .inner
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             inner.shutdown = true;
             for job in inner.jobs.values() {
                 if job.state == JobState::Running {
@@ -263,7 +269,12 @@ impl JobQueue {
             }
         }
         self.work_ready.notify_all();
-        for handle in self.workers.lock().unwrap().drain(..) {
+        for handle in self
+            .workers
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .drain(..)
+        {
             let _ = handle.join();
         }
     }
@@ -273,7 +284,10 @@ impl JobQueue {
     /// scan's catalog snapshot, so running jobs are sacrificed (they end
     /// `Cancelled`; queued jobs survive and run against the new catalog).
     pub fn cancel_running(&self) {
-        let inner = self.inner.lock().unwrap();
+        let inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         for job in inner.jobs.values() {
             if job.state == JobState::Running {
                 job.monitor.cancel();
@@ -284,7 +298,10 @@ impl JobQueue {
     /// Submit a read-only SQL script as a batch job.  Returns the job id,
     /// or a quota error explaining which per-submitter limit was hit.
     pub fn submit(&self, submitter: &str, sql: &str) -> Result<u64, String> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         Self::collect_expired(&mut inner, &self.config);
         let active = inner
             .jobs
@@ -337,7 +354,10 @@ impl JobQueue {
 
     /// A snapshot of one job (`None` if unknown or already expired).
     pub fn status(&self, id: u64) -> Option<JobStatus> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         Self::collect_expired(&mut inner, &self.config);
         let position = inner.queue.iter().position(|&q| q == id);
         inner.jobs.get(&id).map(|j| j.status(position))
@@ -347,15 +367,19 @@ impl JobQueue {
     /// explain every other state (unknown/expired, still pending, failed,
     /// cancelled).
     pub fn result(&self, id: u64) -> Result<Arc<ResultSet>, String> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         Self::collect_expired(&mut inner, &self.config);
         let Some(job) = inner.jobs.get(&id) else {
             return Err(format!("no job {id} (unknown id, or its result expired)"));
         };
         match job.state {
-            JobState::Done => Ok(Arc::clone(
-                job.result.as_ref().expect("Done job stores a result"),
-            )),
+            JobState::Done => match job.result.as_ref() {
+                Some(result) => Ok(Arc::clone(result)),
+                None => Err(format!("job {id} finished without a stored result")),
+            },
             JobState::Queued | JobState::Running => Err(format!(
                 "job {id} is still {}; poll its status until it is done",
                 job.state
@@ -373,7 +397,10 @@ impl JobQueue {
     /// (poll the status to observe `Cancelled`).  Returns the state after
     /// the cancel request, `None` for unknown ids.
     pub fn cancel(&self, id: u64) -> Option<JobState> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         Self::collect_expired(&mut inner, &self.config);
         let job = inner.jobs.get_mut(&id)?;
         match job.state {
@@ -395,7 +422,10 @@ impl JobQueue {
     /// Snapshots of every job, newest first, optionally filtered to one
     /// submitter (the My Jobs page).
     pub fn jobs(&self, submitter: Option<&str>) -> Vec<JobStatus> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         Self::collect_expired(&mut inner, &self.config);
         let mut out: Vec<JobStatus> = inner
             .jobs
@@ -423,7 +453,10 @@ impl JobQueue {
         loop {
             // Wait for a runnable job (or shutdown).
             let (id, sql, monitor) = {
-                let mut inner = queue.inner.lock().unwrap();
+                let mut inner = queue
+                    .inner
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
                 loop {
                     if inner.shutdown {
                         return;
@@ -442,7 +475,10 @@ impl JobQueue {
                         break found;
                     }
                     if inner.queue.is_empty() {
-                        inner = queue.work_ready.wait(inner).unwrap();
+                        inner = queue
+                            .work_ready
+                            .wait(inner)
+                            .unwrap_or_else(std::sync::PoisonError::into_inner);
                     }
                 }
             };
@@ -452,7 +488,10 @@ impl JobQueue {
                 max_seconds: queue.config.max_seconds,
             };
             let outcome = runner(&sql, limits, &monitor);
-            let mut inner = queue.inner.lock().unwrap();
+            let mut inner = queue
+                .inner
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             // The job can only disappear via TTL GC, which never collects
             // non-finished jobs — but a lost record must not kill a worker.
             if let Some(job) = inner.jobs.get_mut(&id) {

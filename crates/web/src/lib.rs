@@ -24,6 +24,7 @@
 //! * the site-traffic simulator and analyser ([`traffic`]) that regenerate
 //!   Figure 5 and the §7 operations statistics.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod api;

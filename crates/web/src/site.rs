@@ -26,7 +26,7 @@ use crate::formats::OutputFormat;
 use crate::http::{HttpServer, Request, Response};
 use crate::jobs::{JobQueue, JobQueueConfig, JobRunner};
 use crate::traffic::{LogRecord, Section};
-use skyserver::SkyServer;
+use skyserver::{SkyServer, Value};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
@@ -83,7 +83,10 @@ impl SkyServerSite {
         // (exactly like in-flight interactive requests).
         let job_slot = Arc::clone(&sky);
         let runner: Arc<JobRunner> = Arc::new(move |sql, limits, monitor| {
-            let snapshot = job_slot.read().unwrap().clone();
+            let snapshot = job_slot
+                .read()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .clone();
             snapshot
                 .execute_batch(sql, limits, monitor)
                 .map(|outcome| outcome.result)
@@ -109,7 +112,10 @@ impl SkyServerSite {
     /// The returned `Arc` stays valid for the whole request even if an
     /// admin swap happens concurrently.
     pub(crate) fn sky(&self) -> Arc<SkyServer> {
-        self.sky.read().unwrap().clone()
+        self.sky
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
     }
 
     /// The materialized-rows cache backing API cursor walks.
@@ -129,7 +135,10 @@ impl SkyServerSite {
     /// catalog.  Stored job results are deliberately *not* invalidated: a
     /// job's result reflects the catalog at its run time.
     pub fn with_admin<R>(&self, f: impl FnOnce(&mut SkyServer) -> R) -> R {
-        let mut slot = self.sky.write().unwrap();
+        let mut slot = self
+            .sky
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         self.jobs.cancel_running();
         loop {
             // In-flight requests hold clones of the Arc; once they finish
@@ -149,7 +158,10 @@ impl SkyServerSite {
     /// snapshots to drain before swapping — otherwise a request rendered
     /// from the old catalog could repopulate the cache *after* the clear.
     pub fn replace(&self, sky: SkyServer) {
-        let mut slot = self.sky.write().unwrap();
+        let mut slot = self
+            .sky
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         // As in `with_admin`: don't wait out running batch scans.
         self.jobs.cancel_running();
         while Arc::strong_count(&slot) > 1 {
@@ -167,7 +179,10 @@ impl SkyServerSite {
 
     /// The request log accumulated so far (feeds the traffic analyser).
     pub fn request_log(&self) -> Vec<LogRecord> {
-        self.log.lock().unwrap().clone()
+        self.log
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
     }
 
     /// Start an HTTP server for this site on the given port (0 = ephemeral).
@@ -197,16 +212,19 @@ impl SkyServerSite {
         let section = section_of_path(&req.path);
         let session = self.session_counter.fetch_add(1, Ordering::Relaxed) + 1;
         let day = (self.started.elapsed().as_secs() / 86_400) as u32;
-        self.log.lock().unwrap().push(LogRecord {
-            day,
-            session,
-            section,
-            // API traffic is machine clients, never page views; its
-            // non-200 responses are counted via `status` instead.
-            page_view: status == 200 && section != Section::Api,
-            crawler: false,
-            status,
-        });
+        self.log
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push(LogRecord {
+                day,
+                session,
+                section,
+                // API traffic is machine clients, never page views; its
+                // non-200 responses are counted via `status` instead.
+                page_view: status == 200 && section != Section::Api,
+                crawler: false,
+                status,
+            });
     }
 
     fn route(&self, req: &Request) -> Response {
@@ -278,14 +296,16 @@ impl SkyServerSite {
         {
             Ok(result) => {
                 let mut html = String::from("<html><body><h1>Famous places</h1><ul>");
+                let f64_at =
+                    |row: &[Value], i: usize| row.get(i).and_then(Value::as_f64).unwrap_or(0.0);
                 for row in &result.rows {
-                    let id = row[0].as_i64().unwrap_or(0);
+                    let id = row.first().and_then(Value::as_i64).unwrap_or(0);
                     html.push_str(&format!(
                         "<li>Galaxy {id} at ({:.4}, {:.4}) r={:.2} \
                          <a href=\"/en/tools/explore?id={id}\">explore</a></li>",
-                        row[1].as_f64().unwrap_or(0.0),
-                        row[2].as_f64().unwrap_or(0.0),
-                        row[3].as_f64().unwrap_or(0.0),
+                        f64_at(row, 1),
+                        f64_at(row, 2),
+                        f64_at(row, 3),
                     ));
                 }
                 html.push_str("</ul></body></html>");
@@ -338,9 +358,9 @@ impl SkyServerSite {
                     .iter()
                     .map(|r| {
                         serde_json::json!({
-                            "objID": r[0].as_i64(),
-                            "type": r[1].as_i64(),
-                            "distance_arcmin": r[2].as_f64(),
+                            "objID": r.first().and_then(Value::as_i64),
+                            "type": r.get(1).and_then(Value::as_i64),
+                            "distance_arcmin": r.get(2).and_then(Value::as_f64),
                         })
                     })
                     .collect();
@@ -417,7 +437,10 @@ impl SkyServerSite {
     }
 
     fn traffic_page(&self) -> Response {
-        let log = self.log.lock().unwrap();
+        let log = self
+            .log
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         // API traffic is attributed separately from page views, and its
         // structured error responses separately again (§7's taxonomy
         // gains a machine-client column).

@@ -297,7 +297,9 @@ pub fn analyze_traffic(log: &[LogRecord], config: &TrafficConfig) -> TrafficRepo
                 _ => {}
             }
         }
-        sessions_per_day[r.day as usize].insert(r.session);
+        if let Some(day) = sessions_per_day.get_mut(r.day as usize) {
+            day.insert(r.session);
+        }
     }
     for (d, s) in daily.iter_mut().zip(&sessions_per_day) {
         d.sessions = s.len() as u64;

@@ -1,0 +1,36 @@
+//! `EXPLAIN VERIFY` end-to-end over the serving tier: the statement only
+//! plans (never executes), so the public read-only SQL page can serve it
+//! like any other read statement.
+
+use skyserver::SkyServerBuilder;
+use skyserver_web::{http_get, SkyServerSite};
+
+#[test]
+fn explain_verify_over_the_public_sql_page() {
+    let sky = SkyServerBuilder::new().tiny().build().unwrap();
+    let site = SkyServerSite::new(sky);
+    let server = site.serve(0).unwrap();
+
+    let cmd = "explain verify select top 3 objID, ra from PhotoObj where type = 3";
+    let encoded: String = cmd
+        .chars()
+        .map(|c| {
+            if c == ' ' {
+                "%20".to_string()
+            } else {
+                c.to_string()
+            }
+        })
+        .collect();
+    let (status, body) = http_get(
+        server.addr(),
+        &format!("/en/tools/search/x_sql?cmd={encoded}&format=json"),
+    )
+    .unwrap();
+    assert_eq!(status, 200, "{body}");
+    assert!(
+        body.contains("plan_verify") && body.contains("plan verified:"),
+        "unexpected EXPLAIN VERIFY body over HTTP: {body}"
+    );
+    server.stop();
+}

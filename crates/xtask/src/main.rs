@@ -1,0 +1,123 @@
+//! Workspace automation tasks (`cargo run -p xtask -- <task>`).
+//!
+//! The only task today is `lint` — the **skylint** repo-specific lint pass
+//! described in ARCHITECTURE.md ("Static analysis & verification").  It is
+//! wired into CI as a named step and fails the build on any finding.
+
+#![forbid(unsafe_code)]
+
+mod lexer;
+mod lints;
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => run_lint(),
+        Some(other) => {
+            eprintln!("unknown task: {other}");
+            eprintln!("usage: cargo run -p xtask -- lint");
+            ExitCode::FAILURE
+        }
+        None => {
+            eprintln!("usage: cargo run -p xtask -- lint");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_lint() -> ExitCode {
+    let root = workspace_root();
+    match lints::run(&root) {
+        Ok(findings) if findings.is_empty() => {
+            println!("skylint: clean");
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for f in &findings {
+                println!("{f}");
+            }
+            println!("skylint: {} finding(s)", findings.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("skylint: io error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The workspace root: `CARGO_MANIFEST_DIR` is `crates/xtask`.
+fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::lexer::{lex, strip_cfg_test};
+
+    #[test]
+    fn lexer_skips_comments_strings_and_lifetimes() {
+        let src = r##"
+            // a .unwrap() in a comment
+            /* panic!("nested /* block */ comment") */
+            fn f<'a>(s: &'a str) -> char {
+                let _msg = "contains .unwrap() and panic!";
+                let _raw = r#"also .expect( inside"#;
+                '\n'
+            }
+        "##;
+        let lexed = lex(src);
+        let texts: Vec<&str> = lexed.tokens.iter().map(|t| t.text.as_str()).collect();
+        assert!(!texts.contains(&"unwrap"));
+        assert!(!texts.contains(&"panic"));
+        assert!(!texts.contains(&"expect"));
+        assert!(texts.contains(&"fn"));
+    }
+
+    #[test]
+    fn cfg_test_blocks_are_stripped() {
+        let src = r#"
+            fn live() { work(); }
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { x.unwrap(); }
+            }
+            fn also_live() {}
+        "#;
+        let tokens = strip_cfg_test(lex(src).tokens);
+        let texts: Vec<&str> = tokens.iter().map(|t| t.text.as_str()).collect();
+        assert!(!texts.contains(&"unwrap"));
+        assert!(texts.contains(&"live"));
+        assert!(texts.contains(&"also_live"));
+    }
+
+    #[test]
+    fn allow_directives_parse() {
+        let src = "// skylint: allow(no-unwrap) checked two lines above\nx.unwrap();\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.allows.len(), 1);
+        assert_eq!(lexed.allows[0].lint, "no-unwrap");
+        assert_eq!(lexed.allows[0].reason, "checked two lines above");
+        assert_eq!(lexed.allows[0].line, 1);
+    }
+
+    #[test]
+    fn the_workspace_is_lint_clean() {
+        let findings = crate::lints::run(&crate::workspace_root()).unwrap();
+        let rendered: Vec<String> = findings.iter().map(ToString::to_string).collect();
+        assert!(
+            rendered.is_empty(),
+            "skylint findings:\n{}",
+            rendered.join("\n")
+        );
+    }
+}
