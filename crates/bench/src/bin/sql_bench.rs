@@ -1,6 +1,6 @@
 //! The tracked SQL-executor performance suite.
 //!
-//! Two phases, one artifact:
+//! Three phases, one artifact:
 //!
 //! 1. **Microbenches** on a synthetic 100k+ row catalog: the scan / filter /
 //!    join / aggregate hot paths, each measured three times — with the
@@ -13,8 +13,15 @@
 //!    (`segments_pruned`, `batches_processed`, `bytes_scanned`).
 //! 2. **The documented query suite**: every data-mining query from
 //!    `docs/QUERIES.md` runs end to end on a tiny SkyServer; per-query wall
-//!    time, row count, plan class and raw scan counters go into the report,
-//!    and any error or invariant violation fails the run.
+//!    time, row count, estimated cardinality, plan class and raw scan
+//!    counters go into the report, and any error or invariant violation
+//!    fails the run.
+//! 3. **Join ordering**: the pathological `Neighbors`/`PhotoObj` self-join
+//!    queries (Q14/Q17/Q18) run with the cost-based join-ordering pass on
+//!    and off (`set_cost_based_ordering`), recording wall time,
+//!    `predicates_evaluated` and the estimate's q-error.  Validation fails
+//!    if a cost-based plan evaluates more predicates than the syntactic
+//!    order, or if Q14/Q18 lose their >= 2x predicate reduction.
 //!
 //! Output is written to `BENCH_SQL.json` (override with `--out`), then
 //! re-read and validated: missing keys, a short query list or any query
@@ -193,12 +200,16 @@ fn run_query_suite(compiled: bool) -> (f64, Vec<QueryReport>) {
 
 fn query_json(r: &QueryReport) -> String {
     format!(
-        "{{\"id\": \"{}\", \"rows\": {}, \"wall_ms\": {:.3}, \"plan_class\": \"{}\", \
+        "{{\"id\": \"{}\", \"rows\": {}, \"est_rows\": {}, \"wall_ms\": {:.3}, \
+         \"plan_class\": \"{}\", \
          \"rules_fired\": {}, \"rows_scanned\": {}, \"rows_from_index\": {}, \
          \"predicates_evaluated\": {}, \"bytes_scanned\": {}, \"segments_pruned\": {}, \
          \"batches_processed\": {}, \"violations\": {}}}",
         r.id,
         r.rows,
+        r.est_rows
+            .map(|n| n.to_string())
+            .unwrap_or_else(|| "null".into()),
         r.wall_seconds * 1e3,
         r.plan_class,
         r.rules_fired.len(),
@@ -210,6 +221,80 @@ fn query_json(r: &QueryReport) -> String {
         r.batches_processed,
         r.violations.len()
     )
+}
+
+/// The queries whose plans the cost-based join-ordering pass rewrites most
+/// aggressively (the `Neighbors`/`PhotoObj` self-join family): the phase
+/// runs each with the pass on and off and records the plan-cost delta.
+const JOIN_ORDERING_QUERIES: [&str; 3] = ["Q14", "Q17", "Q18"];
+
+/// Symmetric q-error between an estimate and an actual row count, with +1
+/// smoothing so empty results stay finite.
+fn q_error(est: u64, actual: u64) -> f64 {
+    let e = est as f64 + 1.0;
+    let a = actual as f64 + 1.0;
+    (e / a).max(a / e)
+}
+
+/// Phase: measure the cost-based join-ordering pass against the syntactic
+/// baseline (`set_cost_based_ordering(false)`) on the pathological
+/// self-join queries.  Returns the `join_ordering` JSON object.
+fn join_ordering_phase(runs: usize) -> String {
+    let mut on = build_server(Scale::Tiny);
+    let mut off = build_server(Scale::Tiny);
+    off.engine_mut().set_cost_based_ordering(false);
+    let queries = twenty_queries();
+    let mut entries = Vec::new();
+    let mut max_q = 0.0f64;
+    for id in JOIN_ORDERING_QUERIES {
+        let q = queries
+            .iter()
+            .find(|q| q.id == id)
+            .unwrap_or_else(|| panic!("join-ordering query {id} missing from the suite"));
+        let sql = q.sql.trim();
+        let summary = on.plan_summary(sql).expect("plan the cost-based query");
+        let (on_ms, on_stats) = measure_read(on.engine_mut(), sql, runs);
+        let (off_ms, off_stats) = measure_read(off.engine_mut(), sql, runs);
+        let est = summary.est_rows.unwrap_or(0);
+        let qe = q_error(est, on_stats.1 as u64);
+        max_q = max_q.max(qe);
+        let ratio = off_stats.0 as f64 / (on_stats.0 as f64).max(1.0);
+        eprintln!(
+            "  {id}: cost-on {on_ms:>9.2} ms / {} preds, cost-off {off_ms:>9.2} ms / {} preds \
+             ({ratio:.0}x fewer predicates), q-error {qe:.2}",
+            on_stats.0, off_stats.0
+        );
+        entries.push(format!(
+            "      {{\"id\": \"{id}\", \"est_rows\": {est}, \"rows\": {}, \"q_error\": {qe:.3}, \
+             \"cost_on\": {{\"wall_ms\": {on_ms:.3}, \"predicates_evaluated\": {}}}, \
+             \"cost_off\": {{\"wall_ms\": {off_ms:.3}, \"predicates_evaluated\": {}}}, \
+             \"predicate_ratio\": {ratio:.2}}}",
+            on_stats.1, on_stats.0, off_stats.0
+        ));
+    }
+    format!(
+        "{{\n    \"queries\": [\n{}\n    ],\n    \"max_q_error\": {max_q:.3}\n  }}",
+        entries.join(",\n")
+    )
+}
+
+/// Median wall ms plus (predicates_evaluated, rows) through the read path.
+fn measure_read(engine: &mut SqlEngine, sql: &str, runs: usize) -> (f64, (u64, usize)) {
+    let warm = engine
+        .execute(sql, QueryLimits::UNLIMITED)
+        .unwrap_or_else(|e| panic!("join-ordering query failed: {e}\n  sql: {sql}"));
+    let stats = (warm.stats.stats.predicates_evaluated, warm.result.len());
+    let mut samples = Vec::with_capacity(runs);
+    for _ in 0..runs {
+        let started = Instant::now();
+        let out = engine
+            .execute(sql, QueryLimits::UNLIMITED)
+            .expect("join-ordering query failed on a timed run");
+        assert_eq!(out.result.len(), stats.1, "non-deterministic query");
+        samples.push(started.elapsed().as_secs_f64() * 1e3);
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    (samples[samples.len() / 2], stats)
 }
 
 fn main() {
@@ -328,12 +413,19 @@ fn main() {
         .map(|r| format!("      {}", query_json(r)))
         .collect();
 
+    // ----------------------------------------------------------------------
+    // Phase 3: cost-based join ordering vs the syntactic baseline.
+    // ----------------------------------------------------------------------
+    eprintln!("measuring the cost-based join-ordering pass (on vs off)...");
+    let join_ordering_json = join_ordering_phase(runs);
+
     let report = format!(
         "{{\n  \"bench\": \"sql_exec\",\n  \"mode\": \"{}\",\n  \"microbench_rows\": {},\n  \
          \"runs_per_measurement\": {},\n  \"microbenches\": {{\n{}\n  }},\n  \
          \"query_suite\": {{\n    \"scale\": \"tiny\",\n    \"count\": {},\n    \
          \"interpreted_wall_s\": {:.3},\n    \"compiled_wall_s\": {:.3},\n    \
-         \"speedup\": {:.2},\n    \"queries\": [\n{}\n    ]\n  }}\n}}",
+         \"speedup\": {:.2},\n    \"queries\": [\n{}\n    ]\n  }},\n  \
+         \"join_ordering\": {}\n}}",
         if quick { "quick" } else { "full" },
         rows,
         runs,
@@ -343,12 +435,13 @@ fn main() {
         compiled_wall,
         interpreted_wall / compiled_wall.max(1e-9),
         queries_json.join(",\n"),
+        join_ordering_json,
     );
     std::fs::write(&out, format!("{report}\n")).expect("write BENCH_SQL.json");
     eprintln!("wrote {out}");
 
     // ----------------------------------------------------------------------
-    // Phase 3: validate the artifact (the CI smoke contract).
+    // Phase 4: validate the artifact (the CI smoke contract).
     // ----------------------------------------------------------------------
     let raw = std::fs::read_to_string(&out).expect("re-read the report");
     let parsed: serde_json::Value = serde_json::from_str(&raw).unwrap_or_else(|e| {
@@ -356,7 +449,7 @@ fn main() {
         std::process::exit(1);
     });
     let mut problems = Vec::new();
-    for key in ["bench", "microbenches", "query_suite"] {
+    for key in ["bench", "microbenches", "query_suite", "join_ordering"] {
         if parsed.get(key).is_none() {
             problems.push(format!("missing top-level key {key:?}"));
         }
@@ -420,6 +513,58 @@ fn main() {
                     if q.get(key).and_then(|v| v.as_u64()).is_none() {
                         problems.push(format!("query {:?} has no {key}", q.get("id")));
                     }
+                }
+                if q.get("est_rows").is_none() {
+                    problems.push(format!("query {:?} has no est_rows", q.get("id")));
+                }
+            }
+        }
+    }
+    // The join-ordering phase must show the cost-based pass paying off: an
+    // optimized plan evaluating MORE predicates than the syntactic order is
+    // a cost-model regression, and Q14/Q18 specifically must keep their
+    // >= 2x predicate reduction (the pathological self-join cross products).
+    match parsed
+        .get("join_ordering")
+        .and_then(|j| j.get("queries"))
+        .and_then(|q| q.as_array())
+    {
+        None => problems.push("join_ordering.queries missing".into()),
+        Some(list) => {
+            for id in JOIN_ORDERING_QUERIES {
+                let Some(entry) = list
+                    .iter()
+                    .find(|e| e.get("id").and_then(|v| v.as_str()) == Some(id))
+                else {
+                    problems.push(format!("join_ordering has no entry for {id}"));
+                    continue;
+                };
+                let preds = |side: &str| {
+                    entry
+                        .get(side)
+                        .and_then(|s| s.get("predicates_evaluated"))
+                        .and_then(|v| v.as_u64())
+                };
+                match (preds("cost_on"), preds("cost_off")) {
+                    (Some(on), Some(off)) => {
+                        if on > off {
+                            problems.push(format!(
+                                "{id}: cost-based plan evaluates more predicates \
+                                 ({on}) than the syntactic order ({off})"
+                            ));
+                        }
+                        if (id == "Q14" || id == "Q18") && on.saturating_mul(2) > off {
+                            problems.push(format!(
+                                "{id}: predicate reduction below 2x ({off} -> {on})"
+                            ));
+                        }
+                    }
+                    _ => problems.push(format!(
+                        "{id}: join_ordering entry missing predicates_evaluated"
+                    )),
+                }
+                if entry.get("q_error").and_then(|v| v.as_f64()).is_none() {
+                    problems.push(format!("{id}: join_ordering entry has no q_error"));
                 }
             }
         }

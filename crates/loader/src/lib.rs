@@ -100,6 +100,9 @@ pub fn load_survey(engine: &mut SqlEngine, survey: &Survey) -> Result<LoadReport
     let pyramid = build_pyramid(db, ts)?;
     let fk_violations = db.validate_foreign_keys();
     db.set_enforce_foreign_keys(true);
+    // Final publish point: every table (including the derived Neighbors and
+    // pyramid tables) gets fresh optimizer statistics.
+    db.analyze_all();
     // Let the engine report paper-scale timing projections.
     engine.set_paper_scale_factor(Some(survey.paper_scale_factor()));
     Ok(LoadReport {

@@ -61,6 +61,11 @@ pub fn load_csv_step(
             Err(e) => insert_errors.push(e.to_string()),
         }
     }
+    if inserted > 0 {
+        // Each load step is a publish point: refresh the table's optimizer
+        // statistics while the batch is hot.
+        db.analyze_table(table_name)?;
+    }
     let stop_ts = db.next_timestamp();
     let failed = !parsed.errors.is_empty() || !insert_errors.is_empty();
     let mut trace = format!(

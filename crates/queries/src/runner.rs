@@ -30,6 +30,10 @@ pub struct QueryReport {
     pub plan_class: PlanClass,
     /// The optimizer rules that produced the plan, in pipeline order.
     pub rules_fired: Vec<String>,
+    /// The optimizer's estimated result cardinality (the statistics
+    /// model's `est_rows` for the whole plan; compare with `rows` for the
+    /// query's q-error).
+    pub est_rows: Option<u64>,
     /// Violated invariants (empty = the query behaved as documented).
     pub violations: Vec<String>,
     /// Heap rows read by full scans (raw counter; `BENCH_SQL.json` tracks
@@ -79,6 +83,7 @@ pub fn run_query(server: &mut SkyServer, query: &QuerySpec) -> Result<QueryRepor
         paper_elapsed_seconds: paper.elapsed_seconds,
         plan_class,
         rules_fired: summary.rules_fired.iter().map(|r| r.to_string()).collect(),
+        est_rows: summary.est_rows,
         violations,
         rows_scanned: stats.stats.rows_scanned,
         rows_from_index: stats.stats.rows_from_index,

@@ -67,6 +67,11 @@ pub struct SqlEngine {
     /// fail the statement on violations.  Debug builds always verify; this
     /// flag opts release builds in ([`SqlEngine::set_plan_verification`]).
     verify_plans: bool,
+    /// Let the optimizer reorder joins and re-cost access paths from table
+    /// statistics (default).  Off = syntactic join order; the baseline the
+    /// join-ordering bench phase and the equivalence proptest compare
+    /// against ([`SqlEngine::set_cost_based_ordering`]).
+    cost_based_ordering: bool,
     /// Cumulative execution counters (atomics: bumped through `&self` by
     /// concurrent readers).
     counters: EngineCounters,
@@ -100,6 +105,9 @@ pub struct PlanSummary {
     pub class: PlanClass,
     /// The optimizer rules that fired, in pipeline order.
     pub rules_fired: Vec<&'static str>,
+    /// Estimated result rows from the statistics model (`None` for
+    /// statements the planner does not estimate, e.g. DML).
+    pub est_rows: Option<u64>,
 }
 
 impl SqlEngine {
@@ -116,6 +124,7 @@ impl SqlEngine {
             compile_expressions: true,
             vectorized: true,
             verify_plans: false,
+            cost_based_ordering: true,
             counters: EngineCounters::default(),
         }
     }
@@ -127,6 +136,15 @@ impl SqlEngine {
             .with_expression_compilation(self.compile_expressions)
             .with_vectorized(self.vectorized)
             .with_verification(self.verify_plans || cfg!(debug_assertions))
+            .with_cost_based_ordering(self.cost_based_ordering)
+    }
+
+    /// Enable or disable statistics-driven join ordering and access-path
+    /// costing (on by default).  Disabling pins the syntactic join order —
+    /// the baseline for the join-ordering bench phase and the escape hatch
+    /// if an estimate misfires.
+    pub fn set_cost_based_ordering(&mut self, enabled: bool) {
+        self.cost_based_ordering = enabled;
     }
 
     /// Enable or disable compiled expression programs (on by default).
@@ -370,6 +388,7 @@ impl SqlEngine {
                 return Ok(PlanSummary {
                     class: plan.plan_class(),
                     rules_fired: plan.rules_fired,
+                    est_rows: plan.est_rows,
                 });
             }
         }

@@ -145,6 +145,10 @@ pub struct SourcePlan {
     /// accounting charges only these columns; `None` means the planner
     /// could not prove a subset and the whole row is charged.
     pub scan_columns: Option<Vec<usize>>,
+    /// Estimated rows this source produces after its pushed predicate,
+    /// from the table statistics + selectivity model.  `EXPLAIN` prints it
+    /// and the cardinality-accuracy harness pins its q-error.
+    pub est_rows: Option<u64>,
 }
 
 /// The kinds of plan sources.
@@ -182,6 +186,8 @@ pub struct JoinStep {
     /// Residual predicate evaluated on the combined row (anything the
     /// strategy's key comparison does not already guarantee).
     pub residual: Option<Expr>,
+    /// Estimated rows the join produces (NDV-based containment model).
+    pub est_rows: Option<u64>,
 }
 
 /// Join algorithms.
@@ -252,6 +258,9 @@ pub struct SelectPlan {
     /// evaluation.  Only effective when `programs` is present; counters and
     /// results are identical either way.
     pub vectorized: bool,
+    /// Estimated rows of the whole plan (after joins and the residual
+    /// filter, before aggregation/TOP), from the selectivity model.
+    pub est_rows: Option<u64>,
 }
 
 impl SelectPlan {
@@ -347,7 +356,11 @@ impl SelectPlan {
             indent += 1;
         }
         let proj: Vec<&str> = self.projections.iter().map(|(_, n)| n.as_str()).collect();
-        push_line(&mut out, indent, &format!("Project({})", proj.join(", ")));
+        push_line(
+            &mut out,
+            indent,
+            &format!("Project({}){}", proj.join(", "), render_est(self.est_rows)),
+        );
         indent += 1;
         if let Some(r) = &self.residual {
             push_line(&mut out, indent, &format!("Filter({})", render_expr(r)));
@@ -397,7 +410,11 @@ impl SelectPlan {
             JoinKind::Left => " (left outer)",
             JoinKind::Cross => " (cross)",
         };
-        push_line(out, indent, &format!("{strategy}{kind}"));
+        push_line(
+            out,
+            indent,
+            &format!("{strategy}{kind}{}", render_est(step.est_rows)),
+        );
         self.render_join_tree(out, indent + 1, upto - 1);
         render_source(out, indent + 1, &self.sources[upto - 1]);
     }
@@ -488,7 +505,11 @@ fn render_source(out: &mut String, indent: usize, source: &SourcePlan) {
             push_line(
                 out,
                 indent,
-                &format!("{access} AS {}{pred}{limit}{zones}", source.alias),
+                &format!(
+                    "{access} AS {}{pred}{limit}{zones}{}",
+                    source.alias,
+                    render_est(source.est_rows)
+                ),
             );
         }
         SourceKind::TableFunction { name, args } => {
@@ -497,19 +518,30 @@ fn render_source(out: &mut String, indent: usize, source: &SourcePlan) {
                 out,
                 indent,
                 &format!(
-                    "TableFunction({name}({})) AS {}",
+                    "TableFunction({name}({})) AS {}{}",
                     a.join(", "),
-                    source.alias
+                    source.alias,
+                    render_est(source.est_rows)
                 ),
             );
         }
         SourceKind::Derived { plan } => {
-            push_line(out, indent, &format!("Derived AS {}", source.alias));
+            push_line(
+                out,
+                indent,
+                &format!("Derived AS {}{}", source.alias, render_est(source.est_rows)),
+            );
             for line in plan.render().lines() {
                 push_line(out, indent + 1, line.trim_start());
             }
         }
     }
+}
+
+/// ` est_rows=N` suffix for plan nodes carrying an estimate (empty before
+/// the estimate annotation pass runs).
+fn render_est(est: Option<u64>) -> String {
+    est.map(|n| format!(" est_rows={n}")).unwrap_or_default()
 }
 
 fn push_line(out: &mut String, indent: usize, text: &str) {
@@ -602,6 +634,7 @@ mod tests {
             limit_hint: None,
             zone_constraints: Vec::new(),
             scan_columns: None,
+            est_rows: None,
         }
     }
 
@@ -628,6 +661,7 @@ mod tests {
             rules_fired: Vec::new(),
             programs: None,
             vectorized: false,
+            est_rows: None,
         }
     }
 
@@ -665,6 +699,7 @@ mod tests {
                 kind: JoinKind::Inner,
                 strategy: JoinStrategy::NestedLoop,
                 residual: None,
+                est_rows: None,
             }],
         );
         assert_eq!(join_scan.plan_class(), PlanClass::JoinScan);
@@ -685,6 +720,7 @@ mod tests {
                     limit_hint: None,
                     zone_constraints: Vec::new(),
                     scan_columns: None,
+                    est_rows: None,
                 },
                 simple_table_source(
                     "G",
@@ -710,6 +746,7 @@ mod tests {
                     inner_column: "objID".into(),
                 },
                 residual: None,
+                est_rows: None,
             }],
         );
         let text = plan.render();

@@ -26,6 +26,10 @@ pub struct PlanContext<'a> {
     /// Minimum table row count before the parallel-scan rule upgrades a heap
     /// scan to a parallel scan (configurable so tests can force either path).
     pub parallel_scan_threshold: usize,
+    /// When true the cost-based join-ordering rule may reorder inner joins
+    /// and re-pick access paths using table statistics; when false plans
+    /// keep the syntactic order (the bench baseline and escape hatch).
+    pub cost_based_ordering: bool,
 }
 
 /// A view chain the binder already collapsed to `base WHERE predicates`;
@@ -424,6 +428,7 @@ fn naive_view_plan(
             limit_hint: None,
             zone_constraints: Vec::new(),
             scan_columns: None,
+            est_rows: None,
         }],
         joins: Vec::new(),
         residual: None,
@@ -440,6 +445,7 @@ fn naive_view_plan(
         rules_fired: Vec::new(),
         programs: None,
         vectorized: false,
+        est_rows: None,
     })
 }
 

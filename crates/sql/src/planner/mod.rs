@@ -20,6 +20,7 @@
 pub mod annotate;
 pub mod binder;
 pub mod rules;
+pub mod stats;
 
 use crate::ast::{Expr, JoinKind, SelectItem, SelectStatement};
 use crate::error::SqlError;
@@ -46,6 +47,7 @@ pub struct Planner<'a> {
     compile_expressions: bool,
     vectorized: bool,
     verify: bool,
+    cost_based_ordering: bool,
 }
 
 impl<'a> Planner<'a> {
@@ -58,6 +60,7 @@ impl<'a> Planner<'a> {
             compile_expressions: true,
             vectorized: true,
             verify: cfg!(debug_assertions),
+            cost_based_ordering: true,
         }
     }
 
@@ -93,11 +96,20 @@ impl<'a> Planner<'a> {
         self
     }
 
+    /// Enable or disable the statistics-driven join-ordering rule.  Off,
+    /// joins keep their syntactic order — the baseline `sql_bench` measures
+    /// the optimizer against.
+    pub fn with_cost_based_ordering(mut self, enabled: bool) -> Self {
+        self.cost_based_ordering = enabled;
+        self
+    }
+
     fn context(&self) -> PlanContext<'a> {
         PlanContext {
             db: self.db,
             functions: self.functions,
             parallel_scan_threshold: self.parallel_scan_threshold,
+            cost_based_ordering: self.cost_based_ordering,
         }
     }
 
@@ -112,6 +124,9 @@ impl<'a> Planner<'a> {
         // execution mode so all three executors (interpreted, compiled,
         // vectorized) prune and count identically.
         annotate::annotate(&mut plan, self.db);
+        // Estimated cardinalities are annotated unconditionally: EXPLAIN
+        // shows est_rows even when cost-based ordering is off.
+        stats::annotate_estimates(&mut plan, self.db);
         if self.compile_expressions {
             plan.programs = build_programs(&plan, &ctx);
             plan.vectorized = self.vectorized;
@@ -161,6 +176,7 @@ fn finalize(logical: LogicalPlan) -> Result<SelectPlan, SqlError> {
                 kind: s.join_kind.unwrap_or(JoinKind::Inner),
                 strategy: JoinStrategy::NestedLoop,
                 residual: Expr::from_conjuncts(s.outer_on.clone()),
+                est_rows: None,
             })
             .collect()
     };
@@ -193,6 +209,7 @@ fn finalize(logical: LogicalPlan) -> Result<SelectPlan, SqlError> {
             limit_hint: s.limit_hint,
             zone_constraints: Vec::new(),
             scan_columns: None,
+            est_rows: None,
         })
         .collect();
 
@@ -213,6 +230,7 @@ fn finalize(logical: LogicalPlan) -> Result<SelectPlan, SqlError> {
         rules_fired,
         programs: None,
         vectorized: false,
+        est_rows: None,
     })
 }
 

@@ -133,6 +133,7 @@ fn choose_strategy(
         kind,
         strategy,
         residual: Expr::from_conjuncts(residual),
+        est_rows: None,
     }
 }
 

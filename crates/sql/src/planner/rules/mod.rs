@@ -19,13 +19,15 @@
 //! | 3 | [`index_seek::IndexSeekSelection`] | sargable predicates → B-tree seeks |
 //! | 4 | [`covering_index::CoveringIndexSelection`] | tag-table replacement (10-100x less IO) |
 //! | 5 | [`spatial_join::SpatialJoinRewrite`] | Figure 10 TVF-driven join order |
-//! | 6 | [`join_strategy::JoinStrategySelection`] | index-lookup / hash / nested-loop choice |
-//! | 7 | [`parallel_scan::ParallelScanFallback`] | Figure 11 parallel sequential scan |
-//! | 8 | [`limit_pushdown::LimitPushdown`] | TOP n stops the scan early |
+//! | 6 | [`cost_join_order::CostBasedJoinOrder`] | statistics-driven join order + access-path costing |
+//! | 7 | [`join_strategy::JoinStrategySelection`] | index-lookup / hash / nested-loop choice |
+//! | 8 | [`parallel_scan::ParallelScanFallback`] | Figure 11 parallel sequential scan |
+//! | 9 | [`limit_pushdown::LimitPushdown`] | TOP n stops the scan early |
 
 use super::binder::{LogicalPlan, PlanContext};
 use crate::error::SqlError;
 
+pub mod cost_join_order;
 pub mod covering_index;
 pub mod index_seek;
 pub mod join_strategy;
@@ -52,6 +54,7 @@ pub fn default_pipeline() -> Vec<Box<dyn RewriteRule>> {
         Box::new(index_seek::IndexSeekSelection),
         Box::new(covering_index::CoveringIndexSelection),
         Box::new(spatial_join::SpatialJoinRewrite),
+        Box::new(cost_join_order::CostBasedJoinOrder),
         Box::new(join_strategy::JoinStrategySelection),
         Box::new(parallel_scan::ParallelScanFallback),
         Box::new(limit_pushdown::LimitPushdown),
@@ -157,6 +160,7 @@ pub(crate) mod testkit {
             db,
             functions,
             parallel_scan_threshold: crate::planner::PARALLEL_SCAN_THRESHOLD,
+            cost_based_ordering: true,
         };
         let planner = Planner::new(db, functions);
         bind(&parse_select(sql).unwrap(), &ctx, &|s| {
@@ -171,6 +175,7 @@ pub(crate) mod testkit {
             db,
             functions,
             parallel_scan_threshold: crate::planner::PARALLEL_SCAN_THRESHOLD,
+            cost_based_ordering: true,
         }
     }
 }

@@ -60,6 +60,7 @@ mod tests {
             db,
             functions: funcs,
             parallel_scan_threshold: 5,
+            cost_based_ordering: true,
         }
     }
 
@@ -88,6 +89,7 @@ mod tests {
             db: &db,
             functions: &funcs,
             parallel_scan_threshold: crate::planner::PARALLEL_SCAN_THRESHOLD,
+            cost_based_ordering: true,
         };
         assert!(!ParallelScanFallback.apply(&mut plan, &ctx).unwrap());
         match &plan.sources[0].kind {

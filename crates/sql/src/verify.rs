@@ -57,6 +57,9 @@ pub enum ViolationKind {
     /// `rules_fired`, annotations or hints disagree with the physical plan
     /// shape.
     PlanShapeInconsistent,
+    /// A cardinality annotation is impossible (a base-table estimate above
+    /// the table's live row count) or the annotation pass left holes.
+    EstimateUnsound,
 }
 
 impl ViolationKind {
@@ -69,6 +72,7 @@ impl ViolationKind {
             ViolationKind::ZoneConstraintUnsound => "zone_constraint_unsound",
             ViolationKind::ScanColumnNotCovered => "scan_column_not_covered",
             ViolationKind::PlanShapeInconsistent => "plan_shape_inconsistent",
+            ViolationKind::EstimateUnsound => "estimate_unsound",
         }
     }
 }
@@ -170,6 +174,7 @@ impl Verifier<'_> {
         self.check_join_count(plan, prefix);
         self.check_input_schema(plan, prefix);
         self.check_sources(plan, prefix);
+        self.check_estimates(plan, prefix);
         self.check_programs(plan, prefix);
         for (i, source) in plan.sources.iter().enumerate() {
             if let SourceKind::Derived { plan: sub } = &source.kind {
@@ -305,6 +310,54 @@ impl Verifier<'_> {
                     || "limit hint without limit_pushdown in rules_fired".to_string(),
                 );
             }
+        }
+    }
+
+    /// Cardinality annotations: when the statistics pass stamped the plan
+    /// (`plan.est_rows` present) it must have stamped *every* node, and a
+    /// base-table estimate can never exceed the table's live row count (the
+    /// model clamps at the base cardinality — a larger number means the
+    /// annotation drifted from the plan it describes).
+    fn check_estimates(&mut self, plan: &SelectPlan, prefix: &str) {
+        if plan.est_rows.is_none() {
+            // Unannotated plan (e.g. constructed directly in tests): the
+            // absence of per-node estimates is consistent.
+            return;
+        }
+        for (i, source) in plan.sources.iter().enumerate() {
+            let site = format!("{prefix}sources[{i}]");
+            let Some(est) = source.est_rows else {
+                self.violation(
+                    ViolationKind::EstimateUnsound,
+                    site,
+                    "plan is annotated but this source carries no est_rows".to_string(),
+                );
+                continue;
+            };
+            if let SourceKind::Table { table, .. } = &source.kind {
+                if let Ok(t) = self.db.table(table) {
+                    let rows = t.row_count() as u64;
+                    self.check(
+                        est <= rows.max(1),
+                        ViolationKind::EstimateUnsound,
+                        &site,
+                        || {
+                            format!(
+                                "base-table estimate {est} exceeds {table}'s live \
+                                 row count {rows}"
+                            )
+                        },
+                    );
+                }
+            }
+        }
+        for (i, step) in plan.joins.iter().enumerate() {
+            self.check(
+                step.est_rows.is_some(),
+                ViolationKind::EstimateUnsound,
+                &format!("{prefix}joins[{i}]"),
+                || "plan is annotated but this join step carries no est_rows".to_string(),
+            );
         }
     }
 

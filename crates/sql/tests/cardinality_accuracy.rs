@@ -1,0 +1,126 @@
+//! Estimated-vs-actual cardinality harness: runs every documented query on
+//! the deterministic Tiny catalog and pins the q-error of the statistics
+//! model's top-level estimate, plus the presence of `est_rows` annotations
+//! on every plan node `EXPLAIN` renders.
+//!
+//! The q-error is the symmetric ratio `max(est/actual, actual/est)` with +1
+//! smoothing so empty results stay finite.  The bounds below are pinned a
+//! little above the measured values: loosening one is a conscious decision
+//! (the model got worse), and a estimate drifting past its bound is exactly
+//! the regression this harness exists to catch.  The catalog is seeded, so
+//! every number here is deterministic.
+
+use skyserver_bench::{build_server, Scale};
+use skyserver_queries::{run_all, twenty_queries};
+
+/// Per-query ceilings for the q-error of the whole-plan estimate.  Queries
+/// answered by histogram-backed range cuts sit near 2; the hard cases are
+/// documented inline.
+const Q_ERROR_BOUNDS: [(&str, f64); 21] = [
+    ("Q1", 4.0),
+    ("Q2", 25.0),  // correlated colour cuts: independence underestimates
+    ("Q3", 16.0),  // same colour-cut correlation as Q2
+    ("Q4", 12.0),  // empty result: smoothing caps the error at est+1
+    ("Q5", 110.0), // OR of correlated colour cuts, worst miss in the suite
+    ("Q6", 4.0),
+    ("Q7", 2.0),
+    ("Q8", 8.0),
+    ("Q9", 5.0),
+    ("Q10", 2.0),
+    ("Q11", 3.0),
+    ("Q12", 30.0), // colour cut again, over the gridded subset
+    ("Q13", 8.0),
+    ("Q14", 14.0), // three-way join: containment misses the distance cut
+    // SELECT INTO: the report's row count is the 1-row acknowledgement,
+    // not the 578 rows materialized, so the "q-error" here is really the
+    // estimate itself — pinned loosely, it still catches model blow-ups.
+    ("Q15A", 600.0),
+    ("Q15B", 8.0),
+    ("Q16", 25.0), // near-empty dropout cut
+    ("Q17", 3.0),
+    ("Q18", 4.0),
+    ("Q19", 16.0), // four-way snowflake join, empty at Tiny scale
+    ("Q20", 7.0),
+];
+
+fn q_error(est: u64, actual: u64) -> f64 {
+    let e = est as f64 + 1.0;
+    let a = actual as f64 + 1.0;
+    (e / a).max(a / e)
+}
+
+#[test]
+fn every_documented_query_estimate_is_within_its_pinned_q_error() {
+    let mut server = build_server(Scale::Tiny);
+    let queries = twenty_queries();
+    let reports = run_all(&mut server, &queries).expect("the documented suite must run");
+    assert_eq!(reports.len(), Q_ERROR_BOUNDS.len());
+    let mut failures = Vec::new();
+    for r in &reports {
+        let bound = Q_ERROR_BOUNDS
+            .iter()
+            .find(|(id, _)| *id == r.id)
+            .unwrap_or_else(|| panic!("no pinned q-error bound for {}", r.id))
+            .1;
+        let est = r
+            .est_rows
+            .unwrap_or_else(|| panic!("{}: planner produced no estimate", r.id));
+        let q = q_error(est, r.rows as u64);
+        if q > bound {
+            failures.push(format!(
+                "{}: q-error {q:.2} exceeds pinned bound {bound} (est {est}, actual {})",
+                r.id, r.rows
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "cardinality estimates drifted:\n{}",
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn explain_renders_est_rows_on_every_plan_node() {
+    let server = build_server(Scale::Tiny);
+    for q in twenty_queries() {
+        let rendered = server
+            .explain(q.sql.trim())
+            .unwrap_or_else(|e| panic!("{}: explain failed: {e}", q.id));
+        for line in rendered.lines() {
+            let is_node = line.contains(" AS ")
+                || line.contains("Join")
+                || line.trim_start().starts_with("Project(");
+            if is_node {
+                assert!(
+                    line.contains("est_rows="),
+                    "{}: plan node lacks an est_rows annotation: {line:?}",
+                    q.id
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn estimates_never_exceed_the_base_cardinality_on_single_table_scans() {
+    // The model clamps a filtered scan at its table's live row count; the
+    // plan verifier enforces this too, but here it is pinned end-to-end
+    // through the public API.
+    let server = build_server(Scale::Tiny);
+    let summaries = server.table_summaries();
+    let photo_rows = summaries
+        .iter()
+        .find(|t| t.name.eq_ignore_ascii_case("PhotoObj"))
+        .expect("PhotoObj exists at Tiny scale")
+        .rows as u64;
+    let summary = server
+        .plan_summary("select objID from PhotoObj where type = 6")
+        .expect("plan a filtered scan");
+    let est = summary.est_rows.expect("scan estimate present");
+    assert!(
+        est <= photo_rows,
+        "estimate {est} exceeds PhotoObj's {photo_rows} rows"
+    );
+    assert!(est > 0, "a populated table's filtered scan estimates > 0");
+}

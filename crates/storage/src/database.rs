@@ -10,6 +10,7 @@ use crate::error::StorageError;
 use crate::index::{BTreeIndex, IndexDef, IndexKey};
 use crate::schema::TableSchema;
 use crate::table::{RowId, Table, Timestamp};
+use crate::table_stats::{self, TableStats};
 use crate::value::Value;
 use std::collections::BTreeMap;
 
@@ -73,6 +74,10 @@ pub struct Database {
     indexes: BTreeMap<String, Vec<BTreeIndex>>,
     views: BTreeMap<String, ViewDef>,
     foreign_keys: Vec<ForeignKey>,
+    /// Optimizer statistics per lowercase table name, collected by
+    /// [`Database::analyze_table`].  A snapshot: single-row DML leaves them
+    /// stale until the next analyze (batch ingest re-analyzes).
+    stats: BTreeMap<String, TableStats>,
     clock: Timestamp,
     /// When false, FK checks are skipped (bulk load fast path); violations
     /// are detected later by [`Database::validate_foreign_keys`].
@@ -138,6 +143,7 @@ impl Database {
             return Err(StorageError::UnknownTable(name.into()));
         }
         self.indexes.remove(&key);
+        self.stats.remove(&key);
         Ok(())
     }
 
@@ -298,7 +304,9 @@ impl Database {
         Ok(row_id)
     }
 
-    /// Bulk insert; returns the number of rows inserted.
+    /// Bulk insert; returns the number of rows inserted.  Re-analyzes the
+    /// table's optimizer statistics at the end of the batch (each batch is a
+    /// publish point, per the DR1 load pipeline).
     pub fn insert_many(
         &mut self,
         table: &str,
@@ -310,7 +318,41 @@ impl Database {
             self.insert_with_timestamp(table, row, ts)?;
             n += 1;
         }
+        self.analyze_table(table)?;
         Ok(n)
+    }
+
+    // ------------------------------------------------------------------
+    // Optimizer statistics
+    // ------------------------------------------------------------------
+
+    /// Collect optimizer statistics for one table (a segment sweep; see
+    /// [`crate::table_stats`]).
+    pub fn analyze_table(&mut self, table: &str) -> Result<(), StorageError> {
+        let key = table.to_ascii_lowercase();
+        let t = self
+            .tables
+            .get(&key)
+            .ok_or_else(|| StorageError::UnknownTable(table.into()))?;
+        let stats = table_stats::analyze(t, self.clock);
+        self.stats.insert(key, stats);
+        Ok(())
+    }
+
+    /// Collect optimizer statistics for every table.
+    pub fn analyze_all(&mut self) {
+        let keys: Vec<String> = self.tables.keys().cloned().collect();
+        for key in keys {
+            if let Some(t) = self.tables.get(&key) {
+                let stats = table_stats::analyze(t, self.clock);
+                self.stats.insert(key, stats);
+            }
+        }
+    }
+
+    /// The most recently collected statistics for `table`, if any.
+    pub fn table_stats(&self, table: &str) -> Option<&TableStats> {
+        self.stats.get(&table.to_ascii_lowercase())
     }
 
     /// Delete a row by id, maintaining indices.  Returns true if it was live.
@@ -688,5 +730,48 @@ mod tests {
         assert!(d.insert("nope", vec![]).is_err());
         assert!(d.table("nope").is_err());
         assert!(d.create_index(IndexDef::new("x", "nope", &["a"])).is_err());
+    }
+
+    #[test]
+    fn stats_go_stale_under_single_row_dml_until_reanalyzed() {
+        // Batch inserts are publish points and re-analyze automatically;
+        // single-row DML deliberately does not (the DR1 pipeline defers
+        // that cost to the next ANALYZE).  Pin both halves of the contract:
+        // stats lag the table after insert/delete, and analyze_table
+        // resynchronizes them.
+        let mut d = db();
+        let ts = d.next_timestamp();
+        let rows: Vec<Vec<Value>> = (0..50)
+            .map(|i| vec![Value::Int(i), Value::Float(i as f64)])
+            .collect();
+        d.insert_many("plate", rows, ts).unwrap();
+        assert_eq!(d.table_stats("plate").unwrap().row_count, 50);
+
+        let extra = d
+            .insert("plate", vec![Value::Int(99), Value::Float(4.5)])
+            .unwrap();
+        let stale = d.table_stats("plate").unwrap();
+        assert_eq!(
+            stale.row_count, 50,
+            "single-row insert must not rewrite published stats"
+        );
+        assert!(
+            matches!(stale.column(1).unwrap().max, Value::Float(m) if m < 99.0),
+            "stale max still reflects the analyzed batch"
+        );
+
+        d.analyze_table("plate").unwrap();
+        let fresh = d.table_stats("plate").unwrap();
+        assert_eq!(fresh.row_count, 51);
+        assert_eq!(fresh.column(0).unwrap().max, Value::Int(99));
+
+        d.delete("plate", extra).unwrap();
+        assert_eq!(
+            d.table_stats("plate").unwrap().row_count,
+            51,
+            "delete leaves stats stale too"
+        );
+        d.analyze_table("plate").unwrap();
+        assert_eq!(d.table_stats("plate").unwrap().row_count, 50);
     }
 }

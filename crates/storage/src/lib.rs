@@ -31,6 +31,7 @@ pub mod iosim;
 pub mod schema;
 pub mod stats;
 pub mod table;
+pub mod table_stats;
 pub mod value;
 
 pub use database::{Database, ForeignKey, TableSummary, ViewDef};
@@ -40,6 +41,7 @@ pub use iosim::{CpuCost, DiskConfig, HardwareProfile, IoSimulator, SimTiming};
 pub use schema::{ColumnDef, SchemaError, TableSchema};
 pub use stats::{ExecutionStats, ScanStats};
 pub use table::{Column, ColumnData, RowId, Segment, Table, Timestamp, SEGMENT_ROWS};
+pub use table_stats::{ColumnStats, Histogram, TableStats, HISTOGRAM_BINS, KMV_K};
 pub use value::{csv_escape, hex_decode, hex_encode, DataType, Value};
 
 #[cfg(test)]

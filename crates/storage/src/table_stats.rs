@@ -1,0 +1,425 @@
+//! Table and column statistics for the cost-based optimizer.
+//!
+//! The DR1 release process (Abazajian et al. 2003) treats each catalog load
+//! as a batch publish -- the natural point to scan the data once and
+//! summarize it.  This module collects, per table: the live row count, and
+//! per column the min/max (from the segment zone maps), the live NULL
+//! count, a distinct-value estimate (a KMV sketch over the typed segment
+//! arrays) and, for numeric columns, an equi-width histogram.
+//!
+//! Collection is a *segment sweep*: it walks the typed columnar arrays and
+//! validity/tombstone bitmaps directly and never materializes a row.  The
+//! planner's selectivity model (`skyserver-sql::planner::stats`) turns these
+//! summaries into cardinality estimates.
+//!
+//! Statistics are a snapshot: single-row inserts, updates and deletes leave
+//! them stale until the next [`crate::Database::analyze_table`] call.  Batch
+//! ingest paths (`insert_many`, the CSV loader) re-analyze automatically.
+
+use crate::table::{ColumnData, Table, Timestamp};
+use crate::value::{DataType, Value};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::BTreeSet;
+use std::hash::{Hash, Hasher};
+
+/// Number of buckets in a numeric column histogram.
+pub const HISTOGRAM_BINS: usize = 32;
+
+/// Size of the KMV (k-minimum-values) sketch behind the NDV estimate.
+pub const KMV_K: usize = 256;
+
+/// An equi-width histogram over a numeric column's live non-null values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Inclusive lower bound of the first bucket.
+    pub lo: f64,
+    /// Inclusive upper bound of the last bucket.
+    pub hi: f64,
+    /// Per-bucket live-row counts ([`HISTOGRAM_BINS`] buckets of equal
+    /// width spanning `[lo, hi]`).
+    pub counts: Vec<u64>,
+    /// Total rows counted (the sum of `counts`).
+    pub total: u64,
+}
+
+impl Histogram {
+    fn new(lo: f64, hi: f64) -> Histogram {
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; HISTOGRAM_BINS],
+            total: 0,
+        }
+    }
+
+    fn bin_of(&self, v: f64) -> usize {
+        if self.hi <= self.lo {
+            return 0;
+        }
+        let frac = (v - self.lo) / (self.hi - self.lo);
+        ((frac * HISTOGRAM_BINS as f64) as usize).min(HISTOGRAM_BINS - 1)
+    }
+
+    fn add(&mut self, v: f64) {
+        let bin = self.bin_of(v);
+        self.counts[bin] += 1;
+        self.total += 1;
+    }
+
+    /// Estimated fraction of rows with value `< bound` (linear
+    /// interpolation inside the straddled bucket).
+    pub fn fraction_below(&self, bound: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        if bound <= self.lo {
+            return 0.0;
+        }
+        if bound >= self.hi || self.hi <= self.lo {
+            return 1.0;
+        }
+        let width = (self.hi - self.lo) / HISTOGRAM_BINS as f64;
+        let pos = (bound - self.lo) / width;
+        let full = (pos as usize).min(HISTOGRAM_BINS - 1);
+        let mut below: u64 = self.counts[..full].iter().sum();
+        let partial = self.counts[full] as f64 * (pos - full as f64).clamp(0.0, 1.0);
+        below = below.min(self.total);
+        ((below as f64 + partial) / self.total as f64).clamp(0.0, 1.0)
+    }
+}
+
+/// Statistics for one column of one table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnStats {
+    /// Smallest non-null value (conservative: from the zone maps, so it may
+    /// predate deleted rows).
+    pub min: Value,
+    /// Largest non-null value (conservative, see `min`).
+    pub max: Value,
+    /// Exact number of live NULLs.
+    pub null_count: u64,
+    /// Estimated number of distinct live non-null values (exact below
+    /// [`KMV_K`] distinct values, a KMV estimate above).
+    pub ndv: u64,
+    /// Equi-width histogram (numeric columns only).
+    pub histogram: Option<Histogram>,
+}
+
+/// Statistics for one table, collected by [`analyze`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableStats {
+    /// Live rows at collection time.
+    pub row_count: u64,
+    /// Logical timestamp of the collection (stale-ness marker).
+    pub collected_at: Timestamp,
+    /// Per-column statistics, in schema order.  `None` for columns with no
+    /// live non-null values.
+    pub columns: Vec<Option<ColumnStats>>,
+}
+
+impl TableStats {
+    /// Statistics for the column at schema ordinal `ordinal`.
+    pub fn column(&self, ordinal: usize) -> Option<&ColumnStats> {
+        self.columns.get(ordinal).and_then(Option::as_ref)
+    }
+}
+
+/// A k-minimum-values sketch: keeps the [`KMV_K`] smallest distinct 64-bit
+/// hashes seen; the k-th smallest estimates the distinct count.
+struct KmvSketch {
+    smallest: BTreeSet<u64>,
+}
+
+impl KmvSketch {
+    fn new() -> KmvSketch {
+        KmvSketch {
+            smallest: BTreeSet::new(),
+        }
+    }
+
+    fn observe(&mut self, hash: u64) {
+        if self.smallest.len() < KMV_K {
+            self.smallest.insert(hash);
+            return;
+        }
+        if let Some(&current_max) = self.smallest.iter().next_back() {
+            if hash < current_max && self.smallest.insert(hash) {
+                self.smallest.remove(&current_max);
+            }
+        }
+    }
+
+    fn estimate(&self) -> u64 {
+        if self.smallest.len() < KMV_K {
+            return self.smallest.len() as u64;
+        }
+        match self.smallest.iter().next_back() {
+            // kth smallest of n uniform hashes in [0, M): n ≈ (k-1)·M/kth.
+            Some(&kth) if kth > 0 => {
+                ((KMV_K - 1) as f64 * (u64::MAX as f64) / kth as f64).round() as u64
+            }
+            _ => self.smallest.len() as u64,
+        }
+    }
+}
+
+/// `DefaultHasher::new()` uses fixed keys, so these hashes (and therefore
+/// the NDV estimates) are deterministic across runs.
+fn hash_of(h: impl Hash) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    h.hash(&mut hasher);
+    hasher.finish()
+}
+
+/// Per-column accumulator driven by the segment sweep.
+struct ColumnAccumulator {
+    nulls: u64,
+    live_values: u64,
+    sketch: KmvSketch,
+    histogram: Option<Histogram>,
+}
+
+/// Collect statistics for `table`, stamping them with `collected_at`.
+///
+/// One pass over the segments: zone maps give min/max and the histogram
+/// bounds for free; the typed arrays are swept once (skipping tombstones)
+/// for NULL counts, NDV sketches and histogram buckets.
+pub fn analyze(table: &Table, collected_at: Timestamp) -> TableStats {
+    let schema = table.schema();
+    let ncols = schema.columns().len();
+
+    // Zone-map pass: global min/max per column (conservative).
+    let mut minmax: Vec<Option<(Value, Value)>> = vec![None; ncols];
+    for seg in table.segments() {
+        for (c, slot) in minmax.iter_mut().enumerate() {
+            let col = seg.column(c);
+            if let (Some(lo), Some(hi)) = (col.zone_min(), col.zone_max()) {
+                match slot {
+                    Some((cur_lo, cur_hi)) => {
+                        if lo.total_cmp(cur_lo) == std::cmp::Ordering::Less {
+                            *cur_lo = lo.clone();
+                        }
+                        if hi.total_cmp(cur_hi) == std::cmp::Ordering::Greater {
+                            *cur_hi = hi.clone();
+                        }
+                    }
+                    None => *slot = Some((lo.clone(), hi.clone())),
+                }
+            }
+        }
+    }
+
+    let mut accs: Vec<ColumnAccumulator> = (0..ncols)
+        .map(|c| {
+            let numeric = matches!(schema.columns()[c].ty, DataType::Int | DataType::Float);
+            let histogram = match (&minmax[c], numeric) {
+                (Some((lo, hi)), true) => match (lo.as_f64(), hi.as_f64()) {
+                    (Some(lo), Some(hi)) => Some(Histogram::new(lo, hi)),
+                    _ => None,
+                },
+                _ => None,
+            };
+            ColumnAccumulator {
+                nulls: 0,
+                live_values: 0,
+                sketch: KmvSketch::new(),
+                histogram,
+            }
+        })
+        .collect();
+
+    // Value pass: sweep the typed arrays, skipping tombstoned slots.
+    for seg in table.segments() {
+        let slots = seg.slot_count();
+        for (c, acc) in accs.iter_mut().enumerate() {
+            let col = seg.column(c);
+            let validity = col.validity();
+            for off in 0..slots {
+                if !seg.is_live(off) {
+                    continue;
+                }
+                if !validity[off] {
+                    acc.nulls += 1;
+                    continue;
+                }
+                acc.live_values += 1;
+                match col.data() {
+                    ColumnData::Int(arr) => {
+                        acc.sketch.observe(hash_of(arr[off]));
+                        if let Some(h) = acc.histogram.as_mut() {
+                            h.add(arr[off] as f64);
+                        }
+                    }
+                    ColumnData::Float(arr) => {
+                        acc.sketch.observe(hash_of(arr[off].to_bits()));
+                        if let Some(h) = acc.histogram.as_mut() {
+                            h.add(arr[off]);
+                        }
+                    }
+                    ColumnData::Str { dict, codes } => {
+                        let code = codes[off];
+                        if let Some(s) = dict.get(code as usize) {
+                            acc.sketch.observe(hash_of(s.as_bytes()));
+                        }
+                    }
+                    ColumnData::Bytes(arr) => {
+                        acc.sketch.observe(hash_of(arr[off].as_ref()));
+                    }
+                    ColumnData::Bool(arr) => {
+                        acc.sketch.observe(hash_of(arr[off]));
+                    }
+                }
+            }
+        }
+    }
+
+    let columns = accs
+        .into_iter()
+        .enumerate()
+        .map(|(c, acc)| {
+            let (min, max) = match &minmax[c] {
+                Some((lo, hi)) => (lo.clone(), hi.clone()),
+                None => return None,
+            };
+            if acc.live_values == 0 && acc.nulls == 0 {
+                return None;
+            }
+            Some(ColumnStats {
+                min,
+                max,
+                null_count: acc.nulls,
+                ndv: acc.sketch.estimate().max(u64::from(acc.live_values > 0)),
+                histogram: acc.histogram.filter(|h| h.total > 0),
+            })
+        })
+        .collect();
+
+    TableStats {
+        row_count: table.row_count() as u64,
+        collected_at,
+        columns,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnDef, TableSchema};
+
+    fn numbers_table(values: impl IntoIterator<Item = Option<i64>>) -> Table {
+        let schema = TableSchema::new(vec![
+            ColumnDef::new("id", DataType::Int),
+            ColumnDef::new("v", DataType::Int).nullable(),
+        ]);
+        let mut t = Table::new("t", schema);
+        for (i, v) in values.into_iter().enumerate() {
+            let v = v.map(Value::Int).unwrap_or(Value::Null);
+            t.insert(vec![Value::Int(i as i64), v], 1)
+                .expect("insert test row");
+        }
+        t
+    }
+
+    #[test]
+    fn exact_ndv_below_sketch_size() {
+        let t = numbers_table((0..100).map(|i| Some(i % 10)));
+        let stats = analyze(&t, 1);
+        assert_eq!(stats.row_count, 100);
+        let v = stats.column(1).expect("stats for v");
+        assert_eq!(v.ndv, 10);
+        assert_eq!(v.null_count, 0);
+        assert_eq!(v.min, Value::Int(0));
+        assert_eq!(v.max, Value::Int(9));
+    }
+
+    #[test]
+    fn kmv_estimate_close_on_large_distinct_counts() {
+        // 20k distinct values, well above the sketch size.
+        let t = numbers_table((0..20_000).map(Some));
+        let stats = analyze(&t, 1);
+        let v = stats.column(1).expect("stats for v");
+        let err = (v.ndv as f64 - 20_000.0).abs() / 20_000.0;
+        assert!(
+            err < 0.15,
+            "NDV estimate {} more than 15% off true 20000",
+            v.ndv
+        );
+    }
+
+    #[test]
+    fn histogram_counts_match_a_known_uniform_distribution() {
+        let t = numbers_table((0..3200).map(|i| Some(i % 320)));
+        let stats = analyze(&t, 1);
+        let v = stats.column(1).expect("stats for v");
+        let h = v.histogram.as_ref().expect("histogram");
+        assert_eq!(h.total, 3200);
+        assert_eq!(h.counts.len(), HISTOGRAM_BINS);
+        // Uniform over [0, 319]: every bucket should hold ~100 rows.
+        for (i, &c) in h.counts.iter().enumerate() {
+            assert!(
+                (80..=120).contains(&(c as i64)),
+                "bucket {i} holds {c} rows, expected ~100"
+            );
+        }
+        // Median sits near the middle.
+        let below = h.fraction_below(160.0);
+        assert!((below - 0.5).abs() < 0.05, "fraction_below(160) = {below}");
+    }
+
+    #[test]
+    fn null_counts_are_live_exact() {
+        let t = numbers_table([Some(1), None, Some(2), None, None]);
+        let stats = analyze(&t, 1);
+        let v = stats.column(1).expect("stats for v");
+        assert_eq!(v.null_count, 3);
+        assert_eq!(v.ndv, 2);
+    }
+
+    #[test]
+    fn deleted_rows_drop_out_of_the_value_pass() {
+        let mut t = numbers_table((0..10).map(Some));
+        // Delete the even rows.
+        let ids: Vec<_> = t.row_ids().collect();
+        for id in ids.iter().step_by(2) {
+            assert!(t.delete(*id));
+        }
+        let stats = analyze(&t, 2);
+        assert_eq!(stats.row_count, 5);
+        let v = stats.column(1).expect("stats for v");
+        assert_eq!(v.ndv, 5);
+        // Min/max stay conservative (zone maps never shrink).
+        assert_eq!(v.min, Value::Int(0));
+        assert_eq!(v.max, Value::Int(9));
+    }
+
+    #[test]
+    fn string_ndv_counts_distinct_dictionary_entries() {
+        let schema = TableSchema::new(vec![ColumnDef::new("s", DataType::Str)]);
+        let mut t = Table::new("t", schema);
+        for i in 0..50 {
+            t.insert(vec![Value::str(format!("cat-{}", i % 7))], 1)
+                .expect("insert test row");
+        }
+        let stats = analyze(&t, 1);
+        let s = stats.column(0).expect("stats for s");
+        assert_eq!(s.ndv, 7);
+        assert!(s.histogram.is_none(), "strings get no histogram");
+    }
+
+    #[test]
+    fn fraction_below_interpolates_and_clamps() {
+        let t = numbers_table((0..1000).map(Some));
+        let stats = analyze(&t, 1);
+        let h = stats
+            .column(1)
+            .and_then(|c| c.histogram.as_ref().cloned())
+            .expect("histogram");
+        assert_eq!(h.fraction_below(-5.0), 0.0);
+        assert_eq!(h.fraction_below(5000.0), 1.0);
+        let quarter = h.fraction_below(250.0);
+        assert!(
+            (quarter - 0.25).abs() < 0.05,
+            "fraction_below(250) = {quarter}"
+        );
+    }
+}
