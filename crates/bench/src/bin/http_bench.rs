@@ -27,6 +27,14 @@
 //! status mismatch fails the run, so the bench doubles as an API smoke
 //! test in CI quick mode.
 //!
+//! A fifth phase measures **overload behaviour**: a governor-capped site
+//! is driven at 4x its admission cap.  Excess queries must be shed with
+//! `503` + `Retry-After` (never queued), the p99 of the *accepted*
+//! requests must stay within 3x of the unloaded baseline, a
+//! `get_with_backoff` client must recover every request through the
+//! storm, and RSS growth across the phase must stay bounded.  Any
+//! violation fails the run.
+//!
 //! Usage:
 //!
 //! ```text
@@ -39,7 +47,9 @@
 //! API-traffic phase.
 
 use skyserver_bench::{build_server, Scale};
-use skyserver_web::{HttpClient, HttpServer, JobQueueConfig, ServerConfig, SkyServerSite};
+use skyserver_web::{
+    GovernorConfig, HttpClient, HttpServer, JobQueueConfig, ServerConfig, SkyServerSite,
+};
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -372,6 +382,107 @@ fn stats_json(s: &LoadStats) -> String {
     )
 }
 
+/// One public query for the overload phase: a whole-table aggregate
+/// with a varying predicate, so every admitted request holds its
+/// admission permit while doing real scan work (the overload site runs
+/// with the result cache disabled as well).
+fn overload_query_path(i: usize) -> String {
+    format!(
+        "/api/v1/query?sql=select+count(*)+from+PhotoObj+where+ra+%3E+{}&limit=1",
+        i % 360
+    )
+}
+
+/// Outcome of driving a governor-capped server: accepted-request
+/// latency percentiles plus the shed/error tallies the gates check.
+#[derive(Debug)]
+struct OverloadStats {
+    accepted: u64,
+    shed: u64,
+    /// 503 responses that arrived without a `Retry-After` header (must
+    /// be 0: shedding without a backoff hint just converts load into
+    /// retry storms).
+    retry_after_missing: u64,
+    /// Any status other than 200/503 (must be 0).
+    other: u64,
+    elapsed_seconds: f64,
+    accepted_p50_ms: f64,
+    accepted_p99_ms: f64,
+}
+
+/// Drive `threads` keep-alive clients at the server flat out.  Only
+/// accepted (200) requests contribute latency samples; shed requests
+/// are tallied and checked for the `Retry-After` hint.
+fn run_overload(addr: SocketAddr, threads: usize, requests_per_thread: usize) -> OverloadStats {
+    let started = Instant::now();
+    let mut accepted_latencies: Vec<u64> = Vec::new();
+    let (mut shed, mut retry_after_missing, mut other) = (0u64, 0u64, 0u64);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                scope.spawn(move || {
+                    let mut latencies = Vec::new();
+                    let (mut shed, mut missing, mut other) = (0u64, 0u64, 0u64);
+                    let mut client = HttpClient::connect(addr).expect("connect");
+                    for i in 0..requests_per_thread {
+                        let path = overload_query_path(t * requests_per_thread + i);
+                        let request_started = Instant::now();
+                        match client.get(&path) {
+                            Ok((200, _)) => {
+                                latencies.push(request_started.elapsed().as_micros() as u64);
+                            }
+                            Ok((503, _)) => {
+                                shed += 1;
+                                if client.retry_after().is_none() {
+                                    missing += 1;
+                                }
+                            }
+                            Ok(_) => other += 1,
+                            Err(_) => {
+                                other += 1;
+                                client = HttpClient::connect(addr).expect("reconnect");
+                            }
+                        }
+                    }
+                    (latencies, shed, missing, other)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (lat, s, m, o) = h.join().expect("overload client thread");
+            accepted_latencies.extend(lat);
+            shed += s;
+            retry_after_missing += m;
+            other += o;
+        }
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+    accepted_latencies.sort_unstable();
+    OverloadStats {
+        accepted: accepted_latencies.len() as u64,
+        shed,
+        retry_after_missing,
+        other,
+        elapsed_seconds: elapsed,
+        accepted_p50_ms: percentile(&accepted_latencies, 0.50),
+        accepted_p99_ms: percentile(&accepted_latencies, 0.99),
+    }
+}
+
+/// Resident set size of this process (server and clients both live
+/// here) in MiB, from `/proc/self/status`; `None` off Linux.
+fn vm_rss_mb() -> Option<f64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let kb: f64 = status
+        .lines()
+        .find(|l| l.starts_with("VmRSS:"))?
+        .split_whitespace()
+        .nth(1)?
+        .parse()
+        .ok()?;
+    Some(kb / 1024.0)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Tiny;
@@ -609,6 +720,98 @@ fn main() {
         eprintln!("API phase violations: {api_counters:?}");
     }
 
+    // ----------------------------------------------------------------------
+    // Overload: a governor-capped site driven at 4x its admission cap.
+    // Excess load must be shed (503 + Retry-After), accepted requests
+    // must stay fast, backoff clients must get through, RSS must not
+    // balloon (shedding means no unbounded queue of admitted work).
+    // ----------------------------------------------------------------------
+    // Size the phase to the machine: a cap above the core count would
+    // let admitted queries contend for CPU with each other, and the
+    // client-side latency gate would then measure scheduler queueing
+    // rather than governor behaviour.  The 4x saturation ratio is what
+    // matters, not the absolute thread count.
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let governor_cap = cores.clamp(1, 4);
+    let storm_threads = governor_cap * 4;
+    const BACKOFF_REQUESTS: u64 = 5;
+    eprintln!(
+        "running the overload phase ({storm_threads} storm threads vs admission cap {governor_cap}) ..."
+    );
+    let rss_before_mb = vm_rss_mb();
+    let overload_site = SkyServerSite::new_with_governor(
+        build_server(scale),
+        // No result cache: every accepted query does real scan work and
+        // holds its admission permit for a measurable interval.
+        0,
+        JobQueueConfig::default(),
+        GovernorConfig {
+            max_in_flight: governor_cap,
+            ..GovernorConfig::default()
+        },
+    );
+    let overload_server = overload_site
+        .serve_with(
+            0,
+            ServerConfig {
+                // Enough HTTP workers for every storm client: the shed
+                // point under test is the query governor, not the
+                // accept queue.
+                workers: storm_threads + 4,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("start overload server");
+    let overload_addr = overload_server.addr();
+    run_overload(overload_addr, 2, 12); // warm-up
+                                        // Unloaded baseline: concurrency below the cap, nothing shed.
+    let overload_baseline = run_overload(overload_addr, 2, requests);
+    // The storm, with one well-behaved backoff client riding through it.
+    let (storm, backoff_recovered) = std::thread::scope(|scope| {
+        let backoff = scope.spawn(move || {
+            let mut client = HttpClient::connect(overload_addr).expect("connect backoff client");
+            let mut recovered = 0u64;
+            for i in 0..BACKOFF_REQUESTS {
+                let path = overload_query_path(900_000 + i as usize);
+                if let Ok((200, _)) = client.get_with_backoff(&path, 40, Duration::from_millis(20))
+                {
+                    recovered += 1;
+                }
+            }
+            recovered
+        });
+        let storm = run_overload(overload_addr, storm_threads, requests);
+        (storm, backoff.join().expect("backoff client thread"))
+    });
+    let governor_stats = overload_site.governor().stats();
+    overload_server.stop();
+    let rss_after_mb = vm_rss_mb();
+    // Accepted-request p99 must stay within 3x of the unloaded baseline
+    // (with a small absolute floor so sub-millisecond scheduler noise
+    // on loaded CI machines cannot fail the gate).
+    let p99_budget_ms = (overload_baseline.accepted_p99_ms * 3.0).max(10.0);
+    let rss_growth_mb = match (rss_before_mb, rss_after_mb) {
+        (Some(before), Some(after)) => Some(after - before),
+        _ => None,
+    };
+    let overload_healthy = storm.shed > 0
+        && governor_stats.shed > 0
+        && storm.retry_after_missing == 0
+        && storm.other == 0
+        && storm.accepted > 0
+        && storm.accepted_p99_ms <= p99_budget_ms
+        && backoff_recovered == BACKOFF_REQUESTS
+        && rss_growth_mb.is_none_or(|g| g < 512.0);
+    if !overload_healthy {
+        eprintln!(
+            "overload phase violations: storm {storm:?}, governor {governor_stats:?}, \
+             p99 budget {p99_budget_ms:.3} ms, backoff recovered \
+             {backoff_recovered}/{BACKOFF_REQUESTS}, rss growth {rss_growth_mb:?} MiB"
+        );
+    }
+
     let report = format!(
         "{{\n  \"bench\": \"http_concurrency\",\n  \"scale\": \"{:?}\",\n  \
          \"threads\": {},\n  \"requests_per_thread\": {},\n  \
@@ -632,7 +835,20 @@ fn main() {
          \"rows_walked\": {},\n    \
          \"error_samples\": {{\"status_400\": {}, \"status_404\": {}, \
          \"status_422\": {}}},\n    \
-         \"status_mismatches\": {}\n  }}\n}}",
+         \"status_mismatches\": {}\n  }},\n  \
+         \"overload\": {{\n    \
+         \"governor_cap\": {},\n    \
+         \"storm_threads\": {},\n    \
+         \"baseline_accepted_p99_ms\": {:.3},\n    \
+         \"storm\": {{\"accepted\": {}, \"shed\": {}, \
+         \"retry_after_missing\": {}, \"other_statuses\": {}, \
+         \"elapsed_seconds\": {:.3}, \"accepted_p50_ms\": {:.3}, \
+         \"accepted_p99_ms\": {:.3}}},\n    \
+         \"accepted_p99_budget_ms\": {:.3},\n    \
+         \"governor\": {{\"in_flight\": {}, \"admitted\": {}, \
+         \"shed\": {}}},\n    \
+         \"backoff_client\": {{\"requests\": {}, \"recovered\": {}}},\n    \
+         \"rss_growth_mb\": {}\n  }}\n}}",
         scale,
         threads,
         requests,
@@ -659,6 +875,23 @@ fn main() {
         api_counters.sampled_404,
         api_counters.sampled_422,
         api_counters.status_mismatches,
+        governor_cap,
+        storm_threads,
+        overload_baseline.accepted_p99_ms,
+        storm.accepted,
+        storm.shed,
+        storm.retry_after_missing,
+        storm.other,
+        storm.elapsed_seconds,
+        storm.accepted_p50_ms,
+        storm.accepted_p99_ms,
+        p99_budget_ms,
+        governor_stats.in_flight,
+        governor_stats.admitted,
+        governor_stats.shed,
+        BACKOFF_REQUESTS,
+        backoff_recovered,
+        rss_growth_mb.map_or("null".to_string(), |g| format!("{g:.1}")),
     );
     println!("{report}");
     // The report must be valid JSON with the API phase present — the
@@ -676,9 +909,13 @@ fn main() {
         std::fs::write(&path, format!("{report}\n")).expect("write BENCH json");
         eprintln!("wrote {path}");
     }
+    assert!(
+        parsed["overload"]["storm"]["shed"].as_u64().is_some(),
+        "overload phase missing from the report"
+    );
     // Give the sockets a moment to drain before the process exits.
     std::thread::sleep(Duration::from_millis(50));
-    if !api_healthy {
+    if !api_healthy || !overload_healthy {
         std::process::exit(1);
     }
 }

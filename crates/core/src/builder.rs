@@ -141,6 +141,21 @@ impl SkyServer {
         Ok(self.engine.execute_read(sql, QueryLimits::PUBLIC)?)
     }
 
+    /// [`Self::execute_public`] with a [`skyserver_sql::QueryMonitor`]
+    /// attached — the web tier's entry point.  The monitor carries the
+    /// request deadline into the executor's per-batch checkpoint and
+    /// observes the memory gauge, so interactive queries degrade into
+    /// structured errors instead of runaway scans.
+    pub fn execute_public_with(
+        &self,
+        sql: &str,
+        monitor: &skyserver_sql::QueryMonitor,
+    ) -> Result<StatementOutcome, SkyServerError> {
+        Ok(self
+            .engine
+            .execute_read_with(sql, QueryLimits::PUBLIC, Some(monitor))?)
+    }
+
     /// Convenience: run a read-only query without limits and return just
     /// the rows.  Takes `&self` (shared read path).
     pub fn query(&self, sql: &str) -> Result<ResultSet, SkyServerError> {

@@ -1112,6 +1112,7 @@ mod tests {
                 QueryLimits {
                     max_rows: Some(50),
                     max_seconds: Some(30.0),
+                    max_bytes: None,
                 },
             )
             .unwrap();

@@ -26,6 +26,12 @@ pub enum SqlError {
     /// The query's [`crate::QueryMonitor`] was cancelled while it ran; the
     /// executor stopped at the next row-batch boundary.
     Cancelled,
+    /// The query tried to materialize more bytes than its
+    /// [`crate::QueryLimits::max_bytes`] memory budget allows (hash-join
+    /// build, GROUP BY table, sort buffer or result accumulation).  The
+    /// governor raises this instead of letting one hostile query OOM the
+    /// whole server.
+    ResourceExhausted(String),
 }
 
 impl SqlError {
@@ -41,12 +47,14 @@ impl SqlError {
             SqlError::Plan(_) => "sql_plan_error",
             SqlError::Execution(_) => "sql_execution_error",
             SqlError::Storage(_) => "storage_error",
-            // The row budget truncates (flagged, not an error); the only
-            // limit that raises is the wall-clock computation budget.
+            // The row budget truncates (flagged, not an error); the limits
+            // that raise are the wall-clock computation budget (here) and
+            // the memory budget (ResourceExhausted below).
             SqlError::LimitExceeded(_) => "query_timeout",
             SqlError::UnknownFunction(_) => "sql_unknown_function",
             SqlError::ReadOnly(_) => "read_only",
             SqlError::Cancelled => "query_cancelled",
+            SqlError::ResourceExhausted(_) => "resource_exhausted",
         }
     }
 }
@@ -64,6 +72,9 @@ impl fmt::Display for SqlError {
                 write!(f, "read-only interface: {m} is not allowed here")
             }
             SqlError::Cancelled => write!(f, "query cancelled"),
+            SqlError::ResourceExhausted(m) => {
+                write!(f, "query memory budget exhausted: {m}")
+            }
         }
     }
 }
@@ -96,5 +107,9 @@ mod tests {
         assert_eq!(SqlError::LimitExceeded("t".into()).code(), "query_timeout");
         assert_eq!(SqlError::ReadOnly("drop".into()).code(), "read_only");
         assert_eq!(SqlError::Cancelled.code(), "query_cancelled");
+        assert_eq!(
+            SqlError::ResourceExhausted("64 MiB".into()).code(),
+            "resource_exhausted"
+        );
     }
 }

@@ -35,16 +35,23 @@ use crate::plan::{AccessPath, JoinStrategy, SelectPlan, SourceKind, SourcePlan};
 use crate::result::ResultSet;
 use skyserver_storage::{DataType, Database, IndexKey, ScanStats, Value, SEGMENT_ROWS};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-/// Row-count / time budgets (the public SkyServer limits queries to 1,000
-/// rows or 30 seconds, §4).
+/// Row-count / time / memory budgets (the public SkyServer limits queries
+/// to 1,000 rows or 30 seconds, §4; the memory budget keeps one hostile
+/// query from exhausting the server's RAM before the row cap applies).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct QueryLimits {
     /// Maximum rows returned (the rest are truncated and flagged).
     pub max_rows: Option<usize>,
     /// Wall-clock computation budget in seconds.
     pub max_seconds: Option<f64>,
+    /// Memory budget in bytes over every materialization point (scan
+    /// output, hash-join builds and outputs, GROUP BY/DISTINCT tables,
+    /// sort keys, projections).  Crossing it raises
+    /// [`SqlError::ResourceExhausted`].
+    pub max_bytes: Option<u64>,
 }
 
 impl QueryLimits {
@@ -52,13 +59,37 @@ impl QueryLimits {
     pub const UNLIMITED: QueryLimits = QueryLimits {
         max_rows: None,
         max_seconds: None,
+        max_bytes: None,
     };
 
     /// The public web interface limits.
     pub const PUBLIC: QueryLimits = QueryLimits {
         max_rows: Some(1000),
         max_seconds: Some(30.0),
+        max_bytes: Some(64 * 1024 * 1024),
     };
+}
+
+/// Fixed per-row overhead charged against the memory budget on top of the
+/// cell payloads: the `Vec` header plus allocator slack.
+const ROW_MEM_OVERHEAD: u64 = 32;
+
+/// Per-cell overhead: the `Value` enum discriminant + inline storage that
+/// exists regardless of payload size.
+const VALUE_MEM_OVERHEAD: u64 = 16;
+
+/// Approximate heap footprint of one materialized row.
+fn row_charge(row: &[Value]) -> u64 {
+    ROW_MEM_OVERHEAD
+        + row
+            .iter()
+            .map(|v| v.byte_size() as u64 + VALUE_MEM_OVERHEAD)
+            .sum::<u64>()
+}
+
+/// [`row_charge`] over a slice of rows.
+fn rows_charge(rows: &[Vec<Value>]) -> u64 {
+    rows.iter().map(|r| row_charge(r)).sum()
 }
 
 /// A per-row predicate: the compiled program when one was built, the
@@ -131,6 +162,12 @@ struct ScanPrograms<'a> {
     /// honoured when the pushed filter (if any) compiled — the batch
     /// kernels execute compiled programs, not interpreter trees.
     vectorized: bool,
+    /// Stop accumulating output rows at this count (merged with the
+    /// planner's `limit_hint`).  Set from `max_rows + 1` for plans with no
+    /// downstream row-reducing or row-reordering operators, so the row
+    /// budget bounds memory during the scan instead of trimming a fully
+    /// materialized result; the extra row keeps `truncated` detectable.
+    row_cap: Option<u64>,
 }
 
 /// Programs of one join step.
@@ -255,13 +292,27 @@ pub struct Executor<'a> {
     pub functions: &'a FunctionRegistry,
     /// Session variables visible to the query.
     pub variables: &'a HashMap<String, Value>,
-    /// Row/time budgets enforced during execution.
+    /// Row/time/memory budgets enforced during execution.
     pub limits: QueryLimits,
     started: Instant,
     /// Cooperative cancellation/progress/pacing hook, checked every
     /// [`MONITOR_BATCH`] rows or probes.  `None` costs nothing on the hot
     /// path beyond a local counter increment.
     monitor: Option<&'a QueryMonitor>,
+    /// Bytes of materialized state charged so far — shared atomically
+    /// across parallel-scan workers and derived-plan recursion so the
+    /// `max_bytes` budget covers the whole statement.
+    mem_used: AtomicU64,
+}
+
+impl Drop for Executor<'_> {
+    fn drop(&mut self) {
+        // Return this statement's charge to the monitor's gauge so an
+        // observer sees live usage, not the sum over a whole script.
+        if let Some(monitor) = self.monitor {
+            monitor.release_bytes(self.mem_used.load(Ordering::Relaxed));
+        }
+    }
 }
 
 /// Result of executing a plan, before any INTO handling.
@@ -288,7 +339,30 @@ impl<'a> Executor<'a> {
             limits,
             started: Instant::now(),
             monitor: None,
+            mem_used: AtomicU64::new(0),
         }
+    }
+
+    /// Charge `bytes` of newly materialized state against the memory
+    /// budget.  Reports to the attached monitor's gauge and raises
+    /// [`SqlError::ResourceExhausted`] once `max_bytes` is crossed — the
+    /// governor's alternative to an OOM kill.
+    fn charge_mem(&self, bytes: u64) -> Result<(), SqlError> {
+        if bytes == 0 {
+            return Ok(());
+        }
+        let now = self.mem_used.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        if let Some(monitor) = self.monitor {
+            monitor.charge_bytes(bytes);
+        }
+        if let Some(budget) = self.limits.max_bytes {
+            if now > budget {
+                return Err(SqlError::ResourceExhausted(format!(
+                    "query materialized {now} bytes against its {budget} byte budget"
+                )));
+            }
+        }
+        Ok(())
     }
 
     /// Attach a [`QueryMonitor`]: the executor reports progress to it and
@@ -352,6 +426,11 @@ impl<'a> Executor<'a> {
     /// The shared batch-boundary checkpoint: enforce the time budget and
     /// the monitor's cancellation flag, then apply its pacing sleep.
     fn checkpoint(&self) -> Result<(), SqlError> {
+        // Chaos hook at the universal batch boundary: every plan shape
+        // (heap scan, index scan, join, aggregate) passes through here,
+        // so an injected fault reaches any query (delays model a slow
+        // kernel; errors a mid-execution failure).
+        skyserver_storage::failpoints::check("executor.batch").map_err(SqlError::Execution)?;
         // Batch boundaries double as time-budget checkpoints, so a long
         // scan hits its `max_seconds` limit mid-flight instead of only at
         // the next pipeline stage.
@@ -374,6 +453,16 @@ impl<'a> Executor<'a> {
                 return Err(SqlError::LimitExceeded(format!(
                     "query exceeded the {budget} second computation budget"
                 )));
+            }
+        }
+        // The monitor's deadline is the request-scoped wall budget the web
+        // tier propagates (interactive, API and batch paths all set it);
+        // it expires a query mid-scan exactly like `max_seconds`.
+        if let Some(monitor) = self.monitor {
+            if monitor.deadline_expired() {
+                return Err(SqlError::LimitExceeded(
+                    "query ran past its request deadline".into(),
+                ));
             }
         }
         Ok(())
@@ -410,6 +499,25 @@ impl<'a> Executor<'a> {
         }
     }
 
+    /// The row count at which this plan's driving scan may stop
+    /// accumulating: `max_rows + 1` when no downstream operator (join,
+    /// residual, aggregate, ORDER BY, DISTINCT) can reduce or reorder
+    /// rows, `None` otherwise.  The extra row is what lets [`Self::finish`]
+    /// still detect and flag truncation.
+    fn accumulation_cap(&self, plan: &SelectPlan) -> Option<u64> {
+        let eligible = plan.joins.is_empty()
+            && plan.residual.is_none()
+            && !plan.has_aggregates
+            && plan.group_by.is_empty()
+            && plan.order_by.is_empty()
+            && !plan.distinct
+            && plan.sources.len() == 1;
+        if !eligible {
+            return None;
+        }
+        self.limits.max_rows.map(|m| m as u64 + 1)
+    }
+
     /// Execute a SELECT plan to completion.
     pub fn execute_select(&self, plan: &SelectPlan) -> Result<ExecutedSelect, SqlError> {
         let mut stats = ScanStats::default();
@@ -435,6 +543,7 @@ impl<'a> Executor<'a> {
                         filter: source_program(programs, 0),
                         project: Some(proj),
                         vectorized: plan.vectorized,
+                        row_cap: self.accumulation_cap(plan),
                     };
                     let (rows, _schema) =
                         self.execute_source(&plan.sources[0], scan, &mut stats)?;
@@ -453,6 +562,7 @@ impl<'a> Executor<'a> {
                 filter: source_program(programs, 0),
                 project: None,
                 vectorized: plan.vectorized,
+                row_cap: self.accumulation_cap(plan),
             };
             self.execute_source(&plan.sources[0], scan, &mut stats)?
         };
@@ -511,6 +621,9 @@ impl<'a> Executor<'a> {
                     for p in &projections {
                         proj.push(p.eval(&row, &ctx)?);
                     }
+                    // The projected row doubles the materialized state
+                    // while both copies are alive.
+                    self.charge_mem(row_charge(&proj))?;
                     out.push((row, proj));
                 }
                 out
@@ -559,6 +672,8 @@ impl<'a> Executor<'a> {
                         }
                     }
                 }
+                // Sort keys are the sort buffer's own footprint.
+                self.charge_mem(row_charge(&keys))?;
                 keyed.push((keys, (row, proj)));
             }
             keyed.sort_by(|a, b| {
@@ -657,6 +772,7 @@ impl<'a> Executor<'a> {
                         })
                         .collect::<Result<_, _>>()?;
                 }
+                self.charge_mem(rows_charge(&rows))?;
                 stats.rows_returned += rows.len() as u64;
                 Ok((rows, source.schema.clone()))
             }
@@ -691,6 +807,12 @@ impl<'a> Executor<'a> {
     ) -> Result<(Vec<Vec<Value>>, RowSchema), SqlError> {
         let t = self.db.table(table)?;
         let full_schema = heap_schema(self.db, &source.alias, table)?;
+        // The planner's TOP-derived hint and the governor's accumulation
+        // cap both bound the scan; the tighter one wins.
+        let limit_hint = match (source.limit_hint, scan.row_cap) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
         match path {
             AccessPath::HeapScan => {
                 let outcome = self.scan_heap_segments(
@@ -700,14 +822,21 @@ impl<'a> Executor<'a> {
                     source,
                     scan,
                     &full_schema,
-                    source.limit_hint,
+                    limit_hint,
                 )?;
                 outcome.merge_into(stats);
                 Ok((outcome.rows, full_schema))
             }
             AccessPath::ParallelHeapScan { workers } => {
-                let rows =
-                    self.parallel_heap_scan(t, &full_schema, source, scan, *workers, stats)?;
+                let rows = self.parallel_heap_scan(
+                    t,
+                    &full_schema,
+                    source,
+                    scan,
+                    *workers,
+                    limit_hint,
+                    stats,
+                )?;
                 Ok((rows, full_schema))
             }
             AccessPath::IndexSeek { index, bounds } => {
@@ -775,8 +904,10 @@ impl<'a> Executor<'a> {
                             continue;
                         }
                     }
-                    out.push(self.emit(&row, scan.project, &ctx)?);
-                    if source.limit_hint.is_some_and(|l| out.len() as u64 >= l) {
+                    let produced = self.emit(&row, scan.project, &ctx)?;
+                    self.charge_mem(row_charge(&produced))?;
+                    out.push(produced);
+                    if limit_hint.is_some_and(|l| out.len() as u64 >= l) {
                         break;
                     }
                 }
@@ -816,11 +947,13 @@ impl<'a> Executor<'a> {
                             continue;
                         }
                     }
-                    out.push(match scan.project {
+                    let produced = match scan.project {
                         Some(_) => self.emit(&scratch, scan.project, &ctx)?,
                         None => std::mem::take(&mut scratch),
-                    });
-                    if source.limit_hint.is_some_and(|l| out.len() as u64 >= l) {
+                    };
+                    self.charge_mem(row_charge(&produced))?;
+                    out.push(produced);
+                    if limit_hint.is_some_and(|l| out.len() as u64 >= l) {
                         break;
                     }
                 }
@@ -830,6 +963,7 @@ impl<'a> Executor<'a> {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn parallel_heap_scan(
         &self,
         t: &skyserver_storage::Table,
@@ -837,6 +971,7 @@ impl<'a> Executor<'a> {
         source: &SourcePlan,
         scan: ScanPrograms<'_>,
         workers: usize,
+        limit_hint: Option<u64>,
         stats: &mut ScanStats,
     ) -> Result<Vec<Vec<Value>>, SqlError> {
         let workers = workers
@@ -849,7 +984,6 @@ impl<'a> Executor<'a> {
         // Partitions are segment-aligned, so each worker owns a whole
         // range of segments and prunes/scans them independently.
         let partitions = t.partition_row_ids(workers);
-        let limit_hint = source.limit_hint;
         let results: Vec<Result<HeapScanOutcome, SqlError>> = std::thread::scope(|scope| {
             let handles: Vec<_> = partitions
                 .iter()
@@ -931,6 +1065,10 @@ impl<'a> Executor<'a> {
         let segments = t.segments();
         let seg_hi = seg_hi.min(segments.len());
         'segments: for seg in &segments[seg_lo.min(seg_hi)..seg_hi] {
+            // Chaos hook: a failed segment read surfaces as a structured
+            // storage error, never a lost worker.
+            skyserver_storage::failpoints::check("storage.segment_read")
+                .map_err(|m| SqlError::Storage(skyserver_storage::StorageError::ReadFailed(m)))?;
             if !source.zone_constraints.is_empty()
                 && source.zone_constraints.iter().any(|zc| {
                     let col = seg.column(zc.ordinal);
@@ -962,6 +1100,7 @@ impl<'a> Executor<'a> {
             let mut base = 0usize;
             while base < slots {
                 let end = (base + BATCH_ROWS).min(slots);
+                let chunk_start = outcome.rows.len();
                 let visited = match &program {
                     Some(program) => {
                         let visited = program.begin_chunk(seg, base, end, &mut scratch);
@@ -997,6 +1136,10 @@ impl<'a> Executor<'a> {
                 }
                 outcome.bytes += visited.saturating_mul(bytes_per_row);
                 outcome.logical_bytes += visited.saturating_mul(logical_per_row);
+                // Charge the chunk's surviving rows against the memory
+                // budget (chunk granularity keeps the atomics off the
+                // per-row path).
+                self.charge_mem(rows_charge(&outcome.rows[chunk_start..]))?;
                 self.tick_rows(&mut pending, visited)?;
                 if let Some(l) = limit_hint {
                     if outcome.rows.len() as u64 >= l {
@@ -1123,11 +1266,13 @@ impl<'a> Executor<'a> {
                             }
                         }
                         matched = true;
+                        self.charge_mem(row_charge(&scratch))?;
                         out.push(scratch.clone());
                     }
                     if !matched && step.kind == JoinKind::Left {
                         let mut combined = outer_row.clone();
                         combined.extend(std::iter::repeat_n(Value::Null, inner_full_schema.len()));
+                        self.charge_mem(row_charge(&combined))?;
                         out.push(combined);
                     }
                 }
@@ -1144,6 +1289,7 @@ impl<'a> Executor<'a> {
                     filter: join.inner_filter,
                     project: None,
                     vectorized: join.vectorized,
+                    row_cap: None,
                 };
                 let (inner_rows, inner_schema) = self.execute_source(inner, inner_scan, stats)?;
                 let inner_ctx = self.ctx(&inner_schema);
@@ -1166,6 +1312,10 @@ impl<'a> Executor<'a> {
                     if key.iter().any(Value::is_null) {
                         continue;
                     }
+                    // The build table's keys are new memory (the rows
+                    // themselves were charged when the inner scan
+                    // materialized them).
+                    self.charge_mem(row_charge(&key))?;
                     hash.entry(key).or_default().push(i);
                 }
                 let combined_schema = outer_schema.join(&inner_schema);
@@ -1208,6 +1358,7 @@ impl<'a> Executor<'a> {
                                     }
                                 }
                                 matched = true;
+                                self.charge_mem(row_charge(&scratch))?;
                                 out.push(scratch.clone());
                             }
                         }
@@ -1215,6 +1366,7 @@ impl<'a> Executor<'a> {
                     if !matched && step.kind == JoinKind::Left {
                         let mut combined = outer_row.clone();
                         combined.extend(std::iter::repeat_n(Value::Null, inner_schema.len()));
+                        self.charge_mem(row_charge(&combined))?;
                         out.push(combined);
                     }
                 }
@@ -1226,6 +1378,7 @@ impl<'a> Executor<'a> {
                     filter: join.inner_filter,
                     project: None,
                     vectorized: join.vectorized,
+                    row_cap: None,
                 };
                 let (inner_rows, inner_schema) = self.execute_source(inner, inner_scan, stats)?;
                 let combined_schema = outer_schema.join(&inner_schema);
@@ -1260,11 +1413,13 @@ impl<'a> Executor<'a> {
                             }
                         }
                         matched = true;
+                        self.charge_mem(row_charge(&scratch))?;
                         out.push(scratch.clone());
                     }
                     if !matched && step.kind == JoinKind::Left {
                         let mut combined = outer_row.clone();
                         combined.extend(std::iter::repeat_n(Value::Null, inner_schema.len()));
+                        self.charge_mem(row_charge(&combined))?;
                         out.push(combined);
                     }
                 }
@@ -1333,6 +1488,8 @@ impl<'a> Executor<'a> {
                 .iter()
                 .map(|g| g.eval(&row, &ctx))
                 .collect::<Result<_, _>>()?;
+            // Rows move into the table (already charged); the keys are new.
+            self.charge_mem(row_charge(&key))?;
             groups.entry(key).or_default().push(row);
         }
         // A grand aggregate over zero rows still produces one group.
@@ -1385,6 +1542,7 @@ impl<'a> Executor<'a> {
             for p in projections {
                 proj.push(p.eval(&representative, &agg_ctx)?);
             }
+            self.charge_mem(row_charge(&representative) + row_charge(&proj))?;
             out.push((representative, proj));
         }
         Ok(out)
@@ -1414,6 +1572,8 @@ impl<'a> Executor<'a> {
                 .iter()
                 .map(|g| eval(g, &row, &ctx))
                 .collect::<Result<_, _>>()?;
+            // Rows move into the table (already charged); the keys are new.
+            self.charge_mem(row_charge(&key))?;
             groups.entry(key).or_default().push(row);
         }
         // A grand aggregate over zero rows still produces one group.
@@ -1451,6 +1611,7 @@ impl<'a> Executor<'a> {
             for (expr, _) in &plan.projections {
                 proj.push(eval(expr, &representative, &agg_ctx)?);
             }
+            self.charge_mem(row_charge(&representative) + row_charge(&proj))?;
             out.push((representative, proj));
         }
         Ok(out)

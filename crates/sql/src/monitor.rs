@@ -22,7 +22,7 @@
 //! observers, with no locks on the hot path.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How many rows/probes the executor processes between monitor checks.
 ///
@@ -36,17 +36,47 @@ pub const MONITOR_BATCH: u64 = 256;
 /// Create one per query, hand a reference to the executor (via
 /// [`crate::SqlEngine::execute_read_with`]) and keep a clone of the
 /// surrounding `Arc` to observe or cancel from other threads.
-#[derive(Debug, Default)]
+///
+/// Beyond cancel/progress/pace, the monitor carries the two resource
+/// signals the governor propagates into a running query:
+///
+/// * a **deadline** ([`QueryMonitor::set_deadline`]) checked at every
+///   [`MONITOR_BATCH`] tick — the web tier derives one per request so
+///   interactive, API and batch paths all share a single expiry mechanism;
+/// * a **memory gauge** ([`QueryMonitor::bytes_in_use`] /
+///   [`QueryMonitor::peak_bytes`]) fed by the executor's accumulation
+///   points, so an observer can see how much a query is holding.
+#[derive(Debug)]
 pub struct QueryMonitor {
     cancelled: AtomicBool,
     rows_processed: AtomicU64,
     pace_micros: AtomicU64,
+    bytes_in_use: AtomicU64,
+    peak_bytes: AtomicU64,
+    /// Micros from `created` to the deadline; 0 = no deadline set.
+    deadline_at_micros: AtomicU64,
+    created: Instant,
+}
+
+impl Default for QueryMonitor {
+    fn default() -> QueryMonitor {
+        QueryMonitor::new()
+    }
 }
 
 impl QueryMonitor {
-    /// A fresh monitor: not cancelled, zero progress, no pacing.
+    /// A fresh monitor: not cancelled, zero progress, no pacing, no
+    /// deadline, empty memory gauge.
     pub fn new() -> QueryMonitor {
-        QueryMonitor::default()
+        QueryMonitor {
+            cancelled: AtomicBool::new(false),
+            rows_processed: AtomicU64::new(0),
+            pace_micros: AtomicU64::new(0),
+            bytes_in_use: AtomicU64::new(0),
+            peak_bytes: AtomicU64::new(0),
+            deadline_at_micros: AtomicU64::new(0),
+            created: Instant::now(),
+        }
     }
 
     /// Ask the running query to stop.  The executor notices at the next
@@ -82,6 +112,75 @@ impl QueryMonitor {
     /// The current pacing sleep (zero = none).
     pub fn pace(&self) -> Duration {
         Duration::from_micros(self.pace_micros.load(Ordering::Relaxed))
+    }
+
+    /// Set an absolute deadline `budget` from now.  The executor checks it
+    /// at every [`MONITOR_BATCH`] tick and raises the wall-clock limit
+    /// error ([`crate::SqlError::LimitExceeded`]) once it passes.  A zero
+    /// budget expires immediately; calling again moves the deadline.
+    pub fn set_deadline(&self, budget: Duration) {
+        // Store micros-from-created; saturate at 1 so "deadline at the
+        // creation instant" is still distinguishable from "none".
+        let at = self
+            .created
+            .elapsed()
+            .saturating_add(budget)
+            .as_micros()
+            .min(u64::MAX as u128) as u64;
+        self.deadline_at_micros.store(at.max(1), Ordering::Relaxed);
+    }
+
+    /// Remove the deadline (queries then run on [`crate::QueryLimits`]'
+    /// `max_seconds` alone, if set).
+    pub fn clear_deadline(&self) {
+        self.deadline_at_micros.store(0, Ordering::Relaxed);
+    }
+
+    /// Has a deadline been set and already passed?
+    pub fn deadline_expired(&self) -> bool {
+        let at = self.deadline_at_micros.load(Ordering::Relaxed);
+        at != 0 && self.created.elapsed().as_micros() as u64 >= at
+    }
+
+    /// Time remaining until the deadline (`None` when no deadline is set;
+    /// zero once expired).
+    pub fn deadline_remaining(&self) -> Option<Duration> {
+        let at = self.deadline_at_micros.load(Ordering::Relaxed);
+        if at == 0 {
+            return None;
+        }
+        let elapsed = self.created.elapsed().as_micros() as u64;
+        Some(Duration::from_micros(at.saturating_sub(elapsed)))
+    }
+
+    /// Charge `n` bytes to the query's memory gauge (called by the
+    /// executor's accumulation points) and track the high-water mark.
+    pub fn charge_bytes(&self, n: u64) {
+        let now = self.bytes_in_use.fetch_add(n, Ordering::Relaxed) + n;
+        self.peak_bytes.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Release `n` previously charged bytes (end of query, or a buffer
+    /// handed off/dropped).
+    pub fn release_bytes(&self, n: u64) {
+        // Saturating: a release that races a reset must not wrap the gauge.
+        let _ = self
+            .bytes_in_use
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(n))
+            });
+    }
+
+    /// Bytes the query is holding right now across its accumulation
+    /// points.
+    pub fn bytes_in_use(&self) -> u64 {
+        self.bytes_in_use.load(Ordering::Relaxed)
+    }
+
+    /// The high-water mark of [`QueryMonitor::bytes_in_use`] over the
+    /// query's lifetime.
+    pub fn peak_bytes(&self) -> u64 {
+        self.peak_bytes.load(Ordering::Relaxed)
     }
 }
 
@@ -121,5 +220,34 @@ mod tests {
             }
         });
         assert_eq!(m.rows_processed(), 4000);
+    }
+
+    #[test]
+    fn deadline_expires_and_clears() {
+        let m = QueryMonitor::new();
+        assert!(!m.deadline_expired());
+        assert!(m.deadline_remaining().is_none());
+        m.set_deadline(Duration::from_secs(3600));
+        assert!(!m.deadline_expired());
+        assert!(m.deadline_remaining().unwrap() > Duration::from_secs(3000));
+        m.set_deadline(Duration::ZERO);
+        assert!(m.deadline_expired());
+        assert_eq!(m.deadline_remaining(), Some(Duration::ZERO));
+        m.clear_deadline();
+        assert!(!m.deadline_expired());
+    }
+
+    #[test]
+    fn memory_gauge_tracks_peak_and_saturates() {
+        let m = QueryMonitor::new();
+        m.charge_bytes(1000);
+        m.charge_bytes(500);
+        assert_eq!(m.bytes_in_use(), 1500);
+        assert_eq!(m.peak_bytes(), 1500);
+        m.release_bytes(1200);
+        assert_eq!(m.bytes_in_use(), 300);
+        assert_eq!(m.peak_bytes(), 1500, "peak survives releases");
+        m.release_bytes(10_000);
+        assert_eq!(m.bytes_in_use(), 0, "release saturates at zero");
     }
 }

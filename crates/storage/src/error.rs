@@ -28,6 +28,9 @@ pub enum StorageError {
     },
     /// Generic constraint violation.
     ConstraintViolation(String),
+    /// A read failed (today only injected by [`crate::failpoints`]; the
+    /// slot where a real I/O error class would surface).
+    ReadFailed(String),
 }
 
 impl fmt::Display for StorageError {
@@ -47,6 +50,7 @@ impl fmt::Display for StorageError {
                 "foreign key {constraint} on {table} violated by value {value}"
             ),
             StorageError::ConstraintViolation(m) => write!(f, "constraint violation: {m}"),
+            StorageError::ReadFailed(m) => write!(f, "read failed: {m}"),
         }
     }
 }

@@ -1,0 +1,213 @@
+//! Named fault-injection sites ("failpoints") for chaos testing.
+//!
+//! A decade of operating the real SkyServer (see the DR13 retrospective in
+//! PAPERS.md) was survival through partial failure: disks misread, workers
+//! died, caches corrupted — and the site had to keep answering.  This
+//! module lets tests and operators *inject* those faults deterministically
+//! at named sites threaded through the engine and the web tier, so the
+//! chaos suite can prove every fault surfaces as a structured error
+//! instead of a dead worker or a poisoned lock.
+//!
+//! Sites currently wired in:
+//!
+//! | site | where it fires |
+//! |------|----------------|
+//! | `storage.segment_read` | per segment in the executor's heap-scan loop |
+//! | `executor.batch` | every 256-row executor checkpoint (all plan shapes) |
+//! | `cache.insert` | web result/row cache inserts (fault → skip caching) |
+//! | `jobs.runner` | just before a batch worker runs a job's SQL |
+//! | `http.response_write` | just before a response is written to a socket |
+//!
+//! Configuration is programmatic ([`configure`] / [`clear`] / [`clear_all`])
+//! or via the `SKYSERVER_FAILPOINTS` environment variable, parsed once at
+//! first use: a comma-separated list of `site=action` pairs where the
+//! action is `error`, `delay(<millis>)` or `panic`, e.g.
+//!
+//! ```text
+//! SKYSERVER_FAILPOINTS="storage.segment_read=error,jobs.runner=delay(50)"
+//! ```
+//!
+//! The check is two relaxed-or-acquire atomic loads when no failpoint is
+//! active, so production paths pay nothing for carrying the hooks.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock, PoisonError};
+use std::time::Duration;
+
+/// What an armed failpoint does when its site is reached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailAction {
+    /// Return an injected error from the site.
+    Error,
+    /// Sleep this many milliseconds, then continue normally.
+    Delay(u64),
+    /// Panic at the site (the chaos suite proves workers survive this).
+    Panic,
+}
+
+/// Fast path: false ⇒ no site is armed and [`check`] returns immediately.
+static ANY_ACTIVE: AtomicBool = AtomicBool::new(false);
+
+/// True once the registry (and with it `SKYSERVER_FAILPOINTS`) has been
+/// initialized.  [`armed`] must force that init before trusting
+/// [`ANY_ACTIVE`]: the fast path would otherwise short-circuit forever
+/// and env-armed sites would never fire.
+static ENV_SCANNED: AtomicBool = AtomicBool::new(false);
+
+fn registry() -> &'static Mutex<HashMap<String, FailAction>> {
+    static REGISTRY: OnceLock<Mutex<HashMap<String, FailAction>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| {
+        let mut map = HashMap::new();
+        if let Ok(spec) = std::env::var("SKYSERVER_FAILPOINTS") {
+            for (site, action) in parse_spec(&spec) {
+                map.insert(site, action);
+            }
+        }
+        if !map.is_empty() {
+            ANY_ACTIVE.store(true, Ordering::SeqCst);
+        }
+        ENV_SCANNED.store(true, Ordering::Release);
+        Mutex::new(map)
+    })
+}
+
+/// Parse a `SKYSERVER_FAILPOINTS`-style spec.  Unparseable entries are
+/// skipped: fault injection must never take the server down by itself.
+fn parse_spec(spec: &str) -> Vec<(String, FailAction)> {
+    spec.split(',')
+        .filter_map(|entry| {
+            let (site, action) = entry.split_once('=')?;
+            let site = site.trim();
+            if site.is_empty() {
+                return None;
+            }
+            let action = match action.trim() {
+                "error" => FailAction::Error,
+                "panic" => FailAction::Panic,
+                delay => {
+                    let millis = delay.strip_prefix("delay(")?.strip_suffix(')')?;
+                    FailAction::Delay(millis.trim().parse().ok()?)
+                }
+            };
+            Some((site.to_string(), action))
+        })
+        .collect()
+}
+
+/// Arm `site` with `action`.  Replaces any previous action for the site.
+pub fn configure(site: &str, action: FailAction) {
+    let mut map = registry().lock().unwrap_or_else(PoisonError::into_inner);
+    map.insert(site.to_string(), action);
+    ANY_ACTIVE.store(true, Ordering::SeqCst);
+}
+
+/// Disarm `site` (a no-op if it was not armed).
+pub fn clear(site: &str) {
+    let mut map = registry().lock().unwrap_or_else(PoisonError::into_inner);
+    map.remove(site);
+    if map.is_empty() {
+        ANY_ACTIVE.store(false, Ordering::SeqCst);
+    }
+}
+
+/// Disarm every site.
+pub fn clear_all() {
+    let mut map = registry().lock().unwrap_or_else(PoisonError::into_inner);
+    map.clear();
+    ANY_ACTIVE.store(false, Ordering::SeqCst);
+}
+
+/// The action currently armed at `site`, if any.
+pub fn armed(site: &str) -> Option<FailAction> {
+    if !ENV_SCANNED.load(Ordering::Acquire) {
+        registry();
+    }
+    if !ANY_ACTIVE.load(Ordering::Relaxed) {
+        return None;
+    }
+    registry()
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .get(site)
+        .copied()
+}
+
+/// The hook a site calls: returns `Err` with an injected message, sleeps,
+/// or panics according to the armed action; `Ok(())` when the site is not
+/// armed.  The registry lock is released *before* sleeping or panicking,
+/// so an injected panic can never poison the registry itself.
+pub fn check(site: &str) -> Result<(), String> {
+    let Some(action) = armed(site) else {
+        return Ok(());
+    };
+    match action {
+        FailAction::Error => Err(format!("injected fault at failpoint {site}")),
+        FailAction::Delay(millis) => {
+            std::thread::sleep(Duration::from_millis(millis));
+            Ok(())
+        }
+        FailAction::Panic => {
+            // skylint: allow(no-panic) panic injection is this module's purpose; the chaos suite proves workers survive it
+            panic!("injected panic at failpoint {site}")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Failpoint state is process-global; tests that touch it serialize on
+    // this lock (the chaos suite in the web crate does the same).
+    static SERIAL: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn unarmed_sites_pass_and_arming_is_reversible() {
+        let _guard = SERIAL.lock().unwrap_or_else(PoisonError::into_inner);
+        clear_all();
+        assert_eq!(check("storage.segment_read"), Ok(()));
+        configure("storage.segment_read", FailAction::Error);
+        let err = check("storage.segment_read").unwrap_err();
+        assert!(err.contains("storage.segment_read"), "{err}");
+        assert_eq!(check("some.other.site"), Ok(()));
+        clear("storage.segment_read");
+        assert_eq!(check("storage.segment_read"), Ok(()));
+        assert!(armed("storage.segment_read").is_none());
+    }
+
+    #[test]
+    fn delay_sleeps_then_continues() {
+        let _guard = SERIAL.lock().unwrap_or_else(PoisonError::into_inner);
+        clear_all();
+        configure("jobs.runner", FailAction::Delay(20));
+        let started = std::time::Instant::now();
+        assert_eq!(check("jobs.runner"), Ok(()));
+        assert!(started.elapsed() >= Duration::from_millis(20));
+        clear_all();
+    }
+
+    #[test]
+    fn panic_action_panics_without_poisoning_the_registry() {
+        let _guard = SERIAL.lock().unwrap_or_else(PoisonError::into_inner);
+        clear_all();
+        configure("executor.batch", FailAction::Panic);
+        let result = std::panic::catch_unwind(|| check("executor.batch"));
+        assert!(result.is_err(), "the armed panic must fire");
+        // The registry survives: it can be reconfigured and read.
+        configure("executor.batch", FailAction::Error);
+        assert!(check("executor.batch").is_err());
+        clear_all();
+        assert_eq!(check("executor.batch"), Ok(()));
+    }
+
+    #[test]
+    fn env_spec_parses_all_three_actions_and_skips_garbage() {
+        let spec = "a=error, b=delay(50) ,c=panic,broken,d=delay(x),=error";
+        let parsed: HashMap<String, FailAction> = parse_spec(spec).into_iter().collect();
+        assert_eq!(parsed.len(), 3);
+        assert_eq!(parsed.get("a"), Some(&FailAction::Error));
+        assert_eq!(parsed.get("b"), Some(&FailAction::Delay(50)));
+        assert_eq!(parsed.get("c"), Some(&FailAction::Panic));
+    }
+}

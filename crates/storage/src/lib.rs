@@ -26,6 +26,7 @@
 
 pub mod database;
 pub mod error;
+pub mod failpoints;
 pub mod index;
 pub mod iosim;
 pub mod schema;
@@ -36,6 +37,7 @@ pub mod value;
 
 pub use database::{Database, ForeignKey, TableSummary, ViewDef};
 pub use error::StorageError;
+pub use failpoints::FailAction;
 pub use index::{BTreeIndex, IndexDef, IndexEntry, IndexKey};
 pub use iosim::{CpuCost, DiskConfig, HardwareProfile, IoSimulator, SimTiming};
 pub use schema::{ColumnDef, SchemaError, TableSchema};

@@ -106,18 +106,27 @@ pub const ERROR_CODES: &[(&str, u16, &str)] = &[
         "The batch job ended in an error; the message carries the job's error text.",
     ),
     (
+        "resource_exhausted",
+        422,
+        "The query materialized more bytes than its memory budget allows; narrow it or submit it as a batch job.",
+    ),
+    (
         "quota_exceeded",
         429,
-        "A per-submitter batch-job quota (active jobs or stored result bytes) was hit.",
+        "A per-submitter batch-job quota (active jobs or stored result bytes) was hit; retry after the hinted delay.",
     ),
     ("storage_error", 500, "An internal storage failure."),
     ("internal_error", 500, "An unexpected server-side failure."),
     (
         "overloaded",
         503,
-        "The accept queue is full; retry shortly (emitted pre-routing, with a plain-text body).",
+        "The server is shedding load (accept queue or query admission cap full); retry after the hinted delay.",
     ),
 ];
+
+/// The `Retry-After` hint (in seconds) attached to every `429` and `503`
+/// response, on both the API envelope and the legacy plain-text surface.
+pub const RETRY_AFTER_SECONDS: &str = "1";
 
 /// The HTTP status registered for an error code (500 for codes outside
 /// the taxonomy, which would itself be a bug the conformance suite
@@ -221,6 +230,8 @@ impl ApiError {
     /// Render the envelope.  Errors are always JSON, whatever output
     /// format the request asked for: a client that cannot parse the body
     /// still has the status code, and a client that can gets the code.
+    /// Shedding statuses (`429`, `503`) always carry a `Retry-After`
+    /// header so well-behaved clients back off instead of hammering.
     pub fn into_response(self) -> Response {
         let detail = self.detail.unwrap_or(serde_json::Value::Null);
         let body = serde_json::json!({
@@ -235,6 +246,9 @@ impl ApiError {
             body.to_string().into_bytes(),
         );
         response.status = self.status;
+        if self.status == 429 || self.status == 503 {
+            response = response.with_header("Retry-After", RETRY_AFTER_SECONDS);
+        }
         response
     }
 }
@@ -275,6 +289,11 @@ mod tests {
                 "query_timeout",
                 408,
             ),
+            (
+                SqlError::ResourceExhausted("64 MiB".into()).into(),
+                "resource_exhausted",
+                422,
+            ),
             (SqlError::ReadOnly("drop".into()).into(), "read_only", 403),
             (SqlError::Cancelled.into(), "query_cancelled", 409),
             (
@@ -288,6 +307,17 @@ mod tests {
             assert_eq!(api.code, code);
             assert_eq!(api.status, status);
         }
+    }
+
+    #[test]
+    fn shedding_envelopes_carry_retry_after() {
+        for code in ["quota_exceeded", "overloaded"] {
+            let r = ApiError::new(code, "busy").into_response();
+            assert_eq!(r.header("retry-after"), Some(RETRY_AFTER_SECONDS), "{code}");
+        }
+        // Non-shedding statuses carry no retry hint.
+        let r = ApiError::missing_parameter("sql").into_response();
+        assert!(r.header("retry-after").is_none());
     }
 
     #[test]

@@ -29,9 +29,35 @@ const JSON_CONTENT_TYPE: &str = "application/json; charset=utf-8";
 // these).
 // ---------------------------------------------------------------------------
 
-/// Run a read-only SQL script under the public limits (§4).
+/// Run a read-only SQL script under the public limits (§4), gated by the
+/// site's admission controller.  Beyond the in-flight cap the request is
+/// shed with `503 overloaded` (+ `Retry-After`); every admitted query
+/// carries the governor's wall-clock deadline into the executor and runs
+/// under the public memory budget, so expiry and exhaustion come back as
+/// structured `408` / `422` envelopes with partial progress stats.
 pub(crate) fn public_query(site: &SkyServerSite, sql: &str) -> Result<StatementOutcome, ApiError> {
-    site.sky().execute_public(sql).map_err(ApiError::from)
+    let Some(_permit) = site.governor().admit() else {
+        return Err(ApiError::new(
+            "overloaded",
+            "the server is at its concurrent-query cap; retry shortly",
+        ));
+    };
+    let monitor = skyserver::QueryMonitor::new();
+    monitor.set_deadline(site.governor().deadline());
+    site.sky().execute_public_with(sql, &monitor).map_err(|e| {
+        let api = ApiError::from(e);
+        // Resource-pressure failures report how far the query got
+        // before the governor stopped it.
+        if api.code == "query_timeout" || api.code == "resource_exhausted" {
+            let partial = serde_json::json!({
+                "rows_processed": monitor.rows_processed(),
+                "peak_bytes": monitor.peak_bytes(),
+            });
+            api.with_detail(partial)
+        } else {
+            api
+        }
+    })
 }
 
 /// Materialize a paginated resource through the site's rows cache: the

@@ -33,7 +33,7 @@ pub(crate) mod handlers;
 mod pagination;
 mod router;
 
-pub use error::{status_for, ApiError, ERROR_CODES};
+pub use error::{status_for, ApiError, ERROR_CODES, RETRY_AFTER_SECONDS};
 pub use extract::{check_range, negotiate_format, ApiRequest, FromParam, Zoom};
 pub use pagination::{
     decode_cursor, encode_cursor, paginate, render_page, Page, PageMeta, DEFAULT_PAGE_LIMIT,

@@ -221,8 +221,13 @@ impl ResultCache {
     }
 
     /// Insert a rendered body, evicting least-recently-used entries until
-    /// both the entry count and the byte budget fit.
+    /// both the entry count and the byte budget fit.  An injected
+    /// `cache.insert` fault skips caching silently: the cache is an
+    /// accelerator, so losing an insert must never fail the request.
     pub fn insert(&self, key: String, value: CachedBody) {
+        if skyserver::storage::failpoints::check("cache.insert").is_err() {
+            return;
+        }
         let entry_bytes = key.len() + value.content_type.len() + value.body.len();
         self.lru.insert(key, Arc::new(value), entry_bytes);
     }
@@ -268,8 +273,13 @@ impl RowCache {
         self.lru.get(key)
     }
 
-    /// Insert a materialized result (shared, not copied).
+    /// Insert a materialized result (shared, not copied).  Shares the
+    /// `cache.insert` failpoint with [`ResultCache`]: an injected fault
+    /// skips caching silently.
     pub fn insert(&self, key: String, result: Arc<skyserver::ResultSet>) {
+        if skyserver::storage::failpoints::check("cache.insert").is_err() {
+            return;
+        }
         let entry_bytes = key.len() + crate::jobs::approx_result_bytes(&result) as usize;
         self.lru.insert(key, result, entry_bytes);
     }

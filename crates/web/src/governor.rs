@@ -1,0 +1,186 @@
+//! Admission control for the interactive query path (§7).
+//!
+//! The paper's operations story (a 20x TV-driven traffic spike, months of
+//! crawler load) demands that the site *degrade* under overload rather
+//! than collapse: beyond a concurrency cap the right answer is an
+//! immediate `503` with a `Retry-After` hint, not another queued query
+//! that grows memory and stretches every in-flight request's latency.
+//!
+//! The [`Governor`] is the second of two shedding layers.  The HTTP
+//! transport already bounds its accept queue (connections beyond it get a
+//! pre-routing `503`); the governor bounds *query cost* behind that — at
+//! most [`GovernorConfig::max_in_flight`] public queries execute at once,
+//! and every admitted query inherits a wall-clock deadline that the SQL
+//! executor checks at each scheduling tick.  Together with the memory
+//! budget in `QueryLimits::PUBLIC`, every resource axis (sockets,
+//! concurrency, time, bytes) has a bound and a structured error.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Duration;
+
+/// Tuning knobs of the admission controller.
+#[derive(Debug, Clone)]
+pub struct GovernorConfig {
+    /// Maximum concurrently executing public queries; the excess is shed
+    /// with `503 overloaded` + `Retry-After`.
+    pub max_in_flight: usize,
+    /// Wall-clock deadline stamped on every admitted query's monitor;
+    /// expiry surfaces as `408 query_timeout` with partial progress
+    /// stats.  The paper's public budget is 30 seconds (§4).
+    pub deadline: Duration,
+}
+
+impl Default for GovernorConfig {
+    fn default() -> Self {
+        GovernorConfig {
+            // Comfortably above the default HTTP worker pool (8..=32), so
+            // the governor only sheds when queries genuinely pile up
+            // (e.g. slow scans pinning workers across keep-alive turns).
+            max_in_flight: 64,
+            deadline: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Counters the QA page and the overload benchmark read.
+#[derive(Debug, Clone, Copy, serde::Serialize)]
+pub struct GovernorStats {
+    /// Queries executing right now.
+    pub in_flight: usize,
+    /// Queries admitted since startup.
+    pub admitted: u64,
+    /// Queries shed with `503 overloaded` since startup.
+    pub shed: u64,
+}
+
+/// The admission controller: a concurrency gate over the public query
+/// path plus the per-request deadline policy.
+#[derive(Debug)]
+pub struct Governor {
+    config: GovernorConfig,
+    in_flight: AtomicUsize,
+    admitted: AtomicU64,
+    shed: AtomicU64,
+}
+
+impl Governor {
+    /// A governor with the given configuration.
+    pub fn new(config: GovernorConfig) -> Governor {
+        Governor {
+            config,
+            in_flight: AtomicUsize::new(0),
+            admitted: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+        }
+    }
+
+    /// Try to admit one query.  `None` means the in-flight cap is reached
+    /// and the request must be shed; `Some` holds a slot until dropped.
+    pub fn admit(&self) -> Option<AdmissionPermit<'_>> {
+        let cap = self.config.max_in_flight;
+        let won = self
+            .in_flight
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+                (n < cap).then_some(n + 1)
+            });
+        match won {
+            Ok(_) => {
+                self.admitted.fetch_add(1, Ordering::Relaxed);
+                Some(AdmissionPermit { governor: self })
+            }
+            Err(_) => {
+                self.shed.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// The deadline stamped on every admitted query.
+    pub fn deadline(&self) -> Duration {
+        self.config.deadline
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> GovernorStats {
+        GovernorStats {
+            in_flight: self.in_flight.load(Ordering::SeqCst),
+            admitted: self.admitted.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// RAII hold on one in-flight slot; dropping it releases the slot even if
+/// the query errors or the handler unwinds.
+#[derive(Debug)]
+pub struct AdmissionPermit<'a> {
+    governor: &'a Governor,
+}
+
+impl Drop for AdmissionPermit<'_> {
+    fn drop(&mut self) {
+        self.governor.in_flight.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admits_up_to_the_cap_then_sheds() {
+        let governor = Governor::new(GovernorConfig {
+            max_in_flight: 2,
+            deadline: Duration::from_secs(30),
+        });
+        let a = governor.admit().expect("slot 1");
+        let _b = governor.admit().expect("slot 2");
+        assert!(governor.admit().is_none(), "third query must be shed");
+        let stats = governor.stats();
+        assert_eq!(stats.in_flight, 2);
+        assert_eq!(stats.admitted, 2);
+        assert_eq!(stats.shed, 1);
+        // Dropping a permit frees its slot for the next query.
+        drop(a);
+        assert!(governor.admit().is_some());
+    }
+
+    #[test]
+    fn permits_release_on_unwind() {
+        let governor = Governor::new(GovernorConfig {
+            max_in_flight: 1,
+            deadline: Duration::from_secs(30),
+        });
+        let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _permit = governor.admit().expect("slot");
+            panic!("handler blew up mid-query");
+        }));
+        assert!(attempt.is_err());
+        assert_eq!(governor.stats().in_flight, 0, "unwind must free the slot");
+        assert!(governor.admit().is_some());
+    }
+
+    #[test]
+    fn concurrent_admission_never_overshoots_the_cap() {
+        let governor = Governor::new(GovernorConfig {
+            max_in_flight: 4,
+            deadline: Duration::from_secs(30),
+        });
+        let peak = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..16 {
+                scope.spawn(|| {
+                    for _ in 0..50 {
+                        if let Some(_permit) = governor.admit() {
+                            let now = governor.stats().in_flight;
+                            peak.fetch_max(now, Ordering::SeqCst);
+                            std::thread::yield_now();
+                        }
+                    }
+                });
+            }
+        });
+        assert!(peak.load(Ordering::SeqCst) <= 4);
+        assert_eq!(governor.stats().in_flight, 0);
+    }
+}

@@ -399,10 +399,12 @@ impl HttpServer {
                         Ok(()) => {}
                         Err(TrySendError::Full(stream)) => {
                             // Bounded overload behaviour: shed the
-                            // connection instead of queueing without limit.
+                            // connection instead of queueing without
+                            // limit, hinting when to come back.
                             let _ = refuse_connection(
                                 stream,
-                                Response::unavailable("server overloaded, retry shortly"),
+                                Response::unavailable("server overloaded, retry shortly")
+                                    .with_header("Retry-After", crate::api::RETRY_AFTER_SECONDS),
                             );
                         }
                         Err(TrySendError::Disconnected(_)) => break,
@@ -524,7 +526,17 @@ where
                     request.body = body;
                 }
                 let keep = request.wants_keep_alive();
-                (handler(&request), keep)
+                // A panicking handler costs this one request, not the
+                // connection's worker: the client gets a structured 500
+                // envelope and the connection closes (the handler may
+                // have died before consuming request state, so keep-alive
+                // cannot be trusted to stay in sync).
+                let outcome =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handler(&request)));
+                match outcome {
+                    Ok(response) => (response, keep),
+                    Err(_) => (internal_error_response(), false),
+                }
             }
             None => (Response::bad_request("malformed request"), false),
         };
@@ -533,12 +545,36 @@ where
             && served < config.max_keep_alive_requests
             && opened.elapsed() < config.max_connection_age
             && !shutdown.load(Ordering::Relaxed);
+        // Chaos hook: an injected fault here models a socket-level write
+        // failure.  The error drops the connection (there is no channel
+        // left to answer on) but must never take the worker with it.
+        skyserver::storage::failpoints::check("http.response_write")
+            .map_err(std::io::Error::other)?;
         stream.write_all(&response.to_bytes(keep_alive))?;
         stream.flush()?;
         if !keep_alive {
             return Ok(());
         }
     }
+}
+
+/// The structured `500` a panicking handler turns into: same envelope
+/// shape as the API's `internal_error`, so machine clients parse it even
+/// on the legacy routes.
+fn internal_error_response() -> Response {
+    let body = serde_json::json!({
+        "error": {
+            "code": "internal_error",
+            "message": "the request handler failed unexpectedly; the connection will close",
+            "detail": serde_json::Value::Null,
+        }
+    });
+    let mut response = Response::ok(
+        "application/json; charset=utf-8",
+        body.to_string().into_bytes(),
+    );
+    response.status = 500;
+    response
 }
 
 /// Send a refusal response on a connection whose request was never (fully)
@@ -651,6 +687,9 @@ pub struct HttpClient {
     addr: std::net::SocketAddr,
     stream: TcpStream,
     reader: BufReader<TcpStream>,
+    /// `Retry-After` (in seconds) from the most recent response, if the
+    /// server sent one — the backoff loop honors it.
+    retry_after: Option<u64>,
 }
 
 impl HttpClient {
@@ -661,6 +700,7 @@ impl HttpClient {
             addr,
             stream,
             reader,
+            retry_after: None,
         })
     }
 
@@ -703,6 +743,7 @@ impl HttpClient {
         let mut status = 0u16;
         let mut content_length = 0usize;
         let mut server_closes = false;
+        let mut retry_after: Option<u64> = None;
         let mut first = true;
         loop {
             let mut line = String::new();
@@ -732,17 +773,52 @@ impl HttpClient {
                     content_length = value.trim().parse().unwrap_or(0);
                 } else if name.eq_ignore_ascii_case("connection") {
                     server_closes = value.trim().eq_ignore_ascii_case("close");
+                } else if name.eq_ignore_ascii_case("retry-after") {
+                    retry_after = value.trim().parse().ok();
                 }
             }
         }
         let mut body = vec![0u8; content_length];
         self.reader.read_exact(&mut body)?;
+        self.retry_after = retry_after;
         if server_closes {
             let (stream, reader) = HttpClient::open(self.addr)?;
             self.stream = stream;
             self.reader = reader;
         }
         Ok((status, String::from_utf8_lossy(&body).into_owned()))
+    }
+
+    /// The `Retry-After` hint (seconds) from the most recent response, if
+    /// the server sent one.
+    pub fn retry_after(&self) -> Option<u64> {
+        self.retry_after
+    }
+
+    /// Issue a GET, retrying on shedding responses (`503`/`429`) with
+    /// capped exponential backoff that honors the server's `Retry-After`
+    /// hint.  Returns the last response after at most `max_attempts`
+    /// tries — still a `503` if the server never let the request through.
+    /// `max_delay` caps every sleep (the overload benchmark compresses
+    /// the hinted seconds to keep wall-clock bounded).
+    pub fn get_with_backoff(
+        &mut self,
+        path_and_query: &str,
+        max_attempts: u32,
+        max_delay: Duration,
+    ) -> std::io::Result<(u16, String)> {
+        let mut delay = Duration::from_millis(10).min(max_delay);
+        let mut attempt = 0u32;
+        loop {
+            let (status, body) = self.get(path_and_query)?;
+            attempt += 1;
+            if (status != 503 && status != 429) || attempt >= max_attempts.max(1) {
+                return Ok((status, body));
+            }
+            let hinted = self.retry_after.map(Duration::from_secs);
+            std::thread::sleep(hinted.unwrap_or(delay).min(max_delay));
+            delay = (delay * 2).min(max_delay);
+        }
     }
 }
 

@@ -59,11 +59,17 @@ pub struct JobQueueConfig {
     /// Row cap applied to every job's result set (batch jobs escape the
     /// interactive 1,000-row limit but not *all* limits).
     pub max_result_rows: usize,
-    /// Wall-clock budget per job.  Batch jobs escape the interactive
-    /// 30-second limit, but an unbounded query would occupy one of the few
-    /// batch workers forever — and a running job's catalog snapshot also
-    /// makes admin writes wait.  `None` disables the bound.
+    /// Wall-clock budget per job, propagated as a deadline on the job's
+    /// [`QueryMonitor`] (the same mechanism the interactive tier uses).
+    /// Batch jobs escape the interactive 30-second limit, but an unbounded
+    /// query would occupy one of the few batch workers forever — and a
+    /// running job's catalog snapshot also makes admin writes wait.
+    /// `None` disables the bound.
     pub max_seconds: Option<f64>,
+    /// Memory budget per job (the executor's `max_bytes`): batch jobs get
+    /// a larger budget than the interactive 64 MiB, but still bounded so
+    /// one job cannot OOM the batch tier.  `None` disables the bound.
+    pub max_bytes: Option<u64>,
     /// How long a finished job (and its stored result) is kept.
     pub ttl: Duration,
     /// Pacing sleep applied per executor row batch: the duty-cycle brake
@@ -80,6 +86,7 @@ impl Default for JobQueueConfig {
             max_stored_bytes_per_submitter: 4 << 20,
             max_result_rows: 100_000,
             max_seconds: Some(600.0),
+            max_bytes: Some(256 << 20),
             ttl: Duration::from_secs(600),
             pace: Duration::from_micros(500),
         }
@@ -483,11 +490,30 @@ impl JobQueue {
                 }
             };
             monitor.set_pace(queue.config.pace);
+            // The wall budget rides on the monitor as a deadline — the
+            // same propagation path the interactive and API tiers use —
+            // so the executor enforces it at every row-batch tick.
+            if let Some(budget) = queue.config.max_seconds {
+                monitor.set_deadline(Duration::from_secs_f64(budget.max(0.0)));
+            }
             let limits = QueryLimits {
                 max_rows: Some(queue.config.max_result_rows),
-                max_seconds: queue.config.max_seconds,
+                max_seconds: None,
+                max_bytes: queue.config.max_bytes,
             };
-            let outcome = runner(&sql, limits, &monitor);
+            // A panicking runner (or an armed `jobs.runner` failpoint) must
+            // fail the *job*, not the worker: the pool would silently
+            // shrink otherwise and the queue would eventually stall.
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                skyserver::storage::failpoints::check("jobs.runner")
+                    .map_err(|m| SkyServerError::Sql(skyserver::SqlError::Execution(m)))?;
+                runner(&sql, limits, &monitor)
+            }))
+            .unwrap_or_else(|_| {
+                Err(SkyServerError::Sql(skyserver::SqlError::Execution(
+                    "the batch worker caught a panic while running this job".into(),
+                )))
+            });
             let mut inner = queue
                 .inner
                 .lock()
@@ -554,7 +580,6 @@ mod tests {
             if let Some(msg) = sql.strip_prefix("fail:") {
                 return Err(SkyServerError::NotFound(msg.to_string()));
             }
-            let started = Instant::now();
             let rows: usize = sql.parse().unwrap_or(0);
             let mut out = ResultSet {
                 columns: vec!["n".to_string()],
@@ -565,12 +590,12 @@ mod tests {
                 if monitor.is_cancelled() {
                     return Err(SkyServerError::Sql(skyserver::SqlError::Cancelled));
                 }
-                if let Some(budget) = limits.max_seconds {
-                    if started.elapsed().as_secs_f64() > budget {
-                        return Err(SkyServerError::Sql(skyserver::SqlError::LimitExceeded(
-                            format!("query exceeded the {budget} second computation budget"),
-                        )));
-                    }
+                // The wall budget arrives as a monitor deadline, exactly
+                // as the real executor's checkpoint sees it.
+                if monitor.deadline_expired() {
+                    return Err(SkyServerError::Sql(skyserver::SqlError::LimitExceeded(
+                        "query exceeded its wall-clock budget deadline".into(),
+                    )));
                 }
                 monitor.add_rows(1);
                 let pace = monitor.pace();

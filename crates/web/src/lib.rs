@@ -21,6 +21,10 @@
 //!   engine's `QueryMonitor`,
 //! * the result output formats ([`formats`]): grid, CSV, XML, JSON and a
 //!   FITS-style ASCII table,
+//! * the resource governor ([`governor`]): admission control over the
+//!   interactive query path — an in-flight cap shedding excess load with
+//!   `503` + `Retry-After`, and the per-request deadline every admitted
+//!   query carries into the executor,
 //! * the site-traffic simulator and analyser ([`traffic`]) that regenerate
 //!   Figure 5 and the §7 operations statistics.
 
@@ -30,6 +34,7 @@
 pub mod api;
 pub mod cache;
 pub mod formats;
+pub mod governor;
 pub mod http;
 pub mod jobs;
 pub mod site;
@@ -38,6 +43,7 @@ pub mod traffic;
 pub use api::{ApiError, Router, API_PREFIX, ERROR_CODES};
 pub use cache::{normalize_sql, CacheStats, ResultCache, RowCache};
 pub use formats::{to_csv, to_fits_ascii, to_json, to_xml, AcceptNegotiation, OutputFormat};
+pub use governor::{Governor, GovernorConfig, GovernorStats};
 pub use http::{
     http_get, http_request, parse_request, url_decode, HttpClient, HttpServer, Request, Response,
     ServerConfig,

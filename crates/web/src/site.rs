@@ -23,6 +23,7 @@ use crate::api::handlers::{
 use crate::api::{ApiError, ApiRequest, Zoom};
 use crate::cache::{normalize_sql, CachedBody, ResultCache, RowCache};
 use crate::formats::OutputFormat;
+use crate::governor::{Governor, GovernorConfig};
 use crate::http::{HttpServer, Request, Response};
 use crate::jobs::{JobQueue, JobQueueConfig, JobRunner};
 use crate::traffic::{LogRecord, Section};
@@ -53,6 +54,8 @@ pub struct SkyServerSite {
     /// paginated query reads memory instead of re-running the scan.
     rows: RowCache,
     jobs: Arc<JobQueue>,
+    /// Admission control + deadline policy for the public query path.
+    governor: Governor,
 }
 
 /// The language branches of the site (§5: English, German, Japanese).
@@ -75,6 +78,18 @@ impl SkyServerSite {
         sky: SkyServer,
         cache_capacity: usize,
         job_config: JobQueueConfig,
+    ) -> Arc<SkyServerSite> {
+        SkyServerSite::new_with_governor(sky, cache_capacity, job_config, GovernorConfig::default())
+    }
+
+    /// Wrap a loaded SkyServer with explicit cache, job-tier and
+    /// admission-control settings (the overload benchmark and the chaos
+    /// suite shrink the in-flight cap and the deadline).
+    pub fn new_with_governor(
+        sky: SkyServer,
+        cache_capacity: usize,
+        job_config: JobQueueConfig,
+        governor_config: GovernorConfig,
     ) -> Arc<SkyServerSite> {
         let sky = Arc::new(RwLock::new(Arc::new(sky)));
         // Batch jobs run against the same catalog slot the handlers read:
@@ -99,7 +114,13 @@ impl SkyServerSite {
             cache: ResultCache::with_byte_budget(cache_capacity, RESULT_CACHE_BYTE_BUDGET),
             rows: RowCache::new(cache_capacity, RESULT_CACHE_BYTE_BUDGET),
             jobs: JobQueue::start(job_config, runner),
+            governor: Governor::new(governor_config),
         })
+    }
+
+    /// The admission controller over the public query path.
+    pub fn governor(&self) -> &Governor {
+        &self.governor
     }
 
     /// The batch-query job tier (submit/status/fetch/cancel also have HTTP
@@ -432,6 +453,10 @@ impl SkyServerSite {
                 "engine".to_string(),
                 serde_json::to_value(&sky.engine_stats()),
             );
+            map.insert(
+                "governor".to_string(),
+                serde_json::to_value(&self.governor.stats()),
+            );
         }
         Response::ok("application/json; charset=utf-8", json.to_string())
     }
@@ -600,10 +625,11 @@ use crate::formats::escape_xml as html_escape;
 
 /// Render a structured [`ApiError`] in the legacy plain-text shape the
 /// `.asp`-era pages answer with.  The legacy status vocabulary is
-/// narrower than the API's: resources keep 404 and quotas keep 429, but
-/// every other failure class (408 timeout, 422 SQL, 409 state conflicts,
-/// 403 read-only ...) collapses to the historical 400 so existing
-/// clients and tests see exactly the old contract.
+/// narrower than the API's: resources keep 404, quotas keep 429 and
+/// overload keeps 503 (both with a `Retry-After` hint, like the API
+/// envelope), but every other failure class (408 timeout, 422 SQL, 409
+/// state conflicts, 403 read-only ...) collapses to the historical 400
+/// so existing clients and tests see exactly the old contract.
 fn legacy_error(e: &ApiError) -> Response {
     legacy_error_with_prefix("", e)
 }
@@ -615,9 +641,14 @@ fn legacy_error_with_prefix(prefix: &str, e: &ApiError) -> Response {
         404 => 404,
         429 => 429,
         500 => 500,
+        503 => 503,
         _ => 400,
     };
-    Response::with_status(status, &format!("{prefix}{}", e.message))
+    let response = Response::with_status(status, &format!("{prefix}{}", e.message));
+    if status == 429 || status == 503 {
+        return response.with_header("Retry-After", crate::api::RETRY_AFTER_SECONDS);
+    }
+    response
 }
 
 fn section_of_path(path: &str) -> Section {

@@ -594,6 +594,12 @@ fn job_rest_lifecycle_and_error_codes() {
     );
     let quota = [r, r2].into_iter().find(|r| r.status == 429).unwrap();
     assert_eq!(error_code(&quota), "quota_exceeded");
+    // Shedding responses always hint when to come back.
+    assert_eq!(
+        quota.header("retry-after"),
+        Some(skyserver_web::api::RETRY_AFTER_SECONDS),
+        "429 quota_exceeded must carry Retry-After"
+    );
 
     // DELETE cancels; the post-cancel state is reported.
     let r = request(&site, "DELETE", &format!("/api/v1/jobs/{slow}"), None, &[]);
@@ -687,4 +693,62 @@ fn api_traffic_is_classified_and_errors_counted() {
     let traffic = json(&get(&site, "/traffic"));
     assert_eq!(traffic["api_hits"], serde_json::json!(4));
     assert_eq!(traffic["api_errors"], serde_json::json!(2));
+}
+
+// ---------------------------------------------------------------------------
+// Overload & resource-pressure contract.
+// ---------------------------------------------------------------------------
+
+/// Shed queries answer `503` with `Retry-After` on both surfaces: the
+/// API gets the `overloaded` envelope, the legacy page its plain-text
+/// rendering — same status, same hint.
+#[test]
+fn shed_queries_answer_503_with_retry_after_on_both_surfaces() {
+    let sky = SkyServerBuilder::new().tiny().build().unwrap();
+    let site = SkyServerSite::new_with_governor(
+        sky,
+        0,
+        JobQueueConfig::default(),
+        skyserver_web::GovernorConfig {
+            max_in_flight: 0, // shed everything: deterministic overload
+            deadline: std::time::Duration::from_secs(30),
+        },
+    );
+    let r = get(&site, "/api/v1/query?sql=select+1");
+    assert_eq!(r.status, 503, "{}", String::from_utf8_lossy(&r.body));
+    assert_eq!(error_code(&r), "overloaded");
+    assert_eq!(
+        r.header("retry-after"),
+        Some(skyserver_web::api::RETRY_AFTER_SECONDS)
+    );
+    let r = get(&site, "/en/tools/search/x_sql?cmd=select+1");
+    assert_eq!(r.status, 503);
+    assert_eq!(
+        r.header("retry-after"),
+        Some(skyserver_web::api::RETRY_AFTER_SECONDS)
+    );
+    assert_eq!(site.governor().stats().shed, 2);
+}
+
+/// The acceptance query of the resource governor: a public cross join of
+/// PhotoObj with itself must die on the 64 MiB memory budget with a
+/// structured `422 resource_exhausted` (and partial progress stats), not
+/// by growing the process until the OS kills it.
+#[test]
+fn runaway_cross_join_is_resource_exhausted_not_oom() {
+    let site = site();
+    let r = get(
+        &site,
+        "/api/v1/query?sql=select+a.*,+b.*+from+photoobj+a,+photoobj+b",
+    );
+    assert_eq!(r.status, 422, "{}", String::from_utf8_lossy(&r.body));
+    assert_eq!(error_code(&r), "resource_exhausted");
+    let detail = json(&r)["error"]["detail"].clone();
+    assert!(
+        detail["peak_bytes"].as_u64().unwrap() > 0,
+        "exhaustion reports the memory high-water mark: {detail}"
+    );
+    // The server is fine afterwards.
+    let r = get(&site, "/api/v1/query?sql=select+count(*)+from+PhotoObj");
+    assert_eq!(r.status, 200);
 }

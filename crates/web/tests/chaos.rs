@@ -1,0 +1,371 @@
+//! The chaos suite: prove graceful degradation under injected faults.
+//!
+//! Every named failpoint site, under every action class (`error`,
+//! `delay`, `panic`), must surface as a *structured* outcome — an error
+//! envelope, a failed job, or at worst a dropped connection — and the
+//! server must keep answering afterwards.  What must never happen: a
+//! dead worker, a poisoned lock, or a keep-alive connection serving
+//! desynced responses.
+//!
+//! Failpoint state is process-global, so every test serializes on one
+//! mutex and clears all sites on entry and exit.
+
+use skyserver::storage::failpoints::{self, FailAction};
+use skyserver::SkyServerBuilder;
+use skyserver_web::jobs::JobQueueConfig;
+use skyserver_web::{
+    http_get, parse_request, GovernorConfig, HttpClient, Response, ServerConfig, SkyServerSite,
+};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+/// Run `f` with exclusive failpoint access, clean on both sides.
+fn with_chaos(f: impl FnOnce()) {
+    let _guard = SERIAL.lock().unwrap_or_else(PoisonError::into_inner);
+    failpoints::clear_all();
+    f();
+    failpoints::clear_all();
+}
+
+fn site() -> Arc<SkyServerSite> {
+    let sky = SkyServerBuilder::new().tiny().build().unwrap();
+    SkyServerSite::new(sky)
+}
+
+fn get(site: &SkyServerSite, path_and_query: &str) -> Response {
+    let raw = format!("GET {path_and_query} HTTP/1.1\r\n");
+    site.handle(&parse_request(&raw).unwrap())
+}
+
+fn error_code(r: &Response) -> String {
+    let v: serde_json::Value = serde_json::from_slice(&r.body).unwrap_or_else(|e| {
+        panic!(
+            "body is not JSON ({e}): {}",
+            String::from_utf8_lossy(&r.body)
+        )
+    });
+    v["error"]["code"].as_str().expect("error.code").to_string()
+}
+
+/// Wait for a job to finish and return its status snapshot.
+fn finished_job(site: &SkyServerSite, id: u64) -> skyserver_web::JobStatus {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let status = site.jobs().status(id).expect("job status");
+        if status.state.is_finished() {
+            return status;
+        }
+        assert!(Instant::now() < deadline, "job {id} never finished");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Error and delay actions (in-process dispatch: nothing unwinds).
+// ---------------------------------------------------------------------------
+
+/// An injected read failure in the storage scan loop surfaces as a
+/// `500 storage_error` envelope; disarming restores service.
+#[test]
+fn segment_read_fault_is_a_structured_storage_error() {
+    with_chaos(|| {
+        let site = site();
+        failpoints::configure("storage.segment_read", FailAction::Error);
+        let r = get(&site, "/api/v1/query?sql=select+count(*)+from+PhotoObj");
+        assert_eq!(r.status, 500, "{}", String::from_utf8_lossy(&r.body));
+        assert_eq!(error_code(&r), "storage_error");
+        failpoints::clear_all();
+        let r = get(&site, "/api/v1/query?sql=select+count(*)+from+PhotoObj");
+        assert_eq!(r.status, 200);
+    });
+}
+
+/// An injected fault in the executor's batch loop surfaces as a
+/// `422 sql_execution_error` envelope.
+#[test]
+fn executor_batch_fault_is_a_structured_execution_error() {
+    with_chaos(|| {
+        let site = site();
+        failpoints::configure("executor.batch", FailAction::Error);
+        let r = get(&site, "/api/v1/query?sql=select+objid+from+PhotoObj");
+        assert_eq!(r.status, 422, "{}", String::from_utf8_lossy(&r.body));
+        assert_eq!(error_code(&r), "sql_execution_error");
+        failpoints::clear_all();
+        let r = get(&site, "/api/v1/query?sql=select+objid+from+PhotoObj");
+        assert_eq!(r.status, 200);
+    });
+}
+
+/// Injected delays slow requests down without changing their results.
+#[test]
+fn delays_degrade_latency_not_correctness() {
+    with_chaos(|| {
+        let site = site();
+        for site_name in ["storage.segment_read", "executor.batch", "cache.insert"] {
+            failpoints::configure(site_name, FailAction::Delay(5));
+        }
+        let started = Instant::now();
+        let r = get(&site, "/api/v1/query?sql=select+count(*)+as+n+from+Plate");
+        assert_eq!(r.status, 200, "{}", String::from_utf8_lossy(&r.body));
+        assert!(started.elapsed() >= Duration::from_millis(5));
+        let v: serde_json::Value = serde_json::from_slice(&r.body).unwrap();
+        assert!(v["rows"][0][0].as_i64().unwrap() > 0);
+    });
+}
+
+/// The cache is an accelerator: a faulting insert silently skips caching
+/// and the request succeeds; the entry just never lands.
+#[test]
+fn cache_insert_fault_skips_caching_without_failing_the_request() {
+    with_chaos(|| {
+        let site = site();
+        failpoints::configure("cache.insert", FailAction::Error);
+        let q = "/en/tools/search/x_sql?cmd=select+count(*)+from+PhotoObj&format=json";
+        assert_eq!(get(&site, q).status, 200);
+        assert_eq!(get(&site, q).status, 200);
+        // Both requests executed: nothing was cached, nothing was lost.
+        assert_eq!(site.cache_stats().hits, 0);
+        failpoints::clear_all();
+        assert_eq!(get(&site, q).status, 200);
+        assert_eq!(get(&site, q).status, 200);
+        assert_eq!(site.cache_stats().hits, 1, "caching resumes once disarmed");
+    });
+}
+
+/// A fault just before the batch runner executes fails that job with the
+/// injected message; the queue keeps draining.
+#[test]
+fn jobs_runner_fault_fails_the_job_not_the_queue() {
+    with_chaos(|| {
+        let site = site();
+        failpoints::configure("jobs.runner", FailAction::Error);
+        let id = site.jobs().submit("chaos", "select 1").unwrap();
+        let status = finished_job(&site, id);
+        assert_eq!(status.state, skyserver_web::JobState::Failed);
+        assert!(
+            status.error.as_deref().unwrap().contains("jobs.runner"),
+            "{:?}",
+            status.error
+        );
+        failpoints::clear_all();
+        let id = site
+            .jobs()
+            .submit("chaos", "select count(*) from Plate")
+            .unwrap();
+        assert_eq!(finished_job(&site, id).state, skyserver_web::JobState::Done);
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Panic actions (over a real socket: the unwind must die in the server).
+// ---------------------------------------------------------------------------
+
+/// A panic anywhere inside a request handler — here injected deep in the
+/// storage scan — comes back as a structured `500 internal_error`
+/// envelope and costs only that request.
+#[test]
+fn handler_panic_returns_a_structured_500_envelope() {
+    with_chaos(|| {
+        let site = site();
+        let server = site.serve(0).unwrap();
+        failpoints::configure("storage.segment_read", FailAction::Panic);
+        let (status, body) = http_get(
+            server.addr(),
+            "/api/v1/query?sql=select+count(*)+from+PhotoObj",
+        )
+        .unwrap();
+        assert_eq!(status, 500, "{body}");
+        let v: serde_json::Value = serde_json::from_str(&body).unwrap();
+        assert_eq!(v["error"]["code"], serde_json::json!("internal_error"));
+        failpoints::clear_all();
+        let (status, _) = http_get(
+            server.addr(),
+            "/api/v1/query?sql=select+count(*)+from+PhotoObj",
+        )
+        .unwrap();
+        assert_eq!(status, 200);
+        server.stop();
+    });
+}
+
+/// The satellite regression: repeated handler panics must not shrink the
+/// HTTP worker pool, and a panicking batch runner must not poison the
+/// jobs-queue lock.  After the storm, both tiers serve normally.
+#[test]
+fn worker_pool_and_jobs_lock_survive_a_panic_storm() {
+    with_chaos(|| {
+        let sky = SkyServerBuilder::new().tiny().build().unwrap();
+        let site = SkyServerSite::new_with(
+            sky,
+            0,
+            JobQueueConfig {
+                workers: 1,
+                ..JobQueueConfig::default()
+            },
+        );
+        let config = ServerConfig {
+            workers: 2,
+            ..ServerConfig::default()
+        };
+        let server = site.serve_with(0, config).unwrap();
+
+        // 1. Panic storm through the 2-worker HTTP pool: 6 consecutive
+        //    requests all unwind inside the handler.  If panics cost
+        //    workers, the third request would hang forever.
+        failpoints::configure("executor.batch", FailAction::Panic);
+        for i in 0..6 {
+            let (status, body) = http_get(
+                server.addr(),
+                "/api/v1/query?sql=select+objid+from+PhotoObj",
+            )
+            .unwrap();
+            assert_eq!(status, 500, "storm request {i}: {body}");
+        }
+
+        // 2. A panicking batch runner fails its job without poisoning the
+        //    queue lock.
+        failpoints::configure("jobs.runner", FailAction::Panic);
+        let id = site.jobs().submit("chaos", "select 1").unwrap();
+        let status = finished_job(&site, id);
+        assert_eq!(status.state, skyserver_web::JobState::Failed);
+        assert!(
+            status.error.as_deref().unwrap().contains("panic"),
+            "{:?}",
+            status.error
+        );
+
+        // 3. Disarm: both tiers are fully alive.  The job queue's single
+        //    worker (which just survived the panic) runs a new job; the
+        //    HTTP pool answers on every worker.
+        failpoints::clear_all();
+        for _ in 0..4 {
+            let (status, _) = http_get(
+                server.addr(),
+                "/api/v1/query?sql=select+count(*)+from+PhotoObj",
+            )
+            .unwrap();
+            assert_eq!(status, 200);
+        }
+        let id = site
+            .jobs()
+            .submit("chaos", "select count(*) from Plate")
+            .unwrap();
+        assert_eq!(finished_job(&site, id).state, skyserver_web::JobState::Done);
+        server.stop();
+    });
+}
+
+/// A fault while writing the response drops that connection (there is no
+/// channel left to answer on) but never the worker: the next connection
+/// is served normally.  Keep-alive clients reconnect cleanly instead of
+/// reading desynced bytes.
+#[test]
+fn response_write_fault_drops_the_connection_not_the_worker() {
+    with_chaos(|| {
+        let site = site();
+        let server = site.serve(0).unwrap();
+        for action in [FailAction::Error, FailAction::Panic] {
+            failpoints::configure("http.response_write", action);
+            let outcome = http_get(server.addr(), "/api/v1/query?sql=select+1");
+            // The connection died before a response: either an I/O error
+            // or an empty read (status 0) — never a half-written body.
+            if let Ok((status, body)) = outcome {
+                assert_eq!(status, 0, "got a response past the fault? {body}");
+            }
+            failpoints::clear_all();
+            let (status, _) = http_get(
+                server.addr(),
+                "/api/v1/query?sql=select+count(*)+from+Plate",
+            )
+            .unwrap();
+            assert_eq!(status, 200, "worker died with the {action:?} connection");
+        }
+        server.stop();
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Deadline propagation and degradation shape.
+// ---------------------------------------------------------------------------
+
+/// An admitted query that outlives its request deadline dies with a
+/// `408 query_timeout` envelope carrying partial progress stats — the
+/// web tier's deadline rides the monitor into the executor's per-batch
+/// checkpoint.
+#[test]
+fn deadline_expiry_is_a_408_with_partial_progress() {
+    with_chaos(|| {
+        let sky = SkyServerBuilder::new().tiny().build().unwrap();
+        let site = SkyServerSite::new_with_governor(
+            sky,
+            0,
+            JobQueueConfig::default(),
+            GovernorConfig {
+                max_in_flight: 64,
+                deadline: Duration::from_millis(1),
+            },
+        );
+        let r = get(
+            &site,
+            "/api/v1/query?sql=select+count(*)+from+PhotoObj+a+join+PhotoObj+b+on+a.objID+%3C+b.objID",
+        );
+        assert_eq!(r.status, 408, "{}", String::from_utf8_lossy(&r.body));
+        assert_eq!(error_code(&r), "query_timeout");
+        let v: serde_json::Value = serde_json::from_slice(&r.body).unwrap();
+        assert!(
+            v["error"]["detail"]["rows_processed"].as_u64().is_some(),
+            "timeout reports partial progress: {v}"
+        );
+    });
+}
+
+/// Under a saturated admission cap with a chaos delay stretching every
+/// query, shed requests get an immediate 503 + Retry-After and a
+/// backoff client eventually gets through — the governor degrades
+/// gracefully instead of queueing without bound.
+#[test]
+fn saturated_governor_sheds_and_backoff_clients_recover() {
+    with_chaos(|| {
+        let sky = SkyServerBuilder::new().tiny().build().unwrap();
+        let site = SkyServerSite::new_with_governor(
+            sky,
+            0,
+            JobQueueConfig::default(),
+            GovernorConfig {
+                max_in_flight: 1,
+                deadline: Duration::from_secs(30),
+            },
+        );
+        failpoints::configure("executor.batch", FailAction::Delay(20));
+        let server = site.serve(0).unwrap();
+        let addr = server.addr();
+        std::thread::scope(|scope| {
+            for c in 0..4 {
+                scope.spawn(move || {
+                    let mut client = HttpClient::connect(addr).unwrap();
+                    for r in 0..3 {
+                        // Distinct queries past one monitor batch (256
+                        // rows), so every request re-executes and crosses
+                        // at least one delayed checkpoint.
+                        let n = 300 + c * 3 + r;
+                        let (status, body) = client
+                            .get_with_backoff(
+                                &format!("/api/v1/query?sql=select+top+{n}+objid+from+PhotoObj"),
+                                50,
+                                Duration::from_millis(50),
+                            )
+                            .unwrap();
+                        assert_eq!(status, 200, "client {c} request {r}: {body}");
+                    }
+                });
+            }
+        });
+        let stats = site.governor().stats();
+        assert_eq!(stats.in_flight, 0);
+        assert_eq!(stats.admitted, 12, "every request eventually got through");
+        assert!(stats.shed > 0, "a 4x load over a cap of 1 must shed");
+        server.stop();
+    });
+}

@@ -4,7 +4,7 @@
 //!
 //! | lint | scope | what it catches |
 //! |------|-------|-----------------|
-//! | `no-unwrap` | web request paths + sql executor hot path | `.unwrap()` that turns a recoverable error into a worker panic |
+//! | `no-unwrap` | web request paths + sql executor hot path + failpoints | `.unwrap()` that turns a recoverable error into a worker panic |
 //! | `no-expect` | same | `.expect(...)` likewise |
 //! | `no-panic` | same | `panic!` / `unreachable!` / `todo!` / `unimplemented!` |
 //! | `no-slice-index` | web request paths | `x[i]` indexing that can panic on malformed input |
@@ -63,8 +63,12 @@ fn scope_for(rel: &Path) -> Scope {
     let p = rel.to_string_lossy().replace('\\', "/");
     let web = p.starts_with("crates/web/src/");
     let executor = p == "crates/sql/src/executor.rs" || p.starts_with("crates/sql/src/exec/");
+    // The fault-injection layer sits on the storage read path and inside
+    // executor checkpoints: an accidental panic there would take down
+    // the very workers the chaos suite exists to protect.
+    let failpoints = p == "crates/storage/src/failpoints.rs";
     Scope {
-        hot_path: web || executor,
+        hot_path: web || executor || failpoints,
         slice_index: web,
         kernel: p == "crates/sql/src/exec/vector.rs",
     }
