@@ -35,6 +35,16 @@
 //! storm, and RSS growth across the phase must stay bounded.  Any
 //! violation fails the run.
 //!
+//! A sixth phase measures **publish under load**: while a mixed
+//! interactive workload (head queries, `AS OF dr1` and `?release=dr1`
+//! pins) runs and a batch job is mid-scan, `dr2` is published through
+//! the admin path.  The gates: zero failed queries, the batch job
+//! *completes* on its pinned snapshot (never cancelled or failed), the
+//! `AS OF dr1` answer is byte-identical across the publish, `dr2`
+//! appears in the release list, and the workload p99 during the publish
+//! stays within 2x of its unpublished baseline.  Any violation fails
+//! the run.
+//!
 //! Usage:
 //!
 //! ```text
@@ -114,6 +124,25 @@ fn point_paths(session: usize) -> Vec<String> {
         ),
         "/en/tools/search/x_sql?cmd=select+count(*)+from+PhotoObj&format=json".to_string(),
     ]
+}
+
+/// The pinned query of the publish-under-load phase: its body must come
+/// back byte-identical before and after `dr2` is published, because
+/// `AS OF dr1` pins the scan to the dr1 snapshot.
+const PINNED_AS_OF_PATH: &str = "/en/tools/search/x_sql?cmd=select+top+40+objID,ra,dec+from+PhotoObj+order+by+objID+as+of+dr1&format=json";
+
+/// The mixed workload of the publish-under-load phase: head point
+/// queries plus release-pinned traffic (`AS OF dr1` through the legacy
+/// route and `?release=dr1` through the API) — every request must keep
+/// answering 200 while the publish swaps the head snapshot underneath.
+fn publish_paths(session: usize) -> Vec<String> {
+    let mut paths = point_paths(session);
+    paths.push(PINNED_AS_OF_PATH.to_string());
+    paths.push(format!(
+        "/api/v1/query?sql=select+top+{}+objID+from+PhotoObj+order+by+objID&limit=1000&release=dr1",
+        session % 9 + 1
+    ));
+    paths
 }
 
 /// A heavy analytic scan: a nested-loop self-join over PhotoObj (millions
@@ -812,6 +841,175 @@ fn main() {
         );
     }
 
+    // ----------------------------------------------------------------------
+    // Publish under load: publish dr2 while a mixed workload (head +
+    // release-pinned queries) runs and a batch job is mid-scan.  Nothing
+    // drains and nothing is cancelled: the job completes on its pinned
+    // snapshot, every query keeps answering, the AS OF dr1 answer stays
+    // byte-identical, and the workload p99 stays within 2x of baseline.
+    // ----------------------------------------------------------------------
+    eprintln!("running the publish-under-load phase ({threads} threads x {requests} requests) ...");
+    let publish_site = SkyServerSite::new_with(
+        build_server(scale),
+        128,
+        JobQueueConfig {
+            workers: 1,
+            // A light duty-cycle brake so the job spans the whole phase
+            // without stretching CI: the point is that it is *running*
+            // when the publish lands and still finishes.
+            pace: Duration::from_micros(100),
+            ..JobQueueConfig::default()
+        },
+    );
+    let publish_server = publish_site
+        .serve_with(
+            0,
+            ServerConfig {
+                workers: threads + 4,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("start publish-under-load server");
+    let publish_addr = publish_server.addr();
+    run_shaped_load(publish_addr, 2, 12, true, &publish_paths);
+
+    // Baseline: the same mix with no publish in flight.
+    let publish_baseline = run_shaped_load(publish_addr, threads, requests, true, &publish_paths);
+
+    // The pinned answer before the publish.
+    let (status, pinned_before) =
+        skyserver_web::http_get(publish_addr, PINNED_AS_OF_PATH).expect("pinned AS OF query");
+    assert_eq!(status, 200, "pinned AS OF query failed: {pinned_before}");
+
+    // The 500 smallest object ids: the first is the row the publish
+    // deletes, the last bounds the batch job's self-join so it stays
+    // inside the job memory budget at every scale.
+    let (status, body) = skyserver_web::http_get(
+        publish_addr,
+        "/api/v1/query?sql=select+top+500+objID+from+PhotoObj+order+by+objID&limit=1000",
+    )
+    .expect("id discovery");
+    assert_eq!(status, 200, "id discovery failed: {body}");
+    let ids: Vec<i64> = serde_json::from_str::<serde_json::Value>(&body)
+        .ok()
+        .and_then(|v| {
+            v["rows"]
+                .as_array()?
+                .iter()
+                .map(|row| row[0].as_i64())
+                .collect()
+        })
+        .expect("object ids in the discovery response");
+    let victim = ids[0];
+    let bound = *ids.last().expect("a non-empty catalog");
+    // A batch job that must COMPLETE across the publish: a bounded
+    // self-join whose snapshot is pinned at submission time.
+    let job_sql = format!(
+        "select+count(*)+from+PhotoObj+a+join+PhotoObj+b+on+a.objID+%3C+b.objID+where+b.objID+%3C%3D+{bound}"
+    );
+    let (status, body) = skyserver_web::http_get(
+        publish_addr,
+        &format!("/x_job/submit?cmd={job_sql}&submitter=bench"),
+    )
+    .expect("submit publish-phase job");
+    assert_eq!(status, 200, "publish-phase job submission failed: {body}");
+    let publish_job_id: u64 = body
+        .split("\"job_id\":")
+        .nth(1)
+        .and_then(|s| s.trim_start().split(&[',', '}'][..]).next())
+        .and_then(|s| s.trim().parse().ok())
+        .expect("job id in submit response");
+    let job_status = |deadline: Duration| -> String {
+        let until = Instant::now() + deadline;
+        loop {
+            let (_, body) = skyserver_web::http_get(
+                publish_addr,
+                &format!("/x_job/status?id={publish_job_id}"),
+            )
+            .expect("publish-phase job status");
+            let state = serde_json::from_str::<serde_json::Value>(&body)
+                .ok()
+                .and_then(|v| v["state"].as_str().map(str::to_string))
+                .unwrap_or_default();
+            match state.as_str() {
+                "done" | "failed" | "cancelled" => return state,
+                _ if Instant::now() >= until => return format!("stuck:{state}"),
+                _ => std::thread::sleep(Duration::from_millis(10)),
+            }
+        }
+    };
+    // Wait until the worker has the job mid-scan, so the publish lands
+    // on a genuinely running job.
+    {
+        let until = Instant::now() + Duration::from_secs(30);
+        loop {
+            let (_, body) = skyserver_web::http_get(
+                publish_addr,
+                &format!("/x_job/status?id={publish_job_id}"),
+            )
+            .expect("publish-phase job status");
+            let v: serde_json::Value =
+                serde_json::from_str(&body).unwrap_or(serde_json::Value::Null);
+            if v["state"].as_str() == Some("running")
+                && v["rows_processed"].as_u64().unwrap_or(0) > 0
+            {
+                break;
+            }
+            assert!(
+                Instant::now() < until,
+                "publish-phase job never started scanning: {body}"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    // The storm: the mixed workload with the publish landing mid-run.
+    let (publish_storm, publish_elapsed_ms) = std::thread::scope(|scope| {
+        let publish_site = &publish_site;
+        let publisher = scope.spawn(move || {
+            // Let the load get in flight before swapping the snapshot.
+            std::thread::sleep(Duration::from_millis(50));
+            let started = Instant::now();
+            publish_site.with_admin(|sky| {
+                sky.execute(&format!("delete from PhotoObj where objID = {victim}"))
+                    .expect("delete the victim row");
+                sky.publish_release("dr2").expect("publish dr2");
+            });
+            started.elapsed().as_secs_f64() * 1000.0
+        });
+        let stats = run_shaped_load(publish_addr, threads, requests, true, &publish_paths);
+        (stats, publisher.join().expect("publisher thread"))
+    });
+
+    // The job finishes on its pinned snapshot — done, never cancelled.
+    let publish_job_state = job_status(Duration::from_secs(120));
+    // The pinned AS OF answer is byte-identical across the publish.
+    let (status, pinned_after) =
+        skyserver_web::http_get(publish_addr, PINNED_AS_OF_PATH).expect("pinned AS OF re-query");
+    let pinned_identical = status == 200 && pinned_after == pinned_before;
+    // dr2 is now listed.
+    let (_, releases_body) =
+        skyserver_web::http_get(publish_addr, "/api/v1/releases").expect("release list");
+    let dr2_listed = releases_body.contains("\"dr2\"");
+    publish_server.stop();
+    // Same absolute floor as the overload gate: sub-millisecond
+    // scheduler noise on loaded CI machines cannot fail the phase.
+    let publish_p99_budget_ms = (publish_baseline.p99_ms * 2.0).max(10.0);
+    let publish_healthy = publish_baseline.errors == 0
+        && publish_storm.errors == 0
+        && publish_job_state == "done"
+        && pinned_identical
+        && dr2_listed
+        && publish_storm.p99_ms <= publish_p99_budget_ms;
+    if !publish_healthy {
+        eprintln!(
+            "publish-under-load violations: baseline {publish_baseline:?}, \
+             storm {publish_storm:?}, p99 budget {publish_p99_budget_ms:.3} ms, \
+             job state {publish_job_state}, pinned identical {pinned_identical}, \
+             dr2 listed {dr2_listed}"
+        );
+    }
+
     let report = format!(
         "{{\n  \"bench\": \"http_concurrency\",\n  \"scale\": \"{:?}\",\n  \
          \"threads\": {},\n  \"requests_per_thread\": {},\n  \
@@ -848,7 +1046,17 @@ fn main() {
          \"governor\": {{\"in_flight\": {}, \"admitted\": {}, \
          \"shed\": {}}},\n    \
          \"backoff_client\": {{\"requests\": {}, \"recovered\": {}}},\n    \
-         \"rss_growth_mb\": {}\n  }}\n}}",
+         \"rss_growth_mb\": {}\n  }},\n  \
+         \"publish_under_load\": {{\n    \
+         \"baseline\": {},\n    \
+         \"during_publish\": {},\n    \
+         \"p99_budget_ms\": {:.3},\n    \
+         \"p99_inflation\": {:.2},\n    \
+         \"publish_ms\": {:.3},\n    \
+         \"failed_queries\": {},\n    \
+         \"batch_job_state\": \"{}\",\n    \
+         \"pinned_as_of_identical\": {},\n    \
+         \"dr2_listed\": {}\n  }}\n}}",
         scale,
         threads,
         requests,
@@ -892,6 +1100,15 @@ fn main() {
         BACKOFF_REQUESTS,
         backoff_recovered,
         rss_growth_mb.map_or("null".to_string(), |g| format!("{g:.1}")),
+        stats_json(&publish_baseline),
+        stats_json(&publish_storm),
+        publish_p99_budget_ms,
+        publish_storm.p99_ms / publish_baseline.p99_ms.max(1e-9),
+        publish_elapsed_ms,
+        publish_baseline.errors + publish_storm.errors,
+        publish_job_state,
+        pinned_identical,
+        dr2_listed,
     );
     println!("{report}");
     // The report must be valid JSON with the API phase present — the
@@ -913,9 +1130,15 @@ fn main() {
         parsed["overload"]["storm"]["shed"].as_u64().is_some(),
         "overload phase missing from the report"
     );
+    assert!(
+        parsed["publish_under_load"]["batch_job_state"]
+            .as_str()
+            .is_some(),
+        "publish-under-load phase missing from the report"
+    );
     // Give the sockets a moment to drain before the process exits.
     std::thread::sleep(Duration::from_millis(50));
-    if !api_healthy || !overload_healthy {
+    if !api_healthy || !overload_healthy || !publish_healthy {
         std::process::exit(1);
     }
 }

@@ -62,6 +62,9 @@ impl SkyServerBuilder {
         let mut engine = create_engine(&self.database_name)?;
         engine.set_simulator(self.hardware);
         let load_report = load_survey(&mut engine, &survey)?;
+        // The freshly loaded catalog is the first public data release.
+        // Publishing is copy-on-write metadata only, so this is cheap.
+        engine.publish_release("dr1")?;
         Ok(SkyServer {
             engine,
             config: self.config,
@@ -151,15 +154,36 @@ impl SkyServer {
         sql: &str,
         monitor: &skyserver_sql::QueryMonitor,
     ) -> Result<StatementOutcome, SkyServerError> {
-        Ok(self
-            .engine
-            .execute_read_with(sql, QueryLimits::PUBLIC, Some(monitor))?)
+        self.execute_public_on(sql, monitor, None)
+    }
+
+    /// [`Self::execute_public_with`] pinned to a published data release —
+    /// the engine face of the web tier's `?release=` parameter.  `None`
+    /// reads the live head; `Some("dr1")` reads that release's snapshot.
+    /// An unknown release fails with [`skyserver_sql::SqlError::UnknownRelease`].
+    pub fn execute_public_on(
+        &self,
+        sql: &str,
+        monitor: &skyserver_sql::QueryMonitor,
+        release: Option<&str>,
+    ) -> Result<StatementOutcome, SkyServerError> {
+        let mut outcomes =
+            self.engine
+                .execute_read_script_on(sql, QueryLimits::PUBLIC, Some(monitor), release)?;
+        outcomes.pop().ok_or_else(|| {
+            SkyServerError::Sql(skyserver_sql::SqlError::Parse("empty script".into()))
+        })
     }
 
     /// Convenience: run a read-only query without limits and return just
     /// the rows.  Takes `&self` (shared read path).
     pub fn query(&self, sql: &str) -> Result<ResultSet, SkyServerError> {
         Ok(self.engine.query(sql)?)
+    }
+
+    /// [`Self::query`] pinned to a published data release (`None` = head).
+    pub fn query_on(&self, sql: &str, release: Option<&str>) -> Result<ResultSet, SkyServerError> {
+        Ok(self.engine.query_on(sql, release)?)
     }
 
     /// Run a read-only script with a [`skyserver_sql::QueryMonitor`]
@@ -173,7 +197,66 @@ impl SkyServer {
         limits: QueryLimits,
         monitor: &skyserver_sql::QueryMonitor,
     ) -> Result<StatementOutcome, SkyServerError> {
-        Ok(self.engine.execute_read_with(sql, limits, Some(monitor))?)
+        self.execute_batch_on(sql, limits, monitor, None)
+    }
+
+    /// [`Self::execute_batch`] pinned to a published data release.  A batch
+    /// job launched with a pin keeps reading that release's snapshot for its
+    /// whole run, even if new releases are published while it scans.
+    pub fn execute_batch_on(
+        &self,
+        sql: &str,
+        limits: QueryLimits,
+        monitor: &skyserver_sql::QueryMonitor,
+        release: Option<&str>,
+    ) -> Result<StatementOutcome, SkyServerError> {
+        let mut outcomes =
+            self.engine
+                .execute_read_script_on(sql, limits, Some(monitor), release)?;
+        outcomes.pop().ok_or_else(|| {
+            SkyServerError::Sql(skyserver_sql::SqlError::Parse("empty script".into()))
+        })
+    }
+
+    /// Publish the current head catalog as release `name`.  Copy-on-write:
+    /// the snapshot shares all segments and indexes with the head, so only
+    /// catalog metadata is copied.  Duplicate names are refused.
+    pub fn publish_release(&mut self, name: &str) -> Result<(), SkyServerError> {
+        Ok(self.engine.publish_release(name)?)
+    }
+
+    /// Published release names, oldest first.
+    pub fn release_names(&self) -> Vec<String> {
+        self.engine.release_names()
+    }
+
+    /// Metadata for every published release (name, tables, rows, segments).
+    pub fn release_infos(&self) -> Vec<skyserver_storage::ReleaseInfo> {
+        self.engine.release_infos()
+    }
+
+    /// Per-table segment-level diff between two published releases.
+    pub fn release_diff(
+        &self,
+        from: &str,
+        to: &str,
+    ) -> Result<skyserver_storage::ReleaseDiff, SkyServerError> {
+        Ok(self.engine.release_diff(from, to)?)
+    }
+
+    /// Clone this server copy-on-write: the fork shares every immutable
+    /// segment, index and published release with the original, so this is
+    /// metadata-cost only.  Writes to either side never affect the other —
+    /// the primitive behind atomic admin publishes in the web tier.
+    pub fn fork(&self) -> SkyServer {
+        SkyServer {
+            engine: self.engine.fork(),
+            config: self.config.clone(),
+            counts: self.counts.clone(),
+            primary_fraction: self.primary_fraction,
+            paper_scale_factor: self.paper_scale_factor,
+            load_report: self.load_report.clone(),
+        }
     }
 
     /// Render the plan of a SELECT.
@@ -216,15 +299,39 @@ impl SkyServer {
         dec: f64,
         radius_arcmin: f64,
     ) -> Result<ResultSet, SkyServerError> {
-        self.query(&format!(
-            "select objID, type, distance from fGetNearbyObjEq({ra}, {dec}, {radius_arcmin})"
-        ))
+        self.nearby_objects_on(ra, dec, radius_arcmin, None)
+    }
+
+    /// [`Self::nearby_objects`] pinned to a published data release.
+    pub fn nearby_objects_on(
+        &self,
+        ra: f64,
+        dec: f64,
+        radius_arcmin: f64,
+        release: Option<&str>,
+    ) -> Result<ResultSet, SkyServerError> {
+        self.query_on(
+            &format!(
+                "select objID, type, distance from fGetNearbyObjEq({ra}, {dec}, {radius_arcmin})"
+            ),
+            release,
+        )
     }
 
     /// Full drill-down for one object: attributes, neighbours, spectrum and
     /// cross-matches (the web "Explore" page payload).
     pub fn explore(&self, obj_id: i64) -> Result<ObjectSummary, SkyServerError> {
-        crate::explore::explore_object(self, obj_id)
+        crate::explore::explore_object(self, obj_id, None)
+    }
+
+    /// [`Self::explore`] pinned to a published data release: every query
+    /// the drill-down issues reads that release's snapshot.
+    pub fn explore_on(
+        &self,
+        obj_id: i64,
+        release: Option<&str>,
+    ) -> Result<ObjectSummary, SkyServerError> {
+        crate::explore::explore_object(self, obj_id, release)
     }
 }
 
@@ -271,6 +378,35 @@ mod tests {
         assert!(photo.index_bytes > 0);
         let neighbors = summaries.iter().find(|t| t.name == "Neighbors").unwrap();
         assert!(neighbors.avg_row_bytes < photo.avg_row_bytes);
+    }
+
+    #[test]
+    fn build_publishes_dr1_and_fork_is_isolated() {
+        let s = server();
+        assert_eq!(s.release_names(), vec!["dr1".to_string()]);
+        let head = s.query("select count(*) from PhotoObj").unwrap();
+        let pinned = s.query("select count(*) from PhotoObj as of dr1").unwrap();
+        assert_eq!(head.rows, pinned.rows);
+        // Publish a second release off a fork and check the diff API.
+        let mut next = s.fork();
+        next.execute("delete from PhotoObj where objID = 1000001")
+            .unwrap();
+        next.publish_release("dr2").unwrap();
+        assert_eq!(
+            next.release_names(),
+            vec!["dr1".to_string(), "dr2".to_string()]
+        );
+        // The original server never saw dr2 or the delete.
+        assert_eq!(s.release_names(), vec!["dr1".to_string()]);
+        let still = s
+            .query("select count(*) from PhotoObj where objID = 1000001")
+            .unwrap();
+        assert_eq!(still.scalar().unwrap().as_i64(), Some(1));
+        let diff = next.release_diff("dr1", "dr2").unwrap();
+        assert!(diff.tables.iter().any(|t| t.table == "PhotoObj"));
+        let infos = next.release_infos();
+        assert_eq!(infos.len(), 2);
+        assert!(infos[0].rows > 0);
     }
 
     #[test]

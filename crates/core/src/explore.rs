@@ -38,9 +38,15 @@ pub struct SpectrumSummary {
     pub line_count: i64,
 }
 
-/// Assemble the explorer payload for an object.
-pub fn explore_object(server: &SkyServer, obj_id: i64) -> Result<ObjectSummary, SkyServerError> {
-    let record = server.query(&format!("select * from PhotoObj where objID = {obj_id}"))?;
+/// Assemble the explorer payload for an object, optionally pinned to a
+/// published data release (every query reads that release's snapshot).
+pub fn explore_object(
+    server: &SkyServer,
+    obj_id: i64,
+    release: Option<&str>,
+) -> Result<ObjectSummary, SkyServerError> {
+    let query = |sql: &str| server.query_on(sql, release);
+    let record = query(&format!("select * from PhotoObj where objID = {obj_id}"))?;
     if record.is_empty() {
         return Err(SkyServerError::NotFound(format!("object {obj_id}")));
     }
@@ -58,7 +64,7 @@ pub fn explore_object(server: &SkyServer, obj_id: i64) -> Result<ObjectSummary, 
         .map(|(c, v)| (c.clone(), v.to_string()))
         .collect();
 
-    let neighbors_rs = server.query(&format!(
+    let neighbors_rs = query(&format!(
         "select neighborObjID, distance from Neighbors where objID = {obj_id} order by distance"
     ))?;
     let neighbors = neighbors_rs
@@ -67,14 +73,14 @@ pub fn explore_object(server: &SkyServer, obj_id: i64) -> Result<ObjectSummary, 
         .map(|r| (r[0].as_i64().unwrap_or(0), r[1].as_f64().unwrap_or(0.0)))
         .collect();
 
-    let spec = server.query(&format!(
+    let spec = query(&format!(
         "select specObjID, plateID, z, zConf, specClass from SpecObj where objID = {obj_id}"
     ))?;
     let spectrum = if spec.is_empty() {
         None
     } else {
         let spec_obj_id = spec.rows[0][0].as_i64().unwrap_or(0);
-        let lines = server.query(&format!(
+        let lines = query(&format!(
             "select count(*) from SpecLine where specObjID = {spec_obj_id}"
         ))?;
         Some(SpectrumSummary {
@@ -89,7 +95,7 @@ pub fn explore_object(server: &SkyServer, obj_id: i64) -> Result<ObjectSummary, 
 
     let mut cross_matches = Vec::new();
     for survey in ["USNO", "ROSAT", "FIRST"] {
-        let n = server.query(&format!(
+        let n = query(&format!(
             "select count(*) from {survey} where objID = {obj_id}"
         ))?;
         if n.scalar().and_then(Value::as_i64).unwrap_or(0) > 0 {

@@ -43,6 +43,12 @@ pub enum Statement {
     /// verifier over it, reporting the check summary or the violations
     /// instead of executing.
     ExplainVerify(SelectStatement),
+    /// `PUBLISH RELEASE drN`: atomically publish the current database state
+    /// as an immutable named release (admin surface only).
+    PublishRelease {
+        /// The new release's name (`dr1`, `dr2`, ...).
+        id: String,
+    },
 }
 
 /// `SELECT` statement.
@@ -66,6 +72,9 @@ pub struct SelectStatement {
     pub having: Option<Expr>,
     /// `ORDER BY` items.
     pub order_by: Vec<OrderByItem>,
+    /// `AS OF drN`: pin the whole statement to a published release
+    /// snapshot instead of the live head database.
+    pub as_of: Option<String>,
 }
 
 /// One item of the select list.

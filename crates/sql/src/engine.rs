@@ -32,16 +32,21 @@ use crate::plan::{PlanClass, SelectPlan};
 use crate::planner::Planner;
 use crate::result::{ResultSet, StatementOutcome};
 use skyserver_storage::{
-    ColumnDef, Database, ExecutionStats, IndexDef, IoSimulator, TableSchema, Value,
+    ColumnDef, Database, ExecutionStats, IndexDef, IoSimulator, ReleaseCatalog, ReleaseDiff,
+    ReleaseInfo, TableSchema, Value,
 };
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::RwLock;
+use std::sync::{Arc, RwLock};
 use std::time::Instant;
 
 /// The SQL engine: database + functions + session state.
 pub struct SqlEngine {
     db: Database,
+    /// Published release snapshots (`PUBLISH RELEASE drN`).  Each entry is
+    /// an immutable copy-on-write [`Database`] sharing all unchanged
+    /// segments and indexes with the head and with other releases.
+    releases: ReleaseCatalog,
     functions: FunctionRegistry,
     simulator: IoSimulator,
     /// Multiplier applied when projecting measured scans to the paper's data
@@ -115,6 +120,7 @@ impl SqlEngine {
     pub fn new(db: Database, functions: FunctionRegistry) -> Self {
         SqlEngine {
             db,
+            releases: ReleaseCatalog::new(),
             functions,
             simulator: IoSimulator::skyserver_production(),
             paper_scale_factor: None,
@@ -129,14 +135,98 @@ impl SqlEngine {
         }
     }
 
-    /// Planner configured with this engine's settings.
-    fn planner(&self) -> Planner<'_> {
-        Planner::new(&self.db, &self.functions)
+    /// Planner configured with this engine's settings, over `db` — the head
+    /// database or a pinned release snapshot (`release` names the latter so
+    /// EXPLAIN and the plan verifier see the pin).
+    fn planner_on<'a>(&'a self, db: &'a Database, release: Option<&str>) -> Planner<'a> {
+        Planner::new(db, &self.functions)
             .with_parallel_scan_threshold(self.parallel_scan_threshold)
             .with_expression_compilation(self.compile_expressions)
             .with_vectorized(self.vectorized)
             .with_verification(self.verify_plans || cfg!(debug_assertions))
             .with_cost_based_ordering(self.cost_based_ordering)
+            .with_release(release.map(str::to_string))
+            .with_known_releases(self.releases.names())
+    }
+
+    /// The database a statement pinned to `release` reads: the live head
+    /// for `None`, the published snapshot otherwise.
+    pub fn db_for(&self, release: Option<&str>) -> Result<&Database, SqlError> {
+        match release {
+            None => Ok(&self.db),
+            Some(r) => self
+                .releases
+                .get(r)
+                .map(Arc::as_ref)
+                .ok_or_else(|| SqlError::UnknownRelease(r.to_string())),
+        }
+    }
+
+    /// Publish the current head database as release `name`.  Copy-on-write:
+    /// the snapshot shares every segment and index with the head, so the
+    /// publish copies only catalog metadata.  Fails on a duplicate name
+    /// (releases are immutable once published).
+    pub fn publish_release(&mut self, name: &str) -> Result<(), SqlError> {
+        self.releases.publish(name, Arc::new(self.db.clone()))?;
+        Ok(())
+    }
+
+    /// The published release catalog.
+    pub fn releases(&self) -> &ReleaseCatalog {
+        &self.releases
+    }
+
+    /// Published release names, in publish order.
+    pub fn release_names(&self) -> Vec<String> {
+        self.releases.names()
+    }
+
+    /// Summaries of every published release, in publish order.
+    pub fn release_infos(&self) -> Vec<ReleaseInfo> {
+        self.releases.infos()
+    }
+
+    /// Per-table diff between two published releases (rows on each side,
+    /// physically shared vs added/removed segments).
+    pub fn release_diff(&self, from: &str, to: &str) -> Result<ReleaseDiff, SqlError> {
+        self.releases.diff(from, to).map_err(|e| match e {
+            skyserver_storage::StorageError::UnknownRelease(r) => SqlError::UnknownRelease(r),
+            other => SqlError::Storage(other),
+        })
+    }
+
+    /// A copy-on-write fork of this engine: same functions, configuration,
+    /// session variables and release history, sharing every segment and
+    /// index with the parent until either side writes.  The atomic-publish
+    /// protocol applies admin writes to a fork while the original keeps
+    /// serving queries, then swaps the fork in.
+    pub fn fork(&self) -> SqlEngine {
+        SqlEngine {
+            db: self.db.clone(),
+            releases: self.releases.clone(),
+            functions: self.functions.clone(),
+            simulator: self.simulator,
+            paper_scale_factor: self.paper_scale_factor,
+            variables: RwLock::new(
+                self.variables
+                    .read()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .clone(),
+            ),
+            capture_plans: self.capture_plans,
+            parallel_scan_threshold: self.parallel_scan_threshold,
+            compile_expressions: self.compile_expressions,
+            vectorized: self.vectorized,
+            verify_plans: self.verify_plans,
+            cost_based_ordering: self.cost_based_ordering,
+            counters: EngineCounters {
+                selects: AtomicU64::new(self.counters.selects.load(Ordering::Relaxed)),
+                read_path_selects: AtomicU64::new(
+                    self.counters.read_path_selects.load(Ordering::Relaxed),
+                ),
+                rows_returned: AtomicU64::new(self.counters.rows_returned.load(Ordering::Relaxed)),
+            },
+        }
     }
 
     /// Enable or disable statistics-driven join ordering and access-path
@@ -283,6 +373,24 @@ impl SqlEngine {
         limits: QueryLimits,
         monitor: Option<&QueryMonitor>,
     ) -> Result<Vec<StatementOutcome>, SqlError> {
+        self.execute_read_script_on(sql, limits, monitor, None)
+    }
+
+    /// [`SqlEngine::execute_read_script_with`] pinned to a published
+    /// release: every SELECT reads `release`'s snapshot instead of the live
+    /// head (the engine face of the web tier's `?release=` parameter).  A
+    /// statement-level `AS OF` must agree with the pin.  `None` reads the
+    /// head, same as the unpinned path.
+    pub fn execute_read_script_on(
+        &self,
+        sql: &str,
+        limits: QueryLimits,
+        monitor: Option<&QueryMonitor>,
+        release: Option<&str>,
+    ) -> Result<Vec<StatementOutcome>, SqlError> {
+        // Reject an unknown release before doing any work, even for
+        // scripts that never reach a SELECT.
+        self.db_for(release)?;
         let statements = parse_script(sql)?;
         let mut vars = self
             .variables
@@ -310,7 +418,7 @@ impl SqlEngine {
                         return Err(SqlError::ReadOnly(format!("SELECT ... INTO {target}")));
                     }
                     let (outcome, _into) =
-                        self.run_select(select, limits, started, &vars, monitor)?;
+                        self.run_select(select, limits, started, &vars, monitor, release)?;
                     self.counters
                         .read_path_selects
                         .fetch_add(1, Ordering::Relaxed);
@@ -356,6 +464,16 @@ impl SqlEngine {
         Ok(self.execute_read(sql, QueryLimits::UNLIMITED)?.result)
     }
 
+    /// [`SqlEngine::query`] pinned to a published release snapshot.
+    pub fn query_on(&self, sql: &str, release: Option<&str>) -> Result<ResultSet, SqlError> {
+        let mut outcomes =
+            self.execute_read_script_on(sql, QueryLimits::UNLIMITED, None, release)?;
+        outcomes
+            .pop()
+            .map(|o| o.result)
+            .ok_or_else(|| SqlError::Parse("empty script".into()))
+    }
+
     /// Render the plan of the (single) SELECT statement in `sql`.  Any
     /// `DECLARE`/`SET` in the script is evaluated into a local overlay so
     /// planning cannot disturb (or be disturbed by) concurrent sessions.
@@ -364,7 +482,10 @@ impl SqlEngine {
         self.eval_script_variables(&statements)?;
         for stmt in &statements {
             if let Statement::Select(s) = stmt {
-                let plan = self.planner().plan_select(s)?;
+                let release = s.as_of.as_deref();
+                let plan = self
+                    .planner_on(self.db_for(release)?, release)
+                    .plan_select(s)?;
                 return Ok(plan.render_explain());
             }
         }
@@ -384,7 +505,10 @@ impl SqlEngine {
         self.eval_script_variables(&statements)?;
         for stmt in &statements {
             if let Statement::Select(s) = stmt {
-                let plan = self.planner().plan_select(s)?;
+                let release = s.as_of.as_deref();
+                let plan = self
+                    .planner_on(self.db_for(release)?, release)
+                    .plan_select(s)?;
                 return Ok(PlanSummary {
                     class: plan.plan_class(),
                     rules_fired: plan.rules_fired,
@@ -449,7 +573,7 @@ impl SqlEngine {
                         .variables
                         .read()
                         .unwrap_or_else(std::sync::PoisonError::into_inner);
-                    self.run_select(select, limits, started, &vars, None)?
+                    self.run_select(select, limits, started, &vars, None, None)?
                 };
                 if let Some(target) = into {
                     outcome.rows_affected = self.materialize_into(&target, &outcome.result)?;
@@ -517,6 +641,10 @@ impl SqlEngine {
                 Ok(StatementOutcome::default())
             }
             Statement::ExplainVerify(select) => self.explain_verify(select),
+            Statement::PublishRelease { id } => {
+                self.publish_release(id)?;
+                Ok(StatementOutcome::default())
+            }
         }
     }
 
@@ -529,11 +657,14 @@ impl SqlEngine {
     ) -> Result<StatementOutcome, SqlError> {
         // Verification is disabled on this planner pass so that a broken
         // plan is *reported* rather than aborting the statement.
+        let release = select.as_of.as_deref();
+        let db = self.db_for(release)?;
         let plan = self
-            .planner()
+            .planner_on(db, release)
             .with_verification(false)
             .plan_select(select)?;
-        let report = crate::verify::verify_plan(&plan, &self.db);
+        let names = self.releases.names();
+        let report = crate::verify::verify_plan_with_releases(&plan, db, Some(&names));
         let mut result = ResultSet::empty(vec!["plan_verify".to_string()]);
         if report.is_clean() {
             result.rows.push(vec![Value::str(report.summary())]);
@@ -555,8 +686,18 @@ impl SqlEngine {
         self.eval_script_variables(&statements)?;
         for stmt in &statements {
             if let Statement::Select(s) | Statement::ExplainVerify(s) = stmt {
-                let plan = self.planner().with_verification(false).plan_select(s)?;
-                return Ok(crate::verify::verify_plan(&plan, &self.db));
+                let release = s.as_of.as_deref();
+                let db = self.db_for(release)?;
+                let plan = self
+                    .planner_on(db, release)
+                    .with_verification(false)
+                    .plan_select(s)?;
+                let names = self.releases.names();
+                return Ok(crate::verify::verify_plan_with_releases(
+                    &plan,
+                    db,
+                    Some(&names),
+                ));
             }
         }
         Err(SqlError::Plan("no SELECT statement to verify".into()))
@@ -573,15 +714,26 @@ impl SqlEngine {
         started: Instant,
         variables: &HashMap<String, Value>,
         monitor: Option<&QueryMonitor>,
+        ambient_release: Option<&str>,
     ) -> Result<(StatementOutcome, Option<String>), SqlError> {
-        let plan = self.planner().plan_select(select)?;
+        // A statement-level `AS OF` and the session's ambient pin (the web
+        // tier's `?release=`) must agree when both are present.
+        if let (Some(a), Some(r)) = (select.as_of.as_deref(), ambient_release) {
+            if !a.eq_ignore_ascii_case(r) {
+                return Err(SqlError::Plan(format!(
+                    "conflicting AS OF releases in one statement: {a} vs {r}"
+                )));
+            }
+        }
+        let release = select.as_of.as_deref().or(ambient_release);
+        let db = self.db_for(release)?;
+        let plan = self.planner_on(db, release).plan_select(select)?;
         let rendered = if self.capture_plans {
             Some(plan.render())
         } else {
             None
         };
-        let executor =
-            Executor::new(&self.db, &self.functions, variables, limits).with_monitor(monitor);
+        let executor = Executor::new(db, &self.functions, variables, limits).with_monitor(monitor);
         let executed = executor.execute_select(&plan)?;
         let wall = started.elapsed();
         let stats = ExecutionStats::from_scan(
@@ -676,8 +828,12 @@ impl SqlEngine {
                     .collect::<Result<_, _>>()?
             }
             InsertSource::Select(select) => {
-                let plan = self.planner().plan_select(select)?;
-                let executor = Executor::new(&self.db, &self.functions, &variables, limits);
+                // `INSERT ... SELECT ... AS OF drN` reads the pinned
+                // snapshot while inserting into the live head.
+                let release = select.as_of.as_deref();
+                let src_db = self.db_for(release)?;
+                let plan = self.planner_on(src_db, release).plan_select(select)?;
+                let executor = Executor::new(src_db, &self.functions, &variables, limits);
                 executor.execute_select(&plan)?.result.rows
             }
         };
@@ -813,6 +969,7 @@ fn statement_kind(stmt: &Statement) -> &'static str {
         Statement::CreateView(_) => "CREATE VIEW",
         Statement::DropTable { .. } => "DROP TABLE",
         Statement::ExplainVerify(_) => "EXPLAIN VERIFY",
+        Statement::PublishRelease { .. } => "PUBLISH RELEASE",
     }
 }
 
@@ -906,6 +1063,13 @@ fn render_select_source(select: &crate::ast::SelectStatement) -> String {
 mod tests {
     use super::*;
     use skyserver_storage::DataType;
+
+    impl SqlEngine {
+        /// Test shorthand: execute a write statement with no limits.
+        fn execute_unlimited(&mut self, sql: &str) -> Result<StatementOutcome, SqlError> {
+            self.execute(sql, QueryLimits::UNLIMITED)
+        }
+    }
 
     /// Build a small photoObj-like database for engine tests.
     fn engine() -> SqlEngine {
@@ -1570,5 +1734,145 @@ mod tests {
         let r = e.query("select 1 + 1, pi()").unwrap();
         assert_eq!(r.rows[0][0], Value::Int(2));
         assert!((r.rows[0][1].as_f64().unwrap() - std::f64::consts::PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn publish_release_pins_a_snapshot_for_as_of() {
+        let mut e = engine();
+        e.execute_unlimited("publish release dr1").unwrap();
+        // Mutate the head after the publish; the snapshot must not move.
+        e.execute_unlimited(
+            "insert into photoObj (objID, htmID, ra, dec, type, flags, modelMag_r, rowv, colv) \
+             values (9000, 109000, 181.0, 0.1, 3, 0, 16.0, 0.0, 0.0)",
+        )
+        .unwrap();
+        let head = e.query("select count(*) from photoObj").unwrap();
+        assert_eq!(head.scalar(), Some(&Value::Int(201)));
+        let pinned = e.query("select count(*) from photoObj as of dr1").unwrap();
+        assert_eq!(pinned.scalar(), Some(&Value::Int(200)));
+        // Release names are case-insensitive on lookup.
+        let pinned = e.query("select count(*) from photoObj as of DR1").unwrap();
+        assert_eq!(pinned.scalar(), Some(&Value::Int(200)));
+    }
+
+    #[test]
+    fn as_of_matches_ambient_release_pin() {
+        let mut e = engine();
+        e.publish_release("dr1").unwrap();
+        e.execute_unlimited(
+            "insert into photoObj (objID, htmID, ra, dec, type, flags, modelMag_r, rowv, colv) \
+             values (9001, 109001, 181.0, 0.1, 6, 0, 16.0, 0.0, 0.0)",
+        )
+        .unwrap();
+        let sql = "select count(*) from photoObj";
+        let via_as_of = e.query(&format!("{sql} as of dr1")).unwrap();
+        let via_param = e.query_on(sql, Some("dr1")).unwrap();
+        assert_eq!(via_as_of.rows, via_param.rows);
+        // An explicit AS OF that agrees with the ambient pin is fine ...
+        let both = e
+            .query_on(&format!("{sql} as of dr1"), Some("dr1"))
+            .unwrap();
+        assert_eq!(both.rows, via_param.rows);
+        // ... but a conflicting one is a planning error.
+        e.publish_release("dr2").unwrap();
+        let err = e
+            .query_on(&format!("{sql} as of dr2"), Some("dr1"))
+            .unwrap_err();
+        assert!(matches!(err, SqlError::Plan(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn unknown_release_is_a_structured_error() {
+        let e = engine();
+        let err = e
+            .query("select count(*) from photoObj as of dr9")
+            .unwrap_err();
+        assert_eq!(err, SqlError::UnknownRelease("dr9".into()));
+        assert_eq!(err.code(), "unknown_release");
+        let err = e.query_on("select 1", Some("nope")).unwrap_err();
+        assert_eq!(err, SqlError::UnknownRelease("nope".into()));
+    }
+
+    #[test]
+    fn publish_release_is_rejected_on_the_read_path() {
+        let mut e = engine();
+        e.publish_release("dr1").unwrap();
+        let err = e
+            .execute_read("publish release dr2", QueryLimits::UNLIMITED)
+            .unwrap_err();
+        assert!(matches!(err, SqlError::ReadOnly(_)), "got {err:?}");
+        // Duplicate publishes are refused: releases are immutable.
+        let err = e.execute_unlimited("publish release dr1").unwrap_err();
+        assert!(matches!(err, SqlError::Storage(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn explain_and_verifier_see_the_release_pin() {
+        let mut e = engine();
+        e.publish_release("dr1").unwrap();
+        let text = e
+            .explain("select objID from photoObj where objID = 7 as of dr1")
+            .unwrap();
+        assert!(text.contains("-- release: dr1"), "missing pin in:\n{text}");
+        let plain = e
+            .explain("select objID from photoObj where objID = 7")
+            .unwrap();
+        assert!(!plain.contains("-- release:"), "spurious pin in:\n{plain}");
+        let report = e
+            .verify("select objID from photoObj where objID = 7 as of dr1")
+            .unwrap();
+        assert!(report.is_clean(), "violations: {:?}", report.violations);
+    }
+
+    #[test]
+    fn insert_select_reads_the_pinned_snapshot() {
+        let mut e = engine();
+        e.execute_unlimited("create table frozen (objID int, modelMag_r float)")
+            .unwrap();
+        e.publish_release("dr1").unwrap();
+        e.execute_unlimited(
+            "insert into photoObj (objID, htmID, ra, dec, type, flags, modelMag_r, rowv, colv) \
+             values (9002, 109002, 181.0, 0.1, 3, 0, 16.0, 0.0, 0.0)",
+        )
+        .unwrap();
+        // Reads dr1 (200 rows), writes the live head.
+        e.execute_unlimited("insert into frozen select objID, modelMag_r from photoObj as of dr1")
+            .unwrap();
+        let n = e.query("select count(*) from frozen").unwrap();
+        assert_eq!(n.scalar(), Some(&Value::Int(200)));
+    }
+
+    #[test]
+    fn release_diff_reports_changed_tables() {
+        let mut e = engine();
+        e.publish_release("dr1").unwrap();
+        e.execute_unlimited(
+            "insert into photoObj (objID, htmID, ra, dec, type, flags, modelMag_r, rowv, colv) \
+             values (9003, 109003, 181.0, 0.1, 3, 0, 16.0, 0.0, 0.0)",
+        )
+        .unwrap();
+        e.publish_release("dr2").unwrap();
+        let diff = e.release_diff("dr1", "dr2").unwrap();
+        assert_eq!(diff.from, "dr1");
+        assert_eq!(diff.to, "dr2");
+        assert!(diff.tables.iter().any(|t| t.table == "photoObj"));
+        let err = e.release_diff("dr1", "dr9").unwrap_err();
+        assert_eq!(err, SqlError::UnknownRelease("dr9".into()));
+    }
+
+    #[test]
+    fn fork_shares_releases_but_not_future_writes() {
+        let mut e = engine();
+        e.publish_release("dr1").unwrap();
+        let fork = e.fork();
+        assert_eq!(fork.release_names(), vec!["dr1".to_string()]);
+        // Writes to the original do not appear in the fork.
+        e.execute_unlimited(
+            "insert into photoObj (objID, htmID, ra, dec, type, flags, modelMag_r, rowv, colv) \
+             values (9004, 109004, 181.0, 0.1, 3, 0, 16.0, 0.0, 0.0)",
+        )
+        .unwrap();
+        let n = fork.query("select count(*) from photoObj").unwrap();
+        assert_eq!(n.scalar(), Some(&Value::Int(200)));
     }
 }

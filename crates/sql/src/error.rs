@@ -20,6 +20,9 @@ pub enum SqlError {
     LimitExceeded(String),
     /// Unknown scalar or table-valued function.
     UnknownFunction(String),
+    /// `AS OF` (or the web tier's `?release=`) named a release that is not
+    /// in the engine's release catalog.
+    UnknownRelease(String),
     /// A write statement (DML, DDL, `SELECT ... INTO`) reached the shared
     /// read-only query path.
     ReadOnly(String),
@@ -52,6 +55,7 @@ impl SqlError {
             // the memory budget (ResourceExhausted below).
             SqlError::LimitExceeded(_) => "query_timeout",
             SqlError::UnknownFunction(_) => "sql_unknown_function",
+            SqlError::UnknownRelease(_) => "unknown_release",
             SqlError::ReadOnly(_) => "read_only",
             SqlError::Cancelled => "query_cancelled",
             SqlError::ResourceExhausted(_) => "resource_exhausted",
@@ -68,6 +72,7 @@ impl fmt::Display for SqlError {
             SqlError::Storage(e) => write!(f, "storage error: {e}"),
             SqlError::LimitExceeded(m) => write!(f, "query limit exceeded: {m}"),
             SqlError::UnknownFunction(n) => write!(f, "unknown function {n}"),
+            SqlError::UnknownRelease(r) => write!(f, "unknown release {r}"),
             SqlError::ReadOnly(m) => {
                 write!(f, "read-only interface: {m} is not allowed here")
             }
@@ -107,6 +112,10 @@ mod tests {
         assert_eq!(SqlError::LimitExceeded("t".into()).code(), "query_timeout");
         assert_eq!(SqlError::ReadOnly("drop".into()).code(), "read_only");
         assert_eq!(SqlError::Cancelled.code(), "query_cancelled");
+        assert_eq!(
+            SqlError::UnknownRelease("dr9".into()).code(),
+            "unknown_release"
+        );
         assert_eq!(
             SqlError::ResourceExhausted("64 MiB".into()).code(),
             "resource_exhausted"

@@ -68,7 +68,7 @@ pub use parser::{parse_script, parse_select, parse_statement};
 pub use plan::{AccessPath, PlanClass, SelectPlan};
 pub use planner::Planner;
 pub use result::{ResultSet, StatementOutcome};
-pub use verify::{verify_plan, VerifyReport, Violation, ViolationKind};
+pub use verify::{verify_plan, verify_plan_with_releases, VerifyReport, Violation, ViolationKind};
 
 #[cfg(test)]
 mod proptests {

@@ -153,6 +153,11 @@ impl Parser {
             self.parse_declare()
         } else if self.peek_keyword("set") {
             self.parse_set()
+        } else if self.peek_keyword("publish") {
+            self.advance();
+            self.expect_keyword("release")?;
+            let id = self.expect_ident()?;
+            Ok(Statement::PublishRelease { id })
         } else {
             Err(SqlError::Parse(format!(
                 "unexpected start of statement: {}",
@@ -222,6 +227,11 @@ impl Parser {
                 }
             }
         }
+        if self.peek_keyword("as") && self.peek_keyword_at(1, "of") {
+            self.advance();
+            self.advance();
+            stmt.as_of = Some(self.expect_ident()?);
+        }
         Ok(stmt)
     }
 
@@ -241,7 +251,10 @@ impl Parser {
                 items.push(SelectItem::QualifiedWildcard(q));
             } else {
                 let expr = self.parse_expr()?;
-                let alias = if self.eat_keyword("as") || self.projection_alias_follows() {
+                let as_of_follows = self.peek_keyword("as") && self.peek_keyword_at(1, "of");
+                let alias = if !as_of_follows
+                    && (self.eat_keyword("as") || self.projection_alias_follows())
+                {
                     Some(self.expect_ident()?)
                 } else {
                     None
@@ -361,7 +374,10 @@ impl Parser {
                 }
             }
         };
-        let alias = if self.eat_keyword("as") || self.table_alias_follows() {
+        // `AS OF <release>` pins the statement to a snapshot; it must not be
+        // mistaken for an `AS of` table alias.
+        let as_of_follows = self.peek_keyword("as") && self.peek_keyword_at(1, "of");
+        let alias = if !as_of_follows && (self.eat_keyword("as") || self.table_alias_follows()) {
             Some(self.expect_ident()?)
         } else {
             None
@@ -1209,6 +1225,35 @@ mod tests {
         assert!(parse_script("select * from t where (a = 1").is_err());
         assert!(parse_statement("select 1; select 2").is_err());
         assert!(parse_statement("create table t (id badtype)").is_err());
+    }
+
+    #[test]
+    fn parses_as_of_release_pin() {
+        let s = parse_select("select objID from PhotoObj where ra > 180 as of dr2").unwrap();
+        assert_eq!(s.as_of.as_deref(), Some("dr2"));
+        // AS OF must not be mistaken for a table alias named `of`.
+        assert_eq!(s.from[0].alias, None);
+
+        let s = parse_select("select objID from PhotoObj p order by objID as of dr1").unwrap();
+        assert_eq!(s.as_of.as_deref(), Some("dr1"));
+        assert_eq!(s.from[0].alias.as_deref(), Some("p"));
+
+        // AS OF directly after the FROM item (no WHERE clause).
+        let s = parse_select("select objID from PhotoObj as of dr3").unwrap();
+        assert_eq!(s.as_of.as_deref(), Some("dr3"));
+        assert_eq!(s.from[0].alias, None);
+
+        // Explicit aliases still work.
+        let s = parse_select("select objID from PhotoObj as p as of dr1").unwrap();
+        assert_eq!(s.from[0].alias.as_deref(), Some("p"));
+        assert_eq!(s.as_of.as_deref(), Some("dr1"));
+    }
+
+    #[test]
+    fn parses_publish_release() {
+        let st = parse_statement("publish release dr2").unwrap();
+        assert!(matches!(st, Statement::PublishRelease { ref id } if id == "dr2"));
+        assert!(parse_statement("publish dr2").is_err());
     }
 
     #[test]

@@ -261,6 +261,10 @@ pub struct SelectPlan {
     /// Estimated rows of the whole plan (after joins and the residual
     /// filter, before aggregation/TOP), from the selectivity model.
     pub est_rows: Option<u64>,
+    /// Release snapshot the plan's scans are pinned to (`AS OF drN` or the
+    /// session's ambient `?release=`).  `None` means the live head database;
+    /// the plan verifier checks a pinned release exists in the catalog.
+    pub release: Option<String>,
 }
 
 impl SelectPlan {
@@ -307,6 +311,9 @@ impl SelectPlan {
                 "-- optimizer rules fired: {}\n",
                 self.rules_fired.join(", ")
             ));
+        }
+        if let Some(release) = &self.release {
+            out.push_str(&format!("-- release: {release}\n"));
         }
         out
     }
@@ -662,6 +669,7 @@ mod tests {
             programs: None,
             vectorized: false,
             est_rows: None,
+            release: None,
         }
     }
 

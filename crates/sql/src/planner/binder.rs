@@ -446,6 +446,7 @@ fn naive_view_plan(
         programs: None,
         vectorized: false,
         est_rows: None,
+        release: None,
     })
 }
 

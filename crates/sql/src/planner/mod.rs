@@ -48,6 +48,8 @@ pub struct Planner<'a> {
     vectorized: bool,
     verify: bool,
     cost_based_ordering: bool,
+    release: Option<String>,
+    known_releases: Option<Vec<String>>,
 }
 
 impl<'a> Planner<'a> {
@@ -61,6 +63,8 @@ impl<'a> Planner<'a> {
             vectorized: true,
             verify: cfg!(debug_assertions),
             cost_based_ordering: true,
+            release: None,
+            known_releases: None,
         }
     }
 
@@ -104,6 +108,22 @@ impl<'a> Planner<'a> {
         self
     }
 
+    /// Pin plans to a published release snapshot.  The caller (the engine)
+    /// has already resolved `db` to that release's database; the planner
+    /// stamps the name into the plan so EXPLAIN and the verifier see it.
+    pub fn with_release(mut self, release: Option<String>) -> Self {
+        self.release = release;
+        self
+    }
+
+    /// Provide the catalog's published release names so the plan verifier
+    /// can check that a pinned release actually exists.  `None` (the
+    /// default) skips the check — standalone planner tests have no catalog.
+    pub fn with_known_releases(mut self, releases: Vec<String>) -> Self {
+        self.known_releases = Some(releases);
+        self
+    }
+
     fn context(&self) -> PlanContext<'a> {
         PlanContext {
             db: self.db,
@@ -115,11 +135,24 @@ impl<'a> Planner<'a> {
 
     /// Plan a SELECT statement: bind, run the rule pipeline, finalize.
     pub fn plan_select(&self, stmt: &SelectStatement) -> Result<SelectPlan, SqlError> {
+        // A statement-level `AS OF` must agree with the release the planner
+        // (and therefore `self.db`) is already pinned to; a nested select
+        // cannot hop to a different snapshot mid-plan.
+        let release = match (&stmt.as_of, &self.release) {
+            (Some(a), Some(r)) if !a.eq_ignore_ascii_case(r) => {
+                return Err(SqlError::Plan(format!(
+                    "conflicting AS OF releases in one statement: {a} vs {r}"
+                )))
+            }
+            (Some(a), _) => Some(a.clone()),
+            (None, r) => r.clone(),
+        };
         let ctx = self.context();
         let mut logical = binder::bind(stmt, &ctx, &|nested| self.plan_select(nested))?;
         let pipeline = rules::default_pipeline();
         rules::run_pipeline(&mut logical, &ctx, &pipeline)?;
         let mut plan = finalize(logical)?;
+        plan.release = release;
         // Zone constraints and scan columns are computed regardless of the
         // execution mode so all three executors (interpreted, compiled,
         // vectorized) prune and count identically.
@@ -132,7 +165,11 @@ impl<'a> Planner<'a> {
             plan.vectorized = self.vectorized;
         }
         if self.verify {
-            let report = crate::verify::verify_plan(&plan, self.db);
+            let report = crate::verify::verify_plan_with_releases(
+                &plan,
+                self.db,
+                self.known_releases.as_deref(),
+            );
             if !report.is_clean() {
                 return Err(SqlError::Plan(format!(
                     "plan verification failed: {}",
@@ -231,6 +268,7 @@ fn finalize(logical: LogicalPlan) -> Result<SelectPlan, SqlError> {
         programs: None,
         vectorized: false,
         est_rows: None,
+        release: None,
     })
 }
 

@@ -60,6 +60,10 @@ pub enum ViolationKind {
     /// A cardinality annotation is impossible (a base-table estimate above
     /// the table's live row count) or the annotation pass left holes.
     EstimateUnsound,
+    /// The plan pins its scans to a release that is not in the engine's
+    /// release catalog — executing it would read a snapshot that does not
+    /// exist.
+    UnknownRelease,
 }
 
 impl ViolationKind {
@@ -73,6 +77,7 @@ impl ViolationKind {
             ViolationKind::ScanColumnNotCovered => "scan_column_not_covered",
             ViolationKind::PlanShapeInconsistent => "plan_shape_inconsistent",
             ViolationKind::EstimateUnsound => "estimate_unsound",
+            ViolationKind::UnknownRelease => "unknown_release",
         }
     }
 }
@@ -136,9 +141,23 @@ impl VerifyReport {
 }
 
 /// Verify a finalized plan against `db`. Walks derived sub-plans too.
+/// Release pins are not checked (no catalog in scope); callers that know
+/// the published releases use [`verify_plan_with_releases`].
 pub fn verify_plan(plan: &SelectPlan, db: &Database) -> VerifyReport {
+    verify_plan_with_releases(plan, db, None)
+}
+
+/// Verify a finalized plan against `db`, additionally checking that any
+/// release the plan is pinned to exists in `releases` (the engine's release
+/// catalog).  `None` skips the release check.
+pub fn verify_plan_with_releases(
+    plan: &SelectPlan,
+    db: &Database,
+    releases: Option<&[String]>,
+) -> VerifyReport {
     let mut v = Verifier {
         db,
+        releases,
         report: VerifyReport::default(),
     };
     v.verify(plan, "");
@@ -147,6 +166,7 @@ pub fn verify_plan(plan: &SelectPlan, db: &Database) -> VerifyReport {
 
 struct Verifier<'a> {
     db: &'a Database,
+    releases: Option<&'a [String]>,
     report: VerifyReport,
 }
 
@@ -171,6 +191,7 @@ impl Verifier<'_> {
     }
 
     fn verify(&mut self, plan: &SelectPlan, prefix: &str) {
+        self.check_release(plan, prefix);
         self.check_join_count(plan, prefix);
         self.check_input_schema(plan, prefix);
         self.check_sources(plan, prefix);
@@ -181,6 +202,29 @@ impl Verifier<'_> {
                 self.verify(sub, &format!("{prefix}sources[{i}].derived."));
             }
         }
+    }
+
+    /// A pinned release must exist in the catalog the caller handed us.
+    fn check_release(&mut self, plan: &SelectPlan, prefix: &str) {
+        let (Some(pinned), Some(known)) = (&plan.release, self.releases) else {
+            return;
+        };
+        self.check(
+            known.iter().any(|r| r.eq_ignore_ascii_case(pinned)),
+            ViolationKind::UnknownRelease,
+            &format!("{prefix}release"),
+            || {
+                format!(
+                    "plan is pinned to release {pinned} which is not in the \
+                     catalog ({})",
+                    if known.is_empty() {
+                        "no releases published".to_string()
+                    } else {
+                        known.join(", ")
+                    }
+                )
+            },
+        );
     }
 
     /// `joins[i]` connects `sources[i + 1]`; the counts must agree.

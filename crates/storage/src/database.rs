@@ -13,6 +13,7 @@ use crate::table::{RowId, Table, Timestamp};
 use crate::table_stats::{self, TableStats};
 use crate::value::Value;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// A foreign-key constraint: `table(columns)` references
 /// `ref_table(ref_columns)`.
@@ -66,12 +67,19 @@ pub struct TableSummary {
 /// The database: a named collection of tables, indices, views and
 /// constraints, plus a monotonically increasing logical timestamp used for
 /// load bookkeeping and UNDO.
-#[derive(Debug, Default)]
+///
+/// `Database` is `Clone`, and the clone is a copy-on-write snapshot: table
+/// segments and index trees sit behind [`Arc`]s, so cloning copies only
+/// catalog metadata while sharing all bulk data.  Mutating either copy
+/// afterwards detaches just the segments/indexes it touches.  This is the
+/// primitive the release catalog ([`crate::release`]) builds on.
+#[derive(Debug, Clone, Default)]
 pub struct Database {
     name: String,
     tables: BTreeMap<String, Table>,
-    /// Indices grouped by lowercase table name.
-    indexes: BTreeMap<String, Vec<BTreeIndex>>,
+    /// Indices grouped by lowercase table name, shared copy-on-write
+    /// between database snapshots.
+    indexes: BTreeMap<String, Vec<Arc<BTreeIndex>>>,
     views: BTreeMap<String, ViewDef>,
     foreign_keys: Vec<ForeignKey>,
     /// Optimizer statistics per lowercase table name, collected by
@@ -189,12 +197,13 @@ impl Database {
             return Err(StorageError::DuplicateName(def.name));
         }
         let index = BTreeIndex::build(def, table)?;
-        existing.push(index);
+        existing.push(Arc::new(index));
         Ok(())
     }
 
-    /// All indices defined on a table.
-    pub fn indexes_for(&self, table: &str) -> &[BTreeIndex] {
+    /// All indices defined on a table.  Indexes are shared copy-on-write
+    /// between database snapshots (see the type-level docs).
+    pub fn indexes_for(&self, table: &str) -> &[Arc<BTreeIndex>] {
         self.indexes
             .get(&table.to_ascii_lowercase())
             .map(Vec::as_slice)
@@ -206,6 +215,7 @@ impl Database {
         self.indexes_for(table)
             .iter()
             .find(|i| i.def().name.eq_ignore_ascii_case(name))
+            .map(Arc::as_ref)
     }
 
     /// Register a view (SQL text; expanded by the query layer).
@@ -298,7 +308,7 @@ impl Database {
         let stored = t.get(row_id).expect("row just inserted");
         if let Some(idxs) = self.indexes.get_mut(&key) {
             for idx in idxs.iter_mut() {
-                idx.insert_row(row_id, &stored)?;
+                Arc::make_mut(idx).insert_row(row_id, &stored)?;
             }
         }
         Ok(row_id)
@@ -368,7 +378,7 @@ impl Database {
         t.delete(row_id);
         if let Some(idxs) = self.indexes.get_mut(&key) {
             for idx in idxs.iter_mut() {
-                idx.remove_row(row_id, &row);
+                Arc::make_mut(idx).remove_row(row_id, &row);
             }
         }
         Ok(true)
@@ -528,7 +538,7 @@ impl Database {
                     name: t.name().to_string(),
                     rows: t.row_count() as u64,
                     data_bytes: t.data_bytes(),
-                    index_bytes: idx.iter().map(BTreeIndex::bytes).sum(),
+                    index_bytes: idx.iter().map(|i| i.bytes()).sum(),
                     avg_row_bytes: t.avg_row_bytes(),
                     columns: t.schema().len(),
                     indexes: idx.len(),
@@ -547,7 +557,7 @@ impl Database {
     pub fn total_index_bytes(&self) -> u64 {
         self.indexes
             .values()
-            .flat_map(|v| v.iter().map(BTreeIndex::bytes))
+            .flat_map(|v| v.iter().map(|i| i.bytes()))
             .sum()
     }
 }

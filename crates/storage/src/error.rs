@@ -9,6 +9,8 @@ use std::fmt;
 pub enum StorageError {
     /// Table (or view) name not found in the catalog.
     UnknownTable(String),
+    /// Release name not found in the release catalog.
+    UnknownRelease(String),
     /// Index name not found.
     UnknownIndex(String),
     /// An object with the same name already exists.
@@ -37,6 +39,7 @@ impl fmt::Display for StorageError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             StorageError::UnknownTable(t) => write!(f, "unknown table {t}"),
+            StorageError::UnknownRelease(r) => write!(f, "unknown release {r}"),
             StorageError::UnknownIndex(i) => write!(f, "unknown index {i}"),
             StorageError::DuplicateName(n) => write!(f, "object named {n} already exists"),
             StorageError::Schema(e) => write!(f, "schema error: {e}"),

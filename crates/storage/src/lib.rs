@@ -29,6 +29,7 @@ pub mod error;
 pub mod failpoints;
 pub mod index;
 pub mod iosim;
+pub mod release;
 pub mod schema;
 pub mod stats;
 pub mod table;
@@ -40,6 +41,7 @@ pub use error::StorageError;
 pub use failpoints::FailAction;
 pub use index::{BTreeIndex, IndexDef, IndexEntry, IndexKey};
 pub use iosim::{CpuCost, DiskConfig, HardwareProfile, IoSimulator, SimTiming};
+pub use release::{DiffStatus, ReleaseCatalog, ReleaseDiff, ReleaseInfo, TableDiff};
 pub use schema::{ColumnDef, SchemaError, TableSchema};
 pub use stats::{ExecutionStats, ScanStats};
 pub use table::{Column, ColumnData, RowId, Segment, Table, Timestamp, SEGMENT_ROWS};

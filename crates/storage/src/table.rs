@@ -327,11 +327,17 @@ impl Segment {
 
 /// A columnar table: an append-only vector of [`Segment`]s behind the
 /// row-oriented compatibility API.
+///
+/// Segments are held behind [`Arc`] so cloning a table (the release
+/// manager's copy-on-write snapshot path) shares every immutable segment;
+/// a mutation after the clone copies only the one segment it touches
+/// (`Arc::make_mut`).  Segment identity (`Arc::as_ptr`) is what release
+/// diffs use to tell shared segments from rewritten ones.
 #[derive(Debug, Clone)]
 pub struct Table {
     name: String,
     schema: TableSchema,
-    segments: Vec<Segment>,
+    segments: Vec<Arc<Segment>>,
     /// Total occupied slots across all segments.
     slots: usize,
     live_rows: usize,
@@ -400,8 +406,10 @@ impl Table {
     }
 
     /// The table's segments, in slot order (segment `s` covers slots
-    /// `[s * SEGMENT_ROWS, s * SEGMENT_ROWS + slot_count)`).
-    pub fn segments(&self) -> &[Segment] {
+    /// `[s * SEGMENT_ROWS, s * SEGMENT_ROWS + slot_count)`).  Segments are
+    /// shared copy-on-write between cloned tables; compare with
+    /// `Arc::as_ptr` to test segment identity across snapshots.
+    pub fn segments(&self) -> &[Arc<Segment>] {
         &self.segments
     }
 
@@ -423,9 +431,9 @@ impl Table {
             .last()
             .is_none_or(|s| s.slot_count() == SEGMENT_ROWS)
         {
-            self.segments.push(Segment::new(&self.schema));
+            self.segments.push(Arc::new(Segment::new(&self.schema)));
         }
-        let seg = self.segments.last_mut().expect("segment just ensured");
+        let seg = Arc::make_mut(self.segments.last_mut().expect("segment just ensured"));
         for (c, v) in row.iter().enumerate() {
             seg.columns[c].push(v);
         }
@@ -497,10 +505,10 @@ impl Table {
         let Some((s, off)) = self.locate(id) else {
             return false;
         };
-        let seg = &mut self.segments[s];
-        if !seg.is_live(off) {
+        if !self.segments[s].is_live(off) {
             return false;
         }
+        let seg = Arc::make_mut(&mut self.segments[s]);
         let bytes: u64 = seg.columns.iter().map(|c| c.value_bytes(off)).sum();
         for c in seg.columns.iter_mut() {
             c.bytes = c.bytes.saturating_sub(c.value_bytes(off));
@@ -522,7 +530,7 @@ impl Table {
             return Ok(false);
         }
         let row = self.schema.validate_row(row)?;
-        let seg = &mut self.segments[s];
+        let seg = Arc::make_mut(&mut self.segments[s]);
         let old_bytes: u64 = seg.columns.iter().map(|c| c.value_bytes(off)).sum();
         let new_bytes: u64 = row.iter().map(|v| v.byte_size() as u64).sum();
         for (c, v) in row.iter().enumerate() {

@@ -59,6 +59,11 @@ pub const ERROR_CODES: &[(&str, u16, &str)] = &[
         "No /api/v1 route matches the request path.",
     ),
     (
+        "unknown_release",
+        404,
+        "The release= parameter or AS OF clause names no published data release.",
+    ),
+    (
         "method_not_allowed",
         405,
         "The endpoint exists but does not accept this HTTP method.",
@@ -299,6 +304,11 @@ mod tests {
             (
                 SkyServerError::NotFound("object 9".into()),
                 "not_found",
+                404,
+            ),
+            (
+                SqlError::UnknownRelease("dr9".into()).into(),
+                "unknown_release",
                 404,
             ),
         ];

@@ -35,7 +35,14 @@ const JSON_CONTENT_TYPE: &str = "application/json; charset=utf-8";
 /// carries the governor's wall-clock deadline into the executor and runs
 /// under the public memory budget, so expiry and exhaustion come back as
 /// structured `408` / `422` envelopes with partial progress stats.
-pub(crate) fn public_query(site: &SkyServerSite, sql: &str) -> Result<StatementOutcome, ApiError> {
+/// The script may be pinned to a published data release, in which case it
+/// runs against that release's immutable snapshot instead of the live
+/// head (`404 unknown_release` if no such release is published).
+pub(crate) fn public_query_on(
+    site: &SkyServerSite,
+    sql: &str,
+    release: Option<&str>,
+) -> Result<StatementOutcome, ApiError> {
     let Some(_permit) = site.governor().admit() else {
         return Err(ApiError::new(
             "overloaded",
@@ -44,7 +51,8 @@ pub(crate) fn public_query(site: &SkyServerSite, sql: &str) -> Result<StatementO
     };
     let monitor = skyserver::QueryMonitor::new();
     monitor.set_deadline(site.governor().deadline());
-    site.sky().execute_public_with(sql, &monitor).map_err(|e| {
+    let outcome = site.sky().execute_public_on(sql, &monitor, release);
+    outcome.map_err(|e| {
         let api = ApiError::from(e);
         // Resource-pressure failures report how far the query got
         // before the governor stopped it.
@@ -78,20 +86,27 @@ fn materialized(
     Ok(result)
 }
 
-/// The Explore drill-down payload for one object.
-pub(crate) fn explore_payload(site: &SkyServerSite, id: i64) -> Result<ObjectSummary, ApiError> {
-    site.sky().explore(id).map_err(ApiError::from)
+/// The Explore drill-down payload for one object, optionally pinned to a
+/// published data release.
+pub(crate) fn explore_payload(
+    site: &SkyServerSite,
+    id: i64,
+    release: Option<&str>,
+) -> Result<ObjectSummary, ApiError> {
+    site.sky().explore_on(id, release).map_err(ApiError::from)
 }
 
-/// Objects within `radius_arcmin` of `(ra, dec)`, nearest first.
+/// Objects within `radius_arcmin` of `(ra, dec)`, nearest first,
+/// optionally pinned to a published data release.
 pub(crate) fn cone_payload(
     site: &SkyServerSite,
     ra: f64,
     dec: f64,
     radius_arcmin: f64,
+    release: Option<&str>,
 ) -> Result<ResultSet, ApiError> {
     site.sky()
-        .nearby_objects(ra, dec, radius_arcmin)
+        .nearby_objects_on(ra, dec, radius_arcmin, release)
         .map_err(ApiError::from)
 }
 
@@ -213,16 +228,27 @@ fn spec(_site: &SkyServerSite, req: &ApiRequest<'_>) -> Result<Response, ApiErro
 fn query(site: &SkyServerSite, req: &ApiRequest<'_>) -> Result<Response, ApiError> {
     let sql = req.sql_text("sql")?;
     let format = req.format(OutputFormat::Json)?;
-    let key = format!("query|{}", normalize_sql(&sql));
+    let release: Option<String> = req.optional("release")?;
+    // The release tag keys the materialized walk to its snapshot: a cursor
+    // walk started on a pinned release stays on that release across a
+    // publish, and head walks are invalidated by the generation bump.
+    let key = format!(
+        "{}|query|{}",
+        site.release_tag(release.as_deref()),
+        normalize_sql(&sql)
+    );
     let page = Page::from_request(req, &key)?;
-    let result = materialized(site, &key, || Ok(public_query(site, &sql)?.result))?;
+    let result = materialized(site, &key, || {
+        Ok(public_query_on(site, &sql, release.as_deref())?.result)
+    })?;
     Ok(render_page(&result, &page, &key, format))
 }
 
 fn object(site: &SkyServerSite, req: &ApiRequest<'_>) -> Result<Response, ApiError> {
     require_json(req)?;
     let id: i64 = req.path_param("id")?;
-    json_document(&explore_payload(site, id)?)
+    let release: Option<String> = req.optional("release")?;
+    json_document(&explore_payload(site, id, release.as_deref())?)
 }
 
 fn cone(site: &SkyServerSite, req: &ApiRequest<'_>) -> Result<Response, ApiError> {
@@ -240,9 +266,15 @@ fn cone(site: &SkyServerSite, req: &ApiRequest<'_>) -> Result<Response, ApiError
         ));
     }
     let format = req.format(OutputFormat::Json)?;
-    let key = format!("cone|{ra}|{dec}|{radius}");
+    let release: Option<String> = req.optional("release")?;
+    let key = format!(
+        "{}|cone|{ra}|{dec}|{radius}",
+        site.release_tag(release.as_deref())
+    );
     let page = Page::from_request(req, &key)?;
-    let result = materialized(site, &key, || cone_payload(site, ra, dec, radius))?;
+    let result = materialized(site, &key, || {
+        cone_payload(site, ra, dec, radius, release.as_deref())
+    })?;
     Ok(render_page(&result, &page, &key, format))
 }
 
@@ -312,6 +344,22 @@ fn schema(site: &SkyServerSite, req: &ApiRequest<'_>) -> Result<Response, ApiErr
     json_document(&site.sky().schema_description())
 }
 
+fn releases(site: &SkyServerSite, req: &ApiRequest<'_>) -> Result<Response, ApiError> {
+    require_json(req)?;
+    json_document(&serde_json::json!({ "releases": site.sky().release_infos() }))
+}
+
+fn releases_diff(site: &SkyServerSite, req: &ApiRequest<'_>) -> Result<Response, ApiError> {
+    require_json(req)?;
+    let from: String = req.require("from")?;
+    let to: String = req.require("to")?;
+    let diff = site
+        .sky()
+        .release_diff(&from, &to)
+        .map_err(ApiError::from)?;
+    json_document(&diff)
+}
+
 // ---------------------------------------------------------------------------
 // The route table.
 // ---------------------------------------------------------------------------
@@ -349,6 +397,16 @@ const SQL_PARAM: ParamSpec = ParamSpec {
                   the raw request body).",
 };
 
+const RELEASE_PARAM: ParamSpec = ParamSpec {
+    name: "release",
+    location: ParamLocation::Query,
+    type_name: "string",
+    required: false,
+    description: "Pin the request to a published data release (e.g. dr1); \
+                  default is the live head. Unknown names are a 404 \
+                  unknown_release.",
+};
+
 const JOB_ID_PARAM: ParamSpec = ParamSpec {
     name: "id",
     location: ParamLocation::Path,
@@ -375,7 +433,13 @@ pub(crate) fn v1_router() -> Router {
             name: "query",
             description: "Run a read-only SQL script under the public limits \
                           (1,000 rows / 30 seconds) and page the result.",
-            params: &[SQL_PARAM, FORMAT_PARAM, LIMIT_PARAM, CURSOR_PARAM],
+            params: &[
+                SQL_PARAM,
+                FORMAT_PARAM,
+                LIMIT_PARAM,
+                CURSOR_PARAM,
+                RELEASE_PARAM,
+            ],
             handler: query,
         },
         Route {
@@ -384,7 +448,13 @@ pub(crate) fn v1_router() -> Router {
             name: "query",
             description: "As GET /api/v1/query; the SQL may be a form field \
                           or the raw request body.",
-            params: &[SQL_PARAM, FORMAT_PARAM, LIMIT_PARAM, CURSOR_PARAM],
+            params: &[
+                SQL_PARAM,
+                FORMAT_PARAM,
+                LIMIT_PARAM,
+                CURSOR_PARAM,
+                RELEASE_PARAM,
+            ],
             handler: query,
         },
         Route {
@@ -393,13 +463,16 @@ pub(crate) fn v1_router() -> Router {
             name: "explore_object",
             description: "The Explore drill-down for one object: attributes, \
                           neighbours, spectrum, cross-matches.",
-            params: &[ParamSpec {
-                name: "id",
-                location: ParamLocation::Path,
-                type_name: "integer",
-                required: true,
-                description: "The objID of a PhotoObj row.",
-            }],
+            params: &[
+                ParamSpec {
+                    name: "id",
+                    location: ParamLocation::Path,
+                    type_name: "integer",
+                    required: true,
+                    description: "The objID of a PhotoObj row.",
+                },
+                RELEASE_PARAM,
+            ],
             handler: object,
         },
         Route {
@@ -433,6 +506,7 @@ pub(crate) fn v1_router() -> Router {
                 FORMAT_PARAM,
                 LIMIT_PARAM,
                 CURSOR_PARAM,
+                RELEASE_PARAM,
             ],
             handler: cone,
         },
@@ -519,6 +593,40 @@ pub(crate) fn v1_router() -> Router {
                           indices, functions.",
             params: &[],
             handler: schema,
+        },
+        Route {
+            method: "GET",
+            pattern: "/api/v1/releases",
+            name: "releases_list",
+            description: "The published data releases, oldest first, with \
+                          per-release table/row/byte totals.",
+            params: &[],
+            handler: releases,
+        },
+        Route {
+            method: "GET",
+            pattern: "/api/v1/releases/diff",
+            name: "releases_diff",
+            description: "Per-table change report between two published \
+                          releases (computed from shared copy-on-write \
+                          segments, so it is cheap).",
+            params: &[
+                ParamSpec {
+                    name: "from",
+                    location: ParamLocation::Query,
+                    type_name: "string",
+                    required: true,
+                    description: "The older release name.",
+                },
+                ParamSpec {
+                    name: "to",
+                    location: ParamLocation::Query,
+                    type_name: "string",
+                    required: true,
+                    description: "The newer release name.",
+                },
+            ],
+            handler: releases_diff,
         },
     ])
 }

@@ -157,6 +157,25 @@ impl<V> Lru<V> {
         inner.total_bytes = 0;
     }
 
+    /// Keep only the entries whose key satisfies `keep`, releasing the
+    /// byte accounting of everything dropped.
+    fn retain(&self, keep: impl Fn(&str) -> bool) {
+        let mut inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut freed = 0usize;
+        inner.map.retain(|key, entry| {
+            if keep(key) {
+                true
+            } else {
+                freed += entry.bytes;
+                false
+            }
+        });
+        inner.total_bytes -= freed;
+    }
+
     fn stats(&self) -> CacheStats {
         let inner = self
             .inner
@@ -237,6 +256,13 @@ impl ResultCache {
         self.lru.clear();
     }
 
+    /// Keep only entries whose key satisfies `keep`.  The site uses this
+    /// after a publish: entries pinned to an immutable release survive,
+    /// only the live-head entries are invalidated.
+    pub fn retain(&self, keep: impl Fn(&str) -> bool) {
+        self.lru.retain(keep);
+    }
+
     /// Hit/miss/size counters.
     pub fn stats(&self) -> CacheStats {
         self.lru.stats()
@@ -287,6 +313,12 @@ impl RowCache {
     /// Drop every entry (called after any administrative write).
     pub fn clear(&self) {
         self.lru.clear();
+    }
+
+    /// Keep only entries whose key satisfies `keep` (see
+    /// [`ResultCache::retain`]).
+    pub fn retain(&self, keep: impl Fn(&str) -> bool) {
+        self.lru.retain(keep);
     }
 
     /// Hit/miss/size counters.
@@ -398,6 +430,19 @@ mod tests {
         cache.clear();
         assert!(cache.get("a").is_none());
         assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn retain_drops_only_non_matching_entries_and_their_bytes() {
+        let cache = ResultCache::new(8);
+        cache.insert("rel:head:1|a".into(), body("stale"));
+        cache.insert("rel:dr1|b".into(), body("pinned"));
+        let before = cache.stats().bytes;
+        cache.retain(|k| !k.starts_with("rel:head:"));
+        assert!(cache.get("rel:head:1|a").is_none(), "stale entry survived");
+        assert!(cache.get("rel:dr1|b").is_some(), "pinned entry was dropped");
+        assert!(cache.stats().bytes < before);
+        assert_eq!(cache.stats().entries, 1);
     }
 
     #[test]

@@ -63,8 +63,8 @@ pub struct JobQueueConfig {
     /// [`QueryMonitor`] (the same mechanism the interactive tier uses).
     /// Batch jobs escape the interactive 30-second limit, but an unbounded
     /// query would occupy one of the few batch workers forever — and a
-    /// running job's catalog snapshot also makes admin writes wait.
-    /// `None` disables the bound.
+    /// running job's catalog snapshot keeps the segments of a superseded
+    /// release alive.  `None` disables the bound.
     pub max_seconds: Option<f64>,
     /// Memory budget per job (the executor's `max_bytes`): batch jobs get
     /// a larger budget than the interactive 64 MiB, but still bounded so
@@ -283,22 +283,6 @@ impl JobQueue {
             .drain(..)
         {
             let _ = handle.join();
-        }
-    }
-
-    /// Cancel the monitors of every currently running job.  Used by the
-    /// site's admin path: an admin write must not wait out a long batch
-    /// scan's catalog snapshot, so running jobs are sacrificed (they end
-    /// `Cancelled`; queued jobs survive and run against the new catalog).
-    pub fn cancel_running(&self) {
-        let inner = self
-            .inner
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
-        for job in inner.jobs.values() {
-            if job.state == JobState::Running {
-                job.monitor.cancel();
-            }
         }
     }
 

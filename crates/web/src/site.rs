@@ -11,14 +11,16 @@
 //! then run the query on the engine's shared `&self` read path — so any
 //! number of requests execute concurrently and a long query never blocks the
 //! others.  Batch jobs snapshot the same slot from their own worker pool
-//! (see [`crate::jobs`]).  Writers (data loads, DDL) go through
-//! [`SkyServerSite::with_admin`], which takes the write lock, waits for
-//! in-flight snapshots to drain, and clears the result cache.
+//! (see [`crate::jobs`]).  Writers (data loads, DDL, release publishes) go
+//! through [`SkyServerSite::with_admin`], which forks the catalog
+//! copy-on-write, mutates the fork off to the side and swaps it in
+//! atomically — in-flight queries and running batch jobs finish on their
+//! pinned snapshot, nothing drains and nothing is cancelled.
 
 use crate::api;
 use crate::api::handlers::{
     cancel_job, cone_payload, explore_payload, job_result_payload, job_status_json,
-    job_status_payload, json_document, public_query, submit_job, ANONYMOUS,
+    job_status_payload, json_document, public_query_on, submit_job, ANONYMOUS,
 };
 use crate::api::{ApiError, ApiRequest, Zoom};
 use crate::cache::{normalize_sql, CachedBody, ResultCache, RowCache};
@@ -56,6 +58,15 @@ pub struct SkyServerSite {
     jobs: Arc<JobQueue>,
     /// Admission control + deadline policy for the public query path.
     governor: Governor,
+    /// Serialises administrative writes: each one forks the current
+    /// catalog, mutates the fork off to the side and swaps it in
+    /// atomically, so admins must not interleave their forks.
+    admin: Mutex<()>,
+    /// Live-head catalog generation, bumped on every admin swap.  Head
+    /// cache keys embed it, so an in-flight request that renders from the
+    /// *old* catalog can only insert under the old generation — its entry
+    /// is unreadable after the swap instead of serving stale data.
+    generation: AtomicU64,
 }
 
 /// The language branches of the site (§5: English, German, Japanese).
@@ -115,6 +126,8 @@ impl SkyServerSite {
             rows: RowCache::new(cache_capacity, RESULT_CACHE_BYTE_BUDGET),
             jobs: JobQueue::start(job_config, runner),
             governor: Governor::new(governor_config),
+            admin: Mutex::new(()),
+            generation: AtomicU64::new(0),
         })
     }
 
@@ -144,53 +157,78 @@ impl SkyServerSite {
         &self.rows
     }
 
-    /// Run an administrative write (data load, DDL) with exclusive access.
-    /// Takes the write lock — blocking new requests — waits for in-flight
-    /// request snapshots to drop, runs `f`, and clears the result cache so
-    /// no stale rendering survives the write.
-    ///
-    /// Running **batch jobs** hold catalog snapshots too; rather than wait
-    /// out a scan that may run for minutes (stalling every new request
-    /// behind the write lock), the admin path cancels running jobs — they
-    /// end `Cancelled`, queued jobs survive and run against the new
-    /// catalog.  Stored job results are deliberately *not* invalidated: a
-    /// job's result reflects the catalog at its run time.
-    pub fn with_admin<R>(&self, f: impl FnOnce(&mut SkyServer) -> R) -> R {
-        let mut slot = self
-            .sky
-            .write()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
-        self.jobs.cancel_running();
-        loop {
-            // In-flight requests hold clones of the Arc; once they finish
-            // (new ones are blocked on the write lock) we get exclusivity.
-            if let Some(sky) = Arc::get_mut(&mut slot) {
-                let result = f(sky);
-                self.cache.clear();
-                self.rows.clear();
-                return result;
-            }
-            std::thread::sleep(std::time::Duration::from_millis(1));
+    /// The cache-key prefix for a request pinned to `release` (`None` =
+    /// the live head).  Head keys embed the catalog generation, so a
+    /// publish makes every pre-publish head entry unreadable; pinned keys
+    /// are generation-free — a published release is immutable, its cached
+    /// renderings never go stale.
+    pub(crate) fn release_tag(&self, release: Option<&str>) -> String {
+        match release {
+            Some(r) => format!("rel:{}", r.to_ascii_lowercase()),
+            None => format!("rel:head:{}", self.generation.load(Ordering::Acquire)),
         }
     }
 
-    /// Replace the served catalog wholesale (e.g. after an offline rebuild).
-    /// Like [`SkyServerSite::with_admin`], waits for in-flight request
-    /// snapshots to drain before swapping — otherwise a request rendered
-    /// from the old catalog could repopulate the cache *after* the clear.
-    pub fn replace(&self, sky: SkyServer) {
+    /// Invalidate the live-head cache entries after an admin swap.  The
+    /// generation bump is the correctness mechanism (stale keys become
+    /// unreadable even if a slow request inserts one afterwards); the
+    /// retain pass just frees their memory early.  Entries pinned to a
+    /// published release survive — releases are immutable.
+    fn invalidate_head_entries(&self) {
+        self.generation.fetch_add(1, Ordering::AcqRel);
+        self.cache.retain(|key| !key.starts_with("rel:head:"));
+        self.rows.retain(|key| !key.starts_with("rel:head:"));
+    }
+
+    /// Run an administrative write (data load, DDL, `PUBLISH RELEASE`)
+    /// and publish the result atomically.  The write builds the **next**
+    /// catalog off to the side: the current catalog is forked
+    /// copy-on-write (metadata cost only — every immutable segment and
+    /// index is shared), `f` mutates the fork, and the serving slot swaps
+    /// to it in one pointer store.
+    ///
+    /// Nothing drains and nothing is cancelled: in-flight interactive
+    /// queries and **running batch jobs** hold `Arc` snapshots of the old
+    /// catalog and simply finish on it — readers never observe a
+    /// half-applied write and a minutes-long batch scan never blocks (or
+    /// is sacrificed to) an admin write.  Head-release cache entries are
+    /// invalidated via a generation bump; entries pinned to a published
+    /// release survive.
+    pub fn with_admin<R>(&self, f: impl FnOnce(&mut SkyServer) -> R) -> R {
+        // Serialise admins so no fork can lose a concurrent admin's write.
+        let _admin = self
+            .admin
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut next = self.sky().fork();
+        let result = f(&mut next);
         let mut slot = self
             .sky
             .write()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
-        // As in `with_admin`: don't wait out running batch scans.
-        self.jobs.cancel_running();
-        while Arc::strong_count(&slot) > 1 {
-            std::thread::sleep(std::time::Duration::from_millis(1));
-        }
+        *slot = Arc::new(next);
+        drop(slot);
+        self.invalidate_head_entries();
+        result
+    }
+
+    /// Replace the served catalog wholesale (e.g. after an offline
+    /// rebuild).  Atomic like [`SkyServerSite::with_admin`]: the slot
+    /// swaps in one pointer store, in-flight requests and running batch
+    /// jobs finish on their old snapshot, and only head-release cache
+    /// entries are invalidated.
+    pub fn replace(&self, sky: SkyServer) {
+        let _admin = self
+            .admin
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut slot = self
+            .sky
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         *slot = Arc::new(sky);
-        self.cache.clear();
-        self.rows.clear();
+        drop(slot);
+        self.invalidate_head_entries();
     }
 
     /// Result-cache hit/miss counters.
@@ -346,7 +384,8 @@ impl SkyServerSite {
             Ok(id) => id,
             Err(e) => return legacy_error(&e),
         };
-        match explore_payload(self, id).and_then(|summary| json_document(&summary)) {
+        let release = req.param("release");
+        match explore_payload(self, id, release).and_then(|summary| json_document(&summary)) {
             Ok(response) => response,
             Err(e) => legacy_error(&e),
         }
@@ -372,7 +411,7 @@ impl SkyServerSite {
         };
         // The visible radius shrinks as the user zooms in (4 levels, §5).
         let radius_arcmin = 60.0 / f64::from(1 << zoom);
-        match cone_payload(self, ra, dec, radius_arcmin) {
+        match cone_payload(self, ra, dec, radius_arcmin, None) {
             Ok(result) => {
                 let objects: Vec<serde_json::Value> = result
                     .rows
@@ -409,13 +448,22 @@ impl SkyServerSite {
         // names render as the grid — existing links must keep working);
         // `/api/v1/query` is the strict surface.
         let format = OutputFormat::parse(req.param("format").unwrap_or("grid"));
-        let cache_key = format!("{:?}|{}", format, normalize_sql(sql));
+        // `?release=drN` pins the page to a published data release; the
+        // cache key carries the release tag so a pinned rendering survives
+        // later publishes while head renderings are invalidated.
+        let release = req.param("release");
+        let cache_key = format!(
+            "{}|{:?}|{}",
+            self.release_tag(release),
+            format,
+            normalize_sql(sql)
+        );
         if let Some(cached) = self.cache.get(&cache_key) {
             return Response::ok(&cached.content_type, cached.body.clone());
         }
         // Same typed operation as the API's /query handler: the public
         // 1,000 row / 30 second limits on the engine's shared read path.
-        match public_query(self, sql) {
+        match public_query_on(self, sql, release) {
             Ok(outcome) => {
                 let mut body = format.render(&outcome.result);
                 if outcome.result.truncated && format == OutputFormat::Grid {
@@ -1042,13 +1090,48 @@ mod tests {
     }
 
     #[test]
-    fn admin_writes_cancel_running_batch_jobs_instead_of_waiting() {
-        let site = site();
+    fn admin_publish_lets_running_batch_jobs_finish_on_their_snapshot() {
+        // Faster pacing than the default so the O(N²) scan still finishes
+        // in test time while leaving plenty of overlap with the admin write.
+        let sky = SkyServerBuilder::new().tiny().build().unwrap();
+        let site = SkyServerSite::new_with(
+            sky,
+            RESULT_CACHE_CAPACITY,
+            crate::jobs::JobQueueConfig {
+                pace: std::time::Duration::from_micros(100),
+                ..Default::default()
+            },
+        );
+        let count = |site: &SkyServerSite| {
+            site.sky()
+                .query("select count(*) from PhotoObj")
+                .unwrap()
+                .scalar()
+                .unwrap()
+                .as_i64()
+                .unwrap()
+        };
+        let n = count(&site);
+        // A self-join over the 500 smallest objIDs: big enough (~125k pairs)
+        // to still be running when the publish lands, small enough to stay
+        // inside the batch memory budget and finish.
+        let ids = site
+            .sky()
+            .query("select top 500 objID from PhotoObj order by objID")
+            .unwrap();
+        let k = ids.rows.len() as i64;
+        let bound = ids.rows.last().unwrap()[0].as_i64().unwrap();
+        // Deleting the smallest objID shrinks the joined set, so a job that
+        // (wrongly) saw the post-publish catalog would count fewer pairs.
+        let victim = ids.rows[0][0].as_i64().unwrap();
         let id = site
             .jobs()
             .submit(
                 "ops",
-                "select count(*) from PhotoObj a join PhotoObj b on a.objID < b.objID",
+                &format!(
+                    "select count(*) from PhotoObj a join PhotoObj b \
+                     on a.objID < b.objID where b.objID <= {bound}"
+                ),
             )
             .unwrap();
         let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
@@ -1060,26 +1143,42 @@ mod tests {
             assert!(std::time::Instant::now() < deadline);
             std::thread::sleep(std::time::Duration::from_millis(2));
         }
-        // The scan would run for minutes; the admin write must not wait it
-        // out — it cancels the job and proceeds promptly.
+        // Mutate the catalog and publish while the scan is mid-flight: the
+        // admin write builds the next catalog off to the side and swaps it
+        // in atomically, so it neither waits out nor cancels the job.
         let started = std::time::Instant::now();
         site.with_admin(|sky| {
-            sky.execute("create table admin_probe (id bigint not null)")
+            sky.execute(&format!("delete from PhotoObj where objID = {victim}"))
                 .unwrap();
+            sky.publish_release("dr2").unwrap();
         });
         assert!(
             started.elapsed() < std::time::Duration::from_secs(10),
             "admin write waited out the batch scan"
         );
-        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        // The job completes — on the snapshot it pinned at start, so its
+        // pair count reflects the catalog *before* the delete.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(120);
         while !site.jobs().status(id).unwrap().state.is_finished() {
             assert!(std::time::Instant::now() < deadline);
             std::thread::sleep(std::time::Duration::from_millis(2));
         }
+        let status = site.jobs().status(id).unwrap();
         assert_eq!(
-            site.jobs().status(id).unwrap().state,
-            crate::jobs::JobState::Cancelled
+            status.state,
+            crate::jobs::JobState::Done,
+            "job error: {:?}",
+            status.error
         );
+        let result = site.jobs().result(id).unwrap();
+        assert_eq!(
+            result.scalar().unwrap().as_i64().unwrap(),
+            k * (k - 1) / 2,
+            "job must see its pinned pre-publish snapshot"
+        );
+        // New requests see the published head immediately.
+        assert_eq!(count(&site), n - 1);
+        assert!(site.sky().release_names().contains(&"dr2".to_string()));
     }
 
     #[test]

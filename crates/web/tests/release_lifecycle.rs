@@ -1,0 +1,416 @@
+//! The release-lifecycle suite: publishing a new data release while the
+//! site is under mixed interactive + batch load.  The contract under test
+//! (ISSUE 10): a publish is atomic — in-flight queries and running batch
+//! jobs finish on their pinned snapshot with **zero** failures and **zero**
+//! cancellations; `AS OF drN` answers are byte-identical before and after
+//! a later publish; `AS OF` and the `?release=` parameter are equivalent;
+//! unknown releases are a structured `404 unknown_release`; and a cursor
+//! walk started on a pinned release stays on that release.
+
+use skyserver::SkyServerBuilder;
+use skyserver_web::jobs::{JobQueueConfig, JobState};
+use skyserver_web::{parse_request, Response, SkyServerSite};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A site with fast batch pacing so the publish-under-load scans finish in
+/// test time while still overlapping the publish generously.
+fn site() -> Arc<SkyServerSite> {
+    let sky = SkyServerBuilder::new().tiny().build().unwrap();
+    SkyServerSite::new_with(
+        sky,
+        128,
+        JobQueueConfig {
+            pace: Duration::from_micros(100),
+            ..JobQueueConfig::default()
+        },
+    )
+}
+
+fn get(site: &SkyServerSite, path_and_query: &str) -> Response {
+    let raw = format!("GET {path_and_query} HTTP/1.1\r\n");
+    site.handle(&parse_request(&raw).unwrap())
+}
+
+fn json(r: &Response) -> serde_json::Value {
+    serde_json::from_slice(&r.body).unwrap_or_else(|e| {
+        panic!(
+            "body is not JSON ({e}): {}",
+            String::from_utf8_lossy(&r.body)
+        )
+    })
+}
+
+fn error_code(r: &Response) -> String {
+    json(r)["error"]["code"]
+        .as_str()
+        .expect("error.code")
+        .to_string()
+}
+
+/// The objIDs of the `k` smallest PhotoObj rows (the publish-under-load
+/// jobs self-join over this prefix so they finish inside the batch memory
+/// budget).
+fn smallest_ids(site: &SkyServerSite, k: usize) -> Vec<i64> {
+    let v = json(&get(
+        site,
+        &format!("/api/v1/query?sql=select+top+{k}+objID+from+PhotoObj+order+by+objID&limit=1000"),
+    ));
+    v["rows"]
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|r| r[0].as_i64().unwrap())
+        .collect()
+}
+
+/// The acceptance scenario: publish dr2 while interactive queries and
+/// batch jobs are in flight.  Zero failed queries, zero cancelled or
+/// failed jobs, jobs answer from their pre-publish snapshot, and `AS OF
+/// dr1` is byte-identical across the publish.
+#[test]
+fn publish_under_load_completes_with_zero_failures() {
+    let site = site();
+    let ids = smallest_ids(&site, 500);
+    let k = ids.len() as i64;
+    let bound = *ids.last().unwrap();
+    let victim = ids[0];
+    let pinned_sql = "select+top+40+objID,ra,dec+from+PhotoObj+order+by+objID+as+of+dr1";
+    let baseline = get(&site, &format!("/api/v1/query?sql={pinned_sql}&limit=1000"));
+    assert_eq!(
+        baseline.status,
+        200,
+        "{}",
+        String::from_utf8_lossy(&baseline.body)
+    );
+
+    // Two batch jobs big enough to still be running when the publish lands.
+    let job_sql = format!(
+        "select count(*) from PhotoObj a join PhotoObj b \
+         on a.objID < b.objID where b.objID <= {bound}"
+    );
+    let jobs: Vec<u64> = (0..2)
+        .map(|i| {
+            site.jobs()
+                .submit(&format!("load{i}"), &job_sql)
+                .expect("submit")
+        })
+        .collect();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    for &id in &jobs {
+        loop {
+            let s = site.jobs().status(id).unwrap();
+            if s.state == JobState::Running && s.rows_processed > 0 {
+                break;
+            }
+            assert!(Instant::now() < deadline, "job {id} never started");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    // Interactive load: threads hammer head + pinned reads; every response
+    // must be a 200 and every pinned body must match the baseline exactly.
+    let stop = Arc::new(AtomicBool::new(false));
+    let failures = Arc::new(AtomicUsize::new(0));
+    let mut workers = Vec::new();
+    for worker in 0..4 {
+        let site = Arc::clone(&site);
+        let stop = Arc::clone(&stop);
+        let failures = Arc::clone(&failures);
+        let baseline_body = baseline.body.clone();
+        workers.push(std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                let r = if worker % 2 == 0 {
+                    get(&site, "/api/v1/query?sql=select+count(*)+from+PhotoObj")
+                } else {
+                    let r = get(&site, &format!("/api/v1/query?sql={pinned_sql}&limit=1000"));
+                    if r.status == 200 && r.body != baseline_body {
+                        failures.fetch_add(1, Ordering::Relaxed);
+                    }
+                    r
+                };
+                if r.status != 200 {
+                    failures.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }));
+    }
+
+    // The publish: delete a joined row on the next catalog, publish dr2.
+    site.with_admin(|sky| {
+        sky.execute(&format!("delete from PhotoObj where objID = {victim}"))
+            .unwrap();
+        sky.publish_release("dr2").unwrap();
+    });
+
+    // Let the load overlap the post-publish world briefly, then stop.
+    std::thread::sleep(Duration::from_millis(100));
+    stop.store(true, Ordering::Relaxed);
+    for w in workers {
+        w.join().unwrap();
+    }
+    assert_eq!(
+        failures.load(Ordering::Relaxed),
+        0,
+        "interactive queries failed or drifted across the publish"
+    );
+
+    // Every job completes — on its pinned pre-publish snapshot.
+    let deadline = Instant::now() + Duration::from_secs(120);
+    for &id in &jobs {
+        while !site.jobs().status(id).unwrap().state.is_finished() {
+            assert!(Instant::now() < deadline, "job {id} never finished");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let status = site.jobs().status(id).unwrap();
+        assert_eq!(
+            status.state,
+            JobState::Done,
+            "job {id} must finish, not be cancelled or fail: {:?}",
+            status.error
+        );
+        let result = site.jobs().result(id).unwrap();
+        assert_eq!(
+            result.scalar().unwrap().as_i64().unwrap(),
+            k * (k - 1) / 2,
+            "job {id} must count pairs on the pre-publish snapshot"
+        );
+    }
+
+    // AS OF dr1 is byte-identical across the publish; the head moved on.
+    let after = get(&site, &format!("/api/v1/query?sql={pinned_sql}&limit=1000"));
+    assert_eq!(after.status, 200);
+    assert_eq!(
+        after.body, baseline.body,
+        "AS OF dr1 drifted across publish"
+    );
+    let releases = json(&get(&site, "/api/v1/releases"));
+    let names: Vec<&str> = releases["releases"]
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|r| r["name"].as_str().unwrap())
+        .collect();
+    assert_eq!(names, vec!["dr1", "dr2"]);
+}
+
+/// `AS OF drN` in the SQL and `?release=drN` on the endpoint are the same
+/// pin: identical bodies, and both distinct from a moved head.
+#[test]
+fn as_of_and_release_parameter_are_equivalent() {
+    let site = site();
+    let sql = "select+top+25+objID,ra+from+PhotoObj+order+by+objID";
+    let as_of = get(
+        &site,
+        "/api/v1/query?sql=select+top+25+objID,ra+from+PhotoObj+order+by+objID+as+of+dr1&limit=1000",
+    );
+    let param = get(
+        &site,
+        &format!("/api/v1/query?sql={sql}&limit=1000&release=dr1"),
+    );
+    assert_eq!(
+        as_of.status,
+        200,
+        "{}",
+        String::from_utf8_lossy(&as_of.body)
+    );
+    assert_eq!(
+        param.status,
+        200,
+        "{}",
+        String::from_utf8_lossy(&param.body)
+    );
+    assert_eq!(as_of.body, param.body, "AS OF and ?release= disagree");
+
+    // After a head mutation + publish, both stay on dr1 while the head
+    // answer changes.
+    let first = json(&as_of)["rows"][0][0].as_i64().unwrap();
+    site.with_admin(|sky| {
+        sky.execute(&format!("delete from PhotoObj where objID = {first}"))
+            .unwrap();
+        sky.publish_release("dr2").unwrap();
+    });
+    let as_of_after = get(
+        &site,
+        "/api/v1/query?sql=select+top+25+objID,ra+from+PhotoObj+order+by+objID+as+of+dr1&limit=1000",
+    );
+    let param_after = get(
+        &site,
+        &format!("/api/v1/query?sql={sql}&limit=1000&release=dr1"),
+    );
+    assert_eq!(as_of_after.body, as_of.body);
+    assert_eq!(param_after.body, param.body);
+    let head = get(&site, &format!("/api/v1/query?sql={sql}&limit=1000"));
+    assert_ne!(head.body, as_of.body, "head must reflect the publish");
+
+    // The pinned object endpoint serves the deleted object from dr1 while
+    // the head 404s it.
+    let r = get(&site, &format!("/api/v1/objects/{first}?release=dr1"));
+    assert_eq!(r.status, 200, "{}", String::from_utf8_lossy(&r.body));
+    let r = get(&site, &format!("/api/v1/objects/{first}"));
+    assert_eq!(r.status, 404);
+
+    // Cone search accepts the pin too (same rows as head here: the deleted
+    // object is not necessarily in the cone, so just assert the contract).
+    let r = get(&site, "/api/v1/cone?ra=181&dec=-0.8&radius=15&release=dr1");
+    assert_eq!(r.status, 200, "{}", String::from_utf8_lossy(&r.body));
+}
+
+/// Unknown releases are a structured `404 unknown_release` on every
+/// surface that accepts a pin.
+#[test]
+fn unknown_release_is_a_structured_404() {
+    let site = site();
+    let cases = [
+        "/api/v1/query?sql=select+1&release=dr9",
+        "/api/v1/query?sql=select+count(*)+from+PhotoObj+as+of+dr9",
+        "/api/v1/cone?ra=181&dec=-0.8&radius=15&release=dr9",
+        "/api/v1/objects/1?release=dr9",
+        "/api/v1/releases/diff?from=dr1&to=dr9",
+    ];
+    for path in cases {
+        let r = get(&site, path);
+        assert_eq!(
+            r.status,
+            404,
+            "{path}: {}",
+            String::from_utf8_lossy(&r.body)
+        );
+        assert_eq!(error_code(&r), "unknown_release", "{path}");
+    }
+    // The legacy SQL page rejects it too (plain-text rendering).
+    let r = get(&site, "/en/tools/search/x_sql?cmd=select+1&release=dr9");
+    assert_eq!(r.status, 404);
+}
+
+/// The release catalog endpoints: the list carries per-release totals and
+/// the diff reports exactly the changed tables (cheap, via shared
+/// copy-on-write segments).
+#[test]
+fn release_list_and_diff_report_changes() {
+    let site = site();
+    let v = json(&get(&site, "/api/v1/releases"));
+    let releases = v["releases"].as_array().unwrap();
+    assert_eq!(releases.len(), 1);
+    assert_eq!(releases[0]["name"], serde_json::json!("dr1"));
+    assert!(releases[0]["tables"].as_u64().unwrap() > 0);
+    assert!(releases[0]["rows"].as_u64().unwrap() > 0);
+
+    let victim = smallest_ids(&site, 1)[0];
+    site.with_admin(|sky| {
+        sky.execute(&format!("delete from PhotoObj where objID = {victim}"))
+            .unwrap();
+        sky.publish_release("dr2").unwrap();
+    });
+    let diff = json(&get(&site, "/api/v1/releases/diff?from=dr1&to=dr2"));
+    assert_eq!(diff["from"], serde_json::json!("dr1"));
+    assert_eq!(diff["to"], serde_json::json!("dr2"));
+    let tables = diff["tables"].as_array().unwrap();
+    let changed: Vec<&str> = tables
+        .iter()
+        .filter(|t| t["status"] != serde_json::json!("unchanged"))
+        .map(|t| t["table"].as_str().unwrap())
+        .collect();
+    assert!(
+        changed.contains(&"PhotoObj"),
+        "PhotoObj changed between dr1 and dr2: {changed:?}"
+    );
+    assert!(
+        tables
+            .iter()
+            .any(|t| t["status"] == serde_json::json!("unchanged")),
+        "untouched tables share their segments copy-on-write"
+    );
+    // Missing parameters are a clean 400.
+    let r = get(&site, "/api/v1/releases/diff?from=dr1");
+    assert_eq!(r.status, 400);
+    assert_eq!(error_code(&r), "missing_parameter");
+}
+
+/// A cursor walk started on a pinned release stays on that release across
+/// a publish (the pin is part of the cursor's resource key); a head walk's
+/// cursor is cleanly invalidated instead of silently switching catalogs.
+#[test]
+fn pinned_cursor_walk_stays_on_its_release_across_a_publish() {
+    let site = site();
+    let sql = "select+top+30+objID+from+PhotoObj+order+by+objID";
+    let full = json(&get(
+        &site,
+        &format!("/api/v1/query?sql={sql}&limit=1000&release=dr1"),
+    ));
+    let expected: Vec<i64> = full["rows"]
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|r| r[0].as_i64().unwrap())
+        .collect();
+    assert_eq!(expected.len(), 30);
+
+    // First page on dr1; also start a head walk for contrast.
+    let page1 = json(&get(
+        &site,
+        &format!("/api/v1/query?sql={sql}&limit=10&release=dr1"),
+    ));
+    let pinned_cursor = page1["meta"]["next_cursor"].as_str().unwrap().to_string();
+    let head_page1 = json(&get(&site, &format!("/api/v1/query?sql={sql}&limit=10")));
+    let head_cursor = head_page1["meta"]["next_cursor"]
+        .as_str()
+        .unwrap()
+        .to_string();
+
+    // Publish dr2 mid-walk, deleting a row the walk has not reached yet.
+    let victim = expected[20];
+    site.with_admin(|sky| {
+        sky.execute(&format!("delete from PhotoObj where objID = {victim}"))
+            .unwrap();
+        sky.publish_release("dr2").unwrap();
+    });
+
+    // The pinned walk continues on dr1 and covers the pre-publish rows
+    // exactly once, deleted row included.
+    let mut walked: Vec<i64> = page1["rows"]
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|r| r[0].as_i64().unwrap())
+        .collect();
+    let mut cursor = Some(pinned_cursor);
+    while let Some(c) = cursor {
+        let v = json(&get(
+            &site,
+            &format!("/api/v1/query?sql={sql}&limit=10&release=dr1&cursor={c}"),
+        ));
+        walked.extend(
+            v["rows"]
+                .as_array()
+                .unwrap()
+                .iter()
+                .map(|r| r[0].as_i64().unwrap()),
+        );
+        cursor = v["meta"]["next_cursor"].as_str().map(str::to_string);
+    }
+    assert_eq!(walked, expected, "the dr1 walk drifted across the publish");
+    assert!(walked.contains(&victim), "dr1 still holds the deleted row");
+
+    // The head walk's cursor was issued for the pre-publish head: it is
+    // rejected as invalid, never silently resumed on the new catalog.
+    let r = get(
+        &site,
+        &format!("/api/v1/query?sql={sql}&limit=10&cursor={head_cursor}"),
+    );
+    assert_eq!(r.status, 400, "{}", String::from_utf8_lossy(&r.body));
+    assert_eq!(error_code(&r), "invalid_cursor");
+    // Restarting the head walk reflects the publish.
+    let head_now = json(&get(&site, &format!("/api/v1/query?sql={sql}&limit=1000")));
+    let head_ids: Vec<i64> = head_now["rows"]
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|r| r[0].as_i64().unwrap())
+        .collect();
+    assert!(
+        !head_ids.contains(&victim),
+        "head still serves a deleted row"
+    );
+}

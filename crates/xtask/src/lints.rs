@@ -4,7 +4,7 @@
 //!
 //! | lint | scope | what it catches |
 //! |------|-------|-----------------|
-//! | `no-unwrap` | web request paths + sql executor hot path + failpoints | `.unwrap()` that turns a recoverable error into a worker panic |
+//! | `no-unwrap` | web request paths + sql executor hot path + failpoints + release catalog | `.unwrap()` that turns a recoverable error into a worker panic |
 //! | `no-expect` | same | `.expect(...)` likewise |
 //! | `no-panic` | same | `panic!` / `unreachable!` / `todo!` / `unimplemented!` |
 //! | `no-slice-index` | web request paths | `x[i]` indexing that can panic on malformed input |
@@ -67,8 +67,12 @@ fn scope_for(rel: &Path) -> Scope {
     // executor checkpoints: an accidental panic there would take down
     // the very workers the chaos suite exists to protect.
     let failpoints = p == "crates/storage/src/failpoints.rs";
+    // The release catalog runs inside every admin publish and every
+    // pinned read: a panic there poisons the serving slot for all
+    // requests, so it gets the same no-panic discipline.
+    let releases = p == "crates/storage/src/release.rs";
     Scope {
-        hot_path: web || executor || failpoints,
+        hot_path: web || executor || failpoints || releases,
         slice_index: web,
         kernel: p == "crates/sql/src/exec/vector.rs",
     }
